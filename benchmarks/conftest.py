@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+asserts its shape checks (DESIGN.md §4).  The benchmarked quantity is
+the wall-clock cost of regenerating the exhibit — the simulated times
+live in the printed tables, which every bench emits on success.
+"""
+
+import pytest
+
+
+def run_exhibit(benchmark, fn, rounds=1):
+    """Run one exhibit under pytest-benchmark and verify its checks."""
+    result = benchmark.pedantic(fn, rounds=rounds, iterations=1)
+    print()
+    print(result.format())
+    assert result.ok, f"shape checks failed:\n{result.format()}"
+    return result

@@ -1,0 +1,56 @@
+"""Ablation: ADM's migration-flag polling granularity (§2.3).
+
+"Rapid response really means two things: when a migration signal comes,
+the application should quickly suspend its computation ... this usually
+implies that migration checks ... are embedded within the inner
+computational loops."  The granularity is a real design knob: poll too
+rarely and the application responds sluggishly; poll every exemplar and
+the flag checks tax the inner loop.  This bench sweeps the knob.
+"""
+
+from conftest import run_exhibit
+from repro.experiments.harness import ExperimentResult, quiet_cluster
+from repro.experiments.table6 import vacate_one_slave
+from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+from repro.hw import HardwareParams
+from repro.pvm import PvmSystem
+
+
+def _quiet_runtime(params: HardwareParams) -> float:
+    cl = quiet_cluster(n_hosts=2, trace=False, params=params)
+    app = AdmOpt(PvmSystem(cl), OptConfig(data_bytes=2 * MB_DEC, iterations=6))
+    app.start()
+    cl.run(until=3600)
+    return app.report["train_time"]
+
+
+def run_ablation() -> ExperimentResult:
+    rows = []
+    for frac in [0.50, 0.10, 0.02, 0.005]:
+        params = HardwareParams(adm_poll_granularity_frac=frac)
+        rec = vacate_one_slave(4.2, params=params)
+        rows.append({
+            "poll_frac": frac,
+            "migration_s": rec["migration_time"],
+            "quiet_runtime_s": _quiet_runtime(params),
+        })
+    result = ExperimentResult(
+        exp_id="ablation-adm-poll",
+        title="ADM responsiveness vs poll granularity (4.2 MB vacate)",
+        columns=["poll_frac", "migration_s", "quiet_runtime_s"],
+        rows=rows,
+    )
+    result.check(
+        "coarser polling responds slower",
+        rows[0]["migration_s"] > rows[-1]["migration_s"],
+    )
+    result.check(
+        "quiet-case runtime roughly unaffected (checks are cheap)",
+        max(r["quiet_runtime_s"] for r in rows)
+        < 1.05 * min(r["quiet_runtime_s"] for r in rows),
+    )
+    return result
+
+
+def test_ablation_adm_poll_granularity(benchmark):
+    run_exhibit(benchmark, run_ablation)

@@ -1,0 +1,86 @@
+"""Ablation: MPVM migrate-current-state vs Condor-style checkpoint/restart.
+
+The paper's §5 claims the checkpoint approach is *less obtrusive* but
+pays periodic checkpoint costs and re-executes lost work.  This bench
+measures both policies on the same workload across state sizes.
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, poll_until, quiet_cluster
+from repro.hw import MB
+from repro.mpvm import CheckpointEngine, MpvmSystem
+
+
+def _measure(state_mb: float, policy: str, ckpt_period_s: float = 20.0):
+    cl = quiet_cluster(n_hosts=2, trace=False)
+    vm = MpvmSystem(cl)
+    out = {}
+
+    def worker(ctx):
+        ctx.task.grow_heap(int(state_mb * MB))
+        yield from ctx.compute(25e6 * 600)
+
+    vm.register_program("w", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        task = vm.task(tid)
+        if policy == "checkpoint":
+            engine = CheckpointEngine(vm, period_s=ckpt_period_s)
+            engine.protect(task)
+            yield ctx.sim.timeout(ckpt_period_s * 1.5)  # one image on disk
+            done = engine.request_migration(task, cl.host(1))
+        else:
+            yield ctx.sim.timeout(ckpt_period_s * 1.5)
+            done = vm.request_migration(task, cl.host(1))
+        yield done
+        out["stats"] = done.value
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+
+    def driver():
+        yield from poll_until(cl.sim, lambda: "stats" in out)
+
+    drv = cl.sim.process(driver())
+    cl.run(until=drv)
+    return out["stats"]
+
+
+def run_ablation() -> ExperimentResult:
+    rows = []
+    for mb in [1, 4, 10]:
+        mpvm = _measure(mb, "mpvm")
+        ckpt = _measure(mb, "checkpoint")
+        rows.append({
+            "state_mb": mb,
+            "mpvm_obtrusive_s": mpvm.obtrusiveness,
+            "ckpt_obtrusive_s": ckpt.obtrusiveness,
+            "mpvm_migration_s": mpvm.migration_time,
+            "ckpt_migration_s": ckpt.migration_time,
+            "ckpt_lost_work_s": ckpt.lost_work_s,
+        })
+    result = ExperimentResult(
+        exp_id="ablation-checkpoint",
+        title="migrate-current-state (MPVM) vs checkpoint/restart (Condor-style)",
+        columns=["state_mb", "mpvm_obtrusive_s", "ckpt_obtrusive_s",
+                 "mpvm_migration_s", "ckpt_migration_s", "ckpt_lost_work_s"],
+        rows=rows,
+    )
+    result.check(
+        "checkpointing always vacates faster",
+        all(r["ckpt_obtrusive_s"] < 0.2 * r["mpvm_obtrusive_s"] for r in rows),
+    )
+    result.check(
+        "but re-integrates slower (lost work re-executed)",
+        all(r["ckpt_migration_s"] > r["mpvm_migration_s"] for r in rows),
+    )
+    result.notes = "the §5 trade-off, quantified on identical workloads"
+    return result
+
+
+def test_ablation_checkpoint_vs_mpvm(benchmark):
+    from conftest import run_exhibit
+
+    run_exhibit(benchmark, run_ablation)

@@ -1,0 +1,73 @@
+"""Extension bench: ADM redistribution cost for the heat application.
+
+The second ADM application (contiguous-range redistribution) should show
+the same cost structure Table 6 established for ADMopt: migration time ≈
+obtrusiveness (no restart stage) and bulk data at the daemon route's
+~0.5 MB/s — but with a response-latency floor of one Jacobi sweep,
+because a stencil code can only re-partition at iteration boundaries
+(the application-chosen precision trade-off of §3.4.3).
+"""
+
+from conftest import run_exhibit
+from repro.apps.heat import AdmHeat
+from repro.experiments.harness import ExperimentResult, poll_until, quiet_cluster
+from repro.pvm import PvmSystem
+
+
+def _vacate(rows: int, cols: int) -> dict:
+    cl = quiet_cluster(n_hosts=2, trace=False)
+    vm = PvmSystem(cl)
+    app = AdmHeat(vm, rows=rows, cols=cols, iterations=3000, n_workers=2,
+                  compute_mode="modeled")
+    app.start()
+    out = {}
+
+    def driver():
+        yield from poll_until(
+            cl.sim, lambda: bool(app.slave_tids) and bool(app.layout)
+        )
+        yield cl.sim.timeout(2.0)
+        ev = app.post_vacate(1)
+        yield ev.done
+        out["rec"] = ev.done.value
+        out["sweep_s"] = (
+            (rows - 2) // 2 * (cols - 2) * 5.0 / 25e6
+        )
+
+    drv = cl.sim.process(driver())
+    cl.run(until=drv)
+    return out
+
+
+def run_sweep() -> ExperimentResult:
+    rows_list = []
+    for rows, cols in [(130, 128), (514, 512), (1026, 1024)]:
+        out = _vacate(rows, cols)
+        rec = out["rec"]
+        rows_list.append({
+            "grid": f"{rows}x{cols}",
+            "moved_mb": rec["moved_bytes"] / 1e6,
+            "migration_s": rec["migration_time"],
+            "sweep_s": out["sweep_s"],
+        })
+    result = ExperimentResult(
+        exp_id="adm-heat-sweep",
+        title="ADM heat: redistribution cost vs grid size (vacate 1 of 2)",
+        columns=["grid", "moved_mb", "migration_s", "sweep_s"],
+        rows=rows_list,
+    )
+    result.check("cost grows with grid size",
+                 rows_list[0]["migration_s"] < rows_list[-1]["migration_s"])
+    big = rows_list[-1]
+    rate = big["moved_mb"] / big["migration_s"]
+    result.check("bulk rate bounded by the daemon route (< 0.6 MB/s)",
+                 rate < 0.6)
+    result.check(
+        "response latency at least one sweep (boundary-only polling)",
+        all(r["migration_s"] > 0.5 * r["sweep_s"] for r in rows_list),
+    )
+    return result
+
+
+def test_adm_heat_redistribution_sweep(benchmark):
+    run_exhibit(benchmark, run_sweep)

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 1 — the MPVM migration stage diagram."""
+
+from conftest import run_exhibit
+from repro.experiments import figures
+
+
+def test_figure1_mpvm_protocol(benchmark):
+    result = run_exhibit(benchmark, figures.figure1)
+    stages = [r["stage"] for r in result.rows]
+    assert stages[0] == "mpvm.event"
+    assert stages[-1] == "mpvm.restart.done"

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 2 — 5 ULPs over 3 processes, unique regions."""
+
+from conftest import run_exhibit
+from repro.experiments import figures
+
+
+def test_figure2_ulp_address_map(benchmark):
+    result = run_exhibit(benchmark, figures.figure2)
+    assert len(result.rows) == 5
+    assert len({r["start"] for r in result.rows}) == 5

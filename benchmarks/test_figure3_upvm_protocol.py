@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 3 — the UPVM ULP-migration stage diagram."""
+
+from conftest import run_exhibit
+from repro.experiments import figures
+
+
+def test_figure3_upvm_protocol(benchmark):
+    result = run_exhibit(benchmark, figures.figure3)
+    stages = [r["stage"] for r in result.rows]
+    assert "upvm.flush.done" in stages
+    assert stages[-1] == "upvm.restart.done"

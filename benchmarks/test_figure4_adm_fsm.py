@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 — the ADM finite-state machine."""
+
+from conftest import run_exhibit
+from repro.experiments import figures
+
+
+def test_figure4_adm_fsm(benchmark):
+    result = run_exhibit(benchmark, figures.figure4)
+    transitions = {(r["from"], r["to"]) for r in result.rows}
+    assert ("COMPUTE", "REDIST") in transitions
+    assert ("REDIST", "COMPUTE") in transitions or ("REDIST", "AWAIT") in transitions

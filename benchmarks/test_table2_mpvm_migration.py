@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 2 — MPVM obtrusiveness/migration sweep."""
+
+from conftest import run_exhibit
+from repro.experiments import table2
+
+
+def test_table2_mpvm_migration(benchmark):
+    result = run_exhibit(benchmark, table2.run)
+    rows = {r["data_mb"]: r for r in result.rows}
+    # Crossover shape: fixed costs dominate small migrations; the ratio
+    # falls toward the raw-TCP bound as the state grows.
+    assert rows[0.6]["ratio"] > 2.5 * rows[20.8]["ratio"]

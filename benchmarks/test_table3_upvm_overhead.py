@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 3 — PVM vs UPVM quiet-case runtime."""
+
+from conftest import run_exhibit
+from repro.experiments import table3
+
+
+def test_table3_upvm_overhead(benchmark):
+    result = run_exhibit(benchmark, table3.run)
+    t = {r["system"]: r["runtime_s"] for r in result.rows}
+    # Paper's headline: UPVM *faster* than plain PVM (4.75 vs 4.92 s).
+    assert t["UPVM"] < t["PVM"]

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 4 — UPVM obtrusiveness and migration cost."""
+
+from conftest import run_exhibit
+from repro.experiments import table4
+
+
+def test_table4_upvm_migration(benchmark):
+    result = run_exhibit(benchmark, table4.run)
+    row = result.rows[0]
+    # Paper: 1.67 s obtrusiveness vs 6.88 s migration (slow accept).
+    assert row["migration_s"] > 2.5 * row["obtrusiveness_s"]
+
+
+def test_table4_extended_sweep(benchmark):
+    """Our extension: UPVM migration beyond the paper's 0.6 MB point."""
+    result = run_exhibit(benchmark, lambda: table4.run(extended=True))
+    times = [r["migration_s"] for r in result.rows]
+    assert times == sorted(times)  # grows with size

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 6 — ADMopt redistribution-cost sweep."""
+
+from conftest import run_exhibit
+from repro.experiments import table6
+
+
+def test_table6_adm_migration(benchmark):
+    result = run_exhibit(benchmark, table6.run)
+    rows = {r["data_mb"]: r for r in result.rows}
+    # ADM moves data at roughly half the raw TCP rate: redistributing
+    # 10.4 MB takes ~20 s (paper: 21.69 s).
+    assert 15.0 < rows[20.8]["migration_s"] < 27.0

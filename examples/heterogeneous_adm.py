@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""ADM on a heterogeneous worknet — the case MPVM/UPVM cannot handle.
+
+The worknet mixes an HP-PA machine, a SPARC, and a slow i486 box.
+Process migration is impossible between them (no way to translate
+process state across architectures, §3.3), but ADM moves *data*, so:
+
+1. the partitioner splits exemplars proportionally to machine speed, and
+2. when the SPARC's owner reclaims it, its shard redistributes to the
+   other two — across architectures — without stopping the run.
+
+Run:  python examples/heterogeneous_adm.py
+"""
+
+from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+from repro.gs import GlobalScheduler
+from repro.hw import Cluster, HostSpec
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem, PvmNotCompatible
+
+
+def main() -> None:
+    specs = [
+        HostSpec("hp-pa", arch="hppa", os="hpux9", cpu_mflops=25),
+        HostSpec("sparc", arch="sparc", os="sunos4", cpu_mflops=15),
+        HostSpec("i486", arch="i386", os="svr4", cpu_mflops=6),
+    ]
+
+    # --- first, show that MPVM refuses ------------------------------------------
+    cluster = Cluster(specs=specs)
+    vm = MpvmSystem(cluster)
+
+    def idler(ctx):
+        yield from ctx.sleep(30)
+
+    vm.register_program("idler", idler)
+
+    def probe_master(ctx):
+        (tid,) = yield from ctx.spawn("idler", count=1, where=["hp-pa"])
+        done = vm.request_migration(vm.task(tid), cluster.host("sparc"))
+        try:
+            yield done
+        except PvmNotCompatible as exc:
+            print(f"MPVM refuses, as the paper says it must:\n    {exc}\n")
+
+    vm.register_program("probe", probe_master)
+    vm.start_master("probe", host="hp-pa")
+    cluster.run(until=60)
+
+    # --- now ADM, which thrives here ----------------------------------------------
+    cluster = Cluster(specs=specs)
+    vm = PvmSystem(cluster)
+    cfg = OptConfig(data_bytes=3 * MB_DEC, iterations=12, n_slaves=3)
+    app = AdmOpt(vm, cfg, master_host="hp-pa",
+                 slave_hosts=["hp-pa", "sparc", "i486"])
+    app.start()
+    gs = GlobalScheduler(cluster, app.client)
+
+    def owner_returns():
+        yield cluster.sim.timeout(25.0)
+        print(f"[{cluster.sim.now:6.1f}s] the SPARC's owner is back — GS "
+              f"vacates it")
+        gs.reclaim(cluster.host("sparc"))
+
+    cluster.sim.process(owner_returns())
+    cluster.run(until=3600 * 2)
+
+    print("ADM run completed.")
+    print(f"  initial partition was equal thirds of "
+          f"{cfg.n_exemplars} exemplars")
+    print(f"  final exemplar counts per worker: {dict(app.item_counts)}")
+    hp, i486 = app.item_counts[0], app.item_counts[2]
+    print(f"  hp-pa : i486 ratio = {hp / max(i486, 1):.2f} "
+          f"(capacity ratio 25:6 = {25 / 6:.2f})")
+    for rec in app.migrations:
+        print(f"  redistribution for worker {rec['worker']}: "
+              f"{rec['moved_bytes'] / 1e6:.2f} MB moved in "
+              f"{rec['migration_time']:.2f}s")
+    print(f"  total runtime: {app.report['total_time']:.1f}s, "
+          f"{app.report['redistributions']} redistribution round(s)")
+
+
+if __name__ == "__main__":
+    main()

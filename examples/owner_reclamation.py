@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Owner reclamation: the scenario the paper's introduction motivates.
+
+A parallel Opt training run borrows two workstations.  Four minutes in,
+the owner of one of them comes back and starts typing.  Without
+adaptive migration the whole parallel job crawls (one slow slave drags
+the iteration); with MPVM + the Global Scheduler, the slave is
+transparently vacated to a free machine and the run barely notices.
+
+Run:  python examples/owner_reclamation.py
+"""
+
+from repro.apps.opt import MB_DEC, OptConfig, PvmOpt
+from repro.gs import GlobalScheduler, OwnerReclaimPolicy
+from repro.hw import Cluster, OwnerSession
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+
+CONFIG = OptConfig(data_bytes=4 * MB_DEC, iterations=20)
+OWNER_ARRIVES_AT = 60.0
+OWNER_LOAD = 3.0  # an interactive session plus a local build
+
+
+def run_without_migration() -> float:
+    """Plain PVM: the job is stuck under the owner's load."""
+    cluster = Cluster(n_hosts=3)
+    vm = PvmSystem(cluster)
+    app = PvmOpt(vm, CONFIG, slave_hosts=[0, 1])
+    app.start()
+    OwnerSession(cluster.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
+    cluster.run(until=3600 * 4)
+    return app.report["total_time"]
+
+
+def run_with_migration() -> float:
+    """MPVM + GS: the owner's arrival triggers vacating the host."""
+    cluster = Cluster(n_hosts=3)
+    vm = MpvmSystem(cluster)
+    app = PvmOpt(vm, CONFIG, slave_hosts=[0, 1])
+    app.start()
+    gs = GlobalScheduler(cluster, vm)
+    policy = OwnerReclaimPolicy(gs)
+    policy.attach(cluster.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
+    cluster.run(until=3600 * 4)
+    for record in gs.completed_migrations():
+        print(f"  migrated {record.unit} {record.src} -> {record.dst} "
+              f"in {record.elapsed:.2f}s")
+    return app.report["total_time"]
+
+
+def main() -> None:
+    print("Opt training, 4 MB exemplar set, slaves on hp720-0 and hp720-1;")
+    print(f"the owner of hp720-0 returns at t={OWNER_ARRIVES_AT:.0f}s "
+          f"(load weight {OWNER_LOAD}).")
+    print()
+    t_static = run_without_migration()
+    print(f"without migration: {t_static:7.1f} s  "
+          f"(master and one slave share a machine with the owner)")
+    print("with MPVM + GS owner-reclamation policy:")
+    t_adaptive = run_with_migration()
+    print(f"with migration:    {t_adaptive:7.1f} s")
+    print()
+    print(f"adaptive speedup: {t_static / t_adaptive:.2f}x — and the owner "
+          f"got their workstation back.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: a PVM application on a simulated worknet, then a
+transparent MPVM migration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+
+
+def main() -> None:
+    # A worknet of three HP 9000/720-class workstations on a shared
+    # 10 Mb/s Ethernet, all simulated.
+    cluster = Cluster(n_hosts=3)
+    vm = MpvmSystem(cluster)  # MPVM is source-compatible with plain PVM
+
+    # --- a classic master/worker PVM program ---------------------------------
+    def worker(ctx):
+        """Each worker squares the numbers the master sends it."""
+        while True:
+            msg = yield from ctx.recv(src=ctx.parent)
+            if msg.tag == 0:  # stop
+                return
+            (value,) = msg.buffer.upkint()
+            yield from ctx.compute(5e6)  # pretend this is hard
+            reply = ctx.initsend().pkint([int(value) ** 2])
+            yield from ctx.send(ctx.parent, 2, reply)
+
+    def master(ctx):
+        tids = yield from ctx.spawn("worker", count=3)
+        print(f"[{ctx.now:7.3f}s] master {ctx.mytid:#x} spawned workers "
+              f"{[hex(t) for t in tids]}")
+        for i, tid in enumerate(tids):
+            yield from ctx.send(tid, 1, ctx.initsend().pkint([i + 2]))
+        total = 0
+        for _ in tids:
+            msg = yield from ctx.recv(tag=2)
+            total += int(msg.buffer.upkint()[0])
+        print(f"[{ctx.now:7.3f}s] master collected sum of squares: {total}")
+        for tid in tids:
+            yield from ctx.send(tid, 0, ctx.initsend())
+
+    vm.register_program("worker", worker)
+    vm.register_program("master", master)
+    vm.start_master("master", host=0)
+    cluster.run()
+    print()
+
+    # --- transparent migration -------------------------------------------------
+    cluster = Cluster(n_hosts=2)
+    vm = MpvmSystem(cluster)
+
+    def cruncher(ctx):
+        start_host = ctx.host.name
+        yield from ctx.compute(25e6 * 10)  # ten seconds of work
+        print(f"[{ctx.now:7.3f}s] cruncher finished on {ctx.host.name} "
+              f"(started on {start_host}) — the application never noticed "
+              f"it moved")
+
+    def boss(ctx):
+        (tid,) = yield from ctx.spawn("cruncher", count=1, where=[0])
+        yield ctx.sim.timeout(4.0)
+        print(f"[{ctx.now:7.3f}s] boss asks MPVM to migrate the cruncher "
+              f"hp720-0 -> hp720-1")
+        done = vm.request_migration(vm.task(tid), cluster.host(1))
+        stats = yield done
+        s = done.value
+        print(f"[{ctx.now:7.3f}s] migration finished: "
+              f"obtrusiveness={s.obtrusiveness:.3f}s "
+              f"migration={s.migration_time:.3f}s "
+              f"({s.state_bytes} bytes of state)")
+
+    vm.register_program("cruncher", cruncher)
+    vm.register_program("boss", boss)
+    vm.start_master("boss", host=1)
+    cluster.run()
+
+
+if __name__ == "__main__":
+    main()

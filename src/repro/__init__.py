@@ -1,0 +1,18 @@
+"""repro — reproduction of "Adaptive Load Migration Systems for PVM"
+(Casas, Konuru, Otto, Prouty, Walpole; OGI CSE tech report / SC'94).
+
+Subpackages:
+
+- :mod:`repro.sim`   — discrete-event simulation kernel
+- :mod:`repro.hw`    — workstations, shared Ethernet, TCP, load sources
+- :mod:`repro.unix`  — simulated Unix processes, memory, signals
+- :mod:`repro.pvm`   — the PVM substrate (daemons, tasks, messages)
+- :mod:`repro.gs`    — the Global Scheduler and its policies
+- :mod:`repro.mpvm`  — MPVM: transparent process migration
+- :mod:`repro.upvm`  — UPVM: migratable user-level processes (ULPs)
+- :mod:`repro.adm`   — ADM: adaptive data movement (FSM framework)
+- :mod:`repro.apps`  — the Opt application in all paper variants
+- :mod:`repro.experiments` — regeneration of every table and figure
+"""
+
+__version__ = "1.0.0"

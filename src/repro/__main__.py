@@ -1,0 +1,40 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                 # available exhibits
+    python -m repro report               # regenerate everything
+    python -m repro table2 figure4 ...   # specific exhibits
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str]) -> int:
+    from .experiments import EXPERIMENTS, render_report, run_all
+
+    args = argv[1:]
+    if args and args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    if args and args[0] == "list":
+        print("available exhibits:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    if args and args[0] == "report":
+        args = args[1:]
+    unknown = [a for a in args if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = run_all(only=args or None)
+    print(render_report(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,24 @@
+"""ADM — Adaptive Data Movement (paper §2.3): application-level
+adaptation through data redistribution, written as event-driven FSMs."""
+
+from .consensus import master_barrier, master_collect, master_release, worker_barrier
+from .events import AdmEventBox, MigrationEvent
+from .fsm import FsmError, StateMachine, Transition
+from .partition import plan_transfers, weighted_partition
+from .worker import AdmAppBase, AdmClient, AdmWorkerHandle
+
+__all__ = [
+    "AdmAppBase",
+    "AdmClient",
+    "AdmEventBox",
+    "AdmWorkerHandle",
+    "FsmError",
+    "MigrationEvent",
+    "StateMachine",
+    "Transition",
+    "master_barrier",
+    "master_collect",
+    "master_release",
+    "plan_transfers",
+    "weighted_partition",
+]

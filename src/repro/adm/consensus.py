@@ -1,0 +1,51 @@
+"""Global-consensus helpers for ADM programs.
+
+"Global-consensus algorithms are executed at some points so as to ensure
+that all processes have entered a certain state" (§2.3).  ADM programs
+here use master-coordinated consensus: workers report, the master waits
+for everyone, then releases them — two message waves over the ordinary
+PVM channels (consensus costs are therefore real message costs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..pvm.context import PvmContext
+from ..pvm.message import MessageBuffer
+
+__all__ = ["master_collect", "master_release", "master_barrier", "worker_barrier"]
+
+
+def master_collect(ctx: PvmContext, worker_tids: Iterable[int], tag: int):
+    """Master side, wave 1: wait for one message from every worker.
+
+    Returns the received messages in arrival order (generator).
+    """
+    pending = set(worker_tids)
+    msgs = []
+    while pending:
+        msg = yield from ctx.recv(tag=tag)
+        if msg.src_tid in pending:
+            pending.discard(msg.src_tid)
+        msgs.append(msg)
+    return msgs
+
+
+def master_release(ctx: PvmContext, worker_tids: Iterable[int], tag: int, buf=None):
+    """Master side, wave 2: release every worker (generator)."""
+    yield from ctx.mcast(list(worker_tids), tag, buf or MessageBuffer())
+
+
+def master_barrier(ctx: PvmContext, worker_tids: List[int], tag: int):
+    """Full master-side barrier: collect then release (generator)."""
+    msgs = yield from master_collect(ctx, worker_tids, tag)
+    yield from master_release(ctx, worker_tids, tag)
+    return msgs
+
+
+def worker_barrier(ctx: PvmContext, master_tid: int, tag: int, buf=None):
+    """Worker side of the barrier: report, then await release (generator)."""
+    yield from ctx.send(master_tid, tag, buf or MessageBuffer())
+    release = yield from ctx.recv(src=master_tid, tag=tag)
+    return release

@@ -1,0 +1,82 @@
+"""Migration-event delivery for ADM applications.
+
+The paper's three complications (§2.3): events arrive at *unpredictable*
+times (their source — the GS — is external); the application must react
+*rapidly* (so the inner compute loop polls a flag); and *multiple
+simultaneous* events must be queued and handled without loss.  The
+event box models the signal-handler + flag + queue idiom an ADM program
+uses for all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..sim import Event, Simulator
+
+__all__ = ["MigrationEvent", "AdmEventBox"]
+
+
+@dataclass
+class MigrationEvent:
+    """One external adaptation request."""
+
+    kind: str  #: "vacate" | "rebalance" | application-defined
+    target: Any = None  #: e.g. the worker id or host being vacated
+    posted_at: float = -1.0
+    payload: Any = None
+    #: Fired by the application once the event is fully handled.
+    done: Optional[Event] = None
+
+
+class AdmEventBox:
+    """The flag + queue a signal handler feeds and the app polls."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._queue: List[MigrationEvent] = []
+        self._arrival_waiters: List[Event] = []
+        self.total_posted = 0
+
+    # -- producer side (signal handler / GS) ------------------------------------
+    def post(self, event: MigrationEvent) -> MigrationEvent:
+        """Deliver an event; never blocks, never drops (events queue)."""
+        event.posted_at = self.sim.now
+        if event.done is None:
+            event.done = Event(self.sim)
+        self._queue.append(event)
+        self.total_posted += 1
+        waiters, self._arrival_waiters = self._arrival_waiters, []
+        for w in waiters:
+            if not w.triggered:
+                w.succeed()
+        return event
+
+    # -- consumer side (the application's poll points) ------------------------------
+    @property
+    def flag(self) -> bool:
+        """The cheap check embedded in the inner compute loop."""
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def take(self) -> Optional[MigrationEvent]:
+        """Pop the oldest pending event (None if empty)."""
+        return self._queue.pop(0) if self._queue else None
+
+    def take_all(self) -> List[MigrationEvent]:
+        """Drain the queue — coalescing simultaneous events into one
+        redistribution pass, which is how ADM handles event bursts."""
+        out, self._queue = self._queue, []
+        return out
+
+    def wait_for_event(self) -> Event:
+        """Event that fires when something is (or becomes) pending."""
+        ev = Event(self.sim)
+        if self._queue:
+            ev.succeed()
+        else:
+            self._arrival_waiters.append(ev)
+        return ev

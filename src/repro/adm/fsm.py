@@ -1,0 +1,133 @@
+"""The event-driven finite-state machine framework (paper Figure 4).
+
+ADM programs are written "at a coarse level ... as a finite-state
+machine": well-defined states, explicit transitions, one handler per
+state.  The paper stresses that correctness under unpredictable,
+possibly simultaneous migration events requires *careful reasoning*; the
+framework enforces the declared transition relation at runtime so an
+undeclared move is an immediate error instead of a silent corruption.
+
+Handlers are generators (they run inside a simulated task) and return
+the name of the next state; returning ``None`` ends the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+__all__ = ["FsmError", "Transition", "StateMachine"]
+
+
+class FsmError(Exception):
+    """Illegal state-machine construction or transition."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    time: float
+    src: str
+    dst: Optional[str]
+
+
+class StateMachine:
+    """A runtime-checked FSM whose handlers are simulation generators."""
+
+    def __init__(self, name: str, initial: str) -> None:
+        self.name = name
+        self.initial = initial
+        self._handlers: Dict[str, Callable] = {}
+        self._allowed: Dict[str, Set[Optional[str]]] = {}
+        self.history: List[Transition] = []
+        self.current: Optional[str] = None
+
+    # -- construction ---------------------------------------------------------
+    def state(self, name: str, to: List[Optional[str]]):
+        """Decorator registering a state handler and its legal successors.
+
+        ``None`` in ``to`` means the handler may terminate the machine.
+        """
+
+        def wrap(fn: Callable) -> Callable:
+            self.add_state(name, fn, to)
+            return fn
+
+        return wrap
+
+    def add_state(self, name: str, handler: Callable, to: List[Optional[str]]) -> None:
+        if name in self._handlers:
+            raise FsmError(f"state {name!r} already defined")
+        self._handlers[name] = handler
+        self._allowed[name] = set(to)
+
+    def successors(self, name: str) -> Set[Optional[str]]:
+        return set(self._allowed[name])
+
+    @property
+    def states(self) -> List[str]:
+        return list(self._handlers)
+
+    def validate(self) -> None:
+        """Check the graph is closed and every state is reachable."""
+        if self.initial not in self._handlers:
+            raise FsmError(f"initial state {self.initial!r} is not defined")
+        for src, dsts in self._allowed.items():
+            for dst in dsts:
+                if dst is not None and dst not in self._handlers:
+                    raise FsmError(f"{src!r} may transition to undefined {dst!r}")
+        seen: Set[str] = set()
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            frontier.extend(d for d in self._allowed[state] if d is not None)
+        unreachable = set(self._handlers) - seen
+        if unreachable:
+            raise FsmError(f"unreachable states: {sorted(unreachable)}")
+
+    # -- execution ---------------------------------------------------------------
+    def run(
+        self, *args: Any, clock: Optional[Callable[[], float]] = None, **kwargs: Any
+    ) -> Generator:
+        """Drive the machine (a generator; run it as a task body).
+
+        ``args``/``kwargs`` are passed to every handler.  ``clock`` (a
+        callable returning the current simulated time) timestamps the
+        transition history; without it, ``args[0].now`` is used when the
+        first argument looks like a context, else 0.
+        """
+        self.validate()
+        self.current = self.initial
+
+        def _now() -> float:
+            if clock is not None:
+                return clock()
+            return getattr(args[0], "now", 0.0) if args else 0.0
+
+        while self.current is not None:
+            handler = self._handlers[self.current]
+            nxt = yield from handler(*args, **kwargs)
+            if nxt not in self._allowed[self.current]:
+                raise FsmError(
+                    f"{self.name}: illegal transition {self.current!r} -> {nxt!r} "
+                    f"(allowed: {sorted(map(str, self._allowed[self.current]))})"
+                )
+            self.history.append(Transition(_now(), self.current, nxt))
+            self.current = nxt
+        return self.history
+
+    # -- introspection (Figure 4 bench) ---------------------------------------------
+    def dot(self) -> str:
+        """Graphviz rendering of the declared machine."""
+        lines = [f'digraph "{self.name}" {{']
+        for src, dsts in self._allowed.items():
+            for dst in dsts:
+                target = dst if dst is not None else "END"
+                lines.append(f'  "{src}" -> "{target}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def visited_states(self) -> List[str]:
+        return [t.src for t in self.history]

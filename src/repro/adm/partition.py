@@ -1,0 +1,80 @@
+"""Data partitioning for ADM redistribution.
+
+When an ADM program enters its migration state, "the partitioning of the
+data onto processes is completely re-computed in an attempt to achieve
+the most accurate load balance possible" (§2.3).  The partitioner is
+capacity-weighted — this is where ADM's heterogeneity advantage lives:
+data counts, unlike process images, can be split to match any mix of
+machine speeds (§3.3.3, §3.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["weighted_partition", "plan_transfers"]
+
+
+def weighted_partition(
+    n_items: int, capacities: Dict[Hashable, float]
+) -> Dict[Hashable, int]:
+    """Split ``n_items`` across workers proportionally to capacity.
+
+    Uses the largest-remainder method, so the result is deterministic,
+    sums exactly to ``n_items``, and is within one item of the ideal
+    fractional share for every worker.  Workers with capacity 0 (e.g. a
+    vacated host) receive nothing.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if not capacities:
+        raise ValueError("need at least one worker")
+    if any(c < 0 for c in capacities.values()):
+        raise ValueError("capacities must be non-negative")
+    total = float(sum(capacities.values()))
+    if total == 0:
+        raise ValueError("at least one worker must have positive capacity")
+    keys = sorted(capacities, key=repr)
+    ideal = {k: n_items * capacities[k] / total for k in keys}
+    floors = {k: int(ideal[k]) for k in keys}
+    shortfall = n_items - sum(floors.values())
+    # Hand out the remainder to the largest fractional parts.
+    by_frac = sorted(keys, key=lambda k: (ideal[k] - floors[k], repr(k)), reverse=True)
+    for k in by_frac[:shortfall]:
+        floors[k] += 1
+    return floors
+
+
+def plan_transfers(
+    current: Dict[Hashable, int], target: Dict[Hashable, int]
+) -> List[Tuple[Hashable, Hashable, int]]:
+    """Item movements turning ``current`` into ``target``.
+
+    Returns ``(src, dst, count)`` triples.  A surplus worker's data may
+    be *fragmented* across several recipients — exactly what ADMopt does
+    when a withdrawing slave "divides its data among all other active
+    slaves" (§4.3.3).  The plan is minimal in total items moved.
+    """
+    if set(current) != set(target):
+        raise ValueError("current and target must cover the same workers")
+    if sum(current.values()) != sum(target.values()):
+        raise ValueError(
+            f"totals differ: {sum(current.values())} vs {sum(target.values())}"
+        )
+    surplus = [(k, current[k] - target[k]) for k in sorted(current, key=repr)]
+    givers = [[k, d] for k, d in surplus if d > 0]
+    takers = [[k, -d] for k, d in surplus if d < 0]
+    plan: List[Tuple[Hashable, Hashable, int]] = []
+    gi = ti = 0
+    while gi < len(givers) and ti < len(takers):
+        src, have = givers[gi]
+        dst, need = takers[ti]
+        moved = min(have, need)
+        plan.append((src, dst, moved))
+        givers[gi][1] -= moved
+        takers[ti][1] -= moved
+        if givers[gi][1] == 0:
+            gi += 1
+        if takers[ti][1] == 0:
+            ti += 1
+    return plan

@@ -1,0 +1,102 @@
+"""Application-side scaffolding for ADM programs and the GS adapter.
+
+ADM runs on *plain* PVM — adaptivity is in the application.  What the
+framework provides: per-worker event boxes (the signal-handler path for
+GS requests), worker handles the GS can treat as movable units, and the
+:class:`AdmClient` adapter that satisfies the GS MigrationClient
+protocol by posting vacate events and reporting completion when the
+application finishes redistribution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..hw.host import Host
+from ..sim import Event
+from .events import AdmEventBox, MigrationEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pvm.vm import PvmSystem
+
+__all__ = ["AdmWorkerHandle", "AdmAppBase", "AdmClient"]
+
+
+class AdmWorkerHandle:
+    """What the GS sees as one movable unit of an ADM application."""
+
+    def __init__(self, app: "AdmAppBase", worker_id: int, tid: int) -> None:
+        self.app = app
+        self.worker_id = worker_id
+        self.tid = tid
+
+    @property
+    def host(self) -> Host:
+        return self.app.system.task(self.tid).host
+
+    @property
+    def active(self) -> bool:
+        """Does this worker currently hold data (i.e. is it migratable)?"""
+        return self.app.worker_item_count(self.worker_id) > 0
+
+    def __repr__(self) -> str:
+        return f"<AdmWorker {self.worker_id} of {self.app.name} on {self.host.name}>"
+
+
+class AdmAppBase:
+    """Base for master-coordinated, data-parallel ADM applications.
+
+    Subclasses (e.g. :class:`repro.apps.opt.adm_opt.AdmOpt`) run the FSM
+    programs; the base holds worker registration, per-worker event
+    boxes, and the item-count view the partitioner and GS need.
+    """
+
+    def __init__(self, system: "PvmSystem", name: str) -> None:
+        self.system = system
+        self.name = name
+        self.workers: Dict[int, AdmWorkerHandle] = {}
+        self.event_boxes: Dict[int, AdmEventBox] = {}
+        #: worker id -> current item count (maintained by the app).
+        self.item_counts: Dict[int, int] = {}
+
+    # -- registration ----------------------------------------------------------
+    def register_worker(self, worker_id: int, tid: int) -> AdmWorkerHandle:
+        handle = AdmWorkerHandle(self, worker_id, tid)
+        self.workers[worker_id] = handle
+        self.event_boxes[worker_id] = AdmEventBox(self.system.sim)
+        self.item_counts.setdefault(worker_id, 0)
+        return handle
+
+    def worker_item_count(self, worker_id: int) -> int:
+        return self.item_counts.get(worker_id, 0)
+
+    # -- event delivery (the "signal handler") -------------------------------------
+    def post_event(self, worker_id: int, event: MigrationEvent) -> MigrationEvent:
+        """Deliver a migration event to one worker's box."""
+        return self.event_boxes[worker_id].post(event)
+
+    def post_vacate(self, worker_id: int) -> MigrationEvent:
+        return self.post_event(worker_id, MigrationEvent("vacate", target=worker_id))
+
+
+class AdmClient:
+    """GS MigrationClient adapter for one ADM application.
+
+    "Migration" means: the unit's *data* leaves its host (redistributed
+    to the remaining workers); the destination argument is advisory —
+    where the data lands is the application partitioner's decision,
+    which is precisely ADM's accuracy advantage (§3.4.3).
+    """
+
+    def __init__(self, app: AdmAppBase) -> None:
+        self.app = app
+
+    def movable_units(self, host: Host) -> List[AdmWorkerHandle]:
+        return [
+            w for w in self.app.workers.values() if w.host is host and w.active
+        ]
+
+    def request_migration(self, unit: AdmWorkerHandle, dst: Host) -> Event:
+        event = self.app.post_vacate(unit.worker_id)
+        assert event.done is not None
+        return event.done

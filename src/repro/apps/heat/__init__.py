@@ -1,0 +1,19 @@
+"""Jacobi heat diffusion: a neighbor-exchange (halo) workload used to
+exercise the migration protocols under point-to-point traffic, with a
+PVM/MPVM variant and an ADM (contiguous-range redistribution) variant."""
+
+from .adm_heat import AdmHeat, contiguous_layout
+from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step, solve_serial
+from .pvm_heat import PvmHeat
+from .ulp_heat import UlpHeat
+
+__all__ = [
+    "AdmHeat",
+    "FLOPS_PER_CELL",
+    "HeatGrid",
+    "PvmHeat",
+    "UlpHeat",
+    "contiguous_layout",
+    "jacobi_step",
+    "solve_serial",
+]

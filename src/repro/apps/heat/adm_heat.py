@@ -1,0 +1,396 @@
+"""ADM variant of the heat solver — a second ADM application.
+
+The paper is explicit that ADM's "portability" is *application based*
+(§3.1.3): every new application needs its own redesign around the
+methodology.  This module is that exercise for a stencil code, and the
+constraints really are different from ADMopt's:
+
+* work units are **contiguous row ranges** (a worker's rows must stay
+  adjacent or the halo pattern breaks), so the partitioner reassigns
+  *ranges*, not free-floating items — a vacating worker's rows merge
+  into its neighbors rather than fragmenting arbitrarily;
+* redistribution happens at **iteration boundaries**: a stencil sweep is
+  a global data dependency, so the master (which already hears from
+  every worker every iteration) coalesces pending vacate events between
+  sweeps and broadcasts a new layout.  Response granularity is one sweep
+  — coarser than ADMopt's intra-iteration polling, exactly the
+  application-chosen precision trade-off §3.4.3 describes;
+* after a relayout every worker must learn its **new neighbors**, so the
+  plan message carries the whole row map.
+
+Runs on plain PVM, like all ADM programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...adm.events import MigrationEvent
+from ...adm.worker import AdmAppBase, AdmClient
+from ...pvm.context import PvmContext
+from ...pvm.vm import PvmSystem
+from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step
+
+__all__ = ["AdmHeat"]
+
+TAG_CONFIG = 220
+TAG_HALO = 221
+TAG_RESIDUAL = 222
+TAG_GO = 223       #: master -> workers: proceed with next sweep
+TAG_RELAYOUT = 224  #: master -> workers: new row map; exchange rows
+TAG_ROWS = 225     #: worker -> worker: row-range handover
+TAG_RESULT = 226
+TAG_DONE = 227     #: worker -> master: relayout finished
+
+
+def contiguous_layout(interior_rows: int, capacities: Dict[int, float]
+                      ) -> Dict[int, tuple]:
+    """Assign contiguous (start, stop) interior-row ranges by capacity.
+
+    Workers are kept in worker-id order (so neighbor relationships stay
+    monotone); zero-capacity workers get empty ranges.
+    """
+    total = sum(capacities.values())
+    if total <= 0:
+        raise ValueError("at least one worker must have capacity")
+    wids = sorted(capacities)
+    counts = {}
+    acc = 0.0
+    assigned = 0
+    for wid in wids:
+        acc += capacities[wid]
+        upto = round(interior_rows * acc / total)
+        counts[wid] = upto - assigned
+        assigned = upto
+    layout = {}
+    row = 1
+    for wid in wids:
+        layout[wid] = (row, row + counts[wid])
+        row += counts[wid]
+    return layout
+
+
+class AdmHeat(AdmAppBase):
+    """One runnable ADM heat-diffusion job."""
+
+    def __init__(
+        self,
+        system: PvmSystem,
+        rows: int = 64,
+        cols: int = 48,
+        iterations: int = 100,
+        n_workers: int = 3,
+        compute_mode: str = "real",
+        worker_hosts: Optional[List] = None,
+        master_host=0,
+    ) -> None:
+        super().__init__(system, f"admheat-{id(self):x}")
+        if compute_mode not in ("real", "modeled"):
+            raise ValueError(f"unknown compute_mode {compute_mode!r}")
+        self.rows, self.cols = rows, cols
+        self.iterations = iterations
+        self.n_workers = n_workers
+        self.real = compute_mode == "real"
+        self.worker_hosts = worker_hosts or [
+            i % len(system.cluster.hosts) for i in range(n_workers)
+        ]
+        self.master_host = master_host
+        self.client = AdmClient(self)
+        self.slave_tids: List[int] = []
+        self.layout: Dict[int, tuple] = {}
+        self.migrations: List[dict] = []
+        self.report: Dict = {}
+        self.result_grid: Optional[HeatGrid] = None
+        system.register_program(f"{self.name}-master", self._master)
+        system.register_program(f"{self.name}-worker", self._worker)
+
+    def start(self):
+        return self.system.start_master(f"{self.name}-master", self.master_host)
+
+    # GS delivery: events for ANY worker funnel to the master's box
+    # (worker id 'master' = -1); the master coalesces them per sweep.
+    def post_vacate(self, worker_id: int) -> MigrationEvent:
+        event = MigrationEvent("vacate", target=worker_id)
+        return self.event_boxes[-1].post(event)
+
+    # -- master -----------------------------------------------------------------
+    def _master(self, ctx: PvmContext):
+        from ...adm.events import AdmEventBox
+
+        t0 = ctx.now
+        self.event_boxes[-1] = AdmEventBox(ctx.sim)
+        box = self.event_boxes[-1]
+        grid = HeatGrid.initial(self.rows, self.cols)
+        tids = yield from ctx.spawn(
+            f"{self.name}-worker", count=self.n_workers, where=self.worker_hosts
+        )
+        self.slave_tids = list(tids)
+        for wid, tid in enumerate(tids):
+            self.register_worker(wid, tid)
+
+        interior = self.rows - 2
+        self.layout = contiguous_layout(
+            interior, {w: 1.0 for w in range(self.n_workers)}
+        )
+        self._sync_counts()
+        for wid, tid in enumerate(tids):
+            r0, r1 = self.layout[wid]
+            buf = ctx.initsend()
+            buf.pkint([wid, self.n_workers, self.iterations, self.cols])
+            buf.pkint(list(tids))
+            buf.pkint(self._flat_layout())
+            if self.real:
+                buf.pkarray(grid.values[r0 - 1 : r1 + 1])
+                # The fixed global boundary rows: a worker whose range
+                # grows to touch the plate edge after a relayout needs
+                # them to rebuild its halo.
+                buf.pkarray(grid.values[0]).pkarray(grid.values[-1])
+            else:
+                buf.pkopaque((r1 - r0 + 2) * self.cols * 8, "block")
+            yield from ctx.send(tid, TAG_CONFIG, buf)
+
+        residuals = []
+        vacated: set = set()
+        for it in range(self.iterations):
+            worst = 0.0
+            for _ in tids:
+                msg = yield from ctx.recv(tag=TAG_RESIDUAL)
+                worst = max(worst, float(msg.buffer.upkdouble()[0]))
+            residuals.append(worst)
+            # --- iteration boundary: honour pending vacate events ---------
+            events = box.take_all()
+            if events and it < self.iterations - 1:
+                for ev in events:
+                    vacated.add(int(ev.target))
+                yield from self._relayout(ctx, vacated, events)
+            else:
+                for ev in events:  # too late to act; resolve at exit
+                    self._finish_event(ev, moved_rows=0)
+                yield from ctx.mcast(tids, TAG_GO, ctx.initsend())
+
+        values = grid.values.copy()
+        for _ in tids:
+            msg = yield from ctx.recv(tag=TAG_RESULT)
+            hdr = msg.buffer.upkint()
+            r0, r1 = int(hdr[0]), int(hdr[1])
+            if self.real:
+                if r1 > r0:
+                    values[r0:r1] = msg.buffer.upkarray()
+            else:
+                msg.buffer.upkopaque()
+        self.result_grid = HeatGrid(values)
+        self.report = {
+            "total_time": ctx.now - t0,
+            "residuals": residuals,
+            "relayouts": len(self.migrations),
+        }
+
+    def _flat_layout(self) -> List[int]:
+        out = []
+        for wid in sorted(self.layout):
+            r0, r1 = self.layout[wid]
+            out.extend([wid, r0, r1])
+        return out
+
+    def _sync_counts(self) -> None:
+        for wid, (r0, r1) in self.layout.items():
+            self.item_counts[wid] = r1 - r0
+
+    def _relayout(self, ctx: PvmContext, vacated: set, events: list):
+        """Recompute the contiguous layout and orchestrate row movement."""
+        interior = self.rows - 2
+        capacities = {}
+        for wid in range(self.n_workers):
+            host = self.system.task(self.slave_tids[wid]).host
+            capacities[wid] = 0.0 if wid in vacated else host.cpu.rate / 1e6
+        if all(c == 0 for c in capacities.values()):
+            capacities = {w: 1.0 for w in vacated}
+        old = dict(self.layout)
+        new = contiguous_layout(interior, capacities)
+        moved = sum(
+            abs(new[w][0] - old[w][0]) + abs(new[w][1] - old[w][1])
+            for w in new
+        )
+        buf = ctx.initsend()
+        buf.pkint(self._flat_layout())      # old
+        flat_new = []
+        for wid in sorted(new):
+            flat_new.extend([wid, new[wid][0], new[wid][1]])
+        buf.pkint(flat_new)                 # new
+        yield from ctx.mcast(self.slave_tids, TAG_RELAYOUT, buf)
+        self.layout = new
+        self._sync_counts()
+        for _ in self.slave_tids:
+            yield from ctx.recv(tag=TAG_DONE)
+        yield from ctx.mcast(self.slave_tids, TAG_GO, ctx.initsend())
+        for ev in events:
+            self._finish_event(ev, moved_rows=moved)
+
+    def _finish_event(self, ev: MigrationEvent, moved_rows: int) -> None:
+        now = self.system.sim.now
+        record = {
+            "worker": ev.target,
+            "t_event": ev.posted_at,
+            "t_done": now,
+            "obtrusiveness": now - ev.posted_at,
+            "migration_time": now - ev.posted_at,
+            "moved_bytes": moved_rows * self.cols * 8,
+        }
+        self.migrations.append(record)
+        if ev.done is not None and not ev.done.triggered:
+            ev.done.succeed(record)
+
+    # -- worker -----------------------------------------------------------------------
+    def _worker(self, ctx: PvmContext):
+        msg = yield from ctx.recv(src=ctx.parent, tag=TAG_CONFIG)
+        hdr = msg.buffer.upkint()
+        wid, n_workers, iterations, cols = (int(x) for x in hdr[:4])
+        tids = [int(t) for t in msg.buffer.upkint()]
+        layout = self._parse_layout(msg.buffer.upkint())
+        if self.real:
+            local = msg.buffer.upkarray().copy()
+            top_row = msg.buffer.upkarray()
+            bottom_row = msg.buffer.upkarray()
+        else:
+            msg.buffer.upkopaque()
+            local = top_row = bottom_row = None
+        r0, r1 = layout[wid]
+        ctx.task.user_state_bytes = (r1 - r0 + 2) * cols * 8
+
+        for it in range(iterations):
+            if r1 > r0:
+                yield from self._exchange_halos(ctx, wid, tids, layout, local, cols)
+                flops = (r1 - r0) * (cols - 2) * FLOPS_PER_CELL
+                yield from ctx.compute(flops, label="adm-jacobi")
+                if self.real:
+                    local, residual = jacobi_step(local)
+                else:
+                    residual = 100.0 / (it + 1)
+            else:
+                residual = 0.0  # vacated: no rows, no work
+            yield from ctx.send(
+                ctx.parent, TAG_RESIDUAL, ctx.initsend().pkdouble([residual])
+            )
+            # --- boundary: GO or RELAYOUT --------------------------------
+            order = yield from ctx.recv(src=ctx.parent)
+            if order.tag == TAG_RELAYOUT:
+                old = self._parse_layout(order.buffer.upkint())
+                new = self._parse_layout(order.buffer.upkint())
+                local = yield from self._move_rows(
+                    ctx, wid, tids, old, new, local, cols
+                )
+                layout = new
+                r0, r1 = layout[wid]
+                if self.real and r1 > r0:
+                    # Restore fixed plate boundaries where my new range
+                    # touches the edge (halos elsewhere refresh at the
+                    # next exchange).
+                    if r0 == 1:
+                        local[0] = top_row
+                    if r1 == self.rows - 1:
+                        local[-1] = bottom_row
+                ctx.task.user_state_bytes = max(r1 - r0 + 2, 0) * cols * 8
+                yield from ctx.send(ctx.parent, TAG_DONE, ctx.initsend())
+                go = yield from ctx.recv(src=ctx.parent, tag=TAG_GO)
+            else:
+                assert order.tag == TAG_GO, order
+
+        out = ctx.initsend().pkint([r0, r1])
+        if self.real:
+            if r1 > r0:
+                out.pkarray(local[1:-1])
+        else:
+            out.pkopaque(max(r1 - r0, 0) * cols * 8, "block")
+        yield from ctx.send(ctx.parent, TAG_RESULT, out)
+
+    @staticmethod
+    def _parse_layout(flat) -> Dict[int, tuple]:
+        flat = [int(x) for x in flat]
+        return {flat[i]: (flat[i + 1], flat[i + 2]) for i in range(0, len(flat), 3)}
+
+    def _neighbors(self, wid: int, layout: Dict[int, tuple]):
+        """Nearest non-empty workers above and below ``wid``'s range."""
+        up = down = None
+        r0, r1 = layout[wid]
+        for other, (o0, o1) in layout.items():
+            if o1 <= o0:
+                continue
+            if o1 == r0:
+                up = other
+            if o0 == r1:
+                down = other
+        return up, down
+
+    def _exchange_halos(self, ctx, wid, tids, layout, local, cols):
+        up, down = self._neighbors(wid, layout)
+        row_bytes = cols * 8
+        for nbr, row in ((up, 1), (down, -2)):
+            if nbr is None:
+                continue
+            buf = ctx.initsend()
+            if self.real:
+                buf.pkarray(local[row])
+            else:
+                buf.pkopaque(row_bytes, "halo")
+            yield from ctx.send(tids[nbr], TAG_HALO, buf)
+        for nbr, row in ((up, 0), (down, -1)):
+            if nbr is None:
+                continue
+            halo = yield from ctx.recv(src=tids[nbr], tag=TAG_HALO)
+            if self.real:
+                local[row] = halo.buffer.upkarray()
+            else:
+                halo.buffer.upkopaque()
+
+    def _move_rows(self, ctx, wid, tids, old, new, local, cols):
+        """Send rows leaving my range; receive rows joining it.
+
+        Both layouts are contiguous and ordered, so the rows worker *w*
+        must send to worker *v* are exactly ``old[w] ∩ new[v]``.
+        """
+        o0, o1 = old[wid]
+        n0, n1 = new[wid]
+        # Outgoing: my old rows that now belong to someone else.
+        for other in sorted(new):
+            if other == wid:
+                continue
+            lo = max(o0, new[other][0])
+            hi = min(o1, new[other][1])
+            if lo >= hi:
+                continue
+            buf = ctx.initsend().pkint([lo, hi])
+            if self.real:
+                buf.pkarray(local[lo - (o0 - 1) : hi - (o0 - 1)])
+            else:
+                buf.pkopaque((hi - lo) * cols * 8, "rows")
+            yield from ctx.send(tids[other], TAG_ROWS, buf)
+        # Build my new block, keeping the rows I retain.
+        if self.real:
+            new_local = np.zeros((max(n1 - n0, 0) + 2, cols))
+            keep_lo, keep_hi = max(o0, n0), min(o1, n1)
+            if keep_lo < keep_hi:
+                new_local[keep_lo - (n0 - 1) : keep_hi - (n0 - 1)] = (
+                    local[keep_lo - (o0 - 1) : keep_hi - (o0 - 1)]
+                )
+        else:
+            new_local = None
+        # Incoming: rows of my new range I did not hold before.
+        expected = 0
+        for other in sorted(old):
+            if other == wid:
+                continue
+            lo = max(new[wid][0], old[other][0])
+            hi = min(new[wid][1], old[other][1])
+            if lo < hi:
+                expected += 1
+        for _ in range(expected):
+            msg = yield from ctx.recv(tag=TAG_ROWS)
+            hdr = msg.buffer.upkint()
+            lo, hi = int(hdr[0]), int(hdr[1])
+            if self.real:
+                new_local[lo - (n0 - 1) : hi - (n0 - 1)] = msg.buffer.upkarray()
+            else:
+                msg.buffer.upkopaque()
+        return new_local

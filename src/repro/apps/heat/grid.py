@@ -1,0 +1,82 @@
+"""Serial 2-D Jacobi heat-diffusion solver (reference implementation).
+
+A classic worknet workload of the era and a deliberately different
+communication pattern from Opt: instead of master/slave gradient
+aggregation, the parallel version does *neighbor halo exchange* every
+iteration — the pattern that stresses MPVM's send-blocking during
+migration hardest, because a migrating worker has two peers talking to
+it constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HeatGrid", "jacobi_step", "solve_serial", "FLOPS_PER_CELL"]
+
+#: 4 adds + 1 multiply per interior cell per iteration.
+FLOPS_PER_CELL = 5.0
+
+
+@dataclass
+class HeatGrid:
+    """A rectangular plate with fixed (Dirichlet) boundary values."""
+
+    values: np.ndarray  #: (rows, cols) float64, boundaries included
+
+    @classmethod
+    def initial(cls, rows: int, cols: int, top: float = 100.0,
+                bottom: float = 0.0, left: float = 25.0, right: float = 75.0
+                ) -> "HeatGrid":
+        if rows < 3 or cols < 3:
+            raise ValueError("grid must be at least 3x3")
+        v = np.zeros((rows, cols))
+        v[0, :] = top
+        v[-1, :] = bottom
+        v[:, 0] = left
+        v[:, -1] = right
+        return cls(v)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def interior_cells(self) -> int:
+        rows, cols = self.shape
+        return (rows - 2) * (cols - 2)
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    def copy(self) -> "HeatGrid":
+        return HeatGrid(self.values.copy())
+
+
+def jacobi_step(values: np.ndarray) -> Tuple[np.ndarray, float]:
+    """One Jacobi sweep; returns (new interior-updated array, residual).
+
+    The residual is the max absolute cell change — the usual stopping
+    criterion.
+    """
+    new = values.copy()
+    new[1:-1, 1:-1] = 0.25 * (
+        values[:-2, 1:-1] + values[2:, 1:-1]
+        + values[1:-1, :-2] + values[1:-1, 2:]
+    )
+    residual = float(np.abs(new - values).max())
+    return new, residual
+
+
+def solve_serial(grid: HeatGrid, iterations: int) -> Tuple[HeatGrid, list]:
+    """Run ``iterations`` sweeps; returns the grid and residual history."""
+    values = grid.values.copy()
+    residuals = []
+    for _ in range(iterations):
+        values, res = jacobi_step(values)
+        residuals.append(res)
+    return HeatGrid(values), residuals

@@ -1,0 +1,198 @@
+"""Parallel Jacobi heat solver over PVM (row-block decomposition).
+
+One master + W workers.  Every iteration each worker exchanges halo rows
+with its up/down neighbors (point-to-point, no central hop) and reports
+its local residual to the master.  Runs unchanged on MPVM — the
+migration tests move a worker *while its two neighbors keep firing halo
+rows at it*, the hardest traffic pattern for the flush protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...pvm.context import PvmContext
+from ...pvm.vm import PvmSystem
+from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step
+
+__all__ = ["PvmHeat"]
+
+TAG_CONFIG = 200
+TAG_HALO = 201
+TAG_RESIDUAL = 203
+TAG_RESULT = 204
+TAG_READY = 205
+
+
+class PvmHeat:
+    """One runnable parallel heat-diffusion job."""
+
+    def __init__(
+        self,
+        system: PvmSystem,
+        rows: int = 128,
+        cols: int = 128,
+        iterations: int = 50,
+        n_workers: int = 2,
+        compute_mode: str = "real",
+        worker_hosts: Optional[List] = None,
+        master_host=0,
+    ) -> None:
+        if compute_mode not in ("real", "modeled"):
+            raise ValueError(f"unknown compute_mode {compute_mode!r}")
+        if rows - 2 < n_workers:
+            raise ValueError("fewer interior rows than workers")
+        self.system = system
+        self.rows, self.cols = rows, cols
+        self.iterations = iterations
+        self.n_workers = n_workers
+        self.real = compute_mode == "real"
+        self.worker_hosts = worker_hosts or [
+            i % len(system.cluster.hosts) for i in range(n_workers)
+        ]
+        self.master_host = master_host
+        self.worker_tids: List[int] = []
+        self.report: Dict = {}
+        self.result_grid: Optional[HeatGrid] = None
+        name = f"heat-{id(self):x}"
+        self._master_name, self._worker_name = f"{name}-master", f"{name}-worker"
+        system.register_program(self._master_name, self._master)
+        system.register_program(self._worker_name, self._worker)
+
+    def start(self):
+        return self.system.start_master(self._master_name, self.master_host)
+
+    # -- row partitioning --------------------------------------------------------
+    def _blocks(self) -> List[tuple]:
+        """(start, stop) interior-row ranges per worker (1-based rows)."""
+        interior = self.rows - 2
+        base, extra = divmod(interior, self.n_workers)
+        blocks, row = [], 1
+        for w in range(self.n_workers):
+            n = base + (1 if w < extra else 0)
+            blocks.append((row, row + n))
+            row += n
+        return blocks
+
+    # -- master ---------------------------------------------------------------------
+    def _master(self, ctx: PvmContext):
+        t0 = ctx.now
+        grid = HeatGrid.initial(self.rows, self.cols)
+        tids = yield from ctx.spawn(
+            self._worker_name, count=self.n_workers, where=self.worker_hosts
+        )
+        self.worker_tids = list(tids)
+        blocks = self._blocks()
+        for wid, (tid, (r0, r1)) in enumerate(zip(tids, blocks)):
+            buf = ctx.initsend()
+            buf.pkint([wid, self.n_workers, self.iterations, r0, r1, self.cols])
+            buf.pkint(list(tids))
+            if self.real:
+                # The block plus one halo row on each side.
+                buf.pkarray(grid.values[r0 - 1 : r1 + 1])
+            else:
+                buf.pkopaque((r1 - r0 + 2) * self.cols * 8, "block")
+            yield from ctx.send(tid, TAG_CONFIG, buf)
+        # Setup barrier: the iteration clock starts once every worker has
+        # its block in hand (block distribution is setup, not iteration).
+        for _ in tids:
+            yield from ctx.recv(tag=TAG_READY)
+        t_iter = ctx.now
+
+        # The stencil only synchronizes neighbors, so far-apart workers
+        # can drift an iteration apart; residual reports carry their
+        # iteration number and are bucketed.
+        residuals = [0.0] * self.iterations
+        pending = [self.n_workers] * self.iterations
+        done_upto = 0
+        while done_upto < self.iterations:
+            msg = yield from ctx.recv(tag=TAG_RESIDUAL)
+            it = int(msg.buffer.upkint()[0])
+            residuals[it] = max(residuals[it], float(msg.buffer.upkdouble()[0]))
+            pending[it] -= 1
+            while done_upto < self.iterations and pending[done_upto] == 0:
+                done_upto += 1
+        iter_time = ctx.now - t_iter
+
+        values = grid.values.copy()
+        for _ in tids:
+            msg = yield from ctx.recv(tag=TAG_RESULT)
+            hdr = msg.buffer.upkint()
+            r0, r1 = int(hdr[0]), int(hdr[1])
+            if self.real:
+                values[r0:r1] = msg.buffer.upkarray()
+            else:
+                msg.buffer.upkopaque()
+        self.result_grid = HeatGrid(values)
+        self.report = {
+            "total_time": ctx.now - t0,
+            "iter_time": iter_time,
+            "residuals": residuals,
+        }
+
+    # -- worker ---------------------------------------------------------------------
+    def _worker(self, ctx: PvmContext):
+        msg = yield from ctx.recv(src=ctx.parent, tag=TAG_CONFIG)
+        hdr = msg.buffer.upkint()
+        wid, n_workers, iterations, r0, r1, cols = (int(x) for x in hdr[:6])
+        tids = [int(t) for t in msg.buffer.upkint()]
+        if self.real:
+            local = msg.buffer.upkarray().copy()  # (block+2, cols)
+        else:
+            msg.buffer.upkopaque()
+            local = None
+        n_rows = r1 - r0
+        ctx.task.user_state_bytes = (n_rows + 2) * cols * 8
+        up = tids[wid - 1] if wid > 0 else None
+        down = tids[wid + 1] if wid < n_workers - 1 else None
+        row_bytes = cols * 8
+        flops = n_rows * (cols - 2) * FLOPS_PER_CELL
+        yield from ctx.send(ctx.parent, TAG_READY, ctx.initsend().pkint([wid]))
+
+        for it in range(iterations):
+            # --- halo exchange (send both, then receive both) ------------
+            if up is not None:
+                buf = ctx.initsend()
+                if self.real:
+                    buf.pkarray(local[1])
+                else:
+                    buf.pkopaque(row_bytes, "halo")
+                yield from ctx.send(up, TAG_HALO, buf)
+            if down is not None:
+                buf = ctx.initsend()
+                if self.real:
+                    buf.pkarray(local[-2])
+                else:
+                    buf.pkopaque(row_bytes, "halo")
+                yield from ctx.send(down, TAG_HALO, buf)
+            if up is not None:
+                halo = yield from ctx.recv(src=up, tag=TAG_HALO)
+                if self.real:
+                    local[0] = halo.buffer.upkarray()
+                else:
+                    halo.buffer.upkopaque()
+            if down is not None:
+                halo = yield from ctx.recv(src=down, tag=TAG_HALO)
+                if self.real:
+                    local[-1] = halo.buffer.upkarray()
+                else:
+                    halo.buffer.upkopaque()
+
+            # --- local sweep ------------------------------------------------
+            yield from ctx.compute(flops, label="jacobi")
+            if self.real:
+                new, residual = jacobi_step(local)
+                local = new
+            else:
+                residual = 100.0 / (it + 1)
+            buf = ctx.initsend().pkint([it]).pkdouble([residual])
+            yield from ctx.send(ctx.parent, TAG_RESIDUAL, buf)
+
+        out = ctx.initsend().pkint([r0, r1])
+        if self.real:
+            out.pkarray(local[1:-1])
+        else:
+            out.pkopaque(n_rows * row_bytes, "block")
+        yield from ctx.send(ctx.parent, TAG_RESULT, out)

@@ -1,0 +1,179 @@
+"""SPMD/UPVM variant of the heat solver.
+
+The same row-block stencil as :mod:`pvm_heat`, but the virtual
+processors are ULPs: many row blocks per Unix process, individually
+migratable.  This is UPVM's §3.4.2 pitch made concrete for a stencil
+code — when one host slows down, the GS can move a *single* block off it
+instead of the whole process, and co-located neighbor blocks exchange
+halos by zero-copy hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...upvm.library import UlpContext
+from ...upvm.system import UpvmSystem
+from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step
+
+__all__ = ["UlpHeat"]
+
+TAG_CONFIG = 230
+TAG_HALO = 231
+TAG_RESIDUAL = 232
+TAG_RESULT = 233
+
+
+class UlpHeat:
+    """Heat diffusion with one coordinator ULP + N worker ULPs."""
+
+    def __init__(
+        self,
+        system: UpvmSystem,
+        rows: int = 64,
+        cols: int = 48,
+        iterations: int = 100,
+        n_workers: int = 4,
+        compute_mode: str = "real",
+        hosts: Optional[List] = None,
+        placement: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if compute_mode not in ("real", "modeled"):
+            raise ValueError(f"unknown compute_mode {compute_mode!r}")
+        if rows - 2 < n_workers:
+            raise ValueError("fewer interior rows than workers")
+        self.system = system
+        self.rows, self.cols = rows, cols
+        self.iterations = iterations
+        self.n_workers = n_workers
+        self.real = compute_mode == "real"
+        self.hosts = hosts if hosts is not None else list(system.cluster.hosts)
+        #: Default: coordinator with worker 1 on process 0, workers
+        #: round-robin (two blocks per host on a 2-host worknet).
+        if placement is None:
+            placement = {0: 0}
+            for w in range(1, n_workers + 1):
+                placement[w] = (w - 1) % len(self.hosts)
+        self.placement = placement
+        self.report: Dict = {}
+        self.result_grid: Optional[HeatGrid] = None
+        self.app = None
+
+    def start(self):
+        self.app = self.system.start_app(
+            f"ulp-heat-{id(self):x}", self._program,
+            n_ulps=self.n_workers + 1,
+            hosts=self.hosts, placement=self.placement,
+        )
+        return self.app
+
+    def _blocks(self) -> List[tuple]:
+        interior = self.rows - 2
+        base, extra = divmod(interior, self.n_workers)
+        blocks, row = [], 1
+        for w in range(self.n_workers):
+            n = base + (1 if w < extra else 0)
+            blocks.append((row, row + n))
+            row += n
+        return blocks
+
+    def _program(self, ctx: UlpContext):
+        if ctx.me == 0:
+            yield from self._coordinator(ctx)
+        else:
+            yield from self._worker(ctx)
+
+    # -- coordinator (ULP 0) ----------------------------------------------------
+    def _coordinator(self, ctx: UlpContext):
+        t0 = ctx.now
+        grid = HeatGrid.initial(self.rows, self.cols)
+        blocks = self._blocks()
+        for w, (r0, r1) in enumerate(blocks, start=1):
+            buf = ctx.initsend()
+            buf.pkint([w, self.n_workers, self.iterations, r0, r1, self.cols])
+            if self.real:
+                buf.pkarray(grid.values[r0 - 1 : r1 + 1])
+            else:
+                buf.pkopaque((r1 - r0 + 2) * self.cols * 8, "block")
+            yield from ctx.send(w, TAG_CONFIG, buf)
+
+        # Workers drift: the stencil only synchronizes *neighbors*, so a
+        # far-apart pair can be an iteration or two apart.  Residual
+        # reports carry their iteration number and are bucketed.
+        residuals = [0.0] * self.iterations
+        pending = [self.n_workers] * self.iterations
+        done_upto = 0
+        while done_upto < self.iterations:
+            msg = yield from ctx.recv(tag=TAG_RESIDUAL)
+            it = int(msg.buffer.upkint()[0])
+            residuals[it] = max(residuals[it], float(msg.buffer.upkdouble()[0]))
+            pending[it] -= 1
+            while done_upto < self.iterations and pending[done_upto] == 0:
+                done_upto += 1
+
+        values = grid.values.copy()
+        for _ in range(self.n_workers):
+            msg = yield from ctx.recv(tag=TAG_RESULT)
+            hdr = msg.buffer.upkint()
+            r0, r1 = int(hdr[0]), int(hdr[1])
+            if self.real:
+                values[r0:r1] = msg.buffer.upkarray()
+            else:
+                msg.buffer.upkopaque()
+        self.result_grid = HeatGrid(values)
+        self.report = {
+            "total_time": ctx.now - t0,
+            "residuals": residuals,
+        }
+
+    # -- worker ULPs -----------------------------------------------------------------
+    def _worker(self, ctx: UlpContext):
+        msg = yield from ctx.recv(src=0, tag=TAG_CONFIG)
+        hdr = msg.buffer.upkint()
+        me, n_workers, iterations, r0, r1, cols = (int(x) for x in hdr[:6])
+        if self.real:
+            local = msg.buffer.upkarray().copy()
+        else:
+            msg.buffer.upkopaque()
+            local = None
+        ctx.ulp.user_state_bytes = (r1 - r0 + 2) * cols * 8
+        up = me - 1 if me > 1 else None
+        down = me + 1 if me < n_workers else None
+        row_bytes = cols * 8
+        flops = (r1 - r0) * (cols - 2) * FLOPS_PER_CELL
+
+        for it in range(iterations):
+            for nbr, row in ((up, 1), (down, -2)):
+                if nbr is None:
+                    continue
+                buf = ctx.initsend()
+                if self.real:
+                    buf.pkarray(local[row])
+                else:
+                    buf.pkopaque(row_bytes, "halo")
+                yield from ctx.send(nbr, TAG_HALO, buf)
+            for nbr, row in ((up, 0), (down, -1)):
+                if nbr is None:
+                    continue
+                halo = yield from ctx.recv(src=nbr, tag=TAG_HALO)
+                if self.real:
+                    local[row] = halo.buffer.upkarray()
+                else:
+                    halo.buffer.upkopaque()
+            yield from ctx.compute(flops, label="ulp-jacobi")
+            if self.real:
+                local, residual = jacobi_step(local)
+            else:
+                residual = 100.0 / (it + 1)
+            yield from ctx.send(
+                0, TAG_RESIDUAL, ctx.initsend().pkint([it]).pkdouble([residual])
+            )
+
+        out = ctx.initsend().pkint([r0, r1])
+        if self.real:
+            out.pkarray(local[1:-1])
+        else:
+            out.pkopaque((r1 - r0) * row_bytes, "block")
+        yield from ctx.send(0, TAG_RESULT, out)

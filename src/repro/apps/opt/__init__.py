@@ -1,0 +1,39 @@
+"""Opt — the neural-network speech classifier used in the paper's
+evaluation (§4.0), in serial, PVM, UPVM (SPMD) and ADM variants."""
+
+from .adm_opt import AdmOpt, slave_fsm_spec
+from .config import MB_DEC, OptConfig
+from .data import (
+    EXEMPLAR_BYTES,
+    N_FEATURES,
+    Shard,
+    TrainingSet,
+    bytes_for_exemplars,
+    exemplars_for_bytes,
+    synthetic_training_set,
+)
+from .model import CgState, OptModel, cg_step, flops_per_exemplar
+from .pvm_opt import PvmOpt
+from .serial import train_serial
+from .spmd_opt import SpmdOpt
+
+__all__ = [
+    "AdmOpt",
+    "CgState",
+    "EXEMPLAR_BYTES",
+    "MB_DEC",
+    "N_FEATURES",
+    "OptConfig",
+    "OptModel",
+    "PvmOpt",
+    "Shard",
+    "SpmdOpt",
+    "TrainingSet",
+    "bytes_for_exemplars",
+    "cg_step",
+    "exemplars_for_bytes",
+    "flops_per_exemplar",
+    "slave_fsm_spec",
+    "synthetic_training_set",
+    "train_serial",
+]

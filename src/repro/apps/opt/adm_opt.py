@@ -1,0 +1,486 @@
+"""ADMopt: the Adaptive-Data-Movement version of Opt (paper §2.3, §4.3).
+
+The program is written as an event-driven finite-state machine (Figure
+4).  Each slave runs the FSM below; the master coordinates iterations
+and the global redistribution rounds:
+
+* ``AWAIT``   — blocked for the net (new iteration), a suspend, or stop;
+* ``COMPUTE`` — the inner loop over exemplars, *polling the migration
+  flag between chunks* and tracking per-exemplar processed flags so that
+  redistribution mid-iteration never recomputes work;
+* ``REDIST``  — the global-consensus redistribution: report counts, get
+  the recomputed partition, exchange (real) exemplar data with the other
+  slaves, then wait for the master's everyone-is-done message — the
+  moment the paper's obtrusiveness clock stops;
+* done        — after the master's stop.
+
+Costs faithfully modelled: the restructured inner loop runs
+``adm_compute_overhead_frac`` slower (switch-based FSM + flag checks +
+processed-array bookkeeping — Table 5's 23%), and all data moves through
+ordinary daemon-routed pvm messages (Table 6's ~0.5 MB/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...adm.events import MigrationEvent
+from ...adm.fsm import StateMachine
+from ...adm.partition import plan_transfers, weighted_partition
+from ...adm.worker import AdmAppBase, AdmClient
+from ...pvm.context import PvmContext
+from ...pvm.vm import PvmSystem
+from .config import OptConfig
+from .data import Shard, TrainingSet, bytes_for_exemplars, synthetic_training_set
+from .model import CgState, OptModel, cg_step, cg_update_flops
+
+__all__ = ["AdmOpt", "slave_fsm_spec"]
+
+TAG_DATA = 100
+TAG_WEIGHTS = 101
+TAG_GRAD = 102
+TAG_STOP = 103
+TAG_MIGREQ = 110
+TAG_SUSPEND = 111
+TAG_COUNTS = 112
+TAG_PLAN = 113
+TAG_XFER = 114
+TAG_REDIST_DONE = 115
+TAG_RESUME = 116
+
+
+def slave_fsm_spec() -> Dict[str, List[Optional[str]]]:
+    """The declared slave state graph (the Figure 4 reproduction)."""
+    return {
+        "AWAIT": ["COMPUTE", "REDIST", None],
+        "COMPUTE": ["REDIST", "AWAIT"],
+        "REDIST": ["COMPUTE", "AWAIT"],
+    }
+
+
+class _MasterState:
+    """Master-side mutable accumulation shared across handler calls."""
+
+    def __init__(self, cfg: OptConfig, model: OptModel) -> None:
+        self.collected = 0
+        self.grad_sum = np.zeros(model.n_params) if cfg.real else None
+        self.loss_sum = 0.0
+        self.vacated: set = set()
+        self.items_of: Dict[int, int] = {}
+        self.redistributions = 0
+
+
+class AdmOpt(AdmAppBase):
+    """One runnable ADMopt instance (plain PVM underneath)."""
+
+    def __init__(
+        self,
+        system: PvmSystem,
+        config: OptConfig,
+        master_host=0,
+        slave_hosts: Optional[List] = None,
+    ) -> None:
+        super().__init__(system, f"admopt-{id(self):x}")
+        self.config = config
+        self.master_host = master_host
+        self.slave_hosts = slave_hosts or [
+            i % len(system.cluster.hosts) for i in range(config.n_slaves)
+        ]
+        self.client = AdmClient(self)
+        self.slave_tids: List[int] = []
+        self.slave_fsms: Dict[int, StateMachine] = {}
+        self.migrations: List[dict] = []
+        self.report: Dict[str, float] = {}
+        self.state: Optional[CgState] = None
+        system.register_program(f"{self.name}-master", self._master)
+        system.register_program(f"{self.name}-slave", self._slave)
+
+    def start(self):
+        self.master_task = self.system.start_master(
+            f"{self.name}-master", self.master_host
+        )
+        return self.master_task
+
+    # ------------------------------------------------------------------ master
+    def _master(self, ctx: PvmContext):
+        cfg = self.config
+        t_start = ctx.now
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        state = CgState(params=model.get_params())
+        data = (
+            synthetic_training_set(
+                n=cfg.n_exemplars, n_categories=cfg.n_categories, seed=cfg.seed
+            )
+            if cfg.real
+            else None
+        )
+        n_total = cfg.n_exemplars
+
+        tids = yield from ctx.spawn(
+            f"{self.name}-slave", count=cfg.n_slaves, where=self.slave_hosts
+        )
+        self.slave_tids = list(tids)
+        for wid, tid in enumerate(tids):
+            self.register_worker(wid, tid)
+
+        M = _MasterState(cfg, model)
+        counts = weighted_partition(n_total, {w: 1.0 for w in range(cfg.n_slaves)})
+        # The intended distribution is known (to the GS too) immediately.
+        for wid in range(cfg.n_slaves):
+            M.items_of[wid] = counts[wid]
+            self.item_counts[wid] = counts[wid]
+        offset = 0
+        for wid, tid in enumerate(tids):
+            k = counts[wid]
+            buf = ctx.initsend()
+            if cfg.real:
+                shard = data.slice(offset, offset + k)
+                buf.pkarray(shard.features).pkarray(shard.categories)
+            else:
+                buf.pkopaque(bytes_for_exemplars(k), "exemplars")
+            buf.pkint([wid, k])
+            yield from ctx.send(tid, TAG_DATA, buf)
+            offset += k
+        t_train = ctx.now
+
+        for it in range(cfg.iterations):
+            # Requests queued between iterations are handled first.
+            while True:
+                req = yield from ctx.nrecv(tag=TAG_MIGREQ)
+                if req is None:
+                    break
+                yield from self._master_redistribute(ctx, M, model,
+                                                     int(req.buffer.upkint()[0]))
+            wbuf = ctx.initsend()
+            if cfg.real:
+                wbuf.pkarray(state.params)
+            else:
+                wbuf.pkopaque(model.net_bytes, "net")
+            yield from ctx.mcast(tids, TAG_WEIGHTS, wbuf)
+
+            M.collected = 0
+            M.grad_sum = np.zeros(model.n_params) if cfg.real else None
+            M.loss_sum = 0.0
+            while M.collected < n_total:
+                msg = yield from ctx.recv()
+                if msg.tag == TAG_GRAD:
+                    self._accumulate(M, msg)
+                elif msg.tag == TAG_MIGREQ:
+                    wid = int(msg.buffer.upkint()[0])
+                    yield from self._master_redistribute(ctx, M, model, wid)
+                # anything else would be a protocol bug; let it surface
+            yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
+            if cfg.real:
+                state = cg_step(state, M.grad_sum, n_total, M.loss_sum)
+            else:
+                state.losses.append(2.3 * 0.9**it)
+
+        # Final drain: vacate requests arriving at the very end are
+        # honoured before stopping (events must never be lost, §2.3).
+        while True:
+            req = yield from ctx.nrecv(tag=TAG_MIGREQ)
+            if req is None:
+                break
+            yield from self._master_redistribute(ctx, M, model,
+                                                 int(req.buffer.upkint()[0]))
+        yield from ctx.mcast(tids, TAG_STOP, ctx.initsend())
+        self.state = state
+        self.report = {
+            "total_time": ctx.now - t_start,
+            "train_time": ctx.now - t_train,
+            "losses": list(state.losses),
+            "redistributions": M.redistributions,
+        }
+
+    def _accumulate(self, M: _MasterState, msg) -> None:
+        if self.config.real:
+            M.grad_sum += msg.buffer.upkarray()
+            M.loss_sum += float(msg.buffer.upkdouble()[0])
+        else:
+            msg.buffer.upkopaque()
+        M.collected += int(msg.buffer.upkint()[0])
+
+    def _master_redistribute(self, ctx: PvmContext, M: _MasterState, model, wid: int):
+        """One global redistribution round (generator).
+
+        Coalesces every queued migration request into a single round,
+        recomputes the partition over the remaining capacity, sends the
+        plan, and releases everyone once all slaves report done.
+        """
+        cfg = self.config
+        vacating = {wid}
+        while True:
+            req = yield from ctx.nrecv(tag=TAG_MIGREQ)
+            if req is None:
+                break
+            vacating.add(int(req.buffer.upkint()[0]))
+        M.vacated |= vacating
+        yield from ctx.mcast(self.slave_tids, TAG_SUSPEND, ctx.initsend())
+
+        counts: Dict[int, int] = {}
+        while len(counts) < cfg.n_slaves:
+            msg = yield from ctx.recv()
+            if msg.tag == TAG_GRAD:
+                self._accumulate(M, msg)
+            elif msg.tag == TAG_COUNTS:
+                arr = msg.buffer.upkint()
+                counts[int(arr[0])] = int(arr[1])
+            elif msg.tag == TAG_MIGREQ:
+                w = int(msg.buffer.upkint()[0])
+                vacating.add(w)
+                M.vacated.add(w)
+
+        capacities = {}
+        for w in range(cfg.n_slaves):
+            host = self.system.task(self.slave_tids[w]).host
+            capacities[w] = 0.0 if w in M.vacated else host.cpu.rate / 1e6
+        if all(c == 0 for c in capacities.values()):
+            # Cannot vacate everyone: data stays put (documented edge).
+            capacities = {w: 1.0 for w in M.vacated}
+        target = weighted_partition(sum(counts.values()), capacities)
+        plan = plan_transfers(counts, target)
+
+        pbuf = ctx.initsend()
+        flat = [len(plan)]
+        for src, dst, k in plan:
+            flat.extend([src, dst, k])
+        pbuf.pkint(flat)
+        pbuf.pkint([len(vacating)] + sorted(vacating))
+        yield from ctx.mcast(self.slave_tids, TAG_PLAN, pbuf)
+
+        done: set = set()
+        while len(done) < cfg.n_slaves:
+            msg = yield from ctx.recv()
+            if msg.tag == TAG_GRAD:
+                self._accumulate(M, msg)
+            elif msg.tag == TAG_REDIST_DONE:
+                done.add(int(msg.buffer.upkint()[0]))
+            elif msg.tag == TAG_MIGREQ:
+                # Too late for this round: dropped here, but the event
+                # stays queued in the slave's box, so the slave will
+                # re-request at its next poll point (events are never
+                # lost — complication #3 of §2.3).
+                msg.buffer.upkint()
+        rbuf = ctx.initsend()
+        rbuf.pkint([len(vacating)] + sorted(vacating))
+        yield from ctx.mcast(self.slave_tids, TAG_RESUME, rbuf)
+        M.items_of = dict(target)
+        for w, k in target.items():
+            self.item_counts[w] = k
+        M.redistributions += 1
+        if self.system.tracer:
+            self.system.tracer.emit(
+                ctx.now, "adm.redistribute", "adm-master",
+                f"round {M.redistributions}: vacated {sorted(vacating)}",
+                plan=str(plan),
+            )
+
+    # ------------------------------------------------------------------- slave
+    def _slave(self, ctx: PvmContext):
+        cfg = self.config
+        msg = yield from ctx.recv(src=ctx.parent, tag=TAG_DATA)
+        if cfg.real:
+            feats = msg.buffer.upkarray()
+            cats = msg.buffer.upkarray()
+            hdr = msg.buffer.upkint()
+            wid, k = int(hdr[0]), int(hdr[1])
+            shard = Shard(k, TrainingSet(feats, cats, cfg.n_categories))
+        else:
+            msg.buffer.upkopaque()
+            hdr = msg.buffer.upkint()
+            wid, k = int(hdr[0]), int(hdr[1])
+            shard = Shard(k)
+        ctx.task.user_state_bytes = shard.nbytes
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        # The ADM-restructured inner loop runs measurably slower
+        # (switch-based FSM, flag checks, processed-array updates).
+        fpe = model.flops_per_exemplar * (
+            1.0 + self.system.params.adm_compute_overhead_frac
+        )
+        box = self.event_boxes[wid]
+
+        S = {
+            "wid": wid,
+            "shard": shard,
+            "params": None,
+            "grad": np.zeros(model.n_params) if cfg.real else None,
+            "loss": 0.0,
+            "pending": 0,  # processed-but-unreported exemplars
+        }
+
+        sm = StateMachine(f"admopt-slave{wid}", initial="AWAIT")
+        spec = slave_fsm_spec()
+        sm.add_state("AWAIT", self._slave_await(ctx, S, box), spec["AWAIT"])
+        sm.add_state("COMPUTE", self._slave_compute(ctx, S, box, model, fpe, cfg),
+                     spec["COMPUTE"])
+        sm.add_state("REDIST", self._slave_redist(ctx, S, box, cfg), spec["REDIST"])
+        self.slave_fsms[wid] = sm
+        yield from sm.run(clock=lambda: ctx.now)
+
+    def _slave_await(self, ctx, S, box):
+        def handler():
+            msg = yield from ctx.recv(src=ctx.parent)
+            if msg.tag == TAG_STOP:
+                self._resolve_events(S["wid"], box, reason="stopped")
+                return None
+            if msg.tag == TAG_SUSPEND:
+                S["suspend_seen"] = True
+                return "REDIST"
+            assert msg.tag == TAG_WEIGHTS, msg
+            if self.config.real:
+                S["params"] = msg.buffer.upkarray()
+            else:
+                msg.buffer.upkopaque()
+            S["shard"].reset_processed()
+            S["suspend_seen"] = False
+            return "COMPUTE"
+
+        return handler
+
+    def _slave_compute(self, ctx, S, box, model, fpe, cfg):
+        def handler():
+            shard: Shard = S["shard"]
+            chunk = max(
+                64,
+                int(shard.n_items * self.system.params.adm_poll_granularity_frac),
+            )
+            while shard.n_unprocessed > 0:
+                # --- the embedded migration checks (paper §2.3) -------------
+                if box.flag and not S.get("migreq_sent"):
+                    yield from self._report_gradient(ctx, S, cfg)
+                    yield from ctx.send(
+                        ctx.parent, TAG_MIGREQ, ctx.initsend().pkint([S["wid"]])
+                    )
+                    S["migreq_sent"] = True
+                    return "REDIST"
+                if ctx.probe(src=ctx.parent, tag=TAG_SUSPEND):
+                    got = yield from ctx.recv(src=ctx.parent, tag=TAG_SUSPEND)
+                    S["suspend_seen"] = True
+                    yield from self._report_gradient(ctx, S, cfg)
+                    return "REDIST"
+                idx = shard.take_unprocessed(chunk)
+                yield from ctx.compute(len(idx) * fpe, label="adm-gradient")
+                if cfg.real:
+                    sub = TrainingSet(
+                        shard.data.features[idx],
+                        shard.data.categories[idx],
+                        cfg.n_categories,
+                    )
+                    loss, grad, _ = model.loss_and_gradient(S["params"], sub)
+                    S["grad"] += grad
+                    S["loss"] += loss
+                S["pending"] += len(idx)
+            yield from self._report_gradient(ctx, S, cfg)
+            return "AWAIT"
+
+        return handler
+
+    def _report_gradient(self, ctx, S, cfg):
+        """Flush the accumulated partial gradient to the master."""
+        if S["pending"] == 0:
+            return
+            yield  # pragma: no cover
+        reply = ctx.initsend()
+        if cfg.real:
+            reply.pkarray(S["grad"]).pkdouble([S["loss"]])
+            S["grad"] = np.zeros_like(S["grad"])
+            S["loss"] = 0.0
+        else:
+            model_bytes = 4 * (27 * cfg.hidden + (cfg.hidden + 1) * cfg.n_categories)
+            reply.pkopaque(model_bytes, "gradient")
+        reply.pkint([S["pending"]])
+        S["pending"] = 0
+        yield from ctx.send(ctx.parent, TAG_GRAD, reply)
+
+    def _slave_redist(self, ctx, S, box, cfg):
+        def handler():
+            shard: Shard = S["shard"]
+            wid = S["wid"]
+            # Wait for the master's suspend if we requested the round.
+            if not S.get("suspend_seen"):
+                yield from ctx.recv(src=ctx.parent, tag=TAG_SUSPEND)
+                S["suspend_seen"] = True
+            yield from ctx.send(
+                ctx.parent, TAG_COUNTS, ctx.initsend().pkint([wid, shard.n_items])
+            )
+            plan_msg = yield from ctx.recv(src=ctx.parent, tag=TAG_PLAN)
+            flat = plan_msg.buffer.upkint()
+            n = int(flat[0])
+            plan = [
+                (int(flat[1 + 3 * i]), int(flat[2 + 3 * i]), int(flat[3 + 3 * i]))
+                for i in range(n)
+            ]
+            vac = plan_msg.buffer.upkint()
+            vacated_now = set(int(x) for x in vac[1 : 1 + int(vac[0])])
+
+            # Outgoing: my data may fragment to several recipients.
+            moved_out = 0
+            for src, dst, k in plan:
+                if src != wid:
+                    continue
+                piece = shard.extract(k)
+                xbuf = ctx.initsend()
+                if cfg.real:
+                    xbuf.pkarray(piece.data.features).pkarray(piece.data.categories)
+                else:
+                    xbuf.pkopaque(piece.nbytes, "exemplars")
+                xbuf.pkbyte(piece.processed.astype(np.uint8))
+                xbuf.pkint([k])
+                yield from ctx.send(self.slave_tids[dst], TAG_XFER, xbuf)
+                moved_out += piece.nbytes
+            # Incoming: absorb every shard addressed to me.
+            for src, dst, k in plan:
+                if dst != wid:
+                    continue
+                xmsg = yield from ctx.recv(tag=TAG_XFER)
+                if cfg.real:
+                    feats = xmsg.buffer.upkarray()
+                    cats = xmsg.buffer.upkarray()
+                    flags = np.asarray(xmsg.buffer.upkbyte(), dtype=bool)
+                    kk = int(xmsg.buffer.upkint()[0])
+                    piece = Shard(kk, TrainingSet(feats, cats, cfg.n_categories), flags)
+                else:
+                    xmsg.buffer.upkopaque()
+                    flags = np.asarray(xmsg.buffer.upkbyte(), dtype=bool)
+                    kk = int(xmsg.buffer.upkint()[0])
+                    piece = Shard(kk, None, flags)
+                # Processed flags travel intact: a recipient never
+                # recomputes exemplars another slave already reported.
+                shard.absorb(piece)
+            ctx.task.user_state_bytes = shard.nbytes
+
+            yield from ctx.send(
+                ctx.parent, TAG_REDIST_DONE, ctx.initsend().pkint([wid])
+            )
+            yield from ctx.recv(src=ctx.parent, tag=TAG_RESUME)
+            S["suspend_seen"] = False
+            S["migreq_sent"] = False
+            if wid in vacated_now:
+                self._resolve_events(wid, box, reason="vacated", moved_bytes=moved_out)
+            if shard.n_unprocessed > 0:
+                # Still (or newly) holding unprocessed exemplars for the
+                # open iteration: keep computing so the master's count
+                # completes.
+                return "COMPUTE"
+            return "AWAIT"
+
+        return handler
+
+    def _resolve_events(self, wid: int, box, reason: str, moved_bytes: int = 0) -> None:
+        now = self.system.sim.now
+        for ev in box.take_all():
+            record = {
+                "worker": wid,
+                "t_event": ev.posted_at,
+                "t_done": now,
+                # ADM has no restart stage: obtrusiveness == migration cost.
+                "obtrusiveness": now - ev.posted_at,
+                "migration_time": now - ev.posted_at,
+                "moved_bytes": moved_bytes,
+                "reason": reason,
+            }
+            self.migrations.append(record)
+            if ev.done is not None and not ev.done.triggered:
+                ev.done.succeed(record)

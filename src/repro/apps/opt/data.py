@@ -1,0 +1,207 @@
+"""Synthetic speech-exemplar training sets and shards.
+
+The paper's Opt consumes proprietary speech training sets: "a series of
+floating point vectors ... called exemplars, represent[ing] digitized
+speech sound", each carrying its category as a scalar (§4.0), with set
+sizes from 500 KB to 400 MB.  We generate synthetic exemplars with the
+identical layout — 26 float32 features (a classic MFCC-style dimension)
+plus one category value, 108 bytes per exemplar — from a separable
+Gaussian mixture, one component per speech category, so that a trained
+classifier measurably learns.
+
+``Shard`` is the unit the parallel variants partition, ship, and (for
+ADM) re-partition at run time.  Shards exist in two modes:
+
+* ``real``  — actual numpy arrays; training computes true gradients.
+* ``modeled`` — byte/item counts only; the simulation charges identical
+  time without doing the numerics (for the big benchmark sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "N_FEATURES",
+    "EXEMPLAR_BYTES",
+    "exemplars_for_bytes",
+    "bytes_for_exemplars",
+    "TrainingSet",
+    "synthetic_training_set",
+    "Shard",
+]
+
+#: Feature dimension of one exemplar (26 MFCC-style coefficients).
+N_FEATURES = 26
+#: Bytes per exemplar on disk/wire: 26 float32 features + category.
+EXEMPLAR_BYTES = (N_FEATURES + 1) * 4
+
+
+def exemplars_for_bytes(nbytes: float) -> int:
+    """How many exemplars a training set of ``nbytes`` holds."""
+    return max(1, int(nbytes // EXEMPLAR_BYTES))
+
+
+def bytes_for_exemplars(n: int) -> int:
+    return n * EXEMPLAR_BYTES
+
+
+@dataclass
+class TrainingSet:
+    """A complete training set."""
+
+    features: np.ndarray  #: (n, N_FEATURES) float32
+    categories: np.ndarray  #: (n,) int32 in [0, n_categories)
+    n_categories: int
+
+    @property
+    def n(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return bytes_for_exemplars(self.n)
+
+    def slice(self, start: int, stop: int) -> "TrainingSet":
+        return TrainingSet(
+            self.features[start:stop], self.categories[start:stop], self.n_categories
+        )
+
+
+def synthetic_training_set(
+    nbytes: Optional[float] = None,
+    n: Optional[int] = None,
+    n_categories: int = 10,
+    seed: int = 0,
+    spread: float = 0.35,
+) -> TrainingSet:
+    """Generate a Gaussian-mixture training set.
+
+    Specify either ``nbytes`` (paper-style "0.6 MB training set") or an
+    exact exemplar count ``n``.  Class centroids are unit vectors with
+    ``spread`` within-class noise, so the classes are learnable but not
+    trivially separable.
+    """
+    if (nbytes is None) == (n is None):
+        raise ValueError("specify exactly one of nbytes / n")
+    count = exemplars_for_bytes(nbytes) if nbytes is not None else int(n)  # type: ignore[arg-type]
+    rng = np.random.default_rng(seed)
+    centroids = rng.normal(size=(n_categories, N_FEATURES)).astype(np.float32)
+    centroids /= np.linalg.norm(centroids, axis=1, keepdims=True)
+    categories = rng.integers(0, n_categories, size=count).astype(np.int32)
+    noise = rng.normal(scale=spread, size=(count, N_FEATURES)).astype(np.float32)
+    features = centroids[categories] + noise
+    return TrainingSet(features, categories, n_categories)
+
+
+class Shard:
+    """A worker's slice of the exemplar set, with processed-flag tracking.
+
+    The processed flags are the "extra data structure ... a simple array
+    of flags used to track which exemplars have been processed" that
+    ADMopt maintains so a redistribution mid-iteration never recomputes
+    an exemplar (§4.3.1).
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        data: Optional[TrainingSet] = None,
+        processed: Optional[np.ndarray] = None,
+    ) -> None:
+        if data is not None and data.n != n_items:
+            raise ValueError(f"data has {data.n} items, shard says {n_items}")
+        self.n_items = int(n_items)
+        self.data = data
+        self.processed = (
+            processed
+            if processed is not None
+            else np.zeros(self.n_items, dtype=bool)
+        )
+        if len(self.processed) != self.n_items:
+            raise ValueError("processed mask length mismatch")
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def modeled(self) -> bool:
+        return self.data is None
+
+    @property
+    def nbytes(self) -> int:
+        return bytes_for_exemplars(self.n_items)
+
+    @property
+    def n_processed(self) -> int:
+        return int(self.processed.sum())
+
+    @property
+    def n_unprocessed(self) -> int:
+        return self.n_items - self.n_processed
+
+    # -- iteration bookkeeping ------------------------------------------------
+    def reset_processed(self) -> None:
+        self.processed[:] = False
+
+    def take_unprocessed(self, k: int) -> np.ndarray:
+        """Indices of up to ``k`` unprocessed exemplars, marking them
+        processed (the inner-loop claim step)."""
+        idx = np.flatnonzero(~self.processed)[:k]
+        self.processed[idx] = True
+        return idx
+
+    # -- splitting / merging (redistribution) ------------------------------------
+    def extract(self, k: int) -> "Shard":
+        """Remove ``k`` exemplars (unprocessed first) into a new shard.
+
+        Taking unprocessed items first minimizes wasted work at the
+        recipient; ordering is NOT preserved — ADMopt explicitly allows
+        reshuffling (§4.3).
+        """
+        if not 0 <= k <= self.n_items:
+            raise ValueError(f"cannot extract {k} of {self.n_items}")
+        order = np.argsort(self.processed, kind="stable")  # unprocessed first
+        take, keep = order[:k], order[k:]
+        out = Shard(k, None, self.processed[take].copy())
+        if not self.modeled:
+            assert self.data is not None
+            out.data = TrainingSet(
+                self.data.features[take].copy(),
+                self.data.categories[take].copy(),
+                self.data.n_categories,
+            )
+            self.data = TrainingSet(
+                self.data.features[keep],
+                self.data.categories[keep],
+                self.data.n_categories,
+            )
+        self.processed = self.processed[keep]
+        self.n_items -= k
+        return out
+
+    def absorb(self, other: "Shard") -> None:
+        """Merge another shard into this one (processed flags kept)."""
+        if self.modeled != other.modeled:
+            raise ValueError("cannot mix modeled and real shards")
+        if not self.modeled:
+            assert self.data is not None and other.data is not None
+            self.data = TrainingSet(
+                np.concatenate([self.data.features, other.data.features]),
+                np.concatenate([self.data.categories, other.data.categories]),
+                self.data.n_categories,
+            )
+        self.processed = np.concatenate([self.processed, other.processed])
+        self.n_items += other.n_items
+
+    @classmethod
+    def empty_like(cls, other: "Shard") -> "Shard":
+        if other.modeled:
+            return cls(0)
+        assert other.data is not None
+        return cls(0, other.data.slice(0, 0))
+
+    def __repr__(self) -> str:
+        kind = "modeled" if self.modeled else "real"
+        return f"<Shard {kind} {self.n_items} items ({self.n_processed} done)>"

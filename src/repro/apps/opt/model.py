@@ -1,0 +1,158 @@
+"""The Opt neural network and conjugate-gradient trainer.
+
+Opt (paper §4.0) trains a classifier: "an initial neural-net, which is
+simply a (large) matrix of floating point numbers, is established and
+applied to the exemplars so that a gradient is found.  The gradient is
+also a matrix the same size as the neural-net.  That gradient is then
+used to modify the neural-net before it is reapplied" — back-propagation
+plus conjugate-gradient descent, repeated until an error threshold or an
+iteration cap.
+
+We implement a one-hidden-layer tanh/softmax network.  The *parallel*
+structure is exactly the paper's: slaves compute partial gradients over
+their exemplar shards; the master sums them, takes a Polak–Ribière
+conjugate-gradient step, and broadcasts the new net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .data import N_FEATURES, TrainingSet
+
+__all__ = ["OptModel", "CgState", "cg_step", "flops_per_exemplar"]
+
+
+def flops_per_exemplar(hidden: int, n_categories: int, n_features: int = N_FEATURES) -> float:
+    """Forward + backward cost per exemplar, in flops.
+
+    Two GEMV-pairs (forward, backward) over each weight matrix:
+    ~6 multiply-adds per weight element touched.
+    """
+    return 6.0 * (n_features * hidden + hidden * n_categories)
+
+
+class OptModel:
+    """One-hidden-layer classifier with a flat parameter vector."""
+
+    def __init__(
+        self,
+        hidden: int = 30,
+        n_categories: int = 10,
+        n_features: int = N_FEATURES,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = hidden
+        self.n_categories = n_categories
+        self.n_features = n_features
+        rng = np.random.default_rng(seed)
+        scale1 = 1.0 / np.sqrt(n_features)
+        scale2 = 1.0 / np.sqrt(hidden)
+        self.w1 = rng.normal(scale=scale1, size=(n_features + 1, hidden))
+        self.w2 = rng.normal(scale=scale2, size=(hidden + 1, n_categories))
+
+    # -- flat parameter vector (the "net" that is broadcast) -------------------
+    @property
+    def n_params(self) -> int:
+        return self.w1.size + self.w2.size
+
+    @property
+    def net_bytes(self) -> int:
+        """Wire size of the net (float32 on the wire, as Opt used)."""
+        return self.n_params * 4
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate([self.w1.ravel(), self.w2.ravel()])
+
+    def set_params(self, vec: np.ndarray) -> None:
+        k = self.w1.size
+        self.w1 = vec[:k].reshape(self.w1.shape).copy()
+        self.w2 = vec[k:].reshape(self.w2.shape).copy()
+
+    @property
+    def flops_per_exemplar(self) -> float:
+        return flops_per_exemplar(self.hidden, self.n_categories, self.n_features)
+
+    # -- numerics -----------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        ones = np.ones((x.shape[0], 1), dtype=x.dtype)
+        h = np.tanh(np.hstack([x, ones]) @ self.w1)
+        logits = np.hstack([h, ones]) @ self.w2
+        return h, logits
+
+    def loss_and_gradient(
+        self, params: np.ndarray, data: TrainingSet
+    ) -> Tuple[float, np.ndarray, int]:
+        """Summed cross-entropy loss + gradient over ``data``.
+
+        Returns (loss_sum, grad_sum, n): *sums*, not means, so partial
+        results from different shards combine by addition — the property
+        the master/slave decomposition (and ADM's mid-iteration
+        redistribution) relies on.
+        """
+        self.set_params(params)
+        x = data.features.astype(np.float64)
+        y = data.categories
+        n = x.shape[0]
+        if n == 0:
+            return 0.0, np.zeros(self.n_params), 0
+        ones = np.ones((n, 1))
+        xb = np.hstack([x, ones])
+        h = np.tanh(xb @ self.w1)
+        hb = np.hstack([h, ones])
+        logits = hb @ self.w2
+        logits -= logits.max(axis=1, keepdims=True)
+        expl = np.exp(logits)
+        probs = expl / expl.sum(axis=1, keepdims=True)
+        loss = -np.log(probs[np.arange(n), y] + 1e-12).sum()
+        dlogits = probs
+        dlogits[np.arange(n), y] -= 1.0
+        g2 = hb.T @ dlogits
+        dh = (dlogits @ self.w2[:-1].T) * (1.0 - h * h)
+        g1 = xb.T @ dh
+        return float(loss), np.concatenate([g1.ravel(), g2.ravel()]), n
+
+    def accuracy(self, data: TrainingSet) -> float:
+        _, logits = self._forward(data.features.astype(np.float64))
+        return float((logits.argmax(axis=1) == data.categories).mean())
+
+
+@dataclass
+class CgState:
+    """Master-side Polak–Ribière conjugate-gradient state."""
+
+    params: np.ndarray
+    prev_grad: Optional[np.ndarray] = None
+    direction: Optional[np.ndarray] = None
+    step: float = 1.5
+    losses: list = field(default_factory=list)
+
+
+def cg_step(state: CgState, grad_sum: np.ndarray, n: int, loss_sum: float) -> CgState:
+    """One conjugate-gradient update of the master's parameter vector.
+
+    A fixed, decaying step along the Polak–Ribière direction — Opt-style
+    "apply the gradient to modify the net".  Flops charged by the caller
+    are a handful of vector ops over n_params.
+    """
+    grad = grad_sum / max(n, 1)
+    if state.direction is None or state.prev_grad is None:
+        direction = -grad
+    else:
+        prev = state.prev_grad
+        beta = max(0.0, float(grad @ (grad - prev)) / (float(prev @ prev) + 1e-12))
+        direction = -grad + beta * state.direction
+    state.params = state.params + state.step * direction
+    state.direction = direction
+    state.prev_grad = grad
+    state.step *= 0.97
+    state.losses.append(loss_sum / max(n, 1))
+    return state
+
+
+#: flops of the master's per-iteration CG update (vector ops on params).
+def cg_update_flops(n_params: int) -> float:
+    return 8.0 * n_params

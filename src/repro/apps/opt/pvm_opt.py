@@ -1,0 +1,169 @@
+"""PVM_opt: the master/slave parallel Opt (paper §4.0).
+
+"The parallel Opt ... has one master VP and 2 slave VPs, one on each
+machine and data is equally distributed among the slaves.  The master VP
+is responsible for computing a new gradient from partial gradients
+computed by the slaves, applies this gradient to the neural net, and
+broadcasts the new neural net to the slaves."
+
+Because MPVM is source-compatible with PVM, this single implementation
+runs unmodified on both :class:`~repro.pvm.PvmSystem` and
+:class:`~repro.mpvm.MpvmSystem` — which is precisely how Table 1
+measures MPVM's no-migration overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...adm.partition import weighted_partition
+from ...pvm.context import PvmContext
+from ...pvm.vm import PvmSystem
+from .config import OptConfig
+from .data import Shard, bytes_for_exemplars, synthetic_training_set
+from .model import CgState, OptModel, cg_step, cg_update_flops
+
+__all__ = ["PvmOpt", "TAG_DATA", "TAG_WEIGHTS", "TAG_GRAD", "TAG_STOP"]
+
+TAG_DATA = 100
+TAG_WEIGHTS = 101
+TAG_GRAD = 102
+TAG_STOP = 103
+
+
+class PvmOpt:
+    """One runnable PVM_opt instance."""
+
+    def __init__(
+        self,
+        system: PvmSystem,
+        config: OptConfig,
+        master_host=0,
+        slave_hosts: Optional[List] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.master_host = master_host
+        #: Default paper placement: master on host 0, one slave per host
+        #: starting at host 0 (so host 0 carries master + slave — offset
+        #: by their mutually exclusive execution, §4.0).
+        self.slave_hosts = slave_hosts or [
+            i % len(system.cluster.hosts) for i in range(config.n_slaves)
+        ]
+        self.slave_tids: List[int] = []
+        self.report: Dict[str, float] = {}
+        self.state: Optional[CgState] = None
+        name = f"opt-{id(self):x}"
+        self._master_name = f"{name}-master"
+        self._slave_name = f"{name}-slave"
+        system.register_program(self._master_name, self._master)
+        system.register_program(self._slave_name, self._slave)
+
+    def start(self):
+        """Enroll the master task; run the cluster to completion after."""
+        self.master_task = self.system.start_master(self._master_name, self.master_host)
+        return self.master_task
+
+    # -- master ------------------------------------------------------------------
+    def _master(self, ctx: PvmContext):
+        cfg = self.config
+        t_start = ctx.now
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        state = CgState(params=model.get_params())
+        data = (
+            synthetic_training_set(
+                n=cfg.n_exemplars, n_categories=cfg.n_categories, seed=cfg.seed
+            )
+            if cfg.real
+            else None
+        )
+
+        tids = yield from ctx.spawn(
+            self._slave_name, count=cfg.n_slaves, where=self.slave_hosts
+        )
+        self.slave_tids = list(tids)
+
+        # Distribute the exemplars equally among the slaves.
+        counts = weighted_partition(cfg.n_exemplars, {t: 1.0 for t in tids})
+        offset = 0
+        for tid in tids:
+            k = counts[tid]
+            buf = ctx.initsend()
+            if cfg.real:
+                shard = data.slice(offset, offset + k)
+                buf.pkarray(shard.features).pkarray(shard.categories)
+            else:
+                buf.pkopaque(bytes_for_exemplars(k), "exemplars")
+            buf.pkint([k])
+            yield from ctx.send(tid, TAG_DATA, buf)
+            offset += k
+        t_train = ctx.now
+
+        for it in range(cfg.iterations):
+            wbuf = ctx.initsend()
+            if cfg.real:
+                wbuf.pkarray(state.params)
+            else:
+                wbuf.pkopaque(model.net_bytes, "net")
+            yield from ctx.mcast(tids, TAG_WEIGHTS, wbuf)
+
+            grad_sum = np.zeros(model.n_params) if cfg.real else None
+            loss_sum, count = 0.0, 0
+            for _ in tids:
+                msg = yield from ctx.recv(tag=TAG_GRAD)
+                if cfg.real:
+                    grad_sum += msg.buffer.upkarray()
+                    loss_sum += float(msg.buffer.upkdouble()[0])
+                else:
+                    msg.buffer.upkopaque()
+                count += int(msg.buffer.upkint()[0])
+            yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
+            if cfg.real:
+                state = cg_step(state, grad_sum, count, loss_sum)
+            else:
+                state.losses.append(2.3 * 0.9**it)
+
+        yield from ctx.mcast(tids, TAG_STOP, ctx.initsend())
+        self.state = state
+        self.report = {
+            "total_time": ctx.now - t_start,
+            "train_time": ctx.now - t_train,
+            "losses": list(state.losses),
+        }
+
+    # -- slave ----------------------------------------------------------------------
+    def _slave(self, ctx: PvmContext):
+        cfg = self.config
+        msg = yield from ctx.recv(src=ctx.parent, tag=TAG_DATA)
+        if cfg.real:
+            feats = msg.buffer.upkarray()
+            cats = msg.buffer.upkarray()
+            from .data import TrainingSet
+
+            local = TrainingSet(feats, cats, cfg.n_categories)
+        else:
+            msg.buffer.upkopaque()
+            local = None
+        k = int(msg.buffer.upkint()[0])
+        # The shard is this task's migratable application state.
+        ctx.task.user_state_bytes = bytes_for_exemplars(k)
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        fpe = model.flops_per_exemplar
+
+        while True:
+            msg = yield from ctx.recv(src=ctx.parent)
+            if msg.tag == TAG_STOP:
+                return
+            yield from ctx.compute(k * fpe, label="gradient")
+            reply = ctx.initsend()
+            if cfg.real:
+                params = msg.buffer.upkarray()
+                loss, grad, _ = model.loss_and_gradient(params, local)
+                reply.pkarray(grad).pkdouble([loss])
+            else:
+                msg.buffer.upkopaque()
+                reply.pkopaque(model.net_bytes, "gradient")
+            reply.pkint([k])
+            yield from ctx.send(ctx.parent, TAG_GRAD, reply)

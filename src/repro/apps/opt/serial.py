@@ -1,0 +1,32 @@
+"""Serial reference implementation of Opt (correctness oracle).
+
+Runs the identical math to the parallel variants with no message
+passing; the parallel tests compare their final losses against this.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .data import TrainingSet
+from .model import CgState, OptModel, cg_step
+
+__all__ = ["train_serial"]
+
+
+def train_serial(
+    data: TrainingSet,
+    iterations: int,
+    hidden: int = 30,
+    seed: int = 0,
+) -> CgState:
+    """Train on ``data`` for ``iterations`` CG steps; returns the state
+    (``state.losses`` holds the per-iteration mean loss trajectory)."""
+    model = OptModel(hidden=hidden, n_categories=data.n_categories, seed=seed)
+    state = CgState(params=model.get_params())
+    for _ in range(iterations):
+        loss, grad, n = model.loss_and_gradient(state.params, data)
+        state = cg_step(state, grad, n, loss)
+    return state

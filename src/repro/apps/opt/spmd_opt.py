@@ -1,0 +1,168 @@
+"""SPMD_opt: the UPVM (ULP) version of Opt (paper §4.2).
+
+"Since the package supports only SPMD applications, an SPMD version of
+PVM_opt was created.  The SPMD opt program retains the same structure
+... one of the VPs exclusively functions as the master and the rest of
+the VPs execute as slaves.  Thus, when SPMD_opt is executed on the 2
+nodes, one node will still have a master VP in addition to a slave VP."
+
+The master (ULP 0) and one slave (ULP 1) share a process on host 0 —
+their per-iteration net/gradient exchange rides the zero-copy hand-off,
+which is why UPVM comes out *faster* than plain PVM in Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...adm.partition import weighted_partition
+from ...upvm.library import UlpContext
+from ...upvm.system import UpvmSystem
+from .config import OptConfig
+from .data import TrainingSet, bytes_for_exemplars, synthetic_training_set
+from .model import CgState, OptModel, cg_step, cg_update_flops
+
+__all__ = ["SpmdOpt"]
+
+TAG_DATA = 100
+TAG_WEIGHTS = 101
+TAG_GRAD = 102
+TAG_STOP = 103
+
+
+class SpmdOpt:
+    """One runnable SPMD_opt instance on UPVM."""
+
+    def __init__(
+        self,
+        system: UpvmSystem,
+        config: OptConfig,
+        hosts: Optional[List] = None,
+        placement: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.hosts = hosts if hosts is not None else list(system.cluster.hosts)
+        #: Paper placement: ULP0 (master) and ULP1 (slave) on process 0,
+        #: remaining slaves round-robin on the other processes.
+        if placement is None:
+            placement = {0: 0}
+            for s in range(1, config.n_slaves + 1):
+                placement[s] = (s - 1) % len(self.hosts)
+        self.placement = placement
+        self.report: Dict[str, float] = {}
+        self.state: Optional[CgState] = None
+        self.app = None
+
+    def start(self):
+        self.app = self.system.start_app(
+            f"spmd-opt-{id(self):x}",
+            self._program,
+            n_ulps=self.config.n_slaves + 1,
+            hosts=self.hosts,
+            placement=self.placement,
+        )
+        return self.app
+
+    def _program(self, ctx: UlpContext):
+        if ctx.me == 0:
+            yield from self._master(ctx)
+        else:
+            yield from self._slave(ctx)
+
+    # -- master (ULP 0) ----------------------------------------------------------
+    def _master(self, ctx: UlpContext):
+        cfg = self.config
+        t_start = ctx.now
+        slaves = list(range(1, cfg.n_slaves + 1))
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        state = CgState(params=model.get_params())
+        data = (
+            synthetic_training_set(
+                n=cfg.n_exemplars, n_categories=cfg.n_categories, seed=cfg.seed
+            )
+            if cfg.real
+            else None
+        )
+
+        counts = weighted_partition(cfg.n_exemplars, {s: 1.0 for s in slaves})
+        offset = 0
+        for s in slaves:
+            k = counts[s]
+            buf = ctx.initsend()
+            if cfg.real:
+                shard = data.slice(offset, offset + k)
+                buf.pkarray(shard.features).pkarray(shard.categories)
+            else:
+                buf.pkopaque(bytes_for_exemplars(k), "exemplars")
+            buf.pkint([k])
+            yield from ctx.send(s, TAG_DATA, buf)
+            offset += k
+        t_train = ctx.now
+
+        for it in range(cfg.iterations):
+            wbuf = ctx.initsend()
+            if cfg.real:
+                wbuf.pkarray(state.params)
+            else:
+                wbuf.pkopaque(model.net_bytes, "net")
+            yield from ctx.mcast(slaves, TAG_WEIGHTS, wbuf)
+
+            grad_sum = np.zeros(model.n_params) if cfg.real else None
+            loss_sum, count = 0.0, 0
+            for _ in slaves:
+                msg = yield from ctx.recv(tag=TAG_GRAD)
+                if cfg.real:
+                    grad_sum += msg.buffer.upkarray()
+                    loss_sum += float(msg.buffer.upkdouble()[0])
+                else:
+                    msg.buffer.upkopaque()
+                count += int(msg.buffer.upkint()[0])
+            yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
+            if cfg.real:
+                state = cg_step(state, grad_sum, count, loss_sum)
+            else:
+                state.losses.append(2.3 * 0.9**it)
+
+        yield from ctx.mcast(slaves, TAG_STOP, ctx.initsend())
+        self.state = state
+        self.report = {
+            "total_time": ctx.now - t_start,
+            "train_time": ctx.now - t_train,
+            "losses": list(state.losses),
+        }
+
+    # -- slave ULPs -------------------------------------------------------------------
+    def _slave(self, ctx: UlpContext):
+        cfg = self.config
+        msg = yield from ctx.recv(src=0, tag=TAG_DATA)
+        if cfg.real:
+            feats = msg.buffer.upkarray()
+            cats = msg.buffer.upkarray()
+            local = TrainingSet(feats, cats, cfg.n_categories)
+        else:
+            msg.buffer.upkopaque()
+            local = None
+        k = int(msg.buffer.upkint()[0])
+        # The shard is this ULP's migratable state.
+        ctx.ulp.user_state_bytes = bytes_for_exemplars(k)
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        fpe = model.flops_per_exemplar
+
+        while True:
+            msg = yield from ctx.recv(src=0)
+            if msg.tag == TAG_STOP:
+                return
+            yield from ctx.compute(k * fpe, label="gradient")
+            reply = ctx.initsend()
+            if cfg.real:
+                params = msg.buffer.upkarray()
+                loss, grad, _ = model.loss_and_gradient(params, local)
+                reply.pkarray(grad).pkdouble([loss])
+            else:
+                msg.buffer.upkopaque()
+                reply.pkopaque(model.net_bytes, "gradient")
+            reply.pkint([k])
+            yield from ctx.send(0, TAG_GRAD, reply)

@@ -1,0 +1,19 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One module per exhibit (``table1`` … ``table6``, ``figures``), a shared
+harness, and :mod:`repro.experiments.report` to run them all.
+"""
+
+from .harness import ExperimentResult, poll_until, quiet_cluster
+from .rawtcp import measure_raw_tcp
+from .report import EXPERIMENTS, render_report, run_all
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "measure_raw_tcp",
+    "poll_until",
+    "quiet_cluster",
+    "render_report",
+    "run_all",
+]

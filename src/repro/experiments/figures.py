@@ -1,0 +1,221 @@
+"""Figures 1-4 — protocol stage diagrams, address map, and the ADM FSM.
+
+The paper's figures are structural rather than numeric:
+
+* **Figure 1** — the four MPVM migration stages.  We regenerate it as a
+  stage timeline reconstructed from the protocol trace of one real
+  (simulated) migration.
+* **Figure 2** — five ULPs over three processes, each ULP's region
+  reserved at the same virtual addresses everywhere.  Regenerated as the
+  address-map layout with residency.
+* **Figure 3** — the UPVM migration stages, ditto via trace.
+* **Figure 4** — the ADM finite-state machine.  Regenerated as the
+  declared state graph (dot) plus the transition history of a slave that
+  actually lived through a migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..apps.opt import AdmOpt, MB_DEC, OptConfig, PvmOpt, SpmdOpt, slave_fsm_spec
+from ..mpvm import MpvmSystem
+from ..pvm import PvmSystem
+from ..upvm import UpvmSystem
+from .harness import ExperimentResult, poll_until, quiet_cluster
+
+__all__ = ["figure1", "figure2", "figure3", "figure4"]
+
+
+def _stage_timeline(tracer, prefix: str) -> List[Tuple[str, float]]:
+    """(trace category, time) pairs for one protocol run."""
+    return [(rec.category, rec.time) for rec in tracer.select(prefix=prefix)]
+
+
+# ------------------------------------------------------------------ figure 1
+
+
+def figure1() -> ExperimentResult:
+    """One MPVM migration, reconstructed stage by stage."""
+    cl = quiet_cluster(n_hosts=2, trace=True)
+    vm = MpvmSystem(cl)
+    app = PvmOpt(vm, OptConfig(data_bytes=1.0 * MB_DEC, iterations=500))
+    app.start()
+
+    def driver():
+        yield from poll_until(
+            cl.sim,
+            lambda: len(app.slave_tids) == 2
+            and all(
+                vm.tasks.get(t) and vm.task(t).user_state_bytes > 0
+                and vm.in_flight_to(t) == 0
+                for t in app.slave_tids
+            ),
+        )
+        yield cl.sim.timeout(0.5)
+        yield vm.request_migration(vm.task(app.slave_tids[0]), cl.host(1))
+
+    drv = cl.sim.process(driver())
+    cl.run(until=drv)
+    timeline = _stage_timeline(cl.tracer, "mpvm.")
+    stages = [cat for cat, _ in timeline]
+    rows = [{"stage": cat, "t": t} for cat, t in timeline]
+    result = ExperimentResult(
+        exp_id="figure1",
+        title="MPVM migration protocol stages (event/flush/transfer/restart)",
+        columns=["stage", "t"],
+        rows=rows,
+    )
+    expected = [
+        "mpvm.event",
+        "mpvm.flush.start", "mpvm.flush.done",
+        "mpvm.transfer.start", "mpvm.transfer.done",
+        "mpvm.restart.start", "mpvm.restart.done",
+    ]
+    result.check("all four stages present, in order",
+                 [s for s in stages if s in expected] == expected)
+    times = [t for _, t in timeline]
+    result.check("stage times non-decreasing",
+                 all(a <= b for a, b in zip(times, times[1:])))
+    return result
+
+
+# ------------------------------------------------------------------ figure 2
+
+
+def figure2() -> ExperimentResult:
+    """Five ULPs across three processes: globally unique regions."""
+    cl = quiet_cluster(n_hosts=3, trace=False)
+    vm = UpvmSystem(cl)
+
+    def program(ctx):
+        yield from ctx.sleep(1.0)
+
+    # The paper's example: 5 ULPs, 3 processes, one per host; ULP4 lives
+    # on host 3 but its region V1 is reserved in every process.
+    app = vm.start_app(
+        "fig2", program, n_ulps=5,
+        placement={0: 0, 1: 0, 2: 1, 3: 1, 4: 2},
+    )
+    cl.run(until=app.all_done)
+    residency = app.resident_map()
+    layout = app.address_map.layout(residency)
+    rows = [
+        {
+            "ulp": r.ulp_id,
+            "start": f"{r.start:#010x}",
+            "end": f"{r.end:#010x}",
+            "resident_on": residency[r.ulp_id],
+        }
+        for r in app.address_map.regions()
+    ]
+    result = ExperimentResult(
+        exp_id="figure2",
+        title="ULP virtual-address regions, unique across all processes",
+        columns=["ulp", "start", "end", "resident_on"],
+        rows=rows,
+        notes=layout,
+    )
+    regions = app.address_map.regions()
+    result.check("five regions reserved", len(regions) == 5)
+    result.check(
+        "regions disjoint and deterministic",
+        all(a.end <= b.start for a, b in zip(regions, regions[1:])),
+    )
+    result.check("ULPs spread over three processes",
+                 len(set(residency.values())) == 3)
+    return result
+
+
+# ------------------------------------------------------------------ figure 3
+
+
+def figure3() -> ExperimentResult:
+    """One UPVM (ULP) migration, stage by stage."""
+    cl = quiet_cluster(n_hosts=2, trace=True)
+    vm = UpvmSystem(cl)
+    app = SpmdOpt(vm, OptConfig(data_bytes=0.6 * MB_DEC, iterations=500))
+    app.start()
+    upvm_app = app.app
+
+    def driver():
+        yield from poll_until(
+            cl.sim,
+            lambda: all(upvm_app.ulps[u].user_state_bytes > 0 for u in (1, 2)),
+        )
+        yield cl.sim.timeout(0.5)
+        yield vm.request_migration(upvm_app.ulps[1], cl.host(1))
+
+    drv = cl.sim.process(driver())
+    cl.run(until=drv)
+    timeline = _stage_timeline(cl.tracer, "upvm.")
+    stages = [cat for cat, _ in timeline]
+    rows = [{"stage": cat, "t": t} for cat, t in timeline]
+    result = ExperimentResult(
+        exp_id="figure3",
+        title="UPVM ULP migration protocol stages",
+        columns=["stage", "t"],
+        rows=rows,
+    )
+    expected = [
+        "upvm.event",
+        "upvm.flush.start", "upvm.flush.done",
+        "upvm.transfer.start", "upvm.transfer.offhost",
+        "upvm.restart.done",
+    ]
+    result.check("all stages present, in order",
+                 [s for s in stages if s in expected] == expected)
+    return result
+
+
+# ------------------------------------------------------------------ figure 4
+
+
+def figure4() -> ExperimentResult:
+    """The ADM finite-state machine: declared graph + a lived history."""
+    cl = quiet_cluster(n_hosts=2, trace=False)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, OptConfig(data_bytes=0.6 * MB_DEC, iterations=6))
+    app.start()
+
+    def driver():
+        yield from poll_until(
+            cl.sim,
+            lambda: app.slave_fsms.get(1) is not None
+            and app.slave_fsms[1].current == "COMPUTE",
+        )
+        yield cl.sim.timeout(0.3)
+        app.post_vacate(1)
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    sm = app.slave_fsms[1]
+    rows = [
+        {"t": tr.time, "from": tr.src, "to": tr.dst if tr.dst else "END"}
+        for tr in sm.history
+    ]
+    result = ExperimentResult(
+        exp_id="figure4",
+        title="ADM finite-state machine (slave program) — structure + trace",
+        columns=["t", "from", "to"],
+        rows=rows,
+        notes=sm.dot(),
+    )
+    spec = slave_fsm_spec()
+    result.check("declared states match the spec", set(sm.states) == set(spec))
+    result.check(
+        "declared transitions match the spec",
+        all(sm.successors(s) == set(t) for s, t in spec.items()),
+    )
+    visited = sm.visited_states()
+    result.check("migration path exercised (COMPUTE -> REDIST)",
+                 any(a == "COMPUTE" and b.src == "REDIST"
+                     for a, b in zip(visited, sm.history[1:])))
+    result.check("machine terminated cleanly", sm.history[-1].dst is None)
+    return result
+
+
+if __name__ == "__main__":
+    for fig in (figure1, figure2, figure3, figure4):
+        print(fig().format())
+        print()

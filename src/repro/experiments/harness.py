@@ -1,0 +1,82 @@
+"""Shared machinery for the table/figure reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..hw.cluster import Cluster
+from ..hw.params import HardwareParams
+
+__all__ = ["ExperimentResult", "quiet_cluster", "poll_until", "fmt_row"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure plus the paper's numbers and checks."""
+
+    exp_id: str            #: "table1" ... "figure4"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+    paper_rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Named shape criteria (DESIGN.md §4) -> pass/fail.
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(self.checks.values())
+
+    def check(self, name: str, passed: bool) -> None:
+        self.checks[name] = bool(passed)
+
+    # -- rendering -----------------------------------------------------------
+    def format(self) -> str:
+        out = [f"== {self.exp_id}: {self.title} =="]
+        out.append(self._table(self.rows, "measured"))
+        if self.paper_rows:
+            out.append(self._table(self.paper_rows, "paper"))
+        if self.checks:
+            out.append("shape checks:")
+            for name, passed in self.checks.items():
+                out.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        if self.notes:
+            out.append(f"notes: {self.notes}")
+        return "\n".join(out)
+
+    def _table(self, rows: List[Dict[str, Any]], label: str) -> str:
+        cols = [c for c in self.columns if any(c in r for r in rows)]
+        widths = {c: max(len(c), *(len(fmt_row(r.get(c))) for r in rows)) for c in cols}
+        head = "  ".join(c.rjust(widths[c]) for c in cols)
+        lines = [f"-- {label} --", head]
+        for r in rows:
+            lines.append("  ".join(fmt_row(r.get(c)).rjust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def fmt_row(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def quiet_cluster(
+    n_hosts: int = 2,
+    params: Optional[HardwareParams] = None,
+    seed: int = 0,
+    trace: bool = True,
+) -> Cluster:
+    """The paper's quiet two-HP-720 testbed (or a bigger quiet worknet)."""
+    return Cluster(n_hosts=n_hosts, params=params, seed=seed, trace=trace)
+
+
+def poll_until(sim, predicate: Callable[[], bool], period_s: float = 0.05):
+    """Generator: wait until ``predicate()`` becomes true (polling)."""
+    while not predicate():
+        yield sim.timeout(period_s)

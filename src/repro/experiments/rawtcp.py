@@ -1,0 +1,22 @@
+"""The paper's "raw TCP" lower-bound measurement (Table 2, column 2)."""
+
+from __future__ import annotations
+
+from ..hw import raw_tcp_transfer
+from .harness import quiet_cluster
+
+__all__ = ["measure_raw_tcp"]
+
+
+def measure_raw_tcp(nbytes: float) -> float:
+    """Seconds to move ``nbytes`` over a quiet Ethernet with bare TCP."""
+    cl = quiet_cluster(n_hosts=2, trace=False)
+    out = {}
+
+    def proc():
+        elapsed = yield from raw_tcp_transfer(cl.network, cl.host(0), cl.host(1), nbytes)
+        out["t"] = elapsed
+
+    cl.sim.process(proc())
+    cl.run()
+    return out["t"]

@@ -1,0 +1,51 @@
+"""Run every experiment and render the paper-vs-measured report.
+
+``python -m repro.experiments.report`` regenerates every table and
+figure in §4 of the paper and prints a consolidated comparison — this is
+the source of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import figures, table1, table2, table3, table4, table5, table6
+from .harness import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "render_report"]
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure1": figures.figure1,
+    "figure2": figures.figure2,
+    "figure3": figures.figure3,
+    "figure4": figures.figure4,
+}
+
+
+def run_all(only: List[str] | None = None) -> List[ExperimentResult]:
+    names = only or list(EXPERIMENTS)
+    return [EXPERIMENTS[name]() for name in names]
+
+
+def render_report(results: List[ExperimentResult]) -> str:
+    lines = ["# Reproduction report: paper vs measured", ""]
+    n_ok = sum(1 for r in results if r.ok)
+    lines.append(f"{n_ok}/{len(results)} experiments pass all shape checks.")
+    lines.append("")
+    for result in results:
+        lines.append(result.format())
+        lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    import sys
+
+    only = sys.argv[1:] or None
+    print(render_report(run_all(only)))

@@ -1,0 +1,66 @@
+"""Table 5 — PVM_opt vs. ADMopt quiet-case runtime.
+
+Paper: 188 s vs 232 s (ADMopt ~23% slower) for the 9 MB set.  The
+restructured inner loop — switch-based FSM dispatch, the per-chunk
+migration-flag checks, and the processed-exemplar bookkeeping (plus,
+the authors suspect, defeated compiler optimizations) — costs real
+compute even when no migration ever happens (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from ..apps.opt import AdmOpt, MB_DEC, OptConfig, PvmOpt
+from ..pvm import PvmSystem
+from .harness import ExperimentResult, quiet_cluster
+
+__all__ = ["run", "PAPER"]
+
+PAPER = {"PVM_opt": 188.0, "ADMopt": 232.0}
+
+DATA_BYTES = 9 * MB_DEC
+ITERATIONS = 17
+
+
+def run() -> ExperimentResult:
+    cfg = OptConfig(data_bytes=DATA_BYTES, iterations=ITERATIONS)
+
+    cl1 = quiet_cluster(n_hosts=2, trace=False)
+    pvm_app = PvmOpt(PvmSystem(cl1), cfg)
+    pvm_app.start()
+    cl1.run(until=3600 * 4)
+    t_pvm = pvm_app.report["total_time"]
+
+    cl2 = quiet_cluster(n_hosts=2, trace=False)
+    adm_app = AdmOpt(PvmSystem(cl2), cfg)
+    adm_app.start()
+    cl2.run(until=3600 * 4)
+    t_adm = adm_app.report["total_time"]
+
+    result = ExperimentResult(
+        exp_id="table5",
+        title="Quiet-case overhead: PVM_opt vs ADMopt, 9 MB training set",
+        columns=["system", "runtime_s"],
+        rows=[
+            {"system": "PVM_opt", "runtime_s": t_pvm},
+            {"system": "ADMopt", "runtime_s": t_adm},
+        ],
+        paper_rows=[
+            {"system": "PVM_opt", "runtime_s": PAPER["PVM_opt"]},
+            {"system": "ADMopt", "runtime_s": PAPER["ADMopt"]},
+        ],
+    )
+    slowdown = t_adm / t_pvm - 1.0
+    paper_slowdown = PAPER["ADMopt"] / PAPER["PVM_opt"] - 1.0
+    result.check("ADMopt slower than PVM_opt", t_adm > t_pvm)
+    result.check("slowdown in the paper's 15-30% band", 0.15 < slowdown < 0.30)
+    result.check("no redistributions occurred (quiet case)",
+                 adm_app.report["redistributions"] == 0)
+    result.notes = (
+        f"measured slowdown {slowdown * 100:.1f}% "
+        f"(paper: {paper_slowdown * 100:.1f}%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,103 @@
+"""Table 6 — ADMopt obtrusiveness (= migration cost) vs. data size.
+
+Paper: 1.75 s at 0.6 MB up to 21.69 s at 20.8 MB.  ADM needs no restart
+stage, so obtrusiveness and migration cost coincide (§4.3.3).  The
+withdrawing slave pushes its half of the data to the remaining slave
+through ordinary daemon-routed pvm messages — roughly *half* the raw
+TCP rate — which is why ADM's redistribution of X bytes costs about
+twice MPVM's migration of the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.opt import AdmOpt, MB_DEC, OptConfig
+from ..pvm import PvmSystem
+from .harness import ExperimentResult, poll_until, quiet_cluster
+
+__all__ = ["run", "PAPER_ROWS", "SIZES_MB", "vacate_one_slave"]
+
+SIZES_MB = [0.6, 4.2, 5.8, 9.8, 13.5, 20.8]
+
+PAPER_ROWS: List[Dict] = [
+    {"data_mb": 0.6, "migration_s": 1.75},
+    {"data_mb": 4.2, "migration_s": 4.42},
+    {"data_mb": 5.8, "migration_s": 5.46},
+    {"data_mb": 9.8, "migration_s": 9.96},
+    {"data_mb": 13.5, "migration_s": 12.41},
+    {"data_mb": 20.8, "migration_s": 21.69},
+]
+
+
+def vacate_one_slave(data_mb: float, params=None) -> dict:
+    """Run ADMopt, vacate slave 1 once it is computing; return the record.
+
+    ``params`` overrides the hardware model (used by the poll-granularity
+    ablation bench)."""
+    cl = quiet_cluster(n_hosts=2, trace=False, params=params)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, OptConfig(data_bytes=data_mb * MB_DEC, iterations=2000))
+    app.start()
+    out = {}
+
+    def driver():
+        # Wait for steady state: slave 1's FSM is in COMPUTE.
+        yield from poll_until(
+            cl.sim,
+            lambda: app.slave_fsms.get(1) is not None
+            and app.slave_fsms[1].current == "COMPUTE"
+            and vm.in_flight_to(app.slave_tids[1]) == 0,
+        )
+        yield cl.sim.timeout(1.0)
+        ev = app.post_vacate(1)
+        rec = yield ev.done
+        out["record"] = ev.done.value
+
+    drv = cl.sim.process(driver())
+    cl.run(until=drv)
+    return out["record"]
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for mb in SIZES_MB:
+        rec = vacate_one_slave(mb)
+        rows.append({
+            "data_mb": mb,
+            "migration_s": rec["migration_time"],
+            "moved_mb": rec["moved_bytes"] / MB_DEC,
+        })
+    result = ExperimentResult(
+        exp_id="table6",
+        title="ADMopt obtrusiveness (= migration cost) vs data size",
+        columns=["data_mb", "migration_s", "moved_mb"],
+        rows=rows,
+        paper_rows=PAPER_ROWS,
+    )
+    result.check("migration time grows monotonically with size",
+                 all(a["migration_s"] < b["migration_s"]
+                     for a, b in zip(rows, rows[1:])))
+    # Effective rate: moved bytes / time, for the large sizes where the
+    # fixed costs are amortized.  Paper: ~0.5 MB/s (daemon route).
+    rates = [r["moved_mb"] / r["migration_s"] for r in rows[2:]]
+    result.check("effective rate ~ half raw TCP (0.40-0.60 MB/s)",
+                 all(0.40 < rate < 0.60 for rate in rates))
+    result.check(
+        "each point >= 4.2 MB within 40% of the paper's",
+        all(
+            abs(r["migration_s"] - p["migration_s"]) / p["migration_s"] < 0.40
+            for r, p in zip(rows[1:], PAPER_ROWS[1:])
+        ),
+    )
+    result.notes = (
+        "the withdrawing slave holds half the listed data size; the paper's "
+        "0.6 MB point carries ~1.1 s of fixed cost its other rows do not "
+        "show (their own per-row rates vary 0.47-0.54 MB/s), which we do "
+        "not reproduce"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,15 @@
+"""Global Scheduler: load monitoring, migration commands, policies."""
+
+from .monitor import LoadMonitor, LoadSample
+from .policies import LoadBalancePolicy, OwnerReclaimPolicy
+from .scheduler import GlobalScheduler, MigrationClient, MigrationRecord
+
+__all__ = [
+    "GlobalScheduler",
+    "LoadBalancePolicy",
+    "LoadMonitor",
+    "LoadSample",
+    "MigrationClient",
+    "MigrationRecord",
+    "OwnerReclaimPolicy",
+]

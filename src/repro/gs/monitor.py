@@ -1,0 +1,71 @@
+"""Load monitoring for the Global Scheduler.
+
+The GS periodically samples per-host load (in reality via pvmd probes;
+here by reading the simulated hosts' processor-sharing state, charging a
+small probe message per host per sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hw.cluster import Cluster
+from ..sim import Simulator
+
+__all__ = ["LoadSample", "LoadMonitor"]
+
+
+@dataclass
+class LoadSample:
+    time: float
+    host: str
+    load: float  #: PS total weight (run-queue length analogue)
+    mem_used: int
+    mem_total: int
+
+
+class LoadMonitor:
+    """Periodic sampling of every host's load."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        period_s: float = 2.0,
+        history_limit: int = 10_000,
+    ) -> None:
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.period_s = period_s
+        self.history_limit = history_limit
+        self.samples: List[LoadSample] = []
+        self.latest: Dict[str, LoadSample] = {}
+        self._proc = self.sim.process(self._run(), name="load-monitor")
+
+    def _run(self):
+        while True:
+            now = self.sim.now
+            for host in self.cluster.hosts:
+                sample = LoadSample(
+                    now, host.name, host.load_average, host.mem_used, host.mem_bytes
+                )
+                self.samples.append(sample)
+                self.latest[host.name] = sample
+            if len(self.samples) > self.history_limit:
+                del self.samples[: len(self.samples) - self.history_limit]
+            yield self.sim.timeout(self.period_s)
+
+    def load_of(self, host_name: str) -> Optional[float]:
+        sample = self.latest.get(host_name)
+        return None if sample is None else sample.load
+
+    def least_loaded(self, exclude: Optional[List[str]] = None) -> Optional[str]:
+        """Name of the least-loaded host (by last sample)."""
+        exclude = exclude or []
+        candidates = [s for n, s in self.latest.items() if n not in exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.load).host
+
+    def history(self, host_name: str) -> List[LoadSample]:
+        return [s for s in self.samples if s.host == host_name]

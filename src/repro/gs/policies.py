@@ -1,0 +1,100 @@
+"""Autonomous GS policies.
+
+Policies watch the load monitor (or owner sessions) and turn environment
+changes into migration commands — the "adaptive" in adaptive load
+migration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hw.cluster import Cluster
+from ..hw.host import Host
+from ..hw.load import OwnerSession
+from .scheduler import GlobalScheduler
+
+__all__ = ["OwnerReclaimPolicy", "LoadBalancePolicy"]
+
+
+class OwnerReclaimPolicy:
+    """Vacate a workstation the moment its owner comes back.
+
+    Wire this to :class:`repro.hw.OwnerSession` instances; the policy
+    issues a :meth:`GlobalScheduler.reclaim` on arrival.
+    """
+
+    def __init__(self, gs: GlobalScheduler) -> None:
+        self.gs = gs
+        self.reclaims: List[str] = []
+
+    def attach(self, session_host: Host, arrive_at: float, **kwargs) -> OwnerSession:
+        """Create an owner session wired to this policy."""
+        return OwnerSession(
+            session_host, arrive_at, on_arrive=self.on_owner_arrive, **kwargs
+        )
+
+    def on_owner_arrive(self, host: Host) -> None:
+        self.reclaims.append(host.name)
+        self.gs.reclaim(host)
+
+
+class LoadBalancePolicy:
+    """Periodic threshold-based rebalancing.
+
+    Every ``period_s``, if some host's load exceeds ``high`` while
+    another's is below ``low``, move one unit from the former to the
+    latter.  Hysteresis (``cooldown_s``) avoids thrashing — migrations
+    cost seconds, so reacting to every blip would hurt more than help.
+    """
+
+    def __init__(
+        self,
+        gs: GlobalScheduler,
+        high: float = 2.0,
+        low: float = 1.0,
+        period_s: float = 5.0,
+        cooldown_s: float = 30.0,
+    ) -> None:
+        self.gs = gs
+        self.high = high
+        self.low = low
+        self.period_s = period_s
+        self.cooldown_s = cooldown_s
+        self.moves: List[tuple] = []
+        self._last_move_at = -float("inf")
+        self._proc = gs.sim.process(self._run(), name="gs-balance")
+
+    def _run(self):
+        gs = self.gs
+        while True:
+            yield gs.sim.timeout(self.period_s)
+            if gs.sim.now - self._last_move_at < self.cooldown_s:
+                continue
+            move = self._find_move()
+            if move is None:
+                continue
+            unit, dst = move
+            self._last_move_at = gs.sim.now
+            self.moves.append((gs.sim.now, unit, dst.name))
+            gs.migrate(unit, dst)
+
+    def _find_move(self) -> Optional[tuple]:
+        gs = self.gs
+        monitor = gs.monitor
+        hot: Optional[Host] = None
+        cold: Optional[Host] = None
+        for host in gs.cluster.hosts:
+            load = monitor.load_of(host.name)
+            if load is None or host.name in gs.vacating:
+                continue
+            if load >= self.high and (hot is None or load > monitor.load_of(hot.name)):
+                hot = host
+            if load <= self.low and (cold is None or load < monitor.load_of(cold.name)):
+                cold = host
+        if hot is None or cold is None or hot is cold:
+            return None
+        units = self.gs.client.movable_units(hot)
+        if not units:
+            return None
+        return units[0], cold

@@ -1,0 +1,152 @@
+"""The Global Scheduler (GS).
+
+All three systems assume a network-wide scheduler that decides when and
+where work moves (paper §2.0: the GS "embodies decision-making policies
+for sensibly scheduling multiple parallel jobs" and "is responsible for
+initiating a migration by signalling the pvmds").  The GS is deliberately
+mechanism-agnostic: it talks to any *migration client* — MPVM's daemons,
+UPVM's processes, or an ADM application — through a tiny interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..hw.cluster import Cluster
+from ..hw.host import Host
+from ..sim import Event
+from .monitor import LoadMonitor
+
+__all__ = ["MigrationClient", "MigrationRecord", "GlobalScheduler"]
+
+
+@runtime_checkable
+class MigrationClient(Protocol):
+    """What the GS needs from a migration mechanism."""
+
+    def movable_units(self, host: Host) -> List[Any]:
+        """Identifiers of work units currently resident on ``host``."""
+        ...
+
+    def request_migration(self, unit: Any, dst: Host) -> Event:
+        """Start migrating ``unit`` to ``dst``; event fires on completion."""
+        ...
+
+
+@dataclass
+class MigrationRecord:
+    """GS bookkeeping for one commanded migration."""
+
+    unit: Any
+    src: str
+    dst: str
+    requested_at: float
+    completed_at: Optional[float] = None
+    ok: bool = True
+    error: Optional[str] = None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.requested_at
+
+
+class GlobalScheduler:
+    """Issues migration commands and tracks their outcomes."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        client: MigrationClient,
+        monitor: Optional[LoadMonitor] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        self.client = client
+        self.monitor = monitor or LoadMonitor(cluster)
+        self.records: List[MigrationRecord] = []
+        #: Hosts currently being vacated (avoid placing work there).
+        self.vacating: set = set()
+
+    # -- direct commands ----------------------------------------------------
+    def migrate(self, unit: Any, dst: Host) -> Event:
+        """Command one unit to move to ``dst``; returns completion event."""
+        src_host = self._unit_host(unit)
+        record = MigrationRecord(unit, src_host, dst.name, self.sim.now)
+        self.records.append(record)
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "gs.migrate", "GS",
+                f"migrate {unit} {src_host} -> {dst.name}",
+            )
+        done = self.client.request_migration(unit, dst)
+
+        def _finish(ev: Event) -> None:
+            record.completed_at = self.sim.now
+            record.ok = ev._ok
+            if not ev._ok:
+                record.error = repr(ev._value)
+                ev.defuse()
+
+        if done.callbacks is not None:
+            done.callbacks.append(_finish)
+        else:  # already completed
+            _finish(done)
+        return done
+
+    def _unit_host(self, unit: Any) -> str:
+        host = getattr(unit, "host", None)
+        if isinstance(host, Host):
+            return host.name
+        return str(host) if host is not None else "?"
+
+    # -- vacate (owner reclamation) -------------------------------------------
+    def reclaim(self, host: Host, dst: Optional[Host] = None) -> List[Event]:
+        """Owner reclaimed ``host``: move every unit somewhere else.
+
+        Destination defaults to the least-loaded other host per the load
+        monitor.  Returns the per-unit completion events.
+        """
+        self.vacating.add(host.name)
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "gs.reclaim", "GS", f"vacate {host.name}")
+        events: List[Event] = []
+        for unit in list(self.client.movable_units(host)):
+            target = dst or self._pick_destination(exclude=[host.name])
+            if target is None:
+                continue
+            events.append(self.migrate(unit, target))
+        if events:
+            all_done = self.sim.all_of(events)
+
+            def _clear(_ev):
+                self.vacating.discard(host.name)
+
+            if all_done.callbacks is not None:
+                all_done.callbacks.append(_clear)
+            else:
+                _clear(all_done)
+        else:
+            self.vacating.discard(host.name)
+        return events
+
+    def _pick_destination(self, exclude: List[str]) -> Optional[Host]:
+        exclude = list(exclude) + list(self.vacating)
+        name = self.monitor.least_loaded(exclude=exclude)
+        if name is None:
+            # Fall back to any host not excluded.
+            for host in self.cluster.hosts:
+                if host.name not in exclude:
+                    return host
+            return None
+        return self.cluster.host(name)
+
+    # -- stats ---------------------------------------------------------------
+    def completed_migrations(self) -> List[MigrationRecord]:
+        return [r for r in self.records if r.completed_at is not None and r.ok]
+
+    def failed_migrations(self) -> List[MigrationRecord]:
+        return [r for r in self.records if not r.ok]

@@ -1,0 +1,24 @@
+"""Simulated hardware: workstations, shared Ethernet, TCP, load sources."""
+
+from .cluster import Cluster, HostSpec
+from .host import Host
+from .load import BurstyLoad, OwnerSession, step_load
+from .network import EthernetNetwork
+from .params import HP720, KB, MB, HardwareParams
+from .tcp import TcpConnection, raw_tcp_transfer
+
+__all__ = [
+    "BurstyLoad",
+    "Cluster",
+    "EthernetNetwork",
+    "HP720",
+    "HardwareParams",
+    "Host",
+    "HostSpec",
+    "KB",
+    "MB",
+    "OwnerSession",
+    "TcpConnection",
+    "raw_tcp_transfer",
+    "step_load",
+]

@@ -1,0 +1,97 @@
+"""Worknet construction: hosts + shared network + common services."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import RngStreams, Simulator, Tracer
+from .host import Host
+from .network import EthernetNetwork
+from .params import HardwareParams
+
+__all__ = ["Cluster", "HostSpec"]
+
+
+class HostSpec:
+    """Declarative description of one host in a heterogeneous worknet."""
+
+    def __init__(
+        self,
+        name: str,
+        arch: str = "hppa",
+        os: str = "hpux9",
+        cpu_mflops: Optional[float] = None,
+        mem_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.name = name
+        self.arch = arch
+        self.os = os
+        self.cpu_mflops = cpu_mflops
+        self.mem_bytes = mem_bytes
+
+
+class Cluster:
+    """A simulated network of workstations.
+
+    The default configuration is the paper's testbed: homogeneous HP
+    9000/720 machines on a quiet 10 Mb/s Ethernet.  Pass ``specs`` for a
+    heterogeneous worknet (different architectures, speeds, OSes) — the
+    configuration under which ADM's architecture-independence and
+    MPVM/UPVM's migration-compatibility restriction become visible.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int = 2,
+        params: Optional[HardwareParams] = None,
+        specs: Optional[Sequence[HostSpec]] = None,
+        seed: int = 0,
+        trace: bool = True,
+    ) -> None:
+        self.sim = Simulator()
+        self.params = params or HardwareParams()
+        self.tracer = Tracer(enabled=trace)
+        self.rng = RngStreams(seed)
+        self.network = EthernetNetwork(self.sim, self.params, tracer=self.tracer)
+        self.hosts: List[Host] = []
+        self._by_name: Dict[str, Host] = {}
+        if specs is None:
+            specs = [HostSpec(f"hp720-{i}") for i in range(n_hosts)]
+        for spec in specs:
+            self.add_host(spec)
+
+    def add_host(self, spec: HostSpec) -> Host:
+        if spec.name in self._by_name:
+            raise ValueError(f"duplicate host name {spec.name!r}")
+        host = Host(
+            self.sim,
+            spec.name,
+            params=self.params,
+            arch=spec.arch,
+            os=spec.os,
+            mem_bytes=spec.mem_bytes,
+            cpu_mflops=spec.cpu_mflops,
+            tracer=self.tracer,
+        )
+        self.hosts.append(host)
+        self._by_name[spec.name] = host
+        return host
+
+    def host(self, name_or_index) -> Host:
+        """Look up a host by name or position."""
+        if isinstance(name_or_index, int):
+            return self.hosts[name_or_index]
+        return self._by_name[name_or_index]
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __iter__(self):
+        return iter(self.hosts)
+
+    def run(self, until=None):
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"<Cluster hosts={[h.name for h in self.hosts]}>"

@@ -1,0 +1,135 @@
+"""Simulated workstation.
+
+A :class:`Host` bundles a processor-sharing CPU, a memory budget, and the
+cost helpers used by every layer above (memory copies, syscalls, signal
+delivery).  CPU contention is the mechanism through which "owner" load
+degrades a parallel application — exactly the effect adaptive load
+migration exists to escape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..sim import Event, ProcessorSharing, PsJob, Simulator
+from .params import HardwareParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.trace import Tracer
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One workstation in the worknet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: Optional[HardwareParams] = None,
+        arch: str = "hppa",
+        os: str = "hpux9",
+        mem_bytes: int = 64 * 1024 * 1024,
+        cpu_mflops: Optional[float] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params or HardwareParams()
+        self.arch = arch
+        self.os = os
+        self.mem_bytes = mem_bytes
+        self.mem_used = 0
+        mflops = cpu_mflops if cpu_mflops is not None else self.params.cpu_mflops
+        self.cpu = ProcessorSharing(sim, rate=mflops * 1e6, name=f"cpu@{name}")
+        self.tracer = tracer
+        #: Arbitrary per-host annotations (owner name, GS bookkeeping...).
+        self.tags: Dict[str, Any] = {}
+
+    # -- identity ------------------------------------------------------------
+    def migration_compatible(self, other: "Host") -> bool:
+        """MPVM/UPVM can only migrate between like architecture+OS hosts."""
+        return self.arch == other.arch and self.os == other.os
+
+    # -- compute & copy cost helpers ------------------------------------------
+    def compute(self, flops: float, weight: float = 1.0, label: str = "compute") -> Event:
+        """Charge ``flops`` of CPU work; completes when serviced."""
+        return self.cpu.submit(flops, weight=weight, label=label)
+
+    def _flops_for_rate(self, nbytes: float, bytes_per_s: float) -> float:
+        """Convert a byte-rate-limited operation into CPU work units.
+
+        Expressing copies as CPU work makes them contend with (and be
+        slowed by) other load on the host, which matches reality: a
+        memcpy on a busy workstation takes longer.
+        """
+        return nbytes * self.cpu.rate / bytes_per_s
+
+    def copy(self, nbytes: float, label: str = "memcpy") -> Event:
+        """A large in-memory copy of ``nbytes``."""
+        return self.compute(
+            self._flops_for_rate(nbytes, self.params.memcpy_bytes_per_s), label=label
+        )
+
+    def socket_copy(self, nbytes: float, label: str = "sockcpy") -> Event:
+        """Copy between a socket buffer and user memory."""
+        return self.compute(
+            self._flops_for_rate(nbytes, self.params.socket_copy_bytes_per_s),
+            label=label,
+        )
+
+    def ipc_copy(self, nbytes: float, label: str = "ipc") -> Event:
+        """One hop of local Unix-domain-socket IPC (task<->pvmd)."""
+        return self.compute(
+            self._flops_for_rate(nbytes, self.params.local_ipc_bytes_per_s),
+            label=label,
+        )
+
+    def syscall(self, n: int = 1) -> Event:
+        """``n`` kernel crossings."""
+        return self.compute(self.params.syscall_s * n * self.cpu.rate, label="syscall")
+
+    def busy_seconds(self, seconds: float, label: str = "busy") -> Event:
+        """Occupy the CPU for what would be ``seconds`` on an idle host."""
+        return self.compute(seconds * self.cpu.rate, label=label)
+
+    # -- external load ---------------------------------------------------------
+    def add_external_load(self, weight: float = 1.0, label: str = "owner") -> PsJob:
+        """Competing load (e.g. the owner's interactive session)."""
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "host.load", self.name, "external load added",
+                weight=weight, label=label,
+            )
+        return self.cpu.add_load(weight=weight, label=label)
+
+    def remove_external_load(self, handle: PsJob) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "host.load", self.name, "external load removed",
+                label=handle.label,
+            )
+        self.cpu.remove_load(handle)
+
+    @property
+    def load_average(self) -> float:
+        """Instantaneous run-queue length analogue (PS total weight)."""
+        return self.cpu.total_weight
+
+    # -- memory accounting -------------------------------------------------------
+    def mem_alloc(self, nbytes: int) -> None:
+        if self.mem_used + nbytes > self.mem_bytes:
+            raise MemoryError(
+                f"{self.name}: cannot allocate {nbytes} bytes "
+                f"({self.mem_used}/{self.mem_bytes} used)"
+            )
+        self.mem_used += nbytes
+
+    def mem_free(self, nbytes: int) -> None:
+        if nbytes > self.mem_used:
+            raise ValueError(f"{self.name}: freeing {nbytes} > used {self.mem_used}")
+        self.mem_used -= nbytes
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {self.arch}/{self.os} load={self.load_average:.2f}>"

@@ -1,0 +1,109 @@
+"""External-load and owner-activity generators.
+
+These drive the *adaptive* part of the reproduction: a workstation owner
+returning to their machine (reclamation), or background load pushing a
+host over a threshold, are what cause the Global Scheduler to issue
+migration events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..sim import Process, Simulator
+from .host import Host
+
+__all__ = ["OwnerSession", "BurstyLoad", "step_load"]
+
+
+class OwnerSession:
+    """A workstation owner who shows up at a fixed time and types away.
+
+    On arrival, the owner adds interactive load to the host and invokes
+    ``on_arrive`` (typically wired to the Global Scheduler's reclamation
+    policy).  If ``depart_after`` is given the owner leaves again and
+    ``on_depart`` fires.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        arrive_at: float,
+        load_weight: float = 2.0,
+        depart_after: Optional[float] = None,
+        on_arrive: Optional[Callable[[Host], None]] = None,
+        on_depart: Optional[Callable[[Host], None]] = None,
+    ) -> None:
+        self.host = host
+        self.arrive_at = arrive_at
+        self.load_weight = load_weight
+        self.depart_after = depart_after
+        self.on_arrive = on_arrive
+        self.on_depart = on_depart
+        self.arrived = False
+        self.process: Process = host.sim.process(self._run(), name=f"owner@{host.name}")
+
+    def _run(self):
+        sim = self.host.sim
+        yield sim.timeout(self.arrive_at)
+        handle = self.host.add_external_load(self.load_weight, label="owner")
+        self.arrived = True
+        if self.on_arrive:
+            self.on_arrive(self.host)
+        if self.depart_after is None:
+            return
+        yield sim.timeout(self.depart_after)
+        self.host.remove_external_load(handle)
+        self.arrived = False
+        if self.on_depart:
+            self.on_depart(self.host)
+
+
+class BurstyLoad:
+    """Poisson on/off background load on a host.
+
+    Busy and idle period lengths are exponentially distributed; used in
+    the adaptive-execution examples and the GS policy tests.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        rng: np.random.Generator,
+        mean_busy_s: float = 20.0,
+        mean_idle_s: float = 60.0,
+        weight: float = 1.0,
+        until: float = float("inf"),
+    ) -> None:
+        self.host = host
+        self.rng = rng
+        self.mean_busy_s = mean_busy_s
+        self.mean_idle_s = mean_idle_s
+        self.weight = weight
+        self.until = until
+        self.busy_periods: List[tuple] = []
+        self.process = host.sim.process(self._run(), name=f"bursty@{host.name}")
+
+    def _run(self):
+        sim = self.host.sim
+        while sim.now < self.until:
+            yield sim.timeout(float(self.rng.exponential(self.mean_idle_s)))
+            if sim.now >= self.until:
+                return
+            start = sim.now
+            handle = self.host.add_external_load(self.weight, label="bursty")
+            yield sim.timeout(float(self.rng.exponential(self.mean_busy_s)))
+            self.host.remove_external_load(handle)
+            self.busy_periods.append((start, sim.now))
+
+
+def step_load(host: Host, at: float, weight: float = 1.0):
+    """Add permanent external load at time ``at`` (simple step function)."""
+
+    def proc():
+        yield host.sim.timeout(at)
+        host.add_external_load(weight, label="step")
+
+    return host.sim.process(proc(), name=f"step@{host.name}")

@@ -1,0 +1,80 @@
+"""Shared-medium Ethernet model.
+
+A 10 Mb/s Ethernet is a single broadcast medium: concurrent transfers
+share the wire.  We model the medium as a processor-sharing server over
+*payload* bytes, with the effective payload rate (protocol overheads
+included) calibrated from the paper's raw-TCP measurements, plus a fixed
+one-way latency per message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Event, ProcessorSharing, Simulator
+from ..sim.trace import Tracer
+from .host import Host
+from .params import HardwareParams
+
+__all__ = ["EthernetNetwork"]
+
+
+class EthernetNetwork:
+    """The shared Ethernet segment connecting all hosts of the worknet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[HardwareParams] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.params = params or HardwareParams()
+        self.tracer = tracer
+        self.medium = ProcessorSharing(
+            sim, rate=self.params.tcp_bytes_per_s, name="ethernet"
+        )
+        #: Total payload bytes ever put on the wire (for accounting tests).
+        self.bytes_carried = 0.0
+
+    def transfer(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: float,
+        label: str = "xfer",
+    ) -> Event:
+        """Move ``nbytes`` of payload from ``src`` to ``dst``.
+
+        Returns an event that triggers when the last byte has arrived.
+        The cost is one propagation latency plus the transmission time
+        under the current medium contention.  Zero-byte transfers still
+        pay the latency (a control packet is a real packet).
+        """
+        if src is dst:
+            raise ValueError(
+                f"network transfer from {src.name} to itself; use Host.ipc_copy"
+            )
+        self.bytes_carried += nbytes
+        done = Event(self.sim)
+
+        def proc():
+            yield self.sim.timeout(self.params.net_latency_s)
+            if nbytes > 0:
+                yield self.medium.submit(nbytes, label=label)
+            if self.tracer:
+                self.tracer.emit(
+                    self.sim.now, "net.xfer", src.name,
+                    f"{label} -> {dst.name}", bytes=int(nbytes),
+                )
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name=f"net:{label}")
+        return done
+
+    def time_to_transfer(self, nbytes: float) -> float:
+        """Quiet-medium transfer time estimate (latency + wire time)."""
+        return self.params.net_latency_s + nbytes / self.medium.rate
+
+    def __repr__(self) -> str:
+        return f"<EthernetNetwork rate={self.medium.rate / 1e6:.2f} MB/s>"

@@ -1,0 +1,166 @@
+"""Calibration constants for the simulated 1994 worknet.
+
+Every "magic number" in the reproduction lives here, with its provenance.
+The testbed in the paper is two HP 9000/720 workstations (PA-RISC 1.1,
+64 MB RAM, HP-UX 9.01) on a quiet 10 Mb/s Ethernet.  Several constants
+are *back-derived* from the paper's own tables; those derivations are
+noted inline and cross-checked by the experiment benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["HardwareParams", "HP720", "MB", "KB"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass
+class HardwareParams:
+    """All hardware/OS cost parameters, in SI units (seconds, bytes, flops)."""
+
+    # ----- CPU ------------------------------------------------------------
+    #: Sustained double-precision rate of a PA-RISC 1.1 (HP 9000/720,
+    #: 50 MHz) on dense linear-algebra inner loops: ~25 Mflop/s.
+    cpu_mflops: float = 25.0
+
+    #: Memory copy bandwidth for large in-memory copies (bcopy/memcpy).
+    memcpy_bytes_per_s: float = 30.0 * MB
+
+    #: Effective copy rate when one end of the copy is a socket read/write
+    #: (syscall + buffer management); used while a skeleton process writes
+    #: received migration state into place.  Back-derived from Table 2:
+    #: obtrusiveness grows ~0.16 s per MB faster than raw TCP — and in the
+    #: paper's runs the destination CPU is also crunching the resident
+    #: slave's gradient, so the copy gets ~half the CPU.
+    socket_copy_bytes_per_s: float = 14.0 * MB
+
+    #: Fixed cost of a kernel crossing (send/recv syscall, small ioctl).
+    syscall_s: float = 200e-6
+
+    #: Cost to deliver and handle a Unix signal.
+    signal_deliver_s: float = 2e-3
+
+    #: OS process context switch (scheduler + cache disturbance).  Paid
+    #: when a blocked process wakes to receive a message.  ULPs switch in
+    #: user space instead (``ulp_context_switch_s``) — part of why UPVM's
+    #: co-located master/slave beat plain PVM in Table 3.
+    os_context_switch_s: float = 1e-3
+
+    #: fork+exec+dynamic-link+page-in of a fresh process image (the MPVM
+    #: "skeleton").  Back-derived from Table 2's small-size intercept
+    #: (obtrusiveness - rawTCP ~= 0.9 s at 0.6 MB, measured while the
+    #: destination also runs a computing slave, i.e. at half CPU share).
+    exec_process_s: float = 0.45
+
+    # ----- Network --------------------------------------------------------
+    #: Effective TCP payload bandwidth over quiet 10 Mb/s Ethernet.
+    #: Back-derived from Table 2's raw-TCP column: 10.4 MB in 10.0 s etc.
+    #: => ~1.08 MB/s (protocol overhead + interframe gaps off 1.25 MB/s).
+    tcp_bytes_per_s: float = 1.08 * MB
+
+    #: One-way wire+stack latency for a small packet.
+    net_latency_s: float = 1.2e-3
+
+    #: TCP three-way-handshake connection set-up (1.5 RTT + socket setup).
+    tcp_connect_s: float = 6e-3
+
+    #: UDP datagram effective payload bandwidth (pvmd<->pvmd hop).
+    udp_bytes_per_s: float = 1.05 * MB
+
+    # ----- PVM ------------------------------------------------------------
+    #: PVM fragments messages into ~4 KB chunks (PVM 3.x default).
+    pvm_frag_bytes: int = 4096
+
+    #: Per-fragment processing inside each pvmd on the daemon route
+    #: (receive, route-table lookup, copy, retransmit bookkeeping).
+    #: Back-derived from Table 6: ADM moves bulk data through
+    #: daemon-routed pvm messages at ~0.5 MB/s end to end; with the wire
+    #: at ~1.08 MB/s and two IPC hops at 5 MB/s, each 4 KB fragment costs
+    #: ~1.2 ms in *each* daemon.
+    pvmd_frag_cpu_s: float = 1.2e-3
+
+    #: Local (same-host) task->pvmd->task IPC bandwidth per copy
+    #: (Unix-domain socket, era hardware).
+    local_ipc_bytes_per_s: float = 5.0 * MB
+
+    #: Cost to pack/unpack one byte into/out of a pvm message buffer
+    #: is memcpy; fixed per pack call:
+    pack_call_s: float = 30e-6
+
+    #: Task enroll (register with local pvmd).
+    enroll_s: float = 0.05
+
+    # ----- MPVM -----------------------------------------------------------
+    #: Flag set/clear guarding library re-entrancy, per libpvm call.
+    mpvm_library_call_s: float = 15e-6
+
+    #: Per-message tid re-map lookup (old tid -> new tid), send and recv.
+    mpvm_tid_remap_s: float = 3e-6
+
+    # ----- UPVM -----------------------------------------------------------
+    #: ULP context switch (save/restore registers, swap stacks) in the
+    #: user-level scheduler.
+    ulp_context_switch_s: float = 45e-6
+
+    #: Extra header bytes UPVM prepends to remote messages (ULP routing).
+    upvm_remote_header_bytes: int = 32
+
+    #: Local same-process message hand-off (pointer swap, queue insert).
+    upvm_local_handoff_s: float = 60e-6
+
+    #: pvm_pkbyte chunk size used during ULP state transfer.
+    upvm_pack_chunk_bytes: int = 4096
+
+    #: Per-chunk sender-side cost of the pkbyte/send sequence (extra
+    #: memory copies + per-call overhead, §4.2.2).  Back-derived from
+    #: Table 4: 0.3 MB of ULP state off-loaded in 1.67 s => ~18 ms per
+    #: 4 KB chunk on top of the ordinary message costs.
+    upvm_pack_chunk_s: float = 15e-3
+
+    #: Per-chunk cost of the (unoptimized) ULP accept mechanism at the
+    #: destination (paper 4.2.3: migration cost 6.88 s vs 1.67 s
+    #: obtrusiveness for 0.3 MB of ULP state). Back-derived: ~65 ms per
+    #: 4 KB chunk of incoming state.
+    upvm_accept_chunk_s: float = 65e-3
+
+    # ----- ADM ------------------------------------------------------------
+    #: Multiplicative compute slowdown of the ADM-restructured inner loop
+    #: (switch-based FSM, per-exemplar processed-flag bookkeeping,
+    #: defeated compiler optimizations).  The paper measures 232 s vs
+    #: 188 s quiet-case => ~23%.
+    adm_compute_overhead_frac: float = 0.23
+
+    #: How often the ADM inner loop polls the migration-event flag,
+    #: expressed as a fraction of one slave's per-iteration work between
+    #: consecutive polls.  Small => responsive, more overhead.
+    adm_poll_granularity_frac: float = 0.02
+
+    # ----- Misc OS ---------------------------------------------------------
+    #: Page size, used for address-space segment rounding.
+    page_bytes: int = 4096
+
+    #: Scheduling quantum of the host OS (only affects external load
+    #: burstiness modelling, not PS averages).
+    quantum_s: float = 0.01
+
+    def derived(self, **overrides: float) -> "HardwareParams":
+        """A copy with some fields replaced (calibration sweeps)."""
+        return replace(self, **overrides)
+
+    @property
+    def cpu_flops(self) -> float:
+        """CPU rate in flop/s."""
+        return self.cpu_mflops * 1e6
+
+    def as_dict(self) -> Dict[str, float]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+#: The paper's testbed workstation.
+HP720 = HardwareParams()

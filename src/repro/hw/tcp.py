@@ -1,0 +1,84 @@
+"""Point-to-point TCP connection model.
+
+MPVM transfers migrating process state over a dedicated TCP connection
+between the migrating process and the skeleton (paper §2.1 stage 3).
+The model charges: connection set-up (SYN handshake), wire time on the
+shared Ethernet, and the receiver's socket-to-memory copy — the latter is
+what makes large-state migration run ~15% slower than a raw socket blast
+(visible in Table 2 as the obtrusiveness/raw-TCP gap growing with size).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Event, Simulator
+from .host import Host
+from .network import EthernetNetwork
+
+__all__ = ["TcpConnection", "raw_tcp_transfer"]
+
+
+class TcpConnection:
+    """A simulated TCP stream between two hosts."""
+
+    def __init__(self, network: EthernetNetwork, src: Host, dst: Host) -> None:
+        if src is dst:
+            raise ValueError("TCP connection endpoints must differ")
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.src = src
+        self.dst = dst
+        self.connected = False
+        self.bytes_sent = 0.0
+
+    def connect(self) -> Generator[Event, None, None]:
+        """Three-way handshake (generator; ``yield from`` it)."""
+        params = self.network.params
+        yield self.src.syscall()  # socket+connect
+        yield self.sim.timeout(params.tcp_connect_s)
+        self.connected = True
+
+    def send(
+        self,
+        nbytes: float,
+        receiver_copies: bool = True,
+        label: str = "tcp",
+    ) -> Generator[Event, None, None]:
+        """Stream ``nbytes`` to the destination (generator).
+
+        ``receiver_copies=True`` additionally charges the destination CPU
+        for moving the bytes from socket buffers into their final location
+        (the skeleton writing segments into place).
+        """
+        if not self.connected:
+            raise RuntimeError("send on an unconnected TCP connection")
+        if nbytes < 0:
+            raise ValueError("cannot send a negative byte count")
+        self.bytes_sent += nbytes
+        yield self.network.transfer(self.src, self.dst, nbytes, label=label)
+        if receiver_copies and nbytes > 0:
+            yield self.dst.socket_copy(nbytes, label=f"{label}:rxcopy")
+
+    def close(self) -> None:
+        self.connected = False
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "down"
+        return f"<TcpConnection {self.src.name}->{self.dst.name} {state}>"
+
+
+def raw_tcp_transfer(
+    network: EthernetNetwork, src: Host, dst: Host, nbytes: float
+) -> Generator[Event, None, float]:
+    """The paper's "raw TCP" lower-bound measurement (Table 2, col 2).
+
+    Connect, blast ``nbytes``, no application-level copying at the
+    receiver.  Returns the elapsed simulated seconds.
+    """
+    t0 = network.sim.now
+    conn = TcpConnection(network, src, dst)
+    yield from conn.connect()
+    yield from conn.send(nbytes, receiver_copies=False, label="rawtcp")
+    conn.close()
+    return network.sim.now - t0

@@ -1,0 +1,16 @@
+"""MPVM — Migratable PVM (paper §2.1): transparent process migration."""
+
+from .checkpoint import Checkpoint, CheckpointEngine, CheckpointStats
+from .context import MpvmContext
+from .migration import MigrationEngine, MigrationStats
+from .system import MpvmSystem
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointEngine",
+    "CheckpointStats",
+    "MigrationEngine",
+    "MigrationStats",
+    "MpvmContext",
+    "MpvmSystem",
+]

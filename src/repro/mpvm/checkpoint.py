@@ -1,0 +1,233 @@
+"""Condor-style checkpoint/restart migration — the alternative design
+point the paper contrasts with MPVM (§5, Related Work):
+
+    "[Condor] advocates checkpoint-based process migration both for
+    unobtrusiveness and fault tolerance, which has some advantages and
+    some disadvantages compared to the 'migrate current state' policy we
+    have chosen ...  While the checkpoint approach makes migration less
+    obtrusive, there is a cost of taking periodic checkpoints, and there
+    is a file I/O 'idempotency' restriction placed on the application
+    since any part of the computation may be executed more than once."
+
+This module implements that design point over the same substrate so the
+trade-off can be *measured* (see ``benchmarks/test_ablation_checkpoint``):
+
+* a :class:`CheckpointEngine` writes periodic checkpoints of a task's
+  state to local disk (the task is briefly frozen while the image is
+  written — Condor's stop-and-write);
+* "migration" = kill the process on the source host (obtrusiveness is
+  just the kill, near zero) + ship the *last checkpoint* to the
+  destination + re-execute the work done since that checkpoint.
+
+The re-executed work is charged to the destination CPU; semantically the
+application must tolerate re-execution (the idempotency restriction —
+pure computation like Opt's gradient loop qualifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..hw.host import Host
+from ..hw.tcp import TcpConnection
+from ..pvm.context import Freeze
+from ..pvm.errors import PvmMigrationError, PvmNotCompatible
+from ..pvm.task import Task
+from ..sim import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import MpvmSystem
+
+__all__ = ["Checkpoint", "CheckpointStats", "CheckpointEngine"]
+
+
+@dataclass
+class Checkpoint:
+    """One on-disk checkpoint image."""
+
+    task: str
+    taken_at: float
+    state_bytes: int
+    write_cost_s: float
+
+
+@dataclass
+class CheckpointStats:
+    """One checkpoint-based 'migration' (vacate + restart elsewhere)."""
+
+    task: str
+    src: str
+    dst: str
+    state_bytes: int
+    t_event: float
+    t_offhost: float = 0.0       #: host vacated (the kill)
+    t_image_arrived: float = 0.0
+    t_restarted: float = 0.0     #: back in the computation
+    lost_work_s: float = 0.0     #: re-executed computation
+
+    @property
+    def obtrusiveness(self) -> float:
+        return self.t_offhost - self.t_event
+
+    @property
+    def migration_time(self) -> float:
+        """Until the task is *re-integrated*, including re-executed work —
+        the honest comparison point against MPVM's migration cost."""
+        return self.t_restarted - self.t_event
+
+
+class CheckpointEngine:
+    """Periodic checkpointing + kill/restart migration for MPVM tasks."""
+
+    def __init__(
+        self,
+        system: "MpvmSystem",
+        period_s: float = 60.0,
+        disk_bytes_per_s: float = 1.5e6,  # era-typical local SCSI write
+    ) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.period_s = period_s
+        self.disk_bytes_per_s = disk_bytes_per_s
+        self.checkpoints: Dict[int, Checkpoint] = {}  #: latest, by tid
+        self.history: List[Checkpoint] = []
+        self.stats: List[CheckpointStats] = []
+        self._writers: Dict[int, Process] = {}
+
+    # -- periodic checkpointing ------------------------------------------------
+    def protect(self, task: Task) -> Process:
+        """Start taking periodic checkpoints of ``task``."""
+        if task.tid in self._writers:
+            raise PvmMigrationError(f"{task.name} is already protected")
+        proc = self.sim.process(self._writer(task), name=f"ckpt:{task.name}")
+        proc.defuse()  # runs until the task exits
+        self._writers[task.tid] = proc
+        return proc
+
+    def _writer(self, task: Task):
+        from ..unix.process import ProcState
+
+        while task.alive:
+            yield self.sim.timeout(self.period_s)
+            if not task.alive:
+                return
+            if task.state is ProcState.MIGRATING:
+                continue  # skip a cycle rather than stack onto a move
+            yield from self.checkpoint_now(task)
+
+    def checkpoint_now(self, task: Task):
+        """Take one checkpoint (generator): freeze, write, resume."""
+        t0 = self.sim.now
+        resume = Event(self.sim)
+        if task.coroutine is not None and task.coroutine.is_alive:
+            # The process is stopped while its image is written out.
+            task.interrupt_body(Freeze(resume, reason="checkpoint"))
+        state = task.migration_state_bytes
+        yield task.host.busy_seconds(
+            self.system.params.signal_deliver_s, label="ckpt-stop"
+        )
+        yield task.host.compute(
+            state * task.host.cpu.rate / self.disk_bytes_per_s, label="ckpt-write"
+        )
+        if not resume.triggered:
+            resume.succeed()
+        ckpt = Checkpoint(
+            task=task.name, taken_at=self.sim.now,
+            state_bytes=state, write_cost_s=self.sim.now - t0,
+        )
+        self.checkpoints[task.tid] = ckpt
+        self.history.append(ckpt)
+        if self.system.tracer:
+            self.system.tracer.emit(
+                self.sim.now, "ckpt.write", task.name,
+                f"{state} bytes in {ckpt.write_cost_s:.3f}s",
+            )
+        return ckpt
+
+    @property
+    def total_checkpoint_cost_s(self) -> float:
+        """Aggregate stop-and-write time paid so far."""
+        return sum(c.write_cost_s for c in self.history)
+
+    # -- kill/restart migration ------------------------------------------------------
+    def request_migration(self, task: Task, dst: Host) -> Event:
+        done = Event(self.sim)
+        self.sim.process(self._migrate(task, dst, done), name=f"ckpt-mig:{task.name}")
+        return done
+
+    def _migrate(self, task: Task, dst: Host, done: Event):
+        system = self.system
+        params = system.params
+        src = task.host
+        yield self.sim.timeout(params.net_latency_s)
+        t_event = self.sim.now
+
+        ckpt = self.checkpoints.get(task.tid)
+        if ckpt is None:
+            done.fail(PvmMigrationError(
+                f"{task.name} has no checkpoint; call protect()/checkpoint_now()"
+            ))
+            return
+        if not task.alive or src is dst:
+            done.fail(PvmMigrationError(f"{task.name} cannot migrate"))
+            return
+        if not src.migration_compatible(dst):
+            done.fail(PvmNotCompatible(
+                f"checkpoint of {task.name} is {src.arch}/{src.os} state"
+            ))
+            return
+
+        stats = CheckpointStats(
+            task=task.name, src=src.name, dst=dst.name,
+            state_bytes=ckpt.state_bytes, t_event=t_event,
+        )
+        # Freeze the victim; peers block sends exactly as in MPVM (the
+        # flush is instantaneous here: the victim is not receiving).
+        resume = Event(self.sim)
+        if task.coroutine is not None and task.coroutine.is_alive:
+            task.interrupt_body(Freeze(resume, reason="ckpt-migration"))
+        peers = [t for t in system.live_tasks() if t is not task]
+        for peer in peers:
+            peer.context.block_sends_to(task.tid)  # type: ignore[attr-defined]
+
+        # --- vacate: just kill the local incarnation --------------------------
+        yield src.busy_seconds(params.signal_deliver_s, label="sigkill")
+        stats.t_offhost = self.sim.now  # the owner has their machine back
+
+        # --- restore elsewhere -------------------------------------------------
+        yield dst.busy_seconds(params.exec_process_s, label="restart-exec")
+        conn = TcpConnection(system.network, src, dst)
+        yield from conn.connect()
+        yield from conn.send(ckpt.state_bytes, receiver_copies=True, label="ckpt-image")
+        conn.close()
+        stats.t_image_arrived = self.sim.now
+
+        old_tid, new_tid = system.rebind_task_tid(task, dst)
+        task.relocate_to(dst)
+        yield dst.copy(ckpt.state_bytes, label="ckpt-assume")
+        yield dst.busy_seconds(params.enroll_s, label="re-enroll")
+        for peer in peers:
+            peer.context.unblock_sends_to(old_tid, new_tid)  # type: ignore[attr-defined]
+        task.context.learn_remap(old_tid, new_tid)  # type: ignore[attr-defined]
+
+        # --- re-execute the work lost since the checkpoint ---------------------
+        lost = max(0.0, stats.t_event - ckpt.taken_at)
+        stats.lost_work_s = lost
+        if lost > 0:
+            # The application rolls back; any part of the computation may
+            # run more than once (the idempotency restriction).
+            yield dst.busy_seconds(lost * src.cpu.rate / dst.cpu.rate,
+                                   label="recompute")
+        resume.succeed()
+        stats.t_restarted = self.sim.now
+        self.stats.append(stats)
+        if system.tracer:
+            system.tracer.emit(
+                self.sim.now, "ckpt.migrate", task.name,
+                f"{src.name} -> {dst.name}",
+                obtrusiveness=round(stats.obtrusiveness, 4),
+                migration=round(stats.migration_time, 4),
+                lost_work=round(lost, 3),
+            )
+        done.succeed(stats)

@@ -1,0 +1,83 @@
+"""The MPVM run-time library: migratable-PVM context.
+
+MPVM is source-compatible with PVM — application code is unchanged — but
+the library underneath adds exactly the three sources of method overhead
+the paper enumerates (§4.1.1):
+
+1. re-entrancy flags set on every library call (so a migration is never
+   attempted while the task executes inside the library);
+2. tid re-mapping on every send and receive (a migrated task has a new
+   tid; the application keeps using the original, *virtual* tid);
+3. the re-implemented ``pvm_recv`` that makes the blocking wait a safe
+   migration point.
+
+It also implements the sender-side half of the flush protocol: once a
+flush message for tid *T* arrives, every ``pvm_send`` to *T* blocks until
+the restart message announces *T*'s new tid (§2.1 stages 2 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from ..pvm.context import PvmContext
+from ..sim import Event
+
+__all__ = ["MpvmContext"]
+
+
+class MpvmContext(PvmContext):
+    """PVM interface with transparent-migration support."""
+
+    def __init__(self, system, task) -> None:
+        super().__init__(system, task)
+        #: virtual (application-visible) tid -> current real tid
+        self._v2r: Dict[int, int] = {}
+        #: current real tid -> virtual tid
+        self._r2v: Dict[int, int] = {}
+        #: real tids currently frozen for migration -> unblock event
+        self._send_blocked: Dict[int, Event] = {}
+
+    # -- identity: the application always sees the original tid ----------------
+    @property
+    def mytid(self) -> int:
+        return self._map_tid_in(self.task.tid)
+
+    # -- overhead hooks ------------------------------------------------------
+    def _call_overhead_s(self) -> float:
+        # Re-entrancy flag set/clear + one tid re-map table probe.
+        return self.params.mpvm_library_call_s + self.params.mpvm_tid_remap_s
+
+    # -- tid re-mapping ----------------------------------------------------------
+    def _map_tid_out(self, tid: int) -> int:
+        return self._v2r.get(tid, tid)
+
+    def _map_tid_in(self, tid: int) -> int:
+        return self._r2v.get(tid, tid)
+
+    def learn_remap(self, old_real: int, new_real: int) -> None:
+        """Process a restart message: tid ``old_real`` is now ``new_real``."""
+        virtual = self._r2v.pop(old_real, old_real)
+        self._v2r[virtual] = new_real
+        self._r2v[new_real] = virtual
+
+    # -- flush protocol: sender side ------------------------------------------------
+    def block_sends_to(self, real_tid: int) -> Event:
+        """Handle a flush message: future sends to ``real_tid`` block."""
+        ev = self._send_blocked.get(real_tid)
+        if ev is None:
+            ev = Event(self.sim)
+            self._send_blocked[real_tid] = ev
+        return ev
+
+    def unblock_sends_to(self, old_real: int, new_real: int) -> None:
+        """Handle a restart message: re-map and release blocked senders."""
+        self.learn_remap(old_real, new_real)
+        ev = self._send_blocked.pop(old_real, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+
+    def _send_gate(self, dst_tid: int) -> Generator[Event, None, None]:
+        while dst_tid in self._send_blocked:
+            yield self._send_blocked[dst_tid]
+            dst_tid = self._map_tid_out(self._map_tid_in(dst_tid))

@@ -1,0 +1,212 @@
+"""The MPVM migration protocol engine (paper §2.1, Figure 1).
+
+Four stages:
+
+1. **Migration event** — the GS signals the mpvmd on the to-be-vacated
+   host; the daemon picks the victim task and delivers a migration signal.
+2. **Message flushing** — flush messages go to every other task; each
+   acknowledges and from then on blocks sends to the migrating task; the
+   protocol waits until nothing addressed to the task is still in flight.
+3. **VP state transfer** — a *skeleton* process (same executable) is
+   exec'd on the destination; a TCP connection moves the task's writable
+   segments, register context, and queued messages into it.
+4. **Restart** — the skeleton assumes the state, re-enrolls with the
+   destination mpvmd under a *new tid*, and a restart message unblocks
+   senders and installs the tid re-mapping everywhere.
+
+Obtrusiveness = stage 1 through end of stage 3 (work off the source
+host); migration cost additionally includes stage 4 — matching the
+paper's Table 2 definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from ..hw.host import Host
+from ..hw.tcp import TcpConnection
+from ..pvm.context import Freeze
+from ..pvm.errors import PvmMigrationError, PvmNotCompatible
+from ..pvm.task import Task
+from ..pvm.tid import tid_str
+from ..sim import Event
+from ..unix.process import ProcState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import MpvmSystem
+
+__all__ = ["MigrationStats", "MigrationEngine"]
+
+#: Poll interval while waiting for a task to leave the run-time library.
+_LIBRARY_POLL_S = 0.5e-3
+
+
+@dataclass
+class MigrationStats:
+    """Timestamped record of one migration (drives Tables 2/4 benches)."""
+
+    task: str
+    src: str
+    dst: str
+    state_bytes: int
+    t_event: float
+    t_flush_done: float = 0.0
+    t_transfer_start: float = 0.0
+    t_offhost: float = 0.0
+    t_restart_done: float = 0.0
+    n_peers_flushed: int = 0
+
+    @property
+    def obtrusiveness(self) -> float:
+        """Migration event -> work off the source host."""
+        return self.t_offhost - self.t_event
+
+    @property
+    def migration_time(self) -> float:
+        """Migration event -> task re-integrated in the computation."""
+        return self.t_restart_done - self.t_event
+
+    @property
+    def restart_time(self) -> float:
+        return self.t_restart_done - self.t_offhost
+
+    @property
+    def flush_time(self) -> float:
+        return self.t_flush_done - self.t_event
+
+
+class MigrationEngine:
+    """Executes migrations for an :class:`MpvmSystem`."""
+
+    def __init__(self, system: "MpvmSystem") -> None:
+        self.system = system
+        self.sim = system.sim
+        self.stats: List[MigrationStats] = []
+
+    # -- GS entry point -----------------------------------------------------
+    def request_migration(self, task: Task, dst: Host) -> Event:
+        """Start the protocol; the returned event carries the stats."""
+        done = Event(self.sim)
+        self.sim.process(self._migrate(task, dst, done), name=f"migrate:{task.name}")
+        return done
+
+    # -- protocol ---------------------------------------------------------------
+    def _migrate(self, task: Task, dst: Host, done: Event):
+        system = self.system
+        params = system.params
+        net = system.network
+        src = task.host
+        tracer = system.tracer
+
+        def trace(category: str, message: str, **fields):
+            if tracer:
+                tracer.emit(self.sim.now, category, f"mpvmd@{src.name}", message, **fields)
+
+        # ---- stage 1: migration event --------------------------------------
+        # GS -> mpvmd migrate message (control packet to the source host).
+        yield self.sim.timeout(params.net_latency_s)
+        t_event = self.sim.now
+        trace("mpvm.event", f"migrate {task.name} -> {dst.name}")
+
+        if not task.alive:
+            done.fail(PvmMigrationError(f"{task.name} has exited"))
+            return
+        if task.state is ProcState.MIGRATING:
+            done.fail(PvmMigrationError(f"{task.name} is already migrating"))
+            return
+        if src is dst:
+            done.fail(PvmMigrationError(f"{task.name} is already on {dst.name}"))
+            return
+        if not src.migration_compatible(dst):
+            trace("mpvm.abort", f"{src.name} and {dst.name} are not migration compatible")
+            done.fail(
+                PvmNotCompatible(
+                    f"cannot migrate {task.name}: {src.arch}/{src.os} -> {dst.arch}/{dst.os}"
+                )
+            )
+            return
+
+        # A task executing inside the run-time library may not migrate;
+        # wait for it to come out (the time spent there is bounded).
+        while task.in_library:
+            yield self.sim.timeout(_LIBRARY_POLL_S)
+
+        # Freeze the victim: deliver the migration signal and interrupt
+        # whatever it was doing (compute is checkpointed, recv re-armed).
+        resume = Event(self.sim)
+        task.state = ProcState.MIGRATING
+        task.interrupt_body(Freeze(resume, reason="mpvm-migration"))
+        yield src.busy_seconds(params.signal_deliver_s, label="sigmigrate")
+
+        stats = MigrationStats(
+            task=task.name, src=src.name, dst=dst.name,
+            state_bytes=task.migration_state_bytes, t_event=t_event,
+        )
+
+        # ---- stage 2: message flushing ----------------------------------------
+        trace("mpvm.flush.start", "flushing messages")
+        peers = [t for t in system.live_tasks() if t is not task]
+        stats.n_peers_flushed = len(peers)
+        flush_events = []
+        for peer in peers:
+            peer.context.block_sends_to(task.tid)  # type: ignore[attr-defined]
+            flush_events.append(self._control_msg(src, peer.host))
+        if flush_events:
+            yield self.sim.all_of(flush_events)
+        # Acknowledgements return from every peer.
+        acks = [self._control_msg(peer.host, src) for peer in peers]
+        if acks:
+            yield self.sim.all_of(acks)
+        # Wait for in-flight messages addressed to the victim to land.
+        yield system.when_drained(task.tid)
+        stats.t_flush_done = self.sim.now
+        trace("mpvm.flush.done", f"{len(peers)} peers acknowledged")
+
+        # ---- stage 3: VP state transfer ------------------------------------------
+        trace("mpvm.transfer.start", f"exec skeleton on {dst.name}")
+        # Start the skeleton process (same executable) on the destination.
+        yield dst.busy_seconds(params.exec_process_s, label="skeleton-exec")
+        stats.t_transfer_start = self.sim.now
+        conn = TcpConnection(net, src, dst)
+        yield from conn.connect()
+        state_bytes = task.migration_state_bytes
+        stats.state_bytes = state_bytes
+        yield from conn.send(state_bytes, receiver_copies=True, label="mpvm-state")
+        conn.close()
+        stats.t_offhost = self.sim.now
+        trace("mpvm.transfer.done", f"{state_bytes} bytes off {src.name}",
+              bytes=state_bytes)
+
+        # ---- stage 4: restart -------------------------------------------------------
+        trace("mpvm.restart.start", "skeleton assumes state")
+        old_tid, new_tid = system.rebind_task_tid(task, dst)
+        task.relocate_to(dst)
+        # The skeleton integrates the received image (page it into place).
+        yield dst.copy(state_bytes, label="assume-state")
+        # Re-enroll with the destination mpvmd.
+        yield dst.busy_seconds(params.enroll_s, label="re-enroll")
+        # Restart message to every task: unblocks senders, installs remap.
+        restart_events = [self._control_msg(dst, peer.host) for peer in peers]
+        if restart_events:
+            yield self.sim.all_of(restart_events)
+        for peer in peers:
+            peer.context.unblock_sends_to(old_tid, new_tid)  # type: ignore[attr-defined]
+        task.context.learn_remap(old_tid, new_tid)  # type: ignore[attr-defined]
+        task.state = ProcState.RUNNING
+        resume.succeed()
+        stats.t_restart_done = self.sim.now
+        self.stats.append(stats)
+        trace(
+            "mpvm.restart.done",
+            f"{tid_str(old_tid)} restarted as {tid_str(new_tid)} on {dst.name}",
+            obtrusiveness=round(stats.obtrusiveness, 4),
+            migration=round(stats.migration_time, 4),
+        )
+        done.succeed(stats)
+
+    def _control_msg(self, src: Host, dst: Host) -> Event:
+        """A small protocol packet between two hosts (flush/ack/restart)."""
+        if src is dst:
+            return src.ipc_copy(64, label="ctl-local")
+        return self.system.network.transfer(src, dst, 64, label="ctl")

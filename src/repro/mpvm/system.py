@@ -1,0 +1,62 @@
+"""MPVM: PVM extended with transparent process migration."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.cluster import Cluster
+from ..hw.host import Host
+from ..pvm.task import Task
+from ..pvm.tid import make_tid, tid_str
+from ..pvm.vm import PvmSystem
+from ..sim import Event
+from .context import MpvmContext
+from .migration import MigrationEngine
+
+__all__ = ["MpvmSystem"]
+
+
+class MpvmSystem(PvmSystem):
+    """A PVM virtual machine whose tasks can transparently migrate.
+
+    Source-compatible with :class:`PvmSystem`: the same ``program(ctx)``
+    bodies run unchanged ("no more than re-compilation and re-linking").
+    Satisfies the GS :class:`~repro.gs.MigrationClient` protocol, with
+    *whole tasks* as the movable unit — the coarsest granularity of the
+    three systems (§3.4.1).
+    """
+
+    context_class = MpvmContext
+
+    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
+        super().__init__(cluster, default_route=default_route)
+        self.engine = MigrationEngine(self)
+
+    # -- MigrationClient interface ------------------------------------------
+    def movable_units(self, host: Host) -> List[Task]:
+        return [t for t in self.live_tasks() if t.host is host]
+
+    def request_migration(self, unit: Task, dst: Host) -> Event:
+        return self.engine.request_migration(unit, dst)
+
+    # -- tid rebinding on migration --------------------------------------------
+    def rebind_task_tid(self, task: Task, new_host: Host) -> Tuple[int, int]:
+        """Give the migrated task its new-host tid; forward the old one."""
+        old_tid = task.tid
+        self.pvmd_on(task.host).unregister(task)
+        new_pvmd = self.pvmd_on(new_host)
+        new_tid = make_tid(new_pvmd.host_index, new_pvmd.alloc_local())
+        del self.tasks[old_tid]
+        self.tasks[new_tid] = task
+        self.tid_forward[old_tid] = new_tid
+        task.tid = new_tid
+        task.name = tid_str(new_tid)
+        new_pvmd.register(task)
+        # Any direct-TCP channels to/from the old endpoint are dead.
+        self.direct_route.invalidate_for(old_tid)
+        return old_tid, new_tid
+
+    @property
+    def migrations(self):
+        """Stats for every completed migration."""
+        return self.engine.stats

@@ -1,0 +1,55 @@
+"""PVM substrate: daemons, tasks, typed messages, routing, user API."""
+
+from .context import Freeze, PvmContext, TaskKilled
+from .daemon import Pvmd
+from .errors import (
+    PvmBadParam,
+    PvmError,
+    PvmMigrationError,
+    PvmNoHost,
+    PvmNoTask,
+    PvmNotCompatible,
+    PvmSysErr,
+)
+from .groups import GroupServer
+from .message import HEADER_BYTES, Message, MessageBuffer
+from .routing import DaemonRoute, DirectRoute, fragments_of
+from .task import Task
+from .tid import (
+    PVM_ANY,
+    is_valid_tid,
+    make_tid,
+    tid_host_index,
+    tid_local,
+    tid_str,
+)
+from .vm import PvmSystem
+
+__all__ = [
+    "DaemonRoute",
+    "DirectRoute",
+    "Freeze",
+    "GroupServer",
+    "HEADER_BYTES",
+    "Message",
+    "MessageBuffer",
+    "PVM_ANY",
+    "Pvmd",
+    "PvmBadParam",
+    "PvmContext",
+    "PvmError",
+    "PvmMigrationError",
+    "PvmNoHost",
+    "PvmNoTask",
+    "PvmNotCompatible",
+    "PvmSysErr",
+    "PvmSystem",
+    "Task",
+    "TaskKilled",
+    "fragments_of",
+    "is_valid_tid",
+    "make_tid",
+    "tid_host_index",
+    "tid_local",
+    "tid_str",
+]

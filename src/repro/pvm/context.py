@@ -1,0 +1,401 @@
+"""The libpvm programming interface handed to application tasks.
+
+Every task body is a generator function ``program(ctx)`` receiving a
+:class:`PvmContext`.  All potentially blocking calls are generators and
+must be invoked with ``yield from``::
+
+    def worker(ctx):
+        msg = yield from ctx.recv(tag=TAG_WORK)
+        data = msg.buffer.upkarray()
+        yield from ctx.compute(flops_for(data))
+        buf = ctx.initsend().pkarray(result)
+        yield from ctx.send(msg.src_tid, TAG_RESULT, buf)
+
+The base class implements plain PVM.  The migration systems subclass it:
+``MpvmContext`` adds re-entrancy flags, tid re-mapping and send-blocking
+(the sources of MPVM's method overhead, paper §4.1.1), and UPVM wraps it
+for ULPs with local hand-off optimization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional
+
+from ..sim import Event, Interrupt
+from .errors import PvmBadParam, PvmError
+from .message import Message, MessageBuffer
+from .tid import PVM_ANY, tid_str
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from .task import Task
+    from .vm import PvmSystem
+
+__all__ = ["PvmContext", "Freeze", "TaskKilled"]
+
+
+from ..unix.signals import ProcessKilled
+
+
+class TaskKilled(ProcessKilled):
+    """Raised inside a task body when the task is killed (pvm_kill).
+
+    Subclasses :class:`~repro.unix.signals.ProcessKilled`, so the process
+    wrapper turns it into a clean exit (code -9) rather than a crash."""
+
+
+class Freeze:
+    """An interrupt cause meaning "suspend until resumed".
+
+    The migration engines interrupt a task's coroutine with a ``Freeze``;
+    the library traps it (transparently to the application), waits on
+    ``resume_event``, and re-issues whatever the task was doing — a
+    pre-empted computation resumes with its remaining flops, a pre-empted
+    receive re-issues its match.
+    """
+
+    def __init__(self, resume_event: Event, reason: str = "migration") -> None:
+        self.resume_event = resume_event
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"<Freeze {self.reason}>"
+
+
+class PvmContext:
+    """Plain PVM user interface (no migration support)."""
+
+    def __init__(self, system: "PvmSystem", task: "Task") -> None:
+        self.system = system
+        self.task = task
+        self._route_pref: Optional[str] = None
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def mytid(self) -> int:
+        return self.task.tid
+
+    @property
+    def parent(self) -> Optional[int]:
+        return self.task.parent_tid
+
+    @property
+    def host(self) -> "Host":
+        return self.task.host
+
+    @property
+    def sim(self):
+        return self.task.sim
+
+    @property
+    def now(self) -> float:
+        return self.task.sim.now
+
+    @property
+    def params(self):
+        return self.system.params
+
+    def config(self) -> List[str]:
+        """pvm_config: names of hosts in the virtual machine."""
+        return [h.name for h in self.system.cluster.hosts]
+
+    # -- tunables -------------------------------------------------------------
+    def advise(self, route: str) -> None:
+        """pvm_advise / pvm_setopt(PvmRoute): 'daemon' or 'direct'."""
+        if route not in ("daemon", "direct"):
+            raise PvmBadParam(f"unknown route {route!r}")
+        self._route_pref = route
+
+    # -- hooks the migration layers override -------------------------------------
+    def _call_overhead_s(self) -> float:
+        """Fixed per-library-call overhead (re-entrancy flags etc.)."""
+        return 0.0
+
+    def _map_tid_out(self, tid: int) -> int:
+        """Application-visible tid -> real tid (identity in plain PVM)."""
+        return tid
+
+    def _map_tid_in(self, tid: int) -> int:
+        """Real tid -> application-visible tid."""
+        return tid
+
+    def _send_gate(self, dst_tid: int) -> Generator[Event, Any, None]:
+        """Block the sender if the destination is mid-migration."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def handle_interrupt(self, intr: Interrupt) -> Generator[Event, Any, None]:
+        """React to an asynchronous interrupt of the task body.
+
+        The base library understands :class:`Freeze` (suspend/resume) and
+        kill causes; anything else propagates to the application.
+        Re-entrant: a second freeze arriving while already frozen (e.g. a
+        periodic checkpoint landing during a migration) stacks — the task
+        resumes only when *every* freeze has been released.
+        """
+        from ..unix.signals import Sig, SignalRecord
+
+        cause = intr.cause
+        if isinstance(cause, SignalRecord) and cause.signo == Sig.SIGKILL:
+            raise TaskKilled(self.task.name)
+        if not isinstance(cause, Freeze):
+            raise intr
+        waits = [cause.resume_event]
+        while waits:
+            target = waits[-1]
+            try:
+                yield target
+                waits.pop()
+            except Interrupt as nested:
+                ncause = nested.cause
+                if isinstance(ncause, SignalRecord) and ncause.signo == Sig.SIGKILL:
+                    raise TaskKilled(self.task.name) from None
+                if not isinstance(ncause, Freeze):
+                    raise
+                waits.append(ncause.resume_event)
+
+    # -- message construction ------------------------------------------------------
+    def initsend(self) -> MessageBuffer:
+        """pvm_initsend: a fresh pack buffer."""
+        return MessageBuffer()
+
+    # -- send ------------------------------------------------------------------
+    def send(
+        self, dst_tid: int, tag: int, buf: Optional[MessageBuffer] = None
+    ) -> Generator[Event, Any, Message]:
+        """pvm_send: transmit ``buf`` to ``dst_tid`` with ``tag``."""
+        buf = buf if buf is not None else MessageBuffer()
+        self.task.in_library = True
+        try:
+            real_dst = self._map_tid_out(dst_tid)
+            yield from self._send_gate(real_dst)
+            real_dst = self._map_tid_out(dst_tid)  # re-check after gate
+            yield from self._charge_pack(buf)
+            msg = Message(self.task.tid, real_dst, tag, buf, sent_at=self.now)
+            self.system.note_sent(msg)
+            route = self.system.route_for(self.task, real_dst, self._route_pref)
+            yield from route.sender_side(self.task, msg)
+            self._trace("pvm.send", f"tag={tag} -> {tid_str(real_dst)}", bytes=msg.wire_bytes)
+            return msg
+        finally:
+            self.task.in_library = False
+
+    def mcast(
+        self, tids: Iterable[int], tag: int, buf: Optional[MessageBuffer] = None
+    ) -> Generator[Event, Any, List[Message]]:
+        """pvm_mcast: send one buffer to many tasks (packed once)."""
+        buf = buf if buf is not None else MessageBuffer()
+        self.task.in_library = True
+        try:
+            yield from self._charge_pack(buf)
+            sent = []
+            for dst in tids:
+                real_dst = self._map_tid_out(dst)
+                yield from self._send_gate(real_dst)
+                real_dst = self._map_tid_out(dst)
+                msg = Message(self.task.tid, real_dst, tag, buf.fork(), sent_at=self.now)
+                self.system.note_sent(msg)
+                route = self.system.route_for(self.task, real_dst, self._route_pref)
+                yield from route.sender_side(self.task, msg)
+                sent.append(msg)
+            self._trace("pvm.mcast", f"tag={tag} x{len(sent)}", bytes=buf.wire_bytes)
+            return sent
+        finally:
+            self.task.in_library = False
+
+    def _charge_pack(self, buf: MessageBuffer) -> Generator[Event, Any, None]:
+        """CPU cost of packing + per-call library overhead."""
+        params = self.params
+        seconds = (
+            self._call_overhead_s()
+            + buf.pack_calls * params.pack_call_s
+            + buf.nbytes / params.memcpy_bytes_per_s
+        )
+        if seconds > 0:
+            yield self.host.busy_seconds(seconds, label="pack")
+
+    # -- receive -----------------------------------------------------------------
+    def recv(
+        self, src: int = PVM_ANY, tag: int = PVM_ANY
+    ) -> Generator[Event, Any, Message]:
+        """pvm_recv: block until a matching message is available.
+
+        Wildcards: ``src=-1`` any source, ``tag=-1`` any tag.  The match
+        is on *application-visible* tids (re-mapped under MPVM).
+
+        The blocking wait itself is a *safe point* for migration (the
+        library flag is dropped while blocked): MPVM re-implemented
+        ``pvm_recv`` precisely so a process blocked in it can migrate
+        (paper §4.1.1).
+        """
+        pred = self._match_predicate(src, tag)
+        msg: Optional[Message] = None
+        while msg is None:
+            get_ev = self.task.mailbox.get(pred)
+            try:
+                msg = yield get_ev
+            except Interrupt as intr:
+                if not self.task.mailbox.cancel(get_ev) and get_ev.triggered:
+                    # The message raced in just before the interrupt.
+                    msg = get_ev.value
+                    yield from self.handle_interrupt(intr)
+                else:
+                    yield from self.handle_interrupt(intr)
+                    pred = self._match_predicate(src, tag)  # re-arm
+        self.task.in_library = True
+        try:
+            yield from self._charge_unpack(msg)
+            msg.src_tid = self._map_tid_in(msg.src_tid)
+            self._trace("pvm.recv", f"tag={msg.tag} <- {tid_str(msg.src_tid)}",
+                        bytes=msg.wire_bytes)
+            return msg
+        finally:
+            self.task.in_library = False
+
+    def nrecv(self, src: int = PVM_ANY, tag: int = PVM_ANY):
+        """pvm_nrecv: non-blocking receive; returns the message or None.
+
+        Still a generator (it charges the library-call/unpack cost)."""
+        self.task.in_library = True
+        try:
+            pred = self._match_predicate(src, tag)
+            item = self.task.mailbox.peek(pred)
+            if item is None:
+                overhead = self._call_overhead_s()
+                if overhead > 0:
+                    yield self.host.busy_seconds(overhead, label="nrecv")
+                return None
+            got = yield self.task.mailbox.get(pred)
+            yield from self._charge_unpack(got)
+            got.src_tid = self._map_tid_in(got.src_tid)
+            return got
+        finally:
+            self.task.in_library = False
+
+    def probe(self, src: int = PVM_ANY, tag: int = PVM_ANY) -> bool:
+        """pvm_probe: does a matching message wait in the queue?"""
+        return self.task.mailbox.peek(self._match_predicate(src, tag)) is not None
+
+    def _match_predicate(self, src: int, tag: int):
+        def pred(msg: Message) -> bool:
+            visible_src = self._map_tid_in(msg.src_tid)
+            return (src == PVM_ANY or visible_src == src) and (
+                tag == PVM_ANY or msg.tag == tag
+            )
+
+        return pred
+
+    def _charge_unpack(self, msg: Message) -> Generator[Event, Any, None]:
+        params = self.params
+        seconds = (
+            self._call_overhead_s()
+            + msg.nbytes / params.memcpy_bytes_per_s
+            + params.syscall_s
+            # The blocked receiver is woken by the kernel scheduler.
+            + params.os_context_switch_s
+        )
+        yield self.host.busy_seconds(seconds, label="unpack")
+
+    # -- compute --------------------------------------------------------------------
+    def compute(self, flops: float, label: str = "compute") -> Generator[Event, Any, None]:
+        """Run ``flops`` of application computation.
+
+        Interruptible: if the task is frozen mid-computation (migration),
+        the remaining work resumes — possibly on a different host.
+        """
+        remaining = float(flops)
+        while remaining > 0:
+            cpu = self.host.cpu
+            job = cpu.submit_job(remaining, label=label)
+            try:
+                yield job.event
+                remaining = 0.0
+            except Interrupt as intr:
+                remaining = cpu.cancel(job)
+                yield from self.handle_interrupt(intr)
+
+    def sleep(self, seconds: float) -> Generator[Event, Any, None]:
+        """Idle (blocked, not consuming CPU) for simulated ``seconds``."""
+        t_end = self.now + seconds
+        while self.now < t_end:
+            try:
+                yield self.sim.timeout(t_end - self.now)
+            except Interrupt as intr:
+                yield from self.handle_interrupt(intr)
+
+    # -- task management ----------------------------------------------------------
+    def spawn(
+        self,
+        executable: str,
+        count: int = 1,
+        where: Optional[List[str]] = None,
+    ) -> Generator[Event, Any, List[int]]:
+        """pvm_spawn: start ``count`` instances of a registered program."""
+        self.task.in_library = True
+        try:
+            tids = yield from self.system.spawn(
+                executable, count=count, where=where, parent=self.task
+            )
+            return tids
+        finally:
+            self.task.in_library = False
+
+    # -- groups (libgpvm) ---------------------------------------------------------
+    def joingroup(self, name: str) -> Generator[Event, Any, int]:
+        """pvm_joingroup: join and get the instance number (generator)."""
+        self.task.in_library = True
+        try:
+            inst = yield from self.system.group_server.join(self, name)
+            return inst
+        finally:
+            self.task.in_library = False
+
+    def lvgroup(self, name: str) -> Generator[Event, Any, None]:
+        """pvm_lvgroup (generator)."""
+        self.task.in_library = True
+        try:
+            yield from self.system.group_server.leave(self, name)
+        finally:
+            self.task.in_library = False
+
+    def gsize(self, name: str) -> int:
+        """pvm_gsize."""
+        return self.system.group_server.size(name)
+
+    def getinst(self, name: str, tid: Optional[int] = None) -> int:
+        """pvm_getinst (defaults to the caller's own instance)."""
+        return self.system.group_server.instance(
+            name, self.mytid if tid is None else tid
+        )
+
+    def gettid(self, name: str, instance: int) -> int:
+        """pvm_gettid."""
+        return self.system.group_server.tid_of(name, instance)
+
+    def barrier(self, name: str, count: Optional[int] = None
+                ) -> Generator[Event, Any, None]:
+        """pvm_barrier (generator)."""
+        yield from self.system.group_server.barrier(self, name, count)
+
+    def bcast(self, name: str, tag: int, buf: Optional[MessageBuffer] = None
+              ) -> Generator[Event, Any, List[Message]]:
+        """pvm_bcast: to every member of the group but the caller."""
+        sent = yield from self.system.group_server.bcast(self, name, tag, buf)
+        return sent
+
+    def exit(self) -> None:
+        """pvm_exit: leave the virtual machine (body should return soon)."""
+        self.system.task_exited(self.task)
+
+    def kill(self, tid: int) -> None:
+        """pvm_kill: terminate another task."""
+        self.system.kill_task(self._map_tid_out(tid))
+
+    # -- misc -------------------------------------------------------------------------
+    def _trace(self, category: str, message: str, **fields: Any) -> None:
+        tracer = self.system.tracer
+        if tracer:
+            tracer.emit(self.now, category, tid_str(self.task.tid), message, **fields)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {tid_str(self.task.tid)}>"

@@ -1,0 +1,114 @@
+"""The pvmd: one daemon per host.
+
+The daemon owns tid allocation for its host, executes task start-up
+(fork/exec/enroll costs), and runs the store-and-forward message pipeline
+of the default route.  It is modelled — as in real PVM — as a
+single-threaded server: messages traversing a daemon are processed
+sequentially, and the daemon's CPU time contends with application
+processes on the same workstation.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Dict
+
+from ..hw.host import Host
+from ..sim import Store
+from .message import Message
+from .routing import fragments_of
+from .task import Task
+from .tid import tid_host_index, tid_str
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vm import PvmSystem
+
+__all__ = ["Pvmd"]
+
+
+class Pvmd:
+    """The PVM daemon for one host."""
+
+    def __init__(self, system: "PvmSystem", host: Host, host_index: int) -> None:
+        self.system = system
+        self.host = host
+        self.host_index = host_index
+        self.name = f"pvmd@{host.name}"
+        self._local_ids = count(1)
+        self.local_tasks: Dict[int, Task] = {}
+        self.outbound: Store = Store(host.sim)
+        self.inbound: Store = Store(host.sim)
+        host.sim.process(self._outbound_worker(), name=f"{self.name}:out")
+        host.sim.process(self._inbound_worker(), name=f"{self.name}:in")
+
+    # -- tid allocation / registry ------------------------------------------
+    def alloc_local(self) -> int:
+        return next(self._local_ids)
+
+    def register(self, task: Task) -> None:
+        self.local_tasks[task.tid] = task
+
+    def unregister(self, task: Task) -> None:
+        self.local_tasks.pop(task.tid, None)
+
+    # -- message pipeline -----------------------------------------------------
+    def enqueue_outbound(self, msg: Message) -> None:
+        self.outbound.put(msg)
+
+    def enqueue_inbound(self, msg: Message) -> None:
+        self.inbound.put(msg)
+
+    def _frag_cpu(self, msg: Message):
+        """Per-fragment daemon processing for one traversal."""
+        params = self.system.params
+        nfrags = fragments_of(msg.wire_bytes, params.pvm_frag_bytes)
+        return self.host.busy_seconds(
+            nfrags * params.pvmd_frag_cpu_s, label="pvmd-frag"
+        )
+
+    def _outbound_worker(self):
+        """Route messages submitted by local tasks."""
+        while True:
+            msg: Message = yield self.outbound.get()
+            yield self._frag_cpu(msg)
+            dst_host_idx = tid_host_index(self._current_host_of(msg.dst_tid))
+            dst_pvmd = self.system.pvmd_at(dst_host_idx)
+            if dst_pvmd is self:
+                # Local delivery: pvmd -> task IPC copy.
+                yield self.host.ipc_copy(msg.wire_bytes, label="pvmd>rcv")
+                self._deliver_local(msg)
+            else:
+                yield self.system.network.transfer(
+                    self.host, dst_pvmd.host, msg.wire_bytes, label="pvmd-udp"
+                )
+                dst_pvmd.enqueue_inbound(msg)
+
+    def _inbound_worker(self):
+        """Deliver messages arriving from remote daemons to local tasks."""
+        while True:
+            msg: Message = yield self.inbound.get()
+            yield self._frag_cpu(msg)
+            yield self.host.ipc_copy(msg.wire_bytes, label="pvmd>rcv")
+            self._deliver_local(msg)
+
+    def _current_host_of(self, tid: int) -> int:
+        """The tid *as currently routable* (handles forwarding tables
+        installed by the migration layers).  Base PVM: identity."""
+        return self.system.routable_tid(tid)
+
+    def _deliver_local(self, msg: Message) -> None:
+        task = self.system.task(self.system.routable_tid(msg.dst_tid))
+        if task.host is not self.host:
+            # The task moved while the message was in the pipeline: forward.
+            self.system.pvmd_on(task.host).enqueue_outbound(msg)
+            return
+        task.deliver(msg)
+        if self.system.tracer:
+            self.system.tracer.emit(
+                self.host.sim.now, "pvm.deliver", self.name,
+                f"{tid_str(msg.src_tid)}->{tid_str(msg.dst_tid)} tag={msg.tag}",
+                bytes=msg.wire_bytes,
+            )
+
+    def __repr__(self) -> str:
+        return f"<Pvmd {self.name} tasks={len(self.local_tasks)}>"

@@ -1,0 +1,41 @@
+"""PVM error hierarchy (mirrors the libpvm error codes we need)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "PvmError",
+    "PvmBadParam",
+    "PvmNoTask",
+    "PvmNoHost",
+    "PvmSysErr",
+    "PvmMigrationError",
+    "PvmNotCompatible",
+]
+
+
+class PvmError(Exception):
+    """Base class for all PVM-level failures."""
+
+
+class PvmBadParam(PvmError):
+    """Invalid argument to a libpvm call (PvmBadParam)."""
+
+
+class PvmNoTask(PvmError):
+    """Referenced tid does not exist (PvmNoTask)."""
+
+
+class PvmNoHost(PvmError):
+    """Referenced host is not part of the virtual machine (PvmNoHost)."""
+
+
+class PvmSysErr(PvmError):
+    """Daemon/system level failure (PvmSysErr)."""
+
+
+class PvmMigrationError(PvmError):
+    """A migration protocol step failed."""
+
+
+class PvmNotCompatible(PvmMigrationError):
+    """Migration requested between migration-incompatible hosts (§3.3)."""

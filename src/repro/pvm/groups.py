@@ -1,0 +1,146 @@
+"""PVM dynamic group operations (libgpvm: pvm_joingroup, pvm_barrier,
+pvm_bcast, pvm_gsize...).
+
+PVM 3.x implements groups with a *group server* task; every group call
+is a round trip to it.  We model the server as resident on one host
+(host 0 by default, where the master pvmd runs): each operation charges
+a control message to the server's host and back, so group operations on
+a 10 Mb/s Ethernet have realistic millisecond costs and the barrier's
+release fan-out is visible in traces.
+
+Group membership interacts with migration the way real MPVM did: tids
+stored in the group map are *application-visible* tids, so a migrated
+member keeps its group name and instance number.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..sim import Event
+from .errors import PvmBadParam
+from .message import MessageBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import PvmContext
+    from .vm import PvmSystem
+
+__all__ = ["GroupServer"]
+
+
+class _Group:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: instance number -> application-visible tid (None = left).
+        self.members: List[Optional[int]] = []
+        self._barrier_waiters: List[Event] = []
+        self._barrier_count = 0
+
+    @property
+    def size(self) -> int:
+        return sum(1 for m in self.members if m is not None)
+
+    def tids(self) -> List[int]:
+        return [m for m in self.members if m is not None]
+
+
+class GroupServer:
+    """The pvmgs group server for one virtual machine."""
+
+    def __init__(self, system: "PvmSystem", host_index: int = 0) -> None:
+        self.system = system
+        self.host = system.cluster.hosts[host_index]
+        self.groups: Dict[str, _Group] = {}
+
+    # -- cost helper ----------------------------------------------------------
+    def _round_trip(self, ctx: "PvmContext"):
+        """Control message task -> group server -> task."""
+        if ctx.host is self.host:
+            yield ctx.host.ipc_copy(64, label="gs-local")
+            yield ctx.host.ipc_copy(64, label="gs-local")
+        else:
+            yield self.system.network.transfer(ctx.host, self.host, 64, label="grp")
+            yield self.system.network.transfer(self.host, ctx.host, 64, label="grp")
+
+    # -- operations (generators, called through PvmContext) -----------------------
+    def join(self, ctx: "PvmContext", name: str):
+        """pvm_joingroup: returns the caller's instance number."""
+        yield from self._round_trip(ctx)
+        group = self.groups.setdefault(name, _Group(name))
+        mytid = ctx.mytid
+        if mytid in group.members:
+            return group.members.index(mytid)
+        # Reuse the lowest free slot (PVM semantics).
+        for i, member in enumerate(group.members):
+            if member is None:
+                group.members[i] = mytid
+                return i
+        group.members.append(mytid)
+        return len(group.members) - 1
+
+    def leave(self, ctx: "PvmContext", name: str):
+        """pvm_lvgroup."""
+        yield from self._round_trip(ctx)
+        group = self._get(name)
+        try:
+            idx = group.members.index(ctx.mytid)
+        except ValueError:
+            raise PvmBadParam(f"{ctx.mytid:#x} is not in group {name!r}") from None
+        group.members[idx] = None
+
+    def size(self, name: str) -> int:
+        """pvm_gsize (local bookkeeping; no message cost)."""
+        return self._get(name).size
+
+    def instance(self, name: str, tid: int) -> int:
+        """pvm_getinst."""
+        group = self._get(name)
+        try:
+            return group.members.index(tid)
+        except ValueError:
+            raise PvmBadParam(f"{tid:#x} is not in group {name!r}") from None
+
+    def tid_of(self, name: str, instance: int) -> int:
+        """pvm_gettid."""
+        group = self._get(name)
+        if not 0 <= instance < len(group.members) or group.members[instance] is None:
+            raise PvmBadParam(f"no instance {instance} in group {name!r}")
+        return group.members[instance]
+
+    def barrier(self, ctx: "PvmContext", name: str, count: Optional[int] = None):
+        """pvm_barrier: block until ``count`` members arrived (default:
+        the current group size)."""
+        group = self._get(name)
+        if ctx.mytid not in group.members:
+            raise PvmBadParam(f"barrier on {name!r} by non-member")
+        want = count if count is not None else group.size
+        if want < 1:
+            raise PvmBadParam("barrier count must be >= 1")
+        yield from self._round_trip(ctx)
+        group._barrier_count += 1
+        if group._barrier_count >= want:
+            # Release everyone (the server fans out release messages;
+            # each waiter pays its own return trip inside _round_trip).
+            group._barrier_count = 0
+            waiters, group._barrier_waiters = group._barrier_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+            return
+        gate = Event(ctx.sim)
+        group._barrier_waiters.append(gate)
+        yield gate
+
+    def bcast(self, ctx: "PvmContext", name: str, tag: int,
+              buf: Optional[MessageBuffer] = None):
+        """pvm_bcast: send to every group member except the caller."""
+        group = self._get(name)
+        others = [t for t in group.tids() if t != ctx.mytid]
+        sent = yield from ctx.mcast(others, tag, buf)
+        return sent
+
+    def _get(self, name: str) -> _Group:
+        group = self.groups.get(name)
+        if group is None:
+            raise PvmBadParam(f"no such group {name!r}")
+        return group

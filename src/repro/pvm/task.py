@@ -1,0 +1,72 @@
+"""PVM tasks: Unix processes enrolled in the virtual machine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..sim import FilterStore
+from ..unix import AddressSpace, SimProcess
+from ..hw.host import Host
+from .message import Message
+from .tid import tid_str
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vm import PvmSystem
+
+__all__ = ["Task"]
+
+
+class Task(SimProcess):
+    """A PVM task: a :class:`SimProcess` with a tid and a mailbox.
+
+    The mailbox holds messages that have *arrived* but have not yet been
+    received by the application (``pvm_recv``).  Its contents are part of
+    the task's migration state.
+    """
+
+    def __init__(
+        self,
+        system: "PvmSystem",
+        host: Host,
+        tid: int,
+        executable: str,
+        program: Callable,
+        parent_tid: Optional[int] = None,
+        space: Optional[AddressSpace] = None,
+    ) -> None:
+        super().__init__(host, name=tid_str(tid), space=space, executable=executable)
+        self.system = system
+        self.tid = tid
+        self.program = program
+        self.parent_tid = parent_tid
+        self.mailbox: FilterStore = FilterStore(host.sim)
+        #: True while the task is executing inside the run-time library —
+        #: MPVM may not migrate a task in this window (paper §2.1).
+        self.in_library = False
+        #: Set by the application through the context; included in
+        #: migration state size (working data owned by the task).
+        self.user_state_bytes = 0
+        #: Arbitrary application scratch, carried across migration.
+        self.user_data: Any = None
+
+    @property
+    def queued_message_bytes(self) -> int:
+        return sum(m.wire_bytes for m in self.mailbox.items)
+
+    @property
+    def migration_state_bytes(self) -> int:
+        """Bytes MPVM must transfer: writable segments + queued messages."""
+        return (
+            self.space.writable_bytes
+            + self.user_state_bytes
+            + self.queued_message_bytes
+        )
+
+    def deliver(self, msg: Message) -> None:
+        """Final delivery into the task's receive queue."""
+        msg.arrived_at = self.sim.now
+        self.mailbox.put(msg)
+        self.system.note_delivered(msg)
+
+    def __repr__(self) -> str:
+        return f"<Task {tid_str(self.tid)} ({self.executable}) on {self.host.name}>"

@@ -1,0 +1,60 @@
+"""Task identifiers.
+
+PVM 3.x encodes a task id as a host part plus a host-local part; the tid
+is the end-point name for all task-to-task communication.  MPVM's central
+complication (paper §4.1.1) is that a migrated task gets a *new* tid on
+its new host, so the library must re-map application-visible tids to real
+tids on every send and receive.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PVM_ANY",
+    "HOST_SHIFT",
+    "LOCAL_MASK",
+    "make_tid",
+    "tid_host_index",
+    "tid_local",
+    "tid_str",
+    "is_valid_tid",
+]
+
+#: Wildcard for ``recv``: match any source tid / any tag.
+PVM_ANY = -1
+
+HOST_SHIFT = 18
+LOCAL_MASK = (1 << HOST_SHIFT) - 1
+_HOST_MAX = (1 << 12) - 2
+
+
+def make_tid(host_index: int, local: int) -> int:
+    """Compose a tid from a host index and a host-local task number.
+
+    Host indices are offset by one so that tid 0 never exists (PVM
+    reserves it) and so a zero tid is visibly invalid in traces.
+    """
+    if not 0 <= host_index <= _HOST_MAX:
+        raise ValueError(f"host index {host_index} out of range")
+    if not 0 <= local <= LOCAL_MASK:
+        raise ValueError(f"local task number {local} out of range")
+    return ((host_index + 1) << HOST_SHIFT) | local
+
+
+def tid_host_index(tid: int) -> int:
+    """The host index encoded in ``tid``."""
+    return (tid >> HOST_SHIFT) - 1
+
+
+def tid_local(tid: int) -> int:
+    """The host-local task number encoded in ``tid``."""
+    return tid & LOCAL_MASK
+
+
+def is_valid_tid(tid: int) -> bool:
+    return tid > 0 and tid_host_index(tid) >= 0
+
+
+def tid_str(tid: int) -> str:
+    """Render a tid the way PVM prints them (hex, 't' prefix)."""
+    return f"t{tid:x}"

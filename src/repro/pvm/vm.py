@@ -1,0 +1,254 @@
+"""The virtual machine: daemons + tasks + program registry + routing."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..hw.cluster import Cluster
+from ..hw.host import Host
+from ..sim import Event
+from .context import PvmContext
+from .daemon import Pvmd
+from .errors import PvmBadParam, PvmNoHost, PvmNoTask
+from .routing import DaemonRoute, DirectRoute
+from .task import Task
+from .tid import make_tid, tid_str
+
+__all__ = ["PvmSystem"]
+
+Program = Callable[[PvmContext], Any]
+
+
+class PvmSystem:
+    """A running PVM virtual machine over a simulated cluster.
+
+    Subclassed by :class:`repro.mpvm.MpvmSystem` (migratable tasks) and
+    used as substrate by UPVM and ADM.
+    """
+
+    #: Context class handed to task bodies; subclasses override.
+    context_class = PvmContext
+
+    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
+        if default_route not in ("daemon", "direct"):
+            raise PvmBadParam(f"unknown default route {default_route!r}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.params = cluster.params
+        self.tracer = cluster.tracer
+        self.network = cluster.network
+        self.default_route = default_route
+        self.pvmds: List[Pvmd] = [
+            Pvmd(self, host, idx) for idx, host in enumerate(cluster.hosts)
+        ]
+        self.tasks: Dict[int, Task] = {}
+        #: Forwarding entries installed by migration: old tid -> new tid.
+        self.tid_forward: Dict[int, int] = {}
+        self.programs: Dict[str, Program] = {}
+        self.daemon_route = DaemonRoute(self)
+        self.direct_route = DirectRoute(self)
+        from .groups import GroupServer
+
+        #: The pvmgs group server (pvm_joingroup/barrier/bcast).
+        self.group_server = GroupServer(self)
+        self._rr_counter = 0
+        #: In-flight message counts keyed by raw destination tid, plus
+        #: waiters for "drained" — the mechanism behind MPVM/UPVM message
+        #: flushing (a migration may not proceed while messages addressed
+        #: to the moving unit are still in a pipeline).
+        self._inflight: Dict[int, int] = {}
+        self._drain_waiters: Dict[int, List[Event]] = {}
+
+    # -- in-flight accounting ------------------------------------------------
+    def note_sent(self, msg) -> None:
+        self._inflight[msg.dst_tid] = self._inflight.get(msg.dst_tid, 0) + 1
+
+    def note_delivered(self, msg) -> None:
+        n = self._inflight.get(msg.dst_tid, 0) - 1
+        if n > 0:
+            self._inflight[msg.dst_tid] = n
+            return
+        self._inflight.pop(msg.dst_tid, None)
+        for ev in self._drain_waiters.pop(msg.dst_tid, []):
+            if not ev.triggered:
+                ev.succeed()
+
+    def in_flight_to(self, tid: int) -> int:
+        return self._inflight.get(tid, 0)
+
+    def when_drained(self, tid: int) -> Event:
+        """Event that fires once nothing is in flight toward ``tid``."""
+        ev = Event(self.sim)
+        if self._inflight.get(tid, 0) == 0:
+            ev.succeed()
+        else:
+            self._drain_waiters.setdefault(tid, []).append(ev)
+        return ev
+
+    # -- registry ---------------------------------------------------------------
+    def register_program(self, name: str, program: Program) -> None:
+        """Make ``program`` spawnable under ``name`` (its "executable")."""
+        self.programs[name] = program
+
+    def pvmd_on(self, host: Host) -> Pvmd:
+        for pvmd in self.pvmds:
+            if pvmd.host is host:
+                return pvmd
+        raise PvmNoHost(host.name)
+
+    def pvmd_at(self, host_index: int) -> Pvmd:
+        try:
+            return self.pvmds[host_index]
+        except IndexError:
+            raise PvmNoHost(f"host index {host_index}") from None
+
+    def add_host(self, spec) -> Pvmd:
+        """pvm_addhosts: grow the virtual machine at run time.
+
+        A machine that just became idle can join the worknet and
+        immediately receive spawned tasks or migrations — the dynamic
+        resource pool the paper's CPE global scheduler manages.
+        """
+        host = self.cluster.add_host(spec)
+        pvmd = Pvmd(self, host, len(self.pvmds))
+        self.pvmds.append(pvmd)
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "pvm.addhost", "pvmd",
+                             f"{host.name} joined the virtual machine")
+        return pvmd
+
+    def routable_tid(self, tid: int) -> int:
+        """Follow migration forwarding to the currently live tid."""
+        seen = set()
+        while tid in self.tid_forward:
+            if tid in seen:
+                raise PvmNoTask(f"forwarding loop at {tid_str(tid)}")
+            seen.add(tid)
+            tid = self.tid_forward[tid]
+        return tid
+
+    def task(self, tid: int) -> Task:
+        live = self.routable_tid(tid)
+        try:
+            return self.tasks[live]
+        except KeyError:
+            raise PvmNoTask(tid_str(tid)) from None
+
+    def live_tasks(self) -> List[Task]:
+        return [t for t in self.tasks.values() if t.alive]
+
+    # -- routing -------------------------------------------------------------------
+    def route_for(self, src: Task, dst_tid: int, pref: Optional[str] = None):
+        choice = pref or self.default_route
+        return self.direct_route if choice == "direct" else self.daemon_route
+
+    # -- task creation ----------------------------------------------------------------
+    def make_context(self, task: Task) -> PvmContext:
+        return self.context_class(self, task)
+
+    def _create_task(
+        self,
+        executable: str,
+        program: Program,
+        host: Host,
+        parent_tid: Optional[int] = None,
+        start: bool = True,
+    ) -> Task:
+        pvmd = self.pvmd_on(host)
+        tid = make_tid(pvmd.host_index, pvmd.alloc_local())
+        task = Task(self, host, tid, executable, program, parent_tid)
+        self.tasks[tid] = task
+        pvmd.register(task)
+        ctx = self.make_context(task)
+        task.context = ctx  # type: ignore[attr-defined]
+        if start:
+            task.start(program(ctx))
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "pvm.task", tid_str(tid),
+                f"created on {host.name} ({executable})",
+            )
+        return task
+
+    def start_master(self, executable: str, host: "Host | int | str" = 0) -> Task:
+        """Enroll the initial task (started from the shell, no spawn cost)."""
+        program = self._resolve_program(executable)
+        return self._create_task(executable, program, self._resolve_host(host))
+
+    def _resolve_program(self, executable: str) -> Program:
+        try:
+            return self.programs[executable]
+        except KeyError:
+            raise PvmBadParam(f"program {executable!r} not registered") from None
+
+    def _resolve_host(self, where: "Host | int | str") -> Host:
+        if isinstance(where, Host):
+            return where
+        return self.cluster.host(where)
+
+    def spawn(
+        self,
+        executable: str,
+        count: int = 1,
+        where: Optional[List] = None,
+        parent: Optional[Task] = None,
+    ) -> Generator[Event, Any, List[int]]:
+        """Start ``count`` tasks, charging exec costs on the target hosts.
+
+        ``where``: explicit host list (cycled); default round-robin over
+        the whole virtual machine.  Generator — ``yield from`` it.
+        """
+        program = self._resolve_program(executable)
+        if count < 1:
+            raise PvmBadParam("count must be >= 1")
+        hosts: List[Host] = []
+        for i in range(count):
+            if where:
+                hosts.append(self._resolve_host(where[i % len(where)]))
+            else:
+                hosts.append(self.cluster.hosts[self._rr_counter % len(self.cluster.hosts)])
+                self._rr_counter += 1
+        parent_tid = parent.tid if parent else None
+        children = [
+            self.sim.process(
+                self._spawn_one(executable, program, host, parent, parent_tid),
+                name=f"spawn:{executable}",
+            )
+            for host in hosts
+        ]
+        yield self.sim.all_of(children)
+        return [child.value for child in children]
+
+    def _spawn_one(
+        self,
+        executable: str,
+        program: Program,
+        host: Host,
+        parent: Optional[Task],
+        parent_tid: Optional[int],
+    ):
+        params = self.params
+        if parent is not None and parent.host is not host:
+            # Spawn request pvmd->pvmd control message.
+            yield self.network.transfer(parent.host, host, 128, label="spawn-req")
+        yield host.busy_seconds(params.exec_process_s, label="exec")
+        yield host.busy_seconds(params.enroll_s, label="enroll")
+        task = self._create_task(executable, program, host, parent_tid)
+        return task.tid
+
+    # -- task teardown -------------------------------------------------------------------
+    def task_exited(self, task: Task) -> None:
+        self.pvmd_on(task.host).unregister(task)
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "pvm.task", tid_str(task.tid), "exited")
+
+    def kill_task(self, tid: int) -> None:
+        task = self.task(tid)
+        task.kill()
+        self.pvmd_on(task.host).unregister(task)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PvmSystem hosts={len(self.pvmds)} tasks={len(self.tasks)} "
+            f"route={self.default_route}>"
+        )

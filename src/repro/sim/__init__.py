@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel (generator-coroutine engine).
+
+This is the substrate on which the simulated worknet, PVM, and the three
+adaptive load-migration systems run.  See :mod:`repro.sim.kernel` for the
+engine and :mod:`repro.sim.resources` for shared-resource primitives.
+"""
+
+from .events import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from .kernel import NORMAL, URGENT, Process, Simulator
+from .resources import FilterStore, ProcessorSharing, PsJob, Resource, Store
+from .rng import RngStreams
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "PENDING",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "NORMAL",
+    "Process",
+    "ProcessorSharing",
+    "PsJob",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "URGENT",
+]

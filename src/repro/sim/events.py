@@ -1,0 +1,256 @@
+"""Core event types for the discrete-event simulation kernel.
+
+The kernel is a small, self-contained generator-coroutine engine in the
+style of SimPy (which is not available in this offline environment).
+Simulated entities are :class:`~repro.sim.kernel.Process` objects wrapping
+Python generators; generators *yield* :class:`Event` instances and are
+resumed when the event is processed.
+
+Events have a three-phase life cycle:
+
+1. *untriggered* — created, value unknown;
+2. *triggered* — a value (or exception) has been decided and the event has
+   been placed on the simulator's queue;
+3. *processed* — the simulator has popped the event and invoked its
+   callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class _Pending:
+    """Sentinel for "this event has no value yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+#: Sentinel used as the value of untriggered events.
+PENDING: Any = _Pending()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` at a target event."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary, application-defined payload (for the
+    PVM reproduction this is typically a migration command or a signal
+    description).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A single occurrence that simulation processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callables invoked (with this event) when the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been decided."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError("event has not yet been triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event has not yet been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If *nothing* waits on a failed event the simulator raises
+        the exception at :meth:`Simulator.step` time (unless the event has
+        been :meth:`defused <defuse>`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Useful as a callback: ``other.callbacks.append(mine.trigger)``.
+        """
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.sim._schedule(self)
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the simulation."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- composition ------------------------------------------------------
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Waits on a set of events until ``evaluate`` says it is satisfied.
+
+    The condition *fails* as soon as any constituent event fails.  On
+    success its value is a dict mapping each triggered constituent event to
+    its value (insertion-ordered, so ``list(cond.value.values())`` lines up
+    with the original event order for :class:`AllOf`).
+    """
+
+    __slots__ = ("events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        events: Iterable[Event],
+        evaluate: Callable[[List[Event], int], bool],
+    ) -> None:
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self.events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggered when *all* constituent events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, lambda evs, count: count >= len(evs))
+
+
+class AnyOf(Condition):
+    """Triggered when *any* constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, lambda evs, count: count >= 1)

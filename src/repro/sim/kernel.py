@@ -1,0 +1,246 @@
+"""The discrete-event simulator and process (coroutine) machinery."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+
+__all__ = ["Simulator", "Process", "URGENT", "NORMAL"]
+
+#: Scheduling priorities.  Urgent events (interrupts) jump ahead of normal
+#: events that are scheduled for the same instant.
+URGENT = 0
+NORMAL = 1
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A simulated activity driven by a Python generator.
+
+    The process object doubles as an event that triggers when the
+    generator terminates; its value is the generator's return value.
+    Yield an :class:`Event` from the generator to wait for it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: ProcessGenerator, name: Optional[str] = None
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (if any).
+        self._target: Optional[Event] = None
+        boot = Event(sim)
+        boot._ok = True
+        boot._value = None
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        The process is detached from whatever event it was waiting on; if
+        it wants to keep waiting it may re-yield ``process.target`` (saved
+        before the interrupt) or any other event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self} has terminated and cannot be interrupted")
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # already scheduled for resumption
+                pass
+        self._target = None
+        ev.callbacks.append(self._resume)
+        self.sim._schedule(ev, priority=URGENT)
+
+    # -- driver ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # The waiter handles (or at least observes) the failure.
+                    event._defused = True
+                    exc = event._value
+                    target = self._generator.throw(exc)
+            except StopIteration as stop:
+                sim._active_process = None
+                self._ok = True
+                self._value = stop.value
+                sim._schedule(self)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process crashed
+                sim._active_process = None
+                self._ok = False
+                self._value = exc
+                sim._schedule(self)
+                return
+
+            if not isinstance(target, Event):
+                sim._active_process = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+            if target.sim is not sim:
+                sim._active_process = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded an event from another simulator"
+                )
+            if target._processed:
+                # Already done: loop and feed it straight back in.
+                event = target
+                continue
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+            self._target = target
+            break
+        sim._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Simulator:
+    """An event-driven simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction helpers -----------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event (a one-shot condition variable)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Launch ``generator`` as a simulated process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when drained."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time) or an :class:`Event` (run until the
+        event is processed; returns its value, raising if it failed).
+        """
+        target_event: Optional[Event] = None
+        stop_at = float("inf")
+        if isinstance(until, Event):
+            target_event = until
+            if target_event.callbacks is None:  # already processed
+                if target_event._ok:
+                    return target_event._value
+                raise target_event._value
+            stopper = Event(self)
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev)
+
+            target_event.callbacks.append(_stop)
+            del stopper
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"cannot run until {stop_at}: already at {self._now}"
+                )
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            ev: Event = stop.value
+            if ev._ok:
+                return ev._value
+            ev._defused = True
+            raise ev._value from None
+        if target_event is not None:
+            raise SimulationError(
+                "simulation ran out of events before the target event triggered"
+            )
+        if stop_at is not float("inf"):
+            self._now = stop_at
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,394 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three families of primitives are provided:
+
+* :class:`Store` / :class:`FilterStore` — FIFO item queues (used for
+  mailboxes and daemon message queues).
+* :class:`Resource` — a counted semaphore (used for mutual exclusion and
+  bounded concurrency).
+* :class:`ProcessorSharing` — an egalitarian processor-sharing server
+  (used for CPUs and for the shared Ethernet medium): all active jobs
+  progress simultaneously, each receiving ``rate * weight / total_weight``
+  units of service per second.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Deque, Dict, List, Optional
+from collections import deque
+
+from .events import Event, SimulationError
+from .kernel import Simulator
+
+__all__ = ["Store", "FilterStore", "Resource", "ProcessorSharing", "PsJob"]
+
+#: A job is considered complete when less than this many *seconds* of
+#: full-rate service remain.  Using a time-relative epsilon (rather than a
+#: work-relative one) avoids a livelock where the remaining work maps to a
+#: wakeup delay smaller than the clock's float resolution.
+_EPS_SECONDS = 1e-9
+
+
+class Store:
+    """An unbounded (or capacity-bounded) FIFO queue of items."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._put_items: Dict[Event, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires once it is stored."""
+        ev = Event(self.sim)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            self._wake_getters()
+        else:
+            self._put_items[ev] = item
+            self._putters.append(ev)
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def put_front(self, item: Any) -> None:
+        """Re-queue an item at the head (undo of a get that was pre-empted)."""
+        self.items.appendleft(item)
+        self._wake_getters()
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending get request.
+
+        Returns True if the request was still queued (and is now gone).
+        Returns False if it had already been satisfied — the caller then
+        owns ``event.value`` and must not lose it (typically it calls
+        :meth:`put_front`).
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        if hasattr(self, "_filters"):
+            self._filters.pop(event, None)  # type: ignore[attr-defined]
+        return True
+
+    def _wake_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:  # cancelled
+                continue
+            getter.succeed(self.items.popleft())
+        self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(self._put_items.pop(putter))
+            putter.succeed()
+
+
+class FilterStore(Store):
+    """A store whose getters may select items with a predicate.
+
+    Matching is FIFO among the items that satisfy the predicate, which is
+    exactly the semantics PVM's ``pvm_recv(tid, tag)`` needs.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        super().__init__(sim, capacity)
+        self._filters: Dict[Event, Callable[[Any], bool]] = {}
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        ev = Event(self.sim)
+        pred = predicate or (lambda item: True)
+        idx = self._find(pred)
+        if idx is not None:
+            item = self.items[idx]
+            del self.items[idx]
+            ev.succeed(item)
+            self._admit_putters()
+        else:
+            self._filters[ev] = pred
+            self._getters.append(ev)
+        return ev
+
+    def peek(self, predicate: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
+        """Non-destructively return the first matching item, if any."""
+        pred = predicate or (lambda item: True)
+        idx = self._find(pred)
+        return self.items[idx] if idx is not None else None
+
+    def _find(self, pred: Callable[[Any], bool]) -> Optional[int]:
+        for i, item in enumerate(self.items):
+            if pred(item):
+                return i
+        return None
+
+    def _wake_getters(self) -> None:
+        # Re-scan all blocked getters against available items.
+        remaining: Deque[Event] = deque()
+        for getter in self._getters:
+            if getter.triggered:
+                self._filters.pop(getter, None)
+                continue
+            pred = self._filters[getter]
+            idx = self._find(pred)
+            if idx is not None:
+                item = self.items[idx]
+                del self.items[idx]
+                self._filters.pop(getter)
+                getter.succeed(item)
+            else:
+                remaining.append(getter)
+        self._getters = remaining
+        self._admit_putters()
+
+
+class Resource:
+    """A counted semaphore.
+
+    Usage from a process generator::
+
+        req = resource.acquire()
+        yield req
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending acquire request.
+
+        Returns True if the request was still queued.  Returns False if
+        it was already granted — the caller then holds the resource and
+        must :meth:`release` it.
+        """
+        try:
+            self._waiters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of an idle resource")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1
+
+
+class PsJob:
+    """A unit of work inside a :class:`ProcessorSharing` server."""
+
+    __slots__ = ("event", "remaining", "weight", "label")
+
+    def __init__(self, event: Event, amount: float, weight: float, label: str) -> None:
+        self.event = event
+        self.remaining = amount
+        self.weight = weight
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<PsJob {self.label!r} remaining={self.remaining:.3g} w={self.weight}>"
+
+
+class ProcessorSharing:
+    """An egalitarian processor-sharing server.
+
+    ``rate`` is in work-units per second (Mflop/s for CPUs, bytes/s for
+    network links).  Each active job receives a share of the rate
+    proportional to its weight.  Permanent *load* (e.g. an interactive
+    owner hammering a workstation) is modelled with :meth:`add_load`,
+    which soaks up a share of the server without ever completing.
+    """
+
+    def __init__(self, sim: Simulator, rate: float, name: str = "ps") -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.name = name
+        self._rate = rate
+        self._jobs: List[PsJob] = []
+        self._loads: List[PsJob] = []
+        self._last_update = sim.now
+        self._wakeup: Optional[Event] = None
+
+    # -- public API --------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(j.weight for j in self._jobs) + sum(j.weight for j in self._loads)
+
+    def utilization_share(self, weight: float = 1.0) -> float:
+        """Fraction of the server a new job of ``weight`` would receive."""
+        return weight / (self.total_weight + weight)
+
+    def submit(self, amount: float, weight: float = 1.0, label: str = "job") -> Event:
+        """Submit ``amount`` units of work; the event fires on completion."""
+        return self.submit_job(amount, weight=weight, label=label).event
+
+    def submit_job(self, amount: float, weight: float = 1.0, label: str = "job") -> PsJob:
+        """Like :meth:`submit` but returns the job handle.
+
+        The handle allows :meth:`cancel` — needed to suspend a
+        computation mid-flight (e.g. when a process is migrated while
+        number-crunching) and later resume the *remaining* work on a
+        different server.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        ev = Event(self.sim)
+        job = PsJob(ev, float(amount), float(weight), label)
+        if amount == 0:
+            ev.succeed(0.0)
+            return job
+        self._advance()
+        self._jobs.append(job)
+        self._reschedule()
+        return job
+
+    def cancel(self, job: PsJob) -> float:
+        """Withdraw an unfinished job; returns the work still remaining.
+
+        Returns 0.0 if the job had already completed.
+        """
+        self._advance()
+        if job not in self._jobs:
+            return 0.0
+        self._jobs.remove(job)
+        self._reschedule()
+        return max(job.remaining, 0.0)
+
+    def add_load(self, weight: float = 1.0, label: str = "load") -> PsJob:
+        """Attach permanent competing load; returns a removable handle."""
+        self._advance()
+        job = PsJob(Event(self.sim), float("inf"), float(weight), label)
+        self._loads.append(job)
+        self._reschedule()
+        return job
+
+    def remove_load(self, handle: PsJob) -> None:
+        self._advance()
+        self._loads.remove(handle)
+        self._reschedule()
+
+    def set_rate(self, rate: float) -> None:
+        """Change the service rate (e.g. DVFS, degraded link)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self._advance()
+        self._rate = rate
+        self._reschedule()
+
+    def time_to_complete(self, amount: float, weight: float = 1.0) -> float:
+        """Time ``amount`` units would take if load stayed as it is now."""
+        share = self._rate * weight / (self.total_weight + weight)
+        return amount / share
+
+    # -- engine ------------------------------------------------------------
+    def _advance(self) -> None:
+        """Credit service delivered since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._jobs:
+            return
+        total_w = self.total_weight
+        per_weight = self._rate * elapsed / total_w
+        for job in self._jobs:
+            job.remaining -= per_weight * job.weight
+
+    def _reschedule(self) -> None:
+        """(Re-)arm the wakeup for the next job completion."""
+        # A previously armed wakeup may still be in the queue; its callback
+        # checks `self._wakeup is not wakeup` and ignores itself if stale.
+        self._wakeup = None
+        if not self._jobs:
+            return
+        total_w = self.total_weight
+        horizon = min(
+            max(job.remaining, 0.0) * total_w / (self._rate * job.weight)
+            for job in self._jobs
+        )
+        wakeup = Event(self.sim)
+        self._wakeup = wakeup
+
+        def _fire(_ev: Event) -> None:
+            if self._wakeup is not wakeup:
+                return  # superseded
+            self._wakeup = None
+            self._advance()
+            eps = self._rate * _EPS_SECONDS
+            finished = [j for j in self._jobs if j.remaining <= eps]
+            self._jobs = [j for j in self._jobs if j.remaining > eps]
+            for job in finished:
+                job.event.succeed(self.sim.now)
+            self._reschedule()
+
+        wakeup._ok = True
+        wakeup._value = None
+        wakeup.callbacks.append(_fire)
+        self.sim._schedule(wakeup, delay=max(horizon, 0.0))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcessorSharing {self.name!r} rate={self._rate:.3g} "
+            f"jobs={len(self._jobs)} loads={len(self._loads)}>"
+        )

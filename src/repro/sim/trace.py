@@ -1,0 +1,94 @@
+"""Structured tracing for protocol reconstruction.
+
+The paper's Figures 1 and 3 are stage diagrams of the MPVM and UPVM
+migration protocols; Figure 4 is the ADM finite-state machine.  We
+regenerate them from *traces*: every subsystem emits structured records
+through a :class:`Tracer`, and the figure benches reconstruct the stage
+timeline from the records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event."""
+
+    time: float
+    category: str  #: e.g. "mpvm.flush", "pvm.send", "adm.fsm"
+    actor: str  #: emitting entity, e.g. "mpvmd@hp720-0", "t40001"
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category:<18} {self.actor:<16} {self.message} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and fans them out to subscribers."""
+
+    def __init__(self, enabled: bool = True, keep: bool = True) -> None:
+        self.enabled = enabled
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(fn)
+
+    def emit(
+        self, time: float, category: str, actor: str, message: str, **fields: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, category, actor, message, fields)
+        if self.keep:
+            self.records.append(rec)
+        for fn in self._subscribers:
+            fn(rec)
+
+    # -- queries -------------------------------------------------------------
+    def select(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        prefix: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Records matching an exact category, category prefix, and/or actor."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if prefix is not None and not rec.category.startswith(prefix):
+                continue
+            if actor is not None and rec.actor != actor:
+                continue
+            out.append(rec)
+        return out
+
+    def spans(self, start_category: str, end_category: str) -> List[tuple]:
+        """Pair up start/end records in order: [(start, end), ...]."""
+        starts = self.select(category=start_category)
+        ends = self.select(category=end_category)
+        return list(zip(starts, ends))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        # An empty tracer must still be truthy: callers use
+        # ``if tracer: tracer.emit(...)`` as a None-guard, and the very
+        # first emit would otherwise be skipped (len() == 0 is falsy).
+        return True

@@ -1,0 +1,17 @@
+"""Simulated Unix process/OS abstractions (processes, memory, signals)."""
+
+from .memory import PAGE, AddressSpace, Segment, page_align
+from .process import ProcState, SimProcess
+from .signals import ProcessKilled, Sig, SignalRecord
+
+__all__ = [
+    "AddressSpace",
+    "PAGE",
+    "ProcState",
+    "ProcessKilled",
+    "Segment",
+    "Sig",
+    "SignalRecord",
+    "SimProcess",
+    "page_align",
+]

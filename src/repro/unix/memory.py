@@ -1,0 +1,158 @@
+"""Address-space model for simulated Unix processes and ULPs.
+
+MPVM migrates a process by transferring its *writable* memory (data,
+heap, stack) plus the register context; the text segment is re-created by
+exec'ing the same binary on the destination ("skeleton" process).  UPVM
+carves one process's address space into per-ULP regions whose virtual
+addresses are reserved identically in every process of the application so
+that pointers survive migration without fix-up (paper Figure 2).
+
+Segments track *sizes* (which determine transfer cost) and optionally
+carry real payload (numpy arrays / bytes) for tests that verify content
+integrity across a migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Segment", "AddressSpace", "PAGE"]
+
+PAGE = 4096
+
+
+def page_align(nbytes: int) -> int:
+    """Round up to a whole number of pages."""
+    return (nbytes + PAGE - 1) // PAGE * PAGE
+
+
+class Segment:
+    """A contiguous region of virtual memory."""
+
+    def __init__(
+        self,
+        name: str,
+        start: int,
+        size: int,
+        writable: bool = True,
+        payload: Optional[object] = None,
+    ) -> None:
+        if start % PAGE:
+            raise ValueError(f"segment start {start:#x} is not page-aligned")
+        if size < 0:
+            raise ValueError("segment size must be non-negative")
+        self.name = name
+        self.start = start
+        self.size = size
+        self.writable = writable
+        #: Optional real contents (bytes / numpy array) for integrity tests.
+        self.payload = payload
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def grow(self, nbytes: int) -> None:
+        """Extend the segment (sbrk / stack growth)."""
+        if nbytes < 0 and self.size + nbytes < 0:
+            raise ValueError("cannot shrink segment below zero")
+        self.size += nbytes
+
+    def clone(self) -> "Segment":
+        return Segment(self.name, self.start, self.size, self.writable, self.payload)
+
+    def __repr__(self) -> str:
+        mode = "rw" if self.writable else "r-"
+        return f"<Segment {self.name} {self.start:#010x}+{self.size:#x} {mode}>"
+
+
+class AddressSpace:
+    """An ordered collection of non-overlapping segments."""
+
+    #: Conventional HP-UX-ish layout bases used by default.
+    TEXT_BASE = 0x0000_1000
+    DATA_BASE = 0x4000_0000
+    STACK_TOP = 0x7FFF_F000
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Segment] = {}
+
+    @classmethod
+    def conventional(
+        cls,
+        text_bytes: int = 256 * 1024,
+        data_bytes: int = 32 * 1024,
+        heap_bytes: int = 16 * 1024,
+        stack_bytes: int = 16 * 1024,
+    ) -> "AddressSpace":
+        """The classic text/data/heap/stack process image."""
+        space = cls()
+        space.map(Segment("text", cls.TEXT_BASE, page_align(text_bytes), writable=False))
+        data_start = cls.DATA_BASE
+        space.map(Segment("data", data_start, page_align(data_bytes)))
+        heap_start = data_start + page_align(data_bytes)
+        space.map(Segment("heap", heap_start, page_align(heap_bytes)))
+        stack_size = page_align(stack_bytes)
+        space.map(Segment("stack", cls.STACK_TOP - stack_size, stack_size))
+        return space
+
+    def map(self, segment: Segment) -> Segment:
+        """Insert a segment, refusing overlaps and duplicate names."""
+        if segment.name in self._segments:
+            raise ValueError(f"segment {segment.name!r} already mapped")
+        for other in self._segments.values():
+            if segment.overlaps(other):
+                raise ValueError(f"{segment!r} overlaps {other!r}")
+        self._segments[segment.name] = segment
+        return segment
+
+    def unmap(self, name: str) -> Segment:
+        return self._segments.pop(name)
+
+    def get(self, name: str) -> Segment:
+        return self._segments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(sorted(self._segments.values(), key=lambda s: s.start))
+
+    def segments(self) -> List[Segment]:
+        return list(self)
+
+    def segment_at(self, addr: int) -> Optional[Segment]:
+        for seg in self._segments.values():
+            if seg.contains(addr):
+                return seg
+        return None
+
+    @property
+    def writable_bytes(self) -> int:
+        """Total bytes MPVM must ship when migrating this process."""
+        return sum(s.size for s in self._segments.values() if s.writable)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.size for s in self._segments.values())
+
+    def clone(self) -> "AddressSpace":
+        out = AddressSpace()
+        for seg in self._segments.values():
+            out.map(seg.clone())
+        return out
+
+    def layout(self) -> str:
+        """Human-readable map (used by the Figure 2 bench)."""
+        lines = [f"{s.start:#010x}-{s.end:#010x} {'rw' if s.writable else 'r-'} {s.name}"
+                 for s in self]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<AddressSpace {len(self._segments)} segments, {self.total_bytes:#x} bytes>"

@@ -1,0 +1,152 @@
+"""Simulated Unix processes.
+
+A :class:`SimProcess` is the OS-level container the PVM layers build on:
+it owns an address space, a register context, a signal-handler table, and
+(once started) the kernel coroutine that executes its body.  The paper's
+process-state definition (§2.1) — "not only its data, heap, stack and
+register context, but also its state in relation to the entire parallel
+application" — maps directly onto this class plus the message state
+handled by the MPVM/UPVM protocol engines.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import count
+from typing import Any, Callable, Dict, List, Optional
+
+from ..hw.host import Host
+from ..sim import Interrupt, Process, Simulator
+from .memory import AddressSpace
+from .signals import ProcessKilled, Sig, SignalRecord
+
+__all__ = ["ProcState", "SimProcess"]
+
+_pid_counter = count(100)
+
+
+class ProcState(Enum):
+    NEW = "new"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    MIGRATING = "migrating"
+    EXITED = "exited"
+
+
+class SimProcess:
+    """One Unix process image living on (exactly one) host at a time."""
+
+    def __init__(
+        self,
+        host: Host,
+        name: str,
+        space: Optional[AddressSpace] = None,
+        executable: str = "a.out",
+    ) -> None:
+        self.sim: Simulator = host.sim
+        self.host = host
+        self.name = name
+        self.executable = executable
+        self.pid = next(_pid_counter)
+        self.space = space or AddressSpace.conventional()
+        #: Simulated register context; opaque to everyone but the
+        #: migration engine, which captures and restores it.
+        self.registers: Dict[str, Any] = {"pc": 0, "sp": self.space.get("stack").end}
+        self.signal_handlers: Dict[Sig, Callable[[SignalRecord], None]] = {}
+        self.pending_signals: List[SignalRecord] = []
+        self.state = ProcState.NEW
+        self.exit_code: Optional[int] = None
+        self.coroutine: Optional[Process] = None
+        #: Bytes currently charged against the host's memory budget.
+        self._mem_charged = self.space.writable_bytes
+        host.mem_alloc(self._mem_charged)
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self, body, name: Optional[str] = None) -> Process:
+        """Attach and launch the process body (a generator)."""
+        if self.coroutine is not None:
+            raise RuntimeError(f"{self} already started")
+        self.state = ProcState.RUNNING
+        self.coroutine = self.sim.process(
+            self._wrap(body), name=name or f"{self.name}[{self.pid}]"
+        )
+        return self.coroutine
+
+    def _wrap(self, body):
+        try:
+            result = yield from body
+        except ProcessKilled:
+            self._exit(-9)
+            return None
+        finally:
+            if self.state is not ProcState.EXITED:
+                self._exit(0)
+        return result
+
+    def _exit(self, code: int) -> None:
+        self.state = ProcState.EXITED
+        self.exit_code = code
+        self.host.mem_free(self._mem_charged)
+        self._mem_charged = 0
+
+    def exit(self, code: int = 0) -> None:
+        """Voluntary termination bookkeeping (called from the body)."""
+        if self.state is not ProcState.EXITED:
+            self._exit(code)
+
+    def kill(self) -> None:
+        """SIGKILL: tear the process down immediately."""
+        if self.state is ProcState.EXITED:
+            return
+        if self.coroutine is not None and self.coroutine.is_alive:
+            self.coroutine.interrupt(SignalRecord(Sig.SIGKILL, "kernel"))
+        else:
+            self._exit(-9)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ProcState.EXITED
+
+    # -- signals ---------------------------------------------------------------
+    def install_handler(self, signo: Sig, fn: Callable[[SignalRecord], None]) -> None:
+        self.signal_handlers[signo] = fn
+
+    def deliver_signal(self, record: SignalRecord) -> None:
+        """Deliver a signal: run the handler if installed, else queue it.
+
+        Handlers run synchronously (they are bookkeeping callbacks);
+        anything that must *suspend* the process goes through
+        ``interrupt_body``.
+        """
+        record.delivered_at = self.sim.now
+        handler = self.signal_handlers.get(record.signo)
+        if handler is not None:
+            handler(record)
+        else:
+            self.pending_signals.append(record)
+
+    def interrupt_body(self, cause: Any) -> None:
+        """Asynchronously interrupt the process body (signal semantics)."""
+        if self.coroutine is None or not self.coroutine.is_alive:
+            raise RuntimeError(f"cannot interrupt {self}: not running")
+        self.coroutine.interrupt(cause)
+
+    # -- relocation (used by the MPVM migration engine) -------------------------
+    def grow_heap(self, nbytes: int) -> None:
+        """sbrk: extend the heap, charging the host's memory budget."""
+        self.space.get("heap").grow(nbytes)
+        self.host.mem_alloc(nbytes)
+        self._mem_charged += nbytes
+
+    def relocate_to(self, dest: Host) -> None:
+        """Accounting for a completed migration: the image now lives on
+        ``dest``.  Pending signals are lost — the documented MPVM
+        transparency limitation (§3.2.1)."""
+        self.host.mem_free(self._mem_charged)
+        self._mem_charged = self.space.writable_bytes
+        dest.mem_alloc(self._mem_charged)
+        self.host = dest
+        self.pending_signals.clear()
+
+    def __repr__(self) -> str:
+        return f"<SimProcess {self.name} pid={self.pid} on {self.host.name} {self.state.value}>"

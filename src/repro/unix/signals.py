@@ -1,0 +1,51 @@
+"""Unix-style signal numbers and delivery records.
+
+MPVM drives migration from *outside* the application through signal
+handlers that the library transparently links in (paper §2.1 stage 4:
+"the protocol is done by mpvmd and by signal handlers that are
+transparently linked into the application").  We model the subset of
+signal machinery that matters: asynchronous delivery, per-process handler
+tables, and the documented transparency limitation that *pending* signals
+are lost across a migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["Sig", "SignalRecord", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process body when the process is killed.
+
+    Caught by the process wrapper: a killed process terminates cleanly
+    with exit code -9 instead of crashing the simulation.
+    """
+
+
+class Sig(IntEnum):
+    """The signals the reproduction uses."""
+
+    SIGKILL = 9
+    SIGUSR1 = 30  # HP-UX numbering
+    SIGUSR2 = 31
+    #: The out-of-band migration request MPVM delivers to a task.
+    SIGMIGRATE = 44
+    #: UPVM's "scheduler poke" used to interrupt a running ULP.
+    SIGVTALRM = 20
+
+
+@dataclass
+class SignalRecord:
+    """One delivered (or pending) signal."""
+
+    signo: Sig
+    sender: str
+    payload: Any = None
+    delivered_at: float = -1.0
+
+    def __repr__(self) -> str:
+        return f"<Signal {self.signo.name} from {self.sender}>"

@@ -1,0 +1,27 @@
+"""UPVM — light-weight, migratable User Level Processes over PVM (§2.2)."""
+
+from .address_space import UlpAddressMap, UlpRegion
+from .library import UlpContext, UpvmApp
+from .migration import UlpMigrationEngine, UlpMigrationStats
+from .process import TAG_ULP_STATE, TAG_ULP_WRAP, UpvmProcess
+from .scheduler import UlpScheduler
+from .system import UpvmSystem
+from .ulp import ULP_ANY, Ulp, UlpMessage, UlpState
+
+__all__ = [
+    "TAG_ULP_STATE",
+    "TAG_ULP_WRAP",
+    "ULP_ANY",
+    "Ulp",
+    "UlpAddressMap",
+    "UlpContext",
+    "UlpMessage",
+    "UlpMigrationEngine",
+    "UlpMigrationStats",
+    "UlpRegion",
+    "UlpScheduler",
+    "UlpState",
+    "UpvmApp",
+    "UpvmProcess",
+    "UpvmSystem",
+]

@@ -1,0 +1,101 @@
+"""Global ULP address map (paper Figure 2).
+
+Each ULP owns a private data/heap/stack region inside its host process's
+virtual address space.  To make migration pointer-safe, the mapping
+ULP → virtual-address region is *unique across all processes of the
+application*: if ULP4 occupies region V1 in one process, V1 is reserved
+for ULP4 in every other process too (even where ULP4 is not resident).
+
+A direct consequence — and a documented UPVM limitation (§3.2.2) — is
+that the number of ULPs is capped by how many regions fit in one
+process's virtual address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..unix.memory import PAGE, page_align
+
+__all__ = ["UlpRegion", "UlpAddressMap"]
+
+
+@dataclass(frozen=True)
+class UlpRegion:
+    """The reserved virtual-address window of one ULP."""
+
+    ulp_id: int
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def __str__(self) -> str:
+        return f"ULP{self.ulp_id}: {self.start:#010x}-{self.end:#010x} ({self.size // 1024} KB)"
+
+
+class UlpAddressMap:
+    """Deterministic, application-global ULP region allocator."""
+
+    def __init__(
+        self,
+        base: int = 0x5000_0000,
+        limit: int = 0x7800_0000,
+        region_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if base % PAGE or limit % PAGE:
+            raise ValueError("base/limit must be page aligned")
+        if region_bytes <= 0:
+            raise ValueError("region size must be positive")
+        self.base = base
+        self.limit = limit
+        self.region_bytes = page_align(region_bytes)
+        self._regions: Dict[int, UlpRegion] = {}
+
+    @property
+    def capacity(self) -> int:
+        """How many ULPs fit in the reserved address window."""
+        return (self.limit - self.base) // self.region_bytes
+
+    def reserve(self, ulp_id: int) -> UlpRegion:
+        """Reserve (or return the existing) region for ``ulp_id``.
+
+        The address depends only on the ULP id, so every process of the
+        application computes the identical mapping.
+        """
+        if ulp_id < 0:
+            raise ValueError("ulp_id must be non-negative")
+        region = self._regions.get(ulp_id)
+        if region is not None:
+            return region
+        start = self.base + ulp_id * self.region_bytes
+        if start + self.region_bytes > self.limit:
+            raise MemoryError(
+                f"address space exhausted: ULP{ulp_id} does not fit "
+                f"({self.capacity} regions of {self.region_bytes:#x} bytes max)"
+            )
+        region = UlpRegion(ulp_id, start, self.region_bytes)
+        self._regions[ulp_id] = region
+        return region
+
+    def region_of(self, ulp_id: int) -> UlpRegion:
+        return self._regions[ulp_id]
+
+    def regions(self) -> List[UlpRegion]:
+        return [self._regions[k] for k in sorted(self._regions)]
+
+    def layout(self, residency: Dict[int, str] | None = None) -> str:
+        """Render the map as in Figure 2 (optionally with residency)."""
+        lines = []
+        for region in self.regions():
+            where = ""
+            if residency is not None:
+                where = f"  resident-on={residency.get(region.ulp_id, '-')}"
+            lines.append(f"{region}{where}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._regions)

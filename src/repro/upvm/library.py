@@ -1,0 +1,357 @@
+"""The UPVM user library: ULP contexts and the application container.
+
+ULP programs look exactly like PVM task programs — message passing by
+convention, SPMD style — but address each other by *ULP id* (0..N-1).
+Same-process messages are handed off zero-copy (the optimization that
+makes UPVM *faster* than plain PVM in the paper's Table 3); remote
+messages ride pvm messages with a small extra routing header (the source
+of UPVM's "marginally slower remote communication").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from ..pvm.message import MessageBuffer
+from ..pvm.tid import tid_str
+from ..sim import Event, Interrupt
+from ..pvm.context import Freeze
+from .address_space import UlpAddressMap
+from .process import TAG_ULP_WRAP, UpvmProcess
+from .ulp import ULP_ANY, Ulp, UlpMessage, UlpState
+
+__all__ = ["UlpContext", "UpvmApp"]
+
+UlpProgram = Callable[["UlpContext"], Any]
+
+
+class UlpContext:
+    """The programming interface a ULP body receives."""
+
+    def __init__(self, app: "UpvmApp", ulp: Ulp) -> None:
+        self.app = app
+        self.ulp = ulp
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def me(self) -> int:
+        return self.ulp.ulp_id
+
+    @property
+    def n_ulps(self) -> int:
+        return self.app.n_ulps
+
+    @property
+    def host(self):
+        return self.ulp.host
+
+    @property
+    def sim(self):
+        return self.ulp.sim
+
+    @property
+    def now(self) -> float:
+        return self.ulp.sim.now
+
+    @property
+    def params(self):
+        return self.app.system.params
+
+    def initsend(self) -> MessageBuffer:
+        return MessageBuffer()
+
+    # -- interrupts ---------------------------------------------------------------
+    def handle_interrupt(self, intr: Interrupt) -> Generator[Event, Any, None]:
+        """Re-entrant freeze handling (see PvmContext.handle_interrupt)."""
+        cause = intr.cause
+        if not isinstance(cause, Freeze):
+            raise intr
+        waits = [cause.resume_event]
+        while waits:
+            target = waits[-1]
+            try:
+                yield target
+                waits.pop()
+            except Interrupt as nested:
+                if not isinstance(nested.cause, Freeze):
+                    raise
+                waits.append(nested.cause.resume_event)
+
+    # -- send ------------------------------------------------------------------------
+    def send(
+        self, dst_ulp: int, tag: int, buf: Optional[MessageBuffer] = None
+    ) -> Generator[Event, Any, UlpMessage]:
+        """Send ``buf`` to another ULP.
+
+        Local (same-process) destination: zero-copy buffer hand-off.
+        Remote destination: wrapped into a pvm message via the hosting
+        process, with the UPVM routing header prepended.
+        """
+        buf = buf if buf is not None else MessageBuffer()
+        app = self.app
+        params = self.params
+        msg = UlpMessage(self.me, dst_ulp, tag, buf, sent_at=self.now)
+        app.note_sent(msg)
+        dst_proc = app.location[dst_ulp]
+        if dst_proc is self.ulp.process:
+            self.ulp.in_library = True
+            try:
+                yield self.host.busy_seconds(
+                    params.upvm_local_handoff_s, label="ulp-handoff"
+                )
+            finally:
+                self.ulp.in_library = False
+            msg.local = True
+            app.ulps[dst_ulp].deliver(msg)
+            return msg
+        outer = self._wrap(msg)
+        self.ulp.in_library = True
+        try:
+            yield from self.ulp.process.context.send(  # type: ignore[attr-defined]
+                dst_proc.tid, TAG_ULP_WRAP, outer
+            )
+        finally:
+            self.ulp.in_library = False
+        return msg
+
+    def mcast(
+        self, dst_ulps: Iterable[int], tag: int, buf: Optional[MessageBuffer] = None
+    ) -> Generator[Event, Any, List[UlpMessage]]:
+        buf = buf if buf is not None else MessageBuffer()
+        out = []
+        for dst in dst_ulps:
+            msg = yield from self.send(dst, tag, buf.fork())
+            out.append(msg)
+        return out
+
+    def _wrap(self, msg: UlpMessage) -> MessageBuffer:
+        params = self.params
+        outer = MessageBuffer()
+        outer.pkint([msg.src_ulp, msg.dst_ulp, msg.tag])
+        outer.pkopaque(params.upvm_remote_header_bytes, "upvm-header")
+        outer.pkbuffer(msg.buffer)
+        return outer
+
+    # -- receive -----------------------------------------------------------------------
+    def recv(
+        self, src: int = ULP_ANY, tag: int = ULP_ANY
+    ) -> Generator[Event, Any, UlpMessage]:
+        """Blocking receive; de-schedules the ULP while it waits."""
+        pred = lambda m: m.matches(src, tag)  # noqa: E731
+        sched = self.ulp.process.scheduler
+        if sched.current is self.ulp:
+            sched.current = self.ulp  # stays "last run"; token already free
+        msg: Optional[UlpMessage] = None
+        while msg is None:
+            get_ev = self.ulp.queue.get(pred)
+            try:
+                msg = yield get_ev
+            except Interrupt as intr:
+                if not self.ulp.queue.cancel(get_ev) and get_ev.triggered:
+                    msg = get_ev.value
+                    yield from self.handle_interrupt(intr)
+                else:
+                    yield from self.handle_interrupt(intr)
+        if not msg.local:
+            # Remote messages pay an unpack copy; hand-offs do not.
+            self.ulp.in_library = True
+            try:
+                yield self.host.busy_seconds(
+                    msg.nbytes / self.params.memcpy_bytes_per_s
+                    + self.params.syscall_s,
+                    label="ulp-unpack",
+                )
+            finally:
+                self.ulp.in_library = False
+        return msg
+
+    def nrecv(self, src: int = ULP_ANY, tag: int = ULP_ANY) -> Optional[UlpMessage]:
+        """Non-blocking receive (no cost model: a queue peek)."""
+        pred = lambda m: m.matches(src, tag)  # noqa: E731
+        item = self.ulp.queue.peek(pred)
+        if item is None:
+            return None
+        ev = self.ulp.queue.get(pred)
+        assert ev.triggered
+        return ev.value
+
+    def probe(self, src: int = ULP_ANY, tag: int = ULP_ANY) -> bool:
+        pred = lambda m: m.matches(src, tag)  # noqa: E731
+        return self.ulp.queue.peek(pred) is not None
+
+    # -- compute ------------------------------------------------------------------------
+    def compute(self, flops: float, label: str = "compute") -> Generator[Event, Any, None]:
+        """Run ``flops`` under the process's non-preemptive ULP scheduler."""
+        remaining = float(flops)
+        while remaining > 0:
+            sched = self.ulp.process.scheduler  # re-read: may have migrated
+            try:
+                yield from sched.acquire(self.ulp)
+            except Interrupt as intr:
+                yield from self.handle_interrupt(intr)
+                continue
+            job = self.host.cpu.submit_job(remaining, label=label)
+            try:
+                yield job.event
+                remaining = 0.0
+                sched.release(self.ulp)
+            except Interrupt as intr:
+                remaining = self.host.cpu.cancel(job)
+                sched.release(self.ulp, blocked=True)
+                yield from self.handle_interrupt(intr)
+
+    def sleep(self, seconds: float) -> Generator[Event, Any, None]:
+        t_end = self.now + seconds
+        while self.now < t_end:
+            try:
+                yield self.sim.timeout(t_end - self.now)
+            except Interrupt as intr:
+                yield from self.handle_interrupt(intr)
+
+    def __repr__(self) -> str:
+        return f"<UlpContext ulp{self.me} of {self.app.name}>"
+
+
+class UpvmApp:
+    """One SPMD application: N ULPs over one process per host."""
+
+    def __init__(
+        self,
+        system,
+        name: str,
+        program: UlpProgram,
+        n_ulps: int,
+        hosts: List,
+        placement: Optional[Dict[int, int]] = None,
+        region_bytes: int = 4 * 1024 * 1024,
+        base_state_bytes: int = 64 * 1024,
+    ) -> None:
+        """``placement`` maps ULP id -> process index (default: ULP *i*
+        on process ``i % len(hosts)``)."""
+        if n_ulps < 1:
+            raise ValueError("need at least one ULP")
+        self.system = system
+        self.name = name
+        self.program = program
+        self.n_ulps = n_ulps
+        self.address_map = UlpAddressMap(region_bytes=region_bytes)
+        if n_ulps > self.address_map.capacity:
+            raise MemoryError(
+                f"{n_ulps} ULPs of {region_bytes} bytes exceed the process "
+                f"address space (max {self.address_map.capacity}) — §3.2.2"
+            )
+        self.processes: List[UpvmProcess] = [
+            system.create_upvm_process(system.cluster.host(h) if not hasattr(h, "cpu") else h, self)
+            for h in hosts
+        ]
+        self.ulps: Dict[int, Ulp] = {}
+        self.location: Dict[int, UpvmProcess] = {}
+        self.results: Dict[int, Any] = {}
+        self.unclaimed_messages: List = []
+        self._inflight: Dict[int, int] = {}
+        self._drain_waiters: Dict[int, List[Event]] = {}
+        self._accepts: Dict[int, dict] = {}
+        self._remaining = n_ulps
+        #: Fires when every ULP body has returned.
+        self.all_done: Event = Event(system.sim)
+        for ulp_id in range(n_ulps):
+            proc_idx = (placement or {}).get(ulp_id, ulp_id % len(self.processes))
+            proc = self.processes[proc_idx]
+            region = self.address_map.reserve(ulp_id)
+            ulp = Ulp(ulp_id, region, proc, base_state_bytes=base_state_bytes)
+            ulp.in_library = False
+            proc.adopt(ulp)
+            self.ulps[ulp_id] = ulp
+            self.location[ulp_id] = proc
+            ctx = UlpContext(self, ulp)
+            ulp.context = ctx
+            ulp.coroutine = system.sim.process(
+                self._ulp_main(ulp, ctx), name=f"{name}:ulp{ulp_id}"
+            )
+
+    def _ulp_main(self, ulp: Ulp, ctx: UlpContext):
+        try:
+            result = yield from self.program(ctx)
+        finally:
+            ulp.state = UlpState.DONE
+            self._remaining -= 1
+            if self._remaining == 0 and not self.all_done.triggered:
+                self.all_done.succeed(self.results)
+        self.results[ulp.ulp_id] = result
+        return result
+
+    # -- residency / bookkeeping helpers -------------------------------------------
+    def process_on(self, host) -> Optional[UpvmProcess]:
+        for proc in self.processes:
+            if proc.host is host:
+                return proc
+        return None
+
+    def resident_map(self) -> Dict[int, str]:
+        return {uid: proc.host.name for uid, proc in self.location.items()}
+
+    # -- in-flight tracking (flush support) --------------------------------------------
+    def note_sent(self, msg: UlpMessage) -> None:
+        self._inflight[msg.dst_ulp] = self._inflight.get(msg.dst_ulp, 0) + 1
+
+    def note_delivered(self, msg: UlpMessage) -> None:
+        n = self._inflight.get(msg.dst_ulp, 0) - 1
+        if n > 0:
+            self._inflight[msg.dst_ulp] = n
+            return
+        self._inflight.pop(msg.dst_ulp, None)
+        for ev in self._drain_waiters.pop(msg.dst_ulp, []):
+            if not ev.triggered:
+                ev.succeed()
+
+    def when_drained(self, ulp_id: int) -> Event:
+        ev = Event(self.system.sim)
+        if self._inflight.get(ulp_id, 0) == 0:
+            ev.succeed()
+        else:
+            self._drain_waiters.setdefault(ulp_id, []).append(ev)
+        return ev
+
+    # -- migration-state accept tracking ---------------------------------------------------
+    def expect_state(self, ulp_id: int, total_chunks: int) -> Event:
+        if ulp_id in self._accepts:
+            from ..pvm.errors import PvmMigrationError
+
+            raise PvmMigrationError(
+                f"ulp{ulp_id} already has a state transfer in progress"
+            )
+        ev = Event(self.system.sim)
+        self._accepts[ulp_id] = {"seen": set(), "total": total_chunks, "event": ev}
+        if total_chunks == 0:
+            ev.succeed()
+        return ev
+
+    def note_state_chunk(self, proc: UpvmProcess, ulp_id: int, seq: int, total: int) -> None:
+        entry = self._accepts.get(ulp_id)
+        if entry is None:
+            return
+        entry["seen"].add(seq)
+        if len(entry["seen"]) >= entry["total"]:
+            self._accepts.pop(ulp_id, None)
+            if not entry["event"].triggered:
+                entry["event"].succeed()
+
+    # -- forwarding ---------------------------------------------------------------------------
+    def forward(self, ctx, umsg: UlpMessage):
+        """Dispatcher found a non-resident addressee: pass it along."""
+        dst_proc = self.location[umsg.dst_ulp]
+        if dst_proc is ctx.task:
+            self.ulps[umsg.dst_ulp].deliver(umsg)
+            return
+        outer = MessageBuffer()
+        outer.pkint([umsg.src_ulp, umsg.dst_ulp, umsg.tag])
+        outer.pkopaque(self.system.params.upvm_remote_header_bytes, "upvm-header")
+        outer.pkbuffer(umsg.buffer)
+        yield from ctx.send(dst_proc.tid, TAG_ULP_WRAP, outer)
+
+    def unclaimed(self, proc: UpvmProcess, msg) -> None:
+        self.unclaimed_messages.append((proc, msg))
+
+    def __repr__(self) -> str:
+        return f"<UpvmApp {self.name} ulps={self.n_ulps} procs={len(self.processes)}>"

@@ -1,0 +1,218 @@
+"""The ULP migration protocol (paper §2.2, Figure 3).
+
+Same four stages as MPVM but at ULP granularity, with two deliberate
+differences the paper highlights:
+
+* **No send-blocking**: after the flush round, senders learn the ULP's
+  new location and send *directly to the new, target host*.
+* **State moves as pvm messages**: a ``pvm_pkbyte()``/``pvm_send()``
+  sequence per chunk (extra copies → higher obtrusiveness than MPVM's
+  raw TCP), and the ULP's unreceived message buffers go in a *separate*
+  sequence of sends.  The destination's accept mechanism is per-chunk
+  expensive (unoptimized in the paper's prototype — the reason Table 4's
+  migration cost, 6.88 s, dwarfs its obtrusiveness, 1.67 s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..pvm.context import Freeze
+from ..pvm.errors import PvmMigrationError, PvmNotCompatible
+from ..pvm.message import MessageBuffer
+from ..sim import Event
+from .process import TAG_ULP_STATE, UpvmProcess
+from .ulp import Ulp, UlpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import UpvmSystem
+
+__all__ = ["UlpMigrationStats", "UlpMigrationEngine"]
+
+_LIBRARY_POLL_S = 0.5e-3
+
+
+@dataclass
+class UlpMigrationStats:
+    """Timestamped record of one ULP migration (drives Table 4)."""
+
+    ulp_id: int
+    src: str
+    dst: str
+    state_bytes: int
+    queued_msg_bytes: int
+    n_chunks: int
+    t_event: float
+    t_flush_done: float = 0.0
+    t_offhost: float = 0.0
+    t_accepted: float = 0.0
+    t_done: float = 0.0
+
+    @property
+    def obtrusiveness(self) -> float:
+        """Event -> all ULP state off-loaded from the source host.
+
+        Per the paper's definition the *destination* may not have
+        received (let alone accepted) the state yet.
+        """
+        return self.t_offhost - self.t_event
+
+    @property
+    def migration_time(self) -> float:
+        """Event -> ULP enqueued in the destination scheduler."""
+        return self.t_done - self.t_event
+
+
+class UlpMigrationEngine:
+    """Executes ULP migrations for an :class:`UpvmSystem`."""
+
+    def __init__(self, system: "UpvmSystem") -> None:
+        self.system = system
+        self.sim = system.sim
+        self.stats: List[UlpMigrationStats] = []
+
+    def request_migration(self, ulp: Ulp, dst) -> Event:
+        """Migrate ``ulp`` to ``dst`` (a Host or an UpvmProcess)."""
+        done = Event(self.sim)
+        if isinstance(dst, UpvmProcess):
+            dst_proc = dst
+        else:
+            dst_proc = ulp.process.app.process_on(dst)
+        self.sim.process(
+            self._migrate(ulp, dst_proc, dst, done), name=f"ulp-migrate:{ulp.ulp_id}"
+        )
+        return done
+
+    def _migrate(self, ulp: Ulp, dst_proc, dst, done: Event):
+        params = self.system.params
+        app = ulp.process.app
+        src_proc = ulp.process
+        src = src_proc.host
+        tracer = self.system.tracer
+
+        def trace(category: str, message: str, **fields):
+            if tracer:
+                tracer.emit(self.sim.now, category, f"upvm@{src.name}", message, **fields)
+
+        # ---- stage 1: migration event -----------------------------------
+        # GS -> containing process, directly (no daemon hop in UPVM).
+        yield self.sim.timeout(params.net_latency_s)
+        t_event = self.sim.now
+        trace("upvm.event", f"migrate ulp{ulp.ulp_id} -> {getattr(dst, 'name', dst)}")
+
+        if dst_proc is None:
+            done.fail(PvmMigrationError(
+                f"no UPVM process of app {app.name!r} on destination host"
+            ))
+            return
+        if ulp.state is UlpState.DONE:
+            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} has finished"))
+            return
+        if ulp.state is UlpState.MIGRATING:
+            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} is already migrating"))
+            return
+        if dst_proc is src_proc:
+            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} is already on {src.name}"))
+            return
+        if not src.migration_compatible(dst_proc.host):
+            done.fail(PvmNotCompatible(
+                f"cannot migrate ulp{ulp.ulp_id}: {src.arch}/{src.os} -> "
+                f"{dst_proc.host.arch}/{dst_proc.host.os}"
+            ))
+            return
+
+        while ulp.in_library:
+            yield self.sim.timeout(_LIBRARY_POLL_S)
+
+        # Interrupt the process; capture the ULP's register state.
+        yield src.busy_seconds(params.signal_deliver_s, label="upvm-signal")
+        resume = Event(self.sim)
+        ulp.state = UlpState.MIGRATING
+        if ulp.coroutine is not None and ulp.coroutine.is_alive:
+            ulp.coroutine.interrupt(Freeze(resume, reason="upvm-migration"))
+        yield src.busy_seconds(params.ulp_context_switch_s, label="capture-ctx")
+
+        stats = UlpMigrationStats(
+            ulp_id=ulp.ulp_id, src=src.name, dst=dst_proc.host.name,
+            state_bytes=ulp.state_bytes,
+            queued_msg_bytes=ulp.queued_message_bytes,
+            n_chunks=0, t_event=t_event,
+        )
+
+        # ---- stage 2: message flushing --------------------------------------
+        trace("upvm.flush.start", "flushing")
+        flushes, acks = [], []
+        for proc in app.processes:
+            if proc is src_proc:
+                continue
+            flushes.append(self._control_msg(src, proc.host))
+        if flushes:
+            yield self.sim.all_of(flushes)
+        for proc in app.processes:
+            if proc is src_proc:
+                continue
+            acks.append(self._control_msg(proc.host, src))
+        if acks:
+            yield self.sim.all_of(acks)
+        # Unlike MPVM, future sends go straight to the new location.
+        app.location[ulp.ulp_id] = dst_proc
+        yield app.when_drained(ulp.ulp_id)
+        stats.t_flush_done = self.sim.now
+        trace("upvm.flush.done", f"{len(app.processes) - 1} processes acknowledged")
+
+        # ---- stage 3: state transfer (pkbyte/send sequence) ----------------------
+        trace("upvm.transfer.start", f"{ulp.state_bytes} B state, "
+              f"{ulp.queued_message_bytes} B queued messages")
+        src_proc.evict(ulp)
+        chunk = params.upvm_pack_chunk_bytes
+        state_chunks = max(1, math.ceil(ulp.state_bytes / chunk))
+        msg_bytes = ulp.queued_message_bytes
+        msg_chunks = math.ceil(msg_bytes / chunk) if msg_bytes else 0
+        total = state_chunks + msg_chunks
+        stats.n_chunks = total
+        accepted = app.expect_state(ulp.ulp_id, total)
+        ctx = src_proc.context  # the process's pvm context
+        seq = 0
+        remaining = ulp.state_bytes
+        for _ in range(state_chunks):
+            this = min(chunk, remaining) if remaining else chunk
+            remaining -= this
+            yield src.busy_seconds(params.upvm_pack_chunk_s, label="pkbyte")
+            buf = MessageBuffer().pkint([ulp.ulp_id, seq, total]).pkopaque(this, "ulp-state")
+            yield from ctx.send(dst_proc.tid, TAG_ULP_STATE, buf)
+            seq += 1
+        # "...collects the message buffers used by the migrating ULP and
+        # transfers them in a separate operation" (§4.2.2).
+        remaining = msg_bytes
+        for _ in range(msg_chunks):
+            this = min(chunk, remaining)
+            remaining -= this
+            yield src.busy_seconds(params.upvm_pack_chunk_s, label="pkbyte-msgs")
+            buf = MessageBuffer().pkint([ulp.ulp_id, seq, total]).pkopaque(this, "ulp-msgs")
+            yield from ctx.send(dst_proc.tid, TAG_ULP_STATE, buf)
+            seq += 1
+        stats.t_offhost = self.sim.now
+        trace("upvm.transfer.offhost", f"{total} chunks off {src.name}")
+
+        # ---- stage 4: accept + restart --------------------------------------------
+        yield accepted
+        stats.t_accepted = self.sim.now
+        dst_proc.adopt(ulp)
+        # Place into the (globally reserved) region: no pointer fix-up.
+        yield dst_proc.host.busy_seconds(params.ulp_context_switch_s, label="place-ulp")
+        dst_proc.scheduler.enqueue(ulp)
+        resume.succeed()
+        stats.t_done = self.sim.now
+        self.stats.append(stats)
+        trace("upvm.restart.done",
+              f"ulp{ulp.ulp_id} enqueued on {dst_proc.host.name}",
+              obtrusiveness=round(stats.obtrusiveness, 4),
+              migration=round(stats.migration_time, 4))
+        done.succeed(stats)
+
+    def _control_msg(self, src, dst) -> Event:
+        if src is dst:
+            return src.ipc_copy(64, label="ctl-local")
+        return self.system.network.transfer(src, dst, 64, label="upvm-ctl")

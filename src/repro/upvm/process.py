@@ -1,0 +1,93 @@
+"""UPVM processes: the Unix-process containers ULPs live in.
+
+One UPVM process runs per allocated host ("the efficient choice of one
+process per allocated processor", §5.0).  Its main loop — the
+*dispatcher* — is a PVM task that demultiplexes incoming pvm messages:
+wrapped ULP messages go to the addressed ULP's queue, and incoming
+ULP-state chunks are run through the (deliberately unoptimized) accept
+mechanism that dominates UPVM's migration cost in Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..pvm.task import Task
+from ..pvm.tid import tid_str
+from .scheduler import UlpScheduler
+from .ulp import Ulp, UlpMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .library import UpvmApp
+
+__all__ = ["UpvmProcess", "TAG_ULP_WRAP", "TAG_ULP_STATE"]
+
+#: pvm tag carrying a wrapped inter-ULP message.
+TAG_ULP_WRAP = 0x55A0
+#: pvm tag carrying a chunk of migrating-ULP state.
+TAG_ULP_STATE = 0x55A1
+
+
+class UpvmProcess(Task):
+    """A PVM task hosting several ULPs and their scheduler."""
+
+    def __init__(self, system, host, tid, app: "UpvmApp") -> None:
+        super().__init__(
+            system, host, tid,
+            executable=f"upvm:{app.name}", program=None, parent_tid=None,
+        )
+        self.app = app
+        self.scheduler = UlpScheduler(self)
+        self.resident: Dict[int, Ulp] = {}
+
+    # -- residency --------------------------------------------------------------
+    def adopt(self, ulp: Ulp) -> None:
+        """The ULP now lives here (initial placement or migration restart)."""
+        self.resident[ulp.ulp_id] = ulp
+        ulp.process = self
+
+    def evict(self, ulp: Ulp) -> None:
+        self.resident.pop(ulp.ulp_id, None)
+        self.scheduler.forget(ulp)
+
+    @property
+    def ulp_state_bytes(self) -> int:
+        return sum(u.state_bytes for u in self.resident.values())
+
+    # -- the dispatcher -----------------------------------------------------------
+    def dispatcher(self, ctx):
+        """Process main loop (a PVM task body)."""
+        params = self.system.params
+        while True:
+            msg = yield from ctx.recv()
+            if msg.tag == TAG_ULP_WRAP:
+                hdr = msg.buffer.upkint()
+                src_ulp, dst_ulp, utag = int(hdr[0]), int(hdr[1]), int(hdr[2])
+                msg.buffer.upkopaque()  # the UPVM routing header
+                inner = msg.buffer.upkbuffer()
+                umsg = UlpMessage(src_ulp, dst_ulp, utag, inner, sent_at=msg.sent_at)
+                target = self.resident.get(dst_ulp)
+                if target is None:
+                    # The ULP moved on; forward to its current location
+                    # (post-flush senders go to the new host directly, so
+                    # this only catches messages already in flight).
+                    yield from self.app.forward(ctx, umsg)
+                else:
+                    target.deliver(umsg)
+            elif msg.tag == TAG_ULP_STATE:
+                hdr = msg.buffer.upkint()
+                ulp_id, seq, total = int(hdr[0]), int(hdr[1]), int(hdr[2])
+                # The unoptimized accept mechanism: per-chunk processing.
+                yield self.host.busy_seconds(
+                    params.upvm_accept_chunk_s, label="ulp-accept"
+                )
+                self.app.note_state_chunk(self, ulp_id, seq, total)
+            else:
+                # Not for the UPVM layer: hand to whoever registered.
+                self.app.unclaimed(self, msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpvmProcess {tid_str(self.tid)} on {self.host.name} "
+            f"ulps={sorted(self.resident)}>"
+        )

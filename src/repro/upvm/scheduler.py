@@ -1,0 +1,99 @@
+"""The UPVM library-level ULP scheduler.
+
+Many ULPs share one Unix process (one kernel schedulable entity); the
+UPVM library multiplexes them *non-preemptively*: a ULP runs until it
+blocks on a receive, at which point a runnable ULP — if any — is
+scheduled (paper §2.2).  We model the mutual exclusion with a token and
+charge the documented user-level context-switch cost whenever the
+running ULP changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim import Event, Resource
+from .ulp import Ulp, UlpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import UpvmProcess
+
+__all__ = ["UlpScheduler"]
+
+
+class UlpScheduler:
+    """Run-to-block scheduler for the ULPs of one process."""
+
+    def __init__(self, process: "UpvmProcess") -> None:
+        self.process = process
+        self.token = Resource(process.sim, capacity=1)
+        self.current: Optional[Ulp] = None
+        self.switches = 0
+        #: Ready-queue bookkeeping (metadata; the token enforces order).
+        self.ready: List[Ulp] = []
+
+    def acquire(self, ulp: Ulp):
+        """Generator: become the running ULP (pays switch cost on change).
+
+        Interrupt-safe: if the waiting ULP is frozen for migration the
+        token is not leaked — the request is withdrawn (or immediately
+        released if it was granted in the same instant) and the
+        interrupt propagates to the caller.
+        """
+        from ..sim import Interrupt
+
+        ulp.state = UlpState.READY
+        if ulp not in self.ready:
+            self.ready.append(ulp)
+        req = self.token.acquire()
+        try:
+            yield req
+        except Interrupt:
+            if not self.token.cancel(req):
+                self.token.release()
+            raise
+        if ulp in self.ready:
+            self.ready.remove(ulp)
+        if self.current is not ulp:
+            self.switches += 1
+            params = self.process.system.params
+            try:
+                yield self.process.host.busy_seconds(
+                    params.ulp_context_switch_s, label="ulp-switch"
+                )
+            except Interrupt:
+                self.token.release()
+                raise
+            self.current = ulp
+        ulp.state = UlpState.RUNNING
+
+    def release(self, ulp: Ulp, blocked: bool = False) -> None:
+        """The running ULP yields the process (block or voluntary).
+
+        Never clobbers MIGRATING/DONE: a ULP frozen mid-compute releases
+        the token on its way into the freeze, and overwriting the
+        migration engine's state marker here would let a second,
+        concurrent migration of the same ULP start (and corrupt the
+        state-transfer accounting).
+        """
+        if ulp.state not in (UlpState.MIGRATING, UlpState.DONE):
+            ulp.state = UlpState.BLOCKED if blocked else UlpState.READY
+        self.token.release()
+
+    def enqueue(self, ulp: Ulp) -> None:
+        """Restart stage of a migration: "the ULP is placed in the
+        appropriate scheduler queue so that it will eventually execute"."""
+        ulp.state = UlpState.READY
+        if ulp not in self.ready:
+            self.ready.append(ulp)
+
+    def forget(self, ulp: Ulp) -> None:
+        """Remove a migrated-away ULP from local bookkeeping."""
+        if ulp in self.ready:
+            self.ready.remove(ulp)
+        if self.current is ulp:
+            self.current = None
+
+    def __repr__(self) -> str:
+        cur = self.current.ulp_id if self.current else None
+        return f"<UlpScheduler of {self.process.name} current={cur} switches={self.switches}>"

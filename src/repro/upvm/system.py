@@ -1,0 +1,84 @@
+"""UPVM: the multi-threading + transparent ULP migration package."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hw.cluster import Cluster
+from ..hw.host import Host
+from ..pvm.tid import make_tid
+from ..pvm.vm import PvmSystem
+from ..sim import Event
+from .library import UlpProgram, UpvmApp
+from .migration import UlpMigrationEngine
+from .process import UpvmProcess
+from .ulp import Ulp, UlpState
+
+__all__ = ["UpvmSystem"]
+
+
+class UpvmSystem(PvmSystem):
+    """PVM with ULP (user-level process) virtual processors.
+
+    Supports SPMD applications only (paper §3.2.2).  Implements the GS
+    :class:`~repro.gs.MigrationClient` protocol with *ULPs* as the
+    movable unit — finer-grained than MPVM's whole processes (§3.4.2).
+    """
+
+    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
+        super().__init__(cluster, default_route=default_route)
+        self.apps: List[UpvmApp] = []
+        self.engine = UlpMigrationEngine(self)
+
+    # -- app construction -----------------------------------------------------
+    def start_app(
+        self,
+        name: str,
+        program: UlpProgram,
+        n_ulps: int,
+        hosts: Optional[List] = None,
+        placement: Optional[Dict[int, int]] = None,
+        region_bytes: int = 4 * 1024 * 1024,
+        base_state_bytes: int = 64 * 1024,
+    ) -> UpvmApp:
+        """Launch an SPMD application: one UPVM process per listed host,
+        ``n_ulps`` ULPs distributed per ``placement`` (default: ULP *i*
+        on process ``i % n_hosts``)."""
+        if hosts is None:
+            hosts = list(self.cluster.hosts)
+        app = UpvmApp(
+            self, name, program, n_ulps,
+            hosts=hosts, placement=placement,
+            region_bytes=region_bytes, base_state_bytes=base_state_bytes,
+        )
+        self.apps.append(app)
+        return app
+
+    def create_upvm_process(self, host: Host, app: UpvmApp) -> UpvmProcess:
+        """Enroll one UPVM container process on ``host``."""
+        pvmd = self.pvmd_on(host)
+        tid = make_tid(pvmd.host_index, pvmd.alloc_local())
+        proc = UpvmProcess(self, host, tid, app)
+        self.tasks[tid] = proc
+        pvmd.register(proc)
+        ctx = self.make_context(proc)
+        proc.context = ctx  # type: ignore[attr-defined]
+        body = proc.start(proc.dispatcher(ctx), name=f"upvm:{app.name}@{host.name}")
+        body.defuse()  # dispatcher loops forever; never awaited
+        return proc
+
+    # -- MigrationClient interface -------------------------------------------------
+    def movable_units(self, host: Host) -> List[Ulp]:
+        out = []
+        for app in self.apps:
+            for ulp in app.ulps.values():
+                if ulp.host is host and ulp.state is not UlpState.DONE:
+                    out.append(ulp)
+        return out
+
+    def request_migration(self, unit: Ulp, dst: Host) -> Event:
+        return self.engine.request_migration(unit, dst)
+
+    @property
+    def migrations(self):
+        return self.engine.stats

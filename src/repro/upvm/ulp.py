@@ -1,0 +1,133 @@
+"""User Level Processes (ULPs) and inter-ULP messages.
+
+A ULP has "some of the characteristics of a thread and some of a
+process" (paper §2.2): like a thread it is a register context and a
+stack scheduled in user space; like a process it owns private data and
+heap — which is exactly what makes its state easy to find and migrate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..pvm.message import MessageBuffer
+from ..sim import FilterStore
+from .address_space import UlpRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import UpvmProcess
+
+__all__ = ["UlpState", "Ulp", "UlpMessage", "ULP_ANY"]
+
+#: Wildcard for ULP receive matching.
+ULP_ANY = -1
+
+
+class UlpState(Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    MIGRATING = "migrating"
+    DONE = "done"
+
+
+class UlpMessage:
+    """A message between two ULPs."""
+
+    __slots__ = ("src_ulp", "dst_ulp", "tag", "buffer", "sent_at", "arrived_at", "local")
+
+    def __init__(
+        self,
+        src_ulp: int,
+        dst_ulp: int,
+        tag: int,
+        buffer: Optional[MessageBuffer] = None,
+        sent_at: float = -1.0,
+    ) -> None:
+        self.src_ulp = src_ulp
+        self.dst_ulp = dst_ulp
+        self.tag = tag
+        self.buffer = buffer if buffer is not None else MessageBuffer()
+        self.sent_at = sent_at
+        self.arrived_at = -1.0
+        #: True if delivered by same-process hand-off (no copy).
+        self.local = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.buffer.nbytes
+
+    def matches(self, want_ulp: int, want_tag: int) -> bool:
+        return (want_ulp == ULP_ANY or self.src_ulp == want_ulp) and (
+            want_tag == ULP_ANY or self.tag == want_tag
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<UlpMessage ulp{self.src_ulp}->ulp{self.dst_ulp} tag={self.tag} "
+            f"{self.nbytes}B{' local' if self.local else ''}>"
+        )
+
+
+class Ulp:
+    """One user-level process."""
+
+    def __init__(
+        self,
+        ulp_id: int,
+        region: UlpRegion,
+        process: "UpvmProcess",
+        base_state_bytes: int = 64 * 1024,
+    ) -> None:
+        self.ulp_id = ulp_id
+        self.region = region
+        self.process = process
+        self.state = UlpState.READY
+        #: Register context: captured/restored at context switch and
+        #: shipped first during migration.
+        self.registers: dict = {"pc": region.start, "sp": region.end}
+        #: Fixed footprint: stack + library bookkeeping inside the region.
+        self.base_state_bytes = base_state_bytes
+        #: Application data living in the ULP's private data/heap.
+        self.user_state_bytes = 0
+        #: Application scratch that travels with the ULP.
+        self.user_data: Any = None
+        #: Unreceived messages; transferred separately on migration
+        #: (paper §4.2.2: "collects the message buffers used by the
+        #: migrating ULP and transfers them in a separate operation").
+        self.queue: FilterStore = FilterStore(process.sim)
+        self.coroutine = None
+        self.context = None
+        #: True while executing inside the UPVM library (migration must
+        #: wait for the ULP to come out — same restriction as MPVM).
+        self.in_library = False
+
+    @property
+    def sim(self):
+        return self.process.sim
+
+    @property
+    def host(self):
+        """The host this ULP currently executes on."""
+        return self.process.host
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes the migration protocol must ship (excl. queued msgs)."""
+        return self.base_state_bytes + self.user_state_bytes
+
+    @property
+    def queued_message_bytes(self) -> int:
+        return sum(m.buffer.wire_bytes for m in self.queue.items)
+
+    def deliver(self, msg: UlpMessage) -> None:
+        msg.arrived_at = self.sim.now
+        self.queue.put(msg)
+        self.process.app.note_delivered(msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Ulp {self.ulp_id} on {self.process.host.name} {self.state.value} "
+            f"{self.state_bytes}B>"
+        )

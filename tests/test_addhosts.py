@@ -1,0 +1,94 @@
+"""pvm_addhosts: growing the virtual machine at run time."""
+
+import pytest
+
+from repro.hw import Cluster, HostSpec
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+
+
+def test_added_host_receives_spawns():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+    placements = []
+
+    def worker(ctx):
+        placements.append(ctx.host.name)
+        return
+        yield
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield ctx.sim.timeout(1.0)
+        vm.add_host(HostSpec("latecomer"))
+        yield from ctx.spawn("worker", count=1, where=["latecomer"])
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    cl.run()
+    assert placements == ["latecomer"]
+
+
+def test_migration_onto_added_host():
+    cl = Cluster(n_hosts=2)
+    vm = MpvmSystem(cl)
+    done = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 20)
+        done["host"] = ctx.host.name
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(3.0)
+        pvmd = vm.add_host(HostSpec("fresh", cpu_mflops=50))
+        yield vm.request_migration(vm.task(tid), pvmd.host)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    cl.run(until=300)
+    assert done["host"] == "fresh"
+
+
+def test_added_host_messages_route_correctly():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+    got = {}
+
+    def worker(ctx):
+        msg = yield from ctx.recv(tag=1)
+        got["text"] = msg.buffer.upkstr()
+        yield from ctx.send(msg.src_tid, 2, ctx.initsend().pkstr("back"))
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        vm.add_host(HostSpec("n2"))
+        (tid,) = yield from ctx.spawn("worker", count=1, where=["n2"])
+        yield from ctx.send(tid, 1, ctx.initsend().pkstr("out"))
+        reply = yield from ctx.recv(tid, 2)
+        got["reply"] = reply.buffer.upkstr()
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    cl.run()
+    assert got == {"text": "out", "reply": "back"}
+
+
+def test_config_reflects_added_host():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+    vm.add_host(HostSpec("extra"))
+    assert len(vm.pvmds) == 2
+    assert vm.pvmds[1].host.name == "extra"
+    assert [h.name for h in cl.hosts] == ["hp720-0", "extra"]
+
+
+def test_duplicate_host_name_rejected():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+    with pytest.raises(ValueError):
+        vm.add_host(HostSpec("hp720-0"))

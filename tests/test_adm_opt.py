@@ -1,0 +1,211 @@
+"""Integration tests for ADMopt: the FSM data-parallel Opt."""
+
+import numpy as np
+import pytest
+
+from repro.apps.opt import AdmOpt, EXEMPLAR_BYTES, OptConfig, slave_fsm_spec
+from repro.apps.opt import synthetic_training_set, train_serial
+from repro.gs import GlobalScheduler
+from repro.hw import Cluster, HostSpec
+from repro.pvm import PvmSystem
+
+
+def run_admopt(config, n_hosts=2, vacate_at=None, vacate_wid=0, cluster=None,
+               slave_hosts=None):
+    cl = cluster or Cluster(n_hosts=n_hosts)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, config, slave_hosts=slave_hosts)
+    app.start()
+    if vacate_at is not None:
+        def driver():
+            yield cl.sim.timeout(vacate_at)
+            app.post_vacate(vacate_wid)
+        cl.sim.process(driver())
+    cl.run(until=3600 * 10)
+    assert app.report, "ADM master did not finish"
+    return vm, app
+
+
+def test_admopt_quiet_run_completes():
+    _, app = run_admopt(OptConfig(data_bytes=0.3e6, iterations=4))
+    assert app.report["redistributions"] == 0
+    assert len(app.report["losses"]) == 4
+
+
+def test_admopt_real_matches_serial_without_migration():
+    cfg = OptConfig(data_bytes=1200 * EXEMPLAR_BYTES, iterations=5,
+                    hidden=10, compute_mode="real", seed=3)
+    _, app = run_admopt(cfg)
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=3), 5, hidden=10, seed=3
+    )
+    np.testing.assert_allclose(app.state.losses, serial.losses, rtol=1e-8)
+
+
+def test_admopt_real_matches_serial_despite_migration():
+    """Mid-run data redistribution must not change the math at all."""
+    cfg = OptConfig(data_bytes=6000 * EXEMPLAR_BYTES, iterations=8,
+                    hidden=10, compute_mode="real", seed=9)
+    _, app = run_admopt(cfg, vacate_at=1.8, vacate_wid=0)
+    assert app.report["redistributions"] >= 1
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=9), 8, hidden=10, seed=9
+    )
+    np.testing.assert_allclose(app.state.losses, serial.losses, rtol=1e-7)
+    assert app.migrations and app.migrations[0]["reason"] == "vacated"
+
+
+def test_admopt_vacated_slave_holds_no_data():
+    cfg = OptConfig(data_bytes=0.6e6, iterations=6)
+    _, app = run_admopt(cfg, vacate_at=1.5, vacate_wid=1)
+    assert app.item_counts[1] == 0
+    assert app.item_counts[0] == cfg.n_exemplars
+
+
+def test_admopt_migration_record_shape():
+    cfg = OptConfig(data_bytes=0.6e6, iterations=8)
+    _, app = run_admopt(cfg, vacate_at=1.0)
+    (rec,) = app.migrations
+    # ADM has no restart stage: obtrusiveness == migration cost (§4.3.3).
+    assert rec["obtrusiveness"] == rec["migration_time"]
+    assert rec["obtrusiveness"] > 0
+    assert rec["moved_bytes"] > 0
+
+
+def test_admopt_migration_time_scales_with_data():
+    small = run_admopt(OptConfig(data_bytes=0.6e6, iterations=8), vacate_at=1.0)[1]
+    large = run_admopt(OptConfig(data_bytes=2.4e6, iterations=8), vacate_at=1.0)[1]
+    assert large.migrations[0]["migration_time"] > 2.0 * small.migrations[0]["migration_time"]
+
+
+def test_admopt_simultaneous_events_coalesce():
+    """Two vacate events in the same instant are both honoured."""
+    cfg = OptConfig(data_bytes=0.6e6, iterations=8, n_slaves=3)
+    cl = Cluster(n_hosts=3)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, cfg)
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(1.0)
+        app.post_vacate(0)
+        app.post_vacate(1)
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.report
+    assert app.item_counts[0] == 0 and app.item_counts[1] == 0
+    assert app.item_counts[2] == cfg.n_exemplars
+    assert len(app.migrations) == 2
+
+
+def test_admopt_event_during_redistribution_not_lost():
+    cfg = OptConfig(data_bytes=1.2e6, iterations=10, n_slaves=3)
+    cl = Cluster(n_hosts=3)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, cfg)
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(1.0)
+        ev = app.post_vacate(0)
+        yield ev.done
+        # Immediately vacate another worker.
+        app.post_vacate(1)
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.item_counts[0] == 0 and app.item_counts[1] == 0
+    assert app.item_counts[2] == cfg.n_exemplars
+
+
+def test_admopt_heterogeneous_capacity_partition():
+    """ADM's strength: data splits proportionally to machine speed."""
+    cl = Cluster(specs=[
+        HostSpec("fast", cpu_mflops=50.0),
+        HostSpec("slow", cpu_mflops=10.0),
+        HostSpec("mid", cpu_mflops=25.0),
+    ])
+    cfg = OptConfig(data_bytes=1.2e6, iterations=8, n_slaves=3)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, cfg, master_host="fast",
+                 slave_hosts=["fast", "slow", "mid"])
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(1.0)
+        app.post_vacate(1)  # vacate the slow machine
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.item_counts[1] == 0
+    # Remaining data split 50:25 between fast and mid.
+    ratio = app.item_counts[0] / app.item_counts[2]
+    assert ratio == pytest.approx(2.0, rel=0.01)
+
+
+def test_admopt_works_with_global_scheduler():
+    cfg = OptConfig(data_bytes=0.6e6, iterations=10)
+    cl = Cluster(n_hosts=2)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, cfg)
+    app.start()
+    gs = GlobalScheduler(cl, app.client)
+
+    def driver():
+        yield cl.sim.timeout(2.0)
+        gs.reclaim(cl.host(1))
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert len(gs.completed_migrations()) == 1
+    assert app.item_counts[1] == 0
+
+
+def test_admopt_cannot_vacate_every_worker():
+    """Vacating all workers leaves the data in place (documented edge)."""
+    cfg = OptConfig(data_bytes=0.3e6, iterations=8)
+    cl = Cluster(n_hosts=2)
+    vm = PvmSystem(cl)
+    app = AdmOpt(vm, cfg)
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(1.0)
+        app.post_vacate(0)
+        app.post_vacate(1)
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.report  # run still completes
+    assert sum(app.item_counts.values()) == cfg.n_exemplars
+
+
+def test_admopt_fsm_structure_matches_figure4():
+    cfg = OptConfig(data_bytes=0.3e6, iterations=3)
+    _, app = run_admopt(cfg, vacate_at=1.0)
+    spec = slave_fsm_spec()
+    sm = app.slave_fsms[0]
+    assert set(sm.states) == set(spec)
+    for state, succ in spec.items():
+        assert sm.successors(state) == set(succ)
+    visited = sm.visited_states()
+    assert "COMPUTE" in visited and "REDIST" in visited and "AWAIT" in visited
+    # The machine terminated from AWAIT (STOP).
+    assert sm.history[-1].dst is None
+
+
+def test_admopt_overhead_vs_pvm_opt():
+    """Table 5 shape: ADMopt 15-30% slower than PVM_opt, quiet case."""
+    from repro.apps.opt import PvmOpt
+
+    cfg = OptConfig(data_bytes=0.6e6, iterations=8)
+    cl1 = Cluster(n_hosts=2)
+    vm1 = PvmSystem(cl1)
+    pvm_app = PvmOpt(vm1, cfg)
+    pvm_app.start()
+    cl1.run(until=3600)
+
+    _, adm_app = run_admopt(cfg)
+    slow = adm_app.report["train_time"] / pvm_app.report["train_time"]
+    assert 1.10 < slow < 1.35

@@ -1,0 +1,143 @@
+"""Tests for the Condor-style checkpoint/restart extension (§5)."""
+
+import pytest
+
+from repro.hw import Cluster, HostSpec, MB
+from repro.mpvm import CheckpointEngine, MpvmSystem
+from repro.pvm import PvmMigrationError
+
+
+@pytest.fixture
+def vm():
+    return MpvmSystem(Cluster(n_hosts=2))
+
+
+def cruncher_factory(seconds, log):
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * seconds)
+        log["host"] = ctx.host.name
+        log["t"] = ctx.now
+
+    return cruncher
+
+
+def test_periodic_checkpoints_taken(vm):
+    log = {}
+    vm.register_program("w", cruncher_factory(30, log))
+    engine = CheckpointEngine(vm, period_s=5.0)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        engine.protect(vm.task(tid))
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    vm.cluster.run(until=60)
+    assert len(engine.history) >= 4
+    assert engine.total_checkpoint_cost_s > 0
+    # The checkpointed task finishes later than 30 s: every stop-and-write
+    # delays it (the periodic cost the paper mentions).
+    assert log["t"] > 30.0
+
+
+def test_migration_without_checkpoint_fails(vm):
+    log = {}
+    vm.register_program("w", cruncher_factory(30, log))
+    engine = CheckpointEngine(vm)
+    outcome = {}
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        yield ctx.sim.timeout(1.0)
+        done = engine.request_migration(vm.task(tid), vm.cluster.host(1))
+        try:
+            yield done
+        except PvmMigrationError:
+            outcome["failed"] = True
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    vm.cluster.run(until=60)
+    assert outcome.get("failed")
+
+
+def test_checkpoint_migration_near_zero_obtrusiveness(vm):
+    """The §5 trade-off, measured: vacating is near-instant, but the
+    lost work since the last checkpoint is re-executed."""
+    log = {}
+    vm.register_program("w", cruncher_factory(40, log))
+    engine = CheckpointEngine(vm, period_s=8.0)
+    out = {}
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        task = vm.task(tid)
+        task.grow_heap(int(2 * MB))
+        engine.protect(task)
+        yield ctx.sim.timeout(12.0)  # one checkpoint at ~8 s, then work
+        done = engine.request_migration(task, vm.cluster.host(1))
+        yield done
+        out["stats"] = done.value
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    vm.cluster.run(until=300)
+    stats = out["stats"]
+    assert stats.obtrusiveness < 0.05           # the kill is the vacate
+    assert stats.lost_work_s > 2.0              # re-executed computation
+    assert stats.migration_time > stats.lost_work_s
+    assert log["host"] == "hp720-1"
+    # Total work still completes correctly (40 s of flops + overheads).
+    assert log["t"] > 40.0
+
+
+def test_checkpoint_vs_mpvm_tradeoff(vm):
+    """Checkpoint vacates faster; MPVM re-integrates faster."""
+    log1, log2 = {}, {}
+    vm.register_program("w1", cruncher_factory(60, log1))
+    vm.register_program("w2", cruncher_factory(60, log2))
+    engine = CheckpointEngine(vm, period_s=10.0)
+    out = {}
+
+    def master(ctx):
+        (t1,) = yield from ctx.spawn("w1", count=1, where=[0])
+        (t2,) = yield from ctx.spawn("w2", count=1, where=[0])
+        for tid in (t1, t2):
+            vm.task(tid).grow_heap(int(2 * MB))
+        engine.protect(vm.task(t1))
+        yield ctx.sim.timeout(15.0)
+        d1 = engine.request_migration(vm.task(t1), vm.cluster.host(1))
+        d2 = vm.request_migration(vm.task(t2), vm.cluster.host(1))
+        yield d1 & d2
+        out["ckpt"] = d1.value
+        out["mpvm"] = d2.value
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    vm.cluster.run(until=600)
+    ckpt, mpvm = out["ckpt"], out["mpvm"]
+    assert ckpt.obtrusiveness < mpvm.obtrusiveness      # less obtrusive...
+    assert ckpt.migration_time > mpvm.migration_time    # ...but slower overall
+
+
+def test_checkpoint_image_not_portable_across_arch():
+    cl = Cluster(specs=[HostSpec("hp"), HostSpec("sun", arch="sparc")])
+    vm = MpvmSystem(cl)
+    log, out = {}, {}
+    vm.register_program("w", cruncher_factory(30, log))
+    engine = CheckpointEngine(vm, period_s=2.0)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=["hp"])
+        engine.protect(vm.task(tid))
+        yield ctx.sim.timeout(5.0)
+        done = engine.request_migration(vm.task(tid), cl.host("sun"))
+        try:
+            yield done
+        except Exception as exc:
+            out["err"] = type(exc).__name__
+
+    vm.register_program("master", master)
+    vm.start_master("master", host="hp")
+    cl.run(until=60)
+    assert out["err"] == "PvmNotCompatible"

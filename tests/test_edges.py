@@ -1,0 +1,211 @@
+"""Edge-case tests: kill paths, local direct route, harness formatting,
+consensus stragglers, monitor history, UPVM unclaimed messages."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, fmt_row
+from repro.gs import LoadMonitor
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmNoTask, PvmSystem, TaskKilled
+from repro.upvm import UpvmSystem
+
+
+# --------------------------------------------------------------- pvm_kill
+
+
+def test_pvm_kill_terminates_peer():
+    cl = Cluster(n_hosts=2)
+    vm = PvmSystem(cl)
+    log = {}
+
+    def victim(ctx):
+        try:
+            yield from ctx.compute(25e6 * 100)
+            log["survived"] = True
+        except TaskKilled:
+            log["killed_at"] = ctx.now
+            raise
+
+    vm.register_program("victim", victim)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("victim", count=1, where=[1])
+        yield ctx.sim.timeout(5.0)
+        ctx.kill(tid)
+        yield ctx.sim.timeout(1.0)
+
+    vm.register_program("master", master)
+    master_task = vm.start_master("master", host=0)
+    # A killed task terminates CLEANLY: the simulation keeps running and
+    # the rest of the application completes normally.
+    cl.run(until=200)
+    assert "killed_at" in log
+    assert "survived" not in log
+    assert master_task.coroutine.ok
+    (victim_task,) = [t for t in vm.tasks.values() if t.executable == "victim"]
+    assert victim_task.exit_code == -9
+
+
+def test_direct_route_same_host_falls_back_to_ipc():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+    got = {}
+
+    def sink(ctx):
+        msg = yield from ctx.recv(tag=1)
+        got["text"] = msg.buffer.upkstr()
+
+    vm.register_program("sink", sink)
+
+    def master(ctx):
+        ctx.advise("direct")
+        (tid,) = yield from ctx.spawn("sink", count=1, where=[0])
+        before = vm.network.bytes_carried
+        yield from ctx.send(tid, 1, ctx.initsend().pkstr("local-direct"))
+        got["wire"] = vm.network.bytes_carried - before
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=0)
+    cl.run()
+    assert got["text"] == "local-direct"
+    assert got["wire"] == 0  # never touched the Ethernet
+
+
+def test_task_lookup_after_exit_still_resolves_then_vanishes():
+    cl = Cluster(n_hosts=1)
+    vm = PvmSystem(cl)
+
+    def quick(ctx):
+        return
+        yield
+
+    vm.register_program("quick", quick)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("quick", count=1)
+        yield ctx.sim.timeout(1)
+        task = vm.task(tid)  # registry keeps exited tasks resolvable
+        assert not task.alive
+
+    vm.register_program("master", master)
+    t = vm.start_master("master")
+    cl.run()
+    assert t.coroutine.ok
+    with pytest.raises(PvmNoTask):
+        vm.task(0x3FFFFF)
+
+
+# ------------------------------------------------------------ consensus
+
+
+def test_master_collect_tolerates_duplicate_reports():
+    from repro.adm import master_collect
+
+    cl = Cluster(n_hosts=2)
+    vm = PvmSystem(cl)
+    out = {}
+
+    def chatty(ctx):
+        # Reports twice with the same tag (e.g. a partial + a final).
+        yield from ctx.send(ctx.parent, 9, ctx.initsend().pkint([1]))
+        yield from ctx.send(ctx.parent, 9, ctx.initsend().pkint([2]))
+
+    vm.register_program("chatty", chatty)
+
+    def master(ctx):
+        tids = yield from ctx.spawn("chatty", count=2)
+        msgs = yield from master_collect(ctx, tids, tag=9)
+        out["n"] = len(msgs)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=0)
+    cl.run()
+    # Collected until every worker reported at least once; extras that
+    # arrived meanwhile are returned too, never dropped.
+    assert out["n"] >= 2
+
+
+# ----------------------------------------------------------- gs monitor
+
+
+def test_monitor_history_filters_by_host():
+    cl = Cluster(n_hosts=2)
+    mon = LoadMonitor(cl, period_s=1.0)
+    cl.run(until=3.5)
+    h0 = mon.history("hp720-0")
+    assert len(h0) == 4
+    assert all(s.host == "hp720-0" for s in h0)
+
+
+# --------------------------------------------------------------- harness
+
+
+def test_fmt_row_variants():
+    assert fmt_row(None) == "-"
+    assert fmt_row(1.234567) == "1.23"
+    assert fmt_row("abc") == "abc"
+    assert fmt_row(7) == "7"
+
+
+def test_experiment_result_format_and_ok():
+    result = ExperimentResult(
+        exp_id="x", title="t", columns=["a", "b"],
+        rows=[{"a": 1.0, "b": 2.0}],
+        paper_rows=[{"a": 1.1, "b": 2.2}],
+    )
+    result.check("fine", True)
+    assert result.ok
+    text = result.format()
+    assert "measured" in text and "paper" in text and "[PASS] fine" in text
+    result.check("bad", False)
+    assert not result.ok
+    assert "[FAIL] bad" in result.format()
+
+
+def test_experiment_result_missing_columns_render_as_dash():
+    result = ExperimentResult(
+        exp_id="x", title="t", columns=["a", "b"],
+        rows=[{"a": 1.0}],
+    )
+    assert "-" in result.format()
+
+
+# ------------------------------------------------------- upvm unclaimed
+
+
+def test_upvm_unclaimed_messages_are_kept_for_inspection():
+    cl = Cluster(n_hosts=2)
+    vm = UpvmSystem(cl)
+
+    def program(ctx):
+        yield from ctx.sleep(2.0)
+
+    app = vm.start_app("u", program, n_ulps=2)
+
+    def rogue():
+        # A stray pvm message with a non-UPVM tag lands at the process.
+        proc = app.processes[0]
+        ctx = proc.context
+        body = ctx.send(app.processes[1].tid, 0x999, ctx.initsend().pkstr("?"))
+        yield from body
+
+    cl.sim.process(rogue())
+    cl.run(until=app.all_done)
+    assert len(app.unclaimed_messages) == 1
+    proc, msg = app.unclaimed_messages[0]
+    assert msg.tag == 0x999
+
+
+def test_upvm_process_state_accounting():
+    cl = Cluster(n_hosts=1)
+    vm = UpvmSystem(cl)
+
+    def program(ctx):
+        ctx.ulp.user_state_bytes = 1000
+        yield from ctx.sleep(1.0)
+
+    app = vm.start_app("acc", program, n_ulps=3, placement={0: 0, 1: 0, 2: 0})
+    cl.run(until=0.5)
+    proc = app.processes[0]
+    assert proc.ulp_state_bytes == 3 * (64 * 1024 + 1000)

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline claims (examples must not rot)."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return out.getvalue()
+
+
+def test_quickstart():
+    text = run_example("quickstart.py")
+    assert "sum of squares: 29" in text
+    assert "never noticed" in text
+    assert "obtrusiveness=" in text
+
+
+def test_owner_reclamation():
+    text = run_example("owner_reclamation.py")
+    assert "adaptive speedup" in text
+    speedup = float(text.split("adaptive speedup: ")[1].split("x")[0])
+    assert speedup > 1.3
+
+
+def test_heterogeneous_adm():
+    text = run_example("heterogeneous_adm.py")
+    assert "MPVM refuses" in text
+    assert "4.17" in text  # capacity-proportional partition
+
+
+def test_ulp_finegrain():
+    text = run_example("ulp_finegrain.py")
+    assert "fine-grained rebalancing saved" in text
+    assert "finished ULPs [0, 1, 2]" in text
+
+
+def test_three_systems():
+    text = run_example("three_systems.py")
+    for name in ("MPVM", "UPVM", "ADM"):
+        assert f"{name:<5} adaptive speedup" in text
+    # Every system beats the static baseline in this scenario.
+    for line in text.splitlines():
+        if "adaptive speedup:" in line:
+            assert float(line.split(":")[1].rstrip("x")) > 1.0
+
+
+def test_heat_stencil():
+    text = run_example("heat_stencil.py")
+    assert "identical despite the migration" in text

@@ -1,0 +1,197 @@
+"""Tests for the Global Scheduler, load monitor and policies."""
+
+import pytest
+
+from repro.gs import GlobalScheduler, LoadBalancePolicy, LoadMonitor, OwnerReclaimPolicy
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+
+
+def make_vm(n_hosts=3):
+    return MpvmSystem(Cluster(n_hosts=n_hosts))
+
+
+def sleeper_program(duration=1000.0):
+    def worker(ctx):
+        yield from ctx.sleep(duration)
+
+    return worker
+
+
+def cruncher_program(seconds=60.0):
+    def worker(ctx):
+        yield from ctx.compute(25e6 * seconds)
+
+    return worker
+
+
+# ----------------------------------------------------------------- monitor
+
+
+def test_monitor_samples_all_hosts():
+    cl = Cluster(n_hosts=3)
+    mon = LoadMonitor(cl, period_s=1.0)
+    cl.run(until=5.5)
+    assert set(mon.latest) == {"hp720-0", "hp720-1", "hp720-2"}
+    assert len(mon.history("hp720-0")) == 6  # t=0..5
+
+
+def test_monitor_sees_load_changes():
+    cl = Cluster(n_hosts=2)
+    mon = LoadMonitor(cl, period_s=1.0)
+    cl.host(0).add_external_load(weight=2.0)
+    cl.run(until=3)
+    assert mon.load_of("hp720-0") == 2.0
+    assert mon.load_of("hp720-1") == 0.0
+    assert mon.least_loaded() == "hp720-1"
+
+
+def test_monitor_least_loaded_with_exclusion():
+    cl = Cluster(n_hosts=2)
+    mon = LoadMonitor(cl, period_s=1.0)
+    cl.run(until=1)
+    assert mon.least_loaded(exclude=["hp720-0"]) == "hp720-1"
+    assert mon.least_loaded(exclude=["hp720-0", "hp720-1"]) is None
+
+
+def test_monitor_history_bounded():
+    cl = Cluster(n_hosts=1)
+    mon = LoadMonitor(cl, period_s=0.1, history_limit=20)
+    cl.run(until=100)
+    assert len(mon.samples) <= 20
+
+
+# --------------------------------------------------------------- scheduler
+
+
+def test_gs_migrate_records_outcome():
+    vm = make_vm()
+    cl = vm.cluster
+    vm.register_program("w", cruncher_program(30))
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        yield ctx.sim.timeout(2)
+        gs.migrate(vm.task(tid), cl.host(1))
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    vm.start_master("master", host=2)
+    cl.run(until=200)
+    recs = gs.completed_migrations()
+    assert len(recs) == 1
+    assert recs[0].src == "hp720-0"
+    assert recs[0].dst == "hp720-1"
+    assert recs[0].elapsed > 0
+
+
+def test_gs_failed_migration_recorded_not_raised():
+    from repro.hw import HostSpec
+
+    cl = Cluster(specs=[HostSpec("a"), HostSpec("b", arch="sparc")])
+    vm = MpvmSystem(cl)
+    vm.register_program("w", sleeper_program())
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=["a"])
+        yield ctx.sim.timeout(1)
+        gs.migrate(vm.task(tid), cl.host("b"))
+        yield ctx.sim.timeout(5)
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    vm.start_master("master", host="a")
+    cl.run(until=30)
+    assert len(gs.failed_migrations()) == 1
+    assert "PvmNotCompatible" in gs.failed_migrations()[0].error
+
+
+def test_gs_reclaim_vacates_all_units():
+    vm = make_vm()
+    cl = vm.cluster
+    vm.register_program("w", cruncher_program(40))
+
+    def master(ctx):
+        yield from ctx.spawn("w", count=2, where=[0, 0])
+        yield ctx.sim.timeout(2)
+        gs.reclaim(cl.host(0))
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    vm.start_master("master", host=2)
+    cl.run(until=300)
+    moved = gs.completed_migrations()
+    assert len(moved) == 2
+    assert all(r.src == "hp720-0" for r in moved)
+    assert all(r.dst != "hp720-0" for r in moved)
+    assert not vm.movable_units(cl.host(0))
+
+
+def test_gs_reclaim_empty_host_is_noop():
+    vm = make_vm()
+    gs = GlobalScheduler(vm.cluster, vm)
+    events = gs.reclaim(vm.cluster.host(1))
+    assert events == []
+    assert "hp720-1" not in gs.vacating
+
+
+# ---------------------------------------------------------------- policies
+
+
+def test_owner_reclaim_policy_end_to_end():
+    vm = make_vm()
+    cl = vm.cluster
+    done_hosts = []
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 20)
+        done_hosts.append(ctx.host.name)
+
+    vm.register_program("w", worker)
+
+    def master(ctx):
+        yield from ctx.spawn("w", count=1, where=[0])
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    policy = OwnerReclaimPolicy(gs)
+    policy.attach(cl.host(0), arrive_at=4.0, load_weight=3.0)
+    vm.start_master("master", host=2)
+    cl.run(until=300)
+    assert policy.reclaims == ["hp720-0"]
+    assert done_hosts and done_hosts[0] != "hp720-0"
+
+
+def test_load_balance_policy_moves_work_off_hot_host():
+    vm = make_vm(n_hosts=2)
+    cl = vm.cluster
+    vm.register_program("w", cruncher_program(120))
+
+    def master(ctx):
+        # Both workers land on host 0 -> load 2 there, 0 on host 1.
+        yield from ctx.spawn("w", count=2, where=[0])
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    gs.monitor.period_s = 1.0
+    policy = LoadBalancePolicy(gs, high=2.0, low=0.5, period_s=2.0)
+    vm.start_master("master", host=1)
+    cl.run(until=400)
+    assert len(policy.moves) >= 1
+    assert len(gs.completed_migrations()) >= 1
+
+
+def test_load_balance_policy_quiet_cluster_never_moves():
+    vm = make_vm(n_hosts=2)
+    cl = vm.cluster
+    vm.register_program("w", cruncher_program(30))
+
+    def master(ctx):
+        yield from ctx.spawn("w", count=2)  # round-robin: one per host
+
+    vm.register_program("master", master)
+    gs = GlobalScheduler(cl, vm)
+    policy = LoadBalancePolicy(gs, high=2.0, low=0.5, period_s=2.0)
+    vm.start_master("master", host=0)
+    cl.run(until=120)
+    assert policy.moves == []

@@ -1,0 +1,141 @@
+"""Tests for the Jacobi heat-diffusion application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatGrid, PvmHeat, jacobi_step, solve_serial
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+
+
+# ------------------------------------------------------------------ serial
+
+
+def test_grid_initial_boundaries():
+    g = HeatGrid.initial(5, 6, top=9, bottom=1, left=2, right=3)
+    assert g.values[0, 2] == 9 and g.values[-1, 2] == 1
+    assert g.values[2, 0] == 2 and g.values[2, -1] == 3
+    assert g.interior_cells == 3 * 4
+
+
+def test_grid_too_small_rejected():
+    with pytest.raises(ValueError):
+        HeatGrid.initial(2, 5)
+
+
+def test_jacobi_step_is_average_of_neighbors():
+    v = np.zeros((3, 3))
+    v[0, 1], v[2, 1], v[1, 0], v[1, 2] = 4, 8, 12, 16
+    new, res = jacobi_step(v)
+    assert new[1, 1] == pytest.approx(10.0)
+    assert res == pytest.approx(10.0)
+
+
+def test_serial_residual_decreases_and_converges():
+    grid = HeatGrid.initial(20, 20)
+    solved, residuals = solve_serial(grid, 300)
+    assert residuals[-1] < residuals[0] / 100
+    # Steady state: every interior cell equals its neighbor average.
+    v = solved.values
+    avg = 0.25 * (v[:-2, 1:-1] + v[2:, 1:-1] + v[1:-1, :-2] + v[1:-1, 2:])
+    np.testing.assert_allclose(v[1:-1, 1:-1], avg, atol=0.05)
+
+
+def test_boundaries_never_change():
+    grid = HeatGrid.initial(10, 10)
+    solved, _ = solve_serial(grid, 50)
+    np.testing.assert_array_equal(solved.values[0], grid.values[0])
+    np.testing.assert_array_equal(solved.values[-1], grid.values[-1])
+
+
+# ---------------------------------------------------------------- parallel
+
+
+def run_parallel(system_cls, n_workers=2, rows=24, cols=16, iters=30,
+                 n_hosts=2, mode="real"):
+    cl = Cluster(n_hosts=n_hosts)
+    vm = system_cls(cl)
+    app = PvmHeat(vm, rows=rows, cols=cols, iterations=iters,
+                  n_workers=n_workers, compute_mode=mode)
+    app.start()
+    cl.run(until=3600 * 4)
+    assert app.report, "heat master did not finish"
+    return vm, app
+
+
+def test_parallel_matches_serial_exactly():
+    _, app = run_parallel(PvmSystem)
+    serial_grid, serial_res = solve_serial(HeatGrid.initial(24, 16), 30)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+    np.testing.assert_allclose(app.report["residuals"], serial_res, rtol=1e-12)
+
+
+def test_parallel_three_workers_matches_serial():
+    _, app = run_parallel(PvmSystem, n_workers=3, rows=31, cols=13, iters=25)
+    serial_grid, _ = solve_serial(HeatGrid.initial(31, 13), 25)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_uneven_row_blocks_cover_grid():
+    cl = Cluster(n_hosts=2)
+    vm = PvmSystem(cl)
+    app = PvmHeat(vm, rows=12, cols=8, iterations=1, n_workers=4)
+    blocks = app._blocks()
+    assert blocks[0][0] == 1 and blocks[-1][1] == 11
+    assert all(b[1] == c[0] for b, c in zip(blocks, blocks[1:]))
+    sizes = [b[1] - b[0] for b in blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_too_many_workers_rejected():
+    cl = Cluster(n_hosts=1)
+    with pytest.raises(ValueError):
+        PvmHeat(PvmSystem(cl), rows=4, cols=8, n_workers=3)
+
+
+def test_heat_survives_worker_migration():
+    """Migrate the MIDDLE worker while both neighbors hammer it with
+    halo rows — result still bit-identical to serial."""
+    cl = Cluster(n_hosts=4)
+    vm = MpvmSystem(cl)
+    app = PvmHeat(vm, rows=31, cols=13, iterations=300, n_workers=3,
+                  worker_hosts=[0, 1, 2])
+    app.start()
+
+    def migrator():
+        # Wait for the workers to exist and be mid-run.
+        while len(app.worker_tids) < 3:
+            yield cl.sim.timeout(0.2)
+        yield cl.sim.timeout(1.0)
+        middle = vm.task(app.worker_tids[1])
+        yield vm.request_migration(middle, cl.host(3))
+
+    cl.sim.process(migrator())
+    cl.run(until=3600 * 4)
+    assert len(vm.migrations) == 1
+    serial_grid, _ = solve_serial(HeatGrid.initial(31, 13), 300)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_heat_modeled_mode_times_scale():
+    """At worknet-era scales (million-cell plates) compute dominates the
+    halo traffic and simulated time scales with the cell count."""
+    _, small = run_parallel(PvmSystem, rows=258, cols=256, iters=10,
+                            mode="modeled")
+    _, large = run_parallel(PvmSystem, rows=1026, cols=1024, iters=10,
+                            mode="modeled")
+    # 16x the cells -> much more simulated time.
+    assert large.report["total_time"] > 5 * small.report["total_time"]
+
+
+def test_heat_parallel_speedup_in_simulated_time():
+    """Iteration-phase speedup (block distribution is setup cost)."""
+    _, one = run_parallel(PvmSystem, n_workers=1, rows=1026, cols=1024,
+                          iters=40, mode="modeled", n_hosts=2)
+    _, two = run_parallel(PvmSystem, n_workers=2, rows=1026, cols=1024,
+                          iters=40, mode="modeled", n_hosts=2)
+    assert two.report["iter_time"] < 0.65 * one.report["iter_time"]

@@ -1,0 +1,285 @@
+"""Unit tests for the hardware layer (hosts, network, TCP, load)."""
+
+import pytest
+
+from repro.hw import (
+    MB,
+    Cluster,
+    HardwareParams,
+    Host,
+    HostSpec,
+    OwnerSession,
+    TcpConnection,
+    raw_tcp_transfer,
+    step_load,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n_hosts=2)
+
+
+# ------------------------------------------------------------------ Host
+
+
+def test_host_compute_time_matches_mflops(cluster):
+    host = cluster.host(0)
+    done = {}
+
+    def proc():
+        yield host.compute(25e6)  # exactly one second of work at 25 Mflop/s
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(1.0)
+
+
+def test_host_load_slows_compute(cluster):
+    host = cluster.host(0)
+    host.add_external_load(weight=1.0)
+    done = {}
+
+    def proc():
+        yield host.compute(25e6)
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(2.0)
+
+
+def test_host_copy_rate(cluster):
+    host = cluster.host(0)
+    done = {}
+
+    def proc():
+        yield host.copy(30 * MB)  # memcpy at 30 MB/s -> 1 s
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(1.0, rel=0.05)
+
+
+def test_host_busy_seconds(cluster):
+    host = cluster.host(0)
+    done = {}
+
+    def proc():
+        yield host.busy_seconds(2.5)
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(2.5)
+
+
+def test_migration_compatibility():
+    sim = Simulator()
+    a = Host(sim, "a", arch="hppa", os="hpux9")
+    b = Host(sim, "b", arch="hppa", os="hpux9")
+    c = Host(sim, "c", arch="sparc", os="sunos4")
+    assert a.migration_compatible(b)
+    assert not a.migration_compatible(c)
+
+
+def test_mem_accounting():
+    sim = Simulator()
+    host = Host(sim, "h", mem_bytes=1000)
+    host.mem_alloc(600)
+    with pytest.raises(MemoryError):
+        host.mem_alloc(600)
+    host.mem_free(600)
+    host.mem_alloc(900)
+    with pytest.raises(ValueError):
+        host.mem_free(5000)
+
+
+def test_heterogeneous_cluster_speeds():
+    cl = Cluster(specs=[
+        HostSpec("fast", cpu_mflops=50),
+        HostSpec("slow", cpu_mflops=10),
+    ])
+    done = {}
+
+    def proc(host, key):
+        yield host.compute(100e6)
+        done[key] = cl.sim.now
+
+    cl.sim.process(proc(cl.host("fast"), "fast"))
+    cl.sim.process(proc(cl.host("slow"), "slow"))
+    cl.run()
+    assert done["fast"] == pytest.approx(2.0)
+    assert done["slow"] == pytest.approx(10.0)
+
+
+def test_cluster_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        Cluster(specs=[HostSpec("x"), HostSpec("x")])
+
+
+def test_cluster_lookup(cluster):
+    assert cluster.host(0) is cluster.host("hp720-0")
+    assert len(cluster) == 2
+
+
+# --------------------------------------------------------------- Network
+
+
+def test_network_transfer_time(cluster):
+    net = cluster.network
+    src, dst = cluster.host(0), cluster.host(1)
+    done = {}
+
+    def proc():
+        yield net.transfer(src, dst, 1.08 * MB)
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(1.0 + net.params.net_latency_s, rel=0.01)
+
+
+def test_network_self_transfer_rejected(cluster):
+    with pytest.raises(ValueError):
+        cluster.network.transfer(cluster.host(0), cluster.host(0), 100)
+
+
+def test_network_contention_halves_rate(cluster):
+    net = cluster.network
+    a, b = cluster.host(0), cluster.host(1)
+    done = {}
+
+    def proc(key):
+        yield net.transfer(a, b, 1.08 * MB, label=key)
+        done[key] = cluster.sim.now
+
+    cluster.sim.process(proc("x"))
+    cluster.sim.process(proc("y"))
+    cluster.run()
+    # Two concurrent 1 s transfers on a shared medium -> ~2 s each.
+    assert done["x"] == pytest.approx(2.0, rel=0.01)
+    assert done["y"] == pytest.approx(2.0, rel=0.01)
+
+
+def test_zero_byte_transfer_costs_latency(cluster):
+    net = cluster.network
+    done = {}
+
+    def proc():
+        yield net.transfer(cluster.host(0), cluster.host(1), 0)
+        done["t"] = cluster.sim.now
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert done["t"] == pytest.approx(net.params.net_latency_s)
+
+
+def test_network_accounting(cluster):
+    net = cluster.network
+
+    def proc():
+        yield net.transfer(cluster.host(0), cluster.host(1), 1234)
+
+    cluster.sim.process(proc())
+    cluster.run()
+    assert net.bytes_carried == 1234
+
+
+# ------------------------------------------------------------------- TCP
+
+
+def test_tcp_requires_connect(cluster):
+    conn = TcpConnection(cluster.network, cluster.host(0), cluster.host(1))
+    with pytest.raises(RuntimeError):
+        next(conn.send(10))
+
+
+def test_tcp_endpoints_must_differ(cluster):
+    with pytest.raises(ValueError):
+        TcpConnection(cluster.network, cluster.host(0), cluster.host(0))
+
+
+def test_raw_tcp_rate_close_to_paper():
+    """Paper Table 2: 0.3 MB (slave's share of 0.6 MB) in ~0.27 s."""
+    cl = Cluster(n_hosts=2)
+    result = {}
+
+    def proc():
+        elapsed = yield from raw_tcp_transfer(
+            cl.network, cl.host(0), cl.host(1), 0.3 * 1e6
+        )
+        result["elapsed"] = elapsed
+
+    cl.sim.process(proc())
+    cl.run()
+    assert result["elapsed"] == pytest.approx(0.27, rel=0.15)
+
+
+def test_tcp_receiver_copy_adds_time(cluster):
+    times = {}
+
+    def proc(key, copies):
+        conn = TcpConnection(cluster.network, cluster.host(0), cluster.host(1))
+        t0 = cluster.sim.now
+        yield from conn.connect()
+        yield from conn.send(5 * MB, receiver_copies=copies)
+        times[key] = cluster.sim.now - t0
+
+    def driver():
+        yield cluster.sim.process(proc("nocopy", False))
+        yield cluster.sim.process(proc("copy", True))
+
+    cluster.sim.process(driver())
+    cluster.run()
+    assert times["copy"] > times["nocopy"]
+    # Receiver copy at 14 MB/s for 5 MB ~ 0.36 s extra.
+    assert times["copy"] - times["nocopy"] == pytest.approx(5 / 14, rel=0.1)
+
+
+# ------------------------------------------------------------------ Load
+
+
+def test_owner_session_arrives_and_departs():
+    cl = Cluster(n_hosts=1)
+    host = cl.host(0)
+    events = []
+    OwnerSession(
+        host, arrive_at=10, depart_after=5, load_weight=2.0,
+        on_arrive=lambda h: events.append(("arrive", cl.sim.now, h.load_average)),
+        on_depart=lambda h: events.append(("depart", cl.sim.now, h.load_average)),
+    )
+    cl.run()
+    assert events == [("arrive", 10, 2.0), ("depart", 15, 0.0)]
+
+
+def test_step_load_slows_following_compute():
+    cl = Cluster(n_hosts=1)
+    host = cl.host(0)
+    step_load(host, at=0.0, weight=3.0)
+    done = {}
+
+    def proc():
+        yield cl.sim.timeout(1)  # load active by now
+        yield host.compute(25e6)
+        done["t"] = cl.sim.now
+
+    cl.sim.process(proc())
+    cl.run()
+    assert done["t"] == pytest.approx(5.0)  # 1 + 4x slowdown
+
+
+def test_bursty_load_is_reproducible():
+    from repro.hw import BurstyLoad
+
+    def run(seed):
+        cl = Cluster(n_hosts=1, seed=seed)
+        b = BurstyLoad(cl.host(0), cl.rng.get("bursty"), until=500.0)
+        cl.run(until=600)
+        return b.busy_periods
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)

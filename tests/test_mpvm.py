@@ -1,0 +1,276 @@
+"""Integration tests for MPVM transparent process migration."""
+
+import pytest
+
+from repro.hw import Cluster, HostSpec, MB
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmNotCompatible
+from repro.unix import Segment, page_align
+
+
+@pytest.fixture
+def vm():
+    return MpvmSystem(Cluster(n_hosts=3))
+
+
+def _grow_state(task, nbytes):
+    """Give a task's heap ~nbytes of application data."""
+    task.grow_heap(page_align(nbytes))
+
+
+def test_migrate_computing_task_completes_elsewhere(vm):
+    """A task interrupted mid-compute finishes its work on the new host."""
+    cl = vm.cluster
+    result = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 20)  # 20 s of work on a quiet host
+        result["host"] = ctx.host.name
+        result["t"] = ctx.now
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(5.0)
+        done = vm.request_migration(vm.task(tid), cl.host(1))
+        yield done
+        result["stats"] = done.value
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run()
+    assert result["host"] == "hp720-1"
+    stats = result["stats"]
+    # Total compute 20 s + migration overhead; never less than 20 s.
+    assert result["t"] > 20.0
+    assert result["t"] < 25.0
+    assert stats.obtrusiveness > 0
+    assert stats.migration_time >= stats.obtrusiveness
+
+
+def test_migrate_task_blocked_in_recv(vm):
+    """Migrating a process blocked in pvm_recv (the re-implemented recv)."""
+    cl = vm.cluster
+    log = {}
+
+    def worker(ctx):
+        msg = yield from ctx.recv(tag=9)  # blocks long before anyone sends
+        log["got"] = msg.buffer.upkstr()
+        log["host"] = ctx.host.name
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(2.0)
+        yield vm.request_migration(vm.task(tid), cl.host(1))
+        # App still addresses the worker by its ORIGINAL tid.
+        yield from ctx.send(tid, 9, ctx.initsend().pkstr("after-move"))
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run()
+    assert log == {"got": "after-move", "host": "hp720-1"}
+
+
+def test_sender_blocks_during_migration_then_delivers(vm):
+    """pvm_send to a migrating task blocks until the restart message."""
+    cl = vm.cluster
+    timeline = {}
+
+    def worker(ctx):
+        # Seed state so the migration takes a visible amount of time.
+        _grow_state(ctx.task, int(2 * MB))
+        ctx.task.user_state_bytes = 0
+        while True:
+            msg = yield from ctx.recv(tag=1)
+            if msg.buffer.upkstr() == "stop":
+                return
+            timeline.setdefault("received_at", []).append(ctx.now)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        mig_done = vm.request_migration(vm.task(tid), cl.host(1))
+        yield ctx.sim.timeout(0.3)  # flush is surely underway
+        t0 = ctx.now
+        yield from ctx.send(tid, 1, ctx.initsend().pkstr("hello"))
+        timeline["send_blocked_for"] = ctx.now - t0
+        yield mig_done
+        timeline["mig"] = mig_done.value
+        yield from ctx.send(tid, 1, ctx.initsend().pkstr("stop"))
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run()
+    mig = timeline["mig"]
+    # The send had to wait for most of the migration.
+    assert timeline["send_blocked_for"] > 0.5 * mig.migration_time
+    assert len(timeline["received_at"]) == 1
+
+
+def test_migration_preserves_queued_messages(vm):
+    """Unreceived messages travel with the process state."""
+    cl = vm.cluster
+    got = []
+
+    def worker(ctx):
+        yield from ctx.sleep(5.0)  # let messages pile up, survive migration
+        while len(got) < 3:
+            msg = yield from ctx.recv(tag=4)
+            got.append(int(msg.buffer.upkint()[0]))
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        for i in range(3):
+            yield from ctx.send(tid, 4, ctx.initsend().pkint([i]))
+        yield ctx.sim.timeout(1.0)
+        yield vm.request_migration(vm.task(tid), cl.host(1))
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run()
+    assert got == [0, 1, 2]
+
+
+def test_migration_to_incompatible_host_fails():
+    cl = Cluster(specs=[
+        HostSpec("hp-a", arch="hppa", os="hpux9"),
+        HostSpec("sun-b", arch="sparc", os="sunos4"),
+    ])
+    vm = MpvmSystem(cl)
+    outcome = {}
+
+    def worker(ctx):
+        yield from ctx.sleep(60)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=["hp-a"])
+        done = vm.request_migration(vm.task(tid), cl.host("sun-b"))
+        try:
+            yield done
+        except PvmNotCompatible as exc:
+            outcome["error"] = str(exc)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host="hp-a")
+    cl.run(until=120)
+    assert "not" in outcome["error"] or "sparc" in outcome["error"]
+
+
+def test_migrating_dead_task_fails(vm):
+    outcome = {}
+
+    def worker(ctx):
+        return
+        yield
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(1.0)
+        done = vm.request_migration(vm.tasks[tid], vm.cluster.host(1))
+        try:
+            yield done
+        except Exception as exc:
+            outcome["error"] = type(exc).__name__
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    vm.cluster.run()
+    assert outcome["error"] == "PvmMigrationError"
+
+
+def test_double_migration_remaps_twice(vm):
+    """Task migrates twice; app-visible tid stays the original."""
+    cl = vm.cluster
+    log = {}
+
+    def worker(ctx):
+        original = ctx.mytid
+        yield from ctx.compute(25e6 * 30)
+        log["final_mytid"] = ctx.mytid
+        log["original"] = original
+        log["host"] = ctx.host.name
+        yield from ctx.send(ctx.parent, 2, ctx.initsend().pkint([1]))
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(3.0)
+        yield vm.request_migration(vm.task(tid), cl.host(1))
+        yield ctx.sim.timeout(3.0)
+        yield vm.request_migration(vm.task(tid), cl.host(2))
+        msg = yield from ctx.recv(tag=2)
+        log["reply_src"] = msg.src_tid
+        log["sent_to"] = tid
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run()
+    assert log["final_mytid"] == log["original"]
+    assert log["host"] == "hp720-2"
+    # The master sees the reply as coming from the tid it spawned.
+    assert log["reply_src"] == log["sent_to"]
+
+
+def test_obtrusiveness_scales_with_state_size(vm):
+    cl = vm.cluster
+    stats = []
+
+    def worker(ctx):
+        yield from ctx.sleep(1000)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        for i, mb in enumerate([1, 4]):
+            (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+            _grow_state(vm.task(tid), mb * MB)
+            done = vm.request_migration(vm.task(tid), cl.host(1))
+            yield done
+            stats.append(done.value)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run(until=200)
+    small, large = stats
+    assert large.obtrusiveness > small.obtrusiveness
+    # Roughly linear in bytes: 4x state ≈ >2x obtrusiveness.
+    assert large.obtrusiveness > 1.8 * small.obtrusiveness
+
+
+def test_mpvm_works_with_global_scheduler(vm):
+    """GS owner-reclamation vacates a host end to end."""
+    from repro.gs import GlobalScheduler, OwnerReclaimPolicy
+
+    cl = vm.cluster
+    finished = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 30)
+        finished[ctx.mytid] = ctx.host.name
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield from ctx.spawn("worker", count=2, where=[0, 0])
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    gs = GlobalScheduler(cl, vm)
+    policy = OwnerReclaimPolicy(gs)
+    policy.attach(cl.host(0), arrive_at=5.0)
+    cl.run(until=300)
+    assert policy.reclaims == ["hp720-0"]
+    assert len(finished) == 2
+    assert all(h != "hp720-0" for h in finished.values())
+    assert len(gs.completed_migrations()) == 2

@@ -1,0 +1,226 @@
+"""Tests for the Opt application: data, model, serial and PVM variants."""
+
+import numpy as np
+import pytest
+
+from repro.apps.opt import (
+    EXEMPLAR_BYTES,
+    OptConfig,
+    OptModel,
+    PvmOpt,
+    Shard,
+    SpmdOpt,
+    TrainingSet,
+    exemplars_for_bytes,
+    synthetic_training_set,
+    train_serial,
+)
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+from repro.upvm import UpvmSystem
+
+
+# -------------------------------------------------------------------- data
+
+
+def test_exemplar_layout_is_108_bytes():
+    assert EXEMPLAR_BYTES == 108  # 26 float32 features + category
+
+
+def test_exemplars_for_bytes_matches_paper_scale():
+    # A 9 MB training set is ~87k exemplars.
+    assert 80_000 < exemplars_for_bytes(9e6) < 90_000
+
+
+def test_synthetic_set_shapes_and_determinism():
+    a = synthetic_training_set(n=500, seed=3)
+    b = synthetic_training_set(n=500, seed=3)
+    c = synthetic_training_set(n=500, seed=4)
+    assert a.features.shape == (500, 26)
+    assert a.features.dtype == np.float32
+    np.testing.assert_array_equal(a.features, b.features)
+    assert not np.array_equal(a.features, c.features)
+    assert a.categories.min() >= 0 and a.categories.max() < 10
+
+
+def test_synthetic_set_size_spec_exclusive():
+    with pytest.raises(ValueError):
+        synthetic_training_set()
+    with pytest.raises(ValueError):
+        synthetic_training_set(nbytes=1000, n=10)
+
+
+def test_shard_processed_tracking():
+    s = Shard(10)
+    idx = s.take_unprocessed(4)
+    assert len(idx) == 4
+    assert s.n_processed == 4 and s.n_unprocessed == 6
+    s.reset_processed()
+    assert s.n_unprocessed == 10
+
+
+def test_shard_extract_prefers_unprocessed():
+    s = Shard(10)
+    s.take_unprocessed(6)
+    piece = s.extract(4)
+    assert piece.n_processed == 0  # all extracted items were unprocessed
+    assert s.n_items == 6
+
+
+def test_shard_extract_real_preserves_content():
+    data = synthetic_training_set(n=20, seed=0)
+    s = Shard(20, data)
+    before = np.sort(s.data.features[:, 0].copy())
+    piece = s.extract(8)
+    merged = np.sort(np.concatenate([s.data.features[:, 0], piece.data.features[:, 0]]))
+    np.testing.assert_allclose(merged, before)
+
+
+def test_shard_absorb_roundtrip():
+    data = synthetic_training_set(n=30, seed=1)
+    s = Shard(30, data)
+    s.take_unprocessed(10)
+    piece = s.extract(15)
+    other = Shard.empty_like(s)
+    other.absorb(piece)
+    assert other.n_items == 15
+    other.absorb(s.extract(15))
+    assert other.n_items == 30 and s.n_items == 0
+
+
+def test_shard_mode_mixing_rejected():
+    with pytest.raises(ValueError):
+        Shard(5).absorb(Shard(5, synthetic_training_set(n=5)))
+
+
+# -------------------------------------------------------------------- model
+
+
+def test_model_params_roundtrip():
+    m = OptModel(hidden=8, seed=0)
+    vec = m.get_params()
+    m.set_params(vec * 2)
+    np.testing.assert_allclose(m.get_params(), vec * 2)
+
+
+def test_gradient_matches_finite_differences():
+    data = synthetic_training_set(n=40, seed=0)
+    m = OptModel(hidden=5, seed=1)
+    params = m.get_params()
+    loss0, grad, n = m.loss_and_gradient(params, data)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        i = rng.integers(0, len(params))
+        eps = 1e-6
+        p2 = params.copy()
+        p2[i] += eps
+        loss1, _, _ = m.loss_and_gradient(p2, data)
+        numeric = (loss1 - loss0) / eps
+        assert numeric == pytest.approx(grad[i], rel=1e-3, abs=1e-5)
+
+
+def test_gradient_sums_are_additive_across_shards():
+    """Partial gradients from shards add to the full gradient — the
+    property every parallel variant relies on."""
+    data = synthetic_training_set(n=100, seed=2)
+    m = OptModel(hidden=6, seed=0)
+    params = m.get_params()
+    loss_all, grad_all, _ = m.loss_and_gradient(params, data)
+    l1, g1, _ = m.loss_and_gradient(params, data.slice(0, 37))
+    l2, g2, _ = m.loss_and_gradient(params, data.slice(37, 100))
+    assert l1 + l2 == pytest.approx(loss_all, rel=1e-10)
+    np.testing.assert_allclose(g1 + g2, grad_all, rtol=1e-10)
+
+
+def test_serial_training_reduces_loss_and_learns():
+    data = synthetic_training_set(n=2000, seed=0)
+    state = train_serial(data, iterations=25, hidden=20)
+    assert state.losses[-1] < state.losses[0] * 0.7
+    m = OptModel(hidden=20, n_categories=10)
+    m.set_params(state.params)
+    assert m.accuracy(data) > 0.5  # far above the 10% chance level
+
+
+# ---------------------------------------------------------------- PVM_opt
+
+
+def run_pvm_opt(system_cls, config, n_hosts=2):
+    vm = system_cls(Cluster(n_hosts=n_hosts))
+    app = PvmOpt(vm, config)
+    app.start()
+    vm.cluster.run(until=3600 * 10)
+    assert app.report, "master did not finish"
+    return vm, app
+
+
+def test_pvm_opt_real_matches_serial():
+    cfg = OptConfig(data_bytes=1500 * EXEMPLAR_BYTES, iterations=6,
+                    hidden=10, compute_mode="real", seed=5)
+    _, app = run_pvm_opt(PvmSystem, cfg)
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=cfg.seed), 6,
+        hidden=10, seed=cfg.seed,
+    )
+    # Identical math modulo float summation order.
+    np.testing.assert_allclose(app.state.losses, serial.losses, rtol=1e-8)
+    np.testing.assert_allclose(app.state.params, serial.params, rtol=1e-6)
+
+
+def test_pvm_opt_runs_on_mpvm_unchanged():
+    """Source compatibility: same app class on MPVM."""
+    cfg = OptConfig(data_bytes=0.3e6, iterations=4)
+    _, app_pvm = run_pvm_opt(PvmSystem, cfg)
+    _, app_mpvm = run_pvm_opt(MpvmSystem, cfg)
+    t1, t2 = app_pvm.report["total_time"], app_mpvm.report["total_time"]
+    assert t2 == pytest.approx(t1, rel=0.02)  # Table 1 shape: ~no overhead
+
+
+def test_pvm_opt_modeled_time_scales_with_data():
+    small = run_pvm_opt(PvmSystem, OptConfig(data_bytes=0.3e6, iterations=5))[1]
+    large = run_pvm_opt(PvmSystem, OptConfig(data_bytes=1.2e6, iterations=5))[1]
+    assert large.report["train_time"] > 3.0 * small.report["train_time"]
+
+
+def test_pvm_opt_slave_placement_matches_paper():
+    vm, app = run_pvm_opt(PvmSystem, OptConfig(data_bytes=0.2e6, iterations=2))
+    hosts = [vm.task(t).host.name for t in app.slave_tids]
+    assert hosts == ["hp720-0", "hp720-1"]
+
+
+def test_pvm_opt_slaves_carry_migratable_state():
+    vm, app = run_pvm_opt(PvmSystem, OptConfig(data_bytes=0.6e6, iterations=2))
+    # Each slave held half the training set as user state.
+    for tid in app.slave_tids:
+        task = vm.tasks[tid]
+        assert task.user_state_bytes == pytest.approx(0.3e6, rel=0.01)
+
+
+# --------------------------------------------------------------- SPMD_opt
+
+
+def test_spmd_opt_real_matches_serial():
+    cfg = OptConfig(data_bytes=1200 * EXEMPLAR_BYTES, iterations=5,
+                    hidden=10, compute_mode="real", seed=7)
+    vm = UpvmSystem(Cluster(n_hosts=2))
+    app = SpmdOpt(vm, cfg)
+    app.start()
+    vm.cluster.run(until=app.app.all_done)
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=cfg.seed), 5,
+        hidden=10, seed=cfg.seed,
+    )
+    np.testing.assert_allclose(app.state.losses, serial.losses, rtol=1e-8)
+
+
+def test_spmd_opt_placement_master_with_slave():
+    """Paper: one node has master ULP + slave ULP."""
+    cfg = OptConfig(data_bytes=0.2e6, iterations=2)
+    vm = UpvmSystem(Cluster(n_hosts=2))
+    app = SpmdOpt(vm, cfg)
+    app.start()
+    upvm_app = app.app
+    assert upvm_app.location[0] is upvm_app.location[1]  # master with slave 1
+    assert upvm_app.location[2] is not upvm_app.location[0]
+    vm.cluster.run(until=upvm_app.all_done)
+    assert app.report["total_time"] > 0

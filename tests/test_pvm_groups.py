@@ -1,0 +1,205 @@
+"""Tests for PVM dynamic groups (pvm_joingroup / barrier / bcast)."""
+
+import pytest
+
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmBadParam, PvmSystem
+
+
+@pytest.fixture
+def vm():
+    return PvmSystem(Cluster(n_hosts=3))
+
+
+def test_join_assigns_sequential_instances(vm):
+    instances = []
+
+    def worker(ctx):
+        inst = yield from ctx.joingroup("g")
+        instances.append(inst)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield from ctx.spawn("worker", count=3)
+        yield ctx.sim.timeout(5)
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert sorted(instances) == [0, 1, 2]
+
+
+def test_rejoin_returns_same_instance(vm):
+    out = {}
+
+    def master(ctx):
+        a = yield from ctx.joingroup("g")
+        b = yield from ctx.joingroup("g")
+        out["a"], out["b"] = a, b
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert out["a"] == out["b"] == 0
+
+
+def test_leave_frees_slot_for_reuse(vm):
+    order = []
+
+    def master(ctx):
+        yield from ctx.joingroup("g")
+        (tid,) = yield from ctx.spawn("w", count=1)
+        yield ctx.sim.timeout(2)
+        order.append(ctx.gsize("g"))
+        yield from ctx.lvgroup("g")
+        order.append(ctx.gsize("g"))
+
+    def w(ctx):
+        inst = yield from ctx.joingroup("g")
+        order.append(("w-inst", inst))
+
+    vm.register_program("master", master)
+    vm.register_program("w", w)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert ("w-inst", 1) in order
+    assert order[-2:] == [2, 1]
+
+
+def test_barrier_releases_all_at_once(vm):
+    times = []
+
+    def worker(ctx):
+        yield from ctx.joingroup("b")
+        yield from ctx.compute(25e6 * (1 + ctx.mytid % 3))  # stagger
+        yield from ctx.barrier("b", 4)
+        times.append(ctx.now)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield from ctx.joingroup("b")
+        yield from ctx.spawn("worker", count=3)
+        yield from ctx.barrier("b", 4)
+        times.append(ctx.now)
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert len(times) == 4
+    assert max(times) - min(times) < 0.05  # released together
+
+
+def test_barrier_count_subset(vm):
+    """pvm_barrier with an explicit count smaller than the group."""
+    log = []
+
+    def worker(ctx):
+        yield from ctx.joingroup("s")
+        yield from ctx.barrier("s", 2)  # only two needed
+        log.append(ctx.now)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield from ctx.spawn("worker", count=2)
+        yield ctx.sim.timeout(10)
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert len(log) == 2
+
+
+def test_bcast_excludes_sender(vm):
+    got = []
+
+    def worker(ctx):
+        yield from ctx.joingroup("bc")
+        yield from ctx.barrier("bc", 4)
+        if ctx.getinst("bc") == 1:
+            yield from ctx.bcast("bc", 9, ctx.initsend().pkstr("hello"))
+            # The sender must NOT receive its own broadcast.
+            assert ctx.probe(tag=9) is False or True
+            yield from ctx.sleep(2)
+            got.append(("sender-saw", ctx.probe(tag=9)))
+        else:
+            msg = yield from ctx.recv(tag=9)
+            got.append(msg.buffer.upkstr())
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        yield from ctx.joingroup("bc")
+        yield from ctx.spawn("worker", count=3)
+        yield from ctx.barrier("bc", 4)
+        msg = yield from ctx.recv(tag=9)
+        got.append(msg.buffer.upkstr())
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert got.count("hello") == 3
+    assert ("sender-saw", False) in got
+
+
+def test_gettid_getinst_roundtrip(vm):
+    out = {}
+
+    def master(ctx):
+        inst = yield from ctx.joingroup("r")
+        out["tid"] = ctx.gettid("r", inst)
+        out["inst"] = ctx.getinst("r")
+        out["mytid"] = ctx.mytid
+
+    vm.register_program("master", master)
+    vm.start_master("master")
+    vm.cluster.run()
+    assert out["tid"] == out["mytid"]
+    assert out["inst"] == 0
+
+
+def test_group_errors(vm):
+    def master(ctx):
+        with pytest.raises(PvmBadParam):
+            ctx.gsize("ghost")
+        inst = yield from ctx.joingroup("g")
+        with pytest.raises(PvmBadParam):
+            ctx.gettid("g", 5)
+        with pytest.raises(PvmBadParam):
+            ctx.getinst("g", tid=0x123456)
+
+    vm.register_program("master", master)
+    t = vm.start_master("master")
+    vm.cluster.run()
+    assert t.coroutine.ok, t.coroutine.value
+
+
+def test_group_membership_survives_migration():
+    """A migrated member keeps its instance; bcast still reaches it."""
+    cl = Cluster(n_hosts=3)
+    vm = MpvmSystem(cl)
+    got = {}
+
+    def member(ctx):
+        inst = yield from ctx.joingroup("m")
+        msg = yield from ctx.recv(tag=3)
+        got["inst"] = ctx.getinst("m")
+        got["text"] = msg.buffer.upkstr()
+        got["host"] = ctx.host.name
+
+    vm.register_program("member", member)
+
+    def master(ctx):
+        yield from ctx.joingroup("m")
+        (tid,) = yield from ctx.spawn("member", count=1, where=[0])
+        yield ctx.sim.timeout(2)
+        yield vm.request_migration(vm.task(tid), cl.host(2))
+        yield from ctx.bcast("m", 3, ctx.initsend().pkstr("post-move"))
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+    cl.run(until=600)
+    assert got == {"inst": 1, "text": "post-move", "host": "hp720-2"}

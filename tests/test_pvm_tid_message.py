@@ -1,0 +1,171 @@
+"""Unit tests for tid encoding and message buffers."""
+
+import numpy as np
+import pytest
+
+from repro.pvm import (
+    HEADER_BYTES,
+    Message,
+    MessageBuffer,
+    PVM_ANY,
+    PvmBadParam,
+    is_valid_tid,
+    make_tid,
+    tid_host_index,
+    tid_local,
+    tid_str,
+)
+
+
+# ------------------------------------------------------------------- tid
+
+
+def test_tid_roundtrip():
+    for host in (0, 1, 5, 1000):
+        for local in (0, 1, 7, 2**18 - 1):
+            tid = make_tid(host, local)
+            assert tid_host_index(tid) == host
+            assert tid_local(tid) == local
+
+
+def test_tid_zero_never_produced():
+    assert make_tid(0, 0) != 0
+    assert is_valid_tid(make_tid(0, 0))
+    assert not is_valid_tid(0)
+    assert not is_valid_tid(-1)
+
+
+def test_tid_out_of_range():
+    with pytest.raises(ValueError):
+        make_tid(-1, 0)
+    with pytest.raises(ValueError):
+        make_tid(0, 2**18)
+    with pytest.raises(ValueError):
+        make_tid(2**12, 0)
+
+
+def test_tid_str_format():
+    assert tid_str(make_tid(0, 1)).startswith("t")
+
+
+def test_tids_unique_across_hosts():
+    tids = {make_tid(h, l) for h in range(4) for l in range(10)}
+    assert len(tids) == 40
+
+
+# ---------------------------------------------------------------- buffer
+
+
+def test_pack_unpack_int_roundtrip():
+    buf = MessageBuffer()
+    buf.pkint([1, 2, 3])
+    out = buf.upkint()
+    assert out.tolist() == [1, 2, 3]
+    assert out.dtype == np.int32
+
+
+def test_pack_unpack_scalar_promotes_to_array():
+    buf = MessageBuffer().pkint(7)
+    assert buf.upkint().tolist() == [7]
+
+
+def test_pack_unpack_mixed_sections_in_order():
+    buf = MessageBuffer()
+    buf.pkint([1]).pkdouble([2.5, 3.5]).pkstr("hello").pkbyte(b"\x00\xff")
+    assert buf.upkint().tolist() == [1]
+    assert buf.upkdouble().tolist() == [2.5, 3.5]
+    assert buf.upkstr() == "hello"
+    assert bytes(buf.upkbyte()) == b"\x00\xff"
+    assert buf.exhausted
+
+
+def test_unpack_type_mismatch_raises():
+    buf = MessageBuffer().pkint([1])
+    with pytest.raises(PvmBadParam, match="type mismatch"):
+        buf.upkdouble()
+
+
+def test_unpack_past_end_raises():
+    buf = MessageBuffer().pkint([1])
+    buf.upkint()
+    with pytest.raises(PvmBadParam, match="past end"):
+        buf.upkint()
+
+
+def test_pack_after_unpack_rejected():
+    buf = MessageBuffer().pkint([1])
+    buf.upkint()
+    with pytest.raises(PvmBadParam):
+        buf.pkint([2])
+
+
+def test_rewind_allows_rereading():
+    buf = MessageBuffer().pkdouble([1.0])
+    assert buf.upkdouble().tolist() == [1.0]
+    buf.rewind()
+    assert buf.upkdouble().tolist() == [1.0]
+
+
+def test_nbytes_accounting():
+    buf = MessageBuffer()
+    buf.pkint(np.zeros(10, dtype=np.int32))     # 40 bytes
+    buf.pkdouble(np.zeros(5))                   # 40 bytes
+    buf.pkbyte(b"abc")                          # 3 bytes
+    assert buf.nbytes == 83
+    assert buf.wire_bytes == 83 + HEADER_BYTES
+
+
+def test_pkarray_preserves_dtype_shape_and_content():
+    arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+    buf = MessageBuffer().pkarray(arr)
+    out = buf.upkarray()
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == np.float32
+    assert out.shape == (3, 4)
+
+
+def test_pkarray_copies_payload():
+    arr = np.zeros(4)
+    buf = MessageBuffer().pkarray(arr)
+    arr[:] = 99
+    np.testing.assert_array_equal(buf.upkarray(), np.zeros(4))
+
+
+def test_pkopaque_counts_bytes_without_content():
+    buf = MessageBuffer().pkopaque(1_000_000, "data-segment")
+    assert buf.nbytes == 1_000_000
+    assert buf.upkopaque() == "data-segment"
+
+
+def test_pkopaque_negative_rejected():
+    with pytest.raises(PvmBadParam):
+        MessageBuffer().pkopaque(-1)
+
+
+def test_pack_calls_counted():
+    buf = MessageBuffer().pkint([1]).pkint([2]).pkdouble([3.0])
+    assert buf.pack_calls == 3
+
+
+def test_pkfloat_and_pklong():
+    buf = MessageBuffer().pkfloat([1.5]).pklong([2**40])
+    assert buf.upkfloat().dtype == np.float32
+    assert buf.upklong().tolist() == [2**40]
+
+
+# --------------------------------------------------------------- message
+
+
+def test_message_wildcard_matching():
+    msg = Message(src_tid=make_tid(0, 1), dst_tid=make_tid(1, 1), tag=9)
+    assert msg.matches(PVM_ANY, PVM_ANY)
+    assert msg.matches(make_tid(0, 1), 9)
+    assert msg.matches(PVM_ANY, 9)
+    assert not msg.matches(make_tid(0, 2), 9)
+    assert not msg.matches(make_tid(0, 1), 8)
+
+
+def test_message_ids_unique():
+    a = Message(1 << 18, 2 << 18, 0)
+    b = Message(1 << 18, 2 << 18, 0)
+    assert a.msgid != b.msgid

@@ -1,0 +1,402 @@
+"""Unit tests for the discrete-event kernel (repro.sim.kernel / events)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+        yield sim.timeout(0.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_process_return_value_via_run_until():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3)
+        return 42
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 42
+    assert sim.now == 3
+
+
+def test_run_until_time_stops_exactly():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(1)
+
+    sim.process(proc())
+    sim.run(until=10.5)
+    assert sim.now == 10.5
+
+
+def test_run_until_past_time_raises():
+    sim = Simulator()
+    sim.process(iter_timeout(sim, 5))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1)
+
+
+def iter_timeout(sim, t):
+    yield sim.timeout(t)
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            order.append((sim.now, name))
+
+    sim.process(worker("a", 2))
+    sim.process(worker("b", 3))
+    sim.run()
+    # Ties at t=6 break FIFO by schedule order: b's 2nd timeout was
+    # scheduled at t=3, before a's 3rd (scheduled at t=4).
+    assert order == [
+        (2, "a"), (3, "b"), (4, "a"), (6, "b"), (6, "a"), (9, "b"),
+    ]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    def firer():
+        yield sim.timeout(2)
+        ev.succeed("done")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert got == [(2, "done")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield sim.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_propagates_to_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("crash")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="crash"):
+        sim.run()
+
+
+def test_unhandled_failure_defused_is_silent():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("crash")
+
+    p = sim.process(bad())
+    p.defuse()
+    sim.run()
+    assert not p.ok
+
+
+def test_waiting_on_already_processed_event_resumes_same_tick():
+    sim = Simulator()
+    ev = sim.event()
+    times = []
+
+    def early():
+        ev.succeed("v")
+        yield sim.timeout(0)
+
+    def late():
+        yield sim.timeout(5)
+        value = yield ev  # processed long ago
+        times.append((sim.now, value))
+
+    sim.process(early())
+    sim.process(late())
+    sim.run()
+    assert times == [(5, "v")]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(4, "b")
+        result = yield sim.all_of([t1, t2])
+        done.append((sim.now, list(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done == [(4, ["a", "b"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        t1, t2 = sim.timeout(1, "fast"), sim.timeout(4, "slow")
+        result = yield sim.any_of([t1, t2])
+        done.append((sim.now, list(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done == [(1, ["fast"])]
+
+
+def test_condition_operators():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        result = yield sim.timeout(1, "x") | sim.timeout(9, "y")
+        out.append(sorted(result.values()))
+        result = yield sim.timeout(1, "p") & sim.timeout(2, "q")
+        out.append(sorted(result.values()))
+
+    sim.process(proc())
+    sim.run()
+    assert out == [["x"], ["p", "q"]]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_condition_fails_if_member_fails():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield AllOf(sim, [sim.timeout(10), ev])
+        except KeyError as exc:
+            caught.append(sim.now)
+
+    def firer():
+        yield sim.timeout(2)
+        ev.fail(KeyError("dead"))
+
+    sim.process(proc())
+    sim.process(firer())
+    sim.run()
+    assert caught == [2]
+
+
+def test_interrupt_wakes_sleeper_early():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(victim):
+        yield sim.timeout(3)
+        victim.interrupt(cause="reclaim")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert log == [("interrupted", 3, "reclaim")]
+
+
+def test_interrupt_then_rewait_original_target():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        target = sim.timeout(10)
+        try:
+            yield target
+        except Interrupt:
+            log.append(("intr", sim.now))
+            yield target  # keep waiting for the original wakeup
+        log.append(("woke", sim.now))
+
+    def interrupter(victim):
+        yield sim.timeout(4)
+        victim.interrupt()
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert log == [("intr", 4), ("woke", 10)]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+    p = sim.process(iter_timeout(sim, 1))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_process_is_alive_transitions():
+    sim = Simulator()
+    p = sim.process(iter_timeout(sim, 2))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+    assert p.ok
+
+
+def test_nested_process_wait():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(2)
+        return "child-result"
+
+    def parent():
+        value = yield sim.process(child())
+        results.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [(2, "child-result")]
+
+
+def test_run_until_event_already_processed():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return 7
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.run(until=p) == 7
+
+
+def test_run_until_unreachable_event_raises():
+    sim = Simulator()
+    ev = sim.event()
+    sim.process(iter_timeout(sim, 1))
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(until=ev)
+
+
+def test_urgent_priority_orders_same_time_events():
+    sim = Simulator()
+    order = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5)
+            order.append("timeout")
+        except Interrupt:
+            order.append("interrupt")
+
+    def interrupter(victim):
+        yield sim.timeout(5)  # same instant as the sleeper's timeout
+        if victim.is_alive:
+            victim.interrupt()
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    # The process must finish exactly once, whichever wakeup won the tie.
+    assert len(order) == 1

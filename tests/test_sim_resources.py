@@ -1,0 +1,351 @@
+"""Unit tests for Store / FilterStore / Resource / ProcessorSharing."""
+
+import pytest
+
+from repro.sim import FilterStore, ProcessorSharing, Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield sim.timeout(1)
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(7)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(7, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield store.put("a")
+        timeline.append(("a-stored", sim.now))
+        yield store.put("b")
+        timeline.append(("b-stored", sim.now))
+
+    def consumer():
+        yield sim.timeout(5)
+        item = yield store.get()
+        timeline.append(("got-" + item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("a-stored", 0) in timeline
+    assert ("b-stored", 5) in timeline
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_store_rejects_nonpositive_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# ---------------------------------------------------------- FilterStore
+
+
+def test_filterstore_selects_by_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda m: m["tag"] == 7)
+        got.append((sim.now, item["body"]))
+
+    def producer():
+        yield sim.timeout(1)
+        yield store.put({"tag": 3, "body": "no"})
+        yield sim.timeout(1)
+        yield store.put({"tag": 7, "body": "yes"})
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(2, "yes")]
+    assert len(store) == 1  # the unmatched message stays queued
+
+
+def test_filterstore_fifo_among_matches():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put(("a", 1))
+    store.put(("b", 2))
+    store.put(("a", 3))
+    ev = store.get(lambda m: m[0] == "a")
+    sim.run()
+    assert ev.value == ("a", 1)
+
+
+def test_filterstore_peek_is_nondestructive():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put(5)
+    assert store.peek() == 5
+    assert store.peek(lambda x: x > 10) is None
+    assert len(store) == 1
+
+
+def test_filterstore_multiple_blocked_getters_different_filters():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(want):
+        item = yield store.get(lambda m, w=want: m == w)
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(1)
+        yield store.put("beta")
+        yield sim.timeout(1)
+        yield store.put("alpha")
+
+    sim.process(consumer("alpha"))
+    sim.process(consumer("beta"))
+    sim.process(producer())
+    sim.run()
+    assert sorted(got) == [(1, "beta"), (2, "alpha")]
+
+
+# -------------------------------------------------------------- Resource
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    timeline = []
+
+    def worker(name, hold):
+        req = lock.acquire()
+        yield req
+        timeline.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        timeline.append((name, "out", sim.now))
+        lock.release()
+
+    sim.process(worker("a", 4))
+    sim.process(worker("b", 1))
+    sim.run()
+    assert timeline == [
+        ("a", "in", 0), ("a", "out", 4), ("b", "in", 4), ("b", "out", 5),
+    ]
+
+
+def test_resource_capacity_two():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    entered = []
+
+    def worker(name):
+        yield pool.acquire()
+        entered.append((name, sim.now))
+        yield sim.timeout(10)
+        pool.release()
+
+    for name in "abc":
+        sim.process(worker(name))
+    sim.run()
+    assert entered == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    pool = Resource(sim)
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_resource_counts():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    pool.acquire()
+    pool.acquire()
+    assert pool.in_use == 1
+    assert pool.queued == 1
+
+
+# ------------------------------------------------------ ProcessorSharing
+
+
+def run_job(sim, ps, amount, start=0.0, weight=1.0):
+    """Helper: submit a job at `start` and record its completion time."""
+    done = {}
+
+    def proc():
+        if start:
+            yield sim.timeout(start)
+        yield ps.submit(amount, weight=weight)
+        done["t"] = sim.now
+
+    sim.process(proc())
+    return done
+
+
+def test_ps_single_job_runs_at_full_rate():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    done = run_job(sim, ps, 50.0)
+    sim.run()
+    assert done["t"] == pytest.approx(5.0)
+
+
+def test_ps_two_equal_jobs_share_equally():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    d1 = run_job(sim, ps, 50.0)
+    d2 = run_job(sim, ps, 50.0)
+    sim.run()
+    # Each gets rate 5 while both active -> both finish at t=10.
+    assert d1["t"] == pytest.approx(10.0)
+    assert d2["t"] == pytest.approx(10.0)
+
+
+def test_ps_late_arrival_slows_first_job():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    d1 = run_job(sim, ps, 100.0)            # alone: would finish at 10
+    d2 = run_job(sim, ps, 30.0, start=4.0)  # arrives at 4
+    sim.run()
+    # t in [0,4): job1 does 40. Then shared: job2 needs 30 at rate 5 -> done
+    # at t=10 (job1 does 30 more). Job1 then has 30 left at rate 10 -> t=13.
+    assert d2["t"] == pytest.approx(10.0)
+    assert d1["t"] == pytest.approx(13.0)
+
+
+def test_ps_weights_bias_shares():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=12.0)
+    heavy = run_job(sim, ps, 80.0, weight=3.0)  # gets 9/s while light active
+    light = run_job(sim, ps, 30.0, weight=1.0)  # gets 3/s
+    sim.run()
+    # light: 30/3 = 10s. heavy by t=10 did 90 > 80 -> finishes earlier:
+    # heavy at 9/s -> 80/9 = 8.888...
+    assert heavy["t"] == pytest.approx(80.0 / 9.0)
+    assert light["t"] == pytest.approx((30.0 - 3.0 * 80.0 / 9.0) / 12.0 + 80.0 / 9.0)
+
+
+def test_ps_permanent_load_halves_throughput():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    ps.add_load(weight=1.0)
+    done = run_job(sim, ps, 50.0)
+    sim.run()
+    assert done["t"] == pytest.approx(10.0)  # half share
+
+
+def test_ps_load_removal_restores_rate():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    handle = ps.add_load(weight=1.0)
+    done = run_job(sim, ps, 100.0)
+
+    def remover():
+        yield sim.timeout(10)  # job did 50 at rate 5
+        ps.remove_load(handle)
+
+    sim.process(remover())
+    sim.run()
+    assert done["t"] == pytest.approx(15.0)  # remaining 50 at rate 10
+
+
+def test_ps_zero_amount_completes_instantly():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1.0)
+    ev = ps.submit(0.0)
+    assert ev.triggered
+
+
+def test_ps_set_rate_mid_job():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    done = run_job(sim, ps, 100.0)
+
+    def changer():
+        yield sim.timeout(5)  # 50 done
+        ps.set_rate(5.0)
+
+    sim.process(changer())
+    sim.run()
+    assert done["t"] == pytest.approx(15.0)
+
+
+def test_ps_time_to_complete_estimate():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    ps.add_load(weight=1.0)
+    assert ps.time_to_complete(10.0) == pytest.approx(2.0)
+
+
+def test_ps_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ProcessorSharing(sim, rate=0)
+    ps = ProcessorSharing(sim, rate=1)
+    with pytest.raises(ValueError):
+        ps.submit(-1)
+    with pytest.raises(ValueError):
+        ps.submit(1, weight=0)
+    with pytest.raises(ValueError):
+        ps.set_rate(-1)
+
+
+def test_ps_many_jobs_conservation():
+    """Total service delivered can never exceed rate * elapsed time."""
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=7.0)
+    amounts = [3.0, 11.0, 5.5, 20.0, 0.25, 9.0]
+    dones = [run_job(sim, ps, a, start=i * 0.7) for i, a in enumerate(amounts)]
+    sim.run()
+    finish = max(d["t"] for d in dones)
+    total = sum(amounts)
+    assert finish >= total / 7.0 - 1e-9
+    # And no job finishes before its solo best-case.
+    for d, a, i in zip(dones, amounts, range(len(amounts))):
+        assert d["t"] >= i * 0.7 + a / 7.0 - 1e-9

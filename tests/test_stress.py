@@ -1,0 +1,237 @@
+"""Randomized stress tests: migrations injected at arbitrary times into
+actively communicating applications, checking the end-to-end invariants
+the protocols must uphold — no message lost, no message duplicated,
+pairwise FIFO preserved, and numerical results unchanged."""
+
+import numpy as np
+import pytest
+
+from repro.apps.opt import (
+    AdmOpt,
+    EXEMPLAR_BYTES,
+    OptConfig,
+    PvmOpt,
+    synthetic_training_set,
+    train_serial,
+)
+from repro.hw import Cluster, MB
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+from repro.upvm import UpvmSystem
+
+
+@pytest.mark.parametrize("migrate_at", [0.5, 1.7, 3.1, 6.4, 9.9])
+def test_mpvm_migration_at_arbitrary_times_preserves_stream(migrate_at):
+    """A producer/consumer pair keeps exchanging sequenced messages while
+    the consumer is migrated at an arbitrary instant."""
+    cl = Cluster(n_hosts=3)
+    vm = MpvmSystem(cl)
+    received = []
+
+    def consumer(ctx):
+        ctx.task.grow_heap(int(1 * MB))
+        while True:
+            msg = yield from ctx.recv(tag=1)
+            seq = int(msg.buffer.upkint()[0])
+            if seq < 0:
+                return
+            received.append(seq)
+            yield from ctx.send(msg.src_tid, 2, ctx.initsend().pkint([seq]))
+
+    vm.register_program("consumer", consumer)
+
+    def producer(ctx):
+        (tid,) = yield from ctx.spawn("consumer", count=1, where=[0])
+        for seq in range(40):
+            yield from ctx.send(tid, 1, ctx.initsend().pkint([seq]).pkopaque(20_000))
+            ack = yield from ctx.recv(tid, 2)
+            assert int(ack.buffer.upkint()[0]) == seq
+        yield from ctx.send(tid, 1, ctx.initsend().pkint([-1]))
+
+    vm.register_program("producer", producer)
+    vm.start_master("producer", host=1)
+
+    def migrator():
+        yield cl.sim.timeout(migrate_at)
+        victims = vm.movable_units(cl.host(0))
+        if victims:
+            ev = vm.request_migration(victims[0], cl.host(2))
+            ev.defuse()  # tolerate "already exited" near the end
+
+    cl.sim.process(migrator())
+    cl.run(until=600)
+    assert received == list(range(40))
+
+
+def test_mpvm_many_migrations_same_task():
+    """Ping-pong a task across hosts repeatedly mid-computation."""
+    cl = Cluster(n_hosts=3)
+    vm = MpvmSystem(cl)
+    done = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 30)
+        done["host"] = ctx.host.name
+        done["t"] = ctx.now
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        for i in range(6):
+            yield ctx.sim.timeout(3.0)
+            task = vm.task(tid)
+            if not task.alive:
+                break
+            dst = cl.host((i + 1) % 3)
+            if dst is task.host:
+                dst = cl.host((i + 2) % 3)
+            ev = vm.request_migration(task, dst)
+            ev.defuse()
+            yield ev
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=0)
+    cl.run(until=600)
+    assert done["t"] > 30.0
+    assert len(vm.migrations) >= 5
+
+
+def test_upvm_migration_storm():
+    """All four worker ULPs get shuffled around while computing."""
+    cl = Cluster(n_hosts=2)
+    vm = UpvmSystem(cl)
+    finished = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 12)
+        finished[ctx.me] = ctx.now
+
+    app = vm.start_app("storm", worker, n_ulps=4,
+                       placement={0: 0, 1: 0, 2: 1, 3: 1})
+
+    def shuffler():
+        rng = np.random.default_rng(7)
+        for round_ in range(4):
+            yield cl.sim.timeout(2.0)
+            for ulp in list(app.ulps.values()):
+                if ulp.state.value == "done":
+                    continue
+                if rng.random() < 0.5:
+                    dst = cl.host(1) if ulp.host is cl.host(0) else cl.host(0)
+                    ev = vm.request_migration(ulp, dst)
+                    ev.defuse()
+
+    cl.sim.process(shuffler())
+    cl.run(until=3600)
+    assert len(finished) == 4  # everyone completed despite the storm
+
+
+def test_adm_random_event_times_match_serial():
+    """Whatever instant the vacate lands at, the training math is
+    unchanged (gradient sums are order- and placement-independent)."""
+    cfg = OptConfig(data_bytes=4000 * EXEMPLAR_BYTES, iterations=6,
+                    hidden=8, compute_mode="real", seed=11, n_slaves=3)
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=11), 6, hidden=8, seed=11
+    )
+    for vacate_at in [1.2, 2.05, 3.33]:
+        cl = Cluster(n_hosts=3)
+        app = AdmOpt(PvmSystem(cl), cfg)
+        app.start()
+
+        def driver(t=vacate_at):
+            yield cl.sim.timeout(t)
+            app.post_vacate(0)
+
+        cl.sim.process(driver())
+        cl.run(until=3600)
+        assert app.report, f"run with vacate at {vacate_at} did not finish"
+        np.testing.assert_allclose(
+            app.state.losses, serial.losses, rtol=1e-7,
+            err_msg=f"vacate at {vacate_at}",
+        )
+
+
+def test_pvm_opt_under_migration_still_correct():
+    """Real-mode PVM_opt on MPVM with a mid-run slave migration produces
+    the serial losses — migration is genuinely transparent."""
+    cfg = OptConfig(data_bytes=3000 * EXEMPLAR_BYTES, iterations=6,
+                    hidden=8, compute_mode="real", seed=4)
+    cl = Cluster(n_hosts=3)
+    vm = MpvmSystem(cl)
+    app = PvmOpt(vm, cfg)
+    app.start()
+
+    def driver():
+        yield cl.sim.timeout(1.5)
+        units = vm.movable_units(cl.host(0))
+        slaves = [t for t in units if "slave" in t.executable]
+        if slaves:
+            yield vm.request_migration(slaves[0], cl.host(2))
+
+    cl.sim.process(driver())
+    cl.run(until=3600)
+    assert app.report
+    assert len(vm.migrations) == 1
+    serial = train_serial(
+        synthetic_training_set(n=cfg.n_exemplars, seed=4), 6, hidden=8, seed=4
+    )
+    np.testing.assert_allclose(app.state.losses, serial.losses, rtol=1e-8)
+
+
+def test_simultaneous_mpvm_migrations_of_different_tasks():
+    cl = Cluster(n_hosts=4)
+    vm = MpvmSystem(cl)
+    finished = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 20)
+        finished[ctx.mytid] = ctx.host.name
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        tids = yield from ctx.spawn("worker", count=3, where=[0, 0, 0])
+        yield ctx.sim.timeout(2.0)
+        events = [
+            vm.request_migration(vm.task(t), cl.host(i + 1))
+            for i, t in enumerate(tids)
+        ]
+        yield ctx.sim.all_of(events)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=3)
+    cl.run(until=600)
+    assert len(finished) == 3
+    assert sorted(finished.values()) == ["hp720-1", "hp720-2", "hp720-3"]
+
+
+def test_migration_during_migration_rejected():
+    cl = Cluster(n_hosts=3)
+    vm = MpvmSystem(cl)
+    outcome = {}
+
+    def worker(ctx):
+        ctx.task.grow_heap(int(5 * MB))
+        yield from ctx.compute(25e6 * 60)
+
+    vm.register_program("worker", worker)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[0])
+        yield ctx.sim.timeout(2.0)
+        first = vm.request_migration(vm.task(tid), cl.host(1))
+        yield ctx.sim.timeout(0.5)  # surely mid-flight (5 MB of state)
+        second = vm.request_migration(vm.task(tid), cl.host(2))
+        try:
+            yield second
+        except Exception as exc:
+            outcome["second"] = type(exc).__name__
+        yield first
+        outcome["first_ok"] = first.value is not None
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=2)
+    cl.run(until=600)
+    assert outcome == {"second": "PvmMigrationError", "first_ok": True}

@@ -1,0 +1,64 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim import Tracer
+
+
+def test_empty_tracer_is_truthy():
+    """Regression: `if tracer:` guards must not skip the FIRST emit —
+    an empty tracer has len() == 0 and would be falsy by default."""
+    tracer = Tracer()
+    assert bool(tracer)
+    assert len(tracer) == 0
+    tracer.emit(1.0, "cat", "actor", "message")
+    assert len(tracer) == 1
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "cat", "a", "m")
+    assert len(tracer) == 0
+
+
+def test_select_by_category_actor_prefix():
+    tracer = Tracer()
+    tracer.emit(1.0, "mpvm.event", "d0", "one")
+    tracer.emit(2.0, "mpvm.flush.start", "d0", "two")
+    tracer.emit(3.0, "pvm.send", "t1", "three")
+    assert len(tracer.select(category="pvm.send")) == 1
+    assert len(tracer.select(prefix="mpvm.")) == 2
+    assert len(tracer.select(actor="d0")) == 2
+    assert len(tracer.select(prefix="mpvm.", actor="t1")) == 0
+
+
+def test_subscribe_receives_live_records():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit(0.5, "c", "a", "m", extra=7)
+    assert len(seen) == 1
+    assert seen[0].fields["extra"] == 7
+
+
+def test_spans_pairing():
+    tracer = Tracer()
+    tracer.emit(1.0, "x.start", "a", "s1")
+    tracer.emit(2.0, "x.end", "a", "e1")
+    tracer.emit(3.0, "x.start", "a", "s2")
+    tracer.emit(4.0, "x.end", "a", "e2")
+    spans = tracer.spans("x.start", "x.end")
+    assert [(s.time, e.time) for s, e in spans] == [(1.0, 2.0), (3.0, 4.0)]
+
+
+def test_clear_and_iter():
+    tracer = Tracer()
+    tracer.emit(1.0, "c", "a", "m")
+    assert list(tracer)
+    tracer.clear()
+    assert not list(tracer)
+
+
+def test_record_str_contains_fields():
+    tracer = Tracer()
+    tracer.emit(1.5, "cat", "actor", "moved", bytes=42)
+    text = str(tracer.records[0])
+    assert "cat" in text and "moved" in text and "bytes=42" in text

@@ -1,0 +1,76 @@
+"""Tests for the UPVM (ULP) heat variant: fine-grained stencil blocks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatGrid, UlpHeat, solve_serial
+from repro.gs import GlobalScheduler
+from repro.hw import Cluster
+from repro.upvm import UpvmSystem
+
+
+def run_ulp_heat(rows=24, cols=16, iters=40, n_workers=4, n_hosts=2,
+                 mode="real", driver=None):
+    cl = Cluster(n_hosts=n_hosts)
+    vm = UpvmSystem(cl)
+    app = UlpHeat(vm, rows=rows, cols=cols, iterations=iters,
+                  n_workers=n_workers, compute_mode=mode)
+    app.start()
+    if driver is not None:
+        cl.sim.process(driver(cl, vm, app))
+    cl.run(until=3600 * 4)
+    assert app.report, "coordinator did not finish"
+    return vm, app
+
+
+def test_ulp_heat_matches_serial():
+    _, app = run_ulp_heat()
+    serial_grid, serial_res = solve_serial(HeatGrid.initial(24, 16), 40)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+    np.testing.assert_allclose(app.report["residuals"], serial_res, rtol=1e-12)
+
+
+def test_ulp_heat_colocated_blocks_use_handoff():
+    """Workers 1&3 share process 0 and 2&4 share process 1 — but 1-2 and
+    2-3 and 3-4 are the neighbor pairs, so every halo crosses processes
+    EXCEPT none... verify instead with an adjacent placement."""
+    cl = Cluster(n_hosts=2)
+    vm = UpvmSystem(cl)
+    # Adjacent blocks co-located: (1,2) on proc 0, (3,4) on proc 1 —
+    # halos 1<->2 and 3<->4 are local hand-offs; only 2<->3 crosses.
+    app = UlpHeat(vm, rows=26, cols=16, iterations=30, n_workers=4,
+                  placement={0: 0, 1: 0, 2: 0, 3: 1, 4: 1})
+    app.start()
+    wire_before = vm.network.bytes_carried
+    cl.run(until=3600)
+    serial_grid, _ = solve_serial(HeatGrid.initial(26, 16), 30)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+    # Only the 2<->3 halo pair (plus coordinator traffic) hits the wire:
+    # far less than if all three pairs did.
+    wire = vm.network.bytes_carried - wire_before
+    per_iter_pair = 2 * (16 * 8)  # two rows per pair per iteration
+    assert wire < 30 * per_iter_pair * 2.5 + 50_000
+
+
+def test_ulp_heat_migrate_one_block_mid_run():
+    """GS moves ONE of two co-located blocks; result still exact."""
+    def driver(cl, vm, app):
+        yield cl.sim.timeout(1.5)
+        ulp = app.app.ulps[2]
+        if ulp.state.value != "done":
+            gs = GlobalScheduler(cl, vm)
+            yield gs.migrate(ulp, cl.host(1) if ulp.host is cl.host(0)
+                             else cl.host(0))
+
+    _, app = run_ulp_heat(rows=34, cols=16, iters=200, driver=driver)
+    serial_grid, _ = solve_serial(HeatGrid.initial(34, 16), 200)
+    np.testing.assert_allclose(app.result_grid.values, serial_grid.values,
+                               rtol=1e-12)
+
+
+def test_ulp_heat_too_many_workers_rejected():
+    cl = Cluster(n_hosts=1)
+    with pytest.raises(ValueError):
+        UlpHeat(UpvmSystem(cl), rows=4, cols=8, n_workers=5)

@@ -1,0 +1,236 @@
+"""Focused unit tests: MPVM tid-remap tables, the ULP scheduler, daemon
+fragmentation math, context misc, kernel condition corners."""
+
+import pytest
+
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+from repro.mpvm.context import MpvmContext
+from repro.pvm import HEADER_BYTES, MessageBuffer, PvmSystem, fragments_of
+from repro.sim import AllOf, AnyOf, Event, Simulator
+from repro.upvm import UlpState, UpvmSystem
+
+
+# ------------------------------------------------------ MpvmContext unit
+
+
+@pytest.fixture
+def mctx():
+    vm = MpvmSystem(Cluster(n_hosts=2))
+
+    def idle(ctx):
+        yield ctx.sim.timeout(1000)
+
+    vm.register_program("idle", idle)
+    task = vm.start_master("idle", host=0)
+    return task.context  # type: ignore[attr-defined]
+
+
+def test_remap_identity_by_default(mctx):
+    assert mctx._map_tid_out(0x40001) == 0x40001
+    assert mctx._map_tid_in(0x40001) == 0x40001
+
+
+def test_remap_single_hop(mctx):
+    mctx.learn_remap(0x40002, 0x80005)
+    assert mctx._map_tid_out(0x40002) == 0x80005
+    assert mctx._map_tid_in(0x80005) == 0x40002
+
+
+def test_remap_chain_keeps_original_virtual(mctx):
+    mctx.learn_remap(0x40002, 0x80005)
+    mctx.learn_remap(0x80005, 0xC0003)
+    # The application-visible tid is still the ORIGINAL one.
+    assert mctx._map_tid_out(0x40002) == 0xC0003
+    assert mctx._map_tid_in(0xC0003) == 0x40002
+    # The intermediate real tid is no longer mapped back.
+    assert 0x80005 not in mctx._r2v
+
+
+def test_block_unblock_sends(mctx):
+    ev = mctx.block_sends_to(0x40002)
+    assert not ev.triggered
+    ev2 = mctx.block_sends_to(0x40002)
+    assert ev is ev2  # idempotent
+    mctx.unblock_sends_to(0x40002, 0x80001)
+    assert ev.triggered
+    assert mctx._map_tid_out(0x40002) == 0x80001
+
+
+def test_call_overhead_positive(mctx):
+    assert mctx._call_overhead_s() > 0
+
+
+# -------------------------------------------------------- ULP scheduler
+
+
+def test_ulp_scheduler_run_to_block_order():
+    cl = Cluster(n_hosts=1)
+    vm = UpvmSystem(cl)
+    order = []
+
+    def program(ctx):
+        for chunk in range(2):
+            yield from ctx.compute(25e6 * 1)
+            order.append((ctx.me, chunk, round(ctx.now, 2)))
+
+    app = vm.start_app("rtb", program, n_ulps=2, placement={0: 0, 1: 0})
+    cl.run(until=app.all_done)
+    # Non-preemptive: ULP0 holds the CPU for its whole first compute.
+    assert order[0][0] == 0
+    # Each compute call is one run-to-block section; interleaving happens
+    # only between sections.
+    assert len(order) == 4
+
+
+def test_ulp_scheduler_counts_switches_once_per_change():
+    cl = Cluster(n_hosts=1)
+    vm = UpvmSystem(cl)
+
+    def program(ctx):
+        yield from ctx.compute(25e4)
+        yield from ctx.compute(25e4)  # same ULP again: no switch
+
+    app = vm.start_app("sw1", program, n_ulps=1)
+    cl.run(until=app.all_done)
+    assert app.processes[0].scheduler.switches == 1  # only the first
+
+
+def test_ulp_release_preserves_done_state():
+    cl = Cluster(n_hosts=1)
+    vm = UpvmSystem(cl)
+
+    def program(ctx):
+        yield from ctx.compute(25e4)
+
+    app = vm.start_app("d", program, n_ulps=1)
+    cl.run(until=app.all_done)
+    ulp = app.ulps[0]
+    assert ulp.state is UlpState.DONE
+    sched = app.processes[0].scheduler
+    sched.token.acquire()
+    sched.release(ulp)  # must not resurrect a DONE ulp to READY
+    assert ulp.state is UlpState.DONE
+
+
+# -------------------------------------------------------- fragmentation
+
+
+def test_fragments_of_boundaries():
+    assert fragments_of(0, 4096) == 1  # headers still ship
+    assert fragments_of(1, 4096) == 1
+    assert fragments_of(4096, 4096) == 1
+    assert fragments_of(4097, 4096) == 2
+    assert fragments_of(10 * 4096, 4096) == 10
+
+
+def test_wire_bytes_includes_header():
+    buf = MessageBuffer().pkint([1, 2, 3])
+    assert buf.wire_bytes == buf.nbytes + HEADER_BYTES
+
+
+# -------------------------------------------------------- context misc
+
+
+def test_context_config_lists_hosts():
+    vm = PvmSystem(Cluster(n_hosts=3))
+
+    def master(ctx):
+        assert ctx.config() == ["hp720-0", "hp720-1", "hp720-2"]
+        return
+        yield
+
+    vm.register_program("master", master)
+    t = vm.start_master("master")
+    vm.cluster.run()
+    assert t.coroutine.ok, t.coroutine.value
+
+
+def test_context_sleep_does_not_burn_cpu():
+    vm = PvmSystem(Cluster(n_hosts=1))
+    out = {}
+
+    def sleeper(ctx):
+        yield from ctx.sleep(5.0)
+        out["t"] = ctx.now
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 5)
+        out["crunch_t"] = ctx.now
+
+    vm.register_program("sleeper", sleeper)
+    vm.register_program("cruncher", cruncher)
+    vm.start_master("sleeper", host=0)
+    vm.start_master("cruncher", host=0)
+    vm.cluster.run()
+    # If sleep consumed CPU the cruncher would take ~10 s.
+    assert out["crunch_t"] == pytest.approx(5.0, rel=0.01)
+    assert out["t"] == pytest.approx(5.0, abs=0.01)
+
+
+# --------------------------------------------------------- kernel corners
+
+
+def test_event_trigger_copies_state():
+    sim = Simulator()
+    src, dst = Event(sim), Event(sim)
+    src.succeed("payload")
+    dst.trigger(src)
+    sim.run()
+    assert dst.ok and dst.value == "payload"
+
+
+def test_event_trigger_idempotent_after_triggered():
+    sim = Simulator()
+    src, dst = Event(sim), Event(sim)
+    dst.succeed("mine")
+    src.succeed("other")
+    dst.trigger(src)  # no-op, no exception
+    sim.run()
+    assert dst.value == "mine"
+
+
+def test_allof_with_some_preprocessed_events():
+    sim = Simulator()
+    early = sim.timeout(1, "early")
+    out = {}
+
+    def proc():
+        yield sim.timeout(5)
+        late = sim.timeout(2, "late")
+        result = yield AllOf(sim, [early, late])
+        out["values"] = sorted(v for v in result.values())
+
+    sim.process(proc())
+    sim.run()
+    assert out["values"] == ["early", "late"]
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+    bad = Event(sim)
+    caught = {}
+
+    def proc():
+        try:
+            yield AnyOf(sim, [sim.timeout(10), bad])
+        except RuntimeError as exc:
+            caught["msg"] = str(exc)
+
+    def failer():
+        yield sim.timeout(1)
+        bad.fail(RuntimeError("nope"))
+
+    sim.process(proc())
+    sim.process(failer())
+    sim.run()
+    assert caught["msg"] == "nope"
+
+
+def test_simulator_peek_and_step_errors():
+    from repro.sim import SimulationError
+
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        sim.step()

@@ -1,0 +1,279 @@
+"""Unit tests for the Unix process/memory/signal models."""
+
+import pytest
+
+from repro.hw import Cluster
+from repro.sim import Interrupt
+from repro.unix import (
+    PAGE,
+    AddressSpace,
+    ProcState,
+    Segment,
+    Sig,
+    SignalRecord,
+    SimProcess,
+    page_align,
+)
+
+
+# -------------------------------------------------------------- segments
+
+
+def test_page_align():
+    assert page_align(0) == 0
+    assert page_align(1) == PAGE
+    assert page_align(PAGE) == PAGE
+    assert page_align(PAGE + 1) == 2 * PAGE
+
+
+def test_segment_bounds_and_overlap():
+    a = Segment("a", 0x1000, 0x2000)
+    b = Segment("b", 0x3000, 0x1000)
+    c = Segment("c", 0x2000, 0x2000)
+    assert a.end == 0x3000
+    assert not a.overlaps(b)
+    assert a.overlaps(c)
+    assert a.contains(0x1000)
+    assert not a.contains(0x3000)
+
+
+def test_segment_rejects_unaligned_start():
+    with pytest.raises(ValueError):
+        Segment("x", 0x1001, 0x1000)
+
+
+def test_segment_grow_and_shrink():
+    s = Segment("heap", 0x1000, 0x1000)
+    s.grow(0x500)
+    assert s.size == 0x1500
+    with pytest.raises(ValueError):
+        s.grow(-0x9000)
+
+
+# --------------------------------------------------------- address space
+
+
+def test_conventional_layout_has_four_segments():
+    space = AddressSpace.conventional()
+    names = [s.name for s in space]
+    assert names == ["text", "data", "heap", "stack"]
+
+
+def test_writable_bytes_excludes_text():
+    space = AddressSpace.conventional(
+        text_bytes=PAGE, data_bytes=PAGE, heap_bytes=2 * PAGE, stack_bytes=PAGE
+    )
+    assert space.writable_bytes == 4 * PAGE
+    assert space.total_bytes == 5 * PAGE
+
+
+def test_map_rejects_overlap_and_duplicates():
+    space = AddressSpace()
+    space.map(Segment("one", 0x1000, 0x1000))
+    with pytest.raises(ValueError):
+        space.map(Segment("one", 0x10000, 0x1000))
+    with pytest.raises(ValueError):
+        space.map(Segment("two", 0x1000, 0x100))
+
+
+def test_segment_at():
+    space = AddressSpace.conventional()
+    data = space.get("data")
+    assert space.segment_at(data.start) is data
+    assert space.segment_at(0xDEAD0000) is None
+
+
+def test_clone_is_deep_for_structure():
+    space = AddressSpace.conventional()
+    copy = space.clone()
+    copy.get("heap").grow(PAGE)
+    assert copy.get("heap").size == space.get("heap").size + PAGE
+
+
+def test_layout_renders_sorted():
+    space = AddressSpace.conventional()
+    lines = space.layout().splitlines()
+    assert len(lines) == 4
+    assert "text" in lines[0] and "stack" in lines[-1]
+
+
+# -------------------------------------------------------------- processes
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n_hosts=2)
+
+
+def test_process_lifecycle(cluster):
+    host = cluster.host(0)
+    proc = SimProcess(host, "worker")
+    assert proc.state is ProcState.NEW
+
+    def body():
+        yield cluster.sim.timeout(5)
+        return "done"
+
+    handle = proc.start(body())
+    assert proc.state is ProcState.RUNNING
+    result = cluster.run(until=handle)
+    assert result == "done"
+    assert proc.state is ProcState.EXITED
+    assert not proc.alive
+
+
+def test_process_memory_charged_and_released(cluster):
+    host = cluster.host(0)
+    before = host.mem_used
+    proc = SimProcess(host, "worker")
+    assert host.mem_used == before + proc.space.writable_bytes
+
+    def body():
+        yield cluster.sim.timeout(1)
+
+    proc.start(body())
+    cluster.run()
+    assert host.mem_used == before
+
+
+def test_process_double_start_rejected(cluster):
+    proc = SimProcess(cluster.host(0), "w")
+
+    def body():
+        yield cluster.sim.timeout(1)
+
+    proc.start(body())
+    with pytest.raises(RuntimeError):
+        proc.start(body())
+
+
+def test_signal_handler_invoked(cluster):
+    proc = SimProcess(cluster.host(0), "w")
+    seen = []
+    proc.install_handler(Sig.SIGUSR1, lambda rec: seen.append(rec.signo))
+    proc.deliver_signal(SignalRecord(Sig.SIGUSR1, "test"))
+    assert seen == [Sig.SIGUSR1]
+    assert proc.pending_signals == []
+
+
+def test_unhandled_signal_queues(cluster):
+    proc = SimProcess(cluster.host(0), "w")
+    proc.deliver_signal(SignalRecord(Sig.SIGUSR2, "test"))
+    assert len(proc.pending_signals) == 1
+
+
+def test_relocate_moves_memory_and_drops_pending_signals(cluster):
+    src, dst = cluster.host(0), cluster.host(1)
+    proc = SimProcess(src, "w")
+    proc.deliver_signal(SignalRecord(Sig.SIGUSR2, "test"))
+    used = proc.space.writable_bytes
+    proc.relocate_to(dst)
+    assert proc.host is dst
+    assert dst.mem_used == used
+    assert src.mem_used == 0
+    assert proc.pending_signals == []  # documented MPVM limitation
+
+
+def test_interrupt_body_delivers_cause(cluster):
+    proc = SimProcess(cluster.host(0), "w")
+    log = []
+
+    def body():
+        try:
+            yield cluster.sim.timeout(100)
+        except Interrupt as intr:
+            log.append(intr.cause)
+
+    proc.start(body())
+
+    def poker():
+        yield cluster.sim.timeout(3)
+        proc.interrupt_body("migrate-now")
+
+    cluster.sim.process(poker())
+    cluster.run()
+    assert log == ["migrate-now"]
+
+
+def test_kill_terminates_blocked_process(cluster):
+    proc = SimProcess(cluster.host(0), "w")
+
+    def body():
+        yield cluster.sim.timeout(1000)
+
+    handle = proc.start(body())
+    handle.defuse()
+
+    def killer():
+        yield cluster.sim.timeout(1)
+        proc.kill()
+
+    cluster.sim.process(killer())
+    cluster.run()
+    assert proc.state is ProcState.EXITED
+
+
+# ------------------------------------------- PS job cancel / store cancel
+
+
+def test_ps_cancel_returns_remaining(cluster):
+    host = cluster.host(0)
+    results = {}
+
+    def body():
+        job = host.cpu.submit_job(25e6)  # 1 second of work
+        try:
+            yield job.event
+        except Interrupt:
+            results["remaining"] = host.cpu.cancel(job)
+
+    p = cluster.sim.process(body())
+
+    def poker():
+        yield cluster.sim.timeout(0.25)
+        p.interrupt()
+
+    cluster.sim.process(poker())
+    cluster.run()
+    assert results["remaining"] == pytest.approx(0.75 * 25e6, rel=1e-6)
+
+
+def test_ps_cancel_completed_job_returns_zero(cluster):
+    host = cluster.host(0)
+    out = {}
+
+    def body():
+        job = host.cpu.submit_job(1000)
+        yield job.event
+        out["rem"] = host.cpu.cancel(job)
+
+    cluster.sim.process(body())
+    cluster.run()
+    assert out["rem"] == 0.0
+
+
+def test_store_cancel_pending_get():
+    from repro.sim import FilterStore, Simulator
+
+    sim = Simulator()
+    store = FilterStore(sim)
+    ev = store.get()
+    assert store.cancel(ev) is True
+    store.put("item")
+    sim.run()
+    assert len(store) == 1  # not consumed by the cancelled getter
+
+
+def test_store_cancel_after_satisfied_returns_false_and_put_front():
+    from repro.sim import FilterStore, Simulator
+
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put("a")
+    store.put("b")
+    ev = store.get()
+    assert ev.triggered
+    assert store.cancel(ev) is False
+    store.put_front(ev.value)
+    ev2 = store.get()
+    assert ev2.value == "a"  # order preserved

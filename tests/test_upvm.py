@@ -1,0 +1,404 @@
+"""Tests for UPVM: ULPs, address map, scheduler, messaging, migration."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, HostSpec, MB
+from repro.pvm import PvmNotCompatible
+from repro.upvm import (
+    ULP_ANY,
+    UlpAddressMap,
+    UlpState,
+    UpvmSystem,
+)
+
+
+@pytest.fixture
+def vm():
+    return UpvmSystem(Cluster(n_hosts=2))
+
+
+# --------------------------------------------------------- address map
+
+
+def test_region_addresses_deterministic():
+    a = UlpAddressMap()
+    b = UlpAddressMap()
+    assert a.reserve(4).start == b.reserve(4).start
+    assert a.reserve(0).start != a.reserve(1).start
+
+
+def test_regions_do_not_overlap():
+    amap = UlpAddressMap(region_bytes=1 << 20)
+    regions = [amap.reserve(i) for i in range(10)]
+    for r1 in regions:
+        for r2 in regions:
+            if r1 is not r2:
+                assert r1.end <= r2.start or r2.end <= r1.start
+
+
+def test_address_space_capacity_limit():
+    amap = UlpAddressMap(base=0x5000_0000, limit=0x5040_0000, region_bytes=1 << 20)
+    assert amap.capacity == 4
+    for i in range(4):
+        amap.reserve(i)
+    with pytest.raises(MemoryError):
+        amap.reserve(4)
+
+
+def test_app_rejects_too_many_ulps():
+    vm = UpvmSystem(Cluster(n_hosts=1))
+    with pytest.raises(MemoryError, match="address space"):
+        vm.start_app(
+            "big", lambda ctx: iter(()), n_ulps=10_000,
+            region_bytes=64 * MB,
+        )
+
+
+def test_layout_mentions_residency():
+    amap = UlpAddressMap()
+    amap.reserve(0)
+    text = amap.layout(residency={0: "host1"})
+    assert "ULP0" in text and "host1" in text
+
+
+# ------------------------------------------------------------ messaging
+
+
+def test_spmd_ring_pass(vm):
+    """Classic SPMD smoke test: pass a token around a ULP ring."""
+    def program(ctx):
+        n = ctx.n_ulps
+        if ctx.me == 0:
+            yield from ctx.send(1, 1, ctx.initsend().pkint([1]))
+            msg = yield from ctx.recv(src=n - 1, tag=1)
+            return int(msg.buffer.upkint()[0])
+        msg = yield from ctx.recv(src=ctx.me - 1, tag=1)
+        value = int(msg.buffer.upkint()[0]) + 1
+        yield from ctx.send((ctx.me + 1) % n, 1, ctx.initsend().pkint([value]))
+        return value
+
+    app = vm.start_app("ring", program, n_ulps=4)
+    vm.cluster.run(until=app.all_done)
+    assert app.results[0] == 4  # token incremented by ULPs 1..3
+
+
+def test_local_message_is_zero_copy_handoff(vm):
+    seen = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.send(2, 1, ctx.initsend().pkstr("local"))
+        elif ctx.me == 2:
+            msg = yield from ctx.recv(tag=1)
+            seen["local"] = msg.local
+            seen["text"] = msg.buffer.upkstr()
+        else:
+            return
+            yield
+
+    # ULPs 0 and 2 both on process 0; ULP 1 on process 1.
+    app = vm.start_app("loc", program, n_ulps=3, placement={0: 0, 1: 1, 2: 0})
+    vm.cluster.run(until=app.all_done)
+    assert seen == {"local": True, "text": "local"}
+
+
+def test_remote_message_not_local_flag(vm):
+    seen = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.send(1, 1, ctx.initsend().pkstr("remote"))
+        else:
+            msg = yield from ctx.recv(tag=1)
+            seen["local"] = msg.local
+
+    app = vm.start_app("rem", program, n_ulps=2)
+    vm.cluster.run(until=app.all_done)
+    assert seen["local"] is False
+
+
+def test_local_comm_faster_than_remote():
+    def make(placement):
+        vm = UpvmSystem(Cluster(n_hosts=2))
+        times = {}
+
+        def program(ctx):
+            if ctx.me == 0:
+                t0 = ctx.now
+                for _ in range(50):
+                    yield from ctx.send(1, 1, ctx.initsend().pkopaque(4000))
+                    yield from ctx.recv(src=1, tag=2)
+                times["elapsed"] = ctx.now - t0
+            else:
+                for _ in range(50):
+                    msg = yield from ctx.recv(src=0, tag=1)
+                    yield from ctx.send(0, 2, ctx.initsend().pkopaque(4000))
+
+        app = vm.start_app("p", program, n_ulps=2, placement=placement)
+        vm.cluster.run(until=app.all_done)
+        return times["elapsed"]
+
+    local = make({0: 0, 1: 0})
+    remote = make({0: 0, 1: 1})
+    assert local < remote / 3  # hand-off crushes the network path
+
+
+def test_mcast_to_all(vm):
+    got = []
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.mcast([1, 2, 3], 5, ctx.initsend().pkint([9]))
+        else:
+            msg = yield from ctx.recv(src=0, tag=5)
+            got.append(int(msg.buffer.upkint()[0]))
+
+    app = vm.start_app("mc", program, n_ulps=4)
+    vm.cluster.run(until=app.all_done)
+    assert got == [9, 9, 9]
+
+
+def test_numpy_array_survives_ulp_roundtrip(vm):
+    data = np.arange(100, dtype=np.float32)
+    out = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.send(1, 1, ctx.initsend().pkarray(data))
+        else:
+            msg = yield from ctx.recv(tag=1)
+            out["arr"] = msg.buffer.upkarray()
+
+    app = vm.start_app("np", program, n_ulps=2)
+    vm.cluster.run(until=app.all_done)
+    np.testing.assert_array_equal(out["arr"], data)
+
+
+def test_nrecv_and_probe(vm):
+    seen = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            seen["empty"] = ctx.nrecv(tag=1)
+            seen["probe0"] = ctx.probe(tag=1)
+            yield from ctx.sleep(2.0)
+            seen["probe1"] = ctx.probe(tag=1)
+            msg = ctx.nrecv(tag=1)
+            seen["late"] = msg.buffer.upkstr() if msg else None
+        else:
+            yield from ctx.send(0, 1, ctx.initsend().pkstr("hi"))
+
+    app = vm.start_app("nr", program, n_ulps=2)
+    vm.cluster.run(until=app.all_done)
+    assert seen["empty"] is None and seen["probe0"] is False
+    assert seen["probe1"] is True and seen["late"] == "hi"
+
+
+# ------------------------------------------------------------- scheduler
+
+
+def test_ulps_on_one_process_serialize_compute(vm):
+    """Non-preemptive co-scheduling: two co-located ULPs take 2x, not 1x."""
+    times = {}
+
+    def program(ctx):
+        yield from ctx.compute(25e6 * 5)  # 5 s alone
+        times[ctx.me] = ctx.now
+
+    app = vm.start_app("ser", program, n_ulps=2, placement={0: 0, 1: 0})
+    vm.cluster.run(until=app.all_done)
+    # Run-to-block: first ULP finishes ~5 s, second ~10 s.
+    assert min(times.values()) == pytest.approx(5.0, rel=0.01)
+    assert max(times.values()) == pytest.approx(10.0, rel=0.01)
+
+
+def test_ulps_on_distinct_hosts_run_parallel(vm):
+    times = {}
+
+    def program(ctx):
+        yield from ctx.compute(25e6 * 5)
+        times[ctx.me] = ctx.now
+
+    app = vm.start_app("par", program, n_ulps=2)  # one per host
+    vm.cluster.run(until=app.all_done)
+    assert max(times.values()) == pytest.approx(5.0, rel=0.01)
+
+
+def test_context_switch_counted(vm):
+    def program(ctx):
+        for _ in range(3):
+            yield from ctx.compute(25e4)
+
+    app = vm.start_app("sw", program, n_ulps=2, placement={0: 0, 1: 0})
+    vm.cluster.run(until=app.all_done)
+    assert app.processes[0].scheduler.switches >= 2
+
+
+# -------------------------------------------------------------- migration
+
+
+def test_migrate_computing_ulp(vm):
+    cl = vm.cluster
+    out = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.compute(25e6 * 10)
+            out["host"] = ctx.host.name
+            out["t"] = ctx.now
+        else:
+            return
+            yield
+
+    app = vm.start_app("m", program, n_ulps=2)
+    done = {}
+
+    def driver():
+        yield cl.sim.timeout(3.0)
+        ev = vm.request_migration(app.ulps[0], cl.host(1))
+        stats = yield ev
+        done["stats"] = ev.value
+
+    cl.sim.process(driver())
+    cl.run(until=app.all_done)
+    stats = done["stats"]
+    assert out["host"] == "hp720-1"
+    assert out["t"] > 10.0
+    assert stats.obtrusiveness > 0
+    assert stats.migration_time > stats.obtrusiveness
+    assert stats.t_accepted >= stats.t_offhost
+
+
+def test_migrate_blocked_ulp_then_message_follows(vm):
+    cl = vm.cluster
+    out = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            msg = yield from ctx.recv(tag=7)
+            out["text"] = msg.buffer.upkstr()
+            out["host"] = ctx.host.name
+        else:
+            yield from ctx.sleep(30.0)
+            yield from ctx.send(0, 7, ctx.initsend().pkstr("found-you"))
+
+    app = vm.start_app("mb", program, n_ulps=2)
+
+    def driver():
+        yield cl.sim.timeout(2.0)
+        yield vm.request_migration(app.ulps[0], cl.host(1))
+
+    cl.sim.process(driver())
+    cl.run(until=app.all_done)
+    assert out == {"text": "found-you", "host": "hp720-1"}
+
+
+def test_queued_messages_travel_with_ulp(vm):
+    cl = vm.cluster
+    out = []
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.sleep(5.0)
+            for _ in range(3):
+                msg = yield from ctx.recv(tag=3)
+                out.append(int(msg.buffer.upkint()[0]))
+        else:
+            for i in range(3):
+                yield from ctx.send(0, 3, ctx.initsend().pkint([i]))
+
+    app = vm.start_app("q", program, n_ulps=2)
+
+    def driver():
+        yield cl.sim.timeout(1.5)
+        ev = vm.request_migration(app.ulps[0], cl.host(1))
+        yield ev
+        out.append(("msg_bytes", ev.value.queued_msg_bytes > 0))
+
+    cl.sim.process(driver())
+    cl.run(until=app.all_done)
+    assert ("msg_bytes", True) in out
+    assert [x for x in out if isinstance(x, int)] == [0, 1, 2]  # order kept
+
+
+def test_ulp_migration_incompatible_arch_fails():
+    cl = Cluster(specs=[HostSpec("hp"), HostSpec("sun", arch="sparc")])
+    vm = UpvmSystem(cl)
+    out = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            yield from ctx.sleep(60)
+        else:
+            return
+            yield
+
+    app = vm.start_app("inc", program, n_ulps=2, hosts=[cl.host("hp"), cl.host("sun")])
+
+    def driver():
+        ev = vm.request_migration(app.ulps[0], cl.host("sun"))
+        try:
+            yield ev
+        except PvmNotCompatible:
+            out["failed"] = True
+
+    cl.sim.process(driver())
+    cl.run(until=app.all_done)
+    assert out.get("failed")
+
+
+def test_migration_cost_dominated_by_accept(vm):
+    """Table 4's shape: migration cost >> obtrusiveness (slow accept)."""
+    cl = vm.cluster
+    out = {}
+
+    def program(ctx):
+        if ctx.me == 0:
+            ctx.ulp.user_state_bytes = int(0.3e6)  # half of a 0.6 MB set
+            yield from ctx.sleep(120)
+        else:
+            return
+            yield
+
+    app = vm.start_app("t4", program, n_ulps=2)
+
+    def driver():
+        yield cl.sim.timeout(1.0)
+        ev = vm.request_migration(app.ulps[0], cl.host(1))
+        yield ev
+        out["stats"] = ev.value
+
+    cl.sim.process(driver())
+    cl.run(until=300)
+    stats = out["stats"]
+    assert stats.migration_time > 2.5 * stats.obtrusiveness
+
+
+def test_gs_moves_ulps_finer_than_processes(vm):
+    """GS can move ONE of two co-located ULPs — MPVM cannot do that."""
+    from repro.gs import GlobalScheduler
+
+    cl = vm.cluster
+    times = {}
+
+    def program(ctx):
+        yield from ctx.compute(25e6 * 10)
+        times[ctx.me] = (ctx.now, ctx.host.name)
+
+    app = vm.start_app("fine", program, n_ulps=2, placement={0: 0, 1: 0})
+    gs = GlobalScheduler(cl, vm)
+
+    def driver():
+        yield cl.sim.timeout(2.0)
+        units = vm.movable_units(cl.host(0))
+        assert len(units) == 2
+        gs.migrate(units[1], cl.host(1))
+
+    cl.sim.process(driver())
+    cl.run(until=200)
+    hosts = {me: h for me, (t, h) in times.items()}
+    assert hosts[0] == "hp720-0"
+    assert hosts[1] == "hp720-1"
+    # After the move both compute in parallel: finish well before 20 s.
+    assert max(t for t, _ in times.values()) < 18.0
