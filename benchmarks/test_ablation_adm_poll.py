@@ -31,7 +31,7 @@ def run_ablation() -> ExperimentResult:
         rec = vacate_one_slave(4.2, params=params)
         rows.append({
             "poll_frac": frac,
-            "migration_s": rec["migration_time"],
+            "migration_s": rec.migration_time,
             "quiet_runtime_s": _quiet_runtime(params),
         })
     result = ExperimentResult(

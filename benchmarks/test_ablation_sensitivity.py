@@ -42,14 +42,14 @@ def run_sensitivity() -> ExperimentResult:
         # Table 6 shape: moving the same bytes as application data costs
         # more than MPVM's direct-TCP process migration.
         adm = vacate_one_slave(4.2, params=params)
-        t6_shape = adm["migration_time"] > 1.1 * migrate_one_slave(
+        t6_shape = adm.migration_time > 1.1 * migrate_one_slave(
             4.2, params=params
         ).migration_time
         rows.append({
             "variant": name,
             "t2_small_obtr_s": small.obtrusiveness,
             "t4_migration_s": ulp.migration_time,
-            "t6_adm_s": adm["migration_time"],
+            "t6_adm_s": adm.migration_time,
             "shapes_hold": bool(t2_shape and t4_shape and t6_shape),
         })
     result = ExperimentResult(

@@ -1,6 +1,7 @@
 """ADM — Adaptive Data Movement (paper §2.3): application-level
 adaptation through data redistribution, written as event-driven FSMs."""
 
+from .adapter import AdmMigrationAdapter
 from .consensus import master_barrier, master_collect, master_release, worker_barrier
 from .events import AdmEventBox, MigrationEvent
 from .fsm import FsmError, StateMachine, Transition
@@ -11,6 +12,7 @@ __all__ = [
     "AdmAppBase",
     "AdmClient",
     "AdmEventBox",
+    "AdmMigrationAdapter",
     "AdmWorkerHandle",
     "FsmError",
     "MigrationEvent",
@@ -21,4 +23,5 @@ __all__ = [
     "master_release",
     "plan_transfers",
     "weighted_partition",
+    "worker_barrier",
 ]

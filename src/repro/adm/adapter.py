@@ -1,0 +1,87 @@
+"""ADM's half of the unified migration pipeline.
+
+ADM has no migration *mechanism* — the application redistributes its own
+data (§2.3) — but from the GS's side a vacate request is still a staged
+migration: an EVENT (post to the worker's event box), a TRANSFER (the
+application's redistribution round moving the worker's items), and no
+RESTART (re-integration *is* the transfer, which is why ADM's
+obtrusiveness equals its migration cost).  This adapter maps that shape
+onto the shared pipeline so the GS gets the same
+:class:`~repro.migration.MigrationStats` span model — and the same
+coordinator batching and timeout handling — for all three systems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..migration import MigrationAdapter, MigrationContext, Stage
+from ..pvm.errors import PvmMigrationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .worker import AdmAppBase, AdmWorkerHandle
+
+__all__ = ["AdmMigrationAdapter"]
+
+
+class AdmMigrationAdapter(MigrationAdapter):
+    """Stage adapter for one ADM application (worker granularity)."""
+
+    mechanism = "adm"
+
+    def __init__(self, app: "AdmAppBase") -> None:
+        super().__init__(app.system)
+        self.app = app
+
+    # -- identity -------------------------------------------------------------
+    def describe(self, unit: "AdmWorkerHandle") -> str:
+        return f"worker{unit.worker_id}"
+
+    def trace_component(self, src) -> str:
+        return f"adm@{src.name}"
+
+    def flush_domain(self, unit: "AdmWorkerHandle"):
+        # The application master coalesces simultaneous events into one
+        # redistribution round on its own (AdmEventBox.take_all), so
+        # every worker of one app shares a domain.
+        return (self.mechanism, id(self.app))
+
+    # -- stage 1: migration event ---------------------------------------------
+    def stage_event(self, ctx: MigrationContext):
+        unit = ctx.unit
+        if unit.worker_id not in self.app.event_boxes:
+            raise PvmMigrationError(
+                f"worker{unit.worker_id} is not registered with {self.app.name!r}"
+            )
+        # The "signal handler": post to the worker's event box.  The
+        # destination is advisory — the partitioner decides where the
+        # data lands (ADM's accuracy advantage, §3.4.3).
+        ctx.data["event"] = self.app.post_vacate(unit.worker_id)
+        ctx.stats.t_event = ctx.now
+        ctx.trace("adm.event", f"vacate worker{unit.worker_id} of {self.app.name}")
+        return
+        yield  # pragma: no cover
+
+    # -- stage 2: flush — handled inside the application's own round ----------
+    # (Workers suspend sends to the withdrawing worker as part of the
+    # redistribution; there is no separate GS-visible flush round.)
+
+    # -- stage 3: transfer — the application's redistribution round ------------
+    def stage_transfer(self, ctx: MigrationContext):
+        record = yield ctx.data["event"].done
+        ctx.data["record"] = record
+        ctx.stats.state_bytes = int(record.get("moved_bytes", 0))
+        ctx.trace(
+            "adm.transfer.done",
+            f"worker{ctx.unit.worker_id} redistributed",
+            bytes=ctx.stats.state_bytes,
+        )
+
+    # -- stage 4: restart — none (obtrusiveness == migration cost) ------------
+
+    # -- abort ------------------------------------------------------------------
+    def abort(self, ctx: MigrationContext, stage: Stage, exc: BaseException) -> None:
+        # A posted event cannot be withdrawn — ADM guarantees no event
+        # is ever lost (§2.3) — so an abort (timeout) just stops the GS
+        # from waiting; the application will still handle the vacate.
+        ctx.trace("adm.abort", f"worker{ctx.unit.worker_id}: {exc}")

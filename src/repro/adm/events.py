@@ -10,7 +10,7 @@ uses for all three.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from ..sim import Event, Simulator

@@ -14,7 +14,7 @@ the name of the next state; returning ``None`` ends the machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
 __all__ = ["FsmError", "Transition", "StateMachine"]
 

@@ -10,10 +10,12 @@ application finishes redistribution.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..hw.host import Host
+from ..migration import MigrationCoordinator
 from ..sim import Event
+from .adapter import AdmMigrationAdapter
 from .events import AdmEventBox, MigrationEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -90,6 +92,7 @@ class AdmClient:
 
     def __init__(self, app: AdmAppBase) -> None:
         self.app = app
+        self.coordinator = MigrationCoordinator(AdmMigrationAdapter(app))
 
     def movable_units(self, host: Host) -> List[AdmWorkerHandle]:
         return [
@@ -97,6 +100,9 @@ class AdmClient:
         ]
 
     def request_migration(self, unit: AdmWorkerHandle, dst: Host) -> Event:
-        event = self.app.post_vacate(unit.worker_id)
-        assert event.done is not None
-        return event.done
+        return self.coordinator.request_migration(unit, dst)
+
+    def request_batch_migration(
+        self, pairs: List[Tuple[AdmWorkerHandle, Host]]
+    ) -> List[Event]:
+        return self.coordinator.request_batch_migration(pairs)

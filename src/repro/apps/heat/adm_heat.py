@@ -293,7 +293,7 @@ class AdmHeat(AdmAppBase):
                         local[-1] = bottom_row
                 ctx.task.user_state_bytes = max(r1 - r0 + 2, 0) * cols * 8
                 yield from ctx.send(ctx.parent, TAG_DONE, ctx.initsend())
-                go = yield from ctx.recv(src=ctx.parent, tag=TAG_GO)
+                yield from ctx.recv(src=ctx.parent, tag=TAG_GO)
             else:
                 assert order.tag == TAG_GO, order
 

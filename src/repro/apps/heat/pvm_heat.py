@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ...pvm.context import PvmContext
 from ...pvm.vm import PvmSystem
 from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step

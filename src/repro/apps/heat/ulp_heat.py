@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ...upvm.library import UlpContext
 from ...upvm.system import UpvmSystem
 from .grid import FLOPS_PER_CELL, HeatGrid, jacobi_step

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ...adm.events import MigrationEvent
 from ...adm.fsm import StateMachine
 from ...adm.partition import plan_transfers, weighted_partition
 from ...adm.worker import AdmAppBase, AdmClient
@@ -356,7 +355,7 @@ class AdmOpt(AdmAppBase):
                     S["migreq_sent"] = True
                     return "REDIST"
                 if ctx.probe(src=ctx.parent, tag=TAG_SUSPEND):
-                    got = yield from ctx.recv(src=ctx.parent, tag=TAG_SUSPEND)
+                    yield from ctx.recv(src=ctx.parent, tag=TAG_SUSPEND)
                     S["suspend_seen"] = True
                     yield from self._report_gradient(ctx, S, cfg)
                     return "REDIST"

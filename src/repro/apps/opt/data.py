@@ -20,7 +20,7 @@ ADM) re-partition at run time.  Shards exist in two modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from ...adm.partition import weighted_partition
 from ...pvm.context import PvmContext
 from ...pvm.vm import PvmSystem
 from .config import OptConfig
-from .data import Shard, bytes_for_exemplars, synthetic_training_set
+from .data import bytes_for_exemplars, synthetic_training_set
 from .model import CgState, OptModel, cg_step, cg_update_flops
 
 __all__ = ["PvmOpt", "TAG_DATA", "TAG_WEIGHTS", "TAG_GRAD", "TAG_STOP"]

@@ -6,10 +6,6 @@ passing; the parallel tests compare their final losses against this.
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
-
 from .data import TrainingSet
 from .model import CgState, OptModel, cg_step
 

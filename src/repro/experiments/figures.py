@@ -16,7 +16,7 @@ The paper's figures are structural rather than numeric:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..apps.opt import AdmOpt, MB_DEC, OptConfig, PvmOpt, SpmdOpt, slave_fsm_spec
 from ..mpvm import MpvmSystem

@@ -56,7 +56,7 @@ def migrate_one_slave(data_mb: float, params=None):
         )
         yield cl.sim.timeout(1.0)
         done = vm.request_migration(vm.task(app.slave_tids[0]), cl.host(1))
-        stats = yield done
+        yield done
         out["stats"] = done.value
 
     drv = cl.sim.process(driver())

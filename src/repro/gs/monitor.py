@@ -7,7 +7,7 @@ small probe message per host per sample).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..hw.cluster import Cluster

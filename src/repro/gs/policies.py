@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..hw.cluster import Cluster
 from ..hw.host import Host
 from ..hw.load import OwnerSession
 from .scheduler import GlobalScheduler

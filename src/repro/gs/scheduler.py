@@ -10,15 +10,20 @@ UPVM's processes, or an ADM application — through a tiny interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..hw.cluster import Cluster
 from ..hw.host import Host
-from ..sim import Event
+from ..sim import Event, bound_tracer
 from .monitor import LoadMonitor
 
-__all__ = ["MigrationClient", "MigrationRecord", "GlobalScheduler"]
+__all__ = [
+    "BatchMigrationClient",
+    "GlobalScheduler",
+    "MigrationClient",
+    "MigrationRecord",
+]
 
 
 @runtime_checkable
@@ -31,6 +36,20 @@ class MigrationClient(Protocol):
 
     def request_migration(self, unit: Any, dst: Host) -> Event:
         """Start migrating ``unit`` to ``dst``; event fires on completion."""
+        ...
+
+
+@runtime_checkable
+class BatchMigrationClient(MigrationClient, Protocol):
+    """A client that can co-schedule migrations (shared flush rounds).
+
+    Mechanisms backed by a :class:`~repro.migration.MigrationCoordinator`
+    expose this; the GS uses it when vacating a host so N victims cost
+    one flush round, not N.
+    """
+
+    def request_batch_migration(self, pairs: List[Tuple[Any, Host]]) -> List[Event]:
+        """Start all migrations; events align with the input pair order."""
         ...
 
 
@@ -65,6 +84,7 @@ class GlobalScheduler:
         self.cluster = cluster
         self.sim = cluster.sim
         self.tracer = cluster.tracer
+        self.trace = bound_tracer(cluster.tracer, "GS", lambda: cluster.sim.now)
         self.client = client
         self.monitor = monitor or LoadMonitor(cluster)
         self.records: List[MigrationRecord] = []
@@ -74,16 +94,18 @@ class GlobalScheduler:
     # -- direct commands ----------------------------------------------------
     def migrate(self, unit: Any, dst: Host) -> Event:
         """Command one unit to move to ``dst``; returns completion event."""
+        self._record(unit, dst)
+        done = self.client.request_migration(unit, dst)
+        return self._track(done, self.records[-1])
+
+    def _record(self, unit: Any, dst: Host) -> MigrationRecord:
         src_host = self._unit_host(unit)
         record = MigrationRecord(unit, src_host, dst.name, self.sim.now)
         self.records.append(record)
-        if self.tracer:
-            self.tracer.emit(
-                self.sim.now, "gs.migrate", "GS",
-                f"migrate {unit} {src_host} -> {dst.name}",
-            )
-        done = self.client.request_migration(unit, dst)
+        self.trace("gs.migrate", f"migrate {unit} {src_host} -> {dst.name}")
+        return record
 
+    def _track(self, done: Event, record: MigrationRecord) -> Event:
         def _finish(ev: Event) -> None:
             record.completed_at = self.sim.now
             record.ok = ev._ok
@@ -111,14 +133,24 @@ class GlobalScheduler:
         monitor.  Returns the per-unit completion events.
         """
         self.vacating.add(host.name)
-        if self.tracer:
-            self.tracer.emit(self.sim.now, "gs.reclaim", "GS", f"vacate {host.name}")
-        events: List[Event] = []
+        self.trace("gs.reclaim", f"vacate {host.name}")
+        pairs: List[tuple] = []
         for unit in list(self.client.movable_units(host)):
             target = dst or self._pick_destination(exclude=[host.name])
             if target is None:
                 continue
-            events.append(self.migrate(unit, target))
+            pairs.append((unit, target))
+        batch = getattr(self.client, "request_batch_migration", None)
+        if batch is not None and len(pairs) > 1:
+            # Co-schedule the whole vacate set: mechanisms backed by the
+            # migration coordinator share one flush round per source.
+            records = [self._record(unit, target) for unit, target in pairs]
+            events = [
+                self._track(done, record)
+                for done, record in zip(batch(pairs), records)
+            ]
+        else:
+            events = [self.migrate(unit, target) for unit, target in pairs]
         if events:
             all_done = self.sim.all_of(events)
 

@@ -12,7 +12,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..sim import Process, Simulator
+from ..sim import Process
 from .host import Host
 
 __all__ = ["OwnerSession", "BurstyLoad", "step_load"]

@@ -10,7 +10,7 @@ what makes large-state migration run ~15% slower than a raw socket blast
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..sim import Event, Simulator
 from .host import Host

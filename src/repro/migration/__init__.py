@@ -1,0 +1,59 @@
+"""Unified migration core: one staged pipeline behind MPVM, UPVM, and ADM.
+
+The paper's three load-migration mechanisms all run the same four-stage
+protocol — migration event, message flush, state transfer, restart
+(§§2.1-2.3) — and historically each carried its own copy of the driver
+loop, stats bookkeeping, and tracing.  This package owns the shared
+machinery once:
+
+* :mod:`repro.migration.stages` — the :class:`Stage` vocabulary and the
+  single :class:`MigrationStats` span model (Tables 2/4/6).
+* :mod:`repro.migration.transport` — where bytes get charged: MPVM's
+  TCP-to-skeleton stream, UPVM's pkbyte/send chunk sequences, and the
+  daemon store-and-forward route.
+* :mod:`repro.migration.pipeline` — :class:`MigrationPipeline` sequencing
+  :class:`MigrationAdapter` stage generators, with per-stage timeouts
+  and abort-and-restore.
+* :mod:`repro.migration.coordinator` — :class:`MigrationCoordinator`
+  running any number of concurrent pipelines and batching co-scheduled
+  migrations into shared :class:`FlushRound` flush rounds.
+
+Mechanisms plug in as thin adapters: ``repro.mpvm.migration``,
+``repro.upvm.migration``, and ``repro.adm.adapter``.
+"""
+
+from .coordinator import FlushRound, MigrationCoordinator
+from .pipeline import (
+    LIBRARY_POLL_S,
+    MigrationAdapter,
+    MigrationContext,
+    MigrationPipeline,
+    StagePolicy,
+    StageTimeout,
+)
+from .stages import MigrationStats, Stage
+from .transport import (
+    CONTROL_BYTES,
+    DaemonStoreAndForwardTransport,
+    PvmPackTransport,
+    TcpSkeletonTransport,
+    Transport,
+)
+
+__all__ = [
+    "CONTROL_BYTES",
+    "DaemonStoreAndForwardTransport",
+    "FlushRound",
+    "LIBRARY_POLL_S",
+    "MigrationAdapter",
+    "MigrationContext",
+    "MigrationCoordinator",
+    "MigrationPipeline",
+    "MigrationStats",
+    "PvmPackTransport",
+    "Stage",
+    "StagePolicy",
+    "StageTimeout",
+    "TcpSkeletonTransport",
+    "Transport",
+]

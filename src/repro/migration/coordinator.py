@@ -1,0 +1,168 @@
+"""The migration coordinator: concurrent and batched migrations.
+
+The GS vacates a reclaimed host by migrating *every* unit off it
+(§2.1: "the GS orders all tasks off the machine").  Pre-unification
+each unit ran its own full protocol — N victims on one host meant N
+separate flush rounds over the same peer set.  The coordinator batches
+co-requested migrations that share a flush domain into one
+:class:`FlushRound`: the first member to reach the FLUSH stage leads a
+single block/ack round covering all victims, the rest wait on it and
+then do only their own drain.  Restart rounds stay per-unit (each
+victim restarts independently, matching the paper's protocol).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim import Event, bound_tracer
+from .pipeline import (
+    MigrationAdapter,
+    MigrationContext,
+    MigrationPipeline,
+    StagePolicy,
+)
+from .stages import MigrationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["FlushRound", "MigrationCoordinator"]
+
+
+class FlushRound:
+    """Shared flush state for a batch of co-migrating units.
+
+    Members *join* when they reach the FLUSH stage (their unit frozen);
+    the first joiner is the leader.  The leader waits until every
+    member has joined or abandoned (failed validation, timed out), runs
+    one control round for all joined victims, then triggers
+    ``flush_done``; followers wait on ``flush_done`` and proceed to
+    their own drain.
+    """
+
+    __slots__ = ("units", "leader", "all_joined", "flush_done", "_joined", "_expected")
+
+    def __init__(self, sim: "Simulator", units: Iterable[Any]) -> None:
+        self.units: List[Any] = list(units)
+        self.leader: Optional[Any] = None
+        self.all_joined = Event(sim)
+        self.flush_done = Event(sim)
+        self._joined: List[Any] = []
+        self._expected = len(self.units)
+
+    @property
+    def victims(self) -> List[Any]:
+        """Members that reached the flush round (frozen units)."""
+        return list(self._joined)
+
+    def join(self, unit: Any) -> bool:
+        """Register ``unit`` at the flush barrier; True if it leads."""
+        if unit not in self._joined:
+            self._joined.append(unit)
+        if self.leader is None:
+            self.leader = unit
+        self._check_joined()
+        return self.leader is unit
+
+    def abandon(self, unit: Any) -> None:
+        """``unit``'s migration aborted; do not hold the round for it."""
+        if unit not in self._joined:
+            self._expected -= 1
+            self._check_joined()
+        elif unit is self.leader and not self.flush_done.triggered:
+            # The leader died mid-round: release the followers so they
+            # fall back to their own drain instead of hanging.
+            self.flush_done.succeed()
+
+    def _check_joined(self) -> None:
+        if len(self._joined) >= self._expected and not self.all_joined.triggered:
+            self.all_joined.succeed()
+
+
+class MigrationCoordinator:
+    """Runs an adapter's pipeline for any number of concurrent units.
+
+    This is the object systems delegate their ``MigrationClient``
+    surface to: ``request_migration`` for one unit, and
+    ``request_batch_migration`` for a co-scheduled set (one flush round
+    per shared flush domain).  Completed stats land in :attr:`stats`
+    (the list legacy ``engine.stats`` consumers read); aborted attempts
+    land in :attr:`aborted` with their partial timestamps.
+    """
+
+    def __init__(
+        self, adapter: MigrationAdapter, policy: Optional[StagePolicy] = None
+    ) -> None:
+        self.adapter = adapter
+        self.system = adapter.system
+        self.sim = adapter.sim
+        self.pipeline = MigrationPipeline(adapter)
+        #: Per-stage time budgets applied to every subsequent request.
+        self.policy = policy if policy is not None else StagePolicy()
+        self.stats: List[MigrationStats] = []
+        self.aborted: List[MigrationStats] = []
+        self.active: List[MigrationContext] = []
+
+    # -- MigrationClient surface ---------------------------------------------
+    def request_migration(self, unit: Any, dst: Any) -> Event:
+        """Start one migration; the returned event carries the stats."""
+        return self._launch(unit, dst, batch=None)
+
+    def request_batch_migration(
+        self, pairs: Iterable[Tuple[Any, Any]]
+    ) -> List[Event]:
+        """Start a co-scheduled set of migrations, batching flush rounds.
+
+        Pairs whose units share a flush domain (same source host and
+        peer set) get one shared :class:`FlushRound`; the result events
+        align with the input pair order.
+        """
+        pairs = list(pairs)
+        domains: Dict[Any, List[Any]] = {}
+        for unit, _dst in pairs:
+            domains.setdefault(self.adapter.flush_domain(unit), []).append(unit)
+        rounds = {
+            dom: FlushRound(self.sim, units) if len(units) > 1 else None
+            for dom, units in domains.items()
+        }
+        return [
+            self._launch(unit, dst, batch=rounds[self.adapter.flush_domain(unit)])
+            for unit, dst in pairs
+        ]
+
+    # -- internals ------------------------------------------------------------
+    def _launch(self, unit: Any, dst: Any, batch: Optional[FlushRound]) -> Event:
+        adapter = self.adapter
+        done = Event(self.sim)
+        src = adapter.unit_host(unit)
+        stats = MigrationStats(
+            unit=adapter.describe(unit),
+            src=src.name,
+            dst=getattr(dst, "name", str(dst)),
+            mechanism=adapter.mechanism,
+        )
+        trace = bound_tracer(
+            getattr(self.system, "tracer", None),
+            adapter.trace_component(src),
+            lambda: self.sim.now,
+        )
+        ctx = MigrationContext(self.sim, unit, src, dst, stats, done, trace, batch)
+        adapter.prepare(ctx)
+        self.sim.process(self._run(ctx), name=f"migrate:{stats.unit}")
+        return done
+
+    def _run(self, ctx: MigrationContext):
+        self.active.append(ctx)
+        try:
+            ok = yield from self.pipeline.run(ctx, self.policy)
+        finally:
+            self.active.remove(ctx)
+        (self.stats if ok else self.aborted).append(ctx.stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MigrationCoordinator {self.adapter.mechanism}"
+            f" active={len(self.active)} done={len(self.stats)}"
+            f" aborted={len(self.aborted)}>"
+        )

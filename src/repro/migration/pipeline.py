@@ -1,0 +1,280 @@
+"""The staged migration pipeline (one protocol driver for all mechanisms).
+
+The paper's three systems run the same protocol *shape* — event, flush,
+transfer, restart — and differ only in what each stage does (§§2.1-2.3).
+:class:`MigrationPipeline` owns the shape: stage sequencing, stage-end
+timestamping, per-stage watchdog timeouts, and abort-and-restore.  A
+mechanism contributes a :class:`MigrationAdapter` whose four ``stage_*``
+generators perform the mechanism-specific work and whose :meth:`abort`
+hook undoes it, leaving the source unit runnable when a stage fails.
+
+Timing fidelity rule: stages run *inline* in the pipeline's simulation
+process unless a timeout is configured for them, so every cost is
+charged at exactly the simulated instant the pre-unification engines
+charged it.  Adapters may stamp timestamps at protocol-precise points
+(e.g. ``t_event`` after the control-packet latency); the pipeline fills
+in any stage-end timestamp the adapter left unset.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional
+
+from ..pvm.errors import PvmError, PvmMigrationError
+from ..sim import Event
+from .stages import MigrationStats, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from ..sim import Simulator
+    from ..sim.trace import BoundTracer
+    from .coordinator import FlushRound
+
+__all__ = [
+    "LIBRARY_POLL_S",
+    "MigrationAdapter",
+    "MigrationContext",
+    "MigrationPipeline",
+    "StagePolicy",
+    "StageTimeout",
+]
+
+#: Poll interval while waiting for a unit to leave the run-time library.
+LIBRARY_POLL_S = 0.5e-3
+
+
+class StageTimeout(PvmMigrationError):
+    """A pipeline stage exceeded its configured time budget."""
+
+    def __init__(self, stage: Stage, unit: str, timeout_s: float) -> None:
+        super().__init__(
+            f"{stage} stage of {unit} exceeded its {timeout_s:g}s budget"
+        )
+        self.stage = stage
+        self.timeout_s = timeout_s
+
+
+class StagePolicy:
+    """Per-stage time budgets.  ``None`` (the default) means unbounded.
+
+    A bounded stage runs as its own simulation subprocess raced against
+    a watchdog timer; on expiry the stage is interrupted and the
+    adapter's :meth:`MigrationAdapter.abort` restores the source unit.
+    """
+
+    __slots__ = ("timeouts",)
+
+    def __init__(self, timeouts: Optional[Dict[Stage, float]] = None, **by_name: float):
+        self.timeouts: Dict[Stage, float] = dict(timeouts or {})
+        for name, seconds in by_name.items():
+            self.timeouts[Stage[name.upper()]] = seconds
+
+    def timeout_for(self, stage: Stage) -> Optional[float]:
+        return self.timeouts.get(stage)
+
+    def __repr__(self) -> str:
+        spec = ", ".join(f"{s}={t:g}s" for s, t in self.timeouts.items())
+        return f"<StagePolicy {spec or 'unbounded'}>"
+
+
+class MigrationContext:
+    """Everything one in-flight migration carries between stages."""
+
+    __slots__ = (
+        "sim", "unit", "src", "dst", "stats", "done", "trace", "batch",
+        "stage", "data",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        unit: Any,
+        src: "Host",
+        dst: Any,
+        stats: MigrationStats,
+        done: Event,
+        trace: "BoundTracer",
+        batch: Optional["FlushRound"] = None,
+    ) -> None:
+        self.sim = sim
+        self.unit = unit
+        self.src = src
+        self.dst = dst  #: destination as requested (Host, or process for UPVM)
+        self.stats = stats
+        self.done = done
+        self.trace = trace
+        self.batch = batch
+        self.stage: Optional[Stage] = None
+        #: Adapter scratch space surviving across stages (peers, resume
+        #: event, transfer plan, ...).  Also read by :meth:`abort`.
+        self.data: Dict[str, Any] = {}
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class MigrationAdapter:
+    """Mechanism-specific half of the pipeline.
+
+    Subclasses override the four ``stage_*`` generators (all optional —
+    the defaults are no-ops, which is how ADM skips RESTART) plus
+    :meth:`abort`.  Stage generators raise :class:`PvmError` subclasses
+    to abort the migration; anything raised propagates to the pipeline
+    which runs the abort path and fails the ``done`` event.
+    """
+
+    #: Mechanism tag recorded on every stats object ("mpvm", "upvm", ...).
+    mechanism: str = "?"
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+        self.sim = system.sim
+
+    # -- identity helpers (used by the coordinator) --------------------------
+    def describe(self, unit: Any) -> str:
+        """Stable display name for the unit ("t40001", "ulp3", ...)."""
+        return getattr(unit, "name", str(unit))
+
+    def unit_host(self, unit: Any) -> "Host":
+        """The host the unit currently occupies (the migration source)."""
+        return unit.host
+
+    def trace_component(self, src: "Host") -> str:
+        """Actor string for trace records emitted by this migration."""
+        return f"{self.mechanism}@{src.name}"
+
+    def flush_domain(self, unit: Any) -> Any:
+        """Units sharing a flush domain may share one batched flush round.
+
+        The domain must identify one (source host, peer set) pair: the
+        coordinator only merges co-requested migrations whose flush
+        control rounds are interchangeable.
+        """
+        return (self.mechanism, self.unit_host(unit).name)
+
+    def prepare(self, ctx: MigrationContext) -> None:
+        """Pre-stage hook: resolve/stash anything the stages will need.
+
+        Runs synchronously at request time; must not raise (defer
+        validation failures to ``stage_event`` so they are reported
+        through the ``done`` event like every other protocol failure).
+        """
+
+    # -- stages (generators; defaults are no-ops) -----------------------------
+    def stage_event(self, ctx: MigrationContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def stage_flush(self, ctx: MigrationContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def stage_transfer(self, ctx: MigrationContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def stage_restart(self, ctx: MigrationContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def abort(self, ctx: MigrationContext, stage: Stage, exc: BaseException) -> None:
+        """Undo partial protocol work so the source unit stays runnable.
+
+        Called synchronously after ``stage`` failed (validation error,
+        protocol error, or :class:`StageTimeout`).  Must be idempotent
+        and must tolerate being called at any stage boundary.
+        """
+
+    # -- shared stage helpers -------------------------------------------------
+    def wait_out_of_library(
+        self, ctx: MigrationContext, in_library: Callable[[], bool]
+    ) -> Generator[Event, Any, None]:
+        """Poll until the unit leaves the run-time library (bounded time)."""
+        while in_library():
+            yield ctx.sim.timeout(LIBRARY_POLL_S)
+
+
+class MigrationPipeline:
+    """Sequences an adapter's stages with timeouts and abort handling."""
+
+    _STAGES = (
+        (Stage.EVENT, "stage_event"),
+        (Stage.FLUSH, "stage_flush"),
+        (Stage.TRANSFER, "stage_transfer"),
+        (Stage.RESTART, "stage_restart"),
+    )
+
+    def __init__(self, adapter: MigrationAdapter) -> None:
+        self.adapter = adapter
+        self.sim = adapter.sim
+
+    def run(
+        self, ctx: MigrationContext, policy: Optional[StagePolicy] = None
+    ) -> Generator[Event, Any, bool]:
+        """Drive ``ctx`` through all four stages (generator).
+
+        Returns True when the migration completed; on failure runs the
+        adapter's abort hook, records the aborted stage, fails the
+        ``done`` event, and returns False.
+        """
+        stats = ctx.stats
+        for stage, method in self._STAGES:
+            ctx.stage = stage
+            gen = getattr(self.adapter, method)(ctx)
+            timeout_s = policy.timeout_for(stage) if policy else None
+            try:
+                if gen is not None:
+                    if timeout_s is None:
+                        yield from gen
+                    else:
+                        yield from self._bounded(ctx, stage, gen, timeout_s)
+            except PvmError as exc:
+                self._abort(ctx, stage, exc)
+                return False
+            self._mark(stats, stage, ctx.now)
+        stats.completed = True
+        ctx.done.succeed(stats)
+        return True
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _mark(stats: MigrationStats, stage: Stage, now: float) -> None:
+        # Adapters may have stamped the boundary at a protocol-precise
+        # point inside the stage; only fill in what they left unset.
+        current = {
+            Stage.EVENT: stats.t_event,
+            Stage.FLUSH: stats.t_flush_done,
+            Stage.TRANSFER: stats.t_offhost,
+            Stage.RESTART: stats.t_restart_done,
+        }[stage]
+        if current is None:
+            stats.mark(stage, now)
+
+    def _bounded(
+        self,
+        ctx: MigrationContext,
+        stage: Stage,
+        gen: Generator[Event, Any, None],
+        timeout_s: float,
+    ) -> Generator[Event, Any, None]:
+        """Race the stage against a watchdog; interrupt it on expiry."""
+        proc = self.sim.process(
+            gen, name=f"{self.adapter.mechanism}-{stage}:{ctx.stats.unit}"
+        )
+        watchdog = self.sim.timeout(timeout_s)
+        yield self.sim.any_of([proc, watchdog])
+        if proc.is_alive:
+            timeout = StageTimeout(stage, ctx.stats.unit, timeout_s)
+            proc.defuse()  # its Interrupt termination is expected
+            proc.interrupt(timeout)
+            raise timeout
+
+    def _abort(self, ctx: MigrationContext, stage: Stage, exc: BaseException) -> None:
+        ctx.stats.aborted_stage = stage
+        try:
+            self.adapter.abort(ctx, stage, exc)
+        finally:
+            if ctx.batch is not None:
+                ctx.batch.abandon(ctx.unit)
+            ctx.done.fail(exc)

@@ -1,0 +1,126 @@
+"""The staged migration model shared by MPVM, UPVM, and ADM.
+
+All three systems in the paper implement the same four-stage shape
+(§§2.1-2.3, Figures 1/3/4):
+
+1. **EVENT** — the GS's migration command reaches the mechanism on the
+   source host and the victim unit is pinned (frozen / flagged).
+2. **FLUSH** — in-flight messages addressed to the unit are drained and
+   peers are told how to treat future sends (block, redirect, suspend).
+3. **TRANSFER** — the unit's state leaves the source host.
+4. **RESTART** — the unit is re-integrated into the computation at the
+   destination (a stage ADM does not need: its TRANSFER *is* the
+   re-integration, which is why its obtrusiveness equals its cost).
+
+This module owns the stage vocabulary and the single stats/span model
+every mechanism reports through, replacing the three near-identical
+per-system stats classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Stage", "MigrationStats"]
+
+
+class Stage(enum.Enum):
+    """One step of the migration pipeline, in protocol order."""
+
+    EVENT = "event"
+    FLUSH = "flush"
+    TRANSFER = "transfer"
+    RESTART = "restart"
+
+    @property
+    def order(self) -> int:
+        return _ORDER[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_ORDER = {Stage.EVENT: 0, Stage.FLUSH: 1, Stage.TRANSFER: 2, Stage.RESTART: 3}
+
+
+def _span(start: Optional[float], end: Optional[float]) -> float:
+    """Elapsed time of a span, 0.0 while either endpoint is unset.
+
+    A migration that aborts mid-protocol leaves later timestamps unset;
+    the derived metrics must degrade to 0.0, never raise or go negative.
+    """
+    if start is None or end is None:
+        return 0.0
+    return end - start
+
+
+@dataclass
+class MigrationStats:
+    """Timestamped record of one migration, any mechanism.
+
+    Timestamps are ``None`` until the corresponding stage completes, so
+    a record of an aborted migration is safe to aggregate: the derived
+    spans (obtrusiveness, migration_time, ...) all report 0.0 for stages
+    that never finished.  Drives Tables 2/4/6.
+    """
+
+    unit: str  #: the moving thing: "t40001", "ulp3", "worker1"
+    src: str
+    dst: str
+    mechanism: str = ""  #: "mpvm" | "upvm" | "adm" | "checkpoint" | ...
+    state_bytes: int = 0
+    queued_msg_bytes: int = 0  #: unreceived message buffers moved along
+    n_chunks: int = 0  #: pack/send sequence length (UPVM)
+    n_peers_flushed: int = 0
+    #: Stage-boundary timestamps (simulated seconds); None = not reached.
+    t_event: Optional[float] = None
+    t_flush_done: Optional[float] = None
+    t_transfer_start: Optional[float] = None
+    t_offhost: Optional[float] = None  #: state fully off the source host
+    t_accepted: Optional[float] = None  #: destination accepted the state
+    t_restart_done: Optional[float] = None
+    #: Set by the coordinator when the pipeline ran to completion.
+    completed: bool = False
+    #: Stage at which the migration aborted, if it did.
+    aborted_stage: Optional[Stage] = None
+
+    # -- the paper's Table 2/4/6 metrics -----------------------------------
+    @property
+    def obtrusiveness(self) -> float:
+        """Migration event -> all state off the source host."""
+        return _span(self.t_event, self.t_offhost)
+
+    @property
+    def migration_time(self) -> float:
+        """Migration event -> unit re-integrated in the computation."""
+        return _span(self.t_event, self.t_restart_done)
+
+    @property
+    def flush_time(self) -> float:
+        return _span(self.t_event, self.t_flush_done)
+
+    @property
+    def restart_time(self) -> float:
+        return _span(self.t_offhost, self.t_restart_done)
+
+    # -- legacy field spellings (pre-unification) ---------------------------
+    @property
+    def task(self) -> str:
+        return self.unit
+
+    @property
+    def t_done(self) -> Optional[float]:
+        return self.t_restart_done
+
+    def mark(self, stage: Stage, now: float) -> None:
+        """Record the completion time of ``stage``."""
+        if stage is Stage.EVENT:
+            self.t_event = now
+        elif stage is Stage.FLUSH:
+            self.t_flush_done = now
+        elif stage is Stage.TRANSFER:
+            self.t_offhost = now
+        elif stage is Stage.RESTART:
+            self.t_restart_done = now

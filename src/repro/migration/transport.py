@@ -1,0 +1,162 @@
+"""Transports: where migration bytes (and control packets) get charged.
+
+Each mechanism moves state differently — MPVM over a dedicated TCP
+stream into a skeleton process (§2.1), UPVM as a ``pvm_pkbyte()`` /
+``pvm_send()`` chunk sequence (§2.2), ADM through ordinary daemon-routed
+pvm messages (§2.3) — but the pipeline only sees one interface: small
+control packets for the flush/ack/restart rounds plus one bulk
+``send_state``.  Keeping the cost model behind this seam is what later
+lets a coordinator swap transports (e.g. batched or async backends)
+without touching protocol code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..hw.tcp import TcpConnection
+from ..pvm.message import MessageBuffer
+from ..pvm.routing import fragments_of
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from ..hw.network import EthernetNetwork
+    from .pipeline import MigrationContext
+
+__all__ = [
+    "Transport",
+    "TcpSkeletonTransport",
+    "PvmPackTransport",
+    "DaemonStoreAndForwardTransport",
+    "CONTROL_BYTES",
+]
+
+#: Size of one protocol control packet (flush / ack / restart).
+CONTROL_BYTES = 64
+
+
+class Transport:
+    """Base transport: owns the network handle and the control plane."""
+
+    def __init__(self, network: "EthernetNetwork") -> None:
+        self.network = network
+
+    # -- control plane -------------------------------------------------------
+    def control(self, src: "Host", dst: "Host", label: str = "ctl") -> Event:
+        """One small protocol packet between two hosts."""
+        if src is dst:
+            return src.ipc_copy(CONTROL_BYTES, label=f"{label}-local")
+        return self.network.transfer(src, dst, CONTROL_BYTES, label=label)
+
+    # -- bulk state ----------------------------------------------------------
+    def send_state(self, ctx: "MigrationContext") -> Generator[Event, Any, int]:
+        """Move the unit's state off the source host (generator).
+
+        Returns the number of wire operations (connections or chunks) —
+        informational; adapters record it on the stats object.
+        """
+        raise NotImplementedError
+
+
+class TcpSkeletonTransport(Transport):
+    """MPVM's stage-3 transport: a dedicated TCP stream to the skeleton.
+
+    Charges connection set-up, wire time, and the receiver's
+    socket-to-memory copy (the skeleton writing segments into place).
+    """
+
+    def send_state(self, ctx: "MigrationContext") -> Generator[Event, Any, int]:
+        conn = TcpConnection(self.network, ctx.src, ctx.dst)
+        yield from conn.connect()
+        yield from conn.send(
+            ctx.stats.state_bytes, receiver_copies=True, label="mpvm-state"
+        )
+        conn.close()
+        return 1
+
+
+class PvmPackTransport(Transport):
+    """UPVM's stage-3 transport: pkbyte/send chunk sequences.
+
+    The ULP's private state goes first; its unreceived message buffers
+    follow "in a separate operation" (§4.2.2).  Each chunk pays a pack
+    cost on the source CPU (the extra copies that make UPVM *more*
+    obtrusive than MPVM at equal size) and rides an ordinary pvm message
+    to the destination process.  A destination on the *same* host would
+    be a zero-copy hand-off, but UPVM runs one process per host so the
+    pipeline never routes a migration there (validated up front).
+    """
+
+    def __init__(self, network: "EthernetNetwork", params, state_tag: int) -> None:
+        super().__init__(network)
+        self.params = params
+        self.state_tag = state_tag
+
+    def plan(self, state_bytes: int, msg_bytes: int) -> tuple:
+        """Chunk counts for a transfer: ``(state_chunks, msg_chunks)``.
+
+        Exposed separately because the destination's accept tracking
+        must be armed with the total *before* the first chunk is sent.
+        """
+        chunk = self.params.upvm_pack_chunk_bytes
+        state_chunks = max(1, math.ceil(state_bytes / chunk))
+        msg_chunks = math.ceil(msg_bytes / chunk) if msg_bytes else 0
+        return state_chunks, msg_chunks
+
+    def send_state(self, ctx: "MigrationContext") -> Generator[Event, Any, int]:
+        params = self.params
+        ulp = ctx.data["ulp"]
+        src_proc = ctx.data["src_proc"]
+        dst_proc = ctx.data["dst_proc"]
+        pvm_ctx = src_proc.context  # the hosting process's pvm context
+        chunk = params.upvm_pack_chunk_bytes
+        msg_bytes = ctx.data["msg_bytes"]
+        state_chunks, msg_chunks = self.plan(ulp.state_bytes, msg_bytes)
+        total = state_chunks + msg_chunks
+
+        seq = 0
+        for nbytes, n, label, kind in (
+            (ulp.state_bytes, state_chunks, "pkbyte", "ulp-state"),
+            (msg_bytes, msg_chunks, "pkbyte-msgs", "ulp-msgs"),
+        ):
+            remaining = nbytes
+            for _ in range(n):
+                this = min(chunk, remaining) if remaining else chunk
+                remaining -= this
+                yield ctx.src.busy_seconds(params.upvm_pack_chunk_s, label=label)
+                buf = (
+                    MessageBuffer()
+                    .pkint([ulp.ulp_id, seq, total])
+                    .pkopaque(this, kind)
+                )
+                yield from pvm_ctx.send(dst_proc.tid, self.state_tag, buf)
+                seq += 1
+        return total
+
+
+class DaemonStoreAndForwardTransport(Transport):
+    """Bulk state through the pvmd daemon route (ADM's effective path).
+
+    ADM moves data inside the application, so its cost is charged by the
+    application's own pvm sends; this transport exists for mechanisms
+    (or future coordinator backends) that want daemon-routed bulk moves
+    without an application in the loop.  It reproduces the daemon
+    route's cost structure: per-fragment daemon CPU on both ends plus
+    UDP wire time — the ~half-of-raw-TCP rate visible in Table 6.
+    """
+
+    def __init__(self, network: "EthernetNetwork", params) -> None:
+        super().__init__(network)
+        self.params = params
+
+    def send_state(self, ctx: "MigrationContext") -> Generator[Event, Any, int]:
+        params = self.params
+        nbytes = ctx.stats.state_bytes
+        n_frags = fragments_of(int(nbytes), params.pvm_frag_bytes)
+        # Per-fragment daemon processing on source and destination.
+        yield ctx.src.busy_seconds(n_frags * params.pvmd_frag_cpu_s, label="pvmd-frag")
+        yield self.network.transfer(ctx.src, ctx.dst, nbytes, label="pvmd-bulk")
+        yield ctx.dst.busy_seconds(n_frags * params.pvmd_frag_cpu_s, label="pvmd-frag")
+        return n_frags

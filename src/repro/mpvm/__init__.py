@@ -2,15 +2,15 @@
 
 from .checkpoint import Checkpoint, CheckpointEngine, CheckpointStats
 from .context import MpvmContext
-from .migration import MigrationEngine, MigrationStats
+from .migration import MigrationStats, MpvmMigrationAdapter
 from .system import MpvmSystem
 
 __all__ = [
     "Checkpoint",
     "CheckpointEngine",
     "CheckpointStats",
-    "MigrationEngine",
     "MigrationStats",
     "MpvmContext",
+    "MpvmMigrationAdapter",
     "MpvmSystem",
 ]

@@ -27,7 +27,7 @@ pure computation like Opt's gradient loop qualifies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from ..hw.host import Host
 from ..hw.tcp import TcpConnection

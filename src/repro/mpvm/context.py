@@ -18,7 +18,7 @@ the restart message announces *T*'s new tid (§2.1 stages 2 and 4).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator
 
 from ..pvm.context import PvmContext
 from ..sim import Event

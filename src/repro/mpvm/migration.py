@@ -1,6 +1,6 @@
-"""The MPVM migration protocol engine (paper §2.1, Figure 1).
+"""The MPVM migration protocol as pipeline stages (paper §2.1, Figure 1).
 
-Four stages:
+Four stages, expressed as a :class:`~repro.migration.MigrationAdapter`:
 
 1. **Migration event** — the GS signals the mpvmd on the to-be-vacated
    host; the daemon picks the victim task and delivers a migration signal.
@@ -16,19 +16,24 @@ Four stages:
 
 Obtrusiveness = stage 1 through end of stage 3 (work off the source
 host); migration cost additionally includes stage 4 — matching the
-paper's Table 2 definitions.
+paper's Table 2 definitions.  The stage sequencing, timestamps, stats,
+timeouts, and abort handling live in :mod:`repro.migration`; this module
+contributes only what is MPVM-specific.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING
 
-from ..hw.host import Host
-from ..hw.tcp import TcpConnection
+from ..migration import (
+    MigrationAdapter,
+    MigrationContext,
+    MigrationStats,
+    Stage,
+    TcpSkeletonTransport,
+)
 from ..pvm.context import Freeze
 from ..pvm.errors import PvmMigrationError, PvmNotCompatible
-from ..pvm.task import Task
 from ..pvm.tid import tid_str
 from ..sim import Event
 from ..unix.process import ProcState
@@ -36,177 +41,174 @@ from ..unix.process import ProcState
 if TYPE_CHECKING:  # pragma: no cover
     from .system import MpvmSystem
 
-__all__ = ["MigrationStats", "MigrationEngine"]
-
-#: Poll interval while waiting for a task to leave the run-time library.
-_LIBRARY_POLL_S = 0.5e-3
+__all__ = ["MigrationStats", "MpvmMigrationAdapter"]
 
 
-@dataclass
-class MigrationStats:
-    """Timestamped record of one migration (drives Tables 2/4 benches)."""
+class MpvmMigrationAdapter(MigrationAdapter):
+    """MPVM's half of the migration pipeline (task granularity)."""
 
-    task: str
-    src: str
-    dst: str
-    state_bytes: int
-    t_event: float
-    t_flush_done: float = 0.0
-    t_transfer_start: float = 0.0
-    t_offhost: float = 0.0
-    t_restart_done: float = 0.0
-    n_peers_flushed: int = 0
-
-    @property
-    def obtrusiveness(self) -> float:
-        """Migration event -> work off the source host."""
-        return self.t_offhost - self.t_event
-
-    @property
-    def migration_time(self) -> float:
-        """Migration event -> task re-integrated in the computation."""
-        return self.t_restart_done - self.t_event
-
-    @property
-    def restart_time(self) -> float:
-        return self.t_restart_done - self.t_offhost
-
-    @property
-    def flush_time(self) -> float:
-        return self.t_flush_done - self.t_event
-
-
-class MigrationEngine:
-    """Executes migrations for an :class:`MpvmSystem`."""
+    mechanism = "mpvm"
 
     def __init__(self, system: "MpvmSystem") -> None:
-        self.system = system
-        self.sim = system.sim
-        self.stats: List[MigrationStats] = []
+        super().__init__(system)
+        self.transport = TcpSkeletonTransport(system.network)
 
-    # -- GS entry point -----------------------------------------------------
-    def request_migration(self, task: Task, dst: Host) -> Event:
-        """Start the protocol; the returned event carries the stats."""
-        done = Event(self.sim)
-        self.sim.process(self._migrate(task, dst, done), name=f"migrate:{task.name}")
-        return done
+    # -- identity -------------------------------------------------------------
+    def describe(self, unit) -> str:
+        return unit.name
 
-    # -- protocol ---------------------------------------------------------------
-    def _migrate(self, task: Task, dst: Host, done: Event):
-        system = self.system
-        params = system.params
-        net = system.network
-        src = task.host
-        tracer = system.tracer
+    def trace_component(self, src) -> str:
+        return f"mpvmd@{src.name}"
 
-        def trace(category: str, message: str, **fields):
-            if tracer:
-                tracer.emit(self.sim.now, category, f"mpvmd@{src.name}", message, **fields)
-
-        # ---- stage 1: migration event --------------------------------------
+    # -- stage 1: migration event ---------------------------------------------
+    def stage_event(self, ctx: MigrationContext):
+        task, dst, params = ctx.unit, ctx.dst, self.system.params
         # GS -> mpvmd migrate message (control packet to the source host).
-        yield self.sim.timeout(params.net_latency_s)
-        t_event = self.sim.now
-        trace("mpvm.event", f"migrate {task.name} -> {dst.name}")
+        yield ctx.sim.timeout(params.net_latency_s)
+        ctx.stats.t_event = ctx.now
+        ctx.trace("mpvm.event", f"migrate {task.name} -> {dst.name}")
 
         if not task.alive:
-            done.fail(PvmMigrationError(f"{task.name} has exited"))
-            return
+            raise PvmMigrationError(f"{task.name} has exited")
         if task.state is ProcState.MIGRATING:
-            done.fail(PvmMigrationError(f"{task.name} is already migrating"))
-            return
-        if src is dst:
-            done.fail(PvmMigrationError(f"{task.name} is already on {dst.name}"))
-            return
-        if not src.migration_compatible(dst):
-            trace("mpvm.abort", f"{src.name} and {dst.name} are not migration compatible")
-            done.fail(
-                PvmNotCompatible(
-                    f"cannot migrate {task.name}: {src.arch}/{src.os} -> {dst.arch}/{dst.os}"
-                )
+            raise PvmMigrationError(f"{task.name} is already migrating")
+        if ctx.src is dst:
+            raise PvmMigrationError(f"{task.name} is already on {dst.name}")
+        if not ctx.src.migration_compatible(dst):
+            ctx.trace(
+                "mpvm.abort",
+                f"{ctx.src.name} and {dst.name} are not migration compatible",
             )
-            return
+            raise PvmNotCompatible(
+                f"cannot migrate {task.name}: "
+                f"{ctx.src.arch}/{ctx.src.os} -> {dst.arch}/{dst.os}"
+            )
 
         # A task executing inside the run-time library may not migrate;
         # wait for it to come out (the time spent there is bounded).
-        while task.in_library:
-            yield self.sim.timeout(_LIBRARY_POLL_S)
+        yield from self.wait_out_of_library(ctx, lambda: task.in_library)
 
         # Freeze the victim: deliver the migration signal and interrupt
         # whatever it was doing (compute is checkpointed, recv re-armed).
-        resume = Event(self.sim)
+        resume = Event(ctx.sim)
         task.state = ProcState.MIGRATING
         task.interrupt_body(Freeze(resume, reason="mpvm-migration"))
-        yield src.busy_seconds(params.signal_deliver_s, label="sigmigrate")
+        ctx.data["resume"] = resume
+        yield ctx.src.busy_seconds(params.signal_deliver_s, label="sigmigrate")
+        ctx.stats.state_bytes = task.migration_state_bytes
 
-        stats = MigrationStats(
-            task=task.name, src=src.name, dst=dst.name,
-            state_bytes=task.migration_state_bytes, t_event=t_event,
-        )
-
-        # ---- stage 2: message flushing ----------------------------------------
-        trace("mpvm.flush.start", "flushing messages")
-        peers = [t for t in system.live_tasks() if t is not task]
-        stats.n_peers_flushed = len(peers)
-        flush_events = []
-        for peer in peers:
-            peer.context.block_sends_to(task.tid)  # type: ignore[attr-defined]
-            flush_events.append(self._control_msg(src, peer.host))
-        if flush_events:
-            yield self.sim.all_of(flush_events)
-        # Acknowledgements return from every peer.
-        acks = [self._control_msg(peer.host, src) for peer in peers]
-        if acks:
-            yield self.sim.all_of(acks)
+    # -- stage 2: message flushing --------------------------------------------
+    def stage_flush(self, ctx: MigrationContext):
+        task, system = ctx.unit, self.system
+        ctx.trace("mpvm.flush.start", "flushing messages")
+        batch = ctx.batch
+        if batch is None:
+            victims = [task]
+            leads = True
+        else:
+            leads = batch.join(task)
+            if leads:
+                # Hold the round until every co-migrating victim is
+                # frozen (or has abandoned), so one block/ack round
+                # covers the whole batch.
+                yield batch.all_joined
+            victims = batch.victims if leads else []
+        peers = [
+            t
+            for t in system.live_tasks()
+            if t is not task and (batch is None or t not in batch.units)
+        ]
+        ctx.stats.n_peers_flushed = len(peers)
+        ctx.data["peers"] = peers
+        if leads:
+            flush_events = []
+            for peer in peers:
+                for victim in victims:
+                    peer.context.block_sends_to(victim.tid)  # type: ignore[attr-defined]
+                flush_events.append(self.transport.control(ctx.src, peer.host))
+            if flush_events:
+                yield ctx.sim.all_of(flush_events)
+            # Acknowledgements return from every peer.
+            acks = [self.transport.control(peer.host, ctx.src) for peer in peers]
+            if acks:
+                yield ctx.sim.all_of(acks)
+            if batch is not None and not batch.flush_done.triggered:
+                batch.flush_done.succeed()
+        else:
+            yield batch.flush_done
         # Wait for in-flight messages addressed to the victim to land.
         yield system.when_drained(task.tid)
-        stats.t_flush_done = self.sim.now
-        trace("mpvm.flush.done", f"{len(peers)} peers acknowledged")
+        ctx.trace("mpvm.flush.done", f"{len(peers)} peers acknowledged")
 
-        # ---- stage 3: VP state transfer ------------------------------------------
-        trace("mpvm.transfer.start", f"exec skeleton on {dst.name}")
+    # -- stage 3: VP state transfer -------------------------------------------
+    def stage_transfer(self, ctx: MigrationContext):
+        task, dst, params = ctx.unit, ctx.dst, self.system.params
+        ctx.trace("mpvm.transfer.start", f"exec skeleton on {dst.name}")
         # Start the skeleton process (same executable) on the destination.
         yield dst.busy_seconds(params.exec_process_s, label="skeleton-exec")
-        stats.t_transfer_start = self.sim.now
-        conn = TcpConnection(net, src, dst)
-        yield from conn.connect()
-        state_bytes = task.migration_state_bytes
-        stats.state_bytes = state_bytes
-        yield from conn.send(state_bytes, receiver_copies=True, label="mpvm-state")
-        conn.close()
-        stats.t_offhost = self.sim.now
-        trace("mpvm.transfer.done", f"{state_bytes} bytes off {src.name}",
-              bytes=state_bytes)
+        ctx.stats.t_transfer_start = ctx.now
+        ctx.stats.state_bytes = task.migration_state_bytes
+        yield from self.transport.send_state(ctx)
+        ctx.trace(
+            "mpvm.transfer.done",
+            f"{ctx.stats.state_bytes} bytes off {ctx.src.name}",
+            bytes=ctx.stats.state_bytes,
+        )
 
-        # ---- stage 4: restart -------------------------------------------------------
-        trace("mpvm.restart.start", "skeleton assumes state")
+    # -- stage 4: restart -----------------------------------------------------
+    def stage_restart(self, ctx: MigrationContext):
+        task, dst, system = ctx.unit, ctx.dst, self.system
+        params = system.params
+        ctx.trace("mpvm.restart.start", "skeleton assumes state")
         old_tid, new_tid = system.rebind_task_tid(task, dst)
+        ctx.data["old_tid"], ctx.data["new_tid"] = old_tid, new_tid
         task.relocate_to(dst)
         # The skeleton integrates the received image (page it into place).
-        yield dst.copy(state_bytes, label="assume-state")
+        yield dst.copy(ctx.stats.state_bytes, label="assume-state")
         # Re-enroll with the destination mpvmd.
         yield dst.busy_seconds(params.enroll_s, label="re-enroll")
         # Restart message to every task: unblocks senders, installs remap.
-        restart_events = [self._control_msg(dst, peer.host) for peer in peers]
+        # Recomputed rather than reusing the flush peer set — co-batched
+        # victims were not flush peers but must still learn the remap.
+        peers = [t for t in system.live_tasks() if t is not task]
+        restart_events = [self.transport.control(dst, peer.host) for peer in peers]
         if restart_events:
-            yield self.sim.all_of(restart_events)
+            yield ctx.sim.all_of(restart_events)
         for peer in peers:
             peer.context.unblock_sends_to(old_tid, new_tid)  # type: ignore[attr-defined]
         task.context.learn_remap(old_tid, new_tid)  # type: ignore[attr-defined]
         task.state = ProcState.RUNNING
-        resume.succeed()
-        stats.t_restart_done = self.sim.now
-        self.stats.append(stats)
-        trace(
+        ctx.data.pop("resume").succeed()
+        ctx.stats.t_restart_done = ctx.now
+        ctx.trace(
             "mpvm.restart.done",
             f"{tid_str(old_tid)} restarted as {tid_str(new_tid)} on {dst.name}",
-            obtrusiveness=round(stats.obtrusiveness, 4),
-            migration=round(stats.migration_time, 4),
+            obtrusiveness=round(ctx.stats.obtrusiveness, 4),
+            migration=round(ctx.stats.migration_time, 4),
         )
-        done.succeed(stats)
 
-    def _control_msg(self, src: Host, dst: Host) -> Event:
-        """A small protocol packet between two hosts (flush/ack/restart)."""
-        if src is dst:
-            return src.ipc_copy(64, label="ctl-local")
-        return self.system.network.transfer(src, dst, 64, label="ctl")
+    # -- abort-and-restore ----------------------------------------------------
+    def abort(self, ctx: MigrationContext, stage: Stage, exc: BaseException) -> None:
+        task = ctx.unit
+        resume = ctx.data.get("resume")
+        if resume is None:
+            # Failed validation before the freeze: the task was never
+            # touched (and may be mid-protocol for a *different*
+            # migration) — nothing to restore.
+            ctx.trace("mpvm.abort", f"{task.name}: {exc}")
+            return
+        # Unblock any peers whose sends we parked.  If the tid was
+        # already rebound (restart-stage failure) complete the remap;
+        # otherwise map the tid to itself, which simply releases sends.
+        old_tid = ctx.data.get("old_tid", task.tid)
+        new_tid = ctx.data.get("new_tid", task.tid)
+        for peer in ctx.data.get("peers", []):
+            if peer.alive:
+                peer.context.unblock_sends_to(old_tid, new_tid)  # type: ignore[attr-defined]
+        if old_tid != new_tid:
+            task.context.learn_remap(old_tid, new_tid)  # type: ignore[attr-defined]
+        if task.alive and task.state is ProcState.MIGRATING:
+            task.state = ProcState.RUNNING
+        if not resume.triggered:
+            resume.succeed()
+        ctx.trace("mpvm.abort", f"{task.name} restored on {task.host.name}: {exc}")

@@ -6,12 +6,13 @@ from typing import List, Tuple
 
 from ..hw.cluster import Cluster
 from ..hw.host import Host
+from ..migration import MigrationCoordinator
 from ..pvm.task import Task
 from ..pvm.tid import make_tid, tid_str
 from ..pvm.vm import PvmSystem
 from ..sim import Event
 from .context import MpvmContext
-from .migration import MigrationEngine
+from .migration import MpvmMigrationAdapter
 
 __all__ = ["MpvmSystem"]
 
@@ -30,14 +31,18 @@ class MpvmSystem(PvmSystem):
 
     def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
         super().__init__(cluster, default_route=default_route)
-        self.engine = MigrationEngine(self)
+        self.migration = MigrationCoordinator(MpvmMigrationAdapter(self))
 
     # -- MigrationClient interface ------------------------------------------
     def movable_units(self, host: Host) -> List[Task]:
         return [t for t in self.live_tasks() if t.host is host]
 
     def request_migration(self, unit: Task, dst: Host) -> Event:
-        return self.engine.request_migration(unit, dst)
+        return self.migration.request_migration(unit, dst)
+
+    def request_batch_migration(self, pairs) -> List[Event]:
+        """Co-scheduled migrations sharing one flush round per source."""
+        return self.migration.request_batch_migration(pairs)
 
     # -- tid rebinding on migration --------------------------------------------
     def rebind_task_tid(self, task: Task, new_host: Host) -> Tuple[int, int]:
@@ -59,4 +64,4 @@ class MpvmSystem(PvmSystem):
     @property
     def migrations(self):
         """Stats for every completed migration."""
-        return self.engine.stats
+        return self.migration.stats

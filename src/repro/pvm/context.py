@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional
 
 from ..sim import Event, Interrupt
-from .errors import PvmBadParam, PvmError
+from ..unix.signals import ProcessKilled
+from .errors import PvmBadParam
 from .message import Message, MessageBuffer
 from .tid import PVM_ANY, tid_str
 
@@ -32,9 +33,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from .vm import PvmSystem
 
 __all__ = ["PvmContext", "Freeze", "TaskKilled"]
-
-
-from ..unix.signals import ProcessKilled
 
 
 class TaskKilled(ProcessKilled):

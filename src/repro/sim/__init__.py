@@ -18,12 +18,14 @@ from .events import (
 from .kernel import NORMAL, URGENT, Process, Simulator
 from .resources import FilterStore, ProcessorSharing, PsJob, Resource, Store
 from .rng import RngStreams
-from .trace import TraceRecord, Tracer
+from .trace import BoundTracer, TraceRecord, Tracer, bound_tracer
 
 __all__ = [
     "PENDING",
     "AllOf",
     "AnyOf",
+    "BoundTracer",
+    "bound_tracer",
     "Condition",
     "Event",
     "FilterStore",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "BoundTracer", "bound_tracer"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,49 @@ class TraceRecord:
         return f"[{self.time:12.6f}] {self.category:<18} {self.actor:<16} {self.message} {extra}".rstrip()
 
 
+class BoundTracer:
+    """A tracer pre-bound to one emitting component and a clock.
+
+    Every protocol engine used to carry its own ``trace(category, msg)``
+    closure re-deriving the actor string and ``sim.now``; this is that
+    closure, once, with a ``None``-tracer fast path so call sites do not
+    need their own ``if tracer:`` guard.
+    """
+
+    __slots__ = ("tracer", "component", "clock")
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        component: str,
+        clock: Callable[[], float],
+    ) -> None:
+        self.tracer = tracer
+        self.component = component
+        self.clock = clock
+
+    def __call__(self, category: str, message: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.clock(), category, self.component, message, **fields)
+
+    #: Alias so a BoundTracer reads like a Tracer at the call site.
+    emit = __call__
+
+    def rebound(self, component: str) -> "BoundTracer":
+        """The same tracer and clock, speaking as a different component."""
+        return BoundTracer(self.tracer, component, self.clock)
+
+    def __bool__(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+
+def bound_tracer(
+    tracer: Optional["Tracer"], component: str, clock: Callable[[], float]
+) -> BoundTracer:
+    """None-safe constructor: ``tracer`` may be absent (tracing off)."""
+    return BoundTracer(tracer, component, clock)
+
+
 class Tracer:
     """Collects :class:`TraceRecord` objects and fans them out to subscribers."""
 
@@ -41,6 +84,10 @@ class Tracer:
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         self._subscribers.append(fn)
+
+    def bound(self, component: str, clock: Callable[[], float]) -> BoundTracer:
+        """A :class:`BoundTracer` emitting as ``component`` at ``clock()``."""
+        return BoundTracer(self, component, clock)
 
     def emit(
         self, time: float, category: str, actor: str, message: str, **fields: Any

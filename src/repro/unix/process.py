@@ -16,7 +16,7 @@ from itertools import count
 from typing import Any, Callable, Dict, List, Optional
 
 from ..hw.host import Host
-from ..sim import Interrupt, Process, Simulator
+from ..sim import Process, Simulator
 from .memory import AddressSpace
 from .signals import ProcessKilled, Sig, SignalRecord
 

@@ -2,7 +2,7 @@
 
 from .address_space import UlpAddressMap, UlpRegion
 from .library import UlpContext, UpvmApp
-from .migration import UlpMigrationEngine, UlpMigrationStats
+from .migration import MigrationStats, UlpMigrationAdapter
 from .process import TAG_ULP_STATE, TAG_ULP_WRAP, UpvmProcess
 from .scheduler import UlpScheduler
 from .system import UpvmSystem
@@ -15,9 +15,9 @@ __all__ = [
     "Ulp",
     "UlpAddressMap",
     "UlpContext",
+    "MigrationStats",
     "UlpMessage",
-    "UlpMigrationEngine",
-    "UlpMigrationStats",
+    "UlpMigrationAdapter",
     "UlpRegion",
     "UlpScheduler",
     "UlpState",

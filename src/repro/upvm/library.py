@@ -10,11 +10,9 @@ of UPVM's "marginally slower remote communication").
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from ..pvm.message import MessageBuffer
-from ..pvm.tid import tid_str
 from ..sim import Event, Interrupt
 from ..pvm.context import Freeze
 from .address_space import UlpAddressMap
@@ -326,6 +324,15 @@ class UpvmApp:
         if total_chunks == 0:
             ev.succeed()
         return ev
+
+    def cancel_state(self, ulp_id: int) -> bool:
+        """Drop accept tracking for an aborted transfer (abort path).
+
+        Late-arriving chunks of the cancelled transfer are ignored by
+        :meth:`note_state_chunk`, and a later re-migration of the same
+        ULP may arm :meth:`expect_state` afresh.
+        """
+        return self._accepts.pop(ulp_id, None) is not None
 
     def note_state_chunk(self, proc: UpvmProcess, ulp_id: int, seq: int, total: int) -> None:
         entry = self._accepts.get(ulp_id)

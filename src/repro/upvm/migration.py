@@ -1,4 +1,4 @@
-"""The ULP migration protocol (paper §2.2, Figure 3).
+"""The ULP migration protocol as pipeline stages (paper §2.2, Figure 3).
 
 Same four stages as MPVM but at ULP granularity, with two deliberate
 differences the paper highlights:
@@ -11,208 +11,211 @@ differences the paper highlights:
   sequence of sends.  The destination's accept mechanism is per-chunk
   expensive (unoptimized in the paper's prototype — the reason Table 4's
   migration cost, 6.88 s, dwarfs its obtrusiveness, 1.67 s).
+
+Stage sequencing, timestamps, stats, timeouts, and abort handling live
+in :mod:`repro.migration`; this module contributes only what is
+UPVM-specific (the pkbyte transport is
+:class:`~repro.migration.PvmPackTransport`).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
+from ..migration import (
+    MigrationAdapter,
+    MigrationContext,
+    MigrationStats,
+    PvmPackTransport,
+    Stage,
+)
 from ..pvm.context import Freeze
 from ..pvm.errors import PvmMigrationError, PvmNotCompatible
-from ..pvm.message import MessageBuffer
 from ..sim import Event
 from .process import TAG_ULP_STATE, UpvmProcess
-from .ulp import Ulp, UlpState
+from .ulp import UlpState
 
 if TYPE_CHECKING:  # pragma: no cover
     from .system import UpvmSystem
 
-__all__ = ["UlpMigrationStats", "UlpMigrationEngine"]
-
-_LIBRARY_POLL_S = 0.5e-3
+__all__ = ["MigrationStats", "UlpMigrationAdapter"]
 
 
-@dataclass
-class UlpMigrationStats:
-    """Timestamped record of one ULP migration (drives Table 4)."""
+class UlpMigrationAdapter(MigrationAdapter):
+    """UPVM's half of the migration pipeline (ULP granularity)."""
 
-    ulp_id: int
-    src: str
-    dst: str
-    state_bytes: int
-    queued_msg_bytes: int
-    n_chunks: int
-    t_event: float
-    t_flush_done: float = 0.0
-    t_offhost: float = 0.0
-    t_accepted: float = 0.0
-    t_done: float = 0.0
-
-    @property
-    def obtrusiveness(self) -> float:
-        """Event -> all ULP state off-loaded from the source host.
-
-        Per the paper's definition the *destination* may not have
-        received (let alone accepted) the state yet.
-        """
-        return self.t_offhost - self.t_event
-
-    @property
-    def migration_time(self) -> float:
-        """Event -> ULP enqueued in the destination scheduler."""
-        return self.t_done - self.t_event
-
-
-class UlpMigrationEngine:
-    """Executes ULP migrations for an :class:`UpvmSystem`."""
+    mechanism = "upvm"
 
     def __init__(self, system: "UpvmSystem") -> None:
-        self.system = system
-        self.sim = system.sim
-        self.stats: List[UlpMigrationStats] = []
-
-    def request_migration(self, ulp: Ulp, dst) -> Event:
-        """Migrate ``ulp`` to ``dst`` (a Host or an UpvmProcess)."""
-        done = Event(self.sim)
-        if isinstance(dst, UpvmProcess):
-            dst_proc = dst
-        else:
-            dst_proc = ulp.process.app.process_on(dst)
-        self.sim.process(
-            self._migrate(ulp, dst_proc, dst, done), name=f"ulp-migrate:{ulp.ulp_id}"
+        super().__init__(system)
+        self.transport = PvmPackTransport(
+            system.network, system.params, TAG_ULP_STATE
         )
-        return done
 
-    def _migrate(self, ulp: Ulp, dst_proc, dst, done: Event):
-        params = self.system.params
-        app = ulp.process.app
+    # -- identity -------------------------------------------------------------
+    def describe(self, unit) -> str:
+        return f"ulp{unit.ulp_id}"
+
+    def unit_host(self, unit):
+        return unit.process.host
+
+    def trace_component(self, src) -> str:
+        return f"upvm@{src.name}"
+
+    def flush_domain(self, unit):
+        # One flush round covers victims leaving the same hosting
+        # process: the peer set (the app's other processes) matches.
+        return (self.mechanism, id(unit.process))
+
+    def prepare(self, ctx: MigrationContext) -> None:
+        ulp = ctx.unit
         src_proc = ulp.process
-        src = src_proc.host
-        tracer = self.system.tracer
+        if isinstance(ctx.dst, UpvmProcess):
+            dst_proc = ctx.dst
+        else:
+            dst_proc = src_proc.app.process_on(ctx.dst)
+        ctx.data.update(ulp=ulp, src_proc=src_proc, dst_proc=dst_proc)
+        if dst_proc is not None:
+            ctx.stats.dst = dst_proc.host.name
 
-        def trace(category: str, message: str, **fields):
-            if tracer:
-                tracer.emit(self.sim.now, category, f"upvm@{src.name}", message, **fields)
-
-        # ---- stage 1: migration event -----------------------------------
+    # -- stage 1: migration event ---------------------------------------------
+    def stage_event(self, ctx: MigrationContext):
+        ulp, params = ctx.unit, self.system.params
+        src_proc = ctx.data["src_proc"]
+        dst_proc = ctx.data["dst_proc"]
+        app = src_proc.app
         # GS -> containing process, directly (no daemon hop in UPVM).
-        yield self.sim.timeout(params.net_latency_s)
-        t_event = self.sim.now
-        trace("upvm.event", f"migrate ulp{ulp.ulp_id} -> {getattr(dst, 'name', dst)}")
+        yield ctx.sim.timeout(params.net_latency_s)
+        ctx.stats.t_event = ctx.now
+        ctx.trace(
+            "upvm.event",
+            f"migrate ulp{ulp.ulp_id} -> {getattr(ctx.dst, 'name', ctx.dst)}",
+        )
 
         if dst_proc is None:
-            done.fail(PvmMigrationError(
+            raise PvmMigrationError(
                 f"no UPVM process of app {app.name!r} on destination host"
-            ))
-            return
+            )
         if ulp.state is UlpState.DONE:
-            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} has finished"))
-            return
+            raise PvmMigrationError(f"ulp{ulp.ulp_id} has finished")
         if ulp.state is UlpState.MIGRATING:
-            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} is already migrating"))
-            return
+            raise PvmMigrationError(f"ulp{ulp.ulp_id} is already migrating")
         if dst_proc is src_proc:
-            done.fail(PvmMigrationError(f"ulp{ulp.ulp_id} is already on {src.name}"))
-            return
-        if not src.migration_compatible(dst_proc.host):
-            done.fail(PvmNotCompatible(
-                f"cannot migrate ulp{ulp.ulp_id}: {src.arch}/{src.os} -> "
+            raise PvmMigrationError(f"ulp{ulp.ulp_id} is already on {ctx.src.name}")
+        if not ctx.src.migration_compatible(dst_proc.host):
+            raise PvmNotCompatible(
+                f"cannot migrate ulp{ulp.ulp_id}: {ctx.src.arch}/{ctx.src.os} -> "
                 f"{dst_proc.host.arch}/{dst_proc.host.os}"
-            ))
-            return
+            )
 
-        while ulp.in_library:
-            yield self.sim.timeout(_LIBRARY_POLL_S)
+        yield from self.wait_out_of_library(ctx, lambda: ulp.in_library)
 
         # Interrupt the process; capture the ULP's register state.
-        yield src.busy_seconds(params.signal_deliver_s, label="upvm-signal")
-        resume = Event(self.sim)
+        yield ctx.src.busy_seconds(params.signal_deliver_s, label="upvm-signal")
+        resume = Event(ctx.sim)
+        ctx.data["prior_state"] = ulp.state
         ulp.state = UlpState.MIGRATING
         if ulp.coroutine is not None and ulp.coroutine.is_alive:
             ulp.coroutine.interrupt(Freeze(resume, reason="upvm-migration"))
-        yield src.busy_seconds(params.ulp_context_switch_s, label="capture-ctx")
+        ctx.data["resume"] = resume
+        yield ctx.src.busy_seconds(params.ulp_context_switch_s, label="capture-ctx")
+        ctx.stats.state_bytes = ulp.state_bytes
+        ctx.stats.queued_msg_bytes = ulp.queued_message_bytes
 
-        stats = UlpMigrationStats(
-            ulp_id=ulp.ulp_id, src=src.name, dst=dst_proc.host.name,
-            state_bytes=ulp.state_bytes,
-            queued_msg_bytes=ulp.queued_message_bytes,
-            n_chunks=0, t_event=t_event,
-        )
-
-        # ---- stage 2: message flushing --------------------------------------
-        trace("upvm.flush.start", "flushing")
-        flushes, acks = [], []
-        for proc in app.processes:
-            if proc is src_proc:
-                continue
-            flushes.append(self._control_msg(src, proc.host))
-        if flushes:
-            yield self.sim.all_of(flushes)
-        for proc in app.processes:
-            if proc is src_proc:
-                continue
-            acks.append(self._control_msg(proc.host, src))
-        if acks:
-            yield self.sim.all_of(acks)
+    # -- stage 2: message flushing --------------------------------------------
+    def stage_flush(self, ctx: MigrationContext):
+        ulp = ctx.unit
+        src_proc = ctx.data["src_proc"]
+        dst_proc = ctx.data["dst_proc"]
+        app = src_proc.app
+        ctx.trace("upvm.flush.start", "flushing")
+        batch = ctx.batch
+        peers = [p for p in app.processes if p is not src_proc]
+        ctx.stats.n_peers_flushed = len(peers)
+        if batch is None or batch.join(ulp):
+            if batch is not None:
+                yield batch.all_joined
+            flushes = [self.transport.control(ctx.src, p.host, label="upvm-ctl")
+                       for p in peers]
+            if flushes:
+                yield ctx.sim.all_of(flushes)
+            acks = [self.transport.control(p.host, ctx.src, label="upvm-ctl")
+                    for p in peers]
+            if acks:
+                yield ctx.sim.all_of(acks)
+            if batch is not None and not batch.flush_done.triggered:
+                batch.flush_done.succeed()
+        else:
+            yield batch.flush_done
         # Unlike MPVM, future sends go straight to the new location.
         app.location[ulp.ulp_id] = dst_proc
+        ctx.data["redirected"] = True
         yield app.when_drained(ulp.ulp_id)
-        stats.t_flush_done = self.sim.now
-        trace("upvm.flush.done", f"{len(app.processes) - 1} processes acknowledged")
+        ctx.trace("upvm.flush.done", f"{len(app.processes) - 1} processes acknowledged")
 
-        # ---- stage 3: state transfer (pkbyte/send sequence) ----------------------
-        trace("upvm.transfer.start", f"{ulp.state_bytes} B state, "
-              f"{ulp.queued_message_bytes} B queued messages")
+    # -- stage 3: state transfer (pkbyte/send sequence) -------------------------
+    def stage_transfer(self, ctx: MigrationContext):
+        ulp = ctx.unit
+        src_proc = ctx.data["src_proc"]
+        app = src_proc.app
+        ctx.trace(
+            "upvm.transfer.start",
+            f"{ulp.state_bytes} B state, {ulp.queued_message_bytes} B queued messages",
+        )
         src_proc.evict(ulp)
-        chunk = params.upvm_pack_chunk_bytes
-        state_chunks = max(1, math.ceil(ulp.state_bytes / chunk))
+        ctx.data["evicted"] = True
+        # Messages drained *into* the ULP during the flush round travel
+        # too: plan the chunk sequence from the live queue size.
         msg_bytes = ulp.queued_message_bytes
-        msg_chunks = math.ceil(msg_bytes / chunk) if msg_bytes else 0
+        ctx.data["msg_bytes"] = msg_bytes
+        ctx.stats.queued_msg_bytes = msg_bytes
+        state_chunks, msg_chunks = self.transport.plan(ulp.state_bytes, msg_bytes)
         total = state_chunks + msg_chunks
-        stats.n_chunks = total
-        accepted = app.expect_state(ulp.ulp_id, total)
-        ctx = src_proc.context  # the process's pvm context
-        seq = 0
-        remaining = ulp.state_bytes
-        for _ in range(state_chunks):
-            this = min(chunk, remaining) if remaining else chunk
-            remaining -= this
-            yield src.busy_seconds(params.upvm_pack_chunk_s, label="pkbyte")
-            buf = MessageBuffer().pkint([ulp.ulp_id, seq, total]).pkopaque(this, "ulp-state")
-            yield from ctx.send(dst_proc.tid, TAG_ULP_STATE, buf)
-            seq += 1
-        # "...collects the message buffers used by the migrating ULP and
-        # transfers them in a separate operation" (§4.2.2).
-        remaining = msg_bytes
-        for _ in range(msg_chunks):
-            this = min(chunk, remaining)
-            remaining -= this
-            yield src.busy_seconds(params.upvm_pack_chunk_s, label="pkbyte-msgs")
-            buf = MessageBuffer().pkint([ulp.ulp_id, seq, total]).pkopaque(this, "ulp-msgs")
-            yield from ctx.send(dst_proc.tid, TAG_ULP_STATE, buf)
-            seq += 1
-        stats.t_offhost = self.sim.now
-        trace("upvm.transfer.offhost", f"{total} chunks off {src.name}")
+        ctx.stats.n_chunks = total
+        # Arm the destination's accept tracking before the first chunk.
+        ctx.data["accepted"] = app.expect_state(ulp.ulp_id, total)
+        yield from self.transport.send_state(ctx)
+        ctx.trace("upvm.transfer.offhost", f"{total} chunks off {ctx.src.name}")
 
-        # ---- stage 4: accept + restart --------------------------------------------
-        yield accepted
-        stats.t_accepted = self.sim.now
+    # -- stage 4: accept + restart ----------------------------------------------
+    def stage_restart(self, ctx: MigrationContext):
+        ulp, params = ctx.unit, self.system.params
+        dst_proc = ctx.data["dst_proc"]
+        yield ctx.data["accepted"]
+        ctx.stats.t_accepted = ctx.now
         dst_proc.adopt(ulp)
         # Place into the (globally reserved) region: no pointer fix-up.
         yield dst_proc.host.busy_seconds(params.ulp_context_switch_s, label="place-ulp")
         dst_proc.scheduler.enqueue(ulp)
-        resume.succeed()
-        stats.t_done = self.sim.now
-        self.stats.append(stats)
-        trace("upvm.restart.done",
-              f"ulp{ulp.ulp_id} enqueued on {dst_proc.host.name}",
-              obtrusiveness=round(stats.obtrusiveness, 4),
-              migration=round(stats.migration_time, 4))
-        done.succeed(stats)
+        ctx.data.pop("resume").succeed()
+        ctx.stats.t_restart_done = ctx.now
+        ctx.trace(
+            "upvm.restart.done",
+            f"ulp{ulp.ulp_id} enqueued on {dst_proc.host.name}",
+            obtrusiveness=round(ctx.stats.obtrusiveness, 4),
+            migration=round(ctx.stats.migration_time, 4),
+        )
 
-    def _control_msg(self, src, dst) -> Event:
-        if src is dst:
-            return src.ipc_copy(64, label="ctl-local")
-        return self.system.network.transfer(src, dst, 64, label="upvm-ctl")
+    # -- abort-and-restore ----------------------------------------------------
+    def abort(self, ctx: MigrationContext, stage: Stage, exc: BaseException) -> None:
+        ulp = ctx.unit
+        src_proc = ctx.data["src_proc"]
+        app = src_proc.app
+        resume = ctx.data.get("resume")
+        if resume is None:
+            # Failed validation before the freeze: nothing was touched.
+            ctx.trace("upvm.abort", f"ulp{ulp.ulp_id}: {exc}")
+            return
+        app.cancel_state(ulp.ulp_id)
+        if ctx.data.get("redirected"):
+            app.location[ulp.ulp_id] = src_proc
+        if ulp.state is UlpState.MIGRATING:
+            ulp.state = ctx.data.get("prior_state", UlpState.READY)
+        if ctx.data.get("evicted"):
+            src_proc.adopt(ulp)
+            src_proc.scheduler.enqueue(ulp)
+        if not resume.triggered:
+            resume.succeed()
+        ctx.trace(
+            "upvm.abort", f"ulp{ulp.ulp_id} restored on {ctx.src.name}: {exc}"
+        )

@@ -10,7 +10,7 @@ mechanism that dominates UPVM's migration cost in Table 4.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict
 
 from ..pvm.task import Task
 from ..pvm.tid import tid_str

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from ..sim import Event, Resource
+from ..sim import Resource
 from .ulp import Ulp, UlpState
 
 if TYPE_CHECKING:  # pragma: no cover

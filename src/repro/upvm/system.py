@@ -6,11 +6,12 @@ from typing import Dict, List, Optional
 
 from ..hw.cluster import Cluster
 from ..hw.host import Host
+from ..migration import MigrationCoordinator
 from ..pvm.tid import make_tid
 from ..pvm.vm import PvmSystem
 from ..sim import Event
 from .library import UlpProgram, UpvmApp
-from .migration import UlpMigrationEngine
+from .migration import UlpMigrationAdapter
 from .process import UpvmProcess
 from .ulp import Ulp, UlpState
 
@@ -28,7 +29,7 @@ class UpvmSystem(PvmSystem):
     def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
         super().__init__(cluster, default_route=default_route)
         self.apps: List[UpvmApp] = []
-        self.engine = UlpMigrationEngine(self)
+        self.migration = MigrationCoordinator(UlpMigrationAdapter(self))
 
     # -- app construction -----------------------------------------------------
     def start_app(
@@ -77,8 +78,12 @@ class UpvmSystem(PvmSystem):
         return out
 
     def request_migration(self, unit: Ulp, dst: Host) -> Event:
-        return self.engine.request_migration(unit, dst)
+        return self.migration.request_migration(unit, dst)
+
+    def request_batch_migration(self, pairs) -> List[Event]:
+        """Co-scheduled migrations sharing one flush round per process."""
+        return self.migration.request_batch_migration(pairs)
 
     @property
     def migrations(self):
-        return self.engine.stats
+        return self.migration.stats

@@ -6,7 +6,6 @@ import pytest
 from repro.experiments.harness import ExperimentResult, fmt_row
 from repro.gs import LoadMonitor
 from repro.hw import Cluster
-from repro.mpvm import MpvmSystem
 from repro.pvm import PvmNoTask, PvmSystem, TaskKilled
 from repro.upvm import UpvmSystem
 

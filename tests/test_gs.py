@@ -1,7 +1,5 @@
 """Tests for the Global Scheduler, load monitor and policies."""
 
-import pytest
-
 from repro.gs import GlobalScheduler, LoadBalancePolicy, LoadMonitor, OwnerReclaimPolicy
 from repro.hw import Cluster
 from repro.mpvm import MpvmSystem

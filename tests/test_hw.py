@@ -5,7 +5,6 @@ import pytest
 from repro.hw import (
     MB,
     Cluster,
-    HardwareParams,
     Host,
     HostSpec,
     OwnerSession,

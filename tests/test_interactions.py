@@ -2,8 +2,6 @@
 in-flight forwarding, multiple jobs under one GS, buffer forking."""
 
 import numpy as np
-import pytest
-
 from repro.gs import GlobalScheduler
 from repro.hw import Cluster, MB
 from repro.mpvm import MpvmSystem

@@ -5,7 +5,7 @@ import pytest
 from repro.hw import Cluster, HostSpec, MB
 from repro.mpvm import MpvmSystem
 from repro.pvm import PvmNotCompatible
-from repro.unix import Segment, page_align
+from repro.unix import page_align
 
 
 @pytest.fixture

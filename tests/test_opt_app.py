@@ -10,7 +10,6 @@ from repro.apps.opt import (
     PvmOpt,
     Shard,
     SpmdOpt,
-    TrainingSet,
     exemplars_for_bytes,
     synthetic_training_set,
     train_serial,

@@ -3,7 +3,6 @@ invariants: the PS server, stores, tids, message buffers, the
 partitioner, shards, and the ULP address map."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
@@ -38,7 +37,7 @@ def test_tid_roundtrip_property(host, local):
     )
 )
 def test_tids_injective(pairs):
-    tids = [make_tid(h, l) for h, l in pairs]
+    tids = [make_tid(h, lo) for h, lo in pairs]
     assert len(set(tids)) == len(pairs)
 
 
@@ -177,7 +176,6 @@ def test_plan_transfers_conservation_property(n, caps1, caps2):
 def test_shard_conservation_property(n, ops):
     shard = Shard(n, synthetic_training_set(n=n, seed=1))
     pieces = []
-    total_processed_before = 0
     for op, k in ops:
         if op == "take":
             shard.take_unprocessed(min(k, shard.n_unprocessed))

@@ -165,7 +165,7 @@ def test_group_errors(vm):
     def master(ctx):
         with pytest.raises(PvmBadParam):
             ctx.gsize("ghost")
-        inst = yield from ctx.joingroup("g")
+        yield from ctx.joingroup("g")
         with pytest.raises(PvmBadParam):
             ctx.gettid("g", 5)
         with pytest.raises(PvmBadParam):
@@ -184,7 +184,7 @@ def test_group_membership_survives_migration():
     got = {}
 
     def member(ctx):
-        inst = yield from ctx.joingroup("m")
+        yield from ctx.joingroup("m")
         msg = yield from ctx.recv(tag=3)
         got["inst"] = ctx.getinst("m")
         got["text"] = msg.buffer.upkstr()

@@ -9,7 +9,6 @@ from repro.pvm import (
     PvmBadParam,
     PvmNoTask,
     PvmSystem,
-    tid_host_index,
 )
 
 
@@ -159,7 +158,7 @@ def test_recv_wildcards(vm):
     vm.register_program("sender", sender)
 
     def master(ctx):
-        tids = yield from ctx.spawn("sender", count=3)
+        yield from ctx.spawn("sender", count=3)
         for _ in range(3):
             msg = yield from ctx.recv(PVM_ANY, PVM_ANY)
             got.append(msg.src_tid)
@@ -282,7 +281,7 @@ def _timed_transfer(route_pref, nbytes=1 * MB):
     times = {}
 
     def sink(ctx):
-        msg = yield from ctx.recv(tag=1)
+        yield from ctx.recv(tag=1)
         times["recv_done"] = ctx.now
 
     vm.register_program("sink", sink)

@@ -49,7 +49,7 @@ def test_tid_str_format():
 
 
 def test_tids_unique_across_hosts():
-    tids = {make_tid(h, l) for h in range(4) for l in range(10)}
+    tids = {make_tid(h, lo) for h in range(4) for lo in range(10)}
     assert len(tids) == 40
 
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.sim import (
     AllOf,
-    AnyOf,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,
@@ -257,7 +255,7 @@ def test_condition_fails_if_member_fails():
     def proc():
         try:
             yield AllOf(sim, [sim.timeout(10), ev])
-        except KeyError as exc:
+        except KeyError:
             caught.append(sim.now)
 
     def firer():

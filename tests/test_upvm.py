@@ -5,12 +5,7 @@ import pytest
 
 from repro.hw import Cluster, HostSpec, MB
 from repro.pvm import PvmNotCompatible
-from repro.upvm import (
-    ULP_ANY,
-    UlpAddressMap,
-    UlpState,
-    UpvmSystem,
-)
+from repro.upvm import UlpAddressMap, UpvmSystem
 
 
 @pytest.fixture
@@ -132,7 +127,7 @@ def test_local_comm_faster_than_remote():
                 times["elapsed"] = ctx.now - t0
             else:
                 for _ in range(50):
-                    msg = yield from ctx.recv(src=0, tag=1)
+                    yield from ctx.recv(src=0, tag=1)
                     yield from ctx.send(0, 2, ctx.initsend().pkopaque(4000))
 
         app = vm.start_app("p", program, n_ulps=2, placement=placement)
@@ -257,7 +252,7 @@ def test_migrate_computing_ulp(vm):
     def driver():
         yield cl.sim.timeout(3.0)
         ev = vm.request_migration(app.ulps[0], cl.host(1))
-        stats = yield ev
+        yield ev
         done["stats"] = ev.value
 
     cl.sim.process(driver())
@@ -386,7 +381,7 @@ def test_gs_moves_ulps_finer_than_processes(vm):
         yield from ctx.compute(25e6 * 10)
         times[ctx.me] = (ctx.now, ctx.host.name)
 
-    app = vm.start_app("fine", program, n_ulps=2, placement={0: 0, 1: 0})
+    vm.start_app("fine", program, n_ulps=2, placement={0: 0, 1: 0})
     gs = GlobalScheduler(cl, vm)
 
     def driver():
