@@ -12,36 +12,34 @@ Run:  python examples/heat_stencil.py
 
 import numpy as np
 
+from repro import Session
 from repro.apps.heat import HeatGrid, PvmHeat, solve_serial
-from repro.hw import Cluster
-from repro.mpvm import MpvmSystem
 
 ROWS, COLS, ITERS = 63, 41, 400
 
 
 def main() -> None:
-    cluster = Cluster(n_hosts=4)
-    vm = MpvmSystem(cluster)
-    app = PvmHeat(vm, rows=ROWS, cols=COLS, iterations=ITERS, n_workers=3,
+    s = Session(mechanism="mpvm", n_hosts=4)
+    app = PvmHeat(s.vm, rows=ROWS, cols=COLS, iterations=ITERS, n_workers=3,
                   worker_hosts=[0, 1, 2])
     app.start()
 
     def migrator():
         while len(app.worker_tids) < 3:
-            yield cluster.sim.timeout(0.2)
-        yield cluster.sim.timeout(2.0)
-        victim = vm.task(app.worker_tids[1])
-        print(f"[{cluster.sim.now:7.2f}s] migrating the middle worker "
+            yield s.sim.timeout(0.2)
+        yield s.sim.timeout(2.0)
+        victim = s.vm.task(app.worker_tids[1])
+        print(f"[{s.now:7.2f}s] migrating the middle worker "
               f"{victim.name} hp720-1 -> hp720-3 (its two neighbors keep "
               f"sending halo rows)")
-        done = vm.request_migration(victim, cluster.host(3))
+        done = s.vm.request_migration(victim, s.host(3))
         yield done
-        s = done.value
-        print(f"[{cluster.sim.now:7.2f}s] done: obtrusiveness "
-              f"{s.obtrusiveness:.3f}s, migration {s.migration_time:.3f}s")
+        st = done.value
+        print(f"[{s.now:7.2f}s] done: obtrusiveness "
+              f"{st.obtrusiveness:.3f}s, migration {st.migration_time:.3f}s")
 
-    cluster.sim.process(migrator())
-    cluster.run(until=3600 * 4)
+    s.sim.process(migrator())
+    s.run(until=3600 * 4)
 
     serial_grid, serial_res = solve_serial(HeatGrid.initial(ROWS, COLS), ITERS)
     max_err = float(np.abs(app.result_grid.values - serial_grid.values).max())

@@ -12,23 +12,24 @@ process state across architectures, §3.3), but ADM moves *data*, so:
 Run:  python examples/heterogeneous_adm.py
 """
 
+from repro import Session
 from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
-from repro.gs import GlobalScheduler
-from repro.hw import Cluster, HostSpec
-from repro.mpvm import MpvmSystem
-from repro.pvm import PvmSystem, PvmNotCompatible
+from repro.hw import HostSpec
+from repro.pvm import PvmNotCompatible
 
 
-def main() -> None:
-    specs = [
+def specs():
+    return [
         HostSpec("hp-pa", arch="hppa", os="hpux9", cpu_mflops=25),
         HostSpec("sparc", arch="sparc", os="sunos4", cpu_mflops=15),
         HostSpec("i486", arch="i386", os="svr4", cpu_mflops=6),
     ]
 
+
+def main() -> None:
     # --- first, show that MPVM refuses ------------------------------------------
-    cluster = Cluster(specs=specs)
-    vm = MpvmSystem(cluster)
+    s = Session(mechanism="mpvm", hosts=specs())
+    vm = s.vm
 
     def idler(ctx):
         yield from ctx.sleep(30)
@@ -37,7 +38,7 @@ def main() -> None:
 
     def probe_master(ctx):
         (tid,) = yield from ctx.spawn("idler", count=1, where=["hp-pa"])
-        done = vm.request_migration(vm.task(tid), cluster.host("sparc"))
+        done = vm.request_migration(vm.task(tid), s.host("sparc"))
         try:
             yield done
         except PvmNotCompatible as exc:
@@ -45,25 +46,24 @@ def main() -> None:
 
     vm.register_program("probe", probe_master)
     vm.start_master("probe", host="hp-pa")
-    cluster.run(until=60)
+    s.run(until=60)
 
     # --- now ADM, which thrives here ----------------------------------------------
-    cluster = Cluster(specs=specs)
-    vm = PvmSystem(cluster)
+    s = Session(mechanism="adm", hosts=specs())
     cfg = OptConfig(data_bytes=3 * MB_DEC, iterations=12, n_slaves=3)
-    app = AdmOpt(vm, cfg, master_host="hp-pa",
+    app = AdmOpt(s.vm, cfg, master_host="hp-pa",
                  slave_hosts=["hp-pa", "sparc", "i486"])
     app.start()
-    gs = GlobalScheduler(cluster, app.client)
+    gs = s.adopt(app)
 
     def owner_returns():
-        yield cluster.sim.timeout(25.0)
-        print(f"[{cluster.sim.now:6.1f}s] the SPARC's owner is back — GS "
+        yield s.sim.timeout(25.0)
+        print(f"[{s.now:6.1f}s] the SPARC's owner is back — GS "
               f"vacates it")
-        gs.reclaim(cluster.host("sparc"))
+        gs.reclaim(s.host("sparc"))
 
-    cluster.sim.process(owner_returns())
-    cluster.run(until=3600 * 2)
+    s.sim.process(owner_returns())
+    s.run(until=3600 * 2)
 
     print("ADM run completed.")
     print(f"  initial partition was equal thirds of "

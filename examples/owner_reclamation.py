@@ -10,11 +10,10 @@ transparently vacated to a free machine and the run barely notices.
 Run:  python examples/owner_reclamation.py
 """
 
+from repro import Session
 from repro.apps.opt import MB_DEC, OptConfig, PvmOpt
-from repro.gs import GlobalScheduler, OwnerReclaimPolicy
-from repro.hw import Cluster, OwnerSession
-from repro.mpvm import MpvmSystem
-from repro.pvm import PvmSystem
+from repro.gs import OwnerReclaimPolicy
+from repro.hw import OwnerSession
 
 CONFIG = OptConfig(data_bytes=4 * MB_DEC, iterations=20)
 OWNER_ARRIVES_AT = 60.0
@@ -23,26 +22,23 @@ OWNER_LOAD = 3.0  # an interactive session plus a local build
 
 def run_without_migration() -> float:
     """Plain PVM: the job is stuck under the owner's load."""
-    cluster = Cluster(n_hosts=3)
-    vm = PvmSystem(cluster)
-    app = PvmOpt(vm, CONFIG, slave_hosts=[0, 1])
+    s = Session(mechanism="pvm", n_hosts=3)
+    app = PvmOpt(s.vm, CONFIG, slave_hosts=[0, 1])
     app.start()
-    OwnerSession(cluster.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
-    cluster.run(until=3600 * 4)
+    OwnerSession(s.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
+    s.run(until=3600 * 4)
     return app.report["total_time"]
 
 
 def run_with_migration() -> float:
     """MPVM + GS: the owner's arrival triggers vacating the host."""
-    cluster = Cluster(n_hosts=3)
-    vm = MpvmSystem(cluster)
-    app = PvmOpt(vm, CONFIG, slave_hosts=[0, 1])
+    s = Session(mechanism="mpvm", n_hosts=3)
+    app = PvmOpt(s.vm, CONFIG, slave_hosts=[0, 1])
     app.start()
-    gs = GlobalScheduler(cluster, vm)
-    policy = OwnerReclaimPolicy(gs)
-    policy.attach(cluster.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
-    cluster.run(until=3600 * 4)
-    for record in gs.completed_migrations():
+    policy = OwnerReclaimPolicy(s.scheduler)
+    policy.attach(s.host(0), arrive_at=OWNER_ARRIVES_AT, load_weight=OWNER_LOAD)
+    s.run(until=3600 * 4)
+    for record in s.scheduler.completed_migrations():
         print(f"  migrated {record.unit} {record.src} -> {record.dst} "
               f"in {record.elapsed:.2f}s")
     return app.report["total_time"]

@@ -1,19 +1,18 @@
 #!/usr/bin/env python
 """Quickstart: a PVM application on a simulated worknet, then a
-transparent MPVM migration.
+transparent MPVM migration — all wired through the Session facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.hw import Cluster
-from repro.mpvm import MpvmSystem
+from repro import Session
 
 
 def main() -> None:
     # A worknet of three HP 9000/720-class workstations on a shared
-    # 10 Mb/s Ethernet, all simulated.
-    cluster = Cluster(n_hosts=3)
-    vm = MpvmSystem(cluster)  # MPVM is source-compatible with plain PVM
+    # 10 Mb/s Ethernet, all simulated.  MPVM is source-compatible with
+    # plain PVM, so the program below is an ordinary PVM program.
+    s = Session(mechanism="mpvm", n_hosts=3)
 
     # --- a classic master/worker PVM program ---------------------------------
     def worker(ctx):
@@ -41,15 +40,15 @@ def main() -> None:
         for tid in tids:
             yield from ctx.send(tid, 0, ctx.initsend())
 
-    vm.register_program("worker", worker)
-    vm.register_program("master", master)
-    vm.start_master("master", host=0)
-    cluster.run()
+    s.vm.register_program("worker", worker)
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=0)
+    s.run()
     print()
 
     # --- transparent migration -------------------------------------------------
-    cluster = Cluster(n_hosts=2)
-    vm = MpvmSystem(cluster)
+    s = Session(mechanism="mpvm", n_hosts=2)
+    vm = s.vm
 
     def cruncher(ctx):
         start_host = ctx.host.name
@@ -63,18 +62,18 @@ def main() -> None:
         yield ctx.sim.timeout(4.0)
         print(f"[{ctx.now:7.3f}s] boss asks MPVM to migrate the cruncher "
               f"hp720-0 -> hp720-1")
-        done = vm.request_migration(vm.task(tid), cluster.host(1))
+        done = vm.request_migration(vm.task(tid), s.host(1))
         stats = yield done
-        s = done.value
+        st = done.value
         print(f"[{ctx.now:7.3f}s] migration finished: "
-              f"obtrusiveness={s.obtrusiveness:.3f}s "
-              f"migration={s.migration_time:.3f}s "
-              f"({s.state_bytes} bytes of state)")
+              f"obtrusiveness={st.obtrusiveness:.3f}s "
+              f"migration={st.migration_time:.3f}s "
+              f"({st.state_bytes} bytes of state)")
 
     vm.register_program("cruncher", cruncher)
     vm.register_program("boss", boss)
     vm.start_master("boss", host=1)
-    cluster.run()
+    s.run()
 
 
 if __name__ == "__main__":

@@ -10,12 +10,9 @@ interactive load and the worknet must vacate their machine.
 Run:  python examples/three_systems.py
 """
 
+from repro import Session
 from repro.apps.opt import AdmOpt, MB_DEC, OptConfig, PvmOpt, SpmdOpt
-from repro.gs import GlobalScheduler
-from repro.hw import Cluster, OwnerSession
-from repro.mpvm import MpvmSystem
-from repro.pvm import PvmSystem
-from repro.upvm import UpvmSystem
+from repro.hw import OwnerSession
 
 CFG = OptConfig(data_bytes=2 * MB_DEC, iterations=30)
 OWNER_AT = 30.0
@@ -23,53 +20,59 @@ LOAD = 4.0
 
 
 def scenario(adapt):
-    """Run the job; `adapt(cluster, app-ish, gs-hook)` wires adaptation."""
-    cluster = Cluster(n_hosts=3)
-    runner = adapt(cluster)
-    OwnerSession(cluster.host(0), arrive_at=OWNER_AT, load_weight=LOAD,
+    """Run the job; `adapt(session)` starts the app and wires adaptation."""
+    s = Session(mechanism=adapt.mechanism, n_hosts=3)
+    runner = adapt(s)
+    OwnerSession(s.host(0), arrive_at=OWNER_AT, load_weight=LOAD,
                  on_arrive=runner.get("on_owner"))
-    cluster.run(until=3600 * 6)
+    s.run(until=3600 * 6)
     return runner["report"]()
 
 
-def baseline(cluster):
-    vm = PvmSystem(cluster)
-    app = PvmOpt(vm, CFG, slave_hosts=[0, 1])
+def baseline(s):
+    app = PvmOpt(s.vm, CFG, slave_hosts=[0, 1])
     app.start()
     return {"on_owner": None, "report": lambda: app.report["total_time"]}
 
 
-def mpvm(cluster):
-    vm = MpvmSystem(cluster)
-    app = PvmOpt(vm, CFG, slave_hosts=[0, 1])
+baseline.mechanism = "pvm"
+
+
+def mpvm(s):
+    app = PvmOpt(s.vm, CFG, slave_hosts=[0, 1])
     app.start()
-    gs = GlobalScheduler(cluster, vm)
+    return {
+        "on_owner": lambda host: s.reclaim(host),
+        "report": lambda: app.report["total_time"],
+    }
+
+
+mpvm.mechanism = "mpvm"
+
+
+def upvm(s):
+    app = SpmdOpt(s.vm, CFG, placement={0: 0, 1: 0, 2: 1})
+    app.start()
+    return {
+        "on_owner": lambda host: s.reclaim(host),
+        "report": lambda: app.report["total_time"],
+    }
+
+
+upvm.mechanism = "upvm"
+
+
+def adm(s):
+    app = AdmOpt(s.vm, CFG, master_host=2, slave_hosts=[0, 1])
+    app.start()
+    gs = s.adopt(app)
     return {
         "on_owner": lambda host: gs.reclaim(host),
         "report": lambda: app.report["total_time"],
     }
 
 
-def upvm(cluster):
-    vm = UpvmSystem(cluster)
-    app = SpmdOpt(vm, CFG, placement={0: 0, 1: 0, 2: 1})
-    app.start()
-    gs = GlobalScheduler(cluster, vm)
-    return {
-        "on_owner": lambda host: gs.reclaim(host),
-        "report": lambda: app.report["total_time"],
-    }
-
-
-def adm(cluster):
-    vm = PvmSystem(cluster)
-    app = AdmOpt(vm, CFG, master_host=2, slave_hosts=[0, 1])
-    app.start()
-    gs = GlobalScheduler(cluster, app.client)
-    return {
-        "on_owner": lambda host: gs.reclaim(host),
-        "report": lambda: app.report["total_time"],
-    }
+adm.mechanism = "adm"
 
 
 def main() -> None:

@@ -10,17 +10,15 @@ process cannot express.
 Run:  python examples/ulp_finegrain.py
 """
 
-from repro.gs import GlobalScheduler
-from repro.hw import Cluster, step_load
-from repro.upvm import UpvmSystem
+from repro import Session
+from repro.hw import step_load
 
 WORK_SECONDS = 30.0
 LOAD_AT = 5.0
 
 
 def build(move_one_ulp: bool):
-    cluster = Cluster(n_hosts=2)
-    vm = UpvmSystem(cluster)
+    s = Session(mechanism="upvm", n_hosts=2)
     finished = {}
 
     def worker(ctx):
@@ -28,26 +26,25 @@ def build(move_one_ulp: bool):
         finished[ctx.me] = (ctx.now, ctx.host.name)
 
     # 8 ULPs: 0-3 on host 0, 4-7 on host 1.
-    app = vm.start_app(
+    app = s.vm.start_app(
         "grind", worker, n_ulps=8,
         placement={u: (0 if u < 4 else 1) for u in range(8)},
     )
-    step_load(cluster.host(0), at=LOAD_AT, weight=2.0)  # owner activity
+    step_load(s.host(0), at=LOAD_AT, weight=2.0)  # owner activity
 
     if move_one_ulp:
-        gs = GlobalScheduler(cluster, vm)
 
         def rebalance():
-            yield cluster.sim.timeout(LOAD_AT + 2.0)
+            yield s.sim.timeout(LOAD_AT + 2.0)
             victim = app.ulps[3]
-            print(f"[{cluster.sim.now:6.1f}s] GS moves ONE ulp "
+            print(f"[{s.now:6.1f}s] GS moves ONE ulp "
                   f"(ulp{victim.ulp_id}) hp720-0 -> hp720-1; "
                   f"the other three stay")
-            gs.migrate(victim, cluster.host(1))
+            s.migrate(victim, s.host(1))
 
-        cluster.sim.process(rebalance())
+        s.sim.process(rebalance())
 
-    cluster.run(until=3600)
+    s.run(until=3600)
     makespan = max(t for t, _ in finished.values())
     return makespan, finished
 

@@ -13,6 +13,33 @@ Subpackages:
 - :mod:`repro.adm`   — ADM: adaptive data movement (FSM framework)
 - :mod:`repro.apps`  — the Opt application in all paper variants
 - :mod:`repro.experiments` — regeneration of every table and figure
+- :mod:`repro.faults` — deterministic fault injection (crashes, drops)
+- :mod:`repro.api`   — the :class:`~repro.api.Session` facade
+
+The recommended entry point is the session facade::
+
+    from repro import Session
+    s = Session(mechanism="mpvm", n_hosts=3, seed=7)
 """
 
 __version__ = "1.0.0"
+
+_LAZY = {
+    "Session": ("repro.api", "Session"),
+    "SessionConfig": ("repro.api", "SessionConfig"),
+    "FaultPlan": ("repro.faults", "FaultPlan"),
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name):
+    # Resolve the facade lazily so `import repro` stays cheap for code
+    # that only wants one subpackage.
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)

@@ -2,38 +2,96 @@
 
 Usage::
 
-    python -m repro list                 # available exhibits
-    python -m repro report               # regenerate everything
-    python -m repro table2 figure4 ...   # specific exhibits
+    python -m repro list                  # available exhibits
+    python -m repro report                # regenerate everything
+    python -m repro run table2 figure4    # specific exhibits
+    python -m repro faults --seed 7       # seeded chaos demo
+    python -m repro table2 figure4        # legacy spelling of `run`
+
+``--json`` switches any subcommand to machine-readable output.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import json
 import sys
+from typing import List
 
 
-def main(argv: list[str]) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Adaptive Load Migration Systems for PVM'.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the available exhibits")
+
+    p_report = sub.add_parser("report", help="regenerate every exhibit")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit results as JSON")
+
+    p_run = sub.add_parser("run", help="regenerate specific exhibits")
+    p_run.add_argument("exhibit", nargs="+", help="exhibit name(s), e.g. table2")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit results as JSON")
+
+    p_faults = sub.add_parser(
+        "faults", help="seeded chaos demo: one fault plan vs all mechanisms"
+    )
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="fault-plan seed (default 0)")
+    p_faults.add_argument("--json", action="store_true",
+                          help="emit results as JSON")
+    return parser
+
+
+def _run_exhibits(names: List[str], as_json: bool) -> int:
     from .experiments import EXPERIMENTS, render_report, run_all
 
-    args = argv[1:]
-    if args and args[0] in ("-h", "--help", "help"):
-        print(__doc__)
-        return 0
-    if args and args[0] == "list":
-        print("available exhibits:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        return 0
-    if args and args[0] == "report":
-        args = args[1:]
-    unknown = [a for a in args if a not in EXPERIMENTS]
+    unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    results = run_all(only=args or None)
-    print(render_report(results))
+    results = run_all(only=names or None)
+    if as_json:
+        print(json.dumps([dataclasses.asdict(r) for r in results], indent=2))
+    else:
+        print(render_report(results))
     return 0 if all(r.ok for r in results) else 1
+
+
+def main(argv: List[str]) -> int:
+    from .experiments import EXPERIMENTS
+
+    args = argv[1:]
+    # Legacy spelling: bare exhibit names, e.g. `python -m repro table2`.
+    if args and all(a in EXPERIMENTS for a in args):
+        return _run_exhibits(args, as_json=False)
+
+    ns = build_parser().parse_args(args)
+    if ns.command == "list":
+        print("available exhibits:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    if ns.command == "report":
+        return _run_exhibits([], as_json=ns.json)
+    if ns.command == "run":
+        return _run_exhibits(ns.exhibit, as_json=ns.json)
+    if ns.command == "faults":
+        from .faults.demo import main as faults_main, run_demo
+
+        if ns.json:
+            print(json.dumps(run_demo(ns.seed), indent=2))
+        else:
+            faults_main(ns.seed)
+        return 0
+    build_parser().print_help()
+    return 0
 
 
 if __name__ == "__main__":

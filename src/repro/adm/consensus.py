@@ -9,38 +9,79 @@ PVM channels (consensus costs are therefore real message costs).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 from ..pvm.context import PvmContext
 from ..pvm.message import MessageBuffer
 
 __all__ = ["master_collect", "master_release", "master_barrier", "worker_barrier"]
 
+#: How often a loss-tolerant collect re-checks worker liveness.
+LIVENESS_POLL_S = 1e-3
 
-def master_collect(ctx: PvmContext, worker_tids: Iterable[int], tag: int):
+
+def master_collect(
+    ctx: PvmContext,
+    worker_tids: Iterable[int],
+    tag: int,
+    alive: Optional[Callable[[int], bool]] = None,
+    poll_s: float = LIVENESS_POLL_S,
+):
     """Master side, wave 1: wait for one message from every worker.
 
     Returns the received messages in arrival order (generator).
+
+    With ``alive`` (a ``tid -> bool`` predicate), the wait tolerates
+    workers lost mid-round: a dead worker that has not reported is
+    dropped from the quorum instead of hanging the consensus.  The
+    tolerant path polls (``nrecv`` + sleep) rather than blocking, so it
+    costs slightly more library overhead — only pass ``alive`` when the
+    worknet can actually misbehave.
     """
     pending = set(worker_tids)
     msgs = []
+    if alive is None:
+        while pending:
+            msg = yield from ctx.recv(tag=tag)
+            if msg.src_tid in pending:
+                pending.discard(msg.src_tid)
+            msgs.append(msg)
+        return msgs
     while pending:
-        msg = yield from ctx.recv(tag=tag)
-        if msg.src_tid in pending:
-            pending.discard(msg.src_tid)
+        pending = {t for t in pending if alive(t)}
+        if not pending:
+            break
+        msg = yield from ctx.nrecv(tag=tag)
+        if msg is None:
+            yield from ctx.sleep(poll_s)
+            continue
+        pending.discard(msg.src_tid)
         msgs.append(msg)
     return msgs
 
 
-def master_release(ctx: PvmContext, worker_tids: Iterable[int], tag: int, buf=None):
-    """Master side, wave 2: release every worker (generator)."""
-    yield from ctx.mcast(list(worker_tids), tag, buf or MessageBuffer())
+def master_release(
+    ctx: PvmContext,
+    worker_tids: Iterable[int],
+    tag: int,
+    buf=None,
+    alive: Optional[Callable[[int], bool]] = None,
+):
+    """Master side, wave 2: release every (surviving) worker (generator)."""
+    tids = [t for t in worker_tids if alive is None or alive(t)]
+    if tids:
+        yield from ctx.mcast(tids, tag, buf or MessageBuffer())
 
 
-def master_barrier(ctx: PvmContext, worker_tids: List[int], tag: int):
+def master_barrier(
+    ctx: PvmContext,
+    worker_tids: List[int],
+    tag: int,
+    alive: Optional[Callable[[int], bool]] = None,
+):
     """Full master-side barrier: collect then release (generator)."""
-    msgs = yield from master_collect(ctx, worker_tids, tag)
-    yield from master_release(ctx, worker_tids, tag)
+    msgs = yield from master_collect(ctx, worker_tids, tag, alive=alive)
+    yield from master_release(ctx, worker_tids, tag, alive=alive)
     return msgs
 
 

@@ -123,7 +123,9 @@ class StateMachine:
         """Graphviz rendering of the declared machine."""
         lines = [f'digraph "{self.name}" {{']
         for src, dsts in self._allowed.items():
-            for dst in dsts:
+            # Sets iterate in hash order, which Python randomises per
+            # process; sort so the rendering is byte-stable.
+            for dst in sorted(dsts, key=lambda d: (d is None, d or "")):
                 target = dst if dst is not None else "END"
                 lines.append(f'  "{src}" -> "{target}";')
         lines.append("}")

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
+from ..gs.scheduler import ClientCapabilities
 from ..hw.host import Host
 from ..migration import MigrationCoordinator
+from ..pvm.errors import PvmMigrationError
 from ..sim import Event
 from .adapter import AdmMigrationAdapter
 from .events import AdmEventBox, MigrationEvent
@@ -60,6 +62,8 @@ class AdmAppBase:
         self.event_boxes: Dict[int, AdmEventBox] = {}
         #: worker id -> current item count (maintained by the app).
         self.item_counts: Dict[int, int] = {}
+        #: Worker ids declared dead (host crash, kill) — see mark_lost.
+        self.lost: set = set()
 
     # -- registration ----------------------------------------------------------
     def register_worker(self, worker_id: int, tid: int) -> AdmWorkerHandle:
@@ -80,6 +84,31 @@ class AdmAppBase:
     def post_vacate(self, worker_id: int) -> MigrationEvent:
         return self.post_event(worker_id, MigrationEvent("vacate", target=worker_id))
 
+    # -- worker loss (fault tolerance) -----------------------------------------
+    def mark_lost(self, worker_id: int, error: BaseException = None) -> None:
+        """Declare a worker dead: its data is gone, its events resolve.
+
+        Pending events in the dead worker's box fail (a vacate commanded
+        against it can never be honoured), so a GS waiting on one gets
+        an answer instead of a hang.  Idempotent.
+        """
+        if worker_id in self.lost:
+            return
+        self.lost.add(worker_id)
+        self.item_counts[worker_id] = 0
+        exc = error or PvmMigrationError(f"worker {worker_id} of {self.name} lost")
+        box = self.event_boxes.get(worker_id)
+        if box is not None:
+            for ev in box.take_all():
+                if ev.done is not None and not ev.done.triggered:
+                    ev.done.fail(exc)
+        tracer = getattr(self.system, "tracer", None)
+        if tracer:
+            tracer.emit(
+                self.system.sim.now, "adm.lost", self.name,
+                f"worker {worker_id} declared lost",
+            )
+
 
 class AdmClient:
     """GS MigrationClient adapter for one ADM application.
@@ -94,9 +123,16 @@ class AdmClient:
         self.app = app
         self.coordinator = MigrationCoordinator(AdmMigrationAdapter(app))
 
+    def capabilities(self) -> ClientCapabilities:
+        # No reroute: the destination is advisory to begin with — the
+        # partitioner re-places lost work, so there is nothing to reroute.
+        return ClientCapabilities(batch=True, heterogeneous=True)
+
     def movable_units(self, host: Host) -> List[AdmWorkerHandle]:
         return [
-            w for w in self.app.workers.values() if w.host is host and w.active
+            w
+            for w in self.app.workers.values()
+            if w.worker_id not in self.app.lost and w.host is host and w.active
         ]
 
     def request_migration(self, unit: AdmWorkerHandle, dst: Host) -> Event:

@@ -1,0 +1,223 @@
+"""The public session facade: one object that wires a whole scenario.
+
+Historically every script assembled a scenario by hand — build a
+:class:`~repro.hw.Cluster`, pick a system class, construct a
+:class:`~repro.gs.GlobalScheduler`, remember which mechanism wants which
+client object, and (new in the fault layer) arm a
+:class:`~repro.faults.FaultInjector` against three different seams.
+:class:`Session` owns that wiring behind keyword-only arguments::
+
+    from repro.api import Session
+    from repro.faults import FaultPlan, HostCrash
+
+    s = Session(mechanism="mpvm", n_hosts=3, seed=7,
+                faults=FaultPlan(faults=(HostCrash(host="hp720-1",
+                                                   stage="transfer"),)))
+    ...register programs on s.vm, start apps...
+    s.run(until=3600)
+
+What a session wires, per mechanism:
+
+* ``"pvm"``  — plain PVM, no migration surface.
+* ``"mpvm"`` / ``"upvm"`` — the system *is* the migration client;
+  ``s.scheduler`` builds the GS over it (installing the GS as the
+  reroute router) on first use.
+* ``"adm"``  — plain PVM underneath; the client comes from the
+  application, so build the app against ``s.vm`` and call
+  ``s.adopt(app)`` to receive the wired GS.
+
+When the session carries a non-empty fault plan, the injector is
+installed on the network seam, handed to every migration coordinator the
+session knows about, and the stage policy defaults to
+:meth:`StagePolicy.resilient` so injected transients are retried.
+Everything stays deterministic under ``(seed, faults.seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .faults import FaultInjector, FaultPlan
+from .gs import GlobalScheduler
+from .hw import Cluster, HostSpec
+from .migration import MigrationStats, StagePolicy
+from .mpvm import MpvmSystem
+from .pvm import PvmSystem
+from .upvm import UpvmSystem
+
+__all__ = ["Session", "SessionConfig"]
+
+_SYSTEMS = {
+    "pvm": PvmSystem,
+    "mpvm": MpvmSystem,
+    "upvm": UpvmSystem,
+    "adm": PvmSystem,  # ADM is an application discipline on plain PVM
+}
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Frozen record of what a :class:`Session` was built with."""
+
+    mechanism: str = "mpvm"
+    n_hosts: int = 2
+    seed: int = 0
+    trace: bool = True
+    default_route: str = "daemon"
+    faults: FaultPlan = FaultPlan()
+
+
+class Session:
+    """One fully wired scenario (see module docs).  Keyword-only."""
+
+    def __init__(
+        self,
+        *,
+        cluster: Optional[Cluster] = None,
+        mechanism: str = "mpvm",
+        n_hosts: int = 2,
+        hosts: Optional[Sequence[HostSpec]] = None,
+        seed: int = 0,
+        trace: bool = True,
+        faults: Optional[FaultPlan] = None,
+        policy: Optional[StagePolicy] = None,
+        default_route: str = "daemon",
+        quarantine_after: int = 2,
+    ) -> None:
+        if mechanism not in _SYSTEMS:
+            raise ValueError(
+                f"unknown mechanism {mechanism!r}; pick one of {sorted(_SYSTEMS)}"
+            )
+        self.mechanism = mechanism
+        self.cluster = cluster or Cluster(
+            n_hosts=n_hosts, specs=hosts, seed=seed, trace=trace
+        )
+        self.config = SessionConfig(
+            mechanism=mechanism,
+            n_hosts=len(self.cluster.hosts),
+            seed=seed,
+            trace=trace,
+            default_route=default_route,
+            faults=faults or FaultPlan(),
+        )
+        self.faults = self.config.faults
+        self.vm = _SYSTEMS[mechanism](self.cluster, default_route=default_route)
+        self._quarantine_after = quarantine_after
+        #: Stage policy applied to every coordinator this session wires.
+        #: Defaults to retry-everything when faults are armed, and to the
+        #: bare (fault-free, zero-overhead) policy otherwise.
+        self.policy = policy or (
+            StagePolicy.resilient() if self.faults else StagePolicy()
+        )
+        self.injector: Optional[FaultInjector] = None
+        if self.faults:
+            self.injector = FaultInjector(self.cluster, self.faults).install()
+        self._coordinators: List[Any] = []
+        mig = getattr(self.vm, "migration", None)
+        if mig is not None:
+            self._wire_coordinator(mig)
+        self._scheduler: Optional[GlobalScheduler] = None
+
+    # -- wiring ----------------------------------------------------------------
+    def _wire_coordinator(self, coordinator: Any) -> None:
+        coordinator.policy = self.policy
+        if self.injector is not None:
+            coordinator.injector = self.injector
+        self._coordinators.append(coordinator)
+
+    @property
+    def scheduler(self) -> GlobalScheduler:
+        """The GS over this session's migration client (built lazily)."""
+        if self._scheduler is None:
+            if self.mechanism == "adm":
+                raise RuntimeError(
+                    "an ADM session's migration client is the application: "
+                    "build the app against session.vm, then session.adopt(app)"
+                )
+            if self.mechanism == "pvm":
+                raise RuntimeError("plain PVM has no migration client")
+            self._scheduler = GlobalScheduler(
+                self.cluster, self.vm, quarantine_after=self._quarantine_after
+            )
+        return self._scheduler
+
+    def adopt(self, app: Any) -> GlobalScheduler:
+        """Wire an ADM application into the session; returns its GS.
+
+        Arms the session's injector and stage policy on the app's
+        coordinator, switches the app's consensus loops to the
+        loss-tolerant path when faults are active, and builds the GS
+        over the app's client.
+        """
+        client = getattr(app, "client", app)
+        coordinator = getattr(client, "coordinator", None)
+        if coordinator is not None:
+            self._wire_coordinator(coordinator)
+        if self.faults and hasattr(app, "fault_tolerant"):
+            app.fault_tolerant = True
+        self._scheduler = GlobalScheduler(
+            self.cluster, client, quarantine_after=self._quarantine_after
+        )
+        return self._scheduler
+
+    # -- running ----------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the simulation (to ``until`` seconds, or until idle)."""
+        self.cluster.run(until=until)
+
+    # -- convenience passthroughs ------------------------------------------------
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    @property
+    def tracer(self):
+        return self.cluster.tracer
+
+    def host(self, name_or_index):
+        return self.cluster.host(name_or_index)
+
+    def migrate(self, unit: Any, dst) -> Any:
+        """GS-tracked single migration (completion event)."""
+        return self.scheduler.migrate(unit, dst)
+
+    def reclaim(self, host) -> List[Any]:
+        """GS-tracked vacate of every unit on ``host``."""
+        return self.scheduler.reclaim(host)
+
+    # -- results ------------------------------------------------------------------
+    @property
+    def migrations(self) -> List[MigrationStats]:
+        """Completed migration stats across every wired coordinator."""
+        out: List[MigrationStats] = []
+        for c in self._coordinators:
+            out.extend(c.stats)
+        return out
+
+    @property
+    def abandoned(self) -> List[MigrationStats]:
+        """Migrations that exhausted every recovery avenue."""
+        out: List[MigrationStats] = []
+        for c in self._coordinators:
+            out.extend(c.aborted)
+        return out
+
+    def outcomes(self) -> dict:
+        """Histogram of per-migration outcomes (ok/retried/rerouted/abandoned)."""
+        counts: dict = {}
+        for s in self.migrations + self.abandoned:
+            counts[s.outcome] = counts.get(s.outcome, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.mechanism} hosts={len(self.cluster.hosts)}"
+            f" seed={self.config.seed}"
+            + (f" faults={len(self.faults.faults)}" if self.faults else "")
+            + ">"
+        )

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ...adm.consensus import LIVENESS_POLL_S
 from ...adm.fsm import StateMachine
 from ...adm.partition import plan_transfers, weighted_partition
 from ...adm.worker import AdmAppBase, AdmClient
@@ -69,6 +70,8 @@ class _MasterState:
         self.vacated: set = set()
         self.items_of: Dict[int, int] = {}
         self.redistributions = 0
+        #: Exemplars written off with dead workers (fault tolerance).
+        self.lost_items = 0
 
 
 class AdmOpt(AdmAppBase):
@@ -88,6 +91,14 @@ class AdmOpt(AdmAppBase):
             i % len(system.cluster.hosts) for i in range(config.n_slaves)
         ]
         self.client = AdmClient(self)
+        #: When True, the master's collect loops poll with liveness
+        #: checks instead of blocking, tolerating workers lost mid-round
+        #: (a host crash, a killed process).  Off by default: the
+        #: polling costs library overhead the paper's fault-free
+        #: exhibits must not pay.  A dead worker's unreported exemplars
+        #: are written off for the open iteration — the optimisation
+        #: degrades gracefully rather than hanging.
+        self.fault_tolerant = False
         self.slave_tids: List[int] = []
         self.slave_fsms: Dict[int, StateMachine] = {}
         self.migrations: List[dict] = []
@@ -157,13 +168,18 @@ class AdmOpt(AdmAppBase):
                 wbuf.pkarray(state.params)
             else:
                 wbuf.pkopaque(model.net_bytes, "net")
-            yield from ctx.mcast(tids, TAG_WEIGHTS, wbuf)
+            yield from ctx.mcast(self._live_tids(), TAG_WEIGHTS, wbuf)
 
             M.collected = 0
             M.grad_sum = np.zeros(model.n_params) if cfg.real else None
             M.loss_sum = 0.0
-            while M.collected < n_total:
-                msg = yield from ctx.recv()
+            while M.collected < n_total - M.lost_items:
+                if self.fault_tolerant:
+                    msg = yield from self._recv_tolerant(ctx, M)
+                    if msg is None:  # a loss was processed; re-check quorum
+                        continue
+                else:
+                    msg = yield from ctx.recv()
                 if msg.tag == TAG_GRAD:
                     self._accumulate(M, msg)
                 elif msg.tag == TAG_MIGREQ:
@@ -184,7 +200,7 @@ class AdmOpt(AdmAppBase):
                 break
             yield from self._master_redistribute(ctx, M, model,
                                                  int(req.buffer.upkint()[0]))
-        yield from ctx.mcast(tids, TAG_STOP, ctx.initsend())
+        yield from ctx.mcast(self._live_tids(), TAG_STOP, ctx.initsend())
         self.state = state
         self.report = {
             "total_time": ctx.now - t_start,
@@ -192,6 +208,44 @@ class AdmOpt(AdmAppBase):
             "losses": list(state.losses),
             "redistributions": M.redistributions,
         }
+
+    # -- worker-loss tolerance (master side) ----------------------------------
+    def _tid_alive(self, tid: int) -> bool:
+        task = self.system.tasks.get(tid)
+        return task is not None and task.alive
+
+    def _live_tids(self) -> List[int]:
+        return [t for w, t in enumerate(self.slave_tids) if w not in self.lost]
+
+    def _note_losses(self, M: _MasterState) -> bool:
+        """Write off newly dead workers; True if any were found.
+
+        A dead worker's unreported exemplars leave the open iteration's
+        quorum (``lost_items``); exemplars it reported *before* dying
+        stay counted, so the gradient degrades instead of double-waiting.
+        """
+        found = False
+        for wid, tid in enumerate(self.slave_tids):
+            if wid not in self.lost and not self._tid_alive(tid):
+                M.lost_items += M.items_of.get(wid, 0)
+                M.items_of[wid] = 0
+                self.mark_lost(wid)
+                found = True
+        return found
+
+    def _recv_tolerant(self, ctx: PvmContext, M: _MasterState):
+        """Receive any message without hanging on dead workers.
+
+        Generator; returns the message, or None right after processing
+        a loss so the caller re-evaluates its quorum condition.
+        """
+        while True:
+            if self._note_losses(M):
+                return None
+            msg = yield from ctx.nrecv()
+            if msg is not None:
+                return msg
+            yield from ctx.sleep(LIVENESS_POLL_S)
 
     def _accumulate(self, M: _MasterState, msg) -> None:
         if self.config.real:
@@ -216,11 +270,18 @@ class AdmOpt(AdmAppBase):
                 break
             vacating.add(int(req.buffer.upkint()[0]))
         M.vacated |= vacating
-        yield from ctx.mcast(self.slave_tids, TAG_SUSPEND, ctx.initsend())
+        yield from ctx.mcast(self._live_tids(), TAG_SUSPEND, ctx.initsend())
 
         counts: Dict[int, int] = {}
-        while len(counts) < cfg.n_slaves:
-            msg = yield from ctx.recv()
+        while any(
+            w not in counts and w not in self.lost for w in range(cfg.n_slaves)
+        ):
+            if self.fault_tolerant:
+                msg = yield from self._recv_tolerant(ctx, M)
+                if msg is None:
+                    continue
+            else:
+                msg = yield from ctx.recv()
             if msg.tag == TAG_GRAD:
                 self._accumulate(M, msg)
             elif msg.tag == TAG_COUNTS:
@@ -233,11 +294,18 @@ class AdmOpt(AdmAppBase):
 
         capacities = {}
         for w in range(cfg.n_slaves):
-            host = self.system.task(self.slave_tids[w]).host
-            capacities[w] = 0.0 if w in M.vacated else host.cpu.rate / 1e6
+            if w in M.vacated or w in self.lost:
+                capacities[w] = 0.0
+            else:
+                host = self.system.task(self.slave_tids[w]).host
+                capacities[w] = host.cpu.rate / 1e6
         if all(c == 0 for c in capacities.values()):
             # Cannot vacate everyone: data stays put (documented edge).
-            capacities = {w: 1.0 for w in M.vacated}
+            fallback = [w for w in M.vacated if w not in self.lost] or [
+                w for w in range(cfg.n_slaves) if w not in self.lost
+            ]
+            if fallback:
+                capacities = {w: 1.0 for w in fallback}
         target = weighted_partition(sum(counts.values()), capacities)
         plan = plan_transfers(counts, target)
 
@@ -247,11 +315,18 @@ class AdmOpt(AdmAppBase):
             flat.extend([src, dst, k])
         pbuf.pkint(flat)
         pbuf.pkint([len(vacating)] + sorted(vacating))
-        yield from ctx.mcast(self.slave_tids, TAG_PLAN, pbuf)
+        yield from ctx.mcast(self._live_tids(), TAG_PLAN, pbuf)
 
         done: set = set()
-        while len(done) < cfg.n_slaves:
-            msg = yield from ctx.recv()
+        while any(
+            w not in done and w not in self.lost for w in range(cfg.n_slaves)
+        ):
+            if self.fault_tolerant:
+                msg = yield from self._recv_tolerant(ctx, M)
+                if msg is None:
+                    continue
+            else:
+                msg = yield from ctx.recv()
             if msg.tag == TAG_GRAD:
                 self._accumulate(M, msg)
             elif msg.tag == TAG_REDIST_DONE:
@@ -264,7 +339,7 @@ class AdmOpt(AdmAppBase):
                 msg.buffer.upkint()
         rbuf = ctx.initsend()
         rbuf.pkint([len(vacating)] + sorted(vacating))
-        yield from ctx.mcast(self.slave_tids, TAG_RESUME, rbuf)
+        yield from ctx.mcast(self._live_tids(), TAG_RESUME, rbuf)
         M.items_of = dict(target)
         for w, k in target.items():
             self.item_counts[w] = k
@@ -433,7 +508,18 @@ class AdmOpt(AdmAppBase):
             for src, dst, k in plan:
                 if dst != wid:
                     continue
-                xmsg = yield from ctx.recv(tag=TAG_XFER)
+                if self.fault_tolerant:
+                    xmsg = None
+                    while xmsg is None:
+                        xmsg = yield from ctx.nrecv(tag=TAG_XFER)
+                        if xmsg is None:
+                            if not self._tid_alive(self.slave_tids[src]):
+                                break
+                            yield from ctx.sleep(LIVENESS_POLL_S)
+                    if xmsg is None:
+                        continue  # the sender died; its piece is lost
+                else:
+                    xmsg = yield from ctx.recv(tag=TAG_XFER)
                 if cfg.real:
                     feats = xmsg.buffer.upkarray()
                     cats = xmsg.buffer.upkarray()

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the migration core.
+
+The paper's worknet premise — machines come and go as their owners
+reclaim them — means a migration mechanism must survive the worknet
+misbehaving *during* a migration.  This package provides the adversary:
+a seeded, declarative :class:`FaultPlan` (crash hosts, partition or
+degrade links, drop/delay protocol packets, kill skeleton processes at
+named pipeline points) and the :class:`FaultInjector` that arms it
+against a cluster through two duck-typed seams (``network.faults`` and
+the pipeline's stage-boundary hook).
+
+Everything is deterministic under ``(cluster seed, plan seed)``: chaos
+runs replay exactly, so tests can assert on them.
+
+Quick use through the session facade::
+
+    from repro.api import Session
+    from repro.faults import FaultPlan, HostCrash
+
+    s = Session(
+        mechanism="mpvm",
+        faults=FaultPlan(faults=(HostCrash(host="hp720-1", stage="transfer"),)),
+    )
+"""
+
+from .errors import ControlMessageLost, HostCrashed, InjectedFault, SkeletonKilled
+from .injector import FaultInjector
+from .plan import FaultPlan, HostCrash, LinkFault, SkeletonKill
+
+__all__ = [
+    "ControlMessageLost",
+    "FaultInjector",
+    "FaultPlan",
+    "HostCrash",
+    "HostCrashed",
+    "InjectedFault",
+    "LinkFault",
+    "SkeletonKill",
+    "SkeletonKilled",
+]

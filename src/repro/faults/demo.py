@@ -1,0 +1,172 @@
+"""The chaos demo behind ``python -m repro faults``.
+
+One seeded :class:`FaultPlan` — the chosen destination host dies the
+instant state transfer begins, and the first protocol control packet on
+the wire is dropped — thrown at all three migration mechanisms:
+
+* **MPVM** migrates a whole process; the pipeline retries past the
+  dropped packet and the GS reroutes the image to a healthy host.
+* **UPVM** migrates one ULP; same recovery, finer granularity.
+* **ADM**  loses a whole worker mid-iteration; the consensus writes its
+  unreported exemplars off and the training run completes degraded
+  instead of hanging.
+
+Everything is derived from ``--seed``: run it twice with the same seed
+and the outcome — every retry, every reroute, every trace line — is
+identical.  That replayability is the point: a chaos run you cannot
+replay is a flake, not evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..api import Session
+from ..pvm.errors import PvmError
+from .plan import FaultPlan, HostCrash, LinkFault
+
+__all__ = ["chaos_plan", "run_demo", "main"]
+
+
+def chaos_plan(seed: int) -> FaultPlan:
+    """Destination dies as transfer starts; first control packet drops."""
+    return FaultPlan(
+        faults=(
+            HostCrash(host="hp720-1", stage="transfer", when="enter"),
+            LinkFault(label="ctl", drop_prob=1.0, max_hits=1),
+        ),
+        seed=seed,
+    )
+
+
+def _summary(s: Session, extra: Dict[str, Any]) -> Dict[str, Any]:
+    out = {
+        "outcomes": s.outcomes(),
+        "attempts": sum(m.attempts for m in s.migrations + s.abandoned),
+        "faults_fired": sorted(s.injector.fired) if s.injector else [],
+    }
+    out.update(extra)
+    return out
+
+
+def run_mpvm(seed: int) -> Dict[str, Any]:
+    """A process migration whose destination dies mid-transfer."""
+    s = Session(mechanism="mpvm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    vm = s.vm
+    extra: Dict[str, Any] = {}
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 20)
+        extra["finished_on"] = ctx.host.name
+
+    def boss(ctx):
+        (tid,) = yield from ctx.spawn("cruncher", count=1, where=[0])
+        yield ctx.sim.timeout(2.0)
+        done = s.migrate(vm.task(tid), s.host(1))
+        try:
+            yield done
+        except PvmError as exc:
+            extra["error"] = str(exc)
+
+    vm.register_program("cruncher", cruncher)
+    vm.register_program("boss", boss)
+    vm.start_master("boss", host=2)
+    s.run(until=600)
+    return _summary(s, extra)
+
+
+def run_upvm(seed: int) -> Dict[str, Any]:
+    """A single-ULP migration whose destination dies mid-transfer."""
+    s = Session(mechanism="upvm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    extra: Dict[str, Any] = {}
+    finished: Dict[int, str] = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 20)
+        finished[ctx.me] = ctx.host.name
+
+    app = s.vm.start_app("grind", worker, n_ulps=2, placement={0: 0, 1: 2})
+
+    def chaos():
+        yield s.sim.timeout(2.0)
+        done = s.migrate(app.ulps[0], s.host(1))
+        try:
+            yield done
+        except PvmError as exc:
+            extra["error"] = str(exc)
+
+    s.sim.process(chaos())
+    s.run(until=600)
+    extra["finished_on"] = finished.get(0)
+    return _summary(s, extra)
+
+
+def run_adm(seed: int) -> Dict[str, Any]:
+    """An ADM training run that loses a whole worker mid-iteration."""
+    from ..apps.opt import AdmOpt, MB_DEC, OptConfig
+
+    s = Session(mechanism="adm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=8)
+    app = AdmOpt(s.vm, cfg, master_host=2, slave_hosts=[0, 1])
+    app.start()
+    s.adopt(app)
+
+    def chaos():
+        # Wait for the run to be underway, then pull worker 1's plug.
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.2)
+        yield s.sim.timeout(5.0)
+        s.vm.kill_task(app.slave_tids[1])
+
+    s.sim.process(chaos())
+    s.run(until=3600)
+    return _summary(
+        s,
+        {
+            "completed": "total_time" in app.report,
+            "total_time": app.report.get("total_time"),
+            "lost_workers": sorted(app.lost),
+            "fault_tolerant": app.fault_tolerant,
+        },
+    )
+
+
+def run_demo(seed: int = 0) -> Dict[str, Dict[str, Any]]:
+    """The full chaos run, plus a same-seed replay of the MPVM leg."""
+    results = {
+        "mpvm": run_mpvm(seed),
+        "upvm": run_upvm(seed),
+        "adm": run_adm(seed),
+    }
+    results["replay"] = {
+        "seed": seed,
+        "identical": run_mpvm(seed) == results["mpvm"],
+    }
+    return results
+
+
+def main(seed: int = 0) -> Dict[str, Dict[str, Any]]:
+    results = run_demo(seed)
+    print(f"chaos plan (seed={seed}): destination hp720-1 dies at TRANSFER "
+          f"enter; first 'ctl' packet dropped\n")
+    for mech in ("mpvm", "upvm"):
+        r = results[mech]
+        print(f"{mech.upper()}: outcomes {r['outcomes']}, "
+              f"{r['attempts']} protocol attempt(s)")
+        if r.get("finished_on"):
+            print(f"  work finished on {r['finished_on']} "
+                  f"(the crashed destination never got it)")
+        for line in r["faults_fired"]:
+            print(f"  fired: {line}")
+    r = results["adm"]
+    print(f"ADM: worker(s) {r['lost_workers']} lost mid-round; training "
+          f"{'completed' if r['completed'] else 'DID NOT complete'} "
+          f"in {r['total_time']:.1f}s (degraded, not hung)")
+    rep = results["replay"]
+    print(f"\nreplay with seed={rep['seed']}: "
+          f"{'identical' if rep['identical'] else 'DIVERGED (bug!)'}")
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Failures the fault layer injects into the migration protocol.
+
+Every injected failure is a :class:`~repro.pvm.errors.PvmMigrationError`
+subclass so it flows through the exact error path a real protocol
+failure would take: the stage raises, the pipeline runs the adapter's
+abort-and-restore hook, and the ``transient``/``reroutable`` class of
+the failure decides which recovery avenue (in-place retry vs. alternate
+destination) applies.
+"""
+
+from __future__ import annotations
+
+from ..pvm.errors import PvmMigrationError
+
+__all__ = [
+    "ControlMessageLost",
+    "HostCrashed",
+    "InjectedFault",
+    "SkeletonKilled",
+]
+
+
+class InjectedFault(PvmMigrationError):
+    """Base class for failures originating in a :class:`FaultPlan`."""
+
+
+class HostCrashed(InjectedFault):
+    """A machine involved in the migration died.
+
+    Reroutable only when the *destination* died: the unit still sits,
+    restored, on its source, and any other compatible host can take it.
+    A dead source means the unit itself is gone — nothing to reroute.
+    """
+
+    def __init__(self, host: str, role: str = "dst") -> None:
+        super().__init__(f"{role} host {host} is down")
+        self.host = host
+        self.role = role
+        self.reroutable = role == "dst"
+
+
+class SkeletonKilled(InjectedFault):
+    """The helper process receiving migrated state was killed.
+
+    Transient: the mechanism simply starts a fresh skeleton on the next
+    protocol attempt (MPVM §2.1 spawns one per migration).
+    """
+
+    transient = True
+
+    def __init__(self, unit: str, where: str) -> None:
+        super().__init__(f"skeleton for {unit} killed at {where}")
+        self.unit = unit
+        self.where = where
+
+
+class ControlMessageLost(InjectedFault):
+    """A protocol packet was dropped (or its link is partitioned).
+
+    Transient: protocol packets are idempotent in our model, so the
+    retry re-sends them.
+    """
+
+    transient = True
+
+    def __init__(self, label: str, src: str, dst: str) -> None:
+        super().__init__(f"packet {label!r} lost on {src} -> {dst}")
+        self.label = label
+        self.src = src
+        self.dst = dst

@@ -1,0 +1,185 @@
+"""The active half of the fault layer: arming a plan against a cluster.
+
+A :class:`FaultInjector` binds one :class:`~repro.faults.FaultPlan` to
+one cluster and pushes its failures in through exactly two seams:
+
+* the **network seam** — it installs itself as ``network.faults`` and
+  vets every packet (``check``): traffic to/from a crashed machine
+  fails with :class:`HostCrashed`, matching :class:`LinkFault` specs
+  drop, delay, or degrade it;
+* the **pipeline seam** — migration coordinators consult
+  :meth:`at_stage` at every stage boundary, where stage-triggered host
+  crashes and skeleton kills fire, and where a destination that died
+  since the last boundary is detected.
+
+Both seams are duck-typed so the ``hw`` and ``migration`` layers never
+import this package.  All probabilistic choices come from streams
+derived from the plan's seed — a chaos run is exactly replayable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Tuple, Union
+
+from ..migration.stages import Stage
+from ..sim import RngStreams
+from .errors import ControlMessageLost, HostCrashed, SkeletonKilled
+from .plan import FaultPlan, HostCrash, LinkFault, SkeletonKill
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.cluster import Cluster
+    from ..hw.host import Host
+    from ..migration.pipeline import MigrationContext
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a cluster (see module docs).
+
+    Create it, then :meth:`install` onto the cluster's network (and arm
+    timed crashes), and hand it to each migration coordinator
+    (``coordinator.injector = injector``) — the ``repro.api.Session``
+    facade does all three.
+    """
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.plan = plan
+        self.rng = RngStreams(plan.seed).get("faults.drops")
+        #: Packets dropped/delayed so far, per LinkFault (max_hits).
+        self._hits: Dict[LinkFault, int] = {}
+        #: Stage-boundary matches so far, per triggered spec (nth).
+        self._seen: Dict[Union[HostCrash, SkeletonKill], int] = {}
+        self._fired: set = set()
+        self._installed = False
+
+    # -- arming ---------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Hook the network seam and arm timed host crashes (idempotent)."""
+        if self._installed:
+            return self
+        self._installed = True
+        self.cluster.network.faults = self
+        for crash in self.plan.host_crashes():
+            if crash.at_s is not None:
+                self.sim.process(
+                    self._timed_crash(crash), name=f"fault:crash:{crash.host}"
+                )
+        return self
+
+    def _timed_crash(self, crash: HostCrash):
+        host = self.cluster.host(crash.host)
+        yield self.sim.timeout(crash.at_s)
+        self._emit("fault.crash", host.name, f"timed crash at t={crash.at_s:g}s")
+        host.fail()
+        if crash.recover_after_s is not None:
+            yield self.sim.timeout(crash.recover_after_s)
+            host.recover()
+
+    # -- pipeline seam (stage boundaries) -------------------------------------
+    def at_stage(
+        self, ctx: "MigrationContext", stage: Stage, edge: str
+    ) -> Generator[Any, Any, None]:
+        """Consulted by the pipeline before/after every stage's work.
+
+        Raises the injected failure into the stage's error path; a
+        clean boundary yields nothing and returns.
+        """
+        unit = ctx.stats.unit
+        dst_host = ctx.dst_host()
+        for crash in self.plan.host_crashes():
+            if crash.stage is None or crash in self._fired:
+                continue
+            target = dst_host if crash.role == "dst" else ctx.src
+            if (
+                crash.stage is stage
+                and crash.when == edge
+                and target is not None
+                and target.name == crash.host
+            ):
+                self._seen[crash] = self._seen.get(crash, 0) + 1
+                if self._seen[crash] == crash.nth:
+                    self._fired.add(crash)
+                    self._emit(
+                        "fault.crash", target.name,
+                        f"crash at {stage} {edge} of {unit}",
+                    )
+                    target.fail()
+                    if crash.recover_after_s is not None:
+                        self.sim.process(
+                            self._later_recover(target, crash.recover_after_s),
+                            name=f"fault:recover:{target.name}",
+                        )
+        for kill in self.plan.skeleton_kills():
+            if kill in self._fired:
+                continue
+            if (
+                kill.stage is stage
+                and kill.when == edge
+                and (kill.unit is None or kill.unit == unit)
+            ):
+                self._seen[kill] = self._seen.get(kill, 0) + 1
+                if self._seen[kill] == kill.nth:
+                    self._fired.add(kill)
+                    where = f"{stage} {edge}"
+                    self._emit("fault.kill", unit, f"skeleton killed at {where}")
+                    raise SkeletonKilled(unit, where)
+        # Liveness check: a machine that died since the last boundary is
+        # discovered here, the protocol's next step.
+        if dst_host is not None and not dst_host.up:
+            raise HostCrashed(dst_host.name, role="dst")
+        if not ctx.src.up:
+            raise HostCrashed(ctx.src.name, role="src")
+        return
+        yield  # pragma: no cover
+
+    def _later_recover(self, host: "Host", after_s: float):
+        yield self.sim.timeout(after_s)
+        host.recover()
+
+    # -- network seam ----------------------------------------------------------
+    def check(
+        self, src: "Host", dst: "Host", nbytes: float, label: str
+    ) -> Union[BaseException, Tuple[float, float]]:
+        """Vet one packet; an exception verdict fails the transfer."""
+        if not src.up:
+            return HostCrashed(src.name, role="src")
+        if not dst.up:
+            return HostCrashed(dst.name, role="dst")
+        now = self.sim.now
+        delay_s, rate_factor = 0.0, 1.0
+        for fault in self.plan.link_faults():
+            if not (fault.active_at(now) and fault.matches(src.name, dst.name, label)):
+                continue
+            rate_factor *= fault.rate_factor
+            if fault.max_hits is not None and self._hits.get(fault, 0) >= fault.max_hits:
+                continue
+            if fault.drop_prob >= 1.0 or (
+                fault.drop_prob > 0.0 and self.rng.random() < fault.drop_prob
+            ):
+                self._hits[fault] = self._hits.get(fault, 0) + 1
+                self._emit("fault.drop", src.name, f"{label!r} -> {dst.name} dropped")
+                return ControlMessageLost(label, src.name, dst.name)
+            if fault.delay_s > 0.0:
+                self._hits[fault] = self._hits.get(fault, 0) + 1
+                delay_s += fault.delay_s
+        return delay_s, rate_factor
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def fired(self) -> List[str]:
+        """Human-readable record of one-shot faults that have fired."""
+        return [repr(f) for f in self._fired]
+
+    def _emit(self, kind: str, who: str, detail: str) -> None:
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, kind, who, detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector {self.plan!r}"
+            f" fired={len(self._fired)}/{len(self.plan.faults)}>"
+        )

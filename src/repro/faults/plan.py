@@ -1,0 +1,159 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a frozen description of *what should go wrong*:
+machine crashes (timed, or triggered when a migration reaches a named
+pipeline stage), link partitions/degradations, dropped or delayed
+protocol packets, and killed skeleton processes.  Plans carry their own
+seed; every probabilistic decision (packet drops) is drawn from streams
+derived from it, so a run under a given ``(cluster seed, FaultPlan)``
+pair replays *identically* — crash timing, retry backoff, reroute
+choices and all.  That determinism is what makes chaos runs assertable
+in tests.
+
+Plans are pure data.  The :class:`~repro.faults.FaultInjector` is the
+active object that arms them against a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..migration.stages import Stage
+
+__all__ = ["FaultPlan", "HostCrash", "LinkFault", "SkeletonKill"]
+
+
+def _as_stage(stage: Union[Stage, str, None]) -> Optional[Stage]:
+    if stage is None or isinstance(stage, Stage):
+        return stage
+    return Stage[stage.upper()]
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Crash one machine, at a wall-clock instant or a protocol point.
+
+    Exactly one trigger must be given: ``at_s`` (simulated seconds) or
+    ``stage`` (fires when the ``nth`` migration involving ``host`` in
+    ``role`` reaches that stage — ``when`` picks the stage's enter or
+    exit edge, i.e. before or after the stage's work).  An optional
+    ``recover_after_s`` brings the machine back up (its processes are
+    not restored; recovery only re-admits network traffic).
+    """
+
+    host: str
+    at_s: Optional[float] = None
+    stage: Union[Stage, str, None] = None
+    when: str = "enter"  #: "enter" | "exit"
+    role: str = "dst"  #: "dst" | "src" — which end of the migration
+    nth: int = 1
+    recover_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_s is None) == (self.stage is None):
+            raise ValueError("HostCrash needs exactly one of at_s= or stage=")
+        if self.when not in ("enter", "exit"):
+            raise ValueError(f"when must be 'enter' or 'exit', not {self.when!r}")
+        if self.role not in ("dst", "src"):
+            raise ValueError(f"role must be 'dst' or 'src', not {self.role!r}")
+        object.__setattr__(self, "stage", _as_stage(self.stage))
+
+
+@dataclass(frozen=True)
+class SkeletonKill:
+    """Kill the state-receiving helper process at a named pipeline point.
+
+    Fires on the ``nth`` migration reaching ``stage`` (``when`` edge),
+    optionally only for a named unit.  The failure is transient — the
+    next protocol attempt spawns a fresh skeleton.
+    """
+
+    stage: Union[Stage, str] = Stage.TRANSFER
+    when: str = "exit"  #: default: the skeleton dies holding the state
+    unit: Optional[str] = None
+    nth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.when not in ("enter", "exit"):
+            raise ValueError(f"when must be 'enter' or 'exit', not {self.when!r}")
+        object.__setattr__(self, "stage", _as_stage(self.stage))
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Disturb traffic on the wire between two machines.
+
+    ``src``/``dst`` of ``None`` match any endpoint; ``label`` (substring
+    of the transfer's label) of ``None`` matches any packet — name a
+    protocol label to target control messages specifically.  Active in
+    the simulated-time window ``[from_s, until_s)``:
+
+    * ``drop_prob=1.0`` partitions the link (every matching packet dies),
+    * ``0 < drop_prob < 1`` drops packets via the plan's seeded stream,
+    * ``delay_s`` adds latency to every matching packet,
+    * ``rate_factor < 1`` degrades the link's effective bandwidth.
+
+    ``max_hits`` bounds how many packets the fault may drop or delay
+    (bandwidth degradation is not counted — it is a link property, not
+    a per-packet event).
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    drop_prob: float = 0.0
+    delay_s: float = 0.0
+    rate_factor: float = 1.0
+    from_s: float = 0.0
+    until_s: Optional[float] = None
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if self.rate_factor <= 0.0:
+            raise ValueError("rate_factor must be positive")
+
+    def active_at(self, now: float) -> bool:
+        return now >= self.from_s and (self.until_s is None or now < self.until_s)
+
+    def matches(self, src: str, dst: str, label: str) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.label is None or self.label in label)
+        )
+
+
+FaultSpec = Union[HostCrash, SkeletonKill, LinkFault]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable collection of fault specifications."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, (HostCrash, SkeletonKill, LinkFault)):
+                raise TypeError(f"not a fault spec: {spec!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def host_crashes(self) -> Tuple[HostCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, HostCrash))
+
+    def skeleton_kills(self) -> Tuple[SkeletonKill, ...]:
+        return tuple(f for f in self.faults if isinstance(f, SkeletonKill))
+
+    def link_faults(self) -> Tuple[LinkFault, ...]:
+        return tuple(f for f in self.faults if isinstance(f, LinkFault))
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(type(f).__name__ for f in self.faults) or "none"
+        return f"<FaultPlan seed={self.seed} faults=[{kinds}]>"

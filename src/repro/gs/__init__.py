@@ -2,10 +2,18 @@
 
 from .monitor import LoadMonitor, LoadSample
 from .policies import LoadBalancePolicy, OwnerReclaimPolicy
-from .scheduler import GlobalScheduler, MigrationClient, MigrationRecord
+from .scheduler import (
+    ClientCapabilities,
+    GlobalScheduler,
+    MigrationClient,
+    MigrationRecord,
+    capabilities_of,
+)
 
 __all__ = [
+    "ClientCapabilities",
     "GlobalScheduler",
+    "capabilities_of",
     "LoadBalancePolicy",
     "LoadMonitor",
     "LoadSample",

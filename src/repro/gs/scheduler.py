@@ -6,12 +6,22 @@ for sensibly scheduling multiple parallel jobs" and "is responsible for
 initiating a migration by signalling the pvmds").  The GS is deliberately
 mechanism-agnostic: it talks to any *migration client* — MPVM's daemons,
 UPVM's processes, or an ADM application — through a tiny interface.
+
+A client advertises what it can do through
+:meth:`MigrationClient.capabilities` (one protocol; the old
+``BatchMigrationClient`` subclass is gone): co-scheduled batch vacates,
+reroute support, heterogeneous placement.  The GS degrades gracefully
+around a misbehaving worknet: destinations that repeatedly kill
+migrations are quarantined away from placement decisions, failed
+evictions are re-planned toward fresh hosts, and when a client supports
+rerouting the GS installs itself as the router consulted mid-protocol.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..hw.cluster import Cluster
 from ..hw.host import Host
@@ -19,16 +29,38 @@ from ..sim import Event, bound_tracer
 from .monitor import LoadMonitor
 
 __all__ = [
-    "BatchMigrationClient",
+    "ClientCapabilities",
     "GlobalScheduler",
     "MigrationClient",
     "MigrationRecord",
+    "capabilities_of",
 ]
+
+
+@dataclass(frozen=True)
+class ClientCapabilities:
+    """What one migration client can do, declared instead of sniffed.
+
+    * ``batch`` — ``request_batch_migration(pairs)`` co-schedules a
+      vacate set (shared flush rounds).
+    * ``reroute`` — ``set_router(router)`` accepts a placement callback
+      consulted when a destination dies mid-protocol.
+    * ``heterogeneous`` — placement may cross architecture/OS boundaries
+      (ADM's virtualised state; MPVM/UPVM move raw memory images).
+    """
+
+    batch: bool = False
+    reroute: bool = False
+    heterogeneous: bool = False
 
 
 @runtime_checkable
 class MigrationClient(Protocol):
-    """What the GS needs from a migration mechanism."""
+    """What the GS needs from a migration mechanism.
+
+    Optional surfaces (``request_batch_migration``, ``set_router``) are
+    advertised through :meth:`capabilities`, not probed with getattr.
+    """
 
     def movable_units(self, host: Host) -> List[Any]:
         """Identifiers of work units currently resident on ``host``."""
@@ -38,19 +70,43 @@ class MigrationClient(Protocol):
         """Start migrating ``unit`` to ``dst``; event fires on completion."""
         ...
 
-
-@runtime_checkable
-class BatchMigrationClient(MigrationClient, Protocol):
-    """A client that can co-schedule migrations (shared flush rounds).
-
-    Mechanisms backed by a :class:`~repro.migration.MigrationCoordinator`
-    expose this; the GS uses it when vacating a host so N victims cost
-    one flush round, not N.
-    """
-
-    def request_batch_migration(self, pairs: List[Tuple[Any, Host]]) -> List[Event]:
-        """Start all migrations; events align with the input pair order."""
+    def capabilities(self) -> ClientCapabilities:
+        """Declare the optional surfaces this client implements."""
         ...
+
+
+def capabilities_of(client: Any) -> ClientCapabilities:
+    """A client's declared capabilities, with a legacy-sniffing fallback.
+
+    Clients predating :class:`ClientCapabilities` are probed for their
+    optional methods (the old getattr protocol) under a
+    DeprecationWarning.
+    """
+    describe = getattr(client, "capabilities", None)
+    if describe is not None:
+        return describe()
+    warnings.warn(
+        f"{type(client).__name__} does not implement capabilities(); "
+        "method-sniffing migration clients is deprecated",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ClientCapabilities(
+        batch=callable(getattr(client, "request_batch_migration", None)),
+        reroute=callable(getattr(client, "set_router", None)),
+    )
+
+
+def __getattr__(name: str) -> Any:
+    if name == "BatchMigrationClient":
+        warnings.warn(
+            "BatchMigrationClient is deprecated: batching is advertised via "
+            "MigrationClient.capabilities().batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return MigrationClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -59,11 +115,19 @@ class MigrationRecord:
 
     unit: Any
     src: str
-    dst: str
+    dst: str  #: destination as commanded
     requested_at: float
     completed_at: Optional[float] = None
     ok: bool = True
     error: Optional[str] = None
+    #: Mechanism-reported disposition: "pending" while in flight, then
+    #: "ok" | "retried" | "rerouted" | "abandoned".
+    outcome: str = "pending"
+    #: Protocol attempts the mechanism consumed (retries + reroutes).
+    attempts: int = 0
+    #: Where the unit actually landed (differs from :attr:`dst` after a
+    #: reroute); None until completion.
+    final_dst: Optional[str] = None
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -79,17 +143,41 @@ class GlobalScheduler:
         self,
         cluster: Cluster,
         client: MigrationClient,
+        *legacy: Any,
         monitor: Optional[LoadMonitor] = None,
+        quarantine_after: int = 2,
     ) -> None:
+        if legacy:
+            if len(legacy) > 1 or monitor is not None:
+                raise TypeError(
+                    f"GlobalScheduler() takes 2 positional arguments but "
+                    f"{2 + len(legacy)} were given"
+                )
+            warnings.warn(
+                "passing monitor positionally is deprecated; use "
+                "GlobalScheduler(cluster, client, monitor=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            monitor = legacy[0]
         self.cluster = cluster
         self.sim = cluster.sim
         self.tracer = cluster.tracer
         self.trace = bound_tracer(cluster.tracer, "GS", lambda: cluster.sim.now)
         self.client = client
+        self.capabilities = capabilities_of(client)
         self.monitor = monitor or LoadMonitor(cluster)
         self.records: List[MigrationRecord] = []
         #: Hosts currently being vacated (avoid placing work there).
         self.vacating: set = set()
+        #: Consecutive migration failures charged to each destination.
+        self.failures: Dict[str, int] = {}
+        #: Failures at one destination before it is barred from placement.
+        self.quarantine_after = quarantine_after
+        #: Hosts barred from placement until :meth:`pardon`.
+        self.quarantined: set = set()
+        if self.capabilities.reroute:
+            self.client.set_router(self.route_around)  # type: ignore[attr-defined]
 
     # -- direct commands ----------------------------------------------------
     def migrate(self, unit: Any, dst: Host) -> Event:
@@ -109,8 +197,18 @@ class GlobalScheduler:
         def _finish(ev: Event) -> None:
             record.completed_at = self.sim.now
             record.ok = ev._ok
-            if not ev._ok:
+            if ev._ok:
+                stats = ev._value
+                record.outcome = getattr(stats, "outcome", "ok")
+                record.attempts = getattr(stats, "attempts", 1)
+                record.final_dst = getattr(stats, "dst", record.dst)
+                if record.outcome == "ok" and record.final_dst:
+                    # A clean arrival clears the destination's record.
+                    self.failures.pop(record.final_dst, None)
+            else:
                 record.error = repr(ev._value)
+                record.outcome = "abandoned"
+                self._note_failure(record.dst)
                 ev.defuse()
 
         if done.callbacks is not None:
@@ -125,12 +223,59 @@ class GlobalScheduler:
             return host.name
         return str(host) if host is not None else "?"
 
+    # -- worknet degradation ---------------------------------------------------
+    def _note_failure(self, host_name: str) -> None:
+        self.failures[host_name] = self.failures.get(host_name, 0) + 1
+        if (
+            self.failures[host_name] >= self.quarantine_after
+            and host_name not in self.quarantined
+        ):
+            self.quarantined.add(host_name)
+            self.trace(
+                "gs.quarantine",
+                f"{host_name} barred after {self.failures[host_name]} "
+                "failed migrations",
+            )
+
+    def pardon(self, host: Host) -> None:
+        """Re-admit a quarantined host to placement decisions."""
+        self.quarantined.discard(host.name)
+        self.failures.pop(host.name, None)
+        self.trace("gs.pardon", f"{host.name} re-admitted")
+
+    def route_around(
+        self, unit: Any, failed_dst: Any, tried: Tuple[Any, ...]
+    ) -> Optional[Host]:
+        """Router callback: place ``unit`` after ``failed_dst`` died.
+
+        Installed on reroute-capable clients; charges the failure to the
+        dead destination (feeding quarantine) and returns a fresh
+        destination, or None when the worknet has nowhere left.
+        """
+        failed_name = getattr(failed_dst, "name", str(failed_dst))
+        self._note_failure(failed_name)
+        exclude = [getattr(d, "name", str(d)) for d in tried]
+        exclude.append(self._unit_host(unit))
+        target = self._pick_destination(exclude=exclude)
+        self.trace(
+            "gs.reroute",
+            f"{unit}: {failed_name} lost; "
+            + (f"replacing with {target.name}" if target else "no replacement"),
+        )
+        return target
+
     # -- vacate (owner reclamation) -------------------------------------------
-    def reclaim(self, host: Host, dst: Optional[Host] = None) -> List[Event]:
+    def reclaim(
+        self, host: Host, dst: Optional[Host] = None, replan: bool = True
+    ) -> List[Event]:
         """Owner reclaimed ``host``: move every unit somewhere else.
 
         Destination defaults to the least-loaded other host per the load
-        monitor.  Returns the per-unit completion events.
+        monitor.  Returns the per-unit completion events.  With
+        ``replan`` (the default), units whose migration was abandoned
+        (e.g. their destination died and no reroute saved them) get one
+        fresh migration toward a destination that excludes the failed
+        one — the GS-level eviction re-plan.
         """
         self.vacating.add(host.name)
         self.trace("gs.reclaim", f"vacate {host.name}")
@@ -140,33 +285,79 @@ class GlobalScheduler:
             if target is None:
                 continue
             pairs.append((unit, target))
-        batch = getattr(self.client, "request_batch_migration", None)
-        if batch is not None and len(pairs) > 1:
+        if self.capabilities.batch and len(pairs) > 1:
             # Co-schedule the whole vacate set: mechanisms backed by the
             # migration coordinator share one flush round per source.
             records = [self._record(unit, target) for unit, target in pairs]
             events = [
                 self._track(done, record)
-                for done, record in zip(batch(pairs), records)
+                for done, record in zip(
+                    self.client.request_batch_migration(pairs),  # type: ignore[attr-defined]
+                    records,
+                )
             ]
         else:
-            events = [self.migrate(unit, target) for unit, target in pairs]
-        if events:
-            all_done = self.sim.all_of(events)
-
-            def _clear(_ev):
-                self.vacating.discard(host.name)
-
-            if all_done.callbacks is not None:
-                all_done.callbacks.append(_clear)
-            else:
-                _clear(all_done)
-        else:
-            self.vacating.discard(host.name)
+            records = []
+            events = []
+            for unit, target in pairs:
+                events.append(self.migrate(unit, target))
+                records.append(self.records[-1])
+        self._after_vacate(host, pairs, records, events, replan)
         return events
 
+    def _after_vacate(
+        self,
+        host: Host,
+        pairs: List[tuple],
+        records: List[MigrationRecord],
+        events: List[Event],
+        replan: bool,
+    ) -> None:
+        """Clear the vacating flag — and re-plan failures — once every
+        eviction has settled (we count completions rather than use an
+        all_of, which would trip on the first failure)."""
+        remaining = len(events)
+
+        def _settle() -> None:
+            self.vacating.discard(host.name)
+            if not replan:
+                return
+            still_here = set(map(id, self.client.movable_units(host)))
+            for (unit, _target), record in zip(pairs, records):
+                if record.ok or id(unit) not in still_here:
+                    continue
+                fresh = self._pick_destination(exclude=[host.name, record.dst])
+                if fresh is None:
+                    self.trace(
+                        "gs.replan", f"{unit}: stranded on {host.name}, no host left"
+                    )
+                    continue
+                self.trace(
+                    "gs.replan",
+                    f"{unit}: eviction to {record.dst} failed; "
+                    f"retrying toward {fresh.name}",
+                )
+                self.migrate(unit, fresh)
+
+        if not events:
+            _settle()
+            return
+
+        def _one_done(_ev: Event) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                _settle()
+
+        for ev in events:
+            if ev.callbacks is not None:
+                ev.callbacks.append(_one_done)
+            else:
+                _one_done(ev)
+
     def _pick_destination(self, exclude: List[str]) -> Optional[Host]:
-        exclude = list(exclude) + list(self.vacating)
+        exclude = list(exclude) + list(self.vacating) + list(self.quarantined)
+        exclude += [h.name for h in self.cluster.hosts if not h.up]
         name = self.monitor.least_loaded(exclude=exclude)
         if name is None:
             # Fall back to any host not excluded.

@@ -46,6 +46,28 @@ class Host:
         self.tracer = tracer
         #: Arbitrary per-host annotations (owner name, GS bookkeeping...).
         self.tags: Dict[str, Any] = {}
+        #: False once the machine has crashed (fault injection).  A down
+        #: host refuses network traffic; compute already queued on its
+        #: CPU is allowed to drain (the simulation stays well-defined),
+        #: but every protocol layer checks ``up`` at its own boundaries.
+        self.up = True
+
+    # -- failure (fault injection) --------------------------------------------
+    def fail(self) -> None:
+        """Crash the machine: it drops off the network until recovered."""
+        if not self.up:
+            return
+        self.up = False
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "host.crash", self.name, "host crashed")
+
+    def recover(self) -> None:
+        """Bring a crashed machine back (its processes are NOT restored)."""
+        if self.up:
+            return
+        self.up = True
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "host.recover", self.name, "host recovered")
 
     # -- identity ------------------------------------------------------------
     def migration_compatible(self, other: "Host") -> bool:

@@ -36,6 +36,11 @@ class EthernetNetwork:
         )
         #: Total payload bytes ever put on the wire (for accounting tests).
         self.bytes_carried = 0.0
+        #: Optional fault seam (installed by repro.faults.FaultInjector).
+        #: Duck interface: ``check(src, dst, nbytes, label)`` returns
+        #: either an exception instance (the packet is lost / the link or
+        #: an endpoint is down) or ``(extra_latency_s, rate_factor)``.
+        self.faults = None
 
     def transfer(
         self,
@@ -57,11 +62,28 @@ class EthernetNetwork:
             )
         self.bytes_carried += nbytes
         done = Event(self.sim)
+        verdict = (
+            self.faults.check(src, dst, nbytes, label) if self.faults is not None
+            else (0.0, 1.0)
+        )
 
         def proc():
-            yield self.sim.timeout(self.params.net_latency_s)
+            if isinstance(verdict, BaseException):
+                # Lost on the wire: the sender learns after the latency.
+                yield self.sim.timeout(self.params.net_latency_s)
+                if self.tracer:
+                    self.tracer.emit(
+                        self.sim.now, "net.fault", src.name,
+                        f"{label} -> {dst.name}: {verdict}",
+                    )
+                done.fail(verdict)
+                return
+            extra_latency_s, rate_factor = verdict
+            yield self.sim.timeout(self.params.net_latency_s + extra_latency_s)
             if nbytes > 0:
-                yield self.medium.submit(nbytes, label=label)
+                # A degraded link delivers fewer payload bytes per second:
+                # charge proportionally more wire work for the same payload.
+                yield self.medium.submit(nbytes / rate_factor, label=label)
             if self.tracer:
                 self.tracer.emit(
                     self.sim.now, "net.xfer", src.name,

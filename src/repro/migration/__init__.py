@@ -12,22 +12,26 @@ machinery once:
   TCP-to-skeleton stream, UPVM's pkbyte/send chunk sequences, and the
   daemon store-and-forward route.
 * :mod:`repro.migration.pipeline` — :class:`MigrationPipeline` sequencing
-  :class:`MigrationAdapter` stage generators, with per-stage timeouts
+  :class:`MigrationAdapter` stage generators, with per-stage timeouts,
+  fault-injection hooks, seeded-backoff :class:`RetryPolicy` retries,
   and abort-and-restore.
 * :mod:`repro.migration.coordinator` — :class:`MigrationCoordinator`
-  running any number of concurrent pipelines and batching co-scheduled
-  migrations into shared :class:`FlushRound` flush rounds.
+  running any number of concurrent pipelines, batching co-scheduled
+  migrations into shared :class:`FlushRound` flush rounds, and
+  rerouting a migration to an alternate destination (via an installed
+  :data:`Router`) when its destination host dies mid-protocol.
 
 Mechanisms plug in as thin adapters: ``repro.mpvm.migration``,
 ``repro.upvm.migration``, and ``repro.adm.adapter``.
 """
 
-from .coordinator import FlushRound, MigrationCoordinator
+from .coordinator import FlushRound, MigrationCoordinator, Router
 from .pipeline import (
     LIBRARY_POLL_S,
     MigrationAdapter,
     MigrationContext,
     MigrationPipeline,
+    RetryPolicy,
     StagePolicy,
     StageTimeout,
 )
@@ -51,6 +55,8 @@ __all__ = [
     "MigrationPipeline",
     "MigrationStats",
     "PvmPackTransport",
+    "RetryPolicy",
+    "Router",
     "Stage",
     "StagePolicy",
     "StageTimeout",

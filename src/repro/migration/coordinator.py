@@ -1,4 +1,5 @@
-"""The migration coordinator: concurrent and batched migrations.
+"""The migration coordinator: concurrent, batched, and fault-tolerant
+migrations.
 
 The GS vacates a reclaimed host by migrating *every* unit off it
 (§2.1: "the GS orders all tasks off the machine").  Pre-unification
@@ -9,11 +10,29 @@ co-requested migrations that share a flush domain into one
 single block/ack round covering all victims, the rest wait on it and
 then do only their own drain.  Restart rounds stay per-unit (each
 victim restarts independently, matching the paper's protocol).
+
+The coordinator is also where *reroute* recovery lives: when a
+migration finally fails with a ``reroutable`` error (the destination
+host crashed mid-protocol) and a :attr:`router` is installed, the
+coordinator asks it for an alternate destination and re-runs the whole
+pipeline toward it.  In-place retries of transient failures are the
+pipeline's job; picking a different machine requires placement
+knowledge only the scheduler layer has, so the router is a callback the
+GS (or an application) installs via ``set_router``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..sim import Event, bound_tracer
 from .pipeline import (
@@ -27,7 +46,12 @@ from .stages import MigrationStats
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
 
-__all__ = ["FlushRound", "MigrationCoordinator"]
+__all__ = ["FlushRound", "MigrationCoordinator", "Router"]
+
+#: Placement callback: ``router(unit, failed_dst, tried) -> new_dst | None``.
+#: ``tried`` holds every destination already attempted (including
+#: ``failed_dst``); returning ``None`` abandons the migration.
+Router = Callable[[Any, Any, Tuple[Any, ...]], Optional[Any]]
 
 
 class FlushRound:
@@ -87,9 +111,16 @@ class MigrationCoordinator:
     surface to: ``request_migration`` for one unit, and
     ``request_batch_migration`` for a co-scheduled set (one flush round
     per shared flush domain).  Completed stats land in :attr:`stats`
-    (the list legacy ``engine.stats`` consumers read); aborted attempts
-    land in :attr:`aborted` with their partial timestamps.
+    (the list legacy ``engine.stats`` consumers read); abandoned
+    attempts land in :attr:`aborted` with their partial timestamps.
+
+    The ``done`` event a request returns succeeds with the final stats
+    (after any retries/reroutes) or fails with the error that exhausted
+    every recovery avenue.
     """
+
+    #: Reroute ceiling per migration, counting the original destination.
+    max_destinations = 3
 
     def __init__(
         self, adapter: MigrationAdapter, policy: Optional[StagePolicy] = None
@@ -100,9 +131,38 @@ class MigrationCoordinator:
         self.pipeline = MigrationPipeline(adapter)
         #: Per-stage time budgets applied to every subsequent request.
         self.policy = policy if policy is not None else StagePolicy()
+        #: Alternate-destination callback (see :data:`Router`).
+        self.router: Optional[Router] = None
         self.stats: List[MigrationStats] = []
         self.aborted: List[MigrationStats] = []
         self.active: List[MigrationContext] = []
+        self._seed_jitter()
+
+    def _seed_jitter(self) -> None:
+        """Point backoff jitter at the cluster's seeded streams.
+
+        Falls back to the pipeline's constant when the system has no
+        cluster (unit-test fakes) — still deterministic either way.
+        """
+        cluster = getattr(self.system, "cluster", None)
+        streams = getattr(cluster, "rng", None)
+        if streams is not None:
+            rng = streams.get(f"migrate-retry:{self.adapter.mechanism}")
+            self.pipeline.uniform = rng.random
+
+    # -- fault wiring ----------------------------------------------------------
+    @property
+    def injector(self):
+        """The fault injector consulted at stage boundaries (or None)."""
+        return self.pipeline.injector
+
+    @injector.setter
+    def injector(self, injector) -> None:
+        self.pipeline.injector = injector
+
+    def set_router(self, router: Optional[Router]) -> None:
+        """Install the alternate-destination callback used on reroutes."""
+        self.router = router
 
     # -- MigrationClient surface ---------------------------------------------
     def request_migration(self, unit: Any, dst: Any) -> Event:
@@ -155,10 +215,49 @@ class MigrationCoordinator:
     def _run(self, ctx: MigrationContext):
         self.active.append(ctx)
         try:
-            ok = yield from self.pipeline.run(ctx, self.policy)
+            ok, exc = yield from self.pipeline.run(ctx, self.policy)
+            while not ok and self._may_reroute(ctx, exc):
+                alt = self.router(
+                    ctx.unit, ctx.dst, (ctx.dst,) + tuple(ctx.stats.rerouted_from)
+                )
+                if alt is None:
+                    ctx.trace(
+                        "migrate.reroute_denied",
+                        f"{ctx.stats.unit}: no alternate destination "
+                        f"after {ctx.stats.dst} failed",
+                    )
+                    break
+                ctx.trace(
+                    "migrate.reroute",
+                    f"{ctx.stats.unit}: destination {ctx.stats.dst} lost "
+                    f"({exc}); rerouting to {getattr(alt, 'name', alt)}",
+                )
+                ctx.rewind()
+                ctx.reroute_to(alt)
+                self.adapter.prepare(ctx)
+                ok, exc = yield from self.pipeline.run(ctx, self.policy)
         finally:
             self.active.remove(ctx)
-        (self.stats if ok else self.aborted).append(ctx.stats)
+        stats = ctx.stats
+        if ok:
+            stats.outcome = (
+                "rerouted" if ctx.rerouted
+                else "retried" if stats.attempts > 1
+                else "ok"
+            )
+            self.stats.append(stats)
+            ctx.done.succeed(stats)
+        else:
+            stats.outcome = "abandoned"
+            self.aborted.append(stats)
+            ctx.done.fail(exc)
+
+    def _may_reroute(self, ctx: MigrationContext, exc: Optional[BaseException]) -> bool:
+        return (
+            self.router is not None
+            and getattr(exc, "reroutable", False)
+            and 1 + len(ctx.stats.rerouted_from) < self.max_destinations
+        )
 
     def __repr__(self) -> str:
         return (

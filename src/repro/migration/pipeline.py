@@ -3,10 +3,26 @@
 The paper's three systems run the same protocol *shape* — event, flush,
 transfer, restart — and differ only in what each stage does (§§2.1-2.3).
 :class:`MigrationPipeline` owns the shape: stage sequencing, stage-end
-timestamping, per-stage watchdog timeouts, and abort-and-restore.  A
+timestamping, per-stage watchdog timeouts, fault-injection hooks,
+per-stage retry with exponential backoff, and abort-and-restore.  A
 mechanism contributes a :class:`MigrationAdapter` whose four ``stage_*``
 generators perform the mechanism-specific work and whose :meth:`abort`
 hook undoes it, leaving the source unit runnable when a stage fails.
+
+Failure handling (new in the fault-injection layer):
+
+* A stage failure always runs the adapter's abort hook first, restoring
+  the source unit — *every* recovery path starts from a clean slate.
+* If the failure is ``transient`` (a :class:`StageTimeout`, a lost
+  control packet, a killed skeleton) and the stage's
+  :class:`RetryPolicy` has attempts left, the pipeline backs off
+  (exponential, jittered, seeded — deterministic) and re-enters the
+  protocol from the EVENT stage.  The retry budget is charged to the
+  stage that failed, so a flaky transfer cannot starve a healthy flush.
+* If the failure is ``reroutable`` (the destination host died), the
+  pipeline gives up and reports it; the
+  :class:`~repro.migration.MigrationCoordinator` owns choosing an
+  alternate destination.
 
 Timing fidelity rule: stages run *inline* in the pipeline's simulation
 process unless a timeout is configured for them, so every cost is
@@ -18,7 +34,8 @@ in any stage-end timestamp the adapter left unset.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from ..pvm.errors import PvmError, PvmMigrationError
 from ..sim import Event
@@ -35,6 +52,7 @@ __all__ = [
     "MigrationAdapter",
     "MigrationContext",
     "MigrationPipeline",
+    "RetryPolicy",
     "StagePolicy",
     "StageTimeout",
 ]
@@ -46,6 +64,8 @@ LIBRARY_POLL_S = 0.5e-3
 class StageTimeout(PvmMigrationError):
     """A pipeline stage exceeded its configured time budget."""
 
+    transient = True  #: a slow stage may well fit the budget next time
+
     def __init__(self, stage: Stage, unit: str, timeout_s: float) -> None:
         super().__init__(
             f"{stage} stage of {unit} exceeded its {timeout_s:g}s budget"
@@ -54,27 +74,105 @@ class StageTimeout(PvmMigrationError):
         self.timeout_s = timeout_s
 
 
-class StagePolicy:
-    """Per-stage time budgets.  ``None`` (the default) means unbounded.
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, one stage's failures are retried.
 
+    ``max_attempts`` counts *protocol attempts charged to the stage*:
+    the default of 1 means the first failure is final (the pre-fault
+    behaviour).  Backoff before attempt *n* (n ≥ 2) is
+    ``min(backoff_max_s, backoff_base_s * backoff_factor**(n-2))``
+    stretched by a seeded jitter of ±``jitter_frac`` — deterministic
+    under a fixed seed, so faulty runs replay exactly.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_frac: float = 0.1
+
+    def backoff_s(self, attempt: int, uniform: Callable[[], float]) -> float:
+        """Delay before retry number ``attempt`` (2 = first retry)."""
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** max(0, attempt - 2),
+        )
+        return base * (1.0 + self.jitter_frac * (2.0 * uniform() - 1.0))
+
+    def max_total_backoff_s(self) -> float:
+        """Upper bound on the summed backoff this policy can ever incur."""
+        total = 0.0
+        for attempt in range(2, self.max_attempts + 1):
+            base = min(
+                self.backoff_max_s,
+                self.backoff_base_s * self.backoff_factor ** (attempt - 2),
+            )
+            total += base * (1.0 + self.jitter_frac)
+        return total
+
+
+class StagePolicy:
+    """Per-stage time budgets and retry policies.
+
+    ``timeouts``: seconds per stage; ``None``/absent means unbounded.
     A bounded stage runs as its own simulation subprocess raced against
     a watchdog timer; on expiry the stage is interrupted and the
     adapter's :meth:`MigrationAdapter.abort` restores the source unit.
+
+    ``retry``: a :class:`RetryPolicy` per stage (``default_retry`` for
+    stages not listed).  The default policy performs no retries, so a
+    plain ``StagePolicy()`` behaves exactly as before the fault layer.
     """
 
-    __slots__ = ("timeouts",)
+    __slots__ = ("timeouts", "retry", "default_retry")
 
-    def __init__(self, timeouts: Optional[Dict[Stage, float]] = None, **by_name: float):
+    def __init__(
+        self,
+        timeouts: Optional[Dict[Stage, float]] = None,
+        retry: Optional[Dict[Stage, RetryPolicy]] = None,
+        default_retry: Optional[RetryPolicy] = None,
+        **by_name: float,
+    ):
         self.timeouts: Dict[Stage, float] = dict(timeouts or {})
         for name, seconds in by_name.items():
             self.timeouts[Stage[name.upper()]] = seconds
+        self.retry: Dict[Stage, RetryPolicy] = dict(retry or {})
+        self.default_retry = default_retry or RetryPolicy()
 
     def timeout_for(self, stage: Stage) -> Optional[float]:
         return self.timeouts.get(stage)
 
+    def retry_for(self, stage: Stage) -> RetryPolicy:
+        return self.retry.get(stage, self.default_retry)
+
+    @classmethod
+    def resilient(
+        cls,
+        timeouts: Optional[Dict[Stage, float]] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+    ) -> "StagePolicy":
+        """A policy that retries every stage (the Session default under
+        an active fault plan)."""
+        return cls(
+            timeouts,
+            default_retry=RetryPolicy(
+                max_attempts=max_attempts, backoff_base_s=backoff_base_s
+            ),
+        )
+
     def __repr__(self) -> str:
         spec = ", ".join(f"{s}={t:g}s" for s, t in self.timeouts.items())
-        return f"<StagePolicy {spec or 'unbounded'}>"
+        retries = ", ".join(
+            f"{s}x{p.max_attempts}" for s, p in self.retry.items()
+        )
+        if self.default_retry.max_attempts > 1:
+            retries = (retries + ", " if retries else "") + (
+                f"*x{self.default_retry.max_attempts}"
+            )
+        parts = [p for p in (spec or "unbounded", retries) if p]
+        return f"<StagePolicy {' retry='.join(parts)}>"
 
 
 class MigrationContext:
@@ -82,7 +180,7 @@ class MigrationContext:
 
     __slots__ = (
         "sim", "unit", "src", "dst", "stats", "done", "trace", "batch",
-        "stage", "data",
+        "stage", "data", "rerouted",
     )
 
     def __init__(
@@ -105,6 +203,7 @@ class MigrationContext:
         self.trace = trace
         self.batch = batch
         self.stage: Optional[Stage] = None
+        self.rerouted = False
         #: Adapter scratch space surviving across stages (peers, resume
         #: event, transfer plan, ...).  Also read by :meth:`abort`.
         self.data: Dict[str, Any] = {}
@@ -112,6 +211,32 @@ class MigrationContext:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def dst_host(self) -> Optional["Host"]:
+        """The destination *machine*, however ``dst`` was spelled."""
+        host = getattr(self.dst, "host", self.dst)
+        return host if hasattr(host, "up") else None
+
+    def rewind(self) -> None:
+        """Reset per-attempt state for a fresh run of the protocol.
+
+        The adapter's abort hook has already restored the source unit;
+        this clears the scratch space and stage timestamps.  A shared
+        flush round is never re-joined (the batch has moved on), so the
+        retry runs its own flush.
+        """
+        self.batch = None
+        self.stage = None
+        self.data.clear()
+        self.stats.reset_marks()
+        self.stats.attempts += 1
+
+    def reroute_to(self, dst: Any) -> None:
+        """Point the migration at an alternate destination."""
+        self.rerouted = True
+        self.stats.rerouted_from = self.stats.rerouted_from + (self.stats.dst,)
+        self.dst = dst
+        self.stats.dst = getattr(dst, "name", str(dst))
 
 
 class MigrationAdapter:
@@ -156,9 +281,10 @@ class MigrationAdapter:
     def prepare(self, ctx: MigrationContext) -> None:
         """Pre-stage hook: resolve/stash anything the stages will need.
 
-        Runs synchronously at request time; must not raise (defer
-        validation failures to ``stage_event`` so they are reported
-        through the ``done`` event like every other protocol failure).
+        Runs synchronously at request time (and again before every
+        retry/reroute attempt); must not raise (defer validation
+        failures to ``stage_event`` so they are reported through the
+        ``done`` event like every other protocol failure).
         """
 
     # -- stages (generators; defaults are no-ops) -----------------------------
@@ -182,8 +308,9 @@ class MigrationAdapter:
         """Undo partial protocol work so the source unit stays runnable.
 
         Called synchronously after ``stage`` failed (validation error,
-        protocol error, or :class:`StageTimeout`).  Must be idempotent
-        and must tolerate being called at any stage boundary.
+        protocol error, injected fault, or :class:`StageTimeout`).  Must
+        be idempotent and must tolerate being called at any stage
+        boundary — it is also the reset point before every retry.
         """
 
     # -- shared stage helpers -------------------------------------------------
@@ -196,7 +323,7 @@ class MigrationAdapter:
 
 
 class MigrationPipeline:
-    """Sequences an adapter's stages with timeouts and abort handling."""
+    """Sequences an adapter's stages with timeouts, faults, and retries."""
 
     _STAGES = (
         (Stage.EVENT, "stage_event"),
@@ -208,36 +335,83 @@ class MigrationPipeline:
     def __init__(self, adapter: MigrationAdapter) -> None:
         self.adapter = adapter
         self.sim = adapter.sim
+        #: Fault-injection hook (see :class:`repro.faults.FaultInjector`).
+        #: Consulted at every stage boundary when set.
+        self.injector = None
+        #: Uniform-[0,1) source for backoff jitter; set by the
+        #: coordinator from the cluster's seeded streams.
+        self.uniform: Callable[[], float] = lambda: 0.5
 
     def run(
         self, ctx: MigrationContext, policy: Optional[StagePolicy] = None
-    ) -> Generator[Event, Any, bool]:
-        """Drive ``ctx`` through all four stages (generator).
+    ) -> Generator[Event, Any, Tuple[bool, Optional[BaseException]]]:
+        """Drive ``ctx`` through the protocol, retrying per policy.
 
-        Returns True when the migration completed; on failure runs the
-        adapter's abort hook, records the aborted stage, fails the
-        ``done`` event, and returns False.
+        Returns ``(True, None)`` when the migration completed (possibly
+        after retries) or ``(False, exc)`` when it finally failed; the
+        caller (the coordinator) owns completing/failing ``ctx.done``
+        and may still reroute a reroutable failure.  Every failure path
+        has already run the adapter's abort hook, so the source unit is
+        runnable either way.
         """
+        policy = policy or StagePolicy()
+        attempts: Dict[Stage, int] = {}
+        while True:
+            exc = yield from self._attempt(ctx, policy)
+            if exc is None:
+                ctx.stats.completed = True
+                return True, None
+            stage = ctx.stage
+            assert stage is not None
+            attempts[stage] = attempts.get(stage, 0) + 1
+            retry = policy.retry_for(stage)
+            if not getattr(exc, "transient", False):
+                return False, exc
+            if attempts[stage] >= retry.max_attempts:
+                ctx.trace(
+                    "migrate.retries_exhausted",
+                    f"{ctx.stats.unit}: {stage} failed "
+                    f"{attempts[stage]}x, giving up: {exc}",
+                )
+                return False, exc
+            delay = retry.backoff_s(attempts[stage] + 1, self.uniform)
+            ctx.trace(
+                "migrate.retry",
+                f"{ctx.stats.unit}: {stage} attempt {attempts[stage]} "
+                f"failed ({exc}); retrying in {delay:.3f}s",
+                stage=str(stage),
+                attempt=attempts[stage],
+            )
+            yield self.sim.timeout(delay)
+            ctx.rewind()
+            self.adapter.prepare(ctx)
+
+    # -- internals ------------------------------------------------------------
+    def _attempt(
+        self, ctx: MigrationContext, policy: StagePolicy
+    ) -> Generator[Event, Any, Optional[BaseException]]:
+        """One pass over the four stages; returns the failure, if any."""
         stats = ctx.stats
         for stage, method in self._STAGES:
             ctx.stage = stage
-            gen = getattr(self.adapter, method)(ctx)
-            timeout_s = policy.timeout_for(stage) if policy else None
             try:
+                if self.injector is not None:
+                    yield from self.injector.at_stage(ctx, stage, "enter")
+                gen = getattr(self.adapter, method)(ctx)
+                timeout_s = policy.timeout_for(stage)
                 if gen is not None:
                     if timeout_s is None:
                         yield from gen
                     else:
                         yield from self._bounded(ctx, stage, gen, timeout_s)
+                if self.injector is not None:
+                    yield from self.injector.at_stage(ctx, stage, "exit")
             except PvmError as exc:
                 self._abort(ctx, stage, exc)
-                return False
+                return exc
             self._mark(stats, stage, ctx.now)
-        stats.completed = True
-        ctx.done.succeed(stats)
-        return True
+        return None
 
-    # -- internals ------------------------------------------------------------
     @staticmethod
     def _mark(stats: MigrationStats, stage: Stage, now: float) -> None:
         # Adapters may have stamped the boundary at a protocol-precise
@@ -263,6 +437,9 @@ class MigrationPipeline:
             gen, name=f"{self.adapter.mechanism}-{stage}:{ctx.stats.unit}"
         )
         watchdog = self.sim.timeout(timeout_s)
+        # A failing stage subprocess fails the any_of, which re-raises
+        # the stage's exception right here (and defuses the subprocess),
+        # so injected faults inside bounded stages reach the abort path.
         yield self.sim.any_of([proc, watchdog])
         if proc.is_alive:
             timeout = StageTimeout(stage, ctx.stats.unit, timeout_s)
@@ -277,4 +454,3 @@ class MigrationPipeline:
         finally:
             if ctx.batch is not None:
                 ctx.batch.abandon(ctx.unit)
-            ctx.done.fail(exc)

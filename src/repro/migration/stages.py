@@ -83,8 +83,16 @@ class MigrationStats:
     t_restart_done: Optional[float] = None
     #: Set by the coordinator when the pipeline ran to completion.
     completed: bool = False
-    #: Stage at which the migration aborted, if it did.
+    #: Stage at which the migration (last) aborted, if it did.
     aborted_stage: Optional[Stage] = None
+    #: Protocol attempts consumed (1 = clean first-try run).
+    attempts: int = 1
+    #: Destinations tried before :attr:`dst` (host names, reroute path).
+    rerouted_from: tuple = ()
+    #: Final disposition: "ok" (first try), "retried" (succeeded after
+    #: ≥1 in-place retry), "rerouted" (succeeded at an alternate
+    #: destination), or "abandoned" (every recovery avenue exhausted).
+    outcome: str = "ok"
 
     # -- the paper's Table 2/4/6 metrics -----------------------------------
     @property
@@ -124,3 +132,19 @@ class MigrationStats:
             self.t_offhost = now
         elif stage is Stage.RESTART:
             self.t_restart_done = now
+
+    def reset_marks(self) -> None:
+        """Clear every stage timestamp for a fresh protocol attempt.
+
+        A retried/rerouted migration reports the spans of its *final*
+        (successful) attempt — matching the paper's per-protocol-run
+        metrics — while :attr:`attempts`/:attr:`outcome` record that
+        recovery happened.
+        """
+        self.t_event = None
+        self.t_flush_done = None
+        self.t_transfer_start = None
+        self.t_offhost = None
+        self.t_accepted = None
+        self.t_restart_done = None
+        self.aborted_stage = None

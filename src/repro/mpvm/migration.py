@@ -116,7 +116,9 @@ class MpvmMigrationAdapter(MigrationAdapter):
         peers = [
             t
             for t in system.live_tasks()
-            if t is not task and (batch is None or t not in batch.units)
+            if t is not task
+            and t.host.up  # a crashed machine's tasks cannot ack the flush
+            and (batch is None or t not in batch.units)
         ]
         ctx.stats.n_peers_flushed = len(peers)
         ctx.data["peers"] = peers
@@ -170,7 +172,7 @@ class MpvmMigrationAdapter(MigrationAdapter):
         # Restart message to every task: unblocks senders, installs remap.
         # Recomputed rather than reusing the flush peer set — co-batched
         # victims were not flush peers but must still learn the remap.
-        peers = [t for t in system.live_tasks() if t is not task]
+        peers = [t for t in system.live_tasks() if t is not task and t.host.up]
         restart_events = [self.transport.control(dst, peer.host) for peer in peers]
         if restart_events:
             yield ctx.sim.all_of(restart_events)

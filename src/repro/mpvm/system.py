@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..gs.scheduler import ClientCapabilities
 from ..hw.cluster import Cluster
 from ..hw.host import Host
 from ..migration import MigrationCoordinator
@@ -29,11 +30,16 @@ class MpvmSystem(PvmSystem):
 
     context_class = MpvmContext
 
-    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
-        super().__init__(cluster, default_route=default_route)
+    def __init__(
+        self, cluster: Cluster, *legacy: str, default_route: str = "daemon"
+    ) -> None:
+        super().__init__(cluster, *legacy, default_route=default_route)
         self.migration = MigrationCoordinator(MpvmMigrationAdapter(self))
 
     # -- MigrationClient interface ------------------------------------------
+    def capabilities(self) -> ClientCapabilities:
+        return ClientCapabilities(batch=True, reroute=True)
+
     def movable_units(self, host: Host) -> List[Task]:
         return [t for t in self.live_tasks() if t.host is host]
 
@@ -43,6 +49,10 @@ class MpvmSystem(PvmSystem):
     def request_batch_migration(self, pairs) -> List[Event]:
         """Co-scheduled migrations sharing one flush round per source."""
         return self.migration.request_batch_migration(pairs)
+
+    def set_router(self, router) -> None:
+        """Install the alternate-destination callback used on reroutes."""
+        self.migration.set_router(router)
 
     # -- tid rebinding on migration --------------------------------------------
     def rebind_task_tid(self, task: Task, new_host: Host) -> Tuple[int, int]:

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict
 
 from ..hw.host import Host
 from ..sim import Store
+from .errors import PvmError
 from .message import Message
 from .routing import fragments_of
 from .task import Task
@@ -78,9 +79,20 @@ class Pvmd:
                 yield self.host.ipc_copy(msg.wire_bytes, label="pvmd>rcv")
                 self._deliver_local(msg)
             else:
-                yield self.system.network.transfer(
-                    self.host, dst_pvmd.host, msg.wire_bytes, label="pvmd-udp"
-                )
+                try:
+                    yield self.system.network.transfer(
+                        self.host, dst_pvmd.host, msg.wire_bytes, label="pvmd-udp"
+                    )
+                except PvmError as exc:
+                    # pvmd-pvmd traffic is an unreliable datagram: a dead
+                    # destination (or injected drop) loses the packet, it
+                    # must not kill the daemon.
+                    if self.system.tracer:
+                        self.system.tracer.emit(
+                            self.host.sim.now, "pvmd.drop", f"pvmd@{self.host.name}",
+                            f"{tid_str(msg.dst_tid)}: {exc}",
+                        )
+                    continue
                 dst_pvmd.enqueue_inbound(msg)
 
     def _inbound_worker(self):

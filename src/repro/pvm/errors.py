@@ -14,7 +14,19 @@ __all__ = [
 
 
 class PvmError(Exception):
-    """Base class for all PVM-level failures."""
+    """Base class for all PVM-level failures.
+
+    ``transient`` marks failures a retry of the same operation may cure
+    (timeouts, lost packets, a killed helper process); ``reroutable``
+    marks failures where the *destination* is gone and only a different
+    destination can cure (a crashed host).  The migration pipeline's
+    retry policy and the coordinator's reroute logic key off these.
+    """
+
+    #: Retrying the same operation may succeed.
+    transient = False
+    #: Retrying toward a different destination may succeed.
+    reroutable = False
 
 
 class PvmBadParam(PvmError):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..hw.cluster import Cluster
@@ -29,7 +30,22 @@ class PvmSystem:
     #: Context class handed to task bodies; subclasses override.
     context_class = PvmContext
 
-    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
+    def __init__(
+        self, cluster: Cluster, *legacy: str, default_route: str = "daemon"
+    ) -> None:
+        if legacy:
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"{type(self).__name__}() takes 1 positional argument "
+                    f"but {1 + len(legacy)} were given"
+                )
+            warnings.warn(
+                "passing default_route positionally is deprecated; use "
+                f"{type(self).__name__}(cluster, default_route=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            default_route = legacy[0]
         if default_route not in ("daemon", "direct"):
             raise PvmBadParam(f"unknown default route {default_route!r}")
         self.cluster = cluster

@@ -130,7 +130,9 @@ class UlpMigrationAdapter(MigrationAdapter):
         app = src_proc.app
         ctx.trace("upvm.flush.start", "flushing")
         batch = ctx.batch
-        peers = [p for p in app.processes if p is not src_proc]
+        # A peer on a crashed machine cannot ack (and holds no live ULPs
+        # to flush from) — skip it rather than wedge the protocol.
+        peers = [p for p in app.processes if p is not src_proc and p.host.up]
         ctx.stats.n_peers_flushed = len(peers)
         if batch is None or batch.join(ulp):
             if batch is not None:

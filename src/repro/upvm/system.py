@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..gs.scheduler import ClientCapabilities
 from ..hw.cluster import Cluster
 from ..hw.host import Host
 from ..migration import MigrationCoordinator
@@ -26,8 +27,10 @@ class UpvmSystem(PvmSystem):
     movable unit — finer-grained than MPVM's whole processes (§3.4.2).
     """
 
-    def __init__(self, cluster: Cluster, default_route: str = "daemon") -> None:
-        super().__init__(cluster, default_route=default_route)
+    def __init__(
+        self, cluster: Cluster, *legacy: str, default_route: str = "daemon"
+    ) -> None:
+        super().__init__(cluster, *legacy, default_route=default_route)
         self.apps: List[UpvmApp] = []
         self.migration = MigrationCoordinator(UlpMigrationAdapter(self))
 
@@ -69,6 +72,9 @@ class UpvmSystem(PvmSystem):
         return proc
 
     # -- MigrationClient interface -------------------------------------------------
+    def capabilities(self) -> ClientCapabilities:
+        return ClientCapabilities(batch=True, reroute=True)
+
     def movable_units(self, host: Host) -> List[Ulp]:
         out = []
         for app in self.apps:
@@ -83,6 +89,10 @@ class UpvmSystem(PvmSystem):
     def request_batch_migration(self, pairs) -> List[Event]:
         """Co-scheduled migrations sharing one flush round per process."""
         return self.migration.request_batch_migration(pairs)
+
+    def set_router(self, router) -> None:
+        """Install the alternate-destination callback used on reroutes."""
+        self.migration.set_router(router)
 
     @property
     def migrations(self):

@@ -1,0 +1,189 @@
+"""Tests for the public session facade, the CLI, and deprecation shims."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Session, SessionConfig
+from repro.faults import FaultPlan, HostCrash
+from repro.gs import GlobalScheduler, capabilities_of
+from repro.gs.monitor import LoadMonitor
+from repro.hw import Cluster
+from repro.migration import StagePolicy
+from repro.mpvm import MpvmSystem
+from repro.pvm import PvmSystem
+from repro.upvm import UpvmSystem
+
+
+# ----------------------------------------------------------- Session
+
+
+def test_session_is_keyword_only():
+    with pytest.raises(TypeError):
+        Session("mpvm")  # noqa: the point is that positionals are rejected
+
+
+def test_session_rejects_unknown_mechanism():
+    with pytest.raises(ValueError, match="unknown mechanism"):
+        Session(mechanism="nfs")
+
+
+@pytest.mark.parametrize("mechanism,cls", [
+    ("pvm", PvmSystem), ("mpvm", MpvmSystem), ("upvm", UpvmSystem),
+    ("adm", PvmSystem),
+])
+def test_session_builds_the_right_system(mechanism, cls):
+    s = Session(mechanism=mechanism, n_hosts=2)
+    assert type(s.vm) is cls
+    assert len(s.cluster.hosts) == 2
+
+
+def test_session_config_is_frozen():
+    s = Session(mechanism="mpvm", n_hosts=2, seed=4)
+    assert s.config == SessionConfig(mechanism="mpvm", n_hosts=2, seed=4)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        s.config.seed = 5
+
+
+def test_session_wires_faults_and_resilient_policy():
+    plan = FaultPlan(faults=(HostCrash(host="hp720-0", at_s=1.0),), seed=2)
+    s = Session(mechanism="mpvm", n_hosts=2, faults=plan)
+    assert s.injector is not None
+    assert s.cluster.network.faults is s.injector
+    assert s.vm.migration.injector is s.injector
+    assert s.vm.migration.policy is s.policy
+    assert s.policy.default_retry.max_attempts > 1
+
+
+def test_faultless_session_keeps_bare_policy():
+    s = Session(mechanism="mpvm", n_hosts=2)
+    assert s.injector is None
+    assert s.cluster.network.faults is None
+    assert s.policy.default_retry.max_attempts == 1
+
+
+def test_session_scheduler_guards():
+    with pytest.raises(RuntimeError, match="no migration client"):
+        Session(mechanism="pvm", n_hosts=2).scheduler
+    with pytest.raises(RuntimeError, match="adopt"):
+        Session(mechanism="adm", n_hosts=2).scheduler
+
+
+def test_session_accepts_prebuilt_cluster():
+    cluster = Cluster(n_hosts=3)
+    s = Session(cluster=cluster, mechanism="upvm")
+    assert s.cluster is cluster
+    assert s.config.n_hosts == 3
+
+
+def test_package_root_exports_session_lazily():
+    assert repro.Session is Session
+    assert repro.FaultPlan is FaultPlan
+    with pytest.raises(AttributeError):
+        repro.NoSuchThing
+
+
+# ------------------------------------------------------- deprecation shims
+
+
+def test_positional_default_route_warns_but_works():
+    cluster = Cluster(n_hosts=2)
+    with pytest.warns(DeprecationWarning, match="default_route positionally"):
+        vm = MpvmSystem(cluster, "direct")
+    assert vm.default_route == "direct"
+    with pytest.raises(TypeError):
+        MpvmSystem(Cluster(n_hosts=2), "direct", "extra")
+
+
+def test_positional_monitor_warns_but_works():
+    cluster = Cluster(n_hosts=2)
+    vm = MpvmSystem(cluster)
+    monitor = LoadMonitor(cluster)
+    with pytest.warns(DeprecationWarning, match="monitor positionally"):
+        gs = GlobalScheduler(cluster, vm, monitor)
+    assert gs.monitor is monitor
+
+
+def test_batch_migration_client_import_warns():
+    from repro.gs import scheduler
+
+    with pytest.warns(DeprecationWarning, match="BatchMigrationClient"):
+        alias = scheduler.BatchMigrationClient
+    assert alias is scheduler.MigrationClient
+
+
+def test_capabilities_sniffing_warns():
+    class LegacyClient:
+        def movable_units(self, host):
+            return []
+
+        def request_migration(self, unit, dst):
+            raise NotImplementedError
+
+        def request_batch_migration(self, pairs):
+            raise NotImplementedError
+
+    with pytest.warns(DeprecationWarning, match="method-sniffing"):
+        caps = capabilities_of(LegacyClient())
+    assert caps.batch and not caps.reroute
+
+
+def test_modern_clients_do_not_warn():
+    cluster = Cluster(n_hosts=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        vm = UpvmSystem(cluster)
+        GlobalScheduler(cluster, vm)
+        Session(mechanism="mpvm", n_hosts=2)
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["repro", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "figure4" in out
+
+
+def test_cli_rejects_unknown_exhibit(capsys):
+    from repro.__main__ import main
+
+    assert main(["repro", "run", "table99"]) == 2
+    assert "unknown exhibit" in capsys.readouterr().err
+
+
+def test_cli_parser_shapes():
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    ns = parser.parse_args(["faults", "--seed", "7", "--json"])
+    assert (ns.command, ns.seed, ns.json) == ("faults", 7, True)
+    ns = parser.parse_args(["run", "table2", "figure4"])
+    assert ns.exhibit == ["table2", "figure4"]
+    ns = parser.parse_args(["report"])
+    assert ns.command == "report" and not ns.json
+
+
+def test_cli_run_json(capsys):
+    import json
+
+    from repro.__main__ import main
+
+    assert main(["repro", "run", "figure2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["exp_id"] == "figure2"
+    assert payload[0]["checks"]
+
+
+# ---------------------------------------------------------------- policy
+
+
+def test_stage_policy_resilient_overrides():
+    policy = StagePolicy.resilient(max_attempts=4, backoff_base_s=0.2)
+    assert policy.default_retry.max_attempts == 4
+    assert policy.default_retry.backoff_base_s == 0.2

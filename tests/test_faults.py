@@ -1,0 +1,310 @@
+"""Tests for the fault-injection layer and the recovery paths it drives.
+
+Covers: a destination host crash at every one of the four pipeline
+stages for MPVM and UPVM (recovered by reroute), the same crash against
+ADM (recovered by the GS replanning the eviction), retry backoff bounds
+(no unbounded retry), ADM consensus surviving a worker lost mid-round,
+and seed determinism of a full chaos run.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.faults import (
+    ControlMessageLost,
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    LinkFault,
+    SkeletonKill,
+)
+from repro.faults.demo import run_adm, run_mpvm, run_upvm
+from repro.migration import RetryPolicy, Stage, StagePolicy
+from repro.pvm.errors import PvmError
+
+STAGES = ["event", "flush", "transfer", "restart"]
+
+
+def crash_plan(stage, host="hp720-1", seed=0, **kw):
+    return FaultPlan(faults=(HostCrash(host=host, stage=stage, **kw),), seed=seed)
+
+
+# ------------------------------------------- crash at every stage, MPVM
+
+
+def _mpvm_session(plan):
+    s = Session(mechanism="mpvm", n_hosts=3, faults=plan)
+    finished = {}
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 10)
+        finished["host"] = ctx.host.name
+
+    def boss(ctx):
+        (tid,) = yield from ctx.spawn("cruncher", count=1, where=[0])
+        yield ctx.sim.timeout(1.0)
+        done = s.migrate(s.vm.task(tid), s.host(1))
+        try:
+            yield done
+        except PvmError as exc:
+            finished["error"] = exc
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=2)
+    s.run(until=600)
+    return s, finished
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_mpvm_dst_crash_at_each_stage_reroutes(stage):
+    s, finished = _mpvm_session(crash_plan(stage))
+    assert "error" not in finished
+    assert finished["host"] == "hp720-2", "work must land on the healthy host"
+    (stats,) = s.migrations
+    assert stats.outcome == "rerouted"
+    assert stats.rerouted_from == ("hp720-1",)
+    (record,) = s.scheduler.records
+    assert record.outcome == "rerouted"
+    assert record.final_dst == "hp720-2"
+
+
+# ------------------------------------------- crash at every stage, UPVM
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_upvm_dst_crash_at_each_stage_reroutes(stage):
+    s = Session(mechanism="upvm", n_hosts=3, faults=crash_plan(stage))
+    finished = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 10)
+        finished[ctx.me] = ctx.host.name
+
+    app = s.vm.start_app("grind", worker, n_ulps=2, placement={0: 0, 1: 2})
+
+    def mover():
+        yield s.sim.timeout(1.0)
+        yield s.migrate(app.ulps[0], s.host(1))
+
+    s.sim.process(mover())
+    s.run(until=600)
+    assert finished[0] == "hp720-2"
+    (stats,) = s.migrations
+    assert stats.outcome == "rerouted"
+    assert stats.rerouted_from == ("hp720-1",)
+
+
+# -------------------------------------------- crash at every stage, ADM
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_adm_dst_crash_at_each_stage_replans_the_eviction(stage):
+    """ADM cannot reroute (destination is advisory) — the GS replans."""
+    from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+
+    s = Session(
+        mechanism="adm", n_hosts=4, faults=crash_plan(stage, host="hp720-2")
+    )
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=6)
+    app = AdmOpt(s.vm, cfg, master_host=3, slave_hosts=[0, 1])
+    app.start()
+    gs = s.adopt(app)
+
+    def owner():
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.2)
+        yield s.sim.timeout(3.0)
+        # Vacate worker 0's host toward hp720-2 — which dies mid-protocol.
+        gs.reclaim(s.host(0), dst=s.host(2))
+
+    s.sim.process(owner())
+    s.run(until=3600)
+    assert "total_time" in app.report, "the training run must still finish"
+    outcomes = [r.outcome for r in gs.records]
+    assert "abandoned" in outcomes, "the doomed eviction is written off"
+    if stage == "restart":
+        # ADM's restart stage is empty (re-integration IS the transfer):
+        # by the time the advisory destination's death is noticed, the
+        # redistribution already drained the worker — nothing to replan.
+        assert app.item_counts[0] == 0
+    else:
+        assert "ok" in outcomes, "...and replanned to a live destination"
+        replanned = [r for r in gs.records if r.outcome == "ok"]
+        assert all(r.dst != "hp720-2" for r in replanned)
+
+
+# ----------------------------------------------------------- backoff bounds
+
+
+def test_retry_policy_backoff_is_bounded():
+    policy = RetryPolicy(
+        max_attempts=5, backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3
+    )
+    delays = [policy.backoff_s(a, lambda: 0.5) for a in range(2, 6)]
+    assert delays == pytest.approx([0.1, 0.2, 0.3, 0.3])  # capped, not unbounded
+    assert sum(delays) <= policy.max_total_backoff_s()
+    # Jitter stays within +/- jitter_frac of the nominal delay.
+    hi = policy.backoff_s(3, lambda: 1.0)
+    lo = policy.backoff_s(3, lambda: 0.0)
+    assert lo == pytest.approx(0.2 * (1 - policy.jitter_frac))
+    assert hi == pytest.approx(0.2 * (1 + policy.jitter_frac))
+
+
+def test_transient_fault_is_retried_within_budget():
+    """A skeleton kill is transient: one in-place retry, then success."""
+    plan = FaultPlan(faults=(SkeletonKill(stage=Stage.TRANSFER, when="enter"),))
+    s, finished = _mpvm_session(plan)
+    assert "error" not in finished
+    (stats,) = s.migrations
+    assert stats.outcome == "retried"
+    assert stats.attempts == 2
+    assert not stats.rerouted_from
+
+
+def test_retries_are_exhausted_not_unbounded():
+    """A fault that fires on every attempt stops at max_attempts."""
+    max_attempts = StagePolicy.resilient().default_retry.max_attempts
+    # Every byte of migration state on the wire is lost, every attempt.
+    plan = FaultPlan(faults=(LinkFault(label="mpvm-state", drop_prob=1.0),))
+    s, finished = _mpvm_session(plan)
+    assert isinstance(finished.get("error"), PvmError)
+    (stats,) = s.abandoned
+    assert stats.outcome == "abandoned"
+    assert stats.attempts == max_attempts
+    assert not s.migrations
+
+
+def test_dropped_control_packet_is_retried():
+    plan = FaultPlan(faults=(LinkFault(label="ctl", drop_prob=1.0, max_hits=1),))
+    s, finished = _mpvm_session(plan)
+    assert "error" not in finished
+    assert finished["host"] == "hp720-1"  # no crash: original destination
+    (stats,) = s.migrations
+    assert stats.outcome == "retried"
+
+
+# ---------------------------------------------------------- link faults
+
+
+def test_link_fault_degrades_and_delays_deterministically():
+    plan = FaultPlan(
+        faults=(LinkFault(src="hp720-0", drop_prob=0.5, delay_s=0.01),), seed=11
+    )
+    s1 = Session(mechanism="pvm", n_hosts=2, faults=plan)
+    s2 = Session(mechanism="pvm", n_hosts=2, faults=plan)
+    hits = []
+    for s in (s1, s2):
+        verdicts = [
+            type(v).__name__ if isinstance(v, BaseException) else v
+            for v in (
+                s.injector.check(s.host(0), s.host(1), 1024, "xfer")
+                for _ in range(20)
+            )
+        ]
+        hits.append(verdicts)
+    assert hits[0] == hits[1], "same seed, same drop pattern"
+    assert any(v == "ControlMessageLost" for v in hits[0])
+    assert any(isinstance(v, tuple) for v in hits[0])
+
+
+def test_crashed_host_fails_packets_both_ways():
+    s = Session(mechanism="pvm", n_hosts=2, faults=FaultPlan(faults=(
+        HostCrash(host="hp720-1", at_s=1.0),), seed=0))
+    s.run(until=2.0)
+    assert not s.host(1).up
+    down = s.injector.check(s.host(0), s.host(1), 64, "ctl")
+    assert isinstance(down, BaseException) and "hp720-1" in str(down)
+    back = s.injector.check(s.host(1), s.host(0), 64, "ctl")
+    assert isinstance(back, BaseException)
+
+
+# ------------------------------------------------ ADM mid-round loss
+
+
+def test_adm_consensus_survives_worker_lost_mid_round():
+    from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+
+    # A non-empty plan switches the app to its loss-tolerant consensus.
+    s = Session(mechanism="adm", n_hosts=3, seed=0,
+                faults=FaultPlan(faults=(LinkFault(drop_prob=0.0),)))
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=6)
+    app = AdmOpt(s.vm, cfg, master_host=2, slave_hosts=[0, 1])
+    app.start()
+    s.adopt(app)
+    assert app.fault_tolerant
+
+    def chaos():
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.2)
+        yield s.sim.timeout(4.0)  # mid-iteration, between consensus waves
+        s.vm.kill_task(app.slave_tids[1])
+
+    s.sim.process(chaos())
+    s.run(until=3600)
+    assert "total_time" in app.report, "consensus must not hang on the dead worker"
+    assert app.lost == {1}
+    assert app.item_counts[1] == 0
+
+
+def test_adm_without_tolerance_keeps_exact_legacy_quorum():
+    """Fault-free ADM must not pay for tolerance it does not use."""
+    from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+
+    s = Session(mechanism="adm", n_hosts=3)
+    app = AdmOpt(s.vm, OptConfig(data_bytes=1 * MB_DEC, iterations=4),
+                 master_host=2, slave_hosts=[0, 1])
+    app.start()
+    s.adopt(app)
+    assert app.fault_tolerant is False
+    s.run(until=3600)
+    assert "total_time" in app.report
+    assert app.lost == set()
+
+
+# --------------------------------------------------------- determinism
+
+
+def test_same_seed_same_chaos_run():
+    a = run_mpvm(seed=5)
+    b = run_mpvm(seed=5)
+    assert a == b
+
+
+def test_chaos_demo_every_mechanism_recovers():
+    mpvm, upvm, adm = run_mpvm(seed=0), run_upvm(seed=0), run_adm(seed=0)
+    assert mpvm["outcomes"] == {"rerouted": 1}
+    assert upvm["outcomes"] == {"rerouted": 1}
+    assert adm["completed"] and adm["lost_workers"] == [1]
+
+
+def test_same_seed_identical_trace():
+    def traces(seed):
+        plan = crash_plan("transfer", seed=seed)
+        s, _ = _mpvm_session(plan)
+        return [
+            (r.time, r.category, r.actor, r.message)
+            for r in s.tracer.records
+        ]
+
+    assert traces(9) == traces(9)
+
+
+# ----------------------------------------------------- plan validation
+
+
+def test_host_crash_requires_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        HostCrash(host="h", at_s=1.0, stage="transfer")
+    with pytest.raises(ValueError):
+        HostCrash(host="h")
+    with pytest.raises(ValueError):
+        HostCrash(host="h", stage="transfer", when="sometimes")
+
+
+def test_injector_install_is_idempotent():
+    s = Session(mechanism="pvm", n_hosts=2)
+    plan = FaultPlan(faults=(HostCrash(host="hp720-0", at_s=5.0),))
+    inj = FaultInjector(s.cluster, plan).install()
+    assert inj.install() is inj
+    assert s.cluster.network.faults is inj
