@@ -6,6 +6,7 @@ Usage::
     python -m repro report                # regenerate everything
     python -m repro run table2 figure4    # specific exhibits
     python -m repro faults --seed 7       # seeded chaos demo
+    python -m repro bench --json          # kernel-scale benchmarks
     python -m repro table2 figure4        # legacy spelling of `run`
 
 ``--json`` switches any subcommand to machine-readable output.
@@ -45,6 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fault-plan seed (default 0)")
     p_faults.add_argument("--json", action="store_true",
                           help="emit results as JSON")
+
+    p_bench = sub.add_parser(
+        "bench", help="kernel-scale wall-clock benchmarks (BENCH_kernel.json)"
+    )
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the benchmark document as JSON")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="tiny sizes (CI smoke / CLI tests)")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="also write the JSON document to FILE")
     return parser
 
 
@@ -89,6 +100,16 @@ def main(argv: List[str]) -> int:
             print(json.dumps(run_demo(ns.seed), indent=2))
         else:
             faults_main(ns.seed)
+        return 0
+    if ns.command == "bench":
+        from .experiments.bench import render_bench, run_bench
+
+        doc = run_bench(smoke=ns.smoke)
+        if ns.out:
+            with open(ns.out, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+        print(json.dumps(doc, indent=2) if ns.json else render_bench(doc))
         return 0
     build_parser().print_help()
     return 0

@@ -1,0 +1,251 @@
+"""Kernel-scale wall-clock benchmarks (``python -m repro bench``).
+
+The paper's exhibits run at 1994 scales (two hosts, a handful of tasks);
+the ROADMAP's production-scale north star needs the simulation kernel to
+stay fast at hundreds of concurrent jobs per server.  This module
+measures the three regimes that bound that scaling:
+
+* ``ps_churn`` — one :class:`~repro.sim.ProcessorSharing` server under
+  submit/cancel/load/set-rate churn with 512 resident jobs.  This is the
+  pure-kernel hot loop: every state change used to cost O(n), so the
+  whole run was O(n²).
+* ``cluster_churn`` — a 64-host worknet with 512 concurrent compute
+  jobs and migration-style churn (cancel on one host, resubmit the
+  remaining work on another) plus owner load flapping.
+* ``opt_sweep`` — 10 runs of the Table 6 ADMopt vacate (the paper's own
+  workload), i.e. the end-to-end cost of regenerating an exhibit.
+
+Results are emitted as a machine-readable document (see
+``BENCH_kernel.json`` at the repo root for the committed baseline, and
+the CI ``bench`` job for the regression gate).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from collections import deque
+from typing import Any, Dict, Optional
+
+from ..sim import Simulator
+from ..sim.resources import ProcessorSharing
+
+__all__ = [
+    "SCHEMA",
+    "bench_ps_churn",
+    "bench_cluster_churn",
+    "bench_opt_sweep",
+    "run_bench",
+    "render_bench",
+]
+
+SCHEMA = "repro-bench-kernel/1"
+
+#: Fixed seed: the benchmarked *work* is deterministic; only the
+#: wall-clock measurement varies between runs.
+_SEED = 1994
+
+
+def _queue_len(sim: Simulator) -> int:
+    return len(sim._queue)
+
+
+def _stale(sim: Simulator, ps: Optional[ProcessorSharing] = None) -> Dict[str, Any]:
+    """Heap-hygiene counters (absent on the legacy kernel)."""
+    out: Dict[str, Any] = {}
+    pending = getattr(sim, "discarded_pending", None)
+    if pending is not None:
+        out["discarded_pending"] = pending
+    if ps is not None:
+        superseded = getattr(ps, "superseded_wakeups", None)
+        if superseded is not None:
+            out["superseded_wakeups"] = superseded
+    return out
+
+
+def bench_ps_churn(
+    jobs: int = 512, rounds: int = 2000, seed: int = _SEED
+) -> Dict[str, Any]:
+    """One PS server, ``jobs`` resident jobs, ``rounds`` of churn.
+
+    Each round performs a short-job submit, one migration-style
+    cancel+resubmit of a resident job, periodic owner-load flapping and
+    rate changes, then advances simulated time — i.e. every round hits
+    the server's full state-change surface.
+    """
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1e6, name="bench-cpu")
+    rng = random.Random(seed)
+    resident = [ps.submit_job(1e12 + i, label="resident") for i in range(jobs)]
+    loads: deque = deque()
+    completions = 0
+
+    def _on_done(_ev) -> None:
+        nonlocal completions
+        completions += 1
+
+    max_queue = 0
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        short = ps.submit(rng.uniform(0.5, 2.0), label="short")
+        if short.callbacks is not None:
+            short.callbacks.append(_on_done)
+        i = rng.randrange(len(resident))
+        rem = ps.cancel(resident[i])
+        resident[i] = ps.submit_job(rem if rem > 0 else 1e12, label="resident")
+        if r % 7 == 0:
+            loads.append(ps.add_load(weight=2.0, label="owner"))
+            if len(loads) > 8:
+                ps.remove_load(loads.popleft())
+        if r % 11 == 0:
+            ps.set_rate(1e6 * (1.0 + 0.25 * rng.random()))
+        sim.run(until=sim.now + 1e-4)
+        if len(sim._queue) > max_queue:
+            max_queue = len(sim._queue)
+    wall = time.perf_counter() - t0
+    ops = rounds * 4  # submit + cancel + resubmit + run (amortizes the rest)
+    return {
+        "jobs": jobs,
+        "rounds": rounds,
+        "wall_s": wall,
+        "ops_per_s": ops / wall,
+        "short_jobs_completed": completions,
+        "sim_time_s": sim.now,
+        "max_event_queue": max_queue,
+        **_stale(sim, ps),
+    }
+
+
+def bench_cluster_churn(
+    n_hosts: int = 64,
+    jobs_per_host: int = 8,
+    migrations: int = 1500,
+    seed: int = _SEED,
+) -> Dict[str, Any]:
+    """A 64-host worknet with 512 concurrent jobs and migration churn."""
+    from ..hw.cluster import Cluster
+
+    cl = Cluster(n_hosts=n_hosts, trace=False)
+    sim = cl.sim
+    rng = random.Random(seed)
+    active = []  # (host_index, PsJob)
+    for hi, host in enumerate(cl.hosts):
+        for j in range(jobs_per_host):
+            flops = host.cpu.rate * rng.uniform(50.0, 200.0)
+            active.append([hi, host.cpu.submit_job(flops, label=f"w{hi}.{j}")])
+
+    def churner():
+        for m in range(migrations):
+            # Migrate: withdraw the remaining work from one host's CPU and
+            # resubmit it on another (what every migration engine does to a
+            # mid-flight computation), with a small state transfer on the
+            # shared medium.
+            k = rng.randrange(len(active))
+            src_i, job = active[k]
+            dst_i = rng.randrange(n_hosts - 1)
+            if dst_i >= src_i:
+                dst_i += 1
+            rem = cl.hosts[src_i].cpu.cancel(job)
+            if rem <= 0:
+                rem = cl.hosts[src_i].cpu.rate * rng.uniform(50.0, 200.0)
+            yield cl.network.transfer(
+                cl.hosts[src_i], cl.hosts[dst_i], 64 * 1024, label="mig-state"
+            )
+            active[k] = [dst_i, cl.hosts[dst_i].cpu.submit_job(rem, label="migrated")]
+            # Owner-load flapping on a third host.
+            h = cl.hosts[rng.randrange(n_hosts)]
+            handle = h.add_external_load(weight=2.0)
+            yield sim.timeout(0.05)
+            h.remove_external_load(handle)
+
+    proc = sim.process(churner(), name="churner")
+    max_queue = 0
+    t0 = time.perf_counter()
+    while proc.is_alive:
+        sim.run(until=sim.now + 5.0)
+        if len(sim._queue) > max_queue:
+            max_queue = len(sim._queue)
+    wall = time.perf_counter() - t0
+    return {
+        "hosts": n_hosts,
+        "concurrent_jobs": n_hosts * jobs_per_host,
+        "migrations": migrations,
+        "wall_s": wall,
+        "migrations_per_s": migrations / wall,
+        "sim_time_s": sim.now,
+        "max_event_queue": max_queue,
+        **_stale(sim),
+    }
+
+
+def bench_opt_sweep(repeats: int = 10, data_mb: float = 4.2) -> Dict[str, Any]:
+    """``repeats`` × the Table 6 ADMopt vacate — an end-to-end exhibit."""
+    from .table6 import vacate_one_slave
+
+    t0 = time.perf_counter()
+    migration_s = 0.0
+    for _ in range(repeats):
+        stats = vacate_one_slave(data_mb)
+        migration_s = stats.migration_time
+    wall = time.perf_counter() - t0
+    return {
+        "repeats": repeats,
+        "data_mb": data_mb,
+        "wall_s": wall,
+        "runs_per_s": repeats / wall,
+        "migration_s": migration_s,
+    }
+
+
+def run_bench(smoke: bool = False) -> Dict[str, Any]:
+    """Run the full suite; ``smoke=True`` shrinks every axis (CLI tests)."""
+    if smoke:
+        benches = {
+            "ps_churn": bench_ps_churn(jobs=32, rounds=60),
+            "cluster_churn": bench_cluster_churn(
+                n_hosts=4, jobs_per_host=2, migrations=20
+            ),
+            "opt_sweep": bench_opt_sweep(repeats=1, data_mb=0.6),
+        }
+    else:
+        benches = {
+            "ps_churn": bench_ps_churn(),
+            "cluster_churn": bench_cluster_churn(),
+            "opt_sweep": bench_opt_sweep(),
+        }
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "kernel": getattr(ProcessorSharing, "KERNEL", "legacy-list"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benches": benches,
+    }
+
+
+def render_bench(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_bench` document."""
+    out = [f"== kernel bench ({doc['kernel']}, python {doc['python']}) =="]
+    for name, b in doc["benches"].items():
+        parts = [f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                 for k, v in b.items()]
+        out.append(f"  {name:14s} " + " ".join(parts))
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments.bench")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--smoke", action="store_true")
+    args = parser.parse_args(argv)
+    doc = run_bench(smoke=args.smoke)
+    print(json.dumps(doc, indent=2) if args.json else render_bench(doc))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

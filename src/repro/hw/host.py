@@ -103,14 +103,31 @@ class Host:
 
     def ipc_copy(self, nbytes: float, label: str = "ipc") -> Event:
         """One hop of local Unix-domain-socket IPC (task<->pvmd)."""
-        return self.compute(
-            self._flops_for_rate(nbytes, self.params.local_ipc_bytes_per_s),
-            label=label,
-        )
+        return self.compute(self.ipc_flops(nbytes), label=label)
+
+    def ipc_flops(self, nbytes: float) -> float:
+        """CPU work of one local-IPC hop, for fusing into a larger job."""
+        return self._flops_for_rate(nbytes, self.params.local_ipc_bytes_per_s)
 
     def syscall(self, n: int = 1) -> Event:
         """``n`` kernel crossings."""
-        return self.compute(self.params.syscall_s * n * self.cpu.rate, label="syscall")
+        return self.compute(self.syscall_flops(n), label="syscall")
+
+    def syscall_flops(self, n: int = 1) -> float:
+        """CPU work of ``n`` kernel crossings, for fusing."""
+        return self.params.syscall_s * n * self.cpu.rate
+
+    def syscall_then_ipc(self, nbytes: float, hops: int = 1, label: str = "ipc") -> Event:
+        """One kernel crossing followed by ``hops`` local-IPC copies.
+
+        The message hot paths (task→pvmd submit, pvmd→task delivery)
+        always pay these costs back to back; fusing them into a single
+        processor-sharing job halves the event traffic without changing
+        the simulated cost (the CPU share is identical throughout).
+        """
+        return self.compute(
+            self.syscall_flops() + hops * self.ipc_flops(nbytes), label=label
+        )
 
     def busy_seconds(self, seconds: float, label: str = "busy") -> Event:
         """Occupy the CPU for what would be ``seconds`` on an idle host."""

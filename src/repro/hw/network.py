@@ -11,12 +11,55 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim import Event, ProcessorSharing, Simulator
+from ..sim import Event, ProcessorSharing, Simulator, Timeout
 from ..sim.trace import Tracer
 from .host import Host
 from .params import HardwareParams
 
 __all__ = ["EthernetNetwork"]
+
+
+class _WireTransfer:
+    """Callback-driven transfer: the fault-free hot path.
+
+    The original implementation spawned a full simulated process (a
+    generator + a :class:`Process` + its boot event) for every packet.
+    When no fault injector is installed the control flow is a straight
+    line — latency, then wire time — so this object sequences the same
+    two events through plain callbacks, one small allocation per
+    transfer instead of four.
+    """
+
+    __slots__ = ("net", "src", "dst", "nbytes", "label", "done")
+
+    def __init__(
+        self, net: "EthernetNetwork", src: Host, dst: Host, nbytes: float, label: str
+    ) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.label = label
+        self.done = Event(net.sim)
+        latency = Timeout(net.sim, net.params.net_latency_s)
+        latency.callbacks.append(self._after_latency)
+
+    def _after_latency(self, _ev: Event) -> None:
+        if self.nbytes > 0:
+            wire = self.net.medium.submit(self.nbytes, label=self.label)
+            assert wire.callbacks is not None
+            wire.callbacks.append(self._after_wire)
+        else:
+            self._after_wire(_ev)
+
+    def _after_wire(self, _ev: Event) -> None:
+        net = self.net
+        if net.tracer:
+            net.tracer.emit(
+                net.sim.now, "net.xfer", self.src.name,
+                f"{self.label} -> {self.dst.name}", bytes=int(self.nbytes),
+            )
+        self.done.succeed(self.nbytes)
 
 
 class EthernetNetwork:
@@ -61,11 +104,11 @@ class EthernetNetwork:
                 f"network transfer from {src.name} to itself; use Host.ipc_copy"
             )
         self.bytes_carried += nbytes
+        if self.faults is None:
+            # Fault-free fast path: no process/generator per transfer.
+            return _WireTransfer(self, src, dst, nbytes, label).done
         done = Event(self.sim)
-        verdict = (
-            self.faults.check(src, dst, nbytes, label) if self.faults is not None
-            else (0.0, 1.0)
-        )
+        verdict = self.faults.check(src, dst, nbytes, label)
 
         def proc():
             if isinstance(verdict, BaseException):

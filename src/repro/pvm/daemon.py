@@ -61,11 +61,12 @@ class Pvmd:
 
     def _frag_cpu(self, msg: Message):
         """Per-fragment daemon processing for one traversal."""
+        return self.host.busy_seconds(self._frag_seconds(msg), label="pvmd-frag")
+
+    def _frag_seconds(self, msg: Message) -> float:
         params = self.system.params
         nfrags = fragments_of(msg.wire_bytes, params.pvm_frag_bytes)
-        return self.host.busy_seconds(
-            nfrags * params.pvmd_frag_cpu_s, label="pvmd-frag"
-        )
+        return nfrags * params.pvmd_frag_cpu_s
 
     def _outbound_worker(self):
         """Route messages submitted by local tasks."""
@@ -97,10 +98,16 @@ class Pvmd:
 
     def _inbound_worker(self):
         """Deliver messages arriving from remote daemons to local tasks."""
+        host = self.host
         while True:
             msg: Message = yield self.inbound.get()
-            yield self._frag_cpu(msg)
-            yield self.host.ipc_copy(msg.wire_bytes, label="pvmd>rcv")
+            # Fragment processing + the pvmd→task IPC copy happen back to
+            # back with no routing decision between them: one fused job.
+            yield host.compute(
+                self._frag_seconds(msg) * host.cpu.rate
+                + host.ipc_flops(msg.wire_bytes),
+                label="pvmd>rcv",
+            )
             self._deliver_local(msg)
 
     def _current_host_of(self, tid: int) -> int:

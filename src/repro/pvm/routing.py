@@ -46,9 +46,9 @@ class DaemonRoute:
         """Costs charged inside the sending task (generator)."""
         host = src.host
         msg.route = self.name
-        # write() of the packed buffer to the local pvmd socket
-        yield host.syscall()
-        yield host.ipc_copy(msg.wire_bytes, label="snd>pvmd")
+        # write() of the packed buffer to the local pvmd socket: one
+        # kernel crossing + one IPC copy, fused into a single CPU job.
+        yield host.syscall_then_ipc(msg.wire_bytes, label="snd>pvmd")
         self.system.pvmd_on(host).enqueue_outbound(msg)
 
 
@@ -66,9 +66,11 @@ class DirectRoute:
         yield src.host.syscall()
         dst = self.system.task(msg.dst_tid)
         if dst.host is src.host:
-            # Same host: the implementation falls back to local IPC.
-            yield src.host.ipc_copy(msg.wire_bytes, label="snd>local")
-            yield src.host.ipc_copy(msg.wire_bytes, label="local>rcv")
+            # Same host: the implementation falls back to local IPC —
+            # both copies (send side + receive side) fused into one job.
+            yield src.host.compute(
+                2 * src.host.ipc_flops(msg.wire_bytes), label="snd>local"
+            )
             dst.deliver(msg)
             return
         chan = self._channel(src, dst)

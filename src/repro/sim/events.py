@@ -77,7 +77,7 @@ class Interrupt(Exception):
 class Event:
     """A single occurrence that simulation processes can wait on."""
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_processed", "_discarded")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -88,6 +88,9 @@ class Event:
         self._ok: Optional[bool] = None
         self._defused = False
         self._processed = False
+        #: True once :meth:`Simulator.discard` withdrew the event; the
+        #: scheduler drops it without running callbacks (heap hygiene).
+        self._discarded = False
 
     # -- state inspection -------------------------------------------------
     @property

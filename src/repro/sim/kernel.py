@@ -137,11 +137,17 @@ class Process(Event):
 class Simulator:
     """An event-driven simulation clock and scheduler."""
 
+    #: Discards are removed lazily; once at least this many are pending
+    #: *and* they make up half the queue, the queue is compacted in one
+    #: O(n) pass (amortized O(1) per discard).
+    COMPACT_MIN = 32
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self._n_discarded = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -177,15 +183,48 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
 
+    def discard(self, event: Event) -> None:
+        """Withdraw a scheduled-but-unprocessed event from the queue.
+
+        The entry is dropped lazily: it is skipped when popped, or swept
+        out wholesale once discarded entries dominate the queue.  Used
+        for superseded wakeups (e.g. a :class:`ProcessorSharing` server
+        re-arming its completion timer) so the event heap stays bounded
+        under churn instead of accumulating stale entries.
+        """
+        if event._processed or event._discarded:
+            return
+        event._discarded = True
+        self._n_discarded += 1
+        if (
+            self._n_discarded >= self.COMPACT_MIN
+            and self._n_discarded * 2 >= len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e[3]._discarded]
+            heapq.heapify(self._queue)
+            self._n_discarded = 0
+
+    @property
+    def discarded_pending(self) -> int:
+        """Discarded events still occupying queue slots (hygiene metric)."""
+        return self._n_discarded
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when drained."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue and queue[0][3]._discarded:
+            heapq.heappop(queue)
+            self._n_discarded -= 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (discarded events pop as no-ops)."""
         if not self._queue:
             raise SimulationError("no scheduled events")
         self._now, _, _, event = heapq.heappop(self._queue)
+        if event._discarded:
+            self._n_discarded -= 1
+            return
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         assert callbacks is not None
@@ -226,7 +265,11 @@ class Simulator:
                 )
 
         try:
-            while self._queue and self.peek() <= stop_at:
+            # peek() may drain discarded entries, so re-check the queue
+            # after calling it.
+            while True:
+                if self.peek() > stop_at or not self._queue:
+                    break
                 self.step()
         except StopSimulation as stop:
             ev: Event = stop.value
@@ -238,7 +281,11 @@ class Simulator:
             raise SimulationError(
                 "simulation ran out of events before the target event triggered"
             )
-        if stop_at is not float("inf"):
+        # NB: ``!=``, not ``is not`` — each float("inf") call is a fresh
+        # object, so the old identity check was always true and a drained
+        # run(until=None) warped the clock to infinity, poisoning any
+        # event scheduled afterwards.
+        if stop_at != float("inf"):
             self._now = stop_at
         return None
 

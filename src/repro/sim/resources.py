@@ -14,6 +14,7 @@ Three families of primitives are provided:
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Deque, Dict, List, Optional
 from collections import deque
 
@@ -226,29 +227,69 @@ class Resource:
 
 
 class PsJob:
-    """A unit of work inside a :class:`ProcessorSharing` server."""
+    """A unit of work inside a :class:`ProcessorSharing` server.
 
-    __slots__ = ("event", "remaining", "weight", "label")
+    Jobs are tracked by *virtual finish tag* (see the server docstring);
+    ``remaining`` is derived on demand instead of being decremented on
+    every server state change.  ``active`` is the lazy-removal flag:
+    cancelled and completed jobs stay in the server's heap until they
+    surface at the root, where they are reaped in O(log n).
+    """
+
+    __slots__ = (
+        "event", "weight", "label", "finish_tag", "active", "is_load",
+        "_server", "_final_remaining",
+    )
 
     def __init__(self, event: Event, amount: float, weight: float, label: str) -> None:
         self.event = event
-        self.remaining = amount
         self.weight = weight
         self.label = label
+        #: Virtual time at which the job has received all its service.
+        self.finish_tag = 0.0
+        self.active = False
+        self.is_load = False
+        self._server: Optional["ProcessorSharing"] = None
+        self._final_remaining = amount
+
+    @property
+    def remaining(self) -> float:
+        """Work still owed to this job (exact after the server advanced)."""
+        if self.is_load:
+            return float("inf")
+        if not self.active or self._server is None:
+            return self._final_remaining
+        return (self.finish_tag - self._server._vtime) * self.weight
 
     def __repr__(self) -> str:
         return f"<PsJob {self.label!r} remaining={self.remaining:.3g} w={self.weight}>"
 
 
 class ProcessorSharing:
-    """An egalitarian processor-sharing server.
+    """An egalitarian processor-sharing server (virtual-time kernel).
 
     ``rate`` is in work-units per second (Mflop/s for CPUs, bytes/s for
     network links).  Each active job receives a share of the rate
     proportional to its weight.  Permanent *load* (e.g. an interactive
     owner hammering a workstation) is modelled with :meth:`add_load`,
     which soaks up a share of the server without ever completing.
+
+    Internally the server keeps a *virtual time* ``V`` — cumulative
+    service delivered per unit weight — advancing at ``rate /
+    total_weight`` while any job is active.  A job of size ``a`` and
+    weight ``w`` admitted at virtual time ``V0`` completes when ``V``
+    reaches its *finish tag* ``V0 + a / w``; its remaining work at any
+    instant is ``(tag − V) · w``.  Jobs live in a min-heap keyed by
+    finish tag, and ``total_weight`` is maintained incrementally, so
+    every state change (submit / cancel / load / rate) is amortized
+    O(log n) instead of the previous O(n) full-list sweep — O(n log n)
+    overall where the old kernel was O(n²).  Superseded completion
+    wakeups are :meth:`discarded <Simulator.discard>` from the event
+    heap rather than left to rot (see DESIGN.md §9).
     """
+
+    #: Kernel identifier reported by ``python -m repro bench``.
+    KERNEL = "virtual-time-heap"
 
     def __init__(self, sim: Simulator, rate: float, name: str = "ps") -> None:
         if rate <= 0:
@@ -256,10 +297,18 @@ class ProcessorSharing:
         self.sim = sim
         self.name = name
         self._rate = rate
-        self._jobs: List[PsJob] = []
+        #: Min-heap of (finish_tag, seq, job); lazily reaped.
+        self._heap: List[tuple] = []
+        self._heap_seq = 0
+        self._dead = 0  #: inactive entries still in the heap
+        self._active = 0
         self._loads: List[PsJob] = []
+        self._total_weight = 0.0
+        self._vtime = 0.0
         self._last_update = sim.now
         self._wakeup: Optional[Event] = None
+        #: Superseded wakeups discarded over the server's lifetime.
+        self.superseded_wakeups = 0
 
     # -- public API --------------------------------------------------------
     @property
@@ -268,15 +317,15 @@ class ProcessorSharing:
 
     @property
     def active_jobs(self) -> int:
-        return len(self._jobs)
+        return self._active
 
     @property
     def total_weight(self) -> float:
-        return sum(j.weight for j in self._jobs) + sum(j.weight for j in self._loads)
+        return self._total_weight
 
     def utilization_share(self, weight: float = 1.0) -> float:
         """Fraction of the server a new job of ``weight`` would receive."""
-        return weight / (self.total_weight + weight)
+        return weight / (self._total_weight + weight)
 
     def submit(self, amount: float, weight: float = 1.0, label: str = "job") -> Event:
         """Submit ``amount`` units of work; the event fires on completion."""
@@ -297,36 +346,64 @@ class ProcessorSharing:
         ev = Event(self.sim)
         job = PsJob(ev, float(amount), float(weight), label)
         if amount == 0:
+            job._final_remaining = 0.0
             ev.succeed(0.0)
             return job
         self._advance()
-        self._jobs.append(job)
+        if self._active == 0:
+            # Fresh busy period: restart the virtual clock so finish
+            # tags stay small (no precision loss from an ever-growing V).
+            self._vtime = 0.0
+        job.active = True
+        job._server = self
+        job.finish_tag = self._vtime + float(amount) / job.weight
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (job.finish_tag, self._heap_seq, job))
+        self._active += 1
+        self._total_weight += job.weight
         self._reschedule()
         return job
 
     def cancel(self, job: PsJob) -> float:
         """Withdraw an unfinished job; returns the work still remaining.
 
-        Returns 0.0 if the job had already completed.
+        Returns 0.0 if the job had already completed (or was a load
+        handle / already cancelled).  O(log n) amortized: the heap entry
+        is flagged inactive and reaped when it reaches the root.
         """
         self._advance()
-        if job not in self._jobs:
+        if job.is_load or not job.active:
             return 0.0
-        self._jobs.remove(job)
+        job.active = False
+        job._final_remaining = max(
+            (job.finish_tag - self._vtime) * job.weight, 0.0
+        )
+        self._active -= 1
+        self._total_weight -= job.weight
+        self._dead += 1
+        if self._dead * 2 >= len(self._heap) and self._dead >= 16:
+            self._heap = [e for e in self._heap if e[2].active]
+            heapq.heapify(self._heap)
+            self._dead = 0
         self._reschedule()
-        return max(job.remaining, 0.0)
+        return job._final_remaining
 
     def add_load(self, weight: float = 1.0, label: str = "load") -> PsJob:
         """Attach permanent competing load; returns a removable handle."""
         self._advance()
         job = PsJob(Event(self.sim), float("inf"), float(weight), label)
+        job.is_load = True
+        job.active = True
         self._loads.append(job)
+        self._total_weight += job.weight
         self._reschedule()
         return job
 
     def remove_load(self, handle: PsJob) -> None:
         self._advance()
         self._loads.remove(handle)
+        handle.active = False
+        self._total_weight -= handle.weight
         self._reschedule()
 
     def set_rate(self, rate: float) -> None:
@@ -339,56 +416,79 @@ class ProcessorSharing:
 
     def time_to_complete(self, amount: float, weight: float = 1.0) -> float:
         """Time ``amount`` units would take if load stayed as it is now."""
-        share = self._rate * weight / (self.total_weight + weight)
+        share = self._rate * weight / (self._total_weight + weight)
         return amount / share
 
     # -- engine ------------------------------------------------------------
     def _advance(self) -> None:
-        """Credit service delivered since the last state change."""
+        """Credit service delivered since the last state change: O(1)."""
         now = self.sim.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._jobs:
+        if elapsed <= 0 or self._active == 0:
             return
-        total_w = self.total_weight
-        per_weight = self._rate * elapsed / total_w
-        for job in self._jobs:
-            job.remaining -= per_weight * job.weight
+        self._vtime += self._rate * elapsed / self._total_weight
+
+    def _on_wakeup(self, ev: Event) -> None:
+        """Completion timer fired: finish everything that is due."""
+        if ev is not self._wakeup:
+            return  # superseded (normally discarded before it can fire)
+        self._wakeup = None
+        self._advance()
+        eps = self._rate * _EPS_SECONDS
+        vtime = self._vtime
+        heap = self._heap
+        finished: List[PsJob] = []
+        while heap:
+            _tag, _seq, job = heap[0]
+            if not job.active:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if (job.finish_tag - vtime) * job.weight <= eps:
+                heapq.heappop(heap)
+                job.active = False
+                job._final_remaining = 0.0
+                self._active -= 1
+                self._total_weight -= job.weight
+                finished.append(job)
+            else:
+                break
+        for job in finished:
+            job.event.succeed(self.sim.now)
+        self._reschedule()
 
     def _reschedule(self) -> None:
-        """(Re-)arm the wakeup for the next job completion."""
-        # A previously armed wakeup may still be in the queue; its callback
-        # checks `self._wakeup is not wakeup` and ignores itself if stale.
-        self._wakeup = None
-        if not self._jobs:
+        """(Re-)arm the wakeup for the next job completion: O(log n)."""
+        wakeup = self._wakeup
+        if wakeup is not None:
+            # Supersede: withdraw the stale wakeup from the event heap
+            # instead of leaving it to rot until its (possibly far-away)
+            # pop time.
+            self._wakeup = None
+            self.sim.discard(wakeup)
+            self.superseded_wakeups += 1
+        heap = self._heap
+        while heap and not heap[0][2].active:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if self._active == 0:
+            if not self._loads:
+                # Idle server: clear float drift from incremental upkeep.
+                self._total_weight = 0.0
             return
-        total_w = self.total_weight
-        horizon = min(
-            max(job.remaining, 0.0) * total_w / (self._rate * job.weight)
-            for job in self._jobs
-        )
+        root = heap[0][2]
+        remaining = max((root.finish_tag - self._vtime) * root.weight, 0.0)
+        horizon = remaining * self._total_weight / (self._rate * root.weight)
         wakeup = Event(self.sim)
         self._wakeup = wakeup
-
-        def _fire(_ev: Event) -> None:
-            if self._wakeup is not wakeup:
-                return  # superseded
-            self._wakeup = None
-            self._advance()
-            eps = self._rate * _EPS_SECONDS
-            finished = [j for j in self._jobs if j.remaining <= eps]
-            self._jobs = [j for j in self._jobs if j.remaining > eps]
-            for job in finished:
-                job.event.succeed(self.sim.now)
-            self._reschedule()
-
         wakeup._ok = True
         wakeup._value = None
-        wakeup.callbacks.append(_fire)
+        wakeup.callbacks.append(self._on_wakeup)
         self.sim._schedule(wakeup, delay=max(horizon, 0.0))
 
     def __repr__(self) -> str:
         return (
             f"<ProcessorSharing {self.name!r} rate={self._rate:.3g} "
-            f"jobs={len(self._jobs)} loads={len(self._loads)}>"
+            f"jobs={self._active} loads={len(self._loads)}>"
         )

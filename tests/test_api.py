@@ -180,6 +180,28 @@ def test_cli_run_json(capsys):
     assert payload[0]["checks"]
 
 
+def test_cli_bench_smoke_json(capsys, tmp_path):
+    import json
+
+    from repro.__main__ import main
+    from repro.experiments.bench import SCHEMA
+
+    out_file = tmp_path / "bench.json"
+    assert main(
+        ["repro", "bench", "--smoke", "--json", "--out", str(out_file)]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == SCHEMA
+    assert doc["smoke"] is True
+    assert doc["kernel"] == "virtual-time-heap"
+    for name in ("ps_churn", "cluster_churn", "opt_sweep"):
+        assert doc["benches"][name]["wall_s"] > 0
+    # The heap-hygiene counters must report a bounded queue even in smoke.
+    assert doc["benches"]["ps_churn"]["max_event_queue"] <= 4 * 32
+    # --out writes the same document to disk.
+    assert json.loads(out_file.read_text())["schema"] == SCHEMA
+
+
 # ---------------------------------------------------------------- policy
 
 

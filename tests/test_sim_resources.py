@@ -1,5 +1,7 @@
 """Unit tests for Store / FilterStore / Resource / ProcessorSharing."""
 
+import random
+
 import pytest
 
 from repro.sim import FilterStore, ProcessorSharing, Resource, Simulator, Store
@@ -334,6 +336,172 @@ def test_ps_rejects_bad_args():
         ps.submit(1, weight=0)
     with pytest.raises(ValueError):
         ps.set_rate(-1)
+
+
+def test_ps_cancel_semantics():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=10.0)
+    job = ps.submit_job(100.0)
+    job_ev = job.event
+    sim.run(until=2.0)  # 20 units done
+    assert ps.cancel(job) == pytest.approx(80.0)
+    assert not job.active
+    assert job.remaining == pytest.approx(80.0)  # frozen at cancel time
+    # Double cancel is a no-op returning 0.
+    assert ps.cancel(job) == 0.0
+    # A cancelled job's event never fires.
+    sim.run()
+    assert not job_ev.triggered
+
+    # Cancelling a completed job returns 0.
+    done_job = ps.submit_job(1.0)
+    sim.run()
+    assert done_job.event.triggered
+    assert ps.cancel(done_job) == 0.0
+
+    # Cancelling a load handle is refused (loads go through remove_load).
+    handle = ps.add_load(weight=1.0)
+    assert ps.cancel(handle) == 0.0
+    assert ps.total_weight == pytest.approx(1.0)
+    ps.remove_load(handle)
+    assert ps.total_weight == 0.0
+
+
+def test_ps_wakeup_heap_stays_bounded_under_churn():
+    """Superseded wakeups must not accumulate in the simulator heap.
+
+    Every submit/cancel re-arms the PS completion timer.  The legacy
+    kernel left the old timer event rotting in the heap (hundreds of
+    stale entries under churn); the virtual-time kernel discards it, so
+    the heap stays at O(active jobs) regardless of churn volume.
+    """
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1e6)
+    resident = [ps.submit_job(1e12) for _ in range(64)]
+    max_queue = 0
+    for round_no in range(500):
+        short = ps.submit_job(10.0)
+        ps.cancel(short)
+        victim = resident[round_no % 64]
+        ps.cancel(victim)
+        resident[round_no % 64] = ps.submit_job(1e12)
+        sim.run(until=sim.now + 1e-5)
+        max_queue = max(max_queue, len(sim._queue))
+    # 64 resident jobs + a handful in flight; the legacy kernel peaks
+    # in the hundreds here.
+    assert max_queue <= 128, max_queue
+    assert ps.superseded_wakeups > 0
+    assert sim.discarded_pending <= Simulator.COMPACT_MIN * 2
+
+
+class _ReferencePs:
+    """Brute-force small-timestep processor-sharing reference model."""
+
+    def __init__(self, rate, dt):
+        self.rate = rate
+        self.dt = dt
+        self.t = 0.0
+        self.jobs = {}   # id -> [remaining, weight]
+        self.loads = {}  # id -> weight
+        self.completions = {}
+
+    def advance_to(self, t_stop):
+        while self.t < t_stop - 1e-12:
+            total_w = sum(w for _, w in self.jobs.values()) + sum(
+                self.loads.values()
+            )
+            self.t += self.dt
+            if not self.jobs:
+                continue
+            for jid, job in list(self.jobs.items()):
+                job[0] -= self.rate * job[1] / total_w * self.dt
+                if job[0] <= 0:
+                    self.completions[jid] = self.t
+                    del self.jobs[jid]
+
+    def cancel(self, jid):
+        return self.jobs.pop(jid, [0.0])[0]
+
+    def drain(self):
+        while self.jobs:
+            self.advance_to(self.t + 1.0)
+
+
+def test_ps_matches_brute_force_reference():
+    """Randomized op sequences: virtual-time PS vs small-timestep model.
+
+    Drives both implementations through the same seeded schedule of
+    submit / cancel / add_load / remove_load / set_rate operations and
+    checks every completion timestamp agrees to within the reference
+    model's discretization error.
+    """
+    dt = 1.0 / 2048.0
+    op_spacing = 0.125  # exact multiple of dt: ops land on step edges
+    for seed in (7, 1994, 2024):
+        rng = random.Random(seed)
+        sim = Simulator()
+        ps = ProcessorSharing(sim, rate=10.0)
+        ref = _ReferencePs(rate=10.0, dt=dt)
+        completions = {}
+        live = {}   # jid -> PsJob handle (simulator side)
+        loads = {}  # lid -> PsJob load handle
+        next_id = [0]
+
+        def apply_op(op):
+            if op == "submit" or not (live or loads):
+                jid = next_id[0] = next_id[0] + 1
+                amount = rng.uniform(0.5, 5.0)
+                weight = rng.choice([0.5, 1.0, 2.0])
+                job = ps.submit_job(amount, weight=weight)
+                live[jid] = job
+                job.event.callbacks.append(
+                    lambda _e, j=jid: completions.__setitem__(j, sim.now)
+                )
+                ref.jobs[jid] = [amount, weight]
+            elif op == "cancel" and live:
+                jid = rng.choice(sorted(live))
+                got = ps.cancel(live.pop(jid))
+                want = ref.cancel(jid)
+                assert got == pytest.approx(want, abs=0.05)
+            elif op == "add_load":
+                lid = next_id[0] = next_id[0] + 1
+                weight = rng.choice([1.0, 2.0])
+                loads[lid] = ps.add_load(weight=weight)
+                ref.loads[lid] = weight
+            elif op == "remove_load" and loads:
+                lid = rng.choice(sorted(loads))
+                ps.remove_load(loads.pop(lid))
+                del ref.loads[lid]
+            elif op == "set_rate":
+                rate = rng.choice([5.0, 10.0, 20.0])
+                ps.set_rate(rate)
+                ref.rate = rate
+
+        def driver():
+            for _ in range(40):
+                op = rng.choice(
+                    ["submit", "submit", "cancel", "add_load",
+                     "remove_load", "set_rate"]
+                )
+                apply_op(op)
+                yield sim.timeout(op_spacing)
+                ref.advance_to(sim.now)
+            # Drop remaining loads so both models drain.
+            for lid, handle in sorted(loads.items()):
+                ps.remove_load(handle)
+                del ref.loads[lid]
+
+        sim.process(driver())
+        sim.run()
+        ref.drain()
+        # Jobs cancelled on the sim side were also removed from the
+        # reference, so the completion sets must match exactly...
+        assert set(completions) == set(ref.completions), seed
+        # ...and every timestamp within the discretization error.
+        for jid, t in completions.items():
+            assert t == pytest.approx(ref.completions[jid], abs=0.01), (
+                seed, jid,
+            )
 
 
 def test_ps_many_jobs_conservation():
