@@ -7,6 +7,7 @@ Usage::
     python -m repro run table2 figure4    # specific exhibits
     python -m repro faults --seed 7       # seeded chaos demo
     python -m repro bench --json          # kernel-scale benchmarks
+    python -m repro soak --seeds 20       # crash-recovery survivability soak
     python -m repro table2 figure4        # legacy spelling of `run`
 
 ``--json`` switches any subcommand to machine-readable output.
@@ -44,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.add_argument("--seed", type=int, default=0,
                           help="fault-plan seed (default 0)")
+    p_faults.add_argument("--random", action="store_true",
+                          help="seeded random crash schedule (FaultPlan.random) "
+                               "instead of the curated plan")
     p_faults.add_argument("--json", action="store_true",
                           help="emit results as JSON")
 
@@ -56,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tiny sizes (CI smoke / CLI tests)")
     p_bench.add_argument("--out", metavar="FILE", default=None,
                          help="also write the JSON document to FILE")
+
+    p_soak = sub.add_parser(
+        "soak", help="crash-recovery survivability soak (BENCH_recovery.json)"
+    )
+    p_soak.add_argument("--seeds", type=int, default=20,
+                        help="number of seeded crash schedules (default 20)")
+    p_soak.add_argument("--json", action="store_true",
+                        help="emit the soak document as JSON")
+    p_soak.add_argument("--smoke", action="store_true",
+                        help="tiny workload (CI smoke / CLI tests)")
+    p_soak.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the JSON document to FILE")
     return parser
 
 
@@ -97,10 +113,20 @@ def main(argv: List[str]) -> int:
         from .faults.demo import main as faults_main, run_demo
 
         if ns.json:
-            print(json.dumps(run_demo(ns.seed), indent=2))
+            print(json.dumps(run_demo(ns.seed, random_schedule=ns.random), indent=2))
         else:
-            faults_main(ns.seed)
+            faults_main(ns.seed, random_schedule=ns.random)
         return 0
+    if ns.command == "soak":
+        from .experiments.soak import render_soak, run_soak
+
+        doc = run_soak(seeds=ns.seeds, smoke=ns.smoke)
+        if ns.out:
+            with open(ns.out, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+        print(json.dumps(doc, indent=2) if ns.json else render_soak(doc))
+        return 0 if doc["ok"] else 1
     if ns.command == "bench":
         from .experiments.bench import render_bench, run_bench
 

@@ -40,10 +40,12 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from .faults import FaultInjector, FaultPlan
 from .gs import GlobalScheduler
-from .hw import Cluster, HostSpec
+from .hw import Cluster, Host, HostSpec
 from .migration import MigrationStats, StagePolicy
 from .mpvm import MpvmSystem
+from .mpvm.checkpoint import CheckpointEngine
 from .pvm import PvmSystem
+from .recovery import FailureDetector, RecoveryConfig, RecoveryCoordinator
 from .upvm import UpvmSystem
 
 __all__ = ["Session", "SessionConfig"]
@@ -66,6 +68,9 @@ class SessionConfig:
     trace: bool = True
     default_route: str = "daemon"
     faults: FaultPlan = FaultPlan()
+    #: Crash detection & recovery armed (off by default: the paper's
+    #: exhibits run without any heartbeat traffic).
+    recovery: bool = False
 
 
 class Session:
@@ -84,6 +89,8 @@ class Session:
         policy: Optional[StagePolicy] = None,
         default_route: str = "daemon",
         quarantine_after: int = 2,
+        quarantine_ttl: Optional[float] = None,
+        recovery: "bool | RecoveryConfig | None" = None,
     ) -> None:
         if mechanism not in _SYSTEMS:
             raise ValueError(
@@ -93,6 +100,11 @@ class Session:
         self.cluster = cluster or Cluster(
             n_hosts=n_hosts, specs=hosts, seed=seed, trace=trace
         )
+        if recovery is True:
+            recovery = RecoveryConfig()
+        elif recovery is False:
+            recovery = None
+        self.recovery: Optional[RecoveryConfig] = recovery
         self.config = SessionConfig(
             mechanism=mechanism,
             n_hosts=len(self.cluster.hosts),
@@ -100,10 +112,12 @@ class Session:
             trace=trace,
             default_route=default_route,
             faults=faults or FaultPlan(),
+            recovery=recovery is not None,
         )
         self.faults = self.config.faults
         self.vm = _SYSTEMS[mechanism](self.cluster, default_route=default_route)
         self._quarantine_after = quarantine_after
+        self._quarantine_ttl = quarantine_ttl
         #: Stage policy applied to every coordinator this session wires.
         #: Defaults to retry-everything when faults are armed, and to the
         #: bare (fault-free, zero-overhead) policy otherwise.
@@ -118,6 +132,31 @@ class Session:
         if mig is not None:
             self._wire_coordinator(mig)
         self._scheduler: Optional[GlobalScheduler] = None
+        # Recovery stack (detector + coordinator) goes on last so the
+        # fence wraps the injector at the network seam.
+        self.detector: Optional[FailureDetector] = None
+        self.coordinator: Optional[RecoveryCoordinator] = None
+        self.checkpoints: Optional[CheckpointEngine] = None
+        if self.recovery is not None:
+            # The GS machine (host 0) runs the detector; like the
+            # paper's GS it is assumed survivable.
+            home = self.cluster.hosts[0]
+            self.detector = FailureDetector(
+                self.vm, home, self.recovery.heartbeat
+            )
+            if isinstance(self.vm, MpvmSystem):
+                self.checkpoints = CheckpointEngine(
+                    self.vm,
+                    period_s=self.recovery.checkpoint_period_s,
+                    store_host=home,
+                )
+            self.coordinator = RecoveryCoordinator(
+                self.vm,
+                self.detector,
+                engine=self.checkpoints,
+                destination_picker=self._recovery_pick,
+            )
+            self.coordinator.install()
 
     # -- wiring ----------------------------------------------------------------
     def _wire_coordinator(self, coordinator: Any) -> None:
@@ -138,9 +177,42 @@ class Session:
             if self.mechanism == "pvm":
                 raise RuntimeError("plain PVM has no migration client")
             self._scheduler = GlobalScheduler(
-                self.cluster, self.vm, quarantine_after=self._quarantine_after
+                self.cluster,
+                self.vm,
+                quarantine_after=self._quarantine_after,
+                quarantine_ttl=self._quarantine_ttl,
             )
         return self._scheduler
+
+    def _recovery_pick(self, exclude: Tuple[str, ...]) -> Optional[Host]:
+        """Restart placement via the GS ranking when a GS exists.
+
+        Falls back to ``None`` (the coordinator then scans for the
+        first compatible survivor) for sessions that never built a GS —
+        plain PVM, or an ADM session before :meth:`adopt`.
+        """
+        if self._scheduler is None and self.mechanism in ("mpvm", "upvm"):
+            _ = self.scheduler  # build it lazily
+        if self._scheduler is not None:
+            return self._scheduler.pick_destination(exclude=exclude)
+        return None
+
+    def protect(self, task: Any) -> Any:
+        """Checkpoint-protect a task so a host crash can restart it.
+
+        Only meaningful on a recovery-armed MPVM session (the engine
+        replicates images to the GS machine).  Returns the writer
+        process.
+        """
+        if self.checkpoints is None:
+            raise RuntimeError(
+                "protect() needs a recovery-armed mpvm session "
+                "(Session(mechanism='mpvm', recovery=True))"
+            )
+        assert self.recovery is not None
+        return self.checkpoints.protect(
+            task, initial=self.recovery.checkpoint_initial
+        )
 
     def adopt(self, app: Any) -> GlobalScheduler:
         """Wire an ADM application into the session; returns its GS.
@@ -157,13 +229,28 @@ class Session:
         if self.faults and hasattr(app, "fault_tolerant"):
             app.fault_tolerant = True
         self._scheduler = GlobalScheduler(
-            self.cluster, client, quarantine_after=self._quarantine_after
+            self.cluster,
+            client,
+            quarantine_after=self._quarantine_after,
+            quarantine_ttl=self._quarantine_ttl,
         )
         return self._scheduler
 
     # -- running ----------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
-        """Drive the simulation (to ``until`` seconds, or until idle)."""
+        """Drive the simulation (to ``until`` seconds, or until idle).
+
+        A recovery-armed session gossips heartbeats forever, so the
+        event heap never empties: pass an explicit ``until`` (or
+        ``session.detector.stop()`` first) to avoid running without
+        bound.
+        """
+        if until is None and self.detector is not None and self.detector.enabled:
+            raise ValueError(
+                "run(until=None) would never return while the failure "
+                "detector is gossiping; pass until=... or call "
+                "session.detector.stop() first"
+            )
         self.cluster.run(until=until)
 
     # -- convenience passthroughs ------------------------------------------------
@@ -206,6 +293,11 @@ class Session:
         for c in self._coordinators:
             out.extend(c.aborted)
         return out
+
+    @property
+    def recovery_records(self) -> List[Any]:
+        """Per-host-death recovery records (empty unless recovery armed)."""
+        return list(self.coordinator.records) if self.coordinator else []
 
     def outcomes(self) -> dict:
         """Histogram of per-migration outcomes (ok/retried/rerouted/abandoned)."""

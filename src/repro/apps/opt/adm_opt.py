@@ -49,6 +49,9 @@ TAG_PLAN = 113
 TAG_XFER = 114
 TAG_REDIST_DONE = 115
 TAG_RESUME = 116
+#: pvm_notify(HostDelete) events land in the master with this tag
+#: (registered only on fault-tolerant runs).
+TAG_NOTIFY = 117
 
 
 def slave_fsm_spec() -> Dict[str, List[Optional[str]]]:
@@ -134,6 +137,10 @@ class AdmOpt(AdmAppBase):
         self.slave_tids = list(tids)
         for wid, tid in enumerate(tids):
             self.register_worker(wid, tid)
+        if self.fault_tolerant:
+            # A confirmed host death arrives as an ordinary message: the
+            # master reacts with a re-partition round over the survivors.
+            ctx.notify("HostDelete", TAG_NOTIFY)
 
         M = _MasterState(cfg, model)
         counts = weighted_partition(n_total, {w: 1.0 for w in range(cfg.n_slaves)})
@@ -185,6 +192,8 @@ class AdmOpt(AdmAppBase):
                 elif msg.tag == TAG_MIGREQ:
                     wid = int(msg.buffer.upkint()[0])
                     yield from self._master_redistribute(ctx, M, model, wid)
+                elif msg.tag == TAG_NOTIFY:
+                    yield from self._on_host_delete(ctx, M, model, msg)
                 # anything else would be a protocol bug; let it surface
             yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
             if cfg.real:
@@ -233,6 +242,18 @@ class AdmOpt(AdmAppBase):
                 found = True
         return found
 
+    def _on_host_delete(self, ctx: PvmContext, M: _MasterState, model, msg):
+        """HostDelete notify: re-partition the surviving data (generator).
+
+        The dead host's exemplars are gone (ADM keeps no replicas); the
+        consensus round rebalances what the survivors still hold so the
+        remaining iterations run at the surviving capacity ratio.
+        """
+        msg.buffer.upkint()  # host index; the loss set comes from liveness
+        self._note_losses(M)
+        if len(self._live_tids()) >= 2:
+            yield from self._master_redistribute(ctx, M, model, None)
+
     def _recv_tolerant(self, ctx: PvmContext, M: _MasterState):
         """Receive any message without hanging on dead workers.
 
@@ -255,15 +276,19 @@ class AdmOpt(AdmAppBase):
             msg.buffer.upkopaque()
         M.collected += int(msg.buffer.upkint()[0])
 
-    def _master_redistribute(self, ctx: PvmContext, M: _MasterState, model, wid: int):
+    def _master_redistribute(
+        self, ctx: PvmContext, M: _MasterState, model, wid: Optional[int]
+    ):
         """One global redistribution round (generator).
 
         Coalesces every queued migration request into a single round,
         recomputes the partition over the remaining capacity, sends the
-        plan, and releases everyone once all slaves report done.
+        plan, and releases everyone once all slaves report done.  A
+        ``wid`` of ``None`` starts a round with no vacating worker —
+        the HostDelete path, where the round only rebalances survivors.
         """
         cfg = self.config
-        vacating = {wid}
+        vacating = set() if wid is None else {wid}
         while True:
             req = yield from ctx.nrecv(tag=TAG_MIGREQ)
             if req is None:
@@ -291,21 +316,27 @@ class AdmOpt(AdmAppBase):
                 w = int(msg.buffer.upkint()[0])
                 vacating.add(w)
                 M.vacated.add(w)
+            elif msg.tag == TAG_NOTIFY:
+                msg.buffer.upkint()
+                self._note_losses(M)
 
+        # Capacities and counts must cover exactly the surviving worker
+        # set: a worker lost mid-round may have reported a count before
+        # dying, and its exemplars die with it.
+        live = [w for w in range(cfg.n_slaves) if w not in self.lost]
+        if not live:
+            return  # everyone is gone; nothing left to rebalance
+        counts = {w: c for w, c in counts.items() if w not in self.lost}
         capacities = {}
-        for w in range(cfg.n_slaves):
-            if w in M.vacated or w in self.lost:
+        for w in live:
+            if w in M.vacated:
                 capacities[w] = 0.0
             else:
                 host = self.system.task(self.slave_tids[w]).host
                 capacities[w] = host.cpu.rate / 1e6
         if all(c == 0 for c in capacities.values()):
             # Cannot vacate everyone: data stays put (documented edge).
-            fallback = [w for w in M.vacated if w not in self.lost] or [
-                w for w in range(cfg.n_slaves) if w not in self.lost
-            ]
-            if fallback:
-                capacities = {w: 1.0 for w in fallback}
+            capacities = {w: 1.0 for w in live}
         target = weighted_partition(sum(counts.values()), capacities)
         plan = plan_transfers(counts, target)
 
@@ -337,6 +368,9 @@ class AdmOpt(AdmAppBase):
                 # re-request at its next poll point (events are never
                 # lost — complication #3 of §2.3).
                 msg.buffer.upkint()
+            elif msg.tag == TAG_NOTIFY:
+                msg.buffer.upkint()
+                self._note_losses(M)
         rbuf = ctx.initsend()
         rbuf.pkint([len(vacating)] + sorted(vacating))
         yield from ctx.mcast(self._live_tids(), TAG_RESUME, rbuf)

@@ -19,13 +19,13 @@ replay is a flake, not evidence.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..api import Session
 from ..pvm.errors import PvmError
 from .plan import FaultPlan, HostCrash, LinkFault
 
-__all__ = ["chaos_plan", "run_demo", "main"]
+__all__ = ["chaos_plan", "random_plan", "run_demo", "main"]
 
 
 def chaos_plan(seed: int) -> FaultPlan:
@@ -39,6 +39,16 @@ def chaos_plan(seed: int) -> FaultPlan:
     )
 
 
+def random_plan(seed: int) -> FaultPlan:
+    """A seeded random crash schedule over the demo's worker hosts.
+
+    Shares :meth:`FaultPlan.random` with the soak harness, so
+    ``python -m repro faults --random --seed N`` and a soak run at the
+    same seed draw from the same generator.
+    """
+    return FaultPlan.random(seed, n=1, horizon=20.0, hosts=["hp720-0", "hp720-1"])
+
+
 def _summary(s: Session, extra: Dict[str, Any]) -> Dict[str, Any]:
     out = {
         "outcomes": s.outcomes(),
@@ -49,9 +59,15 @@ def _summary(s: Session, extra: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def run_mpvm(seed: int) -> Dict[str, Any]:
+def run_mpvm(
+    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+) -> Dict[str, Any]:
     """A process migration whose destination dies mid-transfer."""
-    s = Session(mechanism="mpvm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    s = Session(
+        mechanism="mpvm", n_hosts=3, seed=seed,
+        faults=plan if plan is not None else chaos_plan(seed),
+        recovery=recovery,
+    )
     vm = s.vm
     extra: Dict[str, Any] = {}
 
@@ -75,9 +91,15 @@ def run_mpvm(seed: int) -> Dict[str, Any]:
     return _summary(s, extra)
 
 
-def run_upvm(seed: int) -> Dict[str, Any]:
+def run_upvm(
+    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+) -> Dict[str, Any]:
     """A single-ULP migration whose destination dies mid-transfer."""
-    s = Session(mechanism="upvm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    s = Session(
+        mechanism="upvm", n_hosts=3, seed=seed,
+        faults=plan if plan is not None else chaos_plan(seed),
+        recovery=recovery,
+    )
     extra: Dict[str, Any] = {}
     finished: Dict[int, str] = {}
 
@@ -101,11 +123,17 @@ def run_upvm(seed: int) -> Dict[str, Any]:
     return _summary(s, extra)
 
 
-def run_adm(seed: int) -> Dict[str, Any]:
+def run_adm(
+    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+) -> Dict[str, Any]:
     """An ADM training run that loses a whole worker mid-iteration."""
     from ..apps.opt import AdmOpt, MB_DEC, OptConfig
 
-    s = Session(mechanism="adm", n_hosts=3, seed=seed, faults=chaos_plan(seed))
+    s = Session(
+        mechanism="adm", n_hosts=3, seed=seed,
+        faults=plan if plan is not None else chaos_plan(seed),
+        recovery=recovery,
+    )
     cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=8)
     app = AdmOpt(s.vm, cfg, master_host=2, slave_hosts=[0, 1])
     app.start()
@@ -131,24 +159,33 @@ def run_adm(seed: int) -> Dict[str, Any]:
     )
 
 
-def run_demo(seed: int = 0) -> Dict[str, Dict[str, Any]]:
+def run_demo(
+    seed: int = 0, *, random_schedule: bool = False
+) -> Dict[str, Dict[str, Any]]:
     """The full chaos run, plus a same-seed replay of the MPVM leg."""
+    plan = random_plan(seed) if random_schedule else None
     results = {
-        "mpvm": run_mpvm(seed),
-        "upvm": run_upvm(seed),
-        "adm": run_adm(seed),
+        "mpvm": run_mpvm(seed, plan),
+        "upvm": run_upvm(seed, plan),
+        "adm": run_adm(seed, plan),
     }
     results["replay"] = {
         "seed": seed,
-        "identical": run_mpvm(seed) == results["mpvm"],
+        "identical": run_mpvm(seed, plan) == results["mpvm"],
     }
     return results
 
 
-def main(seed: int = 0) -> Dict[str, Dict[str, Any]]:
-    results = run_demo(seed)
-    print(f"chaos plan (seed={seed}): destination hp720-1 dies at TRANSFER "
-          f"enter; first 'ctl' packet dropped\n")
+def main(seed: int = 0, *, random_schedule: bool = False) -> Dict[str, Dict[str, Any]]:
+    results = run_demo(seed, random_schedule=random_schedule)
+    if random_schedule:
+        crashes = ", ".join(
+            f"{f.host}@{f.at_s:.1f}s" for f in random_plan(seed).host_crashes()
+        )
+        print(f"chaos plan (seed={seed}, random): timed crash(es) {crashes}\n")
+    else:
+        print(f"chaos plan (seed={seed}): destination hp720-1 dies at TRANSFER "
+              f"enter; first 'ctl' packet dropped\n")
     for mech in ("mpvm", "upvm"):
         r = results[mech]
         print(f"{mech.upper()}: outcomes {r['outcomes']}, "
@@ -159,9 +196,10 @@ def main(seed: int = 0) -> Dict[str, Dict[str, Any]]:
         for line in r["faults_fired"]:
             print(f"  fired: {line}")
     r = results["adm"]
+    took = f"in {r['total_time']:.1f}s " if r["total_time"] is not None else ""
     print(f"ADM: worker(s) {r['lost_workers']} lost mid-round; training "
           f"{'completed' if r['completed'] else 'DID NOT complete'} "
-          f"in {r['total_time']:.1f}s (degraded, not hung)")
+          f"{took}(degraded, not hung)")
     rep = results["replay"]
     print(f"\nreplay with seed={rep['seed']}: "
           f"{'identical' if rep['identical'] else 'DIVERGED (bug!)'}")

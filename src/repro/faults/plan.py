@@ -16,8 +16,9 @@ active object that arms them against a cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..migration.stages import Stage
 
@@ -128,6 +129,18 @@ class LinkFault:
 
 FaultSpec = Union[HostCrash, SkeletonKill, LinkFault]
 
+_SPEC_KINDS = {"HostCrash": HostCrash, "SkeletonKill": SkeletonKill, "LinkFault": LinkFault}
+
+
+def _spec_to_json(spec: FaultSpec) -> Dict[str, Any]:
+    d: Dict[str, Any] = {"kind": type(spec).__name__}
+    for f in fields(spec):
+        v = getattr(spec, f.name)
+        if isinstance(v, Stage):
+            v = v.name
+        d[f.name] = v
+    return d
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -157,3 +170,54 @@ class FaultPlan:
     def __repr__(self) -> str:
         kinds = ", ".join(type(f).__name__ for f in self.faults) or "none"
         return f"<FaultPlan seed={self.seed} faults=[{kinds}]>"
+
+    # -- serialisation ---------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form (Stage values by name); round-trips exactly
+        through :meth:`from_json`, so plans can be committed alongside
+        the benchmark artefacts they produced."""
+        return {
+            "seed": self.seed,
+            "faults": [_spec_to_json(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultPlan":
+        specs: List[FaultSpec] = []
+        for entry in data.get("faults", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            try:
+                spec_cls = _SPEC_KINDS[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault kind {kind!r}") from None
+            specs.append(spec_cls(**entry))
+        return cls(faults=tuple(specs), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n: int = 3,
+        horizon: float = 60.0,
+        *,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> "FaultPlan":
+        """A seeded schedule of ``n`` timed host crashes.
+
+        Victims are drawn without replacement from ``hosts`` and crash
+        times uniformly inside ``(0.05*horizon, 0.95*horizon)``, sorted
+        ascending — the soak harness and the faults demo share this so
+        their chaos schedules agree for a given seed.
+        """
+        if hosts is None:
+            raise ValueError("FaultPlan.random needs hosts= (crash candidates)")
+        if n > len(hosts):
+            raise ValueError(f"cannot pick {n} distinct victims from {len(hosts)} hosts")
+        rng = random.Random(seed)
+        victims = rng.sample(list(hosts), n)
+        times = sorted(rng.uniform(0.05 * horizon, 0.95 * horizon) for _ in range(n))
+        crashes = tuple(
+            HostCrash(host=h, at_s=t) for h, t in zip(victims, times)
+        )
+        return cls(faults=crashes, seed=seed)

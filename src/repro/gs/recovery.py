@@ -1,0 +1,20 @@
+"""GS-side entry point for crash recovery.
+
+The RecoveryCoordinator logically belongs to the Global Scheduler — it
+is the GS machine that runs the failure detector and commands restarts
+— but its implementation lives in :mod:`repro.recovery` so the ``gs``
+package keeps no dependency on the pvm/mpvm layers (placement flows in
+through the ``destination_picker`` callable, typically
+:meth:`~repro.gs.scheduler.GlobalScheduler.pick_destination`).
+"""
+
+from ..recovery.coordinator import RecoveryCoordinator, RecoveryRecord, TaskRecovery
+from ..recovery.detector import FailureDetector, HeartbeatConfig
+
+__all__ = [
+    "FailureDetector",
+    "HeartbeatConfig",
+    "RecoveryCoordinator",
+    "RecoveryRecord",
+    "TaskRecovery",
+]

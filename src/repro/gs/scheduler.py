@@ -146,6 +146,7 @@ class GlobalScheduler:
         *legacy: Any,
         monitor: Optional[LoadMonitor] = None,
         quarantine_after: int = 2,
+        quarantine_ttl: Optional[float] = None,
     ) -> None:
         if legacy:
             if len(legacy) > 1 or monitor is not None:
@@ -176,6 +177,11 @@ class GlobalScheduler:
         self.quarantine_after = quarantine_after
         #: Hosts barred from placement until :meth:`pardon`.
         self.quarantined: set = set()
+        #: Seconds after which a quarantined host that stayed healthy
+        #: (up, no new failures) is automatically re-admitted; ``None``
+        #: quarantines forever (the pre-TTL behaviour).
+        self.quarantine_ttl = quarantine_ttl
+        self._quarantined_at: Dict[str, float] = {}
         if self.capabilities.reroute:
             self.client.set_router(self.route_around)  # type: ignore[attr-defined]
 
@@ -226,22 +232,37 @@ class GlobalScheduler:
     # -- worknet degradation ---------------------------------------------------
     def _note_failure(self, host_name: str) -> None:
         self.failures[host_name] = self.failures.get(host_name, 0) + 1
-        if (
-            self.failures[host_name] >= self.quarantine_after
-            and host_name not in self.quarantined
-        ):
-            self.quarantined.add(host_name)
-            self.trace(
-                "gs.quarantine",
-                f"{host_name} barred after {self.failures[host_name]} "
-                "failed migrations",
-            )
+        if self.failures[host_name] >= self.quarantine_after:
+            if host_name not in self.quarantined:
+                self.quarantined.add(host_name)
+                self.trace(
+                    "gs.quarantine",
+                    f"{host_name} barred after {self.failures[host_name]} "
+                    "failed migrations",
+                )
+            # A fresh failure restarts the healthy-for-TTL clock.
+            self._quarantined_at[host_name] = self.sim.now
 
     def pardon(self, host: Host) -> None:
         """Re-admit a quarantined host to placement decisions."""
         self.quarantined.discard(host.name)
         self.failures.pop(host.name, None)
+        self._quarantined_at.pop(host.name, None)
         self.trace("gs.pardon", f"{host.name} re-admitted")
+
+    def _expire_quarantine(self) -> None:
+        """Lazily pardon hosts that stayed healthy for ``quarantine_ttl``.
+
+        Checked at placement time (no timer process): a host is eligible
+        again once it has been up and failure-free for the TTL.
+        """
+        if self.quarantine_ttl is None:
+            return
+        now = self.sim.now
+        for name in list(self.quarantined):
+            since = self._quarantined_at.get(name, now)
+            if now - since >= self.quarantine_ttl and self.cluster.host(name).up:
+                self.pardon(self.cluster.host(name))
 
     def route_around(
         self, unit: Any, failed_dst: Any, tried: Tuple[Any, ...]
@@ -355,7 +376,17 @@ class GlobalScheduler:
             else:
                 _one_done(ev)
 
+    def pick_destination(self, exclude: Tuple[str, ...] = ()) -> Optional[Host]:
+        """Public placement query: the best host for new/recovered work.
+
+        Applies the full ranking — load monitor, vacating set, quarantine
+        (with TTL expiry), down hosts — exactly as internal placement
+        does.  Used by the RecoveryCoordinator to place restarts.
+        """
+        return self._pick_destination(exclude=list(exclude))
+
     def _pick_destination(self, exclude: List[str]) -> Optional[Host]:
+        self._expire_quarantine()
         exclude = list(exclude) + list(self.vacating) + list(self.quarantined)
         exclude += [h.name for h in self.cluster.hosts if not h.up]
         name = self.monitor.least_loaded(exclude=exclude)

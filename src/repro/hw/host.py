@@ -9,7 +9,7 @@ migration exists to escape.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..sim import Event, ProcessorSharing, PsJob, Simulator
 from .params import HardwareParams
@@ -51,6 +51,10 @@ class Host:
         #: CPU is allowed to drain (the simulation stays well-defined),
         #: but every protocol layer checks ``up`` at its own boundaries.
         self.up = True
+        #: Synchronous observers of the up-flag transitions (recovery
+        #: layer: freeze resident tasks at crash time, note t_failed).
+        self.on_fail: List[Callable[["Host"], None]] = []
+        self.on_recover: List[Callable[["Host"], None]] = []
 
     # -- failure (fault injection) --------------------------------------------
     def fail(self) -> None:
@@ -60,6 +64,8 @@ class Host:
         self.up = False
         if self.tracer:
             self.tracer.emit(self.sim.now, "host.crash", self.name, "host crashed")
+        for cb in list(self.on_fail):
+            cb(self)
 
     def recover(self) -> None:
         """Bring a crashed machine back (its processes are NOT restored)."""
@@ -68,6 +74,8 @@ class Host:
         self.up = True
         if self.tracer:
             self.tracer.emit(self.sim.now, "host.recover", self.name, "host recovered")
+        for cb in list(self.on_recover):
+            cb(self)
 
     # -- identity ------------------------------------------------------------
     def migration_compatible(self, other: "Host") -> bool:

@@ -27,12 +27,12 @@ pure computation like Opt's gradient loop qualifies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..hw.host import Host
 from ..hw.tcp import TcpConnection
 from ..pvm.context import Freeze
-from ..pvm.errors import PvmMigrationError, PvmNotCompatible
+from ..pvm.errors import PvmError, PvmMigrationError, PvmNotCompatible
 from ..pvm.task import Task
 from ..sim import Event, Process
 
@@ -50,6 +50,9 @@ class Checkpoint:
     taken_at: float
     state_bytes: int
     write_cost_s: float
+    #: Host holding a replica that survives the task's own host crashing
+    #: (``None`` = the image exists only on the local disk).
+    stored_on: Optional[str] = None
 
 
 @dataclass
@@ -85,35 +88,52 @@ class CheckpointEngine:
         system: "MpvmSystem",
         period_s: float = 60.0,
         disk_bytes_per_s: float = 1.5e6,  # era-typical local SCSI write
+        store_host: Optional[Host] = None,
     ) -> None:
         self.system = system
         self.sim = system.sim
         self.period_s = period_s
         self.disk_bytes_per_s = disk_bytes_per_s
+        #: Checkpoint server: when set, every completed image is also
+        #: shipped to this host so it survives the writer's machine
+        #: crashing (the Condor checkpoint-server arrangement).  ``None``
+        #: keeps the classic local-disk-only behaviour.
+        self.store_host = store_host
         self.checkpoints: Dict[int, Checkpoint] = {}  #: latest, by tid
         self.history: List[Checkpoint] = []
         self.stats: List[CheckpointStats] = []
         self._writers: Dict[int, Process] = {}
 
     # -- periodic checkpointing ------------------------------------------------
-    def protect(self, task: Task) -> Process:
-        """Start taking periodic checkpoints of ``task``."""
+    def protect(self, task: Task, initial: bool = False) -> Process:
+        """Start taking periodic checkpoints of ``task``.
+
+        ``initial=True`` writes the first checkpoint immediately instead
+        of waiting one full period — a crash in the first period is then
+        already recoverable (used by the recovery layer).
+        """
         if task.tid in self._writers:
             raise PvmMigrationError(f"{task.name} is already protected")
-        proc = self.sim.process(self._writer(task), name=f"ckpt:{task.name}")
+        proc = self.sim.process(
+            self._writer(task, initial), name=f"ckpt:{task.name}"
+        )
         proc.defuse()  # runs until the task exits
         self._writers[task.tid] = proc
         return proc
 
-    def _writer(self, task: Task):
+    def _writer(self, task: Task, initial: bool = False):
         from ..unix.process import ProcState
 
+        if initial and task.alive:
+            yield from self.checkpoint_now(task)
         while task.alive:
             yield self.sim.timeout(self.period_s)
             if not task.alive:
                 return
             if task.state is ProcState.MIGRATING:
                 continue  # skip a cycle rather than stack onto a move
+            if not task.host.up:
+                continue  # no disk to write to; the recovery layer owns it
             yield from self.checkpoint_now(task)
 
     def checkpoint_now(self, task: Task):
@@ -132,6 +152,16 @@ class CheckpointEngine:
         )
         if not resume.triggered:
             resume.succeed()
+        if not task.host.up:
+            # The machine died while the image was being written: the
+            # partial file on its disk is useless and must not shadow
+            # the previous complete checkpoint.
+            if self.system.tracer:
+                self.system.tracer.emit(
+                    self.sim.now, "ckpt.discard", task.name,
+                    f"host {task.host.name} crashed mid-write",
+                )
+            return None
         ckpt = Checkpoint(
             task=task.name, taken_at=self.sim.now,
             state_bytes=state, write_cost_s=self.sim.now - t0,
@@ -143,7 +173,31 @@ class CheckpointEngine:
                 self.sim.now, "ckpt.write", task.name,
                 f"{state} bytes in {ckpt.write_cost_s:.3f}s",
             )
+        if self.store_host is not None and self.store_host is not task.host:
+            # Replicate in the background: the task already resumed, the
+            # ship only occupies the network (and fails harmlessly if
+            # either end dies mid-transfer — the replica just isn't
+            # recorded and the previous one remains authoritative).
+            yield from self._replicate(task.host, ckpt)
         return ckpt
+
+    def _replicate(self, src: Host, ckpt: Checkpoint):
+        store = self.store_host
+        assert store is not None
+        if not store.up:
+            return
+        try:
+            yield self.system.network.transfer(
+                src, store, ckpt.state_bytes, label="ckpt-ship"
+            )
+        except PvmError:
+            return
+        ckpt.stored_on = store.name
+        if self.system.tracer:
+            self.system.tracer.emit(
+                self.sim.now, "ckpt.ship", ckpt.task,
+                f"{ckpt.state_bytes} bytes replicated to {store.name}",
+            )
 
     @property
     def total_checkpoint_cost_s(self) -> float:
@@ -231,3 +285,111 @@ class CheckpointEngine:
                 lost_work=round(lost, 3),
             )
         done.succeed(stats)
+
+    # -- crash recovery (repro.recovery) ----------------------------------------
+    def restartable(self, task: Task) -> bool:
+        """Can ``task`` be restarted after its host dies?
+
+        True iff a checkpoint exists whose replica lives on a host other
+        than the (dead) source, and that host is currently reachable.
+        """
+        ckpt = self.checkpoints.get(task.tid)
+        if ckpt is None or ckpt.stored_on is None:
+            return False
+        try:
+            store = self.system.cluster.host(ckpt.stored_on)
+        except KeyError:
+            return False
+        return store.up
+
+    def restart(
+        self,
+        task: Task,
+        dst: Host,
+        resume: Optional[Event] = None,
+        frozen_at: Optional[float] = None,
+    ):
+        """Restart a crashed task on ``dst`` from its replicated image.
+
+        Generator (``yield from`` it).  Unlike :meth:`_migrate`, the
+        source host is *dead*: nothing is charged there, and the image
+        comes from the checkpoint server (``Checkpoint.stored_on``), not
+        the source disk.  ``resume`` is the crash-time freeze event the
+        recovery layer planted (a fresh one is made if the task somehow
+        isn't frozen), ``frozen_at`` the crash time used to size the
+        re-executed work.  Returns the :class:`CheckpointStats` record.
+        """
+        system = self.system
+        params = system.params
+        src = task.host
+        t_event = frozen_at if frozen_at is not None else self.sim.now
+
+        ckpt = self.checkpoints.get(task.tid)
+        if ckpt is None or ckpt.stored_on is None:
+            raise PvmMigrationError(f"{task.name} has no surviving checkpoint")
+        store = system.cluster.host(ckpt.stored_on)
+        if not store.up:
+            raise PvmMigrationError(
+                f"checkpoint server {store.name} for {task.name} is down"
+            )
+        if not src.migration_compatible(dst):
+            raise PvmNotCompatible(
+                f"checkpoint of {task.name} is {src.arch}/{src.os} state"
+            )
+        if resume is None:
+            resume = Event(self.sim)
+            if task.coroutine is not None and task.coroutine.is_alive:
+                task.interrupt_body(Freeze(resume, reason="restart"))
+
+        stats = CheckpointStats(
+            task=task.name, src=src.name, dst=dst.name,
+            state_bytes=ckpt.state_bytes, t_event=t_event,
+        )
+        stats.t_offhost = t_event  # the crash itself vacated the host
+        peers = [t for t in system.live_tasks() if t is not task]
+        for peer in peers:
+            peer.context.block_sends_to(task.tid)  # type: ignore[attr-defined]
+
+        yield dst.busy_seconds(params.exec_process_s, label="restart-exec")
+        if store is dst:
+            # The image already sits on the destination's own disk: a
+            # local read replaces the network ship.
+            yield dst.compute(
+                ckpt.state_bytes * dst.cpu.rate / self.disk_bytes_per_s,
+                label="ckpt-read",
+            )
+        else:
+            conn = TcpConnection(system.network, store, dst)
+            yield from conn.connect()
+            yield from conn.send(
+                ckpt.state_bytes, receiver_copies=True, label="ckpt-image"
+            )
+            conn.close()
+        stats.t_image_arrived = self.sim.now
+
+        old_tid, new_tid = system.rebind_task_tid(task, dst)
+        task.relocate_to(dst)
+        yield dst.copy(ckpt.state_bytes, label="ckpt-assume")
+        yield dst.busy_seconds(params.enroll_s, label="re-enroll")
+        for peer in peers:
+            peer.context.unblock_sends_to(old_tid, new_tid)  # type: ignore[attr-defined]
+        task.context.learn_remap(old_tid, new_tid)  # type: ignore[attr-defined]
+
+        # Re-execute the work lost between the checkpoint and the crash.
+        lost = max(0.0, t_event - ckpt.taken_at)
+        stats.lost_work_s = lost
+        if lost > 0:
+            yield dst.busy_seconds(lost * src.cpu.rate / dst.cpu.rate,
+                                   label="recompute")
+        if not resume.triggered:
+            resume.succeed()
+        stats.t_restarted = self.sim.now
+        self.stats.append(stats)
+        if system.tracer:
+            system.tracer.emit(
+                self.sim.now, "ckpt.restart", task.name,
+                f"{src.name} (dead) -> {dst.name} via {store.name}",
+                migration=round(stats.migration_time, 4),
+                lost_work=round(lost, 3),
+            )
+        return stats

@@ -69,6 +69,7 @@ class MpvmSystem(PvmSystem):
         new_pvmd.register(task)
         # Any direct-TCP channels to/from the old endpoint are dead.
         self.direct_route.invalidate_for(old_tid)
+        self.notify.task_rebound(old_tid, new_tid)
         return old_tid, new_tid
 
     @property

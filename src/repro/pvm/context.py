@@ -381,6 +381,39 @@ class PvmContext:
         sent = yield from self.system.group_server.bcast(self, name, tag, buf)
         return sent
 
+    def notify(
+        self,
+        kind: str,
+        tag: int,
+        tids: Optional[Iterable[int]] = None,
+        hosts: Optional[Iterable[str]] = None,
+    ) -> None:
+        """pvm_notify: ask for an event message when something dies.
+
+        ``kind='TaskExit'`` with ``tids=[...]`` sends one message with
+        ``tag`` per watched task when that task exits, is killed, or is
+        declared lost by the recovery layer (payload: the dead tid, as
+        one packed int).  ``kind='HostDelete'`` sends a message when a
+        host's death is confirmed (payload: the host index); ``hosts``
+        restricts the watch to named hosts, ``None`` watches all.
+
+        Registration is free (a local table update in the pvmd); the
+        event messages themselves pay normal daemon delivery costs and
+        are received with plain :meth:`recv`.
+        """
+        from .notify import HOST_DELETE, TASK_EXIT
+
+        if kind == TASK_EXIT:
+            if tids is None:
+                raise PvmBadParam("TaskExit notify needs tids=")
+            self.system.notify.watch_tasks(
+                self.task.tid, tag, [self._map_tid_out(t) for t in tids]
+            )
+        elif kind == HOST_DELETE:
+            self.system.notify.watch_hosts(self.task.tid, tag, hosts)
+        else:
+            raise PvmBadParam(f"unknown notify kind {kind!r}")
+
     def exit(self) -> None:
         """pvm_exit: leave the virtual machine (body should return soon)."""
         self.system.task_exited(self.task)

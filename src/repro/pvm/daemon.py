@@ -93,6 +93,9 @@ class Pvmd:
                             self.host.sim.now, "pvmd.drop", f"pvmd@{self.host.name}",
                             f"{tid_str(msg.dst_tid)}: {exc}",
                         )
+                    box = self.system.dead_letters
+                    if box is not None:
+                        box.capture(msg, f"pvmd.drop: {exc}")
                     continue
                 dst_pvmd.enqueue_inbound(msg)
 

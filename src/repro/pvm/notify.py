@@ -1,0 +1,123 @@
+"""pvm_notify: asynchronous event notification as ordinary messages.
+
+Real PVM lets a task register interest in events — another task exiting
+(``PvmTaskExit``) or a host leaving the virtual machine
+(``PvmHostDelete``) — and delivers each event as a normal message with a
+caller-chosen tag.  That is the *only* portable way a PVM application
+learns about an unannounced crash, and it is the foundation the recovery
+subsystem (``repro.recovery``) builds on: masters watch their slaves,
+the ADM consensus layer watches hosts, and the RecoveryCoordinator feeds
+confirmed host deaths in through :meth:`NotifyManager.host_deleted`.
+
+Delivery goes through the destination's pvmd inbound pipeline, so a
+notify message pays the same daemon fragment-processing and IPC-copy
+costs as any other message and is received with plain ``pvm_recv``.
+The wire hop from the daemon that observed the event is a few dozen
+bytes of control traffic and is not separately modelled.
+
+A session that never registers a watcher never pays anything: the
+manager is pure bookkeeping until the first event fires, which keeps
+the paper's fault-free exhibits byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from .message import Message, MessageBuffer
+from .errors import PvmBadParam
+from .tid import tid_str
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from .vm import PvmSystem
+
+__all__ = ["NotifyManager", "TASK_EXIT", "HOST_DELETE"]
+
+#: The two event kinds of pvm_notify we reproduce.
+TASK_EXIT = "TaskExit"
+HOST_DELETE = "HostDelete"
+
+#: src_tid of notify messages: tid 0 is reserved by PVM ("the system").
+SYSTEM_TID = 0
+
+
+class NotifyManager:
+    """Registry and dispatcher for pvm_notify subscriptions."""
+
+    def __init__(self, system: "PvmSystem") -> None:
+        self.system = system
+        #: watched tid -> [(watcher tid, tag)]; one-shot per watched tid.
+        self._task_watchers: Dict[int, List[Tuple[int, int]]] = {}
+        #: [(watcher tid, tag, host name or None=any)]; persistent.
+        self._host_watchers: List[Tuple[int, int, Optional[str]]] = []
+        #: Tids whose exit has already been announced (dedupe: a task
+        #: killed by the recovery layer and later reaped again must not
+        #: fire twice).
+        self._announced: set = set()
+
+    # -- registration ---------------------------------------------------------
+    def watch_tasks(self, watcher_tid: int, tag: int, tids: Iterable[int]) -> None:
+        """pvm_notify(PvmTaskExit): message ``tag`` when any of ``tids`` dies."""
+        for tid in tids:
+            self._task_watchers.setdefault(int(tid), []).append((watcher_tid, tag))
+
+    def watch_hosts(
+        self, watcher_tid: int, tag: int, hosts: Optional[Iterable[str]] = None
+    ) -> None:
+        """pvm_notify(PvmHostDelete): message ``tag`` when a host dies.
+
+        ``hosts=None`` watches the whole virtual machine.
+        """
+        if hosts is None:
+            self._host_watchers.append((watcher_tid, tag, None))
+        else:
+            for name in hosts:
+                self._host_watchers.append((watcher_tid, tag, str(name)))
+
+    def task_rebound(self, old_tid: int, new_tid: int) -> None:
+        """A migration/restart renamed a tid: follow it with the watch.
+
+        Without this, a watcher registered on the old tid would never
+        hear about the *new* incarnation dying.
+        """
+        watchers = self._task_watchers.pop(old_tid, None)
+        if watchers:
+            self._task_watchers.setdefault(new_tid, []).extend(watchers)
+
+    # -- event entry points ----------------------------------------------------
+    def task_exited(self, tid: int) -> None:
+        """Announce a task's death (normal exit, kill, or loss) once."""
+        if tid in self._announced:
+            return
+        self._announced.add(tid)
+        watchers = self._task_watchers.pop(tid, [])
+        for watcher_tid, tag in watchers:
+            self._post(watcher_tid, tag, [tid])
+
+    def host_deleted(self, host: "Host") -> None:
+        """Announce a confirmed host death to every registered watcher."""
+        try:
+            idx = self.system.cluster.hosts.index(host)
+        except ValueError:
+            raise PvmBadParam(f"{host.name} is not in the virtual machine") from None
+        for watcher_tid, tag, want in self._host_watchers:
+            if want is None or want == host.name:
+                self._post(watcher_tid, tag, [idx])
+
+    # -- delivery ---------------------------------------------------------------
+    def _post(self, dst_tid: int, tag: int, values: List[int]) -> None:
+        system = self.system
+        live = system.routable_tid(dst_tid)
+        task = system.tasks.get(live)
+        if task is None or not task.alive:
+            return  # the watcher is gone; nothing to tell it
+        buf = MessageBuffer().pkint(values)
+        msg = Message(SYSTEM_TID, dst_tid, tag, buf, sent_at=system.sim.now)
+        system.note_sent(msg)
+        system.pvmd_on(task.host).enqueue_inbound(msg)
+        if system.tracer:
+            system.tracer.emit(
+                system.sim.now, "pvm.notify", tid_str(dst_tid),
+                f"tag={tag} values={values}",
+            )

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..sim import FilterStore
-from ..unix import AddressSpace, SimProcess
+from ..unix import AddressSpace, ProcState, SimProcess
 from ..hw.host import Host
 from .message import Message
 from .tid import tid_str
@@ -61,6 +61,14 @@ class Task(SimProcess):
             + self.user_state_bytes
             + self.queued_message_bytes
         )
+
+    def _exit(self, code: int) -> None:
+        """Kernel reap: tell the VM so TaskExit notifies fire for plain
+        returns too, not only for explicit ``pvm_exit``/``pvm_kill``."""
+        first = self.state is not ProcState.EXITED
+        super()._exit(code)
+        if first:
+            self.system.task_exited(self)
 
     def deliver(self, msg: Message) -> None:
         """Final delivery into the task's receive queue."""

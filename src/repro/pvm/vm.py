@@ -11,6 +11,7 @@ from ..sim import Event
 from .context import PvmContext
 from .daemon import Pvmd
 from .errors import PvmBadParam, PvmNoHost, PvmNoTask
+from .notify import NotifyManager
 from .routing import DaemonRoute, DirectRoute
 from .task import Task
 from .tid import make_tid, tid_str
@@ -68,6 +69,14 @@ class PvmSystem:
         #: The pvmgs group server (pvm_joingroup/barrier/bcast).
         self.group_server = GroupServer(self)
         self._rr_counter = 0
+        #: pvm_notify registry (TaskExit / HostDelete event messages).
+        self.notify = NotifyManager(self)
+        #: Optional dead-letter box installed by the recovery layer
+        #: (repro.recovery): captures messages that would otherwise be
+        #: dropped on the floor when a host is fenced, for replay after
+        #: the victim task restarts elsewhere.  ``None`` = classic PVM
+        #: semantics (dropped datagrams are simply lost).
+        self.dead_letters = None
         #: In-flight message counts keyed by raw destination tid, plus
         #: waiters for "drained" — the mechanism behind MPVM/UPVM message
         #: flushing (a migration may not proceed while messages addressed
@@ -100,6 +109,19 @@ class PvmSystem:
         else:
             self._drain_waiters.setdefault(tid, []).append(ev)
         return ev
+
+    def clear_inflight(self, tid: int) -> None:
+        """Forget everything in flight toward ``tid`` and release waiters.
+
+        Used by the recovery layer when a task is declared lost: its
+        pending traffic will never be delivered, and a migration waiting
+        on :meth:`when_drained` must not hang on messages that died with
+        the host.
+        """
+        self._inflight.pop(tid, None)
+        for ev in self._drain_waiters.pop(tid, []):
+            if not ev.triggered:
+                ev.succeed()
 
     # -- registry ---------------------------------------------------------------
     def register_program(self, name: str, program: Program) -> None:
@@ -254,14 +276,19 @@ class PvmSystem:
 
     # -- task teardown -------------------------------------------------------------------
     def task_exited(self, task: Task) -> None:
-        self.pvmd_on(task.host).unregister(task)
+        pvmd = self.pvmd_on(task.host)
+        if task.tid not in pvmd.local_tasks:
+            return  # already reaped (pvm_exit followed by the kernel reap)
+        pvmd.unregister(task)
         if self.tracer:
             self.tracer.emit(self.sim.now, "pvm.task", tid_str(task.tid), "exited")
+        self.notify.task_exited(task.tid)
 
     def kill_task(self, tid: int) -> None:
         task = self.task(tid)
         task.kill()
         self.pvmd_on(task.host).unregister(task)
+        self.notify.task_exited(task.tid)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,36 @@
+"""Crash detection & recovery for the simulated worknet.
+
+The paper's systems assume hosts leave *announcedly* (owner reclamation
+drives a vacate).  This package adds survivability for the unannounced
+case: a phi-accrual heartbeat :class:`FailureDetector` on the GS
+machine, a :class:`RecoveryCoordinator` that fences confirmed-dead
+hosts, reclaims their tids and restarts checkpoint-protected tasks on
+survivors, and the supporting plumbing (``pvm_notify`` lives in
+:mod:`repro.pvm.notify`, checkpoint replication in
+:mod:`repro.mpvm.checkpoint`).
+
+Everything here is **off by default**: a :class:`repro.api.Session`
+only arms it with ``recovery=True`` (or a :class:`RecoveryConfig`), so
+the paper's fault-free exhibits are untouched.  See DESIGN.md §10.
+"""
+
+from .coordinator import (
+    DeadLetterBox,
+    NetworkFence,
+    RecoveryConfig,
+    RecoveryCoordinator,
+    RecoveryRecord,
+    TaskRecovery,
+)
+from .detector import FailureDetector, HeartbeatConfig
+
+__all__ = [
+    "DeadLetterBox",
+    "FailureDetector",
+    "HeartbeatConfig",
+    "NetworkFence",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
+    "RecoveryRecord",
+    "TaskRecovery",
+]

@@ -1,0 +1,439 @@
+"""Crash-recovery orchestration: fencing, dead letters, restart.
+
+Once the failure detector *confirms* a host death, the
+:class:`RecoveryCoordinator` runs the recovery protocol the paper's GS
+leaves implicit:
+
+1. **Fence** the host: every subsequent packet to or from it is
+   rejected at the network seam (a late heartbeat or data packet from a
+   zombie must not resurrect it), and whatever sat in its daemon's
+   queues is moved into the dead-letter box.
+2. **Reclaim** its tids: every task resident at confirm time is either
+   *restarted* — from its latest replicated :class:`CheckpointEngine`
+   image on a surviving host chosen by the GS's quarantine-aware
+   destination ranking — or *declared lost*, which kills the tid,
+   clears its in-flight accounting, and fires the ``TaskExit`` notify
+   its peers registered (a master learns, instead of hanging).
+3. **Replay** dead letters: messages that were in a pipeline when the
+   host died are re-injected for the restarted incarnation (the
+   simulated coroutine does not re-execute its sends, so a dropped
+   packet would otherwise be lost forever and wedge the protocol).
+4. Announce ``HostDelete`` through pvm_notify — ADM masters use this to
+   run a re-partition consensus round over the survivors.
+
+Tasks resident on a machine are frozen the instant it physically fails
+(``Host.on_fail``): a dead CPU makes no progress.  If the machine comes
+back *before* the detector confirms (a transient partition), the frozen
+tasks are simply released; once fenced, a returning machine stays
+fenced — its state is stale and its tids have been reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..faults.errors import HostCrashed
+from ..pvm.context import Freeze
+from ..pvm.errors import PvmError
+from ..pvm.tid import tid_str
+from ..sim import Event
+from .detector import FailureDetector, HeartbeatConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from ..mpvm.checkpoint import CheckpointEngine
+    from ..pvm.message import Message
+    from ..pvm.task import Task
+    from ..pvm.vm import PvmSystem
+
+__all__ = [
+    "DeadLetterBox",
+    "NetworkFence",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
+    "RecoveryRecord",
+    "TaskRecovery",
+]
+
+#: Poll interval while waiting for a crashed task to reach a safe point
+#: (outside the library, not mid-migration) before freezing it.
+FREEZE_POLL_S = 1e-4
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs for the whole recovery subsystem."""
+
+    heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
+    #: Period of the checkpoints Session.protect() arranges.
+    checkpoint_period_s: float = 5.0
+    #: Write the first checkpoint immediately at protect() time.
+    checkpoint_initial: bool = True
+
+
+class NetworkFence:
+    """Network-seam filter that rejects traffic of fenced hosts.
+
+    Installed on ``network.faults`` *around* any existing fault injector
+    (``inner``): fenced-host verdicts take precedence, everything else is
+    delegated.  With no injector the fence supplies the baseline checks
+    itself (down endpoints lose their packets) so the slow path stays
+    well-defined.
+    """
+
+    def __init__(self, inner=None) -> None:
+        self.inner = inner
+        self.fenced: set = set()
+        #: Packets rejected by the fence (observability / tests).
+        self.rejected = 0
+
+    def check(self, src: "Host", dst: "Host", nbytes: float, label: str):
+        if src.name in self.fenced or dst.name in self.fenced:
+            which = src.name if src.name in self.fenced else dst.name
+            self.rejected += 1
+            return HostCrashed(f"{which} is fenced ({label})")
+        if self.inner is not None:
+            return self.inner.check(src, dst, nbytes, label)
+        if not src.up or not dst.up:
+            which = src.name if not src.up else dst.name
+            return HostCrashed(f"{which} is down ({label})")
+        return (0.0, 1.0)
+
+    def at_stage(self, *args, **kwargs):
+        """Pipeline-stage seam passthrough (fence only guards the wire)."""
+        if self.inner is not None and hasattr(self.inner, "at_stage"):
+            return self.inner.at_stage(*args, **kwargs)
+        return None
+
+
+class DeadLetterBox:
+    """Messages rescued from pipelines that a host death tore down."""
+
+    def __init__(self) -> None:
+        self.letters: List[Tuple["Message", str]] = []
+        self.dropped: List[Tuple["Message", str]] = []
+
+    def capture(self, msg: "Message", reason: str) -> None:
+        self.letters.append((msg, reason))
+
+    def drain_store(self, store, reason: str) -> int:
+        """Move every queued message out of a daemon Store."""
+        n = 0
+        while store.items:
+            msg = store.items.popleft()
+            self.capture(msg, reason)
+            n += 1
+        return n
+
+    def pop_matching(self, pred) -> List[Tuple["Message", str]]:
+        """Remove and return letters whose message satisfies ``pred``."""
+        mine = [(m, r) for m, r in self.letters if pred(m)]
+        self.letters = [(m, r) for m, r in self.letters if not pred(m)]
+        return mine
+
+    def pop_for(self, tid: int) -> List[Tuple["Message", str]]:
+        """Remove and return letters addressed to ``tid``."""
+        return self.pop_matching(lambda m: m.dst_tid == tid)
+
+    def pop_from(self, tid: int) -> List[Tuple["Message", str]]:
+        """Remove and return letters *sent by* ``tid``."""
+        return self.pop_matching(lambda m: m.src_tid == tid)
+
+    def discard_for(self, tid: int) -> None:
+        """Drop letters involving a tid that is gone for good."""
+        gone = [(m, r) for m, r in self.letters
+                if m.dst_tid == tid or m.src_tid == tid]
+        self.letters = [(m, r) for m, r in self.letters
+                        if m.dst_tid != tid and m.src_tid != tid]
+        self.dropped.extend(gone)
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+
+@dataclass
+class TaskRecovery:
+    """Fate of one task that was resident on a dead host."""
+
+    task: str
+    old_tid: int
+    outcome: str  #: "restarted" | "lost"
+    new_tid: Optional[int] = None
+    dst: Optional[str] = None
+    t_done: float = 0.0
+    replayed: int = 0
+
+
+@dataclass
+class RecoveryRecord:
+    """One confirmed host death, start to finish."""
+
+    host: str
+    t_failed: float
+    t_confirmed: float
+    t_done: float = 0.0
+    tasks: List[TaskRecovery] = field(default_factory=list)
+
+    @property
+    def detection_latency(self) -> float:
+        return self.t_confirmed - self.t_failed
+
+    @property
+    def recovery_time(self) -> float:
+        return self.t_done - self.t_confirmed
+
+
+class RecoveryCoordinator:
+    """Drives detection → fencing → restart for one PVM system.
+
+    ``destination_picker(exclude)`` supplies restart placement — the
+    session facade wires in :meth:`GlobalScheduler.pick_destination`
+    so restarts respect the same quarantine-aware ranking as every
+    other placement; without one, a deterministic first-compatible-host
+    fallback is used.
+    """
+
+    def __init__(
+        self,
+        system: "PvmSystem",
+        detector: FailureDetector,
+        engine: Optional["CheckpointEngine"] = None,
+        destination_picker: Optional[
+            Callable[[Tuple[str, ...]], Optional["Host"]]
+        ] = None,
+    ) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.detector = detector
+        self.engine = engine
+        self.destination_picker = destination_picker
+        self.fence = NetworkFence()
+        self.box = DeadLetterBox()
+        self.records: List[RecoveryRecord] = []
+        self._t_failed: Dict[str, float] = {}
+        self._frozen: Dict[int, Tuple[Event, float]] = {}
+        self._installed = False
+
+    # -- wiring ----------------------------------------------------------------
+    def install(self) -> None:
+        """Arm every hook: fence, dead letters, crash freeze, detector."""
+        if self._installed:
+            return
+        self._installed = True
+        network = self.system.network
+        self.fence.inner = network.faults
+        network.faults = self.fence
+        self.system.dead_letters = self.box
+        for host in self.system.cluster.hosts:
+            host.on_fail.append(self._on_fail)
+            host.on_recover.append(self._on_recover)
+        self.detector.on_confirm.append(self._on_confirm)
+        self.detector.start()
+
+    # -- physical-failure hooks -------------------------------------------------
+    def _on_fail(self, host: "Host") -> None:
+        self._t_failed.setdefault(host.name, self.sim.now)
+        for task in list(self.system.tasks.values()):
+            if task.host is host and task.alive:
+                self.sim.process(
+                    self._freeze_resident(task), name=f"freeze:{task.name}"
+                ).defuse()
+
+    def _freeze_resident(self, task: "Task"):
+        """Freeze a task on a dead machine at its next safe point.
+
+        Library sections and migrations finish in (simulated) moments —
+        a dead CPU still drains queued work so the state stays
+        well-defined — but a bounded give-up protects against a task
+        that never reaches a safe point: it is then handled unfrozen at
+        confirm time.
+        """
+        from ..unix.process import ProcState
+
+        give_up_at = self.sim.now + 5.0
+        while task.alive and (
+            task.in_library
+            or task.state is ProcState.MIGRATING
+            or task.coroutine is None
+        ):
+            if self.sim.now >= give_up_at:
+                return
+            yield self.sim.timeout(FREEZE_POLL_S)
+        if not task.alive or task.coroutine is None or not task.coroutine.is_alive:
+            return
+        if task.tid in self._frozen:
+            return
+        if task.host.up:
+            return  # the outage was transient and already ended
+        resume = Event(self.sim)
+        task.interrupt_body(Freeze(resume, reason="host-crash"))
+        self._frozen[task.tid] = (
+            resume, self._t_failed.get(task.host.name, self.sim.now)
+        )
+
+    def _on_recover(self, host: "Host") -> None:
+        if host.name in self.fence.fenced:
+            # Too late: its tids were reclaimed, its state is stale.
+            if self.system.tracer:
+                self.system.tracer.emit(
+                    self.sim.now, "recover.stale", host.name,
+                    "returned after fencing; stays fenced",
+                )
+            return
+        # Transient outage: release anything frozen there and move on.
+        self._t_failed.pop(host.name, None)
+        for tid, (resume, _t0) in list(self._frozen.items()):
+            task = self.system.tasks.get(tid)
+            if task is not None and task.host is host:
+                del self._frozen[tid]
+                if not resume.triggered:
+                    resume.succeed()
+
+    # -- confirmed death --------------------------------------------------------
+    def _on_confirm(self, host: "Host") -> None:
+        self.sim.process(
+            self._recover_host(host), name=f"recover:{host.name}"
+        ).defuse()
+
+    def _recover_host(self, host: "Host"):
+        system = self.system
+        record = RecoveryRecord(
+            host=host.name,
+            t_failed=self._t_failed.get(host.name, self.sim.now),
+            t_confirmed=self.sim.now,
+        )
+        # 1. Fence + rescue whatever sat in the dead daemon's queues.
+        self.fence.fenced.add(host.name)
+        pvmd = system.pvmd_on(host)
+        n_out = self.box.drain_store(pvmd.outbound, f"fence:{host.name}:out")
+        n_in = self.box.drain_store(pvmd.inbound, f"fence:{host.name}:in")
+        if system.tracer:
+            system.tracer.emit(
+                self.sim.now, "recover.fence", host.name,
+                f"fenced; {n_out}+{n_in} messages to dead letters",
+            )
+
+        # 2. Reclaim every resident tid: restart or declare lost.
+        residents = [
+            t for t in list(system.tasks.values()) if t.host is host and t.alive
+        ]
+        for task in residents:
+            yield from self._reclaim_task(task, record)
+
+        # 3. Tell the application layer (ADM re-partition, masters).
+        system.notify.host_deleted(host)
+        record.t_done = self.sim.now
+        self.records.append(record)
+        if system.tracer:
+            restarted = sum(1 for t in record.tasks if t.outcome == "restarted")
+            lost = sum(1 for t in record.tasks if t.outcome == "lost")
+            system.tracer.emit(
+                self.sim.now, "recover.done", host.name,
+                f"detection={record.detection_latency:.3f}s "
+                f"recovery={record.recovery_time:.3f}s "
+                f"restarted={restarted} lost={lost}",
+            )
+
+    def _reclaim_task(self, task: "Task", record: RecoveryRecord):
+        system = self.system
+        old_tid = task.tid
+        frozen = self._frozen.pop(old_tid, None)
+        resume, frozen_at = frozen if frozen else (None, record.t_failed)
+        outcome = TaskRecovery(task=task.name, old_tid=old_tid, outcome="lost")
+        record.tasks.append(outcome)
+
+        engine = self.engine
+        if engine is not None and engine.restartable(task):
+            dst = self._pick_destination(task)
+            if dst is not None:
+                try:
+                    yield from engine.restart(
+                        task, dst, resume=resume, frozen_at=frozen_at
+                    )
+                except PvmError as exc:
+                    if system.tracer:
+                        system.tracer.emit(
+                            self.sim.now, "recover.failed", task.name,
+                            f"restart on {dst.name} failed: {exc}",
+                        )
+                else:
+                    outcome.outcome = "restarted"
+                    outcome.new_tid = task.tid
+                    outcome.dst = dst.name
+                    outcome.replayed = self._replay_letters(old_tid, task)
+                    outcome.t_done = self.sim.now
+                    return
+
+        # Unprotected (or unrecoverable): the tid dies, loudly.
+        self._declare_lost(task, resume)
+        outcome.t_done = self.sim.now
+
+    def _pick_destination(self, task: "Task") -> Optional["Host"]:
+        src = task.host
+        exclude = tuple(self.fenced_or_down())
+        if self.destination_picker is not None:
+            dst = self.destination_picker(exclude)
+            if dst is not None and src.migration_compatible(dst):
+                return dst
+            # The ranked choice is incompatible (heterogeneous worknet):
+            # fall through to the compatibility-aware scan.
+        for host in self.system.cluster.hosts:
+            if host is src or host.name in exclude:
+                continue
+            if host.up and src.migration_compatible(host):
+                return host
+        return None
+
+    def fenced_or_down(self) -> List[str]:
+        return sorted(
+            self.fence.fenced
+            | {h.name for h in self.system.cluster.hosts if not h.up}
+        )
+
+    def _replay_letters(self, old_tid: int, task: "Task") -> int:
+        """Re-inject rescued messages for a restarted task.
+
+        Inbound letters (addressed to the old tid, possibly through an
+        older forwarding chain) go through the new host's daemon — the
+        forwarding table routes them to the new tid.  Outbound letters
+        (sent by the dead incarnation but never delivered) are re-sent
+        from the new host: the coroutine carries its state across the
+        restart and will *not* re-execute those sends, so without replay
+        they would be lost forever.
+        """
+        system = self.system
+        new_tid = task.tid
+        pvmd = system.pvmd_on(task.host)
+        n = 0
+        for msg, _reason in self.box.pop_matching(
+            lambda m: system.routable_tid(m.dst_tid) == new_tid
+        ):
+            pvmd.enqueue_inbound(msg)
+            n += 1
+        for msg, _reason in self.box.pop_matching(
+            lambda m: system.routable_tid(m.src_tid) == new_tid
+        ):
+            msg.src_tid = new_tid  # the sender's live identity
+            pvmd.enqueue_outbound(msg)
+            n += 1
+        if n and system.tracer:
+            system.tracer.emit(
+                self.sim.now, "recover.replay", task.name,
+                f"{n} dead letters re-injected",
+            )
+        return n
+
+    def _declare_lost(self, task: "Task", resume: Optional[Event]) -> None:
+        system = self.system
+        tid = task.tid
+        if system.tracer:
+            system.tracer.emit(
+                self.sim.now, "recover.tasklost", task.name,
+                f"{tid_str(tid)} died with {task.host.name} (no checkpoint)",
+            )
+        system.kill_task(tid)  # unregisters + fires the TaskExit notify
+        if resume is not None and not resume.triggered:
+            resume.succeed()
+        system.clear_inflight(tid)
+        self.box.discard_for(tid)

@@ -1,0 +1,192 @@
+"""Heartbeat failure detector.
+
+Every pvmd gossips a small liveness datagram to the GS machine on a
+configurable period; the detector turns *silence* into suspicion with a
+phi-accrual-style score (Hayashibara et al.): with heartbeats modelled
+as arriving at mean interval ``m``, the suspicion that a host whose last
+heartbeat is ``Δt`` old has died is
+
+    phi = -log10 P(next arrival > Δt)  ≈  0.4343 · Δt / m
+
+(the exponential-tail form).  Two thresholds split the score into three
+states: ``alive`` → ``suspect`` (``suspect_phi``) → ``confirmed``
+(``confirm_phi``, sticky).  Because ``m`` is estimated from a sliding
+window of *observed* inter-arrival times, transient link delay injected
+by the fault layer stretches the window mean and raises the bar before
+it raises the alarm — the property that keeps false positives out.
+
+Determinism: the detector uses no random numbers at all.  Senders are
+staggered deterministically (host ``i`` of ``n`` offsets its first beat
+by ``period·i/n``), so the same seed (which fixes the rest of the
+simulation) yields an identical suspicion timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..pvm.errors import PvmError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.host import Host
+    from ..pvm.vm import PvmSystem
+
+__all__ = ["HeartbeatConfig", "FailureDetector", "LOG10_E"]
+
+#: log10(e): converts mean-intervals-elapsed into the phi scale.
+LOG10_E = 0.4342944819032518
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+CONFIRMED = "confirmed"
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Detector tunables (defaults sized for the paper's 10 Mb/s worknet)."""
+
+    #: Gossip period: one 64-byte datagram per host per period.
+    period_s: float = 0.5
+    #: Sliding window of inter-arrival samples for the mean estimate.
+    window: int = 8
+    #: phi at which a host becomes suspect (≈2.3 mean intervals silent).
+    suspect_phi: float = 1.0
+    #: phi at which death is confirmed (≈4.6 mean intervals; sticky).
+    confirm_phi: float = 2.0
+    #: Wire bytes per heartbeat datagram.
+    hb_bytes: int = 64
+    #: Arrivals required before phi is trusted (cold start uses period_s).
+    min_samples: int = 3
+
+
+@dataclass
+class _HostView:
+    """Per-monitored-host detector state."""
+
+    last_arrival: float
+    intervals: List[float] = field(default_factory=list)
+    state: str = ALIVE
+    samples: int = 0
+
+    def mean_interval(self, cfg: HeartbeatConfig) -> float:
+        if self.samples < cfg.min_samples or not self.intervals:
+            return cfg.period_s
+        return sum(self.intervals) / len(self.intervals)
+
+
+class FailureDetector:
+    """Phi-accrual heartbeat detector running on the GS machine.
+
+    ``on_confirm`` callbacks fire exactly once per confirmed host, at the
+    scan that crosses ``confirm_phi``.  ``timeline`` records every state
+    transition as ``(t, host_name, state, phi)`` — the determinism
+    contract of the soak harness asserts this list is identical across
+    runs with the same seed.
+    """
+
+    def __init__(
+        self,
+        system: "PvmSystem",
+        home: "Host",
+        config: Optional[HeartbeatConfig] = None,
+    ) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.home = home
+        self.config = config or HeartbeatConfig()
+        self.on_confirm: List[Callable[["Host"], None]] = []
+        self.views: Dict[str, _HostView] = {}
+        self.timeline: List[Tuple[float, str, str, float]] = []
+        self.enabled = False
+        self._monitored: List["Host"] = []
+
+    def start(self) -> None:
+        """Launch one sender per remote host plus the scanner."""
+        if self.enabled:
+            return
+        self.enabled = True
+        self._monitored = [h for h in self.system.cluster.hosts if h is not self.home]
+        n = max(1, len(self._monitored))
+        now = self.sim.now
+        for idx, host in enumerate(self._monitored):
+            self.views[host.name] = _HostView(last_arrival=now)
+            offset = self.config.period_s * idx / n
+            self.sim.process(
+                self._sender(host, offset), name=f"hb:{host.name}"
+            ).defuse()
+        self.sim.process(self._scanner(), name="hb:scanner").defuse()
+
+    def stop(self) -> None:
+        """Stop gossiping (the sender/scanner loops drain on next wake)."""
+        self.enabled = False
+
+    # -- processes -------------------------------------------------------------
+    def _sender(self, host: "Host", offset: float):
+        cfg = self.config
+        if offset > 0:
+            yield self.sim.timeout(offset)
+        while self.enabled:
+            if host.up:
+                try:
+                    yield self.system.network.transfer(
+                        host, self.home, cfg.hb_bytes, label="heartbeat"
+                    )
+                except PvmError:
+                    pass  # lost datagram: silence is the signal
+                else:
+                    self._arrived(host.name)
+            yield self.sim.timeout(cfg.period_s)
+
+    def _arrived(self, name: str) -> None:
+        view = self.views[name]
+        now = self.sim.now
+        view.intervals.append(now - view.last_arrival)
+        if len(view.intervals) > self.config.window:
+            view.intervals.pop(0)
+        view.last_arrival = now
+        view.samples += 1
+        if view.state is SUSPECT:
+            # Back from the brink: a late heartbeat clears suspicion.
+            self._transition(name, view, ALIVE, 0.0)
+
+    def _scanner(self):
+        cfg = self.config
+        while self.enabled:
+            yield self.sim.timeout(cfg.period_s)
+            for host in self._monitored:
+                view = self.views[host.name]
+                if view.state is CONFIRMED:
+                    continue  # sticky: recovery owns the host now
+                score = self.phi(host.name)
+                if score >= cfg.confirm_phi:
+                    self._transition(host.name, view, CONFIRMED, score)
+                    for cb in list(self.on_confirm):
+                        cb(host)
+                elif score >= cfg.suspect_phi:
+                    if view.state is not SUSPECT:
+                        self._transition(host.name, view, SUSPECT, score)
+                elif view.state is SUSPECT:
+                    self._transition(host.name, view, ALIVE, score)
+
+    # -- queries ---------------------------------------------------------------
+    def phi(self, name: str) -> float:
+        """Current suspicion score for ``name``."""
+        view = self.views[name]
+        elapsed = self.sim.now - view.last_arrival
+        return LOG10_E * elapsed / view.mean_interval(self.config)
+
+    def state(self, name: str) -> str:
+        return self.views[name].state
+
+    def _transition(self, name: str, view: _HostView, state: str, score: float) -> None:
+        view.state = state
+        self.timeline.append((self.sim.now, name, state, round(score, 6)))
+        if self.system.tracer:
+            self.system.tracer.emit(
+                self.sim.now, "hb.state", name, f"{state} phi={score:.3f}",
+            )
+
+    def __repr__(self) -> str:
+        states = {n: v.state for n, v in self.views.items()}
+        return f"<FailureDetector home={self.home.name} {states}>"

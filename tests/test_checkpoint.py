@@ -141,3 +141,34 @@ def test_checkpoint_image_not_portable_across_arch():
     vm.start_master("master", host="hp")
     cl.run(until=60)
     assert out["err"] == "PvmNotCompatible"
+
+
+def test_checkpoint_in_progress_discarded_when_host_crashes():
+    """A crash mid-write must not shadow the previous complete image."""
+    vm = MpvmSystem(Cluster(n_hosts=2))
+    log, out = {}, {}
+    vm.register_program("w", cruncher_factory(60, log))
+    engine = CheckpointEngine(vm, period_s=5.0)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("w", count=1, where=[0])
+        out["tid"] = tid
+        task = vm.task(tid)
+        task.grow_heap(int(8 * MB))  # ~5 s write at 1.5 MB/s disk
+        engine.protect(task, initial=True)
+
+    vm.register_program("master", master)
+    vm.start_master("master", host=1)
+
+    def crash():
+        # The initial checkpoint completes around t=6; the next periodic
+        # write starts ~5 s later and takes ~5 s — t=13 lands inside it.
+        yield vm.sim.timeout(13.0)
+        vm.cluster.host(0).fail()
+
+    vm.sim.process(crash())
+    vm.cluster.run(until=40)
+    assert len(engine.history) == 1  # only the initial, complete image
+    ckpt = engine.checkpoints[out["tid"]]
+    assert ckpt is engine.history[0]
+    assert ckpt.taken_at < 13.0  # the pre-crash image stays authoritative

@@ -308,3 +308,46 @@ def test_injector_install_is_idempotent():
     inj = FaultInjector(s.cluster, plan).install()
     assert inj.install() is inj
     assert s.cluster.network.faults is inj
+
+
+# --------------------------------------------------------- plan serialisation
+
+
+def test_fault_plan_json_round_trip():
+    import json
+
+    plan = FaultPlan(
+        faults=(
+            HostCrash(host="hp720-1", at_s=2.5, recover_after_s=9.0),
+            HostCrash(host="hp720-2", stage="transfer", when="exit", role="src", nth=2),
+            SkeletonKill(stage=Stage.RESTART, when="enter", unit="t40001"),
+            LinkFault(label="heartbeat", drop_prob=0.25, delay_s=0.1, until_s=30.0),
+        ),
+        seed=7,
+    )
+    wire = json.loads(json.dumps(plan.to_json()))  # survives real JSON text
+    assert FaultPlan.from_json(wire) == plan
+    assert FaultPlan.from_json(wire).faults[1].stage is Stage.TRANSFER
+
+
+def test_fault_plan_from_json_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultPlan.from_json({"faults": [{"kind": "MeteorStrike", "at_s": 1.0}]})
+
+
+def test_fault_plan_random_is_seeded_and_validated():
+    hosts = ["hp720-1", "hp720-2", "hp720-3", "hp720-4"]
+    a = FaultPlan.random(11, n=3, horizon=60.0, hosts=hosts)
+    b = FaultPlan.random(11, n=3, horizon=60.0, hosts=hosts)
+    assert a == b  # same seed, same schedule
+    assert a != FaultPlan.random(12, n=3, horizon=60.0, hosts=hosts)
+    crashes = a.host_crashes()
+    assert len(crashes) == 3
+    assert len({c.host for c in crashes}) == 3  # without replacement
+    times = [c.at_s for c in crashes]
+    assert times == sorted(times)
+    assert all(0.05 * 60.0 <= t <= 0.95 * 60.0 for t in times)
+    with pytest.raises(ValueError):
+        FaultPlan.random(0, n=5, hosts=hosts[:2])
+    with pytest.raises(ValueError):
+        FaultPlan.random(0, n=1)  # hosts= is mandatory

@@ -193,3 +193,69 @@ def test_load_balance_policy_quiet_cluster_never_moves():
     vm.start_master("master", host=0)
     cl.run(until=120)
     assert policy.moves == []
+
+
+# ------------------------------------------------------------ quarantine TTL
+
+
+def test_quarantine_ttl_expires_and_readmits():
+    vm = make_vm(3)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm, quarantine_ttl=10.0)
+    others = ("hp720-0", "hp720-2")
+    cl.run(until=1.0)
+    gs._note_failure("hp720-1")
+    gs._note_failure("hp720-1")
+    assert "hp720-1" in gs.quarantined
+    cl.run(until=5.0)  # healthy, but not for long enough yet
+    assert gs.pick_destination(exclude=others) is None
+    cl.run(until=12.0)  # > TTL since the last failure at t=1
+    assert gs.pick_destination(exclude=others).name == "hp720-1"
+    assert "hp720-1" not in gs.quarantined
+
+
+def test_quarantine_fresh_failure_restarts_ttl_clock():
+    vm = make_vm(3)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm, quarantine_ttl=10.0)
+    others = ("hp720-0", "hp720-2")
+    cl.run(until=1.0)
+    gs._note_failure("hp720-1")
+    gs._note_failure("hp720-1")
+    cl.run(until=6.0)
+    gs._note_failure("hp720-1")  # still failing: the clock restarts
+    cl.run(until=12.0)  # 11 s after the first failure, 6 s after the last
+    assert gs.pick_destination(exclude=others) is None
+    assert "hp720-1" in gs.quarantined
+    cl.run(until=17.0)  # > TTL after the *fresh* failure
+    assert gs.pick_destination(exclude=others).name == "hp720-1"
+
+
+def test_quarantine_ttl_does_not_readmit_a_down_host():
+    vm = make_vm(3)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm, quarantine_ttl=5.0)
+    others = ("hp720-0", "hp720-2")
+    cl.run(until=1.0)
+    gs._note_failure("hp720-1")
+    gs._note_failure("hp720-1")
+    cl.host(1).fail()
+    cl.run(until=20.0)  # TTL long since passed, but the machine is down
+    assert gs.pick_destination(exclude=others) is None
+    assert "hp720-1" in gs.quarantined
+    cl.host(1).recover()
+    assert gs.pick_destination(exclude=others).name == "hp720-1"
+
+
+def test_quarantine_without_ttl_is_forever():
+    vm = make_vm(3)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm)  # default: no TTL
+    others = ("hp720-0", "hp720-2")
+    cl.run(until=1.0)
+    gs._note_failure("hp720-1")
+    gs._note_failure("hp720-1")
+    cl.run(until=500.0)
+    assert gs.pick_destination(exclude=others) is None
+    gs.pardon(cl.host(1))  # the only way back in
+    assert gs.pick_destination(exclude=others).name == "hp720-1"

@@ -1,0 +1,318 @@
+"""Tests for the crash-recovery subsystem (detector, notify, coordinator).
+
+Covers: pvm_notify TaskExit/HostDelete semantics (ordinary messages,
+one-shot, deduped, rebind-following), phi-accrual detector determinism
+and false-positive resistance under injected link faults, fencing of
+confirmed-dead hosts (including stale late recovery), checkpoint-restart
+end-to-end with output equality against the crash-free run, ADM
+HostDelete re-partition, transient outages, and the soak harness smoke.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.faults import FaultPlan, HostCrash, LinkFault
+from repro.pvm.errors import PvmBadParam
+
+
+def crash(host="hp720-1", at_s=2.0, **kw):
+    return FaultPlan(faults=(HostCrash(host=host, at_s=at_s, **kw),), seed=0)
+
+
+# --------------------------------------------------------------- pvm_notify
+
+
+def test_task_exit_notify_is_an_ordinary_message():
+    s = Session(mechanism="pvm", n_hosts=2)
+    out = {}
+
+    def child(ctx):
+        yield from ctx.sleep(1.0)
+
+    def watcher(ctx):
+        (tid,) = yield from ctx.spawn("child", count=1, where=[1])
+        ctx.notify("TaskExit", 77, tids=[tid])
+        msg = yield from ctx.recv(tag=77)
+        out["value"] = int(msg.buffer.upkint()[0])
+        out["expected"] = tid
+        out["src"] = msg.src_tid
+        out["t"] = ctx.now
+
+    s.vm.register_program("child", child)
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.run()
+    assert out["value"] == out["expected"]
+    assert out["src"] == 0  # SYSTEM_TID: "the system" is the sender
+    assert out["t"] >= 1.0  # delivered at/after the exit, not before
+
+
+def test_task_exit_notify_fires_once_per_tid():
+    s = Session(mechanism="pvm", n_hosts=2)
+    out = {"n": 0}
+
+    def child(ctx):
+        yield from ctx.sleep(0.5)
+
+    def watcher(ctx):
+        (tid,) = yield from ctx.spawn("child", count=1, where=[1])
+        ctx.notify("TaskExit", 77, tids=[tid])
+        yield from ctx.recv(tag=77)
+        out["n"] += 1
+        # Killing the already-dead tid must not re-announce it.
+        s.vm.kill_task(tid)
+        yield from ctx.sleep(1.0)
+        extra = yield from ctx.nrecv(tag=77)
+        out["extra"] = extra
+
+    s.vm.register_program("child", child)
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.run()
+    assert out["n"] == 1 and out["extra"] is None
+
+
+def test_host_delete_notify_carries_host_index():
+    s = Session(mechanism="pvm", n_hosts=3)
+    out = {}
+
+    def watcher(ctx):
+        ctx.notify("HostDelete", 88)
+        msg = yield from ctx.recv(tag=88)
+        out["idx"] = int(msg.buffer.upkint()[0])
+
+    def announce():
+        yield s.sim.timeout(1.0)
+        s.vm.notify.host_deleted(s.host(2))
+
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.sim.process(announce())
+    s.run()
+    assert out["idx"] == 2
+
+
+def test_notify_rejects_bad_kind_and_missing_tids():
+    s = Session(mechanism="pvm", n_hosts=1)
+    errs = []
+
+    def watcher(ctx):
+        for kind, kw in (("Nonsense", {}), ("TaskExit", {})):
+            try:
+                ctx.notify(kind, 9, **kw)
+            except PvmBadParam as exc:
+                errs.append(str(exc))
+        return
+        yield  # pragma: no cover
+
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.run()
+    assert len(errs) == 2
+
+
+def test_task_exit_watch_follows_restart_rebind():
+    """A watch on a tid must survive the tid being rebound by a restart."""
+    s = Session(mechanism="mpvm", n_hosts=3, seed=0)
+    out = {}
+
+    def child(ctx):
+        yield from ctx.compute(25e6 * 10)
+
+    def watcher(ctx):
+        (tid,) = yield from ctx.spawn("child", count=1, where=[1])
+        ctx.notify("TaskExit", 77, tids=[tid])
+        yield ctx.sim.timeout(2.0)
+        yield s.migrate(s.vm.task(tid), s.host(2))  # rebinds the tid
+        msg = yield from ctx.recv(tag=77)
+        out["value"] = int(msg.buffer.upkint()[0])
+        out["new_tid"] = s.vm.routable_tid(tid)
+
+    s.vm.register_program("child", child)
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.run(until=60.0)  # bounded: Session.migrate starts the periodic GS monitor
+    assert out["value"] == out["new_tid"]  # the new incarnation's exit fired
+
+
+# ----------------------------------------------------------------- detector
+
+
+def _armed_idle_session(seed=0, faults=None, **kw):
+    return Session(
+        mechanism="pvm", n_hosts=4, seed=seed, faults=faults, recovery=True, **kw
+    )
+
+
+def test_detector_no_false_positives_fault_free():
+    s = _armed_idle_session()
+    s.run(until=60.0)
+    assert s.detector.timeline == []
+
+
+def test_detector_tolerates_injected_link_faults():
+    """Delayed and dropped heartbeats stretch the window, not the alarm."""
+    plan = FaultPlan(
+        faults=(LinkFault(label="heartbeat", delay_s=0.4, drop_prob=0.15),),
+        seed=3,
+    )
+    s = _armed_idle_session(faults=plan)
+    s.run(until=120.0)
+    states = {st for (_t, _h, st, _phi) in s.detector.timeline}
+    assert "confirmed" not in states  # suspicion may flicker; death must not
+    assert s.recovery_records == []
+
+
+def test_detector_confirms_real_crash_and_is_deterministic():
+    timelines = []
+    for _ in range(2):
+        s = _armed_idle_session(faults=crash(at_s=5.0))
+        s.run(until=30.0)
+        timelines.append(list(s.detector.timeline))
+        assert s.detector.state("hp720-1") == "confirmed"
+        # Detection is bounded: a few mean intervals, not a timeout sweep.
+        (rec,) = s.recovery_records
+        assert 1.0 < rec.detection_latency < 5.0
+    assert timelines[0] == timelines[1]
+
+
+def test_detector_run_unbounded_guard():
+    s = _armed_idle_session()
+    with pytest.raises(ValueError):
+        s.run()
+    s.detector.stop()
+    s.run(until=1.0)  # explicit bound still fine after stop
+
+
+# -------------------------------------------------------------- coordinator
+
+
+def test_confirmed_host_is_fenced_and_recovery_is_stale():
+    plan = crash(at_s=1.0, recover_after_s=30.0)
+    s = _armed_idle_session(faults=plan)
+    s.run(until=10.0)
+    fence = s.coordinator.fence
+    assert "hp720-1" in fence.fenced
+    verdict = s.vm.network.faults.check(s.host(0), s.host(1), 100, "late-data")
+    assert isinstance(verdict, Exception)
+    s.run(until=60.0)  # the machine comes back at t=31 — too late
+    assert s.host(1).up
+    assert "hp720-1" in fence.fenced  # stale state: stays fenced
+    assert fence.rejected > 0  # its own heartbeats bounced off the fence
+
+
+def test_transient_outage_releases_frozen_tasks():
+    plan = crash(at_s=2.0, recover_after_s=0.5)  # back before confirm
+    s = Session(mechanism="mpvm", n_hosts=3, seed=0, faults=plan, recovery=True)
+    done = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 10)
+        done["t"] = ctx.now
+
+    def master(ctx):
+        yield from ctx.spawn("worker", count=1, where=[1])
+        if False:
+            yield
+
+    s.vm.register_program("worker", worker)
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=0)
+    s.run(until=120.0)
+    assert done  # the worker finished after the blip
+    assert s.recovery_records == []  # never confirmed, never fenced
+    assert s.coordinator.fence.fenced == set()
+    assert s.coordinator._frozen == {}
+
+
+def test_unprotected_task_is_declared_lost_not_hung():
+    s = Session(
+        mechanism="mpvm", n_hosts=3, seed=0, faults=crash(at_s=2.0), recovery=True
+    )
+    out = {}
+
+    def worker(ctx):
+        yield from ctx.compute(25e6 * 60)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("worker", count=1, where=[1])
+        ctx.notify("TaskExit", 50, tids=[tid])
+        msg = yield from ctx.recv(tag=50)
+        out["dead"] = int(msg.buffer.upkint()[0])
+        out["t"] = ctx.now
+
+    s.vm.register_program("worker", worker)
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=0)
+    s.run(until=60.0)
+    assert out  # the master learned instead of hanging
+    (rec,) = s.recovery_records
+    assert [t.outcome for t in rec.tasks] == ["lost"]
+
+
+def test_checkpoint_restart_end_to_end_matches_crash_free_run():
+    from repro.apps.opt import MB_DEC, OptConfig, PvmOpt
+
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=6, n_slaves=4)
+
+    def run(faults=None, recovery=False):
+        s = Session(
+            mechanism="mpvm", n_hosts=5, seed=3, faults=faults, recovery=recovery
+        )
+        app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=[1, 2, 3, 4])
+        app.start()
+        if recovery:
+            def protector():
+                while len(app.slave_tids) < cfg.n_slaves:
+                    yield s.sim.timeout(0.05)
+                for tid in app.slave_tids:
+                    s.protect(s.vm.task(tid))
+
+            s.sim.process(protector()).defuse()
+        s.run(until=600.0)
+        return s, app
+
+    _s0, ref = run()
+    s, app = run(faults=crash(host="hp720-2", at_s=6.0), recovery=True)
+    assert app.report["losses"] == ref.report["losses"]
+    (rec,) = s.recovery_records
+    (fate,) = rec.tasks
+    assert fate.outcome == "restarted" and fate.dst != "hp720-2"
+    assert app.report["total_time"] > ref.report["total_time"]  # recovery costs
+
+
+def test_adm_host_delete_triggers_repartition():
+    from repro.apps.opt import AdmOpt, MB_DEC, OptConfig
+
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=8, n_slaves=4)
+    s = Session(
+        mechanism="adm", n_hosts=5, seed=3,
+        faults=crash(host="hp720-2", at_s=6.0), recovery=True,
+    )
+    app = AdmOpt(s.vm, cfg, master_host=0, slave_hosts=[1, 2, 3, 4])
+    app.start()
+    s.adopt(app)
+    s.run(until=600.0)
+    assert "total_time" in app.report  # completed, not hung
+    assert sorted(app.lost) == [1]  # the worker that lived on hp720-2
+    assert app.report["redistributions"] >= 1  # consensus round over survivors
+
+
+# ----------------------------------------------------------------- soak
+
+
+def test_soak_smoke_passes():
+    from repro.experiments.soak import run_soak
+
+    doc = run_soak(seeds=2, smoke=True)
+    assert doc["ok"]
+    assert doc["detection_latency_s"]["n"] > 0
+    for leg in doc["legs"].values():
+        assert leg["completed"] == 2
+
+
+def test_recovery_off_by_default_adds_nothing():
+    s = Session(mechanism="mpvm", n_hosts=2)
+    assert s.detector is None and s.coordinator is None
+    assert s.vm.dead_letters is None
+    assert not s.config.recovery
