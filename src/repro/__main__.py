@@ -8,6 +8,8 @@ Usage::
     python -m repro faults --seed 7       # seeded chaos demo
     python -m repro bench --json          # kernel-scale benchmarks
     python -m repro soak --seeds 20       # crash-recovery survivability soak
+    python -m repro soak --reliability    # lossy/partition network soak
+    python -m repro faults --partition    # reliable-channel partition demo
     python -m repro table2 figure4        # legacy spelling of `run`
 
 ``--json`` switches any subcommand to machine-readable output.
@@ -48,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--random", action="store_true",
                           help="seeded random crash schedule (FaultPlan.random) "
                                "instead of the curated plan")
+    p_faults.add_argument("--partition", action="store_true",
+                          help="lossy-wire + healed-partition demo: reliable "
+                               "channels, partition grace, exactly-once delivery")
     p_faults.add_argument("--json", action="store_true",
                           help="emit results as JSON")
 
@@ -72,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tiny workload (CI smoke / CLI tests)")
     p_soak.add_argument("--out", metavar="FILE", default=None,
                         help="also write the JSON document to FILE")
+    p_soak.add_argument("--reliability", action="store_true",
+                        help="lossy/partition network soak instead of the "
+                             "crash soak (BENCH_reliability.json)")
     return parser
 
 
@@ -110,14 +118,36 @@ def main(argv: List[str]) -> int:
     if ns.command == "run":
         return _run_exhibits(ns.exhibit, as_json=ns.json)
     if ns.command == "faults":
-        from .faults.demo import main as faults_main, run_demo
+        from .faults.demo import main as faults_main, main_partition, run_demo, run_partition
 
-        if ns.json:
+        if ns.partition:
+            if ns.json:
+                print(json.dumps(run_partition(ns.seed), indent=2))
+            else:
+                main_partition(ns.seed)
+        elif ns.json:
             print(json.dumps(run_demo(ns.seed, random_schedule=ns.random), indent=2))
         else:
             faults_main(ns.seed, random_schedule=ns.random)
         return 0
     if ns.command == "soak":
+        if ns.reliability:
+            from .experiments.soak_reliability import (
+                render_soak_reliability,
+                run_soak_reliability,
+            )
+
+            doc = run_soak_reliability(seeds=ns.seeds, smoke=ns.smoke)
+            if ns.out:
+                with open(ns.out, "w") as fh:
+                    json.dump(doc, fh, indent=2)
+                    fh.write("\n")
+            print(
+                json.dumps(doc, indent=2)
+                if ns.json
+                else render_soak_reliability(doc)
+            )
+            return 0 if doc["ok"] else 1
         from .experiments.soak import render_soak, run_soak
 
         doc = run_soak(seeds=ns.seeds, smoke=ns.smoke)

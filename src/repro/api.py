@@ -46,6 +46,7 @@ from .mpvm import MpvmSystem
 from .mpvm.checkpoint import CheckpointEngine
 from .pvm import PvmSystem
 from .recovery import FailureDetector, RecoveryConfig, RecoveryCoordinator
+from .reliability import ReliabilityConfig, ReliabilityLayer
 from .upvm import UpvmSystem
 
 __all__ = ["Session", "SessionConfig"]
@@ -71,6 +72,9 @@ class SessionConfig:
     #: Crash detection & recovery armed (off by default: the paper's
     #: exhibits run without any heartbeat traffic).
     recovery: bool = False
+    #: Reliable interhost transport armed (off by default: raw
+    #: datagrams, exactly the paper's wire model).
+    reliability: bool = False
 
 
 class Session:
@@ -91,6 +95,7 @@ class Session:
         quarantine_after: int = 2,
         quarantine_ttl: Optional[float] = None,
         recovery: "bool | RecoveryConfig | None" = None,
+        reliability: "bool | ReliabilityConfig | None" = None,
     ) -> None:
         if mechanism not in _SYSTEMS:
             raise ValueError(
@@ -105,6 +110,11 @@ class Session:
         elif recovery is False:
             recovery = None
         self.recovery: Optional[RecoveryConfig] = recovery
+        if reliability is True:
+            reliability = ReliabilityConfig()
+        elif reliability is False:
+            reliability = None
+        self._reliability_config: Optional[ReliabilityConfig] = reliability
         self.config = SessionConfig(
             mechanism=mechanism,
             n_hosts=len(self.cluster.hosts),
@@ -113,6 +123,7 @@ class Session:
             default_route=default_route,
             faults=faults or FaultPlan(),
             recovery=recovery is not None,
+            reliability=reliability is not None,
         )
         self.faults = self.config.faults
         self.vm = _SYSTEMS[mechanism](self.cluster, default_route=default_route)
@@ -127,6 +138,13 @@ class Session:
         self.injector: Optional[FaultInjector] = None
         if self.faults:
             self.injector = FaultInjector(self.cluster, self.faults).install()
+        #: Reliable transport (sequencing/acks/retransmit) over the
+        #: interhost seam — None unless ``reliability=`` was given.
+        self.reliability: Optional[ReliabilityLayer] = None
+        if self._reliability_config is not None:
+            self.reliability = ReliabilityLayer(
+                self.vm, self._reliability_config
+            ).install()
         self._coordinators: List[Any] = []
         mig = getattr(self.vm, "migration", None)
         if mig is not None:
@@ -155,8 +173,16 @@ class Session:
                 self.detector,
                 engine=self.checkpoints,
                 destination_picker=self._recovery_pick,
+                partition_grace_s=self.recovery.partition_grace_s,
             )
             self.coordinator.install()
+            # Every migration coordinator's transaction log learns about
+            # fences, so exactly-once verification can reject commits
+            # into hosts that were fenced first.
+            for c in self._coordinators:
+                txns = getattr(c, "txns", None)
+                if txns is not None:
+                    self.coordinator.txn_logs.append(txns)
 
     # -- wiring ----------------------------------------------------------------
     def _wire_coordinator(self, coordinator: Any) -> None:
@@ -164,6 +190,10 @@ class Session:
         if self.injector is not None:
             coordinator.injector = self.injector
         self._coordinators.append(coordinator)
+        txns = getattr(coordinator, "txns", None)
+        recovery = getattr(self, "coordinator", None)
+        if txns is not None and recovery is not None:
+            recovery.txn_logs.append(txns)
 
     @property
     def scheduler(self) -> GlobalScheduler:
@@ -182,7 +212,14 @@ class Session:
                 quarantine_after=self._quarantine_after,
                 quarantine_ttl=self._quarantine_ttl,
             )
+            self._wire_scheduler(self._scheduler)
         return self._scheduler
+
+    def _wire_scheduler(self, scheduler: GlobalScheduler) -> None:
+        """Partition awareness: the GS never places onto a host the
+        recovery layer currently considers unreachable-but-alive."""
+        if self.coordinator is not None:
+            scheduler.unreachable_provider = self.coordinator.unreachable_hosts
 
     def _recovery_pick(self, exclude: Tuple[str, ...]) -> Optional[Host]:
         """Restart placement via the GS ranking when a GS exists.
@@ -234,6 +271,7 @@ class Session:
             quarantine_after=self._quarantine_after,
             quarantine_ttl=self._quarantine_ttl,
         )
+        self._wire_scheduler(self._scheduler)
         return self._scheduler
 
     # -- running ----------------------------------------------------------------

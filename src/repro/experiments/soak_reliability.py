@@ -1,0 +1,326 @@
+"""Lossy-network soak harness (``python -m repro soak --reliability``).
+
+The crash soak (:mod:`repro.experiments.soak`) proves the recovery
+subsystem survives dying *hosts*; this harness proves the reliability
+layer survives a dying *network*.  For every seed it draws a random
+schedule of message drops, duplications, reorderings, and transient
+partitions with :meth:`FaultPlan.random` and throws it at the Opt
+application in three legs:
+
+* **lossy** — plain PVM with reliable channels armed; the wire drops,
+  duplicates, and reorders the channel's datagrams for random windows.
+  The run must complete with output identical to the fault-free run
+  and the channel must never declare a message lost.
+* **partition** — recovery armed with a partition grace: a transient
+  partition cuts worker hosts off long enough for the detector to
+  *confirm* their death, then heals.  The grace window must reprieve
+  them — no fence, no restart, output identical.
+* **storm** — everything at once on MPVM: drops + dups + reorders +
+  partitions while the GS vacates a host mid-run, driving real
+  migrations (with their two-phase transaction log) through the chaos.
+  Exactly-once is asserted via ``TransactionLog.verify()``.
+
+Every leg rides the same exactly-once plumbing: per-link sequencing
+suppresses wire-level duplicates, the end-to-end delivery guard
+suppresses cross-link ones, and a partition that heals inside the
+grace never costs a task its life.  The committed
+``BENCH_reliability.json`` at the repo root holds the full 20-seed run.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Any, Dict, List, Tuple
+
+from ..api import Session
+from ..apps.opt import PvmOpt
+from ..faults import FaultPlan
+from ..pvm.errors import PvmError
+from ..recovery import RecoveryConfig
+from .soak import (
+    CRASH_HOSTS,
+    N_HOSTS,
+    SLAVE_HOSTS,
+    UNTIL_S,
+    _dist,
+    _NotifyOpt,
+    _reference_losses,
+    _workload,
+)
+
+__all__ = ["SCHEMA", "run_soak_reliability", "render_soak_reliability"]
+
+SCHEMA = "repro-bench-reliability/1"
+
+#: Faults per seed in the single-kind legs (lossy / partition).
+FAULTS_LOSSY = 6
+FAULTS_PARTITION = 2
+#: Faults per seed in the combined storm leg.
+FAULTS_STORM = 8
+
+
+def _grace(horizon: float) -> float:
+    """Partition grace sized so any in-horizon partition heals inside it.
+
+    Partitions drawn by :meth:`FaultPlan.random` last at most 30 % of
+    the horizon and end by 95 % of it; confirmation lands a couple of
+    mean heartbeat intervals into the silence, so a full horizon of
+    grace always spans the remaining outage plus the heal-side
+    heartbeat that proves the host alive.
+    """
+    return horizon
+
+
+def _channel_facts(s: Session) -> Dict[str, Any]:
+    assert s.reliability is not None
+    facts = dict(s.reliability.stats.as_dict())
+    facts["e2e_dups_suppressed"] = s.reliability.guard.suppressed
+    return facts
+
+
+def _recovery_facts(s: Session) -> Dict[str, Any]:
+    if s.coordinator is None:
+        return {"fenced": [], "restarted": 0, "lost": 0, "reprieved": 0}
+    records = s.coordinator.records
+    return {
+        "fenced": sorted(s.coordinator.fence.fenced),
+        "restarted": sum(
+            1 for r in records for t in r.tasks if t.outcome == "restarted"
+        ),
+        "lost": sum(1 for r in records for t in r.tasks if t.outcome == "lost"),
+        "reprieved": len(s.coordinator.reprieves),
+    }
+
+
+def _txn_facts(s: Session) -> Dict[str, Any]:
+    violations: List[str] = []
+    committed = aborted = 0
+    for c in s._coordinators:
+        txns = getattr(c, "txns", None)
+        if txns is None:
+            continue
+        violations.extend(txns.verify())
+        committed += len(txns.committed())
+        aborted += len(txns.aborted())
+    return {
+        "committed": committed,
+        "aborted": aborted,
+        "violations": violations,
+    }
+
+
+def _finish(s: Session, app, ref_losses: List[float]) -> Dict[str, Any]:
+    rec = _recovery_facts(s)
+    txn = _txn_facts(s)
+    chan = _channel_facts(s)
+    return {
+        "completed": "total_time" in app.report,
+        "sim_time_s": round(app.report.get("total_time", 0.0), 6),
+        "matched_reference": app.report.get("losses") == ref_losses,
+        "channel": chan,
+        "recovery": rec,
+        "txns": txn,
+        "clean": (
+            "total_time" in app.report
+            and app.report.get("losses") == ref_losses
+            and chan["exhausted"] == 0
+            and not rec["fenced"]
+            and rec["restarted"] == 0
+            and rec["lost"] == 0
+            and not txn["violations"]
+        ),
+    }
+
+
+def _leg_lossy(seed: int, cfg, horizon: float, ref_losses: List[float]):
+    plan = FaultPlan.random(
+        seed, n=FAULTS_LOSSY, horizon=horizon,
+        hosts=list(CRASH_HOSTS), kinds=("drop", "dup", "reorder"),
+    )
+    s = Session(
+        mechanism="pvm", n_hosts=N_HOSTS, seed=seed,
+        faults=plan, reliability=True,
+    )
+    app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+    s.run(until=UNTIL_S)
+    return _finish(s, app, ref_losses)
+
+
+def _leg_partition(seed: int, cfg, horizon: float, ref_losses: List[float]):
+    plan = FaultPlan.random(
+        seed, n=FAULTS_PARTITION, horizon=horizon,
+        hosts=list(CRASH_HOSTS), kinds=("partition",),
+    )
+    s = Session(
+        mechanism="pvm", n_hosts=N_HOSTS, seed=seed,
+        faults=plan, reliability=True,
+        recovery=RecoveryConfig(partition_grace_s=_grace(horizon)),
+    )
+    app = _NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+    s.run(until=UNTIL_S)
+    out = _finish(s, app, ref_losses)
+    # The headline claim: nobody restarts because a partition healed.
+    out["quorum_shrunk"] = len(app.exits)
+    out["clean"] = out["clean"] and not app.exits
+    return out
+
+
+def _leg_storm(seed: int, cfg, horizon: float, ref_losses: List[float]):
+    plan = FaultPlan.random(
+        seed, n=FAULTS_STORM, horizon=horizon,
+        hosts=list(CRASH_HOSTS), kinds=("drop", "dup", "reorder", "partition"),
+    )
+    s = Session(
+        mechanism="mpvm", n_hosts=N_HOSTS, seed=seed,
+        faults=plan, reliability=True,
+        recovery=RecoveryConfig(partition_grace_s=_grace(horizon)),
+    )
+    app = _NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+
+    def vacate():
+        # An announced reclaim mid-chaos: real migrations (and their
+        # transactions) have to thread the same lossy wire.
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.05)
+        yield s.sim.timeout(0.35 * horizon)
+        try:
+            events = s.reclaim(s.host(1))
+        except PvmError:
+            return
+        for ev in events:
+            try:
+                yield ev
+            except PvmError:
+                pass  # abandoned migration: unit stays where it was
+
+    s.sim.process(vacate(), name="soak:vacate").defuse()
+    s.run(until=UNTIL_S)
+    out = _finish(s, app, ref_losses)
+    out["migrations"] = len(s.migrations)
+    out["abandoned"] = len(s.abandoned)
+    out["quorum_shrunk"] = len(app.exits)
+    out["clean"] = out["clean"] and not app.exits
+    return out
+
+
+_LEGS = {
+    "lossy": _leg_lossy,
+    "partition": _leg_partition,
+    "storm": _leg_storm,
+}
+
+
+def _fault_free_matches(cfg, ref_losses: List[float]) -> bool:
+    """The channel itself must not perturb a fault-free run's output."""
+    s = Session(mechanism="pvm", n_hosts=N_HOSTS, seed=0, reliability=True)
+    app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+    s.run(until=UNTIL_S)
+    return app.report.get("losses") == ref_losses
+
+
+def run_soak_reliability(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
+    """Run the full lossy-network soak; returns the result document."""
+    cfg, horizon = _workload(smoke)
+    ref_losses = _reference_losses(cfg)
+
+    legs: Dict[str, Dict[str, Any]] = {name: {"runs": []} for name in _LEGS}
+    retransmits: List[float] = []
+    dups: List[float] = []
+    for seed in range(seeds):
+        for name, leg in _LEGS.items():
+            run = leg(seed, cfg, horizon, ref_losses)
+            run["seed"] = seed
+            legs[name]["runs"].append(run)
+            retransmits.append(float(run["channel"]["retransmits"]))
+            dups.append(float(
+                run["channel"]["dup_suppressed"]
+                + run["channel"]["e2e_dups_suppressed"]
+            ))
+
+    for leg in legs.values():
+        runs = leg["runs"]
+        leg["completed"] = sum(1 for r in runs if r["completed"])
+        leg["matched_reference"] = sum(1 for r in runs if r["matched_reference"])
+        leg["clean"] = sum(1 for r in runs if r["clean"])
+    legs["partition"]["reprieved"] = sum(
+        r["recovery"]["reprieved"] for r in legs["partition"]["runs"]
+    )
+    legs["storm"]["migrations"] = sum(r["migrations"] for r in legs["storm"]["runs"])
+    legs["storm"]["txns_committed"] = sum(
+        r["txns"]["committed"] for r in legs["storm"]["runs"]
+    )
+
+    determinism = (
+        _leg_storm(0, cfg, horizon, ref_losses)
+        == _leg_storm(0, cfg, horizon, ref_losses)
+    )
+    fault_free = _fault_free_matches(cfg, ref_losses)
+
+    ok = (
+        all(leg["clean"] == seeds for leg in legs.values())
+        and determinism
+        and fault_free
+    )
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "seeds": seeds,
+        "horizon_s": horizon,
+        "workload": {
+            "data_bytes": cfg.data_bytes,
+            "iterations": cfg.iterations,
+            "n_slaves": cfg.n_slaves,
+            "n_hosts": N_HOSTS,
+        },
+        "faults_per_seed": {
+            "lossy": FAULTS_LOSSY,
+            "partition": FAULTS_PARTITION,
+            "storm": FAULTS_STORM,
+        },
+        "legs": legs,
+        "retransmits_per_run": _dist(retransmits),
+        "dups_suppressed_per_run": _dist(dups),
+        "determinism_identical": determinism,
+        "fault_free_reliability_matches": fault_free,
+        "ok": ok,
+    }
+
+
+def render_soak_reliability(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_soak_reliability` document."""
+    out = [
+        f"== reliability soak: {doc['seeds']} seeds x "
+        f"{len(doc['legs'])} legs ({'smoke' if doc['smoke'] else 'full'}) =="
+    ]
+    for name, leg in doc["legs"].items():
+        bits = [
+            f"completed {leg['completed']}/{doc['seeds']}",
+            f"matched {leg['matched_reference']}/{doc['seeds']}",
+            f"clean {leg['clean']}/{doc['seeds']}",
+        ]
+        if "reprieved" in leg:
+            bits.append(f"reprieved {leg['reprieved']}")
+        if "migrations" in leg:
+            bits.append(
+                f"migrations {leg['migrations']} "
+                f"(txns committed {leg['txns_committed']})"
+            )
+        out.append(f"  {name:10s} " + ", ".join(bits))
+    for key in ("retransmits_per_run", "dups_suppressed_per_run"):
+        d = doc[key]
+        if d:
+            out.append(
+                f"  {key:24s} n={d['n']} min={d['min']:.0f} mean={d['mean']:.1f} "
+                f"p50={d['p50']:.0f} p95={d['p95']:.0f} max={d['max']:.0f}"
+            )
+    out.append(
+        f"  determinism={'identical' if doc['determinism_identical'] else 'DIVERGED'} "
+        f"fault_free_matches={doc['fault_free_reliability_matches']} "
+        f"ok={doc['ok']}"
+    )
+    return "\n".join(out)

@@ -23,9 +23,24 @@ Quick use through the session facade::
     )
 """
 
-from .errors import ControlMessageLost, HostCrashed, InjectedFault, SkeletonKilled
+from .errors import (
+    ControlMessageLost,
+    HostCrashed,
+    InjectedFault,
+    LinkPartitioned,
+    SkeletonKilled,
+)
 from .injector import FaultInjector
-from .plan import FaultPlan, HostCrash, LinkFault, SkeletonKill
+from .plan import (
+    FaultPlan,
+    HostCrash,
+    LinkFault,
+    MessageDrop,
+    MessageDup,
+    MessageReorder,
+    NetworkPartition,
+    SkeletonKill,
+)
 
 __all__ = [
     "ControlMessageLost",
@@ -35,6 +50,11 @@ __all__ = [
     "HostCrashed",
     "InjectedFault",
     "LinkFault",
+    "LinkPartitioned",
+    "MessageDrop",
+    "MessageDup",
+    "MessageReorder",
+    "NetworkPartition",
     "SkeletonKill",
     "SkeletonKilled",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "ControlMessageLost",
     "HostCrashed",
     "InjectedFault",
+    "LinkPartitioned",
     "SkeletonKilled",
 ]
 
@@ -68,3 +69,23 @@ class ControlMessageLost(InjectedFault):
         self.label = label
         self.src = src
         self.dst = dst
+
+
+class LinkPartitioned(InjectedFault):
+    """The packet tried to cross an active network partition.
+
+    Transient from the protocol's point of view — the partition heals
+    eventually and a retry then succeeds — but unlike a plain drop the
+    *whole cut* is down, so retries inside the partition window all
+    fail.  The reliability layer keeps retransmitting with backoff; the
+    recovery layer's grace window keeps the victim from being declared
+    dead in the meantime.
+    """
+
+    transient = True
+
+    def __init__(self, src: str, dst: str, label: str) -> None:
+        super().__init__(f"partition severs {src} -> {dst} ({label!r})")
+        self.src = src
+        self.dst = dst
+        self.label = label

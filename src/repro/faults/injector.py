@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Tuple, Union
 
 from ..migration.stages import Stage
 from ..sim import RngStreams
-from .errors import ControlMessageLost, HostCrashed, SkeletonKilled
+from .errors import ControlMessageLost, HostCrashed, LinkPartitioned, SkeletonKilled
 from .plan import FaultPlan, HostCrash, LinkFault, SkeletonKill
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,9 +47,16 @@ class FaultInjector:
         self.cluster = cluster
         self.sim = cluster.sim
         self.plan = plan
-        self.rng = RngStreams(plan.seed).get("faults.drops")
-        #: Packets dropped/delayed so far, per LinkFault (max_hits).
-        self._hits: Dict[LinkFault, int] = {}
+        streams = RngStreams(plan.seed)
+        self.rng = streams.get("faults.drops")
+        # Per-kind streams for the datagram faults, so adding (say) a
+        # MessageDup to a plan never perturbs the draw sequence of its
+        # LinkFaults — old plans replay identically.
+        self._rng_msgdrop = streams.get("faults.msgdrop")
+        self._rng_dup = streams.get("faults.dup")
+        self._rng_reorder = streams.get("faults.reorder")
+        #: Packets dropped/delayed so far, per windowed spec (max_hits).
+        self._hits: Dict[Any, int] = {}
         #: Stage-boundary matches so far, per triggered spec (nth).
         self._seen: Dict[Union[HostCrash, SkeletonKill], int] = {}
         self._fired: set = set()
@@ -149,7 +156,33 @@ class FaultInjector:
         if not dst.up:
             return HostCrashed(dst.name, role="dst")
         now = self.sim.now
+        if self.partitioned(src.name, dst.name):
+            self._emit(
+                "fault.partition", src.name, f"{label!r} -> {dst.name} severed"
+            )
+            return LinkPartitioned(src.name, dst.name, label)
         delay_s, rate_factor = 0.0, 1.0
+        for drop in self.plan.message_drops():
+            if not (drop.active_at(now) and drop.matches(src.name, dst.name, label)):
+                continue
+            if drop.max_hits is not None and self._hits.get(drop, 0) >= drop.max_hits:
+                continue
+            if drop.drop_prob >= 1.0 or self._rng_msgdrop.random() < drop.drop_prob:
+                self._hits[drop] = self._hits.get(drop, 0) + 1
+                self._emit("fault.drop", src.name, f"{label!r} -> {dst.name} dropped")
+                return ControlMessageLost(label, src.name, dst.name)
+        for ro in self.plan.message_reorders():
+            if not (ro.active_at(now) and ro.matches(src.name, dst.name, label)):
+                continue
+            if ro.max_hits is not None and self._hits.get(ro, 0) >= ro.max_hits:
+                continue
+            if ro.reorder_prob >= 1.0 or self._rng_reorder.random() < ro.reorder_prob:
+                self._hits[ro] = self._hits.get(ro, 0) + 1
+                self._emit(
+                    "fault.reorder", src.name,
+                    f"{label!r} -> {dst.name} held {ro.hold_s:g}s",
+                )
+                delay_s += ro.hold_s
         for fault in self.plan.link_faults():
             if not (fault.active_at(now) and fault.matches(src.name, dst.name, label)):
                 continue
@@ -166,6 +199,38 @@ class FaultInjector:
                 self._hits[fault] = self._hits.get(fault, 0) + 1
                 delay_s += fault.delay_s
         return delay_s, rate_factor
+
+    def partitioned(self, src_name: str, dst_name: str) -> bool:
+        """True if an active partition currently severs ``src -> dst``."""
+        now = self.sim.now
+        return any(
+            p.active_at(now) and p.severs(src_name, dst_name)
+            for p in self.plan.partitions()
+        )
+
+    def duplicates(self, src: "Host", dst: "Host", label: str) -> int:
+        """How many *extra* copies of this packet arrive (datagram dup).
+
+        Consulted by the reliability layer after a successful data
+        transfer — the plain network cannot deliver twice, so this seam
+        lives above it.  Draws come from the plan's ``faults.dup``
+        stream; returns 0 when no :class:`MessageDup` matches.
+        """
+        now = self.sim.now
+        extra = 0
+        for dup in self.plan.message_dups():
+            if not (dup.active_at(now) and dup.matches(src.name, dst.name, label)):
+                continue
+            if dup.max_hits is not None and self._hits.get(dup, 0) >= dup.max_hits:
+                continue
+            if dup.dup_prob >= 1.0 or self._rng_dup.random() < dup.dup_prob:
+                self._hits[dup] = self._hits.get(dup, 0) + 1
+                self._emit(
+                    "fault.dup", src.name,
+                    f"{label!r} -> {dst.name} duplicated x{dup.extra}",
+                )
+                extra += dup.extra
+        return extra
 
     # -- bookkeeping ------------------------------------------------------------
     @property

@@ -22,7 +22,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..migration.stages import Stage
 
-__all__ = ["FaultPlan", "HostCrash", "LinkFault", "SkeletonKill"]
+__all__ = [
+    "FaultPlan",
+    "HostCrash",
+    "LinkFault",
+    "MessageDrop",
+    "MessageDup",
+    "MessageReorder",
+    "NetworkPartition",
+    "SkeletonKill",
+]
 
 
 def _as_stage(stage: Union[Stage, str, None]) -> Optional[Stage]:
@@ -127,9 +136,153 @@ class LinkFault:
         )
 
 
-FaultSpec = Union[HostCrash, SkeletonKill, LinkFault]
+class _Windowed:
+    """Mixin: a fault active in the simulated-time window [from_s, until_s)."""
 
-_SPEC_KINDS = {"HostCrash": HostCrash, "SkeletonKill": SkeletonKill, "LinkFault": LinkFault}
+    from_s: float
+    until_s: Optional[float]
+
+    def active_at(self, now: float) -> bool:
+        return now >= self.from_s and (self.until_s is None or now < self.until_s)
+
+
+@dataclass(frozen=True)
+class MessageDrop(_Windowed):
+    """Lose matching packets on the wire (datagram loss, no notice).
+
+    Unlike :class:`LinkFault` (which models a *degraded link*), this is
+    the per-packet loss process the reliability layer is built to hide:
+    name a protocol label (``rel-data``, ``rel-ack``, ...) to target one
+    packet class.  ``drop_prob`` draws from the plan's seeded stream;
+    ``max_hits`` bounds the total packets lost.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    drop_prob: float = 1.0
+    from_s: float = 0.0
+    until_s: Optional[float] = None
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in (0, 1]")
+
+    def matches(self, src: str, dst: str, label: str) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.label is None or self.label in label)
+        )
+
+
+@dataclass(frozen=True)
+class MessageDup(_Windowed):
+    """Deliver matching packets more than once (datagram duplication).
+
+    Consulted by the reliability layer through the injector's
+    ``duplicates`` seam: a duplicated data packet arrives ``extra``
+    additional times, exercising the receiver's duplicate suppression.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    dup_prob: float = 1.0
+    extra: int = 1
+    from_s: float = 0.0
+    until_s: Optional[float] = None
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dup_prob <= 1.0:
+            raise ValueError("dup_prob must be in (0, 1]")
+        if self.extra < 1:
+            raise ValueError("extra must be >= 1")
+
+    def matches(self, src: str, dst: str, label: str) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.label is None or self.label in label)
+        )
+
+
+@dataclass(frozen=True)
+class MessageReorder(_Windowed):
+    """Delay a random subset of matching packets so they arrive late.
+
+    Under the reliability layer's windowed (pipelined) sends, a held
+    packet overtakes its successors and arrives out of order — which the
+    receiver's FIFO reorder buffer must absorb.  ``hold_s`` is the extra
+    latency added to a selected packet (drawn packets only; selection
+    uses the plan's seeded stream).
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    reorder_prob: float = 0.5
+    hold_s: float = 0.02
+    from_s: float = 0.0
+    until_s: Optional[float] = None
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.reorder_prob <= 1.0:
+            raise ValueError("reorder_prob must be in (0, 1]")
+        if self.hold_s <= 0.0:
+            raise ValueError("hold_s must be positive")
+
+    def matches(self, src: str, dst: str, label: str) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.label is None or self.label in label)
+        )
+
+
+@dataclass(frozen=True)
+class NetworkPartition(_Windowed):
+    """Split ``hosts`` away from the rest of the worknet, then heal.
+
+    While active (``[from_s, until_s)``), every packet crossing the cut
+    — in either direction — is lost; hosts inside the island still talk
+    to each other, as does the majority side.  ``until_s`` is the heal
+    instant (``None`` = the partition never heals).  Unlike a crash, the
+    isolated machines keep running: distinguishing the two is the whole
+    split-brain problem the recovery layer's grace window addresses.
+    """
+
+    hosts: Tuple[str, ...] = ()
+    from_s: float = 0.0
+    until_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise ValueError("NetworkPartition needs at least one isolated host")
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+
+    def severs(self, src: str, dst: str) -> bool:
+        """True if the cut lies between ``src`` and ``dst``."""
+        return (src in self.hosts) != (dst in self.hosts)
+
+
+FaultSpec = Union[
+    HostCrash, SkeletonKill, LinkFault,
+    MessageDrop, MessageDup, MessageReorder, NetworkPartition,
+]
+
+_SPEC_KINDS = {
+    "HostCrash": HostCrash,
+    "SkeletonKill": SkeletonKill,
+    "LinkFault": LinkFault,
+    "MessageDrop": MessageDrop,
+    "MessageDup": MessageDup,
+    "MessageReorder": MessageReorder,
+    "NetworkPartition": NetworkPartition,
+}
 
 
 def _spec_to_json(spec: FaultSpec) -> Dict[str, Any]:
@@ -138,6 +291,8 @@ def _spec_to_json(spec: FaultSpec) -> Dict[str, Any]:
         v = getattr(spec, f.name)
         if isinstance(v, Stage):
             v = v.name
+        elif isinstance(v, tuple):
+            v = list(v)
         d[f.name] = v
     return d
 
@@ -152,7 +307,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
         for spec in self.faults:
-            if not isinstance(spec, (HostCrash, SkeletonKill, LinkFault)):
+            if not isinstance(spec, tuple(_SPEC_KINDS.values())):
                 raise TypeError(f"not a fault spec: {spec!r}")
 
     def __bool__(self) -> bool:
@@ -166,6 +321,18 @@ class FaultPlan:
 
     def link_faults(self) -> Tuple[LinkFault, ...]:
         return tuple(f for f in self.faults if isinstance(f, LinkFault))
+
+    def message_drops(self) -> Tuple[MessageDrop, ...]:
+        return tuple(f for f in self.faults if isinstance(f, MessageDrop))
+
+    def message_dups(self) -> Tuple[MessageDup, ...]:
+        return tuple(f for f in self.faults if isinstance(f, MessageDup))
+
+    def message_reorders(self) -> Tuple[MessageReorder, ...]:
+        return tuple(f for f in self.faults if isinstance(f, MessageReorder))
+
+    def partitions(self) -> Tuple[NetworkPartition, ...]:
+        return tuple(f for f in self.faults if isinstance(f, NetworkPartition))
 
     def __repr__(self) -> str:
         kinds = ", ".join(type(f).__name__ for f in self.faults) or "none"
@@ -202,22 +369,79 @@ class FaultPlan:
         horizon: float = 60.0,
         *,
         hosts: Optional[Sequence[str]] = None,
+        kinds: Sequence[str] = ("crash",),
     ) -> "FaultPlan":
-        """A seeded schedule of ``n`` timed host crashes.
+        """A seeded random schedule of ``n`` faults of the given ``kinds``.
 
-        Victims are drawn without replacement from ``hosts`` and crash
-        times uniformly inside ``(0.05*horizon, 0.95*horizon)``, sorted
-        ascending — the soak harness and the faults demo share this so
-        their chaos schedules agree for a given seed.
+        The default (``kinds=("crash",)``) is a schedule of ``n`` timed
+        host crashes: victims drawn without replacement from ``hosts``,
+        crash times uniform inside ``(0.05*horizon, 0.95*horizon)``,
+        sorted ascending — the soak harness and the faults demo share
+        this so their chaos schedules agree for a given seed, and that
+        schedule is unchanged from earlier releases.
+
+        Other kinds (drawn round-robin when several are named, ``n``
+        total): ``"drop"``/``"dup"``/``"reorder"`` are per-packet
+        datagram faults on the reliability layer's ``rel-data`` /
+        ``rel-ack`` labels, active in a random sub-window of the
+        horizon; ``"partition"`` isolates one or two named hosts for
+        10–30 % of the horizon and then heals.
         """
         if hosts is None:
             raise ValueError("FaultPlan.random needs hosts= (crash candidates)")
-        if n > len(hosts):
-            raise ValueError(f"cannot pick {n} distinct victims from {len(hosts)} hosts")
+        kinds = tuple(kinds)
+        known = ("crash", "drop", "dup", "reorder", "partition")
+        for k in kinds:
+            if k not in known:
+                raise ValueError(f"unknown fault kind {k!r} (choose from {known})")
         rng = random.Random(seed)
-        victims = rng.sample(list(hosts), n)
-        times = sorted(rng.uniform(0.05 * horizon, 0.95 * horizon) for _ in range(n))
-        crashes = tuple(
-            HostCrash(host=h, at_s=t) for h, t in zip(victims, times)
-        )
-        return cls(faults=crashes, seed=seed)
+        if kinds == ("crash",):
+            # Legacy schedule — byte-for-byte identical draws.
+            if n > len(hosts):
+                raise ValueError(
+                    f"cannot pick {n} distinct victims from {len(hosts)} hosts"
+                )
+            victims = rng.sample(list(hosts), n)
+            times = sorted(rng.uniform(0.05 * horizon, 0.95 * horizon) for _ in range(n))
+            crashes = tuple(
+                HostCrash(host=h, at_s=t) for h, t in zip(victims, times)
+            )
+            return cls(faults=crashes, seed=seed)
+
+        specs: List[FaultSpec] = []
+        crash_pool = list(hosts)
+        for i in range(n):
+            kind = kinds[i % len(kinds)]
+            t0 = rng.uniform(0.05 * horizon, 0.7 * horizon)
+            t1 = min(t0 + rng.uniform(0.1 * horizon, 0.3 * horizon), 0.95 * horizon)
+            if kind == "crash":
+                if not crash_pool:
+                    raise ValueError("ran out of distinct crash victims")
+                specs.append(
+                    HostCrash(host=crash_pool.pop(rng.randrange(len(crash_pool))), at_s=t0)
+                )
+            elif kind == "drop":
+                specs.append(MessageDrop(
+                    label=rng.choice(["rel-data", "rel-ack"]),
+                    drop_prob=rng.uniform(0.05, 0.3),
+                    from_s=t0, until_s=t1,
+                ))
+            elif kind == "dup":
+                specs.append(MessageDup(
+                    label="rel-data",
+                    dup_prob=rng.uniform(0.05, 0.3),
+                    extra=rng.randint(1, 2),
+                    from_s=t0, until_s=t1,
+                ))
+            elif kind == "reorder":
+                specs.append(MessageReorder(
+                    label="rel-data",
+                    reorder_prob=rng.uniform(0.1, 0.4),
+                    hold_s=rng.uniform(0.005, 0.05),
+                    from_s=t0, until_s=t1,
+                ))
+            else:  # partition
+                island = tuple(rng.sample(list(hosts), rng.randint(1, min(2, len(hosts)))))
+                specs.append(NetworkPartition(hosts=island, from_s=t0, until_s=t1))
+        specs.sort(key=lambda s: getattr(s, "at_s", None) or getattr(s, "from_s", 0.0))
+        return cls(faults=tuple(specs), seed=seed)

@@ -182,6 +182,13 @@ class GlobalScheduler:
         #: quarantines forever (the pre-TTL behaviour).
         self.quarantine_ttl = quarantine_ttl
         self._quarantined_at: Dict[str, float] = {}
+        #: Optional callable returning host names that are *unreachable
+        #: but not known dead* (suspected / partition-isolated) —
+        #: installed by the recovery layer.  Placement treats them like
+        #: down hosts: during a partition no eviction or restart is
+        #: aimed into the minority side, but nothing is restarted
+        #: either — unreachable ≠ dead.
+        self.unreachable_provider = None
         if self.capabilities.reroute:
             self.client.set_router(self.route_around)  # type: ignore[attr-defined]
 
@@ -389,6 +396,8 @@ class GlobalScheduler:
         self._expire_quarantine()
         exclude = list(exclude) + list(self.vacating) + list(self.quarantined)
         exclude += [h.name for h in self.cluster.hosts if not h.up]
+        if self.unreachable_provider is not None:
+            exclude += list(self.unreachable_provider())
         name = self.monitor.least_loaded(exclude=exclude)
         if name is None:
             # Fall back to any host not excluded.

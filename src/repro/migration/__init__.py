@@ -36,6 +36,7 @@ from .pipeline import (
     StageTimeout,
 )
 from .stages import MigrationStats, Stage
+from .txn import MigrationTxn, TransactionLog
 from .transport import (
     CONTROL_BYTES,
     DaemonStoreAndForwardTransport,
@@ -54,6 +55,7 @@ __all__ = [
     "MigrationCoordinator",
     "MigrationPipeline",
     "MigrationStats",
+    "MigrationTxn",
     "PvmPackTransport",
     "RetryPolicy",
     "Router",
@@ -61,5 +63,6 @@ __all__ = [
     "StagePolicy",
     "StageTimeout",
     "TcpSkeletonTransport",
+    "TransactionLog",
     "Transport",
 ]

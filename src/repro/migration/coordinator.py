@@ -42,6 +42,7 @@ from .pipeline import (
     StagePolicy,
 )
 from .stages import MigrationStats
+from .txn import TransactionLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
@@ -136,6 +137,11 @@ class MigrationCoordinator:
         self.stats: List[MigrationStats] = []
         self.aborted: List[MigrationStats] = []
         self.active: List[MigrationContext] = []
+        #: Exactly-once audit trail: every request opens a transaction
+        #: here, committed on success and aborted on abandonment.  Pure
+        #: bookkeeping (no events, no packets), so timelines are
+        #: unchanged; ``txns.verify()`` is the two-phase-commit check.
+        self.txns = TransactionLog(self.sim)
         self._seed_jitter()
 
     def _seed_jitter(self) -> None:
@@ -208,6 +214,9 @@ class MigrationCoordinator:
             lambda: self.sim.now,
         )
         ctx = MigrationContext(self.sim, unit, src, dst, stats, done, trace, batch)
+        ctx.txn = self.txns.begin(
+            stats.unit, stats.src, stats.dst, adapter.mechanism
+        )
         adapter.prepare(ctx)
         self.sim.process(self._run(ctx), name=f"migrate:{stats.unit}")
         return done
@@ -234,6 +243,7 @@ class MigrationCoordinator:
                 )
                 ctx.rewind()
                 ctx.reroute_to(alt)
+                self.txns.update_dst(ctx.txn, ctx.stats.dst)
                 self.adapter.prepare(ctx)
                 ok, exc = yield from self.pipeline.run(ctx, self.policy)
         finally:
@@ -245,10 +255,12 @@ class MigrationCoordinator:
                 else "retried" if stats.attempts > 1
                 else "ok"
             )
+            self.txns.commit(ctx.txn)
             self.stats.append(stats)
             ctx.done.succeed(stats)
         else:
             stats.outcome = "abandoned"
+            self.txns.abort(ctx.txn, str(exc))
             self.aborted.append(stats)
             ctx.done.fail(exc)
 

@@ -180,7 +180,7 @@ class MigrationContext:
 
     __slots__ = (
         "sim", "unit", "src", "dst", "stats", "done", "trace", "batch",
-        "stage", "data", "rerouted",
+        "stage", "data", "rerouted", "txn",
     )
 
     def __init__(
@@ -204,6 +204,9 @@ class MigrationContext:
         self.batch = batch
         self.stage: Optional[Stage] = None
         self.rerouted = False
+        #: Transaction record maintained by the coordinator's
+        #: :class:`~repro.migration.txn.TransactionLog` (or None).
+        self.txn = None
         #: Adapter scratch space surviving across stages (peers, resume
         #: event, transfer plan, ...).  Also read by :meth:`abort`.
         self.data: Dict[str, Any] = {}
@@ -230,6 +233,8 @@ class MigrationContext:
         self.data.clear()
         self.stats.reset_marks()
         self.stats.attempts += 1
+        if self.txn is not None:
+            self.txn.attempt_rolled_back(self.sim.now)
 
     def reroute_to(self, dst: Any) -> None:
         """Point the migration at an alternate destination."""
@@ -410,6 +415,11 @@ class MigrationPipeline:
                 self._abort(ctx, stage, exc)
                 return exc
             self._mark(stats, stage, ctx.now)
+            if stage is Stage.TRANSFER and ctx.txn is not None:
+                # Two-phase point: the state image is off-host.  From
+                # here the transaction either commits (restart succeeds)
+                # or rolls back through the abort hook — never both.
+                ctx.txn.mark_prepared(ctx.now)
         return None
 
     @staticmethod

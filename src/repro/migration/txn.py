@@ -1,0 +1,188 @@
+"""Transactional bookkeeping for exactly-once migration.
+
+A migration is a distributed transaction in disguise: state leaves the
+source, crosses an unreliable network, and a new incarnation starts at
+the destination — and a crash or partition between those steps must
+resolve to *exactly one* of two outcomes: **rollback** (the VP resumes
+at the source, tid map untouched) or **commit** (one VP at the
+destination, no duplicate, dead letters replayed once).  The adapters'
+abort-and-restore hooks and the coordinator's retry/reroute machinery
+already implement those outcomes; this module makes them *auditable*.
+
+:class:`TransactionLog` records every migration as a
+:class:`MigrationTxn` moving through ``pending`` → ``prepared`` (state
+transfer off-host complete) → ``committed`` | ``aborted``, with
+per-attempt rollbacks counted.  It injects nothing into the simulation
+— no events, no packets, no randomness — so an enabled log leaves every
+timeline byte-identical.  :meth:`TransactionLog.verify` is the
+exactly-once checker the soak harness and the tests assert on:
+
+* terminal state is exactly one of committed/aborted (never both,
+  never neither once the run is over),
+* per unit, committed transaction windows are disjoint (two overlapping
+  commits would mean two live incarnations — a duplicate VP),
+* no transaction commits *into* a host after the recovery layer fenced
+  it (a stale commit would resurrect quarantined state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["MigrationTxn", "TransactionLog"]
+
+PENDING = "pending"
+PREPARED = "prepared"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+_txn_ids = count(1)
+
+
+@dataclass
+class MigrationTxn:
+    """One migration's transaction record."""
+
+    unit: str
+    src: str
+    dst: str
+    mechanism: str
+    t_begin: float
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    state: str = PENDING
+    t_prepared: Optional[float] = None
+    t_end: Optional[float] = None
+    #: Attempts rolled back to the source before the terminal outcome.
+    rollbacks: int = 0
+    #: Destinations abandoned by reroutes (oldest first).
+    rerouted_from: Tuple[str, ...] = ()
+    reason: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (COMMITTED, ABORTED)
+
+    def mark_prepared(self, now: float) -> None:
+        """The unit's state is off-host (end of the TRANSFER stage)."""
+        if not self.terminal and self.state is PENDING:
+            self.state = PREPARED
+            self.t_prepared = now
+
+    def attempt_rolled_back(self, now: float) -> None:
+        """One attempt failed and the source was restored; still open."""
+        if not self.terminal:
+            self.rollbacks += 1
+            self.state = PENDING
+            self.t_prepared = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Txn #{self.txn_id} {self.unit} {self.src}->{self.dst} "
+            f"{self.state} rollbacks={self.rollbacks}>"
+        )
+
+
+class TransactionLog:
+    """Collects and audits one coordinator's migration transactions."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.txns: List[MigrationTxn] = []
+        #: ``(t, host)`` fence events noted by the recovery layer.
+        self.fences: List[Tuple[float, str]] = []
+
+    # -- lifecycle -------------------------------------------------------------
+    def begin(self, unit: str, src: str, dst: str, mechanism: str) -> MigrationTxn:
+        """Open a transaction.  Deliberately permissive: concurrent
+        requests for the same unit are *recorded*, not rejected — the
+        protocol layer refuses them through its own error path, and
+        :meth:`verify` is where a genuine double-commit would surface."""
+        txn = MigrationTxn(
+            unit=unit, src=src, dst=dst, mechanism=mechanism, t_begin=self.sim.now
+        )
+        self.txns.append(txn)
+        return txn
+
+    def commit(self, txn: MigrationTxn) -> None:
+        """The new incarnation is live and the tid map points at it."""
+        if txn.terminal:
+            return  # idempotent
+        txn.state = COMMITTED
+        txn.t_end = self.sim.now
+
+    def abort(self, txn: MigrationTxn, reason: str) -> None:
+        """Rolled back: the VP resumes at the source, tid map untouched."""
+        if txn.terminal:
+            return  # idempotent
+        txn.state = ABORTED
+        txn.t_end = self.sim.now
+        txn.reason = reason
+
+    def update_dst(self, txn: MigrationTxn, dst: str) -> None:
+        """A reroute abandoned the old destination for a new one."""
+        if not txn.terminal and dst != txn.dst:
+            txn.rerouted_from = txn.rerouted_from + (txn.dst,)
+            txn.dst = dst
+
+    # -- recovery integration --------------------------------------------------
+    def note_fence(self, host_name: str) -> None:
+        """The recovery layer fenced ``host_name``: commits into it are
+        now illegitimate, which :meth:`verify` enforces."""
+        self.fences.append((self.sim.now, host_name))
+
+    def _fenced_at(self, host_name: str) -> Optional[float]:
+        for t, name in self.fences:
+            if name == host_name:
+                return t
+        return None
+
+    # -- queries ---------------------------------------------------------------
+    def committed(self) -> List[MigrationTxn]:
+        return [t for t in self.txns if t.state is COMMITTED]
+
+    def aborted(self) -> List[MigrationTxn]:
+        return [t for t in self.txns if t.state is ABORTED]
+
+    def open(self) -> List[MigrationTxn]:
+        return [t for t in self.txns if not t.terminal]
+
+    # -- the exactly-once audit -------------------------------------------------
+    def verify(self, *, at_end: bool = True) -> List[str]:
+        """Return every exactly-once violation (empty list = clean).
+
+        ``at_end=False`` skips the still-open check (useful while the
+        simulation is still running).
+        """
+        violations: List[str] = []
+        if at_end:
+            for txn in self.open():
+                violations.append(f"{txn!r}: neither committed nor aborted")
+        per_unit: dict = {}
+        for txn in self.committed():
+            per_unit.setdefault(txn.unit, []).append(txn)
+            fenced_t = self._fenced_at(txn.dst)
+            if fenced_t is not None and txn.t_end is not None and txn.t_end >= fenced_t:
+                violations.append(
+                    f"{txn!r}: committed into {txn.dst} after it was "
+                    f"fenced at t={fenced_t:g}"
+                )
+        for unit, txns in per_unit.items():
+            txns = sorted(txns, key=lambda t: t.t_begin)
+            for a, b in zip(txns, txns[1:]):
+                if a.t_end is not None and b.t_begin < a.t_end:
+                    violations.append(
+                        f"unit {unit}: overlapping committed transactions "
+                        f"#{a.txn_id} and #{b.txn_id} (duplicate VP window)"
+                    )
+        return violations
+
+    def __repr__(self) -> str:
+        states = {}
+        for txn in self.txns:
+            states[txn.state] = states.get(txn.state, 0) + 1
+        return f"<TransactionLog {len(self.txns)} txns {states}>"

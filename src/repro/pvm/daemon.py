@@ -80,6 +80,12 @@ class Pvmd:
                 yield self.host.ipc_copy(msg.wire_bytes, label="pvmd>rcv")
                 self._deliver_local(msg)
             else:
+                sender = self.system.interhost_sender
+                if sender is not None:
+                    # Reliable channel: sequenced, acked, retransmitted.
+                    # Blocks only for a send-window slot, not for the ack.
+                    yield from sender.send(self, dst_pvmd, msg)
+                    continue
                 try:
                     yield self.system.network.transfer(
                         self.host, dst_pvmd.host, msg.wire_bytes, label="pvmd-udp"
@@ -123,6 +129,11 @@ class Pvmd:
         if task.host is not self.host:
             # The task moved while the message was in the pipeline: forward.
             self.system.pvmd_on(task.host).enqueue_outbound(msg)
+            return
+        guard = self.system.delivery_guard
+        if guard is not None and not guard.first_delivery(msg):
+            # A copy of this msgid already reached a mailbox (retransmit,
+            # datagram dup, or dead-letter replay): exactly-once wins.
             return
         task.deliver(msg)
         if self.system.tracer:

@@ -77,6 +77,15 @@ class PvmSystem:
         #: the victim task restarts elsewhere.  ``None`` = classic PVM
         #: semantics (dropped datagrams are simply lost).
         self.dead_letters = None
+        #: Optional reliable inter-daemon transport installed by the
+        #: reliability layer (repro.reliability): duck interface
+        #: ``send(src_pvmd, dst_pvmd, msg)`` (a generator the outbound
+        #: worker drives).  ``None`` = classic unreliable datagrams.
+        self.interhost_sender = None
+        #: Optional msgid-level exactly-once filter at final delivery:
+        #: duck interface ``first_delivery(msg) -> bool``.  ``None`` =
+        #: every arriving copy is delivered (classic PVM).
+        self.delivery_guard = None
         #: In-flight message counts keyed by raw destination tid, plus
         #: waiters for "drained" — the mechanism behind MPVM/UPVM message
         #: flushing (a migration may not proceed while messages addressed

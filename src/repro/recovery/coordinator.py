@@ -70,6 +70,13 @@ class RecoveryConfig:
     checkpoint_period_s: float = 5.0
     #: Write the first checkpoint immediately at protect() time.
     checkpoint_initial: bool = True
+    #: Seconds to wait after a *confirmed* silence before actually
+    #: recovering, in case the silence is a partition that heals: a host
+    #: heard from again inside the window is reinstated instead of
+    #: fenced, and none of its tasks restart.  ``0`` (the default)
+    #: recovers immediately — the pre-partition behaviour, and what
+    #: keeps earlier exhibits byte-identical.
+    partition_grace_s: float = 0.0
 
 
 class NetworkFence:
@@ -105,6 +112,14 @@ class NetworkFence:
         if self.inner is not None and hasattr(self.inner, "at_stage"):
             return self.inner.at_stage(*args, **kwargs)
         return None
+
+    def duplicates(self, src: "Host", dst: "Host", label: str) -> int:
+        """Datagram-duplication seam passthrough (fenced links dup nothing)."""
+        if src.name in self.fenced or dst.name in self.fenced:
+            return 0
+        if self.inner is not None and hasattr(self.inner, "duplicates"):
+            return self.inner.duplicates(src, dst, label)
+        return 0
 
 
 class DeadLetterBox:
@@ -202,17 +217,31 @@ class RecoveryCoordinator:
         destination_picker: Optional[
             Callable[[Tuple[str, ...]], Optional["Host"]]
         ] = None,
+        partition_grace_s: float = 0.0,
     ) -> None:
         self.system = system
         self.sim = system.sim
         self.detector = detector
         self.engine = engine
         self.destination_picker = destination_picker
+        #: See :attr:`RecoveryConfig.partition_grace_s`.
+        self.partition_grace_s = partition_grace_s
         self.fence = NetworkFence()
         self.box = DeadLetterBox()
         self.records: List[RecoveryRecord] = []
+        #: Confirmed silences that turned out to be healed partitions:
+        #: ``(t_confirmed, t_reinstated, host)`` — the hosts recovery
+        #: deliberately did *not* restart.
+        self.reprieves: List[Tuple[float, float, str]] = []
+        #: Migration transaction logs to notify of fences (the session
+        #: facade appends each coordinator's ``txns`` here so a commit
+        #: into a fenced host is flagged by the exactly-once audit).
+        self.txn_logs: List = []
         self._t_failed: Dict[str, float] = {}
         self._frozen: Dict[int, Tuple[Event, float]] = {}
+        #: Tids frozen because their host is partition-isolated (a
+        #: subset of ``_frozen``'s keys).
+        self._isolation_frozen: set = set()
         self._installed = False
 
     # -- wiring ----------------------------------------------------------------
@@ -229,6 +258,8 @@ class RecoveryCoordinator:
             host.on_fail.append(self._on_fail)
             host.on_recover.append(self._on_recover)
         self.detector.on_confirm.append(self._on_confirm)
+        self.detector.on_isolated.append(self._on_isolated)
+        self.detector.on_reconnected.append(self._on_reconnected)
         self.detector.start()
 
     # -- physical-failure hooks -------------------------------------------------
@@ -240,8 +271,9 @@ class RecoveryCoordinator:
                     self._freeze_resident(task), name=f"freeze:{task.name}"
                 ).defuse()
 
-    def _freeze_resident(self, task: "Task"):
-        """Freeze a task on a dead machine at its next safe point.
+    def _freeze_resident(self, task: "Task", reason: str = "host-crash"):
+        """Freeze a task on a dead (or isolated) machine at its next
+        safe point.
 
         Library sections and migrations finish in (simulated) moments —
         a dead CPU still drains queued work so the state stays
@@ -264,13 +296,18 @@ class RecoveryCoordinator:
             return
         if task.tid in self._frozen:
             return
-        if task.host.up:
+        if reason == "partition-isolated":
+            if task.host.name not in self.detector.isolated:
+                return  # the cut already healed
+        elif task.host.up:
             return  # the outage was transient and already ended
         resume = Event(self.sim)
-        task.interrupt_body(Freeze(resume, reason="host-crash"))
+        task.interrupt_body(Freeze(resume, reason=reason))
         self._frozen[task.tid] = (
             resume, self._t_failed.get(task.host.name, self.sim.now)
         )
+        if reason == "partition-isolated":
+            self._isolation_frozen.add(task.tid)
 
     def _on_recover(self, host: "Host") -> None:
         if host.name in self.fence.fenced:
@@ -287,14 +324,86 @@ class RecoveryCoordinator:
             task = self.system.tasks.get(tid)
             if task is not None and task.host is host:
                 del self._frozen[tid]
+                self._isolation_frozen.discard(tid)
                 if not resume.triggered:
                     resume.succeed()
 
+    # -- partition isolation ----------------------------------------------------
+    def _on_isolated(self, host: "Host") -> None:
+        """The minority side of a cut self-freezes: tasks on a
+        reachable-but-isolated machine stop at their next safe point so
+        a grace-expired restart elsewhere can never leave *two* live
+        incarnations computing (split-brain)."""
+        for task in list(self.system.tasks.values()):
+            if task.host is host and task.alive:
+                self.sim.process(
+                    self._freeze_resident(task, reason="partition-isolated"),
+                    name=f"freeze:{task.name}",
+                ).defuse()
+
+    def _on_reconnected(self, host: "Host") -> None:
+        """The cut healed.  If recovery never fenced the host (grace
+        covered the outage), thaw its frozen tasks and carry on; a
+        *fenced* host's tasks stay frozen forever — their tids were
+        reclaimed and restarted elsewhere, and thawing the stale side
+        would mint duplicate VPs."""
+        if host.name in self.fence.fenced:
+            if self.system.tracer:
+                self.system.tracer.emit(
+                    self.sim.now, "recover.stale", host.name,
+                    "partition healed after fencing; stale side stays frozen",
+                )
+            return
+        for tid in list(self._isolation_frozen):
+            task = self.system.tasks.get(tid)
+            if task is not None and task.host is host:
+                self._isolation_frozen.discard(tid)
+                entry = self._frozen.pop(tid, None)
+                if entry is not None and not entry[0].triggered:
+                    entry[0].succeed()
+
+    def unreachable_hosts(self) -> List[str]:
+        """Hosts that are unreachable but not (known) dead: suspected by
+        the detector or partition-isolated.  The GS consults this (via
+        ``unreachable_provider``) to keep evictions and restarts out of
+        the minority side of a cut."""
+        names = set(self.detector.isolated)
+        for name, view in self.detector.views.items():
+            if view.state != "alive" and name not in self.fence.fenced:
+                names.add(name)
+        return sorted(names)
+
     # -- confirmed death --------------------------------------------------------
     def _on_confirm(self, host: "Host") -> None:
-        self.sim.process(
-            self._recover_host(host), name=f"recover:{host.name}"
-        ).defuse()
+        if self.partition_grace_s > 0:
+            self.sim.process(
+                self._maybe_recover(host), name=f"recover:{host.name}"
+            ).defuse()
+        else:
+            self.sim.process(
+                self._recover_host(host), name=f"recover:{host.name}"
+            ).defuse()
+
+    def _maybe_recover(self, host: "Host"):
+        """Unreachable ≠ dead: hold recovery for the grace window and
+        reinstate instead of fence if the host is heard from again."""
+        t_confirmed = self.sim.now
+        yield self.sim.timeout(self.partition_grace_s)
+        if host.name in self.fence.fenced:
+            return
+        if self.detector.last_heard(host.name) > t_confirmed:
+            # The silence was a partition and it healed: no fence, no
+            # restart — the paper's tasks simply resume where they sat.
+            self.reprieves.append((t_confirmed, self.sim.now, host.name))
+            self.detector.reinstate(host)
+            if self.system.tracer:
+                self.system.tracer.emit(
+                    self.sim.now, "recover.reprieve", host.name,
+                    f"heard again {self.sim.now - t_confirmed:.3f}s after "
+                    "confirm; partition healed, no restart",
+                )
+            return
+        yield from self._recover_host(host)
 
     def _recover_host(self, host: "Host"):
         system = self.system
@@ -305,6 +414,8 @@ class RecoveryCoordinator:
         )
         # 1. Fence + rescue whatever sat in the dead daemon's queues.
         self.fence.fenced.add(host.name)
+        for log in self.txn_logs:
+            log.note_fence(host.name)
         pvmd = system.pvmd_on(host)
         n_out = self.box.drain_store(pvmd.outbound, f"fence:{host.name}:out")
         n_in = self.box.drain_store(pvmd.inbound, f"fence:{host.name}:in")
@@ -339,6 +450,7 @@ class RecoveryCoordinator:
         system = self.system
         old_tid = task.tid
         frozen = self._frozen.pop(old_tid, None)
+        self._isolation_frozen.discard(old_tid)
         resume, frozen_at = frozen if frozen else (None, record.t_failed)
         outcome = TaskRecovery(task=task.name, old_tid=old_tid, outcome="lost")
         record.tasks.append(outcome)

@@ -58,6 +58,11 @@ class HeartbeatConfig:
     hb_bytes: int = 64
     #: Arrivals required before phi is trusted (cold start uses period_s).
     min_samples: int = 3
+    #: Consecutive heartbeat *send* failures (the datagram died on the
+    #: wire while the host itself is up) before the host is flagged
+    #: isolated — the signature of a partition, not a crash.  A crashed
+    #: host never reaches this: it stops sending instead of failing.
+    isolation_after: int = 3
 
 
 @dataclass
@@ -96,8 +101,16 @@ class FailureDetector:
         self.home = home
         self.config = config or HeartbeatConfig()
         self.on_confirm: List[Callable[["Host"], None]] = []
+        #: Fired when a host's heartbeats start *failing on the wire*
+        #: while it is up (``isolation_after`` consecutive failures) —
+        #: it is cut off, not dead.
+        self.on_isolated: List[Callable[["Host"], None]] = []
+        #: Fired when an isolated host's heartbeats get through again.
+        self.on_reconnected: List[Callable[["Host"], None]] = []
         self.views: Dict[str, _HostView] = {}
         self.timeline: List[Tuple[float, str, str, float]] = []
+        #: Host names currently flagged isolated (see ``on_isolated``).
+        self.isolated: set = set()
         self.enabled = False
         self._monitored: List["Host"] = []
 
@@ -126,6 +139,7 @@ class FailureDetector:
         cfg = self.config
         if offset > 0:
             yield self.sim.timeout(offset)
+        consecutive_failures = 0
         while self.enabled:
             if host.up:
                 try:
@@ -133,9 +147,20 @@ class FailureDetector:
                         host, self.home, cfg.hb_bytes, label="heartbeat"
                     )
                 except PvmError:
-                    pass  # lost datagram: silence is the signal
+                    # Lost datagram: silence is the signal for phi, but a
+                    # *streak* of send failures from a live host is the
+                    # distinct signature of a partition.
+                    consecutive_failures += 1
+                    if (
+                        consecutive_failures >= cfg.isolation_after
+                        and host.name not in self.isolated
+                    ):
+                        self._set_isolated(host, True)
                 else:
                     self._arrived(host.name)
+                    consecutive_failures = 0
+                    if host.name in self.isolated:
+                        self._set_isolated(host, False)
             yield self.sim.timeout(cfg.period_s)
 
     def _arrived(self, name: str) -> None:
@@ -169,7 +194,42 @@ class FailureDetector:
                 elif view.state is SUSPECT:
                     self._transition(host.name, view, ALIVE, score)
 
+    def _set_isolated(self, host: "Host", flag: bool) -> None:
+        if flag:
+            self.isolated.add(host.name)
+            callbacks = self.on_isolated
+            what = "isolated (heartbeats failing on the wire)"
+        else:
+            self.isolated.discard(host.name)
+            callbacks = self.on_reconnected
+            what = "reconnected (heartbeats flowing again)"
+        if self.system.tracer:
+            self.system.tracer.emit(self.sim.now, "hb.isolation", host.name, what)
+        for cb in list(callbacks):
+            cb(host)
+
+    def reinstate(self, host: "Host") -> None:
+        """Take a CONFIRMED host back to ALIVE monitoring.
+
+        Used when the recovery layer decides a confirmed silence was a
+        partition after all (the host was heard from again inside the
+        grace window): the sticky confirm is undone, the arrival window
+        restarts cold, and a *later* real death will be detected — and
+        ``on_confirm`` fired — all over again.
+        """
+        view = self.views.get(host.name)
+        if view is None or view.state is not CONFIRMED:
+            return
+        view.intervals.clear()
+        view.samples = 0
+        view.last_arrival = self.sim.now
+        self._transition(host.name, view, ALIVE, 0.0)
+
     # -- queries ---------------------------------------------------------------
+    def last_heard(self, name: str) -> float:
+        """Simulated time of the most recent heartbeat arrival."""
+        return self.views[name].last_arrival
+
     def phi(self, name: str) -> float:
         """Current suspicion score for ``name``."""
         view = self.views[name]

@@ -1,0 +1,35 @@
+"""Reliable inter-daemon messaging over an unreliable worknet.
+
+The paper's protocols assume TCP under every pvmd-to-pvmd hop; this
+package supplies that guarantee *inside* the model, so the fault layer
+may drop, duplicate, reorder, and partition datagrams and the system
+above still sees exactly-once, in-order delivery per link:
+
+* :class:`ReliableLink` — one sequenced, windowed channel per directed
+  pvmd pair: per-packet acks, bounded retransmit with exponential
+  backoff, receiver-side duplicate suppression and a FIFO reorder
+  buffer (bounded by the send window).
+* :class:`ReliabilityLayer` — installs itself as the VM's
+  ``interhost_sender`` seam (duck-typed; ``pvm`` never imports this
+  package) and manages the per-link channels.
+* :class:`DeliveryGuard` — msgid-level exactly-once backstop at final
+  delivery: whatever path a copy took (retransmit, datagram dup,
+  dead-letter replay after a crash), a task's mailbox sees each
+  logical message once.  This is what keeps one-shot ``pvm_notify``
+  watches one-shot under retransmission.
+
+Everything here is **off by default** — a session that does not opt in
+(``Session(reliability=...)``) runs the classic unreliable-datagram
+path and reproduces the paper's exhibits byte-identically.
+"""
+
+from .channel import ReliabilityConfig, ReliabilityStats, ReliableLink
+from .layer import DeliveryGuard, ReliabilityLayer
+
+__all__ = [
+    "DeliveryGuard",
+    "ReliabilityConfig",
+    "ReliabilityLayer",
+    "ReliabilityStats",
+    "ReliableLink",
+]

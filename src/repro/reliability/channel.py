@@ -1,0 +1,277 @@
+"""The sequenced, acked, windowed channel between two daemons.
+
+One :class:`ReliableLink` covers one *directed* pvmd pair.  The sender
+side assigns consecutive sequence numbers, keeps at most ``window``
+packets un-acked (submitters block for a slot — backpressure, and the
+bound that keeps the receiver's reorder buffer finite), and
+retransmits each packet on a per-sequence timer with exponential
+backoff until its ack arrives or the attempt budget runs out.  The
+receiver side suppresses duplicates (re-acking them, since a duplicate
+usually means the previous ack died), buffers out-of-order arrivals,
+and releases messages to the destination daemon's inbound queue in
+strict sequence order.
+
+Both endpoints live in one object — the simulation's privilege — but
+all *information* flows through the network: data packets and acks are
+real transfers (labels ``rel-data`` / ``rel-ack``) that the fault layer
+can kill, and the sender learns nothing except by ack arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Set
+
+from collections import deque
+
+from ..pvm.errors import PvmError
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pvm.daemon import Pvmd
+    from ..pvm.message import Message
+
+__all__ = ["ReliabilityConfig", "ReliabilityStats", "ReliableLink"]
+
+#: Transfer labels — name these in MessageDrop/MessageDup/MessageReorder
+#: specs to target the protocol's data or ack packets specifically.
+DATA_LABEL = "rel-data"
+ACK_LABEL = "rel-ack"
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Channel tunables.
+
+    The default retransmit schedule (0.25, 0.5, 1, 2, then 4 s capped,
+    12 attempts) keeps a packet alive through ~36 s of total outage —
+    longer than the partitions the soak harness injects, so a healed
+    partition never turns into a lost message.
+    """
+
+    #: Max un-acked packets in flight per link (also bounds the
+    #: receiver's reorder buffer).
+    window: int = 8
+    #: First retransmit timeout.
+    rto_base_s: float = 0.25
+    #: Backoff multiplier per retry.
+    rto_factor: float = 2.0
+    #: Timeout cap.
+    rto_max_s: float = 4.0
+    #: Total transmit attempts per packet (first send included).
+    max_attempts: int = 12
+    #: Wire bytes per ack packet.
+    ack_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.rto_base_s <= 0 or self.rto_max_s <= 0 or self.rto_factor < 1.0:
+            raise ValueError("retransmit timers must be positive (factor >= 1)")
+
+
+@dataclass
+class ReliabilityStats:
+    """Aggregate channel counters (shared across a layer's links)."""
+
+    data_sent: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    dup_suppressed: int = 0
+    out_of_order: int = 0
+    reorder_max: int = 0
+    exhausted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "data_sent": self.data_sent,
+            "retransmits": self.retransmits,
+            "acks_sent": self.acks_sent,
+            "dup_suppressed": self.dup_suppressed,
+            "out_of_order": self.out_of_order,
+            "reorder_max": self.reorder_max,
+            "exhausted": self.exhausted,
+        }
+
+
+class ReliableLink:
+    """One directed reliable channel (see module docs)."""
+
+    def __init__(
+        self,
+        src_pvmd: "Pvmd",
+        dst_pvmd: "Pvmd",
+        config: ReliabilityConfig,
+        stats: ReliabilityStats,
+    ) -> None:
+        self.src_pvmd = src_pvmd
+        self.dst_pvmd = dst_pvmd
+        self.system = src_pvmd.system
+        self.sim = src_pvmd.host.sim
+        self.config = config
+        self.stats = stats
+        self.name = f"{src_pvmd.host.name}>{dst_pvmd.host.name}"
+        # sender side: the window covers [base, base + window); base is
+        # the lowest un-acked sequence and advances only contiguously
+        # (TCP-style), which is what bounds the receiver's reorder
+        # buffer — a hole at the receiver is a hole in the acks, so the
+        # sender cannot run more than ``window`` ahead of it.
+        self._next_seq = 0
+        self._base = 0
+        self._acks: Dict[int, Event] = {}
+        self._acked: Set[int] = set()
+        self._slot_waiters: Deque[Event] = deque()
+        # receiver side
+        self._next_deliver = 0
+        self._reorder: Dict[int, "Message"] = {}
+        self._skipped: Set[int] = set()
+
+    # -- sender ---------------------------------------------------------------
+    def send(self, msg: "Message"):
+        """Submit one message (generator; the daemon's outbound worker
+        ``yield from``-s it).  Blocks only for a window slot; the actual
+        transmit/retransmit runs in its own subprocess so one stuck
+        packet does not stall the daemon's whole outbound queue."""
+        while self._next_seq - self._base >= self.config.window:
+            slot = Event(self.sim)
+            self._slot_waiters.append(slot)
+            yield slot
+        seq = self._next_seq
+        self._next_seq += 1
+        self.sim.process(
+            self._transmit(seq, msg), name=f"rel:{self.name}:{seq}"
+        ).defuse()
+        return
+        yield  # pragma: no cover
+
+    def _transmit(self, seq: int, msg: "Message"):
+        cfg = self.config
+        net = self.system.network
+        acked = Event(self.sim)
+        self._acks[seq] = acked
+        rto = cfg.rto_base_s
+        try:
+            for attempt in range(cfg.max_attempts):
+                if acked.triggered:
+                    return
+                if attempt:
+                    self.stats.retransmits += 1
+                self.stats.data_sent += 1
+                lost = False
+                try:
+                    yield net.transfer(
+                        self.src_pvmd.host, self.dst_pvmd.host,
+                        msg.wire_bytes, label=DATA_LABEL,
+                    )
+                except PvmError:
+                    lost = True  # datagram died; silence, then retry
+                if not lost:
+                    self._data_arrived(seq, msg)
+                    for _ in range(self._extra_copies()):
+                        self._data_arrived(seq, msg)
+                if acked.triggered:
+                    return
+                yield self.sim.any_of([acked, self.sim.timeout(rto)])
+                if acked.triggered:
+                    return
+                rto = min(rto * cfg.rto_factor, cfg.rto_max_s)
+            # Budget exhausted: give the message to the dead-letter box
+            # (replayed once if the destination's tasks restart) and let
+            # the receiver's cursor skip the hole so the link survives.
+            self.stats.exhausted += 1
+            self._skip(seq)
+            self._mark_acked(seq)  # sender-side reset: unjam the window
+            box = self.system.dead_letters
+            if box is not None:
+                box.capture(msg, f"rel-exhausted:{self.name}:{seq}")
+            if self.system.tracer:
+                self.system.tracer.emit(
+                    self.sim.now, "rel.exhausted", self.name,
+                    f"seq={seq} gave up after {cfg.max_attempts} attempts",
+                )
+        finally:
+            self._acks.pop(seq, None)
+
+    def _mark_acked(self, seq: int) -> None:
+        if seq < self._base:
+            return  # stale duplicate ack
+        self._acked.add(seq)
+        while self._base in self._acked:
+            self._acked.discard(self._base)
+            self._base += 1
+        while (
+            self._slot_waiters
+            and self._next_seq - self._base < self.config.window
+        ):
+            waiter = self._slot_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def _extra_copies(self) -> int:
+        """Datagram duplication: the network cannot deliver twice, so
+        the MessageDup seam lives here, above the wire."""
+        faults = self.system.network.faults
+        if faults is not None and hasattr(faults, "duplicates"):
+            return faults.duplicates(
+                self.src_pvmd.host, self.dst_pvmd.host, DATA_LABEL
+            )
+        return 0
+
+    # -- receiver -------------------------------------------------------------
+    def _data_arrived(self, seq: int, msg: "Message") -> None:
+        if seq < self._next_deliver or seq in self._reorder or seq in self._skipped:
+            # Duplicate (retransmit after a lost ack, or datagram dup):
+            # suppress, but re-ack — the sender clearly never heard us.
+            self.stats.dup_suppressed += 1
+        else:
+            self._reorder[seq] = msg
+            if seq != self._next_deliver:
+                self.stats.out_of_order += 1
+            if len(self._reorder) > self.stats.reorder_max:
+                self.stats.reorder_max = len(self._reorder)
+            self._drain_in_order()
+        self.sim.process(
+            self._send_ack(seq), name=f"relack:{self.name}:{seq}"
+        ).defuse()
+
+    def _drain_in_order(self) -> None:
+        while True:
+            if self._next_deliver in self._skipped:
+                self._skipped.discard(self._next_deliver)
+                self._next_deliver += 1
+                continue
+            msg = self._reorder.pop(self._next_deliver, None)
+            if msg is None:
+                return
+            self._next_deliver += 1
+            self.dst_pvmd.enqueue_inbound(msg)
+
+    def _skip(self, seq: int) -> None:
+        """Sender gave up on ``seq``: let the delivery cursor pass the
+        hole (the connection-reset a real transport would do on heal)."""
+        if seq >= self._next_deliver and seq not in self._reorder:
+            self._skipped.add(seq)
+            self._drain_in_order()
+
+    def _send_ack(self, seq: int):
+        self.stats.acks_sent += 1
+        try:
+            yield self.system.network.transfer(
+                self.dst_pvmd.host, self.src_pvmd.host,
+                self.config.ack_bytes, label=ACK_LABEL,
+            )
+        except PvmError:
+            return  # lost ack: the retransmit timer covers it
+        acked = self._acks.get(seq)
+        if acked is not None and not acked.triggered:
+            acked.succeed()
+        self._mark_acked(seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReliableLink {self.name} next_seq={self._next_seq} "
+            f"window=[{self._base},{self._base + self.config.window}) "
+            f"buffered={len(self._reorder)}>"
+        )

@@ -1,0 +1,91 @@
+"""Wiring the reliable channels into the virtual machine.
+
+:class:`ReliabilityLayer` owns one :class:`ReliableLink` per directed
+pvmd pair (created lazily) and plugs into two duck-typed seams on
+:class:`~repro.pvm.vm.PvmSystem`:
+
+* ``system.interhost_sender`` — the daemon's outbound worker hands every
+  remote-bound message here instead of firing a raw datagram;
+* ``system.delivery_guard`` — consulted at *final* delivery into a
+  task's mailbox, suppressing any copy of a msgid already delivered.
+
+The guard is deliberately separate from the per-link sequence dedupe:
+sequence numbers protect one link, but a message can legitimately cross
+several links in its life (the destination task migrates mid-flight and
+the message is forwarded, or a dead-letter replay re-injects it after a
+crash).  The msgid is the end-to-end identity, so the guard is the
+end-to-end exactly-once check — and what keeps a retransmitted
+``pvm_notify`` event from firing a one-shot watch twice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from .channel import ReliabilityConfig, ReliabilityStats, ReliableLink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pvm.daemon import Pvmd
+    from ..pvm.message import Message
+    from ..pvm.vm import PvmSystem
+
+__all__ = ["DeliveryGuard", "ReliabilityLayer"]
+
+
+class DeliveryGuard:
+    """Msgid-level exactly-once filter at final mailbox delivery."""
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+        #: Duplicate deliveries suppressed (observability / tests).
+        self.suppressed = 0
+
+    def first_delivery(self, msg: "Message") -> bool:
+        """True exactly once per msgid; later copies return False."""
+        if msg.msgid in self._seen:
+            self.suppressed += 1
+            return False
+        self._seen.add(msg.msgid)
+        return True
+
+
+class ReliabilityLayer:
+    """Per-link reliable channels behind the ``interhost_sender`` seam."""
+
+    def __init__(
+        self, system: "PvmSystem", config: Optional[ReliabilityConfig] = None
+    ) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.config = config or ReliabilityConfig()
+        self.stats = ReliabilityStats()
+        self.guard = DeliveryGuard()
+        self._links: Dict[Tuple[int, int], ReliableLink] = {}
+        self._installed = False
+
+    def install(self) -> "ReliabilityLayer":
+        """Hook both seams (idempotent)."""
+        if self._installed:
+            return self
+        self._installed = True
+        self.system.interhost_sender = self
+        self.system.delivery_guard = self.guard
+        return self
+
+    def link(self, src_pvmd: "Pvmd", dst_pvmd: "Pvmd") -> ReliableLink:
+        key = (src_pvmd.host_index, dst_pvmd.host_index)
+        link = self._links.get(key)
+        if link is None:
+            link = ReliableLink(src_pvmd, dst_pvmd, self.config, self.stats)
+            self._links[key] = link
+        return link
+
+    def send(self, src_pvmd: "Pvmd", dst_pvmd: "Pvmd", msg: "Message"):
+        """The outbound-worker seam (generator — ``yield from`` it)."""
+        yield from self.link(src_pvmd, dst_pvmd).send(msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReliabilityLayer links={len(self._links)} "
+            f"stats={self.stats.as_dict()}>"
+        )

@@ -232,6 +232,13 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The condition already resolved, but it was still the
+            # registered waiter for this constituent: a late failure is
+            # ours to consume, not the kernel's to surface.  (Several
+            # parallel transfers can fail near-simultaneously — e.g. a
+            # network partition severing a whole flush round.)
+            if not event._ok:
+                event.defuse()
             return
         self._count += 1
         if not event._ok:

@@ -16,6 +16,10 @@ from repro.faults import (
     FaultPlan,
     HostCrash,
     LinkFault,
+    MessageDrop,
+    MessageDup,
+    MessageReorder,
+    NetworkPartition,
     SkeletonKill,
 )
 from repro.faults.demo import run_adm, run_mpvm, run_upvm
@@ -333,6 +337,66 @@ def test_fault_plan_json_round_trip():
 def test_fault_plan_from_json_rejects_unknown_kind():
     with pytest.raises(ValueError):
         FaultPlan.from_json({"faults": [{"kind": "MeteorStrike", "at_s": 1.0}]})
+
+
+def test_network_fault_kinds_json_round_trip():
+    import json
+
+    plan = FaultPlan(
+        faults=(
+            MessageDrop(src="hp720-0", dst="hp720-1", label="rel-data",
+                        drop_prob=0.3, from_s=1.0, until_s=9.0, max_hits=5),
+            MessageDup(label="rel-data", dup_prob=0.2, extra=2),
+            MessageReorder(label="rel-data", reorder_prob=0.4, hold_s=0.02,
+                           from_s=2.0),
+            NetworkPartition(hosts=("hp720-1", "hp720-2"), from_s=5.0,
+                             until_s=15.0),
+        ),
+        seed=9,
+    )
+    wire = json.loads(json.dumps(plan.to_json()))  # survives real JSON text
+    back = FaultPlan.from_json(wire)
+    assert back == plan
+    assert back.faults[3].hosts == ("hp720-1", "hp720-2")  # tuple, not list
+
+
+def test_network_partition_severs_only_across_the_cut():
+    p = NetworkPartition(hosts=("a",), from_s=1.0, until_s=2.0)
+    assert p.severs("a", "b") and p.severs("b", "a")
+    assert not p.severs("b", "c")  # both outside the island
+    assert not p.severs("a", "a")  # both inside
+    assert p.active_at(1.5) and not p.active_at(0.5) and not p.active_at(2.5)
+
+
+def test_fault_plan_random_network_kinds_are_seeded():
+    hosts = ["hp720-1", "hp720-2", "hp720-3", "hp720-4"]
+    kinds = ("drop", "dup", "reorder", "partition")
+    a = FaultPlan.random(4, n=8, horizon=30.0, hosts=hosts, kinds=kinds)
+    assert a == FaultPlan.random(4, n=8, horizon=30.0, hosts=hosts, kinds=kinds)
+    assert a != FaultPlan.random(5, n=8, horizon=30.0, hosts=hosts, kinds=kinds)
+    assert len(a.faults) == 8
+    assert a.message_drops() and a.message_dups()
+    assert a.message_reorders() and a.partitions()
+    for p in a.partitions():
+        assert 0 < len(p.hosts) <= 2
+        assert 0.05 * 30.0 <= p.from_s < p.until_s <= 0.95 * 30.0
+    with pytest.raises(ValueError):
+        FaultPlan.random(0, n=1, hosts=hosts, kinds=("meteor",))
+
+
+def test_fault_plan_random_legacy_schedule_is_unchanged():
+    # kinds=("crash",) must replay the exact pre-network-fault draws so
+    # old soak fingerprints stay valid.
+    import random as _random
+
+    hosts = ["hp720-1", "hp720-2", "hp720-3", "hp720-4"]
+    plan = FaultPlan.random(11, n=3, horizon=60.0, hosts=hosts)
+    rng = _random.Random(11)
+    victims = rng.sample(hosts, 3)
+    times = sorted(rng.uniform(0.05 * 60.0, 0.95 * 60.0) for _ in range(3))
+    assert [(c.host, c.at_s) for c in plan.host_crashes()] == list(
+        zip(victims, times)
+    )
 
 
 def test_fault_plan_random_is_seeded_and_validated():

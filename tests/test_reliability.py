@@ -1,0 +1,357 @@
+"""Tests for the reliability layer (reliable channels, transactional
+migration commit, partition-tolerant scheduling).
+
+Covers: the layer is off by default (raw datagrams, byte-identical
+exhibits), exactly-once in-order delivery under seeded drop/dup/reorder
+chaos against an in-order reference, deterministic and bounded
+retransmit counts, the window bound on the reorder buffer, channel
+survival of an exhausted message (dead-letter capture, no head-of-line
+jam), pvm_notify one-shot dedupe under duplicated delivery, the
+two-phase transaction log (exactly-once commit, fence and overlap
+violations), partition grace (reprieve instead of fence/restart, with
+the graceless fence as the control), unreachable-host placement
+exclusion, and the kernel's late-constituent-failure hygiene that
+partitions exposed.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.faults import (
+    FaultPlan,
+    MessageDrop,
+    MessageDup,
+    MessageReorder,
+    NetworkPartition,
+)
+from repro.migration.txn import TransactionLog
+from repro.pvm.message import MessageBuffer
+from repro.recovery import RecoveryConfig
+from repro.reliability import DeliveryGuard, ReliabilityConfig
+from repro.sim import Event, Simulator
+
+
+def _stream_session(plan, n_msgs, *, n_hosts=2, seed=0, reliability=True, **kw):
+    """A master on host 0 streaming numbered messages to a sink on host 1."""
+    s = Session(
+        mechanism="pvm", n_hosts=n_hosts, seed=seed,
+        faults=plan, reliability=reliability, **kw
+    )
+    got = []
+
+    def sink(ctx):
+        for _ in range(n_msgs):
+            msg = yield from ctx.recv(tag=7)
+            got.append(int(msg.buffer.upkint()[0]))
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("sink", count=1, where=[1])
+        for i in range(n_msgs):
+            buf = MessageBuffer()
+            buf.pkint([i])
+            yield from ctx.send(tid, 7, buf)
+            yield from ctx.sleep(0.01)
+
+    s.vm.register_program("sink", sink)
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=0)
+    return s, got
+
+
+def chaos_plan(seed):
+    return FaultPlan(
+        faults=(
+            MessageDrop(src="hp720-0", dst="hp720-1", label="rel-data",
+                        drop_prob=0.3),
+            MessageDrop(src="hp720-1", dst="hp720-0", label="rel-ack",
+                        drop_prob=0.2),
+            MessageDup(label="rel-data", dup_prob=0.3, extra=1),
+            MessageReorder(label="rel-data", reorder_prob=0.3, hold_s=0.03),
+        ),
+        seed=seed,
+    )
+
+
+# ------------------------------------------------------------ off by default
+
+
+def test_reliability_is_off_by_default():
+    s = Session(mechanism="pvm", n_hosts=2)
+    assert s.vm.interhost_sender is None
+    assert s.vm.delivery_guard is None
+    assert s.reliability is None
+    assert s.config.reliability is False
+
+
+# ------------------------------------------- exactly-once, in-order delivery
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_lossy_stream_delivers_exactly_once_in_order(seed):
+    s, got = _stream_session(chaos_plan(seed), 30, seed=seed)
+    s.run(until=120)
+    assert got == list(range(30))
+    stats = s.reliability.stats
+    assert stats.retransmits > 0  # the chaos actually bit
+    assert stats.exhausted == 0
+
+
+def test_dup_suppression_has_both_layers():
+    # Every data packet duplicated: the link-level dedupe must eat the
+    # copies before they ever reach a mailbox.
+    plan = FaultPlan(
+        faults=(MessageDup(label="rel-data", dup_prob=1.0, extra=2),), seed=0
+    )
+    s, got = _stream_session(plan, 10)
+    s.run(until=60)
+    assert got == list(range(10))
+    assert s.reliability.stats.dup_suppressed >= 10
+    # The end-to-end guard saw each msgid exactly once.
+    assert s.reliability.guard.suppressed == 0
+
+
+# ---------------------------------------- bounded, deterministic retransmits
+
+
+def test_same_seed_same_channel_stats():
+    runs = []
+    for _ in range(2):
+        s, got = _stream_session(chaos_plan(5), 25, seed=5)
+        s.run(until=120)
+        runs.append((got, s.reliability.stats.as_dict()))
+    assert runs[0] == runs[1]
+
+
+def test_retransmits_are_bounded_by_the_attempt_budget():
+    s, got = _stream_session(chaos_plan(3), 20, seed=3)
+    s.run(until=120)
+    stats = s.reliability.stats
+    cfg = s.reliability.config
+    # Every send beyond the first per packet is a retransmit; the budget
+    # caps attempts per packet at max_attempts.
+    assert stats.retransmits <= 20 * (cfg.max_attempts - 1)
+    assert stats.data_sent <= 20 * cfg.max_attempts * 3  # 3: dup copies margin
+
+
+def test_reorder_buffer_is_bounded_by_the_window():
+    plan = FaultPlan(
+        faults=(
+            MessageDrop(src="hp720-0", dst="hp720-1", label="rel-data",
+                        drop_prob=0.5),
+        ),
+        seed=1,
+    )
+    s, got = _stream_session(
+        plan, 40, seed=1, reliability=ReliabilityConfig(window=4)
+    )
+    s.run(until=300)
+    assert got == list(range(40))
+    assert s.reliability.stats.reorder_max <= 4
+
+
+# ------------------------------------------------------- exhaustion survival
+
+
+def test_exhausted_message_dead_letters_and_unjams_the_channel():
+    # The first three transmit attempts are eaten outright; with a
+    # 3-attempt budget and a window of 1 (so nothing else consumes the
+    # drop's hit budget), message 0 exhausts — the channel must skip
+    # the hole and deliver the rest instead of jamming forever.
+    cfg = ReliabilityConfig(
+        window=1, max_attempts=3, rto_base_s=0.05, rto_max_s=0.1
+    )
+    plan = FaultPlan(
+        faults=(
+            MessageDrop(src="hp720-0", dst="hp720-1", label="rel-data",
+                        drop_prob=1.0, max_hits=3),
+        ),
+        seed=0,
+    )
+    s, got = _stream_session(plan, 10, reliability=cfg)
+    s.run(until=60)
+    assert got == list(range(1, 10))  # message 0 lost, order preserved
+    assert s.reliability.stats.exhausted == 1
+
+
+# --------------------------------------------------- pvm_notify one-shot dedupe
+
+
+def test_notify_one_shot_fires_once_under_duplicated_delivery():
+    # Every interhost datagram triplicated: the TaskExit notify message
+    # crosses the wire in several copies, but the one-shot watch must
+    # still fire exactly once.
+    plan = FaultPlan(
+        faults=(MessageDup(label="rel-data", dup_prob=1.0, extra=2),), seed=0
+    )
+    s = Session(mechanism="pvm", n_hosts=2, faults=plan, reliability=True)
+    out = {"n": 0}
+
+    def child(ctx):
+        yield from ctx.sleep(0.5)
+
+    def watcher(ctx):
+        (tid,) = yield from ctx.spawn("child", count=1, where=[1])
+        ctx.notify("TaskExit", 77, tids=[tid])
+        yield from ctx.recv(tag=77)
+        out["n"] += 1
+        while True:  # a duplicate notify would land here
+            extra = yield from ctx.nrecv(tag=77)
+            if extra is None:
+                break
+            out["n"] += 1
+
+    s.vm.register_program("child", child)
+    s.vm.register_program("watcher", watcher)
+    s.vm.start_master("watcher", host=0)
+    s.run(until=60)
+    assert out["n"] == 1
+
+
+# ------------------------------------------------------------ transaction log
+
+
+def test_migration_commits_exactly_one_transaction():
+    s = Session(mechanism="mpvm", n_hosts=3, seed=11)
+    finished = {}
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 10)
+        finished["host"] = ctx.host.name
+
+    def boss(ctx):
+        (tid,) = yield from ctx.spawn("cruncher", count=1, where=[0])
+        yield ctx.sim.timeout(1.0)
+        yield s.migrate(s.vm.task(tid), s.host(1))
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=2)
+    s.run(until=600)
+    assert finished["host"] == "hp720-1"
+    txns = s._coordinators[0].txns
+    assert [t.state for t in txns.txns] == ["committed"]
+    (txn,) = txns.committed()
+    assert txn.t_prepared is not None  # TRANSFER completed before commit
+    assert txn.t_begin <= txn.t_prepared <= txn.t_end
+    assert txns.verify() == []
+
+
+def test_txn_verify_flags_commit_after_fence():
+    sim = Simulator()
+    log = TransactionLog(sim)
+    txn = log.begin("task-1", "a", "b", "mpvm")
+    log.note_fence("b")
+    log.commit(txn)  # committing into a fenced destination: a bug
+    assert any("fence" in v for v in log.verify())
+
+
+def test_txn_verify_flags_duplicate_concurrent_commit():
+    sim = Simulator()
+    log = TransactionLog(sim)
+    t1 = log.begin("task-1", "a", "b", "mpvm")
+    t2 = log.begin("task-1", "a", "c", "mpvm")  # same unit, overlapping
+
+    def advance():
+        yield sim.timeout(1.0)
+
+    sim.process(advance())
+    sim.run()
+    log.commit(t1)
+    log.commit(t2)
+    assert any("overlap" in v for v in log.verify())
+
+
+def test_txn_verify_flags_open_transactions():
+    sim = Simulator()
+    log = TransactionLog(sim)
+    log.begin("task-1", "a", "b", "mpvm")
+    assert any("neither committed nor aborted" in v for v in log.verify())
+    assert log.verify(at_end=False) == []
+
+
+# ----------------------------------------------------------- partition grace
+
+
+def _partition_session(grace):
+    plan = FaultPlan(
+        faults=(NetworkPartition(hosts=("hp720-1",), from_s=5.0, until_s=12.0),),
+        seed=0,
+    )
+    s = Session(
+        mechanism="pvm", n_hosts=3, seed=5, faults=plan,
+        recovery=RecoveryConfig(partition_grace_s=grace),
+    )
+    done = {}
+
+    def worker(ctx):
+        for k in range(40):
+            yield from ctx.compute(25e6 * 0.05)
+        done["worker"] = ctx.now
+
+    def boss(ctx):
+        yield from ctx.spawn("worker", count=1, where=[1])
+
+    s.vm.register_program("worker", worker)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=0)
+    s.detector.start()
+    s.run(until=40)
+    return s, done
+
+
+def test_partition_heals_inside_grace_reprieves_the_host():
+    s, done = _partition_session(grace=10.0)
+    assert s.coordinator.reprieves, "confirmed silence should have been reprieved"
+    assert not s.coordinator.fence.fenced
+    assert not s.coordinator.records  # nobody restarted for a healed partition
+    assert s.detector.state("hp720-1") == "alive"
+    assert "worker" in done  # frozen during isolation, thawed after heal
+
+
+def test_partition_without_grace_is_treated_as_a_crash():
+    # The control: grace 0 is the pre-partition-aware behaviour — a
+    # confirmed silence fences the host even if it later heals.
+    s, _done = _partition_session(grace=0.0)
+    assert "hp720-1" in s.coordinator.fence.fenced
+    assert not s.coordinator.reprieves
+
+
+def test_isolated_host_is_excluded_from_placement():
+    s = Session(mechanism="mpvm", n_hosts=4, seed=0, recovery=True)
+    assert s.scheduler.unreachable_provider is not None
+    s.detector.isolated.add("hp720-1")
+    assert "hp720-1" in s.coordinator.unreachable_hosts()
+    for _ in range(4):
+        pick = s.scheduler.pick_destination(exclude=())
+        assert pick is None or pick.name != "hp720-1"
+
+
+# ----------------------------------------------------------- kernel hygiene
+
+
+def test_condition_consumes_late_constituent_failures():
+    # A partition fails several parallel transfers at slightly different
+    # times; the first failure resolves the AllOf, and the stragglers
+    # must be defused by the condition, not surfaced by the kernel.
+    sim = Simulator()
+    e1, e2 = Event(sim), Event(sim)
+    seen = {}
+
+    def waiter():
+        try:
+            yield sim.all_of([e1, e2])
+        except RuntimeError as exc:
+            seen["exc"] = str(exc)
+        yield sim.timeout(1.0)
+        seen["survived"] = True
+
+    def failer():
+        yield sim.timeout(0.1)
+        e1.fail(RuntimeError("first"))
+        yield sim.timeout(0.1)
+        e2.fail(RuntimeError("second"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()  # must not raise "second"
+    assert seen == {"exc": "first", "survived": True}
