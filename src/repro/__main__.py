@@ -1,174 +1,18 @@
-"""Command-line entry point.
+"""Command-line entry point — a thin shim over :mod:`repro.cli`.
 
-Usage::
-
-    python -m repro list                  # available exhibits
-    python -m repro report                # regenerate everything
-    python -m repro run table2 figure4    # specific exhibits
-    python -m repro faults --seed 7       # seeded chaos demo
-    python -m repro bench --json          # kernel-scale benchmarks
-    python -m repro soak --seeds 20       # crash-recovery survivability soak
-    python -m repro soak --reliability    # lossy/partition network soak
-    python -m repro faults --partition    # reliable-channel partition demo
-    python -m repro table2 figure4        # legacy spelling of `run`
-
-``--json`` switches any subcommand to machine-readable output.
+The subcommand implementations live in ``repro/cli/`` (one module per
+subcommand); ``build_parser`` and ``main`` are re-exported here so the
+historical import path ``from repro.__main__ import main`` keeps
+working.
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
-import json
 import sys
-from typing import List
 
+from .cli import build_parser, main
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Reproduction of 'Adaptive Load Migration Systems for PVM'.",
-    )
-    sub = parser.add_subparsers(dest="command")
-
-    sub.add_parser("list", help="list the available exhibits")
-
-    p_report = sub.add_parser("report", help="regenerate every exhibit")
-    p_report.add_argument("--json", action="store_true",
-                          help="emit results as JSON")
-
-    p_run = sub.add_parser("run", help="regenerate specific exhibits")
-    p_run.add_argument("exhibit", nargs="+", help="exhibit name(s), e.g. table2")
-    p_run.add_argument("--json", action="store_true",
-                       help="emit results as JSON")
-
-    p_faults = sub.add_parser(
-        "faults", help="seeded chaos demo: one fault plan vs all mechanisms"
-    )
-    p_faults.add_argument("--seed", type=int, default=0,
-                          help="fault-plan seed (default 0)")
-    p_faults.add_argument("--random", action="store_true",
-                          help="seeded random crash schedule (FaultPlan.random) "
-                               "instead of the curated plan")
-    p_faults.add_argument("--partition", action="store_true",
-                          help="lossy-wire + healed-partition demo: reliable "
-                               "channels, partition grace, exactly-once delivery")
-    p_faults.add_argument("--json", action="store_true",
-                          help="emit results as JSON")
-
-    p_bench = sub.add_parser(
-        "bench", help="kernel-scale wall-clock benchmarks (BENCH_kernel.json)"
-    )
-    p_bench.add_argument("--json", action="store_true",
-                         help="emit the benchmark document as JSON")
-    p_bench.add_argument("--smoke", action="store_true",
-                         help="tiny sizes (CI smoke / CLI tests)")
-    p_bench.add_argument("--out", metavar="FILE", default=None,
-                         help="also write the JSON document to FILE")
-
-    p_soak = sub.add_parser(
-        "soak", help="crash-recovery survivability soak (BENCH_recovery.json)"
-    )
-    p_soak.add_argument("--seeds", type=int, default=20,
-                        help="number of seeded crash schedules (default 20)")
-    p_soak.add_argument("--json", action="store_true",
-                        help="emit the soak document as JSON")
-    p_soak.add_argument("--smoke", action="store_true",
-                        help="tiny workload (CI smoke / CLI tests)")
-    p_soak.add_argument("--out", metavar="FILE", default=None,
-                        help="also write the JSON document to FILE")
-    p_soak.add_argument("--reliability", action="store_true",
-                        help="lossy/partition network soak instead of the "
-                             "crash soak (BENCH_reliability.json)")
-    return parser
-
-
-def _run_exhibits(names: List[str], as_json: bool) -> int:
-    from .experiments import EXPERIMENTS, render_report, run_all
-
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
-    results = run_all(only=names or None)
-    if as_json:
-        print(json.dumps([dataclasses.asdict(r) for r in results], indent=2))
-    else:
-        print(render_report(results))
-    return 0 if all(r.ok for r in results) else 1
-
-
-def main(argv: List[str]) -> int:
-    from .experiments import EXPERIMENTS
-
-    args = argv[1:]
-    # Legacy spelling: bare exhibit names, e.g. `python -m repro table2`.
-    if args and all(a in EXPERIMENTS for a in args):
-        return _run_exhibits(args, as_json=False)
-
-    ns = build_parser().parse_args(args)
-    if ns.command == "list":
-        print("available exhibits:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        return 0
-    if ns.command == "report":
-        return _run_exhibits([], as_json=ns.json)
-    if ns.command == "run":
-        return _run_exhibits(ns.exhibit, as_json=ns.json)
-    if ns.command == "faults":
-        from .faults.demo import main as faults_main, main_partition, run_demo, run_partition
-
-        if ns.partition:
-            if ns.json:
-                print(json.dumps(run_partition(ns.seed), indent=2))
-            else:
-                main_partition(ns.seed)
-        elif ns.json:
-            print(json.dumps(run_demo(ns.seed, random_schedule=ns.random), indent=2))
-        else:
-            faults_main(ns.seed, random_schedule=ns.random)
-        return 0
-    if ns.command == "soak":
-        if ns.reliability:
-            from .experiments.soak_reliability import (
-                render_soak_reliability,
-                run_soak_reliability,
-            )
-
-            doc = run_soak_reliability(seeds=ns.seeds, smoke=ns.smoke)
-            if ns.out:
-                with open(ns.out, "w") as fh:
-                    json.dump(doc, fh, indent=2)
-                    fh.write("\n")
-            print(
-                json.dumps(doc, indent=2)
-                if ns.json
-                else render_soak_reliability(doc)
-            )
-            return 0 if doc["ok"] else 1
-        from .experiments.soak import render_soak, run_soak
-
-        doc = run_soak(seeds=ns.seeds, smoke=ns.smoke)
-        if ns.out:
-            with open(ns.out, "w") as fh:
-                json.dump(doc, fh, indent=2)
-                fh.write("\n")
-        print(json.dumps(doc, indent=2) if ns.json else render_soak(doc))
-        return 0 if doc["ok"] else 1
-    if ns.command == "bench":
-        from .experiments.bench import render_bench, run_bench
-
-        doc = run_bench(smoke=ns.smoke)
-        if ns.out:
-            with open(ns.out, "w") as fh:
-                json.dump(doc, fh, indent=2)
-                fh.write("\n")
-        print(json.dumps(doc, indent=2) if ns.json else render_bench(doc))
-        return 0
-    build_parser().print_help()
-    return 0
+__all__ = ["build_parser", "main"]
 
 
 if __name__ == "__main__":

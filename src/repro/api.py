@@ -184,6 +184,44 @@ class Session:
                 if txns is not None:
                     self.coordinator.txn_logs.append(txns)
 
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        spec: Any,
+        *,
+        instance: Any = None,
+        trace: bool = True,
+    ) -> "Session":
+        """Wire a whole session from a declarative scenario cell.
+
+        ``spec`` is a :class:`repro.scenarios.ScenarioSpec`; its fleet
+        shape becomes the cluster (per-host speeds included), its fault
+        schedule and network profile become the fault plan, and the
+        network/fault axes decide whether the reliability and recovery
+        layers are armed.  Pass a pre-built
+        :class:`repro.scenarios.ScenarioInstance` as ``instance`` to
+        skip re-materialising (the materialisation is deterministic, so
+        this is only an optimisation).  The arrival process and the
+        application are the runner's business
+        (:func:`repro.scenarios.run_cell`), not the session's.
+        """
+        from .scenarios.generator import materialize
+
+        inst = instance if instance is not None else materialize(spec)
+        hosts = [
+            HostSpec(name, cpu_mflops=mflops) for name, mflops in inst.host_specs
+        ]
+        return cls(
+            mechanism=spec.mechanism,
+            hosts=hosts,
+            seed=spec.seed,
+            trace=trace,
+            faults=inst.plan if inst.plan else None,
+            reliability=inst.reliability,
+            recovery=inst.recovery,
+        )
+
     # -- wiring ----------------------------------------------------------------
     def _wire_coordinator(self, coordinator: Any) -> None:
         coordinator.policy = self.policy

@@ -1,0 +1,69 @@
+"""Command-line interface, one module per subcommand.
+
+Usage::
+
+    python -m repro list                  # available exhibits
+    python -m repro report                # regenerate everything
+    python -m repro run table2 figure4    # specific exhibits
+    python -m repro faults --seed 7       # seeded chaos demo
+    python -m repro faults --random --kinds drop,dup,reorder,partition
+    python -m repro faults --partition    # reliable-channel partition demo
+    python -m repro bench --json          # kernel-scale benchmarks
+    python -m repro soak --seeds 20       # crash-recovery survivability soak
+    python -m repro soak --reliability    # lossy/partition network soak
+    python -m repro scenarios --list      # the declarative scenario catalog
+    python -m repro scenarios --sweep     # arrival x fault x network matrix
+    python -m repro table2 figure4        # legacy spelling of `run`
+
+``--json`` switches any subcommand to machine-readable output; ``--out``
+writes the JSON document to a file, creating missing parent directories.
+
+Each subcommand lives in its own module exposing ``register(sub)``,
+which adds the subparser and binds its handler via
+``set_defaults(handler=...)``; :func:`main` just dispatches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from . import bench, exhibits, faults, scenarios, soak
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Adaptive Load Migration Systems for PVM'.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    exhibits.register(sub)
+    faults.register(sub)
+    bench.register(sub)
+    soak.register(sub)
+    scenarios.register(sub)
+    return parser
+
+
+def main(argv: List[str]) -> int:
+    from ..experiments import EXPERIMENTS
+
+    args = argv[1:]
+    # Legacy spelling: bare exhibit names, e.g. `python -m repro table2`.
+    if args and all(a in EXPERIMENTS for a in args):
+        return exhibits.run_exhibits(args, as_json=False)
+
+    parser = build_parser()
+    ns = parser.parse_args(args)
+    handler = getattr(ns, "handler", None)
+    if handler is None:
+        parser.print_help()
+        return 0
+    return handler(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,29 @@
+"""The ``bench`` subcommand: kernel-scale wall-clock benchmarks."""
+
+from __future__ import annotations
+
+import argparse
+
+from .common import emit
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "bench", help="kernel-scale wall-clock benchmarks (BENCH_kernel.json)"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark document as JSON")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny sizes (CI smoke / CLI tests)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the JSON document to FILE "
+                        "(missing parent directories are created)")
+    p.set_defaults(handler=run)
+
+
+def run(ns: argparse.Namespace) -> int:
+    from ..experiments.bench import render_bench, run_bench
+
+    doc = run_bench(smoke=ns.smoke)
+    emit(doc, render_bench, as_json=ns.json, out=ns.out)
+    return 0

@@ -1,0 +1,30 @@
+"""Shared plumbing for the CLI subcommand modules."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Optional
+
+
+def write_out(doc: Dict[str, Any], path: str) -> None:
+    """Write a JSON document to ``path``, creating missing parent dirs."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def emit(
+    doc: Dict[str, Any],
+    render: Callable[[Dict[str, Any]], str],
+    *,
+    as_json: bool,
+    out: Optional[str] = None,
+) -> None:
+    """The every-subcommand output contract: ``--out`` file + stdout."""
+    if out:
+        write_out(doc, out)
+    print(json.dumps(doc, indent=2) if as_json else render(doc))

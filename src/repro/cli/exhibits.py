@@ -1,0 +1,58 @@
+"""The exhibit subcommands: ``list``, ``report``, ``run``."""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    p_list = sub.add_parser("list", help="list the available exhibits")
+    p_list.set_defaults(handler=run_list)
+
+    p_report = sub.add_parser("report", help="regenerate every exhibit")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit results as JSON")
+    p_report.set_defaults(handler=run_report)
+
+    p_run = sub.add_parser("run", help="regenerate specific exhibits")
+    p_run.add_argument("exhibit", nargs="+", help="exhibit name(s), e.g. table2")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit results as JSON")
+    p_run.set_defaults(handler=run_run)
+
+
+def run_exhibits(names: List[str], as_json: bool) -> int:
+    from ..experiments import EXPERIMENTS, render_report, run_all
+
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = run_all(only=names or None)
+    if as_json:
+        print(json.dumps([dataclasses.asdict(r) for r in results], indent=2))
+    else:
+        print(render_report(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def run_list(ns: argparse.Namespace) -> int:
+    from ..experiments import EXPERIMENTS
+
+    print("available exhibits:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def run_report(ns: argparse.Namespace) -> int:
+    return run_exhibits([], as_json=ns.json)
+
+
+def run_run(ns: argparse.Namespace) -> int:
+    return run_exhibits(ns.exhibit, as_json=ns.json)

@@ -1,0 +1,69 @@
+"""The ``faults`` subcommand: seeded chaos and partition demos."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Tuple
+
+from ..faults.plan import KNOWN_FAULT_KINDS
+from .common import write_out
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "faults", help="seeded chaos demo: one fault plan vs all mechanisms"
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (default 0)")
+    p.add_argument("--random", action="store_true",
+                   help="seeded random fault schedule (FaultPlan.random) "
+                        "instead of the curated plan")
+    p.add_argument("--kinds", default="crash", metavar="K1,K2,...",
+                   help="fault kinds the --random schedule draws from "
+                        f"(known: {','.join(KNOWN_FAULT_KINDS)}; "
+                        "default: crash)")
+    p.add_argument("--partition", action="store_true",
+                   help="lossy-wire + healed-partition demo: reliable "
+                        "channels, partition grace, exactly-once delivery")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the JSON document to FILE "
+                        "(missing parent directories are created)")
+    p.set_defaults(handler=run)
+
+
+def _parse_kinds(raw: str) -> Tuple[str, ...]:
+    kinds = tuple(k.strip() for k in raw.split(",") if k.strip())
+    unknown = sorted(set(kinds) - set(KNOWN_FAULT_KINDS))
+    if unknown:
+        raise SystemExit(
+            f"unknown fault kind(s): {', '.join(unknown)}; "
+            f"known: {', '.join(KNOWN_FAULT_KINDS)}"
+        )
+    return kinds or ("crash",)
+
+
+def run(ns: argparse.Namespace) -> int:
+    from ..faults.demo import (
+        main as demo_main,
+        main_partition,
+        run_demo,
+        run_partition,
+    )
+
+    kinds = _parse_kinds(ns.kinds)
+    if ns.partition:
+        doc = run_partition(ns.seed) if ns.json else main_partition(ns.seed)
+    else:
+        doc = (
+            run_demo(ns.seed, random_schedule=ns.random, kinds=kinds)
+            if ns.json
+            else demo_main(ns.seed, random_schedule=ns.random, kinds=kinds)
+        )
+    if ns.json:
+        print(json.dumps(doc, indent=2))
+    if ns.out:
+        write_out(doc, ns.out)
+    return 0

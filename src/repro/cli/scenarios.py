@@ -1,0 +1,73 @@
+"""The ``scenarios`` subcommand: declarative matrix cells and sweeps."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .common import emit, write_out
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "scenarios",
+        help="declarative scenario matrix: list cells, run one, sweep all",
+    )
+    what = p.add_mutually_exclusive_group(required=True)
+    what.add_argument("--list", action="store_true", dest="list_cells",
+                      help="list every catalog cell (matrix + extras)")
+    what.add_argument("--run", metavar="CELL", default=None,
+                      help="run one catalog cell by name "
+                           "(e.g. steady/random/lossy)")
+    what.add_argument("--sweep", action="store_true",
+                      help="run the full arrival x fault x network matrix")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (default 0)")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrunken workload per cell (CI smoke)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result document as JSON")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the JSON document to FILE "
+                        "(missing parent directories are created)")
+    p.set_defaults(handler=run)
+
+
+def run(ns: argparse.Namespace) -> int:
+    from ..scenarios import (
+        matrix_specs,
+        named_specs,
+        render_row,
+        render_sweep,
+        run_cell,
+        run_sweep,
+        spec_by_name,
+    )
+
+    if ns.list_cells:
+        specs = named_specs(seed=ns.seed)
+        matrix = {s.name for s in matrix_specs(seed=ns.seed)}
+        doc = {name: spec.to_json() for name, spec in specs.items()}
+        if ns.out:
+            write_out(doc, ns.out)
+        if ns.json:
+            print(json.dumps(doc, indent=2))
+            return 0
+        print(f"scenario catalog ({len(specs)} cells):")
+        for name, spec in specs.items():
+            tag = "matrix" if name in matrix else "extra"
+            print(f"  {name:<28s} [{tag}] {spec.describe()}")
+        return 0
+
+    if ns.run is not None:
+        try:
+            spec = spec_by_name(ns.run, seed=ns.seed)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
+        row = run_cell(spec, smoke=ns.smoke)
+        emit(row, render_row, as_json=ns.json, out=ns.out)
+        return 0 if row["ok"] else 1
+
+    doc = run_sweep(matrix_specs(seed=ns.seed), smoke=ns.smoke)
+    emit(doc, render_sweep, as_json=ns.json, out=ns.out)
+    return 0 if doc["ok"] else 1

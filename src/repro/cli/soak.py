@@ -1,0 +1,43 @@
+"""The ``soak`` subcommand: crash-recovery and reliability soaks."""
+
+from __future__ import annotations
+
+import argparse
+
+from .common import emit
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "soak", help="crash-recovery survivability soak (BENCH_recovery.json)"
+    )
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of seeded crash schedules (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the soak document as JSON")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny workload (CI smoke / CLI tests)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the JSON document to FILE "
+                        "(missing parent directories are created)")
+    p.add_argument("--reliability", action="store_true",
+                   help="lossy/partition network soak instead of the "
+                        "crash soak (BENCH_reliability.json)")
+    p.set_defaults(handler=run)
+
+
+def run(ns: argparse.Namespace) -> int:
+    if ns.reliability:
+        from ..experiments.soak_reliability import (
+            render_soak_reliability,
+            run_soak_reliability,
+        )
+
+        doc = run_soak_reliability(seeds=ns.seeds, smoke=ns.smoke)
+        emit(doc, render_soak_reliability, as_json=ns.json, out=ns.out)
+        return 0 if doc["ok"] else 1
+    from ..experiments.soak import render_soak, run_soak
+
+    doc = run_soak(seeds=ns.seeds, smoke=ns.smoke)
+    emit(doc, render_soak, as_json=ns.json, out=ns.out)
+    return 0 if doc["ok"] else 1

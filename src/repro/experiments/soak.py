@@ -23,179 +23,53 @@ identical suspicion timeline and recovery record) and that a fault-free
 run under load produces zero suspicions.  The committed
 ``BENCH_recovery.json`` at the repo root holds the detection-latency and
 recovery-time distributions of the full 20-seed run.
+
+The workload/plan/reference/record helpers shared with the reliability
+soak and the scenario runner live in
+:mod:`repro.experiments.soak_common`; this module re-exports them under
+their historical underscore names.
 """
 
 from __future__ import annotations
 
 import platform
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
-import numpy as np
-
-from ..adm.partition import weighted_partition
 from ..api import Session
-from ..apps.opt import MB_DEC, AdmOpt, OptConfig, PvmOpt
-from ..apps.opt.model import CgState, OptModel, cg_step, cg_update_flops
-from ..apps.opt.data import bytes_for_exemplars, synthetic_training_set
-from ..apps.opt.pvm_opt import TAG_DATA, TAG_GRAD, TAG_STOP, TAG_WEIGHTS
+from ..apps.opt import AdmOpt, OptConfig, PvmOpt
 from ..faults import FaultPlan
+from .soak_common import (
+    CRASHES_PER_SEED,
+    N_HOSTS,
+    NotifyOpt,
+    SLAVE_HOSTS,
+    UNTIL_S,
+    crash_plan,
+    dist,
+    recovery_records_json,
+    reference_losses,
+    soak_workload,
+)
 
 __all__ = ["SCHEMA", "run_soak", "render_soak"]
 
 SCHEMA = "repro-bench-recovery/1"
 
-#: Notify tag of the soak master's TaskExit subscription.
-TAG_EXIT = 104
-
-#: Worker topology: master and GS machine on host 0 (assumed survivable,
-#: like the paper's GS), one slave on each of hosts 1..4 — only those
-#: four ever crash.
-N_HOSTS = 5
-CRASH_HOSTS = tuple(f"hp720-{i}" for i in range(1, N_HOSTS))
-SLAVE_HOSTS = list(range(1, N_HOSTS))
-CRASHES_PER_SEED = 3
-
-#: Simulated-time bound: a leg still running at the bound is a hang.
-UNTIL_S = 600.0
-
-
-class _NotifyOpt(PvmOpt):
-    """PVM_opt whose master survives slave deaths via pvm_notify.
-
-    Identical to :class:`PvmOpt` except the master watches its slaves
-    with ``pvm_notify(TaskExit)`` and, when one dies unrecoverably,
-    writes it out of the gradient quorum instead of blocking forever.
-    On MPVM the watch follows restarts (tid rebinds re-key it), so a
-    recovered slave keeps reporting and the quorum never shrinks.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        #: Slaves written out of the quorum (visible tids, exit order).
-        self.exits: List[int] = []
-
-    def _note_exit(self, ctx, msg, live: set) -> int:
-        dead = ctx._map_tid_in(int(msg.buffer.upkint()[0]))
-        if dead in live:
-            live.discard(dead)
-            self.exits.append(dead)
-        return dead
-
-    def _master(self, ctx):
-        cfg = self.config
-        t_start = ctx.now
-        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
-        state = CgState(params=model.get_params())
-        data = (
-            synthetic_training_set(
-                n=cfg.n_exemplars, n_categories=cfg.n_categories, seed=cfg.seed
-            )
-            if cfg.real
-            else None
-        )
-
-        tids = yield from ctx.spawn(
-            self._slave_name, count=cfg.n_slaves, where=self.slave_hosts
-        )
-        self.slave_tids = list(tids)
-        # The only portable crash signal PVM offers an application.
-        ctx.notify("TaskExit", TAG_EXIT, tids=tids)
-
-        counts = weighted_partition(cfg.n_exemplars, {t: 1.0 for t in tids})
-        offset = 0
-        for tid in tids:
-            k = counts[tid]
-            buf = ctx.initsend()
-            if cfg.real:
-                shard = data.slice(offset, offset + k)
-                buf.pkarray(shard.features).pkarray(shard.categories)
-            else:
-                buf.pkopaque(bytes_for_exemplars(k), "exemplars")
-            buf.pkint([k])
-            yield from ctx.send(tid, TAG_DATA, buf)
-            offset += k
-        t_train = ctx.now
-
-        live = set(tids)
-        for it in range(cfg.iterations):
-            # Exits reported between iterations leave before the mcast.
-            while True:
-                ex = yield from ctx.nrecv(tag=TAG_EXIT)
-                if ex is None:
-                    break
-                self._note_exit(ctx, ex, live)
-            roster = [t for t in tids if t in live]
-            wbuf = ctx.initsend()
-            if cfg.real:
-                wbuf.pkarray(state.params)
-            else:
-                wbuf.pkopaque(model.net_bytes, "net")
-            yield from ctx.mcast(roster, TAG_WEIGHTS, wbuf)
-
-            need = set(roster)
-            grad_sum = np.zeros(model.n_params) if cfg.real else None
-            loss_sum, count = 0.0, 0
-            while need:
-                msg = yield from ctx.recv()
-                if msg.tag == TAG_EXIT:
-                    need.discard(self._note_exit(ctx, msg, live))
-                elif msg.tag == TAG_GRAD:
-                    if cfg.real:
-                        grad_sum += msg.buffer.upkarray()
-                        loss_sum += float(msg.buffer.upkdouble()[0])
-                    else:
-                        msg.buffer.upkopaque()
-                    count += int(msg.buffer.upkint()[0])
-                    need.discard(msg.src_tid)
-            yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
-            if cfg.real:
-                state = cg_step(state, grad_sum, max(count, 1), loss_sum)
-            else:
-                state.losses.append(2.3 * 0.9**it)
-
-        yield from ctx.mcast([t for t in tids if t in live], TAG_STOP, ctx.initsend())
-        self.state = state
-        self.report = {
-            "total_time": ctx.now - t_start,
-            "train_time": ctx.now - t_train,
-            "losses": list(state.losses),
-            "survivors": len(live),
-        }
-
-
-def _workload(smoke: bool) -> Tuple[OptConfig, float]:
-    """The Opt configuration and the crash-schedule horizon."""
-    if smoke:
-        return OptConfig(data_bytes=int(0.4 * MB_DEC), iterations=4, n_slaves=4), 8.0
-    return OptConfig(data_bytes=1 * MB_DEC, iterations=8, n_slaves=4), 12.0
-
-
-def _plan(seed: int, horizon: float) -> FaultPlan:
-    return FaultPlan.random(
-        seed, n=CRASHES_PER_SEED, horizon=horizon, hosts=list(CRASH_HOSTS)
-    )
-
-
-def _records_of(s: Session) -> List[Dict[str, Any]]:
-    out = []
-    for r in s.recovery_records:
-        out.append({
-            "host": r.host,
-            "detection_latency_s": round(r.detection_latency, 6),
-            "recovery_time_s": round(r.recovery_time, 6),
-            "tasks": [
-                {"outcome": t.outcome, "dst": t.dst, "replayed": t.replayed}
-                for t in r.tasks
-            ],
-        })
-    return out
+# Historical names: the reliability soak and external callers imported
+# these before the helpers moved to soak_common.
+_NotifyOpt = NotifyOpt
+_workload = soak_workload
+_plan = crash_plan
+_records_of = recovery_records_json
+_reference_losses = reference_losses
+_dist = dist
 
 
 def _leg_mpvm(seed: int, cfg: OptConfig, plan: FaultPlan, ref_losses: List[float]):
     s = Session(
         mechanism="mpvm", n_hosts=N_HOSTS, seed=seed, faults=plan, recovery=True
     )
-    app = _NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
     app.start()
 
     def protector():
@@ -206,7 +80,7 @@ def _leg_mpvm(seed: int, cfg: OptConfig, plan: FaultPlan, ref_losses: List[float
 
     s.sim.process(protector()).defuse()
     s.run(until=UNTIL_S)
-    records = _records_of(s)
+    records = recovery_records_json(s)
     lost = sum(1 for r in records for t in r["tasks"] if t["outcome"] == "lost")
     return {
         "seed": seed,
@@ -235,7 +109,7 @@ def _leg_adm(seed: int, cfg: OptConfig, plan: FaultPlan):
         "sim_time_s": round(app.report.get("total_time", 0.0), 6),
         "lost_workers": sorted(app.lost),
         "redistributions": app.report.get("redistributions", 0),
-        "records": _records_of(s),
+        "records": recovery_records_json(s),
     }, s
 
 
@@ -243,7 +117,7 @@ def _leg_pvm(seed: int, cfg: OptConfig, plan: FaultPlan, ref_losses: List[float]
     s = Session(
         mechanism="pvm", n_hosts=N_HOSTS, seed=seed, faults=plan, recovery=True
     )
-    app = _NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
     app.start()
     s.run(until=UNTIL_S)
     return {
@@ -252,17 +126,8 @@ def _leg_pvm(seed: int, cfg: OptConfig, plan: FaultPlan, ref_losses: List[float]
         "sim_time_s": round(app.report.get("total_time", 0.0), 6),
         "matched_reference": app.report.get("losses") == ref_losses,
         "survivors": app.report.get("survivors", 0),
-        "records": _records_of(s),
+        "records": recovery_records_json(s),
     }, s
-
-
-def _reference_losses(cfg: OptConfig) -> List[float]:
-    """The crash-free output every surviving run must reproduce."""
-    s = Session(mechanism="pvm", n_hosts=N_HOSTS, seed=0)
-    app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
-    app.start()
-    s.run()
-    return list(app.report["losses"])
 
 
 def _fault_free_false_positives(cfg: OptConfig) -> int:
@@ -280,28 +145,10 @@ def _determinism_fingerprint(seed: int, cfg: OptConfig, plan: FaultPlan):
     return (tuple(s.detector.timeline), repr(run["records"]))
 
 
-def _dist(values: List[float]) -> Optional[Dict[str, float]]:
-    if not values:
-        return None
-    xs = sorted(values)
-
-    def pct(p: float) -> float:
-        return xs[min(len(xs) - 1, int(p * len(xs)))]
-
-    return {
-        "n": len(xs),
-        "min": round(xs[0], 6),
-        "mean": round(sum(xs) / len(xs), 6),
-        "p50": round(pct(0.50), 6),
-        "p95": round(pct(0.95), 6),
-        "max": round(xs[-1], 6),
-    }
-
-
 def run_soak(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
     """Run the full survivability soak; returns the result document."""
-    cfg, horizon = _workload(smoke)
-    ref_losses = _reference_losses(cfg)
+    cfg, horizon = soak_workload(smoke)
+    ref_losses = reference_losses(cfg)
 
     legs: Dict[str, Dict[str, Any]] = {
         "mpvm": {"runs": []}, "adm": {"runs": []}, "pvm_notify": {"runs": []},
@@ -309,7 +156,7 @@ def run_soak(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
     detection: List[float] = []
     recovery: List[float] = []
     for seed in range(seeds):
-        plan = _plan(seed, horizon)
+        plan = crash_plan(seed, horizon)
         for name, runner in (
             ("mpvm", lambda: _leg_mpvm(seed, cfg, plan, ref_losses)),
             ("adm", lambda: _leg_adm(seed, cfg, plan)),
@@ -332,7 +179,7 @@ def run_soak(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
             leg["restarted"] = sum(r["restarted"] for r in runs)
             leg["lost"] = sum(r["lost"] for r in runs)
 
-    first_plan = _plan(0, horizon)
+    first_plan = crash_plan(0, horizon)
     determinism = (
         _determinism_fingerprint(0, cfg, first_plan)
         == _determinism_fingerprint(0, cfg, first_plan)
@@ -363,8 +210,8 @@ def run_soak(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
             "n_hosts": N_HOSTS,
         },
         "legs": legs,
-        "detection_latency_s": _dist(detection),
-        "recovery_time_s": _dist(recovery),
+        "detection_latency_s": dist(detection),
+        "recovery_time_s": dist(recovery),
         "determinism_identical": determinism,
         "fault_free_false_positives": false_positives,
         "ok": ok,

@@ -1,0 +1,218 @@
+"""Shared soak/scenario plumbing: workload, fault plans, record helpers.
+
+The crash soak (:mod:`repro.experiments.soak`), the lossy-network soak
+(:mod:`repro.experiments.soak_reliability`) and the scenario runner
+(:mod:`repro.scenarios.runner`) all throw the same Opt workload at a
+worknet and summarise what the recovery/reliability layers did about
+it.  This module is the single home of that plumbing — the workload
+configuration, the crash-schedule drawing, the crash-tolerant
+``pvm_notify`` master, the reference (fault-free) run, and the
+JSON-friendly record/distribution helpers.  The legacy soaks re-export
+the old underscore names, so their committed BENCH documents are
+byte-identical to the pre-refactor ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..adm.partition import weighted_partition
+from ..api import Session
+from ..apps.opt import MB_DEC, OptConfig, PvmOpt
+from ..apps.opt.data import bytes_for_exemplars, synthetic_training_set
+from ..apps.opt.model import CgState, OptModel, cg_step, cg_update_flops
+from ..apps.opt.pvm_opt import TAG_DATA, TAG_GRAD, TAG_STOP, TAG_WEIGHTS
+from ..faults import FaultPlan
+
+__all__ = [
+    "CRASHES_PER_SEED",
+    "CRASH_HOSTS",
+    "N_HOSTS",
+    "NotifyOpt",
+    "SLAVE_HOSTS",
+    "TAG_EXIT",
+    "UNTIL_S",
+    "crash_plan",
+    "dist",
+    "recovery_records_json",
+    "reference_losses",
+    "soak_workload",
+]
+
+#: Notify tag of the soak master's TaskExit subscription.
+TAG_EXIT = 104
+
+#: Worker topology: master and GS machine on host 0 (assumed survivable,
+#: like the paper's GS), one slave on each of hosts 1..4 — only those
+#: four ever crash.
+N_HOSTS = 5
+CRASH_HOSTS = tuple(f"hp720-{i}" for i in range(1, N_HOSTS))
+SLAVE_HOSTS = list(range(1, N_HOSTS))
+CRASHES_PER_SEED = 3
+
+#: Simulated-time bound: a leg still running at the bound is a hang.
+UNTIL_S = 600.0
+
+
+class NotifyOpt(PvmOpt):
+    """PVM_opt whose master survives slave deaths via pvm_notify.
+
+    Identical to :class:`PvmOpt` except the master watches its slaves
+    with ``pvm_notify(TaskExit)`` and, when one dies unrecoverably,
+    writes it out of the gradient quorum instead of blocking forever.
+    On MPVM the watch follows restarts (tid rebinds re-key it), so a
+    recovered slave keeps reporting and the quorum never shrinks.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Slaves written out of the quorum (visible tids, exit order).
+        self.exits: List[int] = []
+
+    def _note_exit(self, ctx, msg, live: set) -> int:
+        dead = ctx._map_tid_in(int(msg.buffer.upkint()[0]))
+        if dead in live:
+            live.discard(dead)
+            self.exits.append(dead)
+        return dead
+
+    def _master(self, ctx):
+        cfg = self.config
+        t_start = ctx.now
+        model = OptModel(hidden=cfg.hidden, n_categories=cfg.n_categories, seed=cfg.seed)
+        state = CgState(params=model.get_params())
+        data = (
+            synthetic_training_set(
+                n=cfg.n_exemplars, n_categories=cfg.n_categories, seed=cfg.seed
+            )
+            if cfg.real
+            else None
+        )
+
+        tids = yield from ctx.spawn(
+            self._slave_name, count=cfg.n_slaves, where=self.slave_hosts
+        )
+        self.slave_tids = list(tids)
+        # The only portable crash signal PVM offers an application.
+        ctx.notify("TaskExit", TAG_EXIT, tids=tids)
+
+        counts = weighted_partition(cfg.n_exemplars, {t: 1.0 for t in tids})
+        offset = 0
+        for tid in tids:
+            k = counts[tid]
+            buf = ctx.initsend()
+            if cfg.real:
+                shard = data.slice(offset, offset + k)
+                buf.pkarray(shard.features).pkarray(shard.categories)
+            else:
+                buf.pkopaque(bytes_for_exemplars(k), "exemplars")
+            buf.pkint([k])
+            yield from ctx.send(tid, TAG_DATA, buf)
+            offset += k
+        t_train = ctx.now
+
+        live = set(tids)
+        for it in range(cfg.iterations):
+            # Exits reported between iterations leave before the mcast.
+            while True:
+                ex = yield from ctx.nrecv(tag=TAG_EXIT)
+                if ex is None:
+                    break
+                self._note_exit(ctx, ex, live)
+            roster = [t for t in tids if t in live]
+            wbuf = ctx.initsend()
+            if cfg.real:
+                wbuf.pkarray(state.params)
+            else:
+                wbuf.pkopaque(model.net_bytes, "net")
+            yield from ctx.mcast(roster, TAG_WEIGHTS, wbuf)
+
+            need = set(roster)
+            grad_sum = np.zeros(model.n_params) if cfg.real else None
+            loss_sum, count = 0.0, 0
+            while need:
+                msg = yield from ctx.recv()
+                if msg.tag == TAG_EXIT:
+                    need.discard(self._note_exit(ctx, msg, live))
+                elif msg.tag == TAG_GRAD:
+                    if cfg.real:
+                        grad_sum += msg.buffer.upkarray()
+                        loss_sum += float(msg.buffer.upkdouble()[0])
+                    else:
+                        msg.buffer.upkopaque()
+                    count += int(msg.buffer.upkint()[0])
+                    need.discard(msg.src_tid)
+            yield from ctx.compute(cg_update_flops(model.n_params), label="cg-step")
+            if cfg.real:
+                state = cg_step(state, grad_sum, max(count, 1), loss_sum)
+            else:
+                state.losses.append(2.3 * 0.9**it)
+
+        yield from ctx.mcast([t for t in tids if t in live], TAG_STOP, ctx.initsend())
+        self.state = state
+        self.report = {
+            "total_time": ctx.now - t_start,
+            "train_time": ctx.now - t_train,
+            "losses": list(state.losses),
+            "survivors": len(live),
+        }
+
+
+def soak_workload(smoke: bool) -> Tuple[OptConfig, float]:
+    """The Opt configuration and the crash-schedule horizon."""
+    if smoke:
+        return OptConfig(data_bytes=int(0.4 * MB_DEC), iterations=4, n_slaves=4), 8.0
+    return OptConfig(data_bytes=1 * MB_DEC, iterations=8, n_slaves=4), 12.0
+
+
+def crash_plan(seed: int, horizon: float) -> FaultPlan:
+    """The soak's shared random crash schedule for one seed."""
+    return FaultPlan.random(
+        seed, n=CRASHES_PER_SEED, horizon=horizon, hosts=list(CRASH_HOSTS)
+    )
+
+
+def recovery_records_json(s: Session) -> List[Dict[str, Any]]:
+    """A session's per-host-death recovery records as plain dicts."""
+    out = []
+    for r in s.recovery_records:
+        out.append({
+            "host": r.host,
+            "detection_latency_s": round(r.detection_latency, 6),
+            "recovery_time_s": round(r.recovery_time, 6),
+            "tasks": [
+                {"outcome": t.outcome, "dst": t.dst, "replayed": t.replayed}
+                for t in r.tasks
+            ],
+        })
+    return out
+
+
+def reference_losses(cfg: OptConfig, n_hosts: int = N_HOSTS) -> List[float]:
+    """The crash-free output every surviving run must reproduce."""
+    s = Session(mechanism="pvm", n_hosts=n_hosts, seed=0)
+    app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=list(range(1, n_hosts)))
+    app.start()
+    s.run()
+    return list(app.report["losses"])
+
+
+def dist(values: List[float]) -> Optional[Dict[str, float]]:
+    """min/mean/p50/p95/max summary of a sample (None when empty)."""
+    if not values:
+        return None
+    xs = sorted(values)
+
+    def pct(p: float) -> float:
+        return xs[min(len(xs) - 1, int(p * len(xs)))]
+
+    return {
+        "n": len(xs),
+        "min": round(xs[0], 6),
+        "mean": round(sum(xs) / len(xs), 6),
+        "p50": round(pct(0.50), 6),
+        "p95": round(pct(0.95), 6),
+        "max": round(xs[-1], 6),
+    }

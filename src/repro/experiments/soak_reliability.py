@@ -37,16 +37,18 @@ from ..apps.opt import PvmOpt
 from ..faults import FaultPlan
 from ..pvm.errors import PvmError
 from ..recovery import RecoveryConfig
-from .soak import (
+from .soak_common import (
     CRASH_HOSTS,
     N_HOSTS,
+    NotifyOpt,
     SLAVE_HOSTS,
     UNTIL_S,
-    _dist,
-    _NotifyOpt,
-    _reference_losses,
-    _workload,
+    dist as _dist,
+    reference_losses as _reference_losses,
+    soak_workload as _workload,
 )
+
+_NotifyOpt = NotifyOpt
 
 __all__ = ["SCHEMA", "run_soak_reliability", "render_soak_reliability"]
 

@@ -65,14 +65,29 @@ def partition_plan(seed: int) -> FaultPlan:
     )
 
 
-def random_plan(seed: int) -> FaultPlan:
-    """A seeded random crash schedule over the demo's worker hosts.
+def random_plan(seed: int, kinds: tuple = ("crash",)) -> FaultPlan:
+    """A seeded random fault schedule over the demo's worker hosts.
 
     Shares :meth:`FaultPlan.random` with the soak harness, so
     ``python -m repro faults --random --seed N`` and a soak run at the
-    same seed draw from the same generator.
+    same seed draw from the same generator.  ``kinds`` widens the draw
+    beyond crashes (``python -m repro faults --random --kinds
+    drop,dup,reorder,partition``); message kinds target the reliable
+    channel's packets, so the demo legs arm reliability when present.
     """
-    return FaultPlan.random(seed, n=1, horizon=20.0, hosts=["hp720-0", "hp720-1"])
+    n = 1 if kinds == ("crash",) else max(2, len(kinds))
+    return FaultPlan.random(
+        seed, n=n, horizon=20.0, hosts=["hp720-0", "hp720-1"], kinds=kinds
+    )
+
+
+def _wants_reliability(plan: Optional[FaultPlan]) -> bool:
+    """Message-level faults only bite the reliable channel's labels."""
+    if plan is None:
+        return False
+    labels = {getattr(f, "label", None) for f in plan.faults}
+    partitioned = any(isinstance(f, NetworkPartition) for f in plan.faults)
+    return partitioned or bool({"rel-data", "rel-ack"} & labels)
 
 
 def _summary(s: Session, extra: Dict[str, Any]) -> Dict[str, Any]:
@@ -86,13 +101,18 @@ def _summary(s: Session, extra: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def run_mpvm(
-    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+    seed: int,
+    plan: Optional[FaultPlan] = None,
+    *,
+    recovery: bool = False,
+    reliability: bool = False,
 ) -> Dict[str, Any]:
     """A process migration whose destination dies mid-transfer."""
     s = Session(
         mechanism="mpvm", n_hosts=3, seed=seed,
         faults=plan if plan is not None else chaos_plan(seed),
         recovery=recovery,
+        reliability=reliability,
     )
     vm = s.vm
     extra: Dict[str, Any] = {}
@@ -118,13 +138,18 @@ def run_mpvm(
 
 
 def run_upvm(
-    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+    seed: int,
+    plan: Optional[FaultPlan] = None,
+    *,
+    recovery: bool = False,
+    reliability: bool = False,
 ) -> Dict[str, Any]:
     """A single-ULP migration whose destination dies mid-transfer."""
     s = Session(
         mechanism="upvm", n_hosts=3, seed=seed,
         faults=plan if plan is not None else chaos_plan(seed),
         recovery=recovery,
+        reliability=reliability,
     )
     extra: Dict[str, Any] = {}
     finished: Dict[int, str] = {}
@@ -150,7 +175,11 @@ def run_upvm(
 
 
 def run_adm(
-    seed: int, plan: Optional[FaultPlan] = None, *, recovery: bool = False
+    seed: int,
+    plan: Optional[FaultPlan] = None,
+    *,
+    recovery: bool = False,
+    reliability: bool = False,
 ) -> Dict[str, Any]:
     """An ADM training run that loses a whole worker mid-iteration."""
     from ..apps.opt import AdmOpt, MB_DEC, OptConfig
@@ -159,6 +188,7 @@ def run_adm(
         mechanism="adm", n_hosts=3, seed=seed,
         faults=plan if plan is not None else chaos_plan(seed),
         recovery=recovery,
+        reliability=reliability,
     )
     cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=8)
     app = AdmOpt(s.vm, cfg, master_host=2, slave_hosts=[0, 1])
@@ -241,18 +271,22 @@ def run_partition(seed: int = 0) -> Dict[str, Any]:
 
 
 def run_demo(
-    seed: int = 0, *, random_schedule: bool = False
+    seed: int = 0,
+    *,
+    random_schedule: bool = False,
+    kinds: tuple = ("crash",),
 ) -> Dict[str, Dict[str, Any]]:
     """The full chaos run, plus a same-seed replay of the MPVM leg."""
-    plan = random_plan(seed) if random_schedule else None
+    plan = random_plan(seed, kinds) if random_schedule else None
+    rel = _wants_reliability(plan)
     results = {
-        "mpvm": run_mpvm(seed, plan),
-        "upvm": run_upvm(seed, plan),
-        "adm": run_adm(seed, plan),
+        "mpvm": run_mpvm(seed, plan, reliability=rel),
+        "upvm": run_upvm(seed, plan, reliability=rel),
+        "adm": run_adm(seed, plan, reliability=rel),
     }
     results["replay"] = {
         "seed": seed,
-        "identical": run_mpvm(seed, plan) == results["mpvm"],
+        "identical": run_mpvm(seed, plan, reliability=rel) == results["mpvm"],
     }
     return results
 
@@ -277,13 +311,21 @@ def main_partition(seed: int = 0) -> Dict[str, Any]:
     return r
 
 
-def main(seed: int = 0, *, random_schedule: bool = False) -> Dict[str, Dict[str, Any]]:
-    results = run_demo(seed, random_schedule=random_schedule)
+def main(
+    seed: int = 0,
+    *,
+    random_schedule: bool = False,
+    kinds: tuple = ("crash",),
+) -> Dict[str, Dict[str, Any]]:
+    results = run_demo(seed, random_schedule=random_schedule, kinds=kinds)
     if random_schedule:
+        plan = random_plan(seed, kinds)
         crashes = ", ".join(
-            f"{f.host}@{f.at_s:.1f}s" for f in random_plan(seed).host_crashes()
+            f"{f.host}@{f.at_s:.1f}s" for f in plan.host_crashes()
         )
-        print(f"chaos plan (seed={seed}, random): timed crash(es) {crashes}\n")
+        drawn = f"{len(plan.faults)} fault(s) over kinds {','.join(kinds)}"
+        print(f"chaos plan (seed={seed}, random): {drawn}"
+              + (f"; timed crash(es) {crashes}" if crashes else "") + "\n")
     else:
         print(f"chaos plan (seed={seed}): destination hp720-1 dies at TRANSFER "
               f"enter; first 'ctl' packet dropped\n")

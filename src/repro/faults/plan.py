@@ -25,6 +25,7 @@ from ..migration.stages import Stage
 __all__ = [
     "FaultPlan",
     "HostCrash",
+    "KNOWN_FAULT_KINDS",
     "LinkFault",
     "MessageDrop",
     "MessageDup",
@@ -32,6 +33,10 @@ __all__ = [
     "NetworkPartition",
     "SkeletonKill",
 ]
+
+
+#: Kinds FaultPlan.random / FaultPlan.burst can draw (CLI --kinds values).
+KNOWN_FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition")
 
 
 def _as_stage(stage: Union[Stage, str, None]) -> Optional[Stage]:
@@ -390,10 +395,11 @@ class FaultPlan:
         if hosts is None:
             raise ValueError("FaultPlan.random needs hosts= (crash candidates)")
         kinds = tuple(kinds)
-        known = ("crash", "drop", "dup", "reorder", "partition")
         for k in kinds:
-            if k not in known:
-                raise ValueError(f"unknown fault kind {k!r} (choose from {known})")
+            if k not in KNOWN_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {k!r} (choose from {KNOWN_FAULT_KINDS})"
+                )
         rng = random.Random(seed)
         if kinds == ("crash",):
             # Legacy schedule — byte-for-byte identical draws.
@@ -442,6 +448,94 @@ class FaultPlan:
                 ))
             else:  # partition
                 island = tuple(rng.sample(list(hosts), rng.randint(1, min(2, len(hosts)))))
+                specs.append(NetworkPartition(hosts=island, from_s=t0, until_s=t1))
+        specs.sort(key=lambda s: getattr(s, "at_s", None) or getattr(s, "from_s", 0.0))
+        return cls(faults=tuple(specs), seed=seed)
+
+    @classmethod
+    def burst(
+        cls,
+        seed: int,
+        n: int = 3,
+        horizon: float = 60.0,
+        *,
+        hosts: Sequence[str],
+        center_frac: float = 0.5,
+        width_frac: float = 0.08,
+        kinds: Sequence[str] = ("crash",),
+    ) -> "FaultPlan":
+        """A seeded *fault burst*: ``n`` faults clustered in one window.
+
+        Where :meth:`random` spreads faults uniformly over the horizon,
+        a burst models correlated failure (a rack losing power, a switch
+        rebooting): every fault instant is drawn from a Gaussian centred
+        at ``center_frac * horizon`` with standard deviation
+        ``width_frac * horizon``, clipped to the same (5 %, 95 %) band
+        :meth:`random` uses, and sorted ascending.  ``kinds`` follows
+        :meth:`random`'s vocabulary (round-robin when several are
+        named); windowed kinds get a short window (one sigma wide)
+        starting at their drawn instant, so the whole burst is over in a
+        few sigma — the "fault burst scenario" of the adaptive
+        load-balancing migration literature.
+        """
+        if not hosts:
+            raise ValueError("FaultPlan.burst needs hosts= (fault candidates)")
+        if not 0.0 < center_frac < 1.0:
+            raise ValueError("center_frac must be in (0, 1)")
+        if width_frac <= 0.0:
+            raise ValueError("width_frac must be positive")
+        kinds = tuple(kinds)
+        for k in kinds:
+            if k not in KNOWN_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {k!r} (choose from {KNOWN_FAULT_KINDS})"
+                )
+        rng = random.Random(seed)
+        center = center_frac * horizon
+        sigma = width_frac * horizon
+        lo, hi = 0.05 * horizon, 0.95 * horizon
+
+        def instant() -> float:
+            return min(max(rng.gauss(center, sigma), lo), hi)
+
+        specs: List[FaultSpec] = []
+        crash_pool = list(hosts)
+        for i in range(n):
+            kind = kinds[i % len(kinds)]
+            t0 = instant()
+            t1 = min(t0 + sigma, hi)
+            if kind == "crash":
+                if not crash_pool:
+                    raise ValueError("ran out of distinct crash victims")
+                specs.append(
+                    HostCrash(
+                        host=crash_pool.pop(rng.randrange(len(crash_pool))), at_s=t0
+                    )
+                )
+            elif kind == "drop":
+                specs.append(MessageDrop(
+                    label=rng.choice(["rel-data", "rel-ack"]),
+                    drop_prob=rng.uniform(0.1, 0.4),
+                    from_s=t0, until_s=t1,
+                ))
+            elif kind == "dup":
+                specs.append(MessageDup(
+                    label="rel-data",
+                    dup_prob=rng.uniform(0.1, 0.4),
+                    extra=rng.randint(1, 2),
+                    from_s=t0, until_s=t1,
+                ))
+            elif kind == "reorder":
+                specs.append(MessageReorder(
+                    label="rel-data",
+                    reorder_prob=rng.uniform(0.1, 0.4),
+                    hold_s=rng.uniform(0.005, 0.05),
+                    from_s=t0, until_s=t1,
+                ))
+            else:  # partition
+                island = tuple(
+                    rng.sample(list(hosts), rng.randint(1, min(2, len(hosts))))
+                )
                 specs.append(NetworkPartition(hosts=island, from_s=t0, until_s=t1))
         specs.sort(key=lambda s: getattr(s, "at_s", None) or getattr(s, "from_s", 0.0))
         return cls(faults=tuple(specs), seed=seed)

@@ -419,10 +419,19 @@ class RecoveryCoordinator:
         pvmd = system.pvmd_on(host)
         n_out = self.box.drain_store(pvmd.outbound, f"fence:{host.name}:out")
         n_in = self.box.drain_store(pvmd.inbound, f"fence:{host.name}:in")
+        # Reliable channels hold un-acked messages privately; make them
+        # surrender anything bound for the fenced host now, while the
+        # restart replay can still deliver it.
+        n_rel = 0
+        sender = getattr(system, "interhost_sender", None)
+        if sender is not None and hasattr(sender, "surrender_to"):
+            n_rel = sender.surrender_to(
+                host.name, self.box, f"fence:{host.name}"
+            )
         if system.tracer:
             system.tracer.emit(
                 self.sim.now, "recover.fence", host.name,
-                f"fenced; {n_out}+{n_in} messages to dead letters",
+                f"fenced; {n_out}+{n_in}+{n_rel} messages to dead letters",
             )
 
         # 2. Reclaim every resident tid: restart or declare lost.

@@ -121,6 +121,7 @@ class ReliableLink:
         self._next_seq = 0
         self._base = 0
         self._acks: Dict[int, Event] = {}
+        self._inflight: Dict[int, "Message"] = {}
         self._acked: Set[int] = set()
         self._slot_waiters: Deque[Event] = deque()
         # receiver side
@@ -151,6 +152,7 @@ class ReliableLink:
         net = self.system.network
         acked = Event(self.sim)
         self._acks[seq] = acked
+        self._inflight[seq] = msg
         rto = cfg.rto_base_s
         try:
             for attempt in range(cfg.max_attempts):
@@ -193,6 +195,31 @@ class ReliableLink:
                 )
         finally:
             self._acks.pop(seq, None)
+            self._inflight.pop(seq, None)
+
+    def surrender(self, box, reason: str) -> int:
+        """Hand every un-acked in-flight message to the dead-letter box.
+
+        Called when the destination host is *fenced*: no ack is ever
+        coming, and sitting out the full retransmit budget would
+        surface these messages long after the one-shot dead-letter
+        replay that restart performs — a silent loss.  Each message is
+        captured for replay, its sequence skipped-and-acked so the
+        window unjams, and its retransmit loop stood down.
+        """
+        n = 0
+        for seq in sorted(self._inflight):
+            msg = self._inflight[seq]
+            if box is not None:
+                box.capture(msg, f"{reason}:{self.name}:{seq}")
+            self._skip(seq)
+            self._mark_acked(seq)
+            ev = self._acks.get(seq)
+            if ev is not None and not ev.triggered:
+                ev.succeed()
+            n += 1
+        self._inflight.clear()
+        return n
 
     def _mark_acked(self, seq: int) -> None:
         if seq < self._base:

@@ -84,6 +84,20 @@ class ReliabilityLayer:
         """The outbound-worker seam (generator — ``yield from`` it)."""
         yield from self.link(src_pvmd, dst_pvmd).send(msg)
 
+    def surrender_to(self, host_name: str, box, reason: str) -> int:
+        """Abandon every in-flight message bound for a fenced host.
+
+        The recovery coordinator calls this at fence time so channel-held
+        messages reach the dead-letter box *before* the restart replay,
+        instead of trickling in at retransmit exhaustion (too late to be
+        replayed).  Returns the number of messages surrendered.
+        """
+        return sum(
+            link.surrender(box, reason)
+            for link in self._links.values()
+            if link.dst_pvmd.host.name == host_name
+        )
+
     def __repr__(self) -> str:
         return (
             f"<ReliabilityLayer links={len(self._links)} "

@@ -1,0 +1,54 @@
+"""Declarative scenario matrix: spec DSL, instance generator, runner.
+
+Compose a scenario from five orthogonal axes (arrival, faults, network,
+fleet, app), materialise it deterministically, run it, and get one
+comparable JSON row back::
+
+    from repro.scenarios import spec_by_name, run_cell
+
+    row = run_cell(spec_by_name("steady/random/lossy"), smoke=True)
+"""
+
+from .catalog import matrix_specs, named_specs, spec_by_name
+from .generator import ScenarioInstance, host_names, materialize
+from .runner import (
+    ROW_SCHEMA,
+    SWEEP_SCHEMA,
+    render_row,
+    render_sweep,
+    run_cell,
+    run_sweep,
+    smoke_spec,
+    validate_row,
+)
+from .spec import (
+    AppSpec,
+    ArrivalSpec,
+    FaultSpec,
+    FleetSpec,
+    NetworkSpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "AppSpec",
+    "ArrivalSpec",
+    "FaultSpec",
+    "FleetSpec",
+    "NetworkSpec",
+    "ROW_SCHEMA",
+    "SWEEP_SCHEMA",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "host_names",
+    "materialize",
+    "matrix_specs",
+    "named_specs",
+    "render_row",
+    "render_sweep",
+    "run_cell",
+    "run_sweep",
+    "smoke_spec",
+    "spec_by_name",
+    "validate_row",
+]

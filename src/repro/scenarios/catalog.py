@@ -1,0 +1,99 @@
+"""The named scenario catalog: the 3x3x3 sweep matrix plus extras.
+
+The matrix crosses the three axes the adaptive-migration story cares
+about — arrival shape x fault regime x network quality — on the
+standard five-host worknet, one cell per combination, each cell a
+plain :class:`~repro.scenarios.spec.ScenarioSpec` you can serialise,
+diff, or run on its own.  ``named_specs`` adds the off-matrix cells
+(heterogeneous fleet, heat app) that the regression tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import (
+    AppSpec,
+    ArrivalSpec,
+    FaultSpec,
+    FleetSpec,
+    NetworkSpec,
+    ScenarioSpec,
+)
+
+__all__ = ["matrix_specs", "named_specs", "spec_by_name"]
+
+#: The matrix axes (name -> axis spec), in sweep order.
+ARRIVALS: Dict[str, ArrivalSpec] = {
+    "steady": ArrivalSpec(kind="steady"),
+    "peak": ArrivalSpec(kind="peak"),
+    "diurnal": ArrivalSpec(kind="diurnal", cycles=2.0),
+}
+FAULTS: Dict[str, FaultSpec] = {
+    "none": FaultSpec(kind="none"),
+    "random": FaultSpec(kind="random", n=2, kinds=("crash",)),
+    "burst": FaultSpec(
+        kind="burst", n=2, kinds=("crash", "drop"), burst_center=0.5
+    ),
+}
+NETWORKS: Dict[str, NetworkSpec] = {
+    "clean": NetworkSpec(kind="clean"),
+    "lossy": NetworkSpec(kind="lossy"),
+    "partitioned": NetworkSpec(kind="partitioned"),
+}
+
+
+def matrix_specs(*, seed: int = 0) -> List[ScenarioSpec]:
+    """The full arrival x fault x network matrix (27 cells)."""
+    specs = []
+    for a_name, arrival in ARRIVALS.items():
+        for f_name, faults in FAULTS.items():
+            for n_name, network in NETWORKS.items():
+                specs.append(
+                    ScenarioSpec(
+                        name=f"{a_name}/{f_name}/{n_name}",
+                        arrival=arrival,
+                        faults=faults,
+                        network=network,
+                        fleet=FleetSpec(kind="homogeneous"),
+                        app=AppSpec(kind="opt"),
+                        mechanism="mpvm",
+                        seed=seed,
+                    )
+                )
+    return specs
+
+
+def named_specs(*, seed: int = 0) -> Dict[str, ScenarioSpec]:
+    """Every catalog cell by name: the matrix plus the extras."""
+    out = {s.name: s for s in matrix_specs(seed=seed)}
+    out["hetero-steady-clean"] = ScenarioSpec(
+        name="hetero-steady-clean",
+        arrival=ArrivalSpec(kind="steady"),
+        faults=FaultSpec(kind="none"),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="heterogeneous", fast_fraction=0.5),
+        app=AppSpec(kind="opt"),
+        mechanism="mpvm",
+        seed=seed,
+    )
+    out["heat-steady-clean"] = ScenarioSpec(
+        name="heat-steady-clean",
+        arrival=ArrivalSpec(kind="steady", jobs=2),
+        faults=FaultSpec(kind="none"),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="heat", rows=24, iterations=3, n_workers=2),
+        mechanism="mpvm",
+        seed=seed,
+    )
+    return out
+
+
+def spec_by_name(name: str, *, seed: int = 0) -> ScenarioSpec:
+    """Look up one catalog cell; raises ``KeyError`` with the list."""
+    specs = named_specs(seed=seed)
+    if name not in specs:
+        known = ", ".join(sorted(specs))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    return specs[name]

@@ -1,0 +1,198 @@
+"""Seeded materialisation: ScenarioSpec -> concrete scenario instance.
+
+Every stochastic element of a scenario — arrival instants, worker
+speeds, the fault schedule, the partition island — is drawn from its own
+named RNG stream (:class:`repro.sim.RngStreams`) derived from the
+spec's seed, Gaussian-instance-generator style: the same spec + seed
+always materialises the identical instance, and adding a new draw to
+one axis never perturbs another axis's stream.  The result is a
+:class:`ScenarioInstance`: plain data the runner (and
+:meth:`repro.api.Session.from_scenario`) turn into a wired session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..faults.plan import (
+    FaultPlan,
+    FaultSpec as PlanFault,
+    MessageDrop,
+    MessageDup,
+    MessageReorder,
+    NetworkPartition,
+)
+from ..recovery import RecoveryConfig
+from ..reliability import ReliabilityConfig
+from ..sim.rng import RngStreams
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioInstance", "host_names", "materialize"]
+
+#: Fault-schedule kinds that ride the reliable channel's packet labels.
+_MESSAGE_KINDS = frozenset({"drop", "dup", "reorder", "partition"})
+
+
+def host_names(n_hosts: int) -> List[str]:
+    """The worknet's host names (host 0 is the GS/master machine)."""
+    return [f"hp720-{i}" for i in range(n_hosts)]
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """A materialised scenario cell: pure data, ready to wire."""
+
+    spec: ScenarioSpec
+    #: Per-host CPU speeds in Mflop/s, index-aligned with host names.
+    host_speeds: Tuple[float, ...]
+    #: Sorted job start instants (simulated seconds).
+    arrival_times: Tuple[float, ...]
+    #: The combined fault plan (schedule faults + network profile).
+    plan: FaultPlan
+    reliability: Optional[ReliabilityConfig]
+    recovery: Optional[RecoveryConfig]
+    #: Simulated-time bound for the cell (a job running past it hung).
+    until_s: float
+
+    @property
+    def host_specs(self) -> List[Tuple[str, float]]:
+        """(name, cpu_mflops) pairs for cluster construction."""
+        return list(zip(host_names(len(self.host_speeds)), self.host_speeds))
+
+
+def _arrival_times(spec: ScenarioSpec, streams: RngStreams) -> Tuple[float, ...]:
+    a = spec.arrival
+    span = a.window_frac * a.horizon_s
+    if a.kind == "steady":
+        times = [(i + 0.5) * span / a.jobs for i in range(a.jobs)]
+        return tuple(times)
+    rng = streams.get("scenario.arrivals")
+    if a.kind == "peak":
+        draws = rng.normal(a.peak_center * span, a.peak_width * span, size=a.jobs)
+        return tuple(sorted(float(min(max(t, 0.0), span)) for t in draws))
+    # diurnal: inverse-CDF sample of a raised-cosine intensity.
+    grid = np.linspace(0.0, span, 1024)
+    intensity = 1.0 - np.cos(2.0 * np.pi * a.cycles * grid / span)
+    cdf = np.cumsum(intensity)
+    cdf = cdf / cdf[-1]
+    u = rng.uniform(0.0, 1.0, size=a.jobs)
+    return tuple(sorted(float(t) for t in np.interp(u, cdf, grid)))
+
+
+def _host_speeds(spec: ScenarioSpec, streams: RngStreams) -> Tuple[float, ...]:
+    fleet = spec.fleet
+    if fleet.speeds:
+        return tuple(float(v) for v in fleet.speeds)
+    if fleet.kind == "homogeneous":
+        return (fleet.speed_mflops,) * fleet.n_hosts
+    rng = streams.get("scenario.fleet")
+    speeds = [fleet.speed_mflops]  # host 0: the survivable GS machine
+    for _ in range(fleet.n_hosts - 1):
+        mean = (
+            fleet.fast_mflops
+            if rng.uniform() < fleet.fast_fraction
+            else fleet.speed_mflops
+        )
+        speeds.append(max(1.0, float(rng.normal(mean, fleet.sigma_mflops))))
+    return tuple(speeds)
+
+
+def _schedule_faults(
+    spec: ScenarioSpec, fault_seed: int, workers: List[str]
+) -> Tuple[PlanFault, ...]:
+    f = spec.faults
+    horizon = spec.arrival.horizon_s
+    if f.kind == "none":
+        return ()
+    if f.kind == "random":
+        return FaultPlan.random(
+            fault_seed, n=f.n, horizon=horizon, hosts=workers, kinds=f.kinds
+        ).faults
+    return FaultPlan.burst(
+        fault_seed,
+        n=f.n,
+        horizon=horizon,
+        hosts=workers,
+        center_frac=f.burst_center,
+        width_frac=f.burst_width,
+        kinds=f.kinds,
+    ).faults
+
+
+def _network_faults(
+    spec: ScenarioSpec, streams: RngStreams, workers: List[str]
+) -> Tuple[PlanFault, ...]:
+    net = spec.network
+    horizon = spec.arrival.horizon_s
+    lo, hi = 0.05 * horizon, 0.95 * horizon
+    if net.kind == "clean":
+        return ()
+    if net.kind == "lossy":
+        return (
+            MessageDrop(label="rel-data", drop_prob=net.drop_prob,
+                        from_s=lo, until_s=hi),
+            MessageDup(label="rel-data", dup_prob=net.dup_prob,
+                       from_s=lo, until_s=hi),
+            MessageReorder(label="rel-data", reorder_prob=net.reorder_prob,
+                           hold_s=0.02, from_s=lo, until_s=hi),
+        )
+    # partitioned: one worker island cut off mid-run, then healed.
+    rng = streams.get("scenario.network")
+    island = workers[int(rng.integers(0, len(workers)))]
+    start = float(rng.uniform(0.25, 0.5)) * horizon
+    return (
+        NetworkPartition(
+            hosts=(island,),
+            from_s=start,
+            until_s=min(start + net.partition_frac * horizon, hi),
+        ),
+    )
+
+
+def materialize(spec: ScenarioSpec) -> ScenarioInstance:
+    """Draw every stochastic element of ``spec`` from its named streams."""
+    streams = RngStreams(spec.seed)
+    names = host_names(spec.fleet.n_hosts)
+    workers = names[1:]
+
+    fault_seed = streams.derive_seed("scenario.faults") % (2**31)
+    sched = _schedule_faults(spec, fault_seed, workers)
+    wire = _network_faults(spec, streams, workers)
+    plan = FaultPlan(faults=sched + wire, seed=fault_seed)
+
+    message_faulted = spec.faults.kind != "none" and bool(
+        _MESSAGE_KINDS.intersection(spec.faults.kinds)
+    )
+    reliability = (
+        ReliabilityConfig()
+        if spec.network.kind != "clean" or message_faulted
+        else None
+    )
+
+    partitioned = any(isinstance(f, NetworkPartition) for f in plan.faults)
+    crashy = spec.faults.crash_draws() > 0
+    recovery: Optional[RecoveryConfig] = None
+    if crashy or partitioned:
+        # Grace must outlast any partition (duration plus a heartbeat or
+        # two of slack) so a healed cut is reprieved, yet stay short:
+        # the same grace delays fencing genuinely crashed hosts, and a
+        # late fence strands their in-flight messages past the restart.
+        grace = (
+            spec.network.partition_frac * spec.arrival.horizon_s + 5.0
+            if partitioned
+            else 0.0
+        )
+        recovery = RecoveryConfig(partition_grace_s=grace)
+
+    return ScenarioInstance(
+        spec=spec,
+        host_speeds=_host_speeds(spec, streams),
+        arrival_times=_arrival_times(spec, streams),
+        plan=plan,
+        reliability=reliability,
+        recovery=recovery,
+        until_s=2.0 * spec.arrival.horizon_s + 40.0,
+    )

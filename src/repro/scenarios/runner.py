@@ -1,0 +1,375 @@
+"""Scenario execution: materialise a cell, run it, emit one JSON row.
+
+One cell = one wired :class:`~repro.api.Session` (fleet, fault plan,
+reliability/recovery layers from the spec), a stream of jobs started at
+the materialised arrival instants, an optional speed-normalised load
+rebalancer, and a bounded run.  The result is a flat, comparable JSON
+row — identical schema for every cell of every sweep — with a
+determinism fingerprint (same spec + seed ⇒ identical fingerprint).
+
+``run_sweep`` runs a list of cells (default: the 3x3x3
+arrival x fault x network matrix from :mod:`repro.scenarios.catalog`),
+validates every row against :data:`ROW_FIELDS`, and re-runs the first
+cell to assert the determinism contract sweep-wide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..api import Session
+from ..apps.heat import PvmHeat
+from ..apps.opt import MB_DEC, OptConfig
+from ..experiments.soak_common import NotifyOpt, recovery_records_json
+from ..pvm.errors import PvmError
+from .generator import ScenarioInstance, materialize
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ROW_FIELDS",
+    "ROW_SCHEMA",
+    "SWEEP_SCHEMA",
+    "render_row",
+    "render_sweep",
+    "run_cell",
+    "run_sweep",
+    "smoke_spec",
+    "validate_row",
+]
+
+ROW_SCHEMA = "repro-scenario-row/1"
+SWEEP_SCHEMA = "repro-scenarios-sweep/1"
+
+#: The row contract: field -> accepted types.  Every cell of every
+#: sweep emits exactly these fields (plus nothing), so rows from
+#: different scenarios/sweeps stay comparable and machine-checkable.
+ROW_FIELDS: Dict[str, tuple] = {
+    "schema": (str,),
+    "cell": (str,),
+    "seed": (int,),
+    "smoke": (bool,),
+    "spec": (dict,),
+    "jobs": (int,),
+    "completed": (int,),
+    "makespan_s": (float, int),
+    "throughput_jobs_per_min": (float, int),
+    "jobs_detail": (list,),
+    "migrations": (int,),
+    "migration_outcomes": (dict,),
+    "restarts": (int,),
+    "lost": (int,),
+    "reprieves": (int,),
+    "retransmits": (int,),
+    "dups_suppressed": (int,),
+    "fingerprint": (str,),
+    "ok": (bool,),
+}
+
+
+def smoke_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """A shrunken copy of ``spec`` for CI smoke sweeps (same shape)."""
+    arrival = replace(
+        spec.arrival,
+        jobs=min(spec.arrival.jobs, 3),
+        horizon_s=min(spec.arrival.horizon_s, 16.0),
+    )
+    app = replace(
+        spec.app,
+        iterations=min(spec.app.iterations, 3),
+        data_mb=min(spec.app.data_mb, 0.2),
+        rows=min(spec.app.rows, 32),
+    )
+    return replace(spec, arrival=arrival, app=app)
+
+
+# -------------------------------------------------------------- execution
+
+
+def _job_hosts(spec: ScenarioSpec, index: int) -> List[int]:
+    """Round-robin worker placement for job ``index`` (host 0 = masters)."""
+    workers = spec.fleet.n_hosts - 1
+    w = spec.app.n_workers
+    return [1 + ((index * w + j) % workers) for j in range(w)]
+
+
+def _build_app(s: Session, spec: ScenarioSpec, index: int) -> Any:
+    hosts = _job_hosts(spec, index)
+    if spec.app.kind == "opt":
+        cfg = OptConfig(
+            data_bytes=int(spec.app.data_mb * MB_DEC),
+            iterations=spec.app.iterations,
+            n_slaves=spec.app.n_workers,
+            seed=spec.seed,
+        )
+        return NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=hosts)
+    return PvmHeat(
+        s.vm,
+        rows=spec.app.rows,
+        cols=spec.app.rows,
+        iterations=spec.app.iterations,
+        n_workers=spec.app.n_workers,
+        compute_mode="modeled",
+        worker_hosts=hosts,
+        master_host=0,
+    )
+
+
+def _job_driver(s: Session, spec: ScenarioSpec, app: Any, start_s: float):
+    """Start one job at its arrival instant; checkpoint-protect its slaves."""
+    yield s.sim.timeout(start_s)
+    # A host that already crashed — or is currently cut off from the
+    # master machine — never receives new work.
+    placed = getattr(app, "slave_hosts", None) or getattr(app, "worker_hosts")
+    master = s.cluster.hosts[0].name
+
+    def reachable(h: int) -> bool:
+        host = s.cluster.hosts[h]
+        if not host.up:
+            return False
+        return s.injector is None or not s.injector.partitioned(master, host.name)
+
+    alive = [h for h in placed if reachable(h)]
+    if not alive:
+        return
+    if hasattr(app, "slave_hosts"):
+        app.slave_hosts = [alive[j % len(alive)] for j in range(len(placed))]
+    else:
+        app.worker_hosts = [alive[j % len(alive)] for j in range(len(placed))]
+    app.start()
+    if s.checkpoints is None or not hasattr(app, "slave_tids"):
+        return
+    want = len(app.slave_hosts)
+    while len(app.slave_tids) < want:
+        yield s.sim.timeout(0.05)
+    for tid in app.slave_tids:
+        s.protect(s.vm.task(tid))
+
+
+def _rebalancer(s: Session, period_s: float):
+    """Move work toward the least-loaded host, speed-normalised.
+
+    Every period: find the worker hosts with the highest and lowest
+    *drain time* (PS weight / CPU rate) and migrate one unit from the
+    former to the latter — but only when the move shrinks the bottleneck
+    drain time, so a balanced (or empty) fleet is left alone.  This is
+    the minimal adaptive policy the heterogeneous-fleet scenarios need:
+    on a two-speed fleet it streams work off the slow machines onto the
+    fast ones.
+    """
+    sched = s.scheduler  # builds the GS (and its load monitor) once
+
+    def drain(h) -> float:
+        return h.load_average / h.cpu.rate
+
+    while True:
+        yield s.sim.timeout(period_s)
+        hosts = [h for h in s.cluster.hosts[1:] if h.up]
+        if len(hosts) < 2:
+            continue
+        src = max(hosts, key=drain)
+        units = [u for u in s.vm.movable_units(src)]
+        if not units:
+            continue
+        dst = min(hosts, key=drain)
+        if src is dst:
+            continue
+        unit_w = 1.0  # one VP of PS weight
+        after_src = (src.load_average - unit_w) / src.cpu.rate
+        after_dst = (dst.load_average + unit_w) / dst.cpu.rate
+        if max(after_src, after_dst) >= max(drain(src), drain(dst)) - 1e-12:
+            continue
+        try:
+            yield sched.migrate(units[0], dst)
+        except PvmError:
+            pass  # abandoned move: the unit stays where it was
+
+
+def _channel_counters(s: Session) -> Tuple[int, int]:
+    if s.reliability is None:
+        return 0, 0
+    facts = s.reliability.stats.as_dict()
+    dups = int(facts.get("dup_suppressed", 0)) + int(s.reliability.guard.suppressed)
+    return int(facts.get("retransmits", 0)), dups
+
+
+def _execute(spec: ScenarioSpec, *, smoke: bool) -> Tuple[Dict[str, Any], Session]:
+    inst: ScenarioInstance = materialize(spec)
+    s = Session.from_scenario(spec, instance=inst)
+
+    apps = [_build_app(s, spec, i) for i in range(len(inst.arrival_times))]
+    for app, start in zip(apps, inst.arrival_times):
+        s.sim.process(_job_driver(s, spec, app, start)).defuse()
+    period = spec.rebalancing()
+    if period is not None and spec.mechanism == "mpvm":
+        s.sim.process(_rebalancer(s, period), name="scenario:rebalance").defuse()
+    s.run(until=inst.until_s)
+
+    detail: List[Dict[str, Any]] = []
+    for app, start in zip(apps, inst.arrival_times):
+        done = "total_time" in app.report
+        detail.append({
+            "start_s": round(start, 6),
+            "completed": done,
+            "finish_s": round(start + app.report["total_time"], 6) if done else None,
+            "quorum_shrunk": len(getattr(app, "exits", ())),
+        })
+    completed = sum(1 for d in detail if d["completed"])
+    makespan = max((d["finish_s"] for d in detail if d["completed"]), default=0.0)
+    records = recovery_records_json(s)
+    restarts = sum(
+        1 for r in records for t in r["tasks"] if t["outcome"] == "restarted"
+    )
+    lost = sum(1 for r in records for t in r["tasks"] if t["outcome"] == "lost")
+    retransmits, dups = _channel_counters(s)
+    reprieves = len(s.coordinator.reprieves) if s.coordinator is not None else 0
+
+    core = {
+        "jobs_detail": detail,
+        "makespan_s": round(makespan, 6),
+        "migrations": len(s.migrations),
+        "migration_outcomes": s.outcomes(),
+        "restarts": restarts,
+        "lost": lost,
+        "reprieves": reprieves,
+        "retransmits": retransmits,
+        "dups_suppressed": dups,
+    }
+    fingerprint = hashlib.sha256(
+        json.dumps(core, sort_keys=True).encode()
+    ).hexdigest()
+    row: Dict[str, Any] = {
+        "schema": ROW_SCHEMA,
+        "cell": spec.name,
+        "seed": spec.seed,
+        "smoke": smoke,
+        "spec": spec.to_json(),
+        "jobs": len(apps),
+        "completed": completed,
+        "throughput_jobs_per_min": (
+            round(60.0 * completed / makespan, 3) if makespan > 0 else 0.0
+        ),
+        "fingerprint": fingerprint,
+        # ok = the cell's SLO: every job ran to completion.  A job may
+        # complete *degraded* (quorum-shrunk after an unrecoverable
+        # slave loss) — that shows up in ``lost`` and ``jobs_detail``,
+        # it is the designed survival mode, not a cell failure.
+        "ok": completed == len(apps),
+        **core,
+    }
+    return row, s
+
+
+def run_cell(spec: ScenarioSpec, *, smoke: bool = False) -> Dict[str, Any]:
+    """Run one scenario cell; returns its result row."""
+    row, _s = _execute(smoke_spec(spec) if smoke else spec, smoke=smoke)
+    return row
+
+
+# -------------------------------------------------------------- validation
+
+
+def validate_row(row: Any) -> List[str]:
+    """Schema-check one result row; returns the violations (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(row, dict):
+        return [f"row must be an object, not {type(row).__name__}"]
+    for name, types in ROW_FIELDS.items():
+        if name not in row:
+            errors.append(f"missing field {name!r}")
+        elif not isinstance(row[name], types) or (
+            isinstance(row[name], bool) and bool not in types
+        ):
+            errors.append(
+                f"field {name!r} has type {type(row[name]).__name__}, "
+                f"wants {'/'.join(t.__name__ for t in types)}"
+            )
+    for name in sorted(set(row) - set(ROW_FIELDS)):
+        errors.append(f"unknown field {name!r}")
+    if row.get("schema") not in (None, ROW_SCHEMA):
+        errors.append(f"schema is {row['schema']!r}, wants {ROW_SCHEMA!r}")
+    if not errors:
+        try:
+            ScenarioSpec.from_json(row["spec"])
+        except (ValueError, TypeError) as exc:
+            errors.append(f"embedded spec does not parse: {exc}")
+    return errors
+
+
+# -------------------------------------------------------------- sweeps
+
+
+def run_sweep(
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+    *,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Run a list of cells (default: the full matrix); returns the document."""
+    if specs is None:
+        from .catalog import matrix_specs
+
+        specs = matrix_specs()
+    rows = [run_cell(spec, smoke=smoke) for spec in specs]
+    schema_errors: List[str] = []
+    for row in rows:
+        schema_errors.extend(
+            f"{row.get('cell', '?')}: {e}" for e in validate_row(row)
+        )
+    # The determinism contract, asserted sweep-wide on the first cell.
+    determinism = (
+        run_cell(specs[0], smoke=smoke)["fingerprint"] == rows[0]["fingerprint"]
+        if rows
+        else True
+    )
+    cells_ok = sum(1 for r in rows if r["ok"])
+    return {
+        "schema": SWEEP_SCHEMA,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "cells": len(rows),
+        "cells_ok": cells_ok,
+        "rows": rows,
+        "schema_errors": schema_errors,
+        "determinism_identical": determinism,
+        "ok": cells_ok == len(rows) and not schema_errors and determinism,
+    }
+
+
+# -------------------------------------------------------------- rendering
+
+
+def render_row(row: Dict[str, Any]) -> str:
+    """One fixed-width line per cell (shared by --run and --sweep)."""
+    return (
+        f"  {row['cell']:<28s} {row['completed']:>2d}/{row['jobs']:<2d} jobs"
+        f"  makespan {row['makespan_s']:7.2f}s"
+        f"  migr {row['migrations']:>3d}"
+        f"  restart {row['restarts']:>2d}"
+        f"  retx {row['retransmits']:>4d}"
+        f"  {'ok' if row['ok'] else 'FAIL'}"
+    )
+
+
+def render_sweep(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_sweep` document."""
+    out = [
+        f"== scenario sweep: {doc['cells']} cells "
+        f"({'smoke' if doc['smoke'] else 'full'}) =="
+    ]
+    out.extend(render_row(row) for row in doc["rows"])
+    if doc["schema_errors"]:
+        out.append("  schema errors:")
+        out.extend(f"    {e}" for e in doc["schema_errors"])
+    out.append(
+        f"  cells_ok={doc['cells_ok']}/{doc['cells']} "
+        f"determinism={'identical' if doc['determinism_identical'] else 'DIVERGED'} "
+        f"ok={doc['ok']}"
+    )
+    return "\n".join(out)
+
+
+def _iter_rows(doc: Dict[str, Any]) -> Iterable[Dict[str, Any]]:
+    return iter(doc.get("rows", []))

@@ -1,0 +1,361 @@
+"""The declarative scenario model: what a cell *is*, as frozen data.
+
+A :class:`ScenarioSpec` composes five orthogonal axes — arrival process,
+fault schedule, network profile, fleet shape, and application — plus a
+mechanism and a seed.  Specs are pure data: they carry no simulation
+objects, round-trip exactly through JSON (:meth:`ScenarioSpec.to_json` /
+:meth:`ScenarioSpec.from_json`, strict about unknown fields), and are
+validated at construction so an impossible combination fails loudly
+before any simulation is built.  The seeded materialisation of a spec
+into hosts, arrival instants and a fault plan lives in
+:mod:`repro.scenarios.generator`; executing it lives in
+:mod:`repro.scenarios.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Tuple, Type, TypeVar
+
+__all__ = [
+    "AppSpec",
+    "ArrivalSpec",
+    "FaultSpec",
+    "FleetSpec",
+    "NetworkSpec",
+    "ScenarioSpec",
+]
+
+#: Fault kinds a schedule may draw (FaultPlan.random/burst vocabulary).
+FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition")
+
+_T = TypeVar("_T")
+
+
+def _check_kind(kind: str, known: Tuple[str, ...], what: str) -> None:
+    if kind not in known:
+        raise ValueError(f"unknown {what} kind {kind!r} (choose from {known})")
+
+
+def _from_dict(cls: Type[_T], data: Any, where: str) -> _T:
+    """Strict dict -> dataclass: unknown fields are an error, not noise."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{where} must be a JSON object, not {type(data).__name__}")
+    names = [f.name for f in fields(cls)]  # type: ignore[arg-type]
+    unknown = sorted(set(data) - set(names))
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {unknown} in {where} (known: {sorted(names)})"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When work enters the system.
+
+    * ``steady``  — ``jobs`` evenly spaced over the arrival window.
+    * ``peak``    — a Gaussian burst of arrivals around
+      ``peak_center`` (fraction of the window), sigma
+      ``peak_width`` — the "peak scenario" (mean rate above steady).
+    * ``diurnal`` — arrival intensity follows ``cycles`` day-night
+      waves (raised-cosine) across the window.
+
+    The arrival window is the first ``window_frac`` of ``horizon_s`` so
+    late arrivals still finish inside the cell's time bound.
+    """
+
+    kind: str = "steady"
+    jobs: int = 4
+    horizon_s: float = 30.0
+    window_frac: float = 0.6
+    peak_center: float = 0.5
+    peak_width: float = 0.08
+    cycles: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind, ("steady", "peak", "diurnal"), "arrival")
+        if self.jobs < 1:
+            raise ValueError("arrival needs jobs >= 1")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not 0.0 < self.window_frac <= 1.0:
+            raise ValueError("window_frac must be in (0, 1]")
+        if not 0.0 < self.peak_center < 1.0:
+            raise ValueError("peak_center must be in (0, 1)")
+        if self.peak_width <= 0:
+            raise ValueError("peak_width must be positive")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What goes wrong, and when.
+
+    * ``none``   — a fault-free cell.
+    * ``random`` — ``n`` faults of ``kinds`` spread uniformly over the
+      horizon (:meth:`repro.faults.FaultPlan.random`).
+    * ``burst``  — ``n`` faults clustered in a Gaussian window around
+      ``burst_center`` (:meth:`repro.faults.FaultPlan.burst`) — the
+      fault-burst scenario (correlated failure).
+    """
+
+    kind: str = "none"
+    n: int = 2
+    kinds: Tuple[str, ...] = ("crash",)
+    burst_center: float = 0.5
+    burst_width: float = 0.08
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind, ("none", "random", "burst"), "fault")
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        for k in self.kinds:
+            if k not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault schedule kind {k!r} (choose from {FAULT_KINDS})"
+                )
+        if not self.kinds:
+            raise ValueError("fault kinds must not be empty")
+        if self.n < 1:
+            raise ValueError("fault schedule needs n >= 1")
+        if not 0.0 < self.burst_center < 1.0:
+            raise ValueError("burst_center must be in (0, 1)")
+        if self.burst_width <= 0:
+            raise ValueError("burst_width must be positive")
+
+    def crash_draws(self) -> int:
+        """How many distinct crash victims this schedule will draw."""
+        if self.kind == "none":
+            return 0
+        return sum(
+            1 for i in range(self.n) if self.kinds[i % len(self.kinds)] == "crash"
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """What the wire does to packets.
+
+    * ``clean``       — the paper's quiet Ethernet; raw datagrams.
+    * ``lossy``       — reliable channels armed, with seeded drop /
+      duplicate / reorder processes chewing on them most of the run.
+    * ``partitioned`` — reliable channels plus a transient partition
+      isolating a small island for ``partition_frac`` of the horizon;
+      the recovery layer's grace window must reprieve the islanders.
+    """
+
+    kind: str = "clean"
+    drop_prob: float = 0.15
+    dup_prob: float = 0.10
+    reorder_prob: float = 0.20
+    partition_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind, ("clean", "lossy", "partitioned"), "network")
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if not 0.0 < self.partition_frac <= 0.5:
+            raise ValueError("partition_frac must be in (0, 0.5]")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The shape of the worknet.
+
+    * ``homogeneous``   — ``n_hosts`` identical machines at
+      ``speed_mflops`` (the paper's testbed).
+    * ``heterogeneous`` — host 0 (the GS/master machine) stays at
+      ``speed_mflops``; every worker's speed is drawn from a two-mode
+      Gaussian mixture — fast (``fast_mflops``) with probability
+      ``fast_fraction``, baseline otherwise, sigma ``sigma_mflops`` —
+      unless ``speeds`` pins every host's speed explicitly.
+    """
+
+    kind: str = "homogeneous"
+    n_hosts: int = 5
+    speed_mflops: float = 25.0
+    fast_mflops: float = 50.0
+    fast_fraction: float = 0.5
+    sigma_mflops: float = 1.5
+    speeds: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind, ("homogeneous", "heterogeneous"), "fleet")
+        object.__setattr__(self, "speeds", tuple(self.speeds))
+        if self.n_hosts < 2:
+            raise ValueError("a fleet needs n_hosts >= 2")
+        for name in ("speed_mflops", "fast_mflops"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in [0, 1]")
+        if self.sigma_mflops < 0:
+            raise ValueError("sigma_mflops must be >= 0")
+        if self.speeds:
+            if len(self.speeds) != self.n_hosts:
+                raise ValueError(
+                    f"speeds pins {len(self.speeds)} hosts but n_hosts is "
+                    f"{self.n_hosts}"
+                )
+            if any(v <= 0 for v in self.speeds):
+                raise ValueError("pinned speeds must all be positive")
+            if self.kind == "homogeneous" and len(set(self.speeds)) > 1:
+                raise ValueError(
+                    "a homogeneous fleet cannot pin differing speeds; "
+                    "use kind='heterogeneous'"
+                )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """What the jobs compute.
+
+    * ``opt``  — the paper's master/slave Opt trainer (crash-tolerant
+      via pvm_notify; checkpoint-restartable on MPVM).
+    * ``heat`` — the Jacobi heat stencil (halo exchange; fault-free
+      cells only — a dead neighbour hangs the ring).
+    """
+
+    kind: str = "opt"
+    iterations: int = 3
+    n_workers: int = 2
+    data_mb: float = 0.25
+    rows: int = 32
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind, ("opt", "heat"), "app")
+        if self.iterations < 1:
+            raise ValueError("app needs iterations >= 1")
+        if self.n_workers < 1:
+            raise ValueError("app needs n_workers >= 1")
+        if self.data_mb <= 0:
+            raise ValueError("data_mb must be positive")
+        if self.rows < self.n_workers + 2:
+            raise ValueError("heat grid needs rows >= n_workers + 2")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the scenario matrix (see module docs)."""
+
+    name: str
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    app: AppSpec = field(default_factory=AppSpec)
+    mechanism: str = "mpvm"
+    seed: int = 0
+    #: Period of the load rebalancer that migrates work toward the
+    #: least-loaded (speed-normalised) host.  ``None`` = automatic (on
+    #: for heterogeneous MPVM fleets, off otherwise); ``0`` = never.
+    rebalance_period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.mechanism not in ("pvm", "mpvm"):
+            raise ValueError(
+                f"scenario mechanism must be 'pvm' or 'mpvm', not "
+                f"{self.mechanism!r} (adm/upvm apps need bespoke adoption)"
+            )
+        if self.rebalance_period_s is not None and self.rebalance_period_s < 0:
+            raise ValueError("rebalance_period_s must be >= 0 (or None = auto)")
+        # -- cross-axis combinations that cannot run ----------------------
+        if self.fleet.kind == "heterogeneous" and self.mechanism != "mpvm":
+            raise ValueError(
+                "a heterogeneous fleet needs a migration-capable mechanism "
+                "(mechanism='mpvm') to move work toward the fast hosts"
+            )
+        if self.app.kind == "heat" and self.faults.kind != "none":
+            raise ValueError(
+                "the heat stencil has no crash tolerance (a dead neighbour "
+                "hangs the halo ring); use app kind 'opt' with faults"
+            )
+        workers = self.fleet.n_hosts - 1
+        if self.faults.crash_draws() > workers:
+            raise ValueError(
+                f"fault schedule draws {self.faults.crash_draws()} distinct "
+                f"crash victims but the fleet only has {workers} worker hosts"
+            )
+        if self.app.n_workers > workers:
+            raise ValueError(
+                f"app wants {self.app.n_workers} workers per job but the "
+                f"fleet only has {workers} worker hosts"
+            )
+
+    # -- derived ----------------------------------------------------------
+    def rebalancing(self) -> Optional[float]:
+        """Effective rebalance period (None = off)."""
+        if self.rebalance_period_s is None:
+            if self.fleet.kind == "heterogeneous" and self.mechanism == "mpvm":
+                return 1.0
+            return None
+        return self.rebalance_period_s or None
+
+    def with_(self, **kw: Any) -> "ScenarioSpec":
+        return replace(self, **kw)
+
+    # -- serialisation ----------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form; round-trips exactly through :meth:`from_json`."""
+        def flat(spec: Any) -> Dict[str, Any]:
+            out: Dict[str, Any] = {}
+            for f in fields(spec):
+                v = getattr(spec, f.name)
+                out[f.name] = list(v) if isinstance(v, tuple) else v
+            return out
+
+        return {
+            "name": self.name,
+            "mechanism": self.mechanism,
+            "seed": self.seed,
+            "rebalance_period_s": self.rebalance_period_s,
+            "arrival": flat(self.arrival),
+            "faults": flat(self.faults),
+            "network": flat(self.network),
+            "fleet": flat(self.fleet),
+            "app": flat(self.app),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"scenario must be a JSON object, not {type(data).__name__}"
+            )
+        known = {
+            "name", "mechanism", "seed", "rebalance_period_s",
+            "arrival", "faults", "network", "fleet", "app",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {unknown} in scenario (known: {sorted(known)})"
+            )
+        return cls(
+            name=data.get("name", ""),
+            mechanism=data.get("mechanism", "mpvm"),
+            seed=int(data.get("seed", 0)),
+            rebalance_period_s=data.get("rebalance_period_s"),
+            arrival=_from_dict(ArrivalSpec, data.get("arrival", {}), "arrival"),
+            faults=_from_dict(FaultSpec, data.get("faults", {}), "faults"),
+            network=_from_dict(NetworkSpec, data.get("network", {}), "network"),
+            fleet=_from_dict(FleetSpec, data.get("fleet", {}), "fleet"),
+            app=_from_dict(AppSpec, data.get("app", {}), "app"),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for ``scenarios --list``."""
+        bits: List[str] = [
+            f"{self.arrival.kind} x{self.arrival.jobs}",
+            self.faults.kind if self.faults.kind == "none"
+            else f"{self.faults.kind}({self.faults.n} {'/'.join(self.faults.kinds)})",
+            self.network.kind,
+            self.fleet.kind[:6] + f"({self.fleet.n_hosts})",
+            f"{self.app.kind}/{self.mechanism}",
+        ]
+        return "  ".join(f"{b:<14s}" for b in bits).rstrip()

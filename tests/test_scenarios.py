@@ -1,0 +1,346 @@
+"""Tests for the declarative scenario matrix (spec, generator, runner).
+
+Covers: spec JSON round-trip equality and strict parsing (unknown
+fields, invalid cross-axis combinations), burst fault schedules,
+seeded materialisation determinism (same spec + seed => identical
+fingerprint across independent runs), the result-row schema contract,
+dead-letter surrender of channel-held messages at fence time, the
+scenarios/faults CLI surfaces (``--kinds``, ``--out`` parent-dir
+creation), and the heterogeneous two-speed fleet regression: work
+migrates toward the fast hosts and beats the homogeneous twin's
+makespan.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    HostCrash,
+    MessageDrop,
+    NetworkPartition,
+)
+from repro.scenarios import (
+    AppSpec,
+    ArrivalSpec,
+    FaultSpec,
+    FleetSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    materialize,
+    matrix_specs,
+    named_specs,
+    run_cell,
+    spec_by_name,
+    validate_row,
+)
+from repro.scenarios.runner import ROW_FIELDS, _execute, smoke_spec
+
+
+def _spec(**kw) -> ScenarioSpec:
+    base = dict(
+        name="t",
+        arrival=ArrivalSpec(kind="steady", jobs=2, horizon_s=10.0),
+        faults=FaultSpec(kind="none"),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="opt", iterations=2, n_workers=2, data_mb=0.2),
+        mechanism="mpvm",
+        seed=0,
+    )
+    base.update(kw)
+    return ScenarioSpec(**base)
+
+
+# ------------------------------------------------------------- spec DSL
+
+
+def test_spec_json_round_trip_equality():
+    for spec in list(named_specs().values()):
+        doc = spec.to_json()
+        again = ScenarioSpec.from_json(doc)
+        assert again == spec
+        # and the document itself survives a JSON encode/decode cycle
+        assert ScenarioSpec.from_json(json.loads(json.dumps(doc))) == spec
+
+
+def test_spec_rejects_unknown_fields():
+    doc = _spec().to_json()
+    doc["arrival"]["surprise"] = 1
+    with pytest.raises(ValueError, match="unknown field"):
+        ScenarioSpec.from_json(doc)
+    doc = _spec().to_json()
+    doc["surprise"] = True
+    with pytest.raises(ValueError, match="unknown field"):
+        ScenarioSpec.from_json(doc)
+
+
+def test_spec_rejects_invalid_axis_values():
+    with pytest.raises(ValueError):
+        _spec(arrival=ArrivalSpec(kind="bursty"))
+    with pytest.raises(ValueError):
+        _spec(network=NetworkSpec(kind="clean", drop_prob=1.5))
+    with pytest.raises(ValueError):
+        _spec(faults=FaultSpec(kind="random", kinds=("meteor",)))
+
+
+def test_spec_rejects_invalid_combinations():
+    # Heterogeneous fleets need a migration mechanism to exploit them.
+    with pytest.raises(ValueError, match="heterogeneous"):
+        _spec(fleet=FleetSpec(kind="heterogeneous"), mechanism="pvm")
+    # The heat app has no crash-tolerant master: faults are refused.
+    with pytest.raises(ValueError, match="heat"):
+        _spec(app=AppSpec(kind="heat"), faults=FaultSpec(kind="random"))
+    # More crash draws than worker hosts cannot be scheduled.
+    with pytest.raises(ValueError):
+        _spec(faults=FaultSpec(kind="random", n=10, kinds=("crash",)))
+
+
+def test_catalog_shape():
+    specs = matrix_specs()
+    assert len(specs) == 27  # 3 arrivals x 3 fault regimes x 3 networks
+    assert len({s.name for s in specs}) == 27
+    assert "hetero-steady-clean" in named_specs()
+    with pytest.raises(KeyError, match="unknown scenario"):
+        spec_by_name("steady/none/quantum")
+
+
+# ------------------------------------------------------------- burst plans
+
+
+def test_burst_plan_is_deterministic_and_sorted():
+    hosts = ["hp720-1", "hp720-2"]
+    a = FaultPlan.burst(7, n=4, horizon=60.0, hosts=hosts,
+                        kinds=("crash", "drop", "partition"))
+    b = FaultPlan.burst(7, n=4, horizon=60.0, hosts=hosts,
+                        kinds=("crash", "drop", "partition"))
+    assert a == b
+    assert len(a.faults) == 4
+    instants = [getattr(f, "at_s", getattr(f, "from_s", None)) for f in a.faults]
+    assert instants == sorted(instants)
+    assert any(isinstance(f, HostCrash) for f in a.faults)
+    assert any(isinstance(f, (MessageDrop, NetworkPartition)) for f in a.faults)
+    assert FaultPlan.from_json(a.to_json()) == a
+
+
+def test_burst_plan_validates():
+    with pytest.raises(ValueError):
+        FaultPlan.burst(0, hosts=["h"], center_frac=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan.burst(0, hosts=["h"], kinds=("meteor",))
+    with pytest.raises(ValueError):
+        FaultPlan.burst(0, hosts=[])
+
+
+# ------------------------------------------------------------- generator
+
+
+def test_materialise_is_deterministic():
+    spec = spec_by_name("peak/burst/lossy")
+    a, b = materialize(spec), materialize(spec)
+    assert a.host_speeds == b.host_speeds
+    assert a.arrival_times == b.arrival_times
+    assert a.plan == b.plan
+
+
+def test_materialise_axes_are_independent_streams():
+    """Changing the fleet axis must not perturb the arrival draws."""
+    spec = _spec(arrival=ArrivalSpec(kind="peak", jobs=3, horizon_s=10.0))
+    hetero = replace(spec, fleet=FleetSpec(kind="heterogeneous"))
+    assert materialize(spec).arrival_times == materialize(hetero).arrival_times
+
+
+def test_materialise_arms_layers_from_axes():
+    clean = materialize(_spec())
+    assert clean.reliability is None and clean.recovery is None
+    lossy = materialize(_spec(network=NetworkSpec(kind="lossy")))
+    assert lossy.reliability is not None
+    crashy = materialize(_spec(faults=FaultSpec(kind="random", n=1)))
+    assert crashy.recovery is not None and crashy.recovery.partition_grace_s == 0.0
+    cut = materialize(_spec(network=NetworkSpec(kind="partitioned")))
+    assert cut.recovery is not None and cut.recovery.partition_grace_s > 0.0
+
+
+# ------------------------------------------------------------- runner
+
+
+def test_run_cell_row_is_schema_valid_and_deterministic():
+    spec = spec_by_name("steady/random/lossy")
+    row = run_cell(spec, smoke=True)
+    assert validate_row(row) == []
+    assert row["ok"] and row["completed"] == row["jobs"]
+    again = run_cell(spec, smoke=True)
+    assert again["fingerprint"] == row["fingerprint"]
+
+
+def test_validate_row_reports_violations():
+    row = run_cell(spec_by_name("steady/none/clean"), smoke=True)
+    assert validate_row("not a row")
+    missing = dict(row)
+    del missing["migrations"]
+    assert any("missing field" in e for e in validate_row(missing))
+    extra = dict(row, surprise=1)
+    assert any("unknown field" in e for e in validate_row(extra))
+    wrong = dict(row, completed="three")
+    assert any("has type" in e for e in validate_row(wrong))
+    assert set(row) == set(ROW_FIELDS)
+
+
+def test_harsh_cell_recovers_via_fence_surrender():
+    """Burst faults + partition: checkpoints restart the crashed slaves
+    and the fence makes the reliable channels surrender their in-flight
+    messages early enough for the restart replay to deliver them."""
+    row, s = _execute(smoke_spec(spec_by_name("peak/burst/partitioned")),
+                      smoke=True)
+    assert row["ok"] and row["completed"] == row["jobs"]
+    assert row["restarts"] >= 1
+    assert row["reprieves"] >= 1  # the healed partition was never fenced
+    # the fence forced channel surrender: exhaustion never fired
+    assert s.reliability is not None
+    assert s.reliability.stats.exhausted == 0
+
+
+def test_channel_surrenders_to_dead_letters_on_fence():
+    """Unit-level: a fenced destination's un-acked channel messages land
+    in the dead-letter box immediately, not at retransmit exhaustion."""
+    from repro.api import Session
+    from repro.faults import FaultPlan as RawPlan, MessageDrop
+    from repro.pvm.message import MessageBuffer
+    from repro.recovery.coordinator import DeadLetterBox
+    from repro.reliability import ReliabilityConfig
+
+    # Every data packet to host 1 is eaten, and the retry budget is far
+    # larger than the run window, so the message stays in flight.
+    plan = RawPlan(
+        faults=(MessageDrop(src="hp720-0", dst="hp720-1", label="rel-data",
+                            drop_prob=1.0),),
+        seed=0,
+    )
+    cfg = ReliabilityConfig(window=4, max_attempts=200,
+                            rto_base_s=0.05, rto_max_s=0.1)
+    s = Session(mechanism="pvm", n_hosts=2, seed=0, faults=plan,
+                reliability=cfg)
+
+    def sink(ctx):
+        yield from ctx.recv(tag=7)
+
+    def master(ctx):
+        (tid,) = yield from ctx.spawn("sink", count=1, where=[1])
+        buf = MessageBuffer()
+        buf.pkint([42])
+        yield from ctx.send(tid, 7, buf)
+
+    s.vm.register_program("sink", sink)
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=0)
+    s.run(until=2.0)
+
+    layer = s.reliability
+    assert layer is not None
+    assert layer.stats.exhausted == 0  # still retrying, not given up
+
+    box = DeadLetterBox()
+    surrendered = layer.surrender_to("hp720-1", box, "fence:hp720-1")
+    assert surrendered >= 1
+    assert len(box.letters) == surrendered
+    assert all(reason.startswith("fence:hp720-1") for _, reason in box.letters)
+    # surrender unjammed the sender's window: link base caught up
+    links = [ln for ln in layer._links.values()
+             if ln.dst_pvmd.host.name == "hp720-1"]
+    assert links and all(ln._base == ln._next_seq for ln in links)
+    # idempotent: nothing left in flight
+    assert layer.surrender_to("hp720-1", box, "again") == 0
+
+
+# ------------------------------------------------------------- CLI
+
+
+def test_cli_scenarios_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["repro", "scenarios", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "steady/none/clean" in out and "hetero-steady-clean" in out
+
+
+def test_cli_scenarios_run_json_out_creates_parents(capsys, tmp_path):
+    from repro.__main__ import main
+
+    out_file = tmp_path / "deep" / "nested" / "row.json"
+    rc = main(["repro", "scenarios", "--run", "steady/none/clean",
+               "--smoke", "--json", "--out", str(out_file)])
+    assert rc == 0
+    row = json.loads(capsys.readouterr().out)
+    assert validate_row(row) == []
+    assert json.loads(out_file.read_text()) == row
+
+
+def test_cli_faults_kinds_and_out(capsys, tmp_path):
+    from repro.__main__ import main
+
+    out_file = tmp_path / "made" / "faults.json"
+    rc = main(["repro", "faults", "--random", "--kinds", "crash",
+               "--json", "--out", str(out_file)])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["replay"]["identical"] is True
+    assert json.loads(out_file.read_text()) == doc
+
+
+def test_cli_faults_rejects_unknown_kind():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit, match="meteor"):
+        main(["repro", "faults", "--random", "--kinds", "crash,meteor"])
+
+
+def test_cli_bench_out_creates_parents(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_file = tmp_path / "a" / "b" / "bench.json"
+    assert main(["repro", "bench", "--smoke", "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    assert json.loads(out_file.read_text())["smoke"] is True
+
+
+# ---------------------------------------------- heterogeneous regression
+
+
+def _two_speed(name, **kw):
+    base = dict(
+        name=name,
+        arrival=ArrivalSpec(kind="steady", jobs=2, horizon_s=10.0),
+        faults=FaultSpec(kind="none"),
+        network=NetworkSpec(kind="clean"),
+        app=AppSpec(kind="opt", iterations=6, n_workers=2, data_mb=0.25),
+        mechanism="mpvm",
+        seed=3,
+    )
+    base.update(kw)
+    return ScenarioSpec(**base)
+
+
+def test_two_speed_fleet_migrates_toward_fast_hosts_and_wins():
+    speeds = (25.0, 12.0, 12.0, 48.0, 48.0)
+    hetero = _two_speed(
+        "het", fleet=FleetSpec(kind="heterogeneous", n_hosts=5, speeds=speeds)
+    )
+    homo = _two_speed(
+        "homo", fleet=FleetSpec(kind="homogeneous", n_hosts=5,
+                                speed_mflops=12.0)
+    )
+    het_row, het_s = _execute(hetero, smoke=False)
+    homo_row, _ = _execute(homo, smoke=False)
+    assert het_row["ok"] and homo_row["ok"]
+
+    # The rebalancer moved work, and every move went strictly uphill in
+    # CPU speed (slow host -> fast host).
+    by_name = dict(zip([f"hp720-{i}" for i in range(5)], speeds))
+    assert het_row["migrations"] >= 1
+    for m in het_s.migrations:
+        assert by_name[m.dst] > by_name[m.src]
+
+    # Two fast machines in the fleet beat the all-slow twin's makespan.
+    assert het_row["makespan_s"] < homo_row["makespan_s"]
