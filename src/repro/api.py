@@ -35,11 +35,12 @@ Everything stays deterministic under ``(seed, faults.seed)``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from .faults import FaultInjector, FaultPlan
-from .gs import GlobalScheduler
+from .gs import GlobalScheduler, SchedulerConfig, SchedulerPolicy
 from .hw import Cluster, Host, HostSpec
 from .migration import MigrationStats, StagePolicy
 from .mpvm import MpvmSystem
@@ -58,6 +59,21 @@ _SYSTEMS = {
     "adm": PvmSystem,  # ADM is an application discipline on plain PVM
 }
 
+#: Sentinel distinguishing "not passed" from explicit None for the
+#: deprecated flat quarantine keywords.
+_UNSET: Any = object()
+
+
+def _policy_name(spec: Any) -> str:
+    """The policy name a scheduler spec will resolve to (for the record)."""
+    if spec is None:
+        return "greedy"
+    if isinstance(spec, str):
+        return spec
+    if isinstance(spec, SchedulerConfig):
+        return spec.policy
+    return str(getattr(spec, "name", type(spec).__name__))
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -68,6 +84,8 @@ class SessionConfig:
     seed: int = 0
     trace: bool = True
     default_route: str = "daemon"
+    #: Name of the GS placement policy the session will build.
+    scheduler: str = "greedy"
     faults: FaultPlan = FaultPlan()
     #: Crash detection & recovery armed (off by default: the paper's
     #: exhibits run without any heartbeat traffic).
@@ -92,8 +110,9 @@ class Session:
         faults: Optional[FaultPlan] = None,
         policy: Optional[StagePolicy] = None,
         default_route: str = "daemon",
-        quarantine_after: int = 2,
-        quarantine_ttl: Optional[float] = None,
+        scheduler: "SchedulerConfig | SchedulerPolicy | str | None" = None,
+        quarantine_after: Any = _UNSET,
+        quarantine_ttl: Any = _UNSET,
         recovery: "bool | RecoveryConfig | None" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
     ) -> None:
@@ -101,6 +120,26 @@ class Session:
             raise ValueError(
                 f"unknown mechanism {mechanism!r}; pick one of {sorted(_SYSTEMS)}"
             )
+        if quarantine_after is not _UNSET or quarantine_ttl is not _UNSET:
+            if scheduler is not None:
+                raise TypeError(
+                    "quarantine_after/quarantine_ttl cannot be combined with "
+                    "scheduler=; set them on the SchedulerConfig instead"
+                )
+            warnings.warn(
+                "Session(quarantine_after=..., quarantine_ttl=...) is "
+                "deprecated; use scheduler=SchedulerConfig(quarantine_after="
+                "..., quarantine_ttl=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            flat: dict = {}
+            if quarantine_after is not _UNSET:
+                flat["quarantine_after"] = quarantine_after
+            if quarantine_ttl is not _UNSET:
+                flat["quarantine_ttl"] = quarantine_ttl
+            scheduler = SchedulerConfig(**flat)
+        self._scheduler_spec = scheduler
         self.mechanism = mechanism
         self.cluster = cluster or Cluster(
             n_hosts=n_hosts, specs=hosts, seed=seed, trace=trace
@@ -121,14 +160,13 @@ class Session:
             seed=seed,
             trace=trace,
             default_route=default_route,
+            scheduler=_policy_name(scheduler),
             faults=faults or FaultPlan(),
             recovery=recovery is not None,
             reliability=reliability is not None,
         )
         self.faults = self.config.faults
         self.vm = _SYSTEMS[mechanism](self.cluster, default_route=default_route)
-        self._quarantine_after = quarantine_after
-        self._quarantine_ttl = quarantine_ttl
         #: Stage policy applied to every coordinator this session wires.
         #: Defaults to retry-everything when faults are armed, and to the
         #: bare (fault-free, zero-overhead) policy otherwise.
@@ -217,6 +255,7 @@ class Session:
             hosts=hosts,
             seed=spec.seed,
             trace=trace,
+            scheduler=getattr(spec, "scheduler", "greedy"),
             faults=inst.plan if inst.plan else None,
             reliability=inst.reliability,
             recovery=inst.recovery,
@@ -245,10 +284,7 @@ class Session:
             if self.mechanism == "pvm":
                 raise RuntimeError("plain PVM has no migration client")
             self._scheduler = GlobalScheduler(
-                self.cluster,
-                self.vm,
-                quarantine_after=self._quarantine_after,
-                quarantine_ttl=self._quarantine_ttl,
+                self.cluster, self.vm, scheduler=self._scheduler_spec
             )
             self._wire_scheduler(self._scheduler)
         return self._scheduler
@@ -304,10 +340,7 @@ class Session:
         if self.faults and hasattr(app, "fault_tolerant"):
             app.fault_tolerant = True
         self._scheduler = GlobalScheduler(
-            self.cluster,
-            client,
-            quarantine_after=self._quarantine_after,
-            quarantine_ttl=self._quarantine_ttl,
+            self.cluster, client, scheduler=self._scheduler_spec
         )
         self._wire_scheduler(self._scheduler)
         return self._scheduler

@@ -23,6 +23,10 @@ def register(sub: "argparse._SubParsersAction") -> None:
                       help="run the full arrival x fault x network matrix")
     p.add_argument("--seed", type=int, default=0,
                    help="scenario seed (default 0)")
+    p.add_argument("--scheduler", metavar="POLICY", default=None,
+                   choices=("greedy", "predictive"),
+                   help="override the GS placement policy of the cell(s) "
+                        "being run (greedy | predictive)")
     p.add_argument("--smoke", action="store_true",
                    help="shrunken workload per cell (CI smoke)")
     p.add_argument("--json", action="store_true",
@@ -64,10 +68,15 @@ def run(ns: argparse.Namespace) -> int:
             spec = spec_by_name(ns.run, seed=ns.seed)
         except KeyError as exc:
             raise SystemExit(exc.args[0]) from None
+        if ns.scheduler is not None:
+            spec = spec.with_(scheduler=ns.scheduler)
         row = run_cell(spec, smoke=ns.smoke)
         emit(row, render_row, as_json=ns.json, out=ns.out)
         return 0 if row["ok"] else 1
 
-    doc = run_sweep(matrix_specs(seed=ns.seed), smoke=ns.smoke)
+    specs = matrix_specs(seed=ns.seed)
+    if ns.scheduler is not None:
+        specs = [s.with_(scheduler=ns.scheduler) for s in specs]
+    doc = run_sweep(specs, smoke=ns.smoke)
     emit(doc, render_sweep, as_json=ns.json, out=ns.out)
     return 0 if doc["ok"] else 1

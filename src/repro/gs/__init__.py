@@ -1,7 +1,18 @@
-"""Global Scheduler: load monitoring, migration commands, policies."""
+"""Global Scheduler: load monitoring, placement policies, migration commands."""
 
+from .batch import BatchScheduler, ScheduledPlan, ScheduledWave
 from .monitor import LoadMonitor, LoadSample
+from .planner import MigrationPlan, Move, PlacementPlanner
 from .policies import LoadBalancePolicy, OwnerReclaimPolicy
+from .policy import (
+    POLICIES,
+    GreedyPolicy,
+    PolicyCapabilities,
+    SchedulerConfig,
+    SchedulerPolicy,
+    resolve_policy,
+)
+from .predictive import PredictivePolicy
 from .scheduler import (
     ClientCapabilities,
     GlobalScheduler,
@@ -9,15 +20,30 @@ from .scheduler import (
     MigrationRecord,
     capabilities_of,
 )
+from .window import LoadMonitorWindow
 
 __all__ = [
+    "BatchScheduler",
     "ClientCapabilities",
     "GlobalScheduler",
-    "capabilities_of",
+    "GreedyPolicy",
     "LoadBalancePolicy",
     "LoadMonitor",
+    "LoadMonitorWindow",
     "LoadSample",
     "MigrationClient",
+    "MigrationPlan",
     "MigrationRecord",
+    "Move",
     "OwnerReclaimPolicy",
+    "POLICIES",
+    "PlacementPlanner",
+    "PolicyCapabilities",
+    "PredictivePolicy",
+    "ScheduledPlan",
+    "ScheduledWave",
+    "SchedulerConfig",
+    "SchedulerPolicy",
+    "capabilities_of",
+    "resolve_policy",
 ]

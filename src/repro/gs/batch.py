@@ -1,0 +1,163 @@
+"""Batch migration scheduling: order a plan's moves under constraints.
+
+A migration round that fires many moves at once can melt the very
+resources it is trying to protect: every concurrent transfer contends
+for the shared medium, and every concurrent move into (or out of) one
+host contends for that host's CPU and memory.  Following the Load
+Migration Scheduling formulation, :class:`BatchScheduler` orders a
+:class:`~repro.gs.planner.MigrationPlan` into **waves** — sets of moves
+issued together (one co-scheduled batch, sharing flush rounds) — so
+that within a wave:
+
+* a directed link (``src`` → ``dst`` pair) carries at most one move;
+* a host participates (as source or destination) in at most
+  ``max_concurrent_per_host`` moves;
+* at most ``max_concurrent_total`` moves run;
+* the clearing leg of a destination-swap lands in a strictly earlier
+  wave than its main leg (the exchange's memory-legality depends on
+  the small unit leaving first).
+
+Moves are placed longest-first (LPT) into the earliest feasible wave —
+the classic makespan heuristic.  The estimated makespan (waves are
+issued sequentially; within a wave the shared medium divides its rate
+across the wave's transfers) is reported so policies can log and
+benchmarks can compare plans, and so tests can assert the constraint
+model without running a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from .planner import MigrationPlan, Move
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..hw.network import EthernetNetwork
+    from .policy import SchedulerConfig
+
+__all__ = ["BatchScheduler", "ScheduledPlan", "ScheduledWave"]
+
+
+@dataclass(frozen=True)
+class ScheduledWave:
+    """One co-scheduled batch of moves."""
+
+    moves: Tuple[Move, ...]
+    #: Quiet-medium duration estimate for the wave (seconds).
+    est_duration_s: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.moves)
+
+
+@dataclass(frozen=True)
+class ScheduledPlan:
+    """A plan ordered into waves, with its makespan estimate."""
+
+    waves: Tuple[ScheduledWave, ...]
+    est_makespan_s: float
+
+    @property
+    def move_count(self) -> int:
+        return sum(len(w.moves) for w in self.waves)
+
+
+class _WaveState:
+    """Mutable constraint bookkeeping for one wave under construction."""
+
+    __slots__ = ("moves", "links", "host_use")
+
+    def __init__(self) -> None:
+        self.moves: List[Move] = []
+        self.links: Set[Tuple[str, str]] = set()
+        self.host_use: Dict[str, int] = {}
+
+    def admits(self, move: Move, per_host: int, total: int) -> bool:
+        if len(self.moves) >= total:
+            return False
+        if (move.src, move.dst) in self.links:
+            return False
+        if self.host_use.get(move.src, 0) >= per_host:
+            return False
+        if self.host_use.get(move.dst, 0) >= per_host:
+            return False
+        return True
+
+    def add(self, move: Move) -> None:
+        self.moves.append(move)
+        self.links.add((move.src, move.dst))
+        self.host_use[move.src] = self.host_use.get(move.src, 0) + 1
+        self.host_use[move.dst] = self.host_use.get(move.dst, 0) + 1
+
+
+class BatchScheduler:
+    """Orders migration plans into constraint-respecting waves."""
+
+    def __init__(
+        self,
+        config: "SchedulerConfig",
+        *,
+        bytes_per_s: Optional[float] = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.bytes_per_s = bytes_per_s
+        self.latency_s = latency_s
+
+    def schedule(
+        self, plan: MigrationPlan, network: Optional["EthernetNetwork"] = None
+    ) -> ScheduledPlan:
+        cfg = self.config
+        rate = self.bytes_per_s
+        latency = self.latency_s
+        if network is not None:
+            rate = rate or network.medium.rate
+            latency = latency or network.params.net_latency_s
+        rate = rate or 1e6  # arbitrary but stable when nothing is known
+
+        # LPT within each stage; stage order is a hard precedence.
+        order = sorted(
+            plan.moves,
+            key=lambda m: (m.stage, -m.nbytes, m.src, m.dst, str(m.swap_id)),
+        )
+        waves: List[_WaveState] = []
+        #: swap_id -> index of the wave holding its stage-0 (clearing) leg.
+        cleared_at: Dict[int, int] = {}
+        for move in order:
+            earliest = 0
+            if move.swap_id is not None and move.stage > 0:
+                # The main leg must ride strictly after its clearing leg.
+                earliest = cleared_at.get(move.swap_id, -1) + 1
+            placed = False
+            for i in range(earliest, len(waves)):
+                if waves[i].admits(
+                    move, cfg.max_concurrent_per_host, cfg.max_concurrent_total
+                ):
+                    waves[i].add(move)
+                    placed_index = i
+                    placed = True
+                    break
+            if not placed:
+                wave = _WaveState()
+                wave.add(move)
+                waves.append(wave)
+                placed_index = len(waves) - 1
+            if move.swap_id is not None and move.stage == 0:
+                cleared_at[move.swap_id] = placed_index
+
+        built = tuple(
+            ScheduledWave(
+                moves=tuple(w.moves),
+                # Shared medium: a wave's transfers divide the wire, so
+                # the wave drains in (total bytes / rate) plus one
+                # propagation latency for the last straggler.
+                est_duration_s=latency + sum(m.nbytes for m in w.moves) / rate,
+            )
+            for w in waves
+        )
+        return ScheduledPlan(
+            waves=built,
+            est_makespan_s=sum(w.est_duration_s for w in built),
+        )

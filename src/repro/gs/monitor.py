@@ -44,16 +44,23 @@ class LoadMonitor:
 
     def _run(self):
         while True:
-            now = self.sim.now
-            for host in self.cluster.hosts:
-                sample = LoadSample(
-                    now, host.name, host.load_average, host.mem_used, host.mem_bytes
-                )
-                self.samples.append(sample)
-                self.latest[host.name] = sample
-            if len(self.samples) > self.history_limit:
-                del self.samples[: len(self.samples) - self.history_limit]
+            self.sample_once(self.sim.now)
             yield self.sim.timeout(self.period_s)
+
+    def sample_once(self, now: float) -> None:
+        """Take one probe round: record every host's current load.
+
+        Subclasses (the windowed monitor) extend this to feed their
+        prediction state from the same probe round.
+        """
+        for host in self.cluster.hosts:
+            sample = LoadSample(
+                now, host.name, host.load_average, host.mem_used, host.mem_bytes
+            )
+            self.samples.append(sample)
+            self.latest[host.name] = sample
+        if len(self.samples) > self.history_limit:
+            del self.samples[: len(self.samples) - self.history_limit]
 
     def load_of(self, host_name: str) -> Optional[float]:
         sample = self.latest.get(host_name)

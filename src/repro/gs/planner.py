@@ -1,0 +1,262 @@
+"""Placement planning: turn overload triggers into a migration round.
+
+Given the set of hosts in *sustained* overload (from the windowed
+monitor), :class:`PlacementPlanner` proposes one :class:`MigrationPlan`
+— a whole round of moves — instead of the greedy one-move-per-period
+dribble.  Two move shapes exist:
+
+* **evict** — the classic one-way move: shed a running unit from a hot
+  host to a cool one.  Legal when the destination's *predicted* load
+  plus the unit's weight stays at or under the overload threshold and
+  the destination has memory headroom for the unit's state.
+* **swap** (destination-swap, after Avin/Dunay/Schmid's adaptive VM
+  migration) — when every load-legal destination is *memory*-blocked
+  (no room for the unit's state), exchange the unit with a smaller,
+  lighter unit living on the cool host.  The swap's two legs share a
+  ``swap_id``; the clearing leg (cool → hot, small unit) is staged
+  first so the cool host has freed the bytes before the big unit
+  arrives.
+
+Swap legality (see DESIGN.md §13 for the derivation):
+
+1. the one-way move of unit *u* (weight ``w_u``, state ``b_u``) from
+   hot *H* to cool *C* is load-legal but memory-blocked;
+2. the partner *v* on *C* satisfies ``weight(v) < w_u`` (the exchange
+   strictly unloads *H* and never pushes *C* past the threshold) and
+   ``bytes(v) < b_u`` (the exchange strictly shrinks *C*'s footprint);
+3. freeing *v* makes *u* fit: ``free(C) + bytes(v) >= b_u``;
+4. *H* can host *v* before *u* departs: ``free(H) >= bytes(v)``.
+
+The planner mutates nothing: it reads predicted loads and memory
+headroom, simulates its own proposals against those estimates, and
+emits plain data for the batch scheduler to order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .window import LoadMonitorWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .policy import SchedulerConfig
+    from .scheduler import GlobalScheduler
+
+__all__ = ["MigrationPlan", "Move", "PlacementPlanner"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One proposed migration: plain data, no simulation objects held
+    beyond the unit itself (which the mechanism needs to act)."""
+
+    unit: Any
+    src: str
+    dst: str
+    #: State bytes the move will put on the wire (estimate).
+    nbytes: int
+    #: PS load weight the move shifts (0.0 for a blocked unit).
+    weight: float
+    #: ``"evict"`` or ``"swap"``.
+    kind: str = "evict"
+    #: Joins the two legs of one destination-swap.
+    swap_id: Optional[int] = None
+    #: Batch-scheduling stage: legs with a lower stage must complete
+    #: before a higher stage of the same swap starts (the clearing leg
+    #: of a swap is stage 0, the main leg stage 1).
+    stage: int = 0
+
+
+@dataclass
+class MigrationPlan:
+    """A whole round of proposed moves, ready for batch scheduling."""
+
+    moves: List[Move] = field(default_factory=list)
+    #: The sustained-overloaded hosts that triggered the round.
+    triggers: Tuple[str, ...] = ()
+    #: Human-readable rationale per decision (tracing / bench).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def swap_count(self) -> int:
+        return len({m.swap_id for m in self.moves if m.swap_id is not None})
+
+    @property
+    def evict_count(self) -> int:
+        return sum(1 for m in self.moves if m.kind == "evict")
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.moves)
+
+
+def _unit_weight(unit: Any) -> float:
+    """PS weight the unit contributes where it runs (blocked = 0)."""
+    state = getattr(unit, "state", None)
+    return 1.0 if getattr(state, "value", "running") == "running" else 0.0
+
+
+def _unit_bytes(unit: Any) -> int:
+    """State bytes a migration of ``unit`` must transfer (estimate)."""
+    return int(getattr(unit, "migration_state_bytes", 0))
+
+
+class PlacementPlanner:
+    """Proposes a migration round for a set of overload triggers."""
+
+    def __init__(self, config: "SchedulerConfig") -> None:
+        self.config = config
+
+    # -- helpers ----------------------------------------------------------
+    def _predicted(self, gs: "GlobalScheduler", name: str) -> float:
+        monitor = gs.monitor
+        if isinstance(monitor, LoadMonitorWindow):
+            load = monitor.predicted_load(name)
+        else:
+            load = monitor.load_of(name)
+        return 0.0 if load is None else load
+
+    def _eligible_destinations(
+        self, gs: "GlobalScheduler", hot: List[str]
+    ) -> List[str]:
+        barred = set(hot) | gs.vacating | gs.quarantined
+        if gs.unreachable_provider is not None:
+            barred |= set(gs.unreachable_provider())
+        return [
+            h.name for h in gs.cluster.hosts if h.up and h.name not in barred
+        ]
+
+    # -- the round --------------------------------------------------------
+    def plan(self, gs: "GlobalScheduler", hot: List[str]) -> MigrationPlan:
+        cfg = self.config
+        plan = MigrationPlan(triggers=tuple(hot))
+        cools = self._eligible_destinations(gs, hot)
+        predicted: Dict[str, float] = {
+            name: self._predicted(gs, name) for name in cools + list(hot)
+        }
+        mem_free: Dict[str, int] = {
+            h.name: h.mem_bytes - h.mem_used for h in gs.cluster.hosts
+        }
+        #: Units already claimed by a move this round (swaps claim two).
+        claimed: set = set()
+        swap_seq = 0
+
+        for src in sorted(hot, key=lambda n: (-predicted.get(n, 0.0), n)):
+            units = [
+                u
+                for u in gs.client.movable_units(gs.cluster.host(src))
+                if id(u) not in claimed
+            ]
+            while (
+                predicted[src] > cfg.overload_threshold
+                and len(plan.moves) < cfg.max_moves_per_round
+            ):
+                movers = [u for u in units if _unit_weight(u) > 0.0]
+                if not movers:
+                    plan.notes.append(f"{src}: overloaded but nothing movable")
+                    break
+                # Cheapest useful shed first: the lightest state to ship
+                # among the units whose departure actually drops load.
+                unit = min(movers, key=lambda u: (_unit_bytes(u), movers.index(u)))
+                units.remove(unit)
+                w, b = _unit_weight(unit), _unit_bytes(unit)
+                placed = self._place(
+                    gs, plan, unit, src, w, b, cools, predicted, mem_free,
+                    claimed, swap_seq,
+                )
+                if placed is None:
+                    plan.notes.append(
+                        f"{src}: no legal destination (one-way or swap) for "
+                        f"{b}-byte unit"
+                    )
+                    continue
+                swap_seq = placed
+        return plan
+
+    def _place(
+        self,
+        gs: "GlobalScheduler",
+        plan: MigrationPlan,
+        unit: Any,
+        src: str,
+        w: float,
+        b: int,
+        cools: List[str],
+        predicted: Dict[str, float],
+        mem_free: Dict[str, int],
+        claimed: set,
+        swap_seq: int,
+    ) -> Optional[int]:
+        """Try one-way, then swap; returns the updated swap counter, or
+        None when the unit is stranded this round."""
+        cfg = self.config
+        by_load = sorted(cools, key=lambda n: (predicted[n], n))
+        load_legal = [
+            c for c in by_load if predicted[c] + w <= cfg.overload_threshold
+        ]
+        for dst in load_legal:
+            if mem_free.get(dst, 0) >= b:
+                plan.moves.append(Move(unit, src, dst, b, w, kind="evict"))
+                predicted[src] -= w
+                predicted[dst] += w
+                mem_free[dst] -= b
+                claimed.add(id(unit))
+                return swap_seq
+        if not cfg.swaps or not load_legal:
+            return None
+        # Every load-legal destination is memory-blocked: look for a
+        # destination-swap partner (room for its two legs is required).
+        if len(plan.moves) + 2 > cfg.max_moves_per_round:
+            return None
+        for dst in load_legal:
+            partner = self._swap_partner(
+                gs, dst, src, w, b, mem_free, claimed
+            )
+            if partner is None:
+                continue
+            v, vw, vb = partner
+            swap_seq += 1
+            plan.moves.append(
+                Move(v, dst, src, vb, vw, kind="swap", swap_id=swap_seq, stage=0)
+            )
+            plan.moves.append(
+                Move(unit, src, dst, b, w, kind="swap", swap_id=swap_seq, stage=1)
+            )
+            plan.notes.append(
+                f"swap#{swap_seq}: {src}<->{dst} exchanging {b} for {vb} bytes"
+            )
+            predicted[src] += vw - w
+            predicted[dst] += w - vw
+            mem_free[dst] += vb - b
+            mem_free[src] += b - vb
+            claimed.add(id(unit))
+            claimed.add(id(v))
+            return swap_seq
+        return None
+
+    def _swap_partner(
+        self,
+        gs: "GlobalScheduler",
+        dst: str,
+        src: str,
+        w: float,
+        b: int,
+        mem_free: Dict[str, int],
+        claimed: set,
+    ) -> Optional[Tuple[Any, float, int]]:
+        """The smallest legal exchange partner on ``dst``, or None."""
+        best: Optional[Tuple[Any, float, int]] = None
+        for v in gs.client.movable_units(gs.cluster.host(dst)):
+            if id(v) in claimed:
+                continue
+            vw, vb = _unit_weight(v), _unit_bytes(v)
+            if vw >= w or vb >= b:
+                continue  # rule 2: strictly lighter and strictly smaller
+            if mem_free.get(dst, 0) + vb < b:
+                continue  # rule 3: freeing v must make u fit
+            if mem_free.get(src, 0) < vb:
+                continue  # rule 4: the hot host must fit v first
+            if best is None or vb < best[2]:
+                best = (v, vw, vb)
+        return best

@@ -82,15 +82,17 @@ class LoadBalancePolicy:
         gs = self.gs
         monitor = gs.monitor
         hot: Optional[Host] = None
+        hot_load = -float("inf")
         cold: Optional[Host] = None
+        cold_load = float("inf")
         for host in gs.cluster.hosts:
             load = monitor.load_of(host.name)
             if load is None or host.name in gs.vacating:
                 continue
-            if load >= self.high and (hot is None or load > monitor.load_of(hot.name)):
-                hot = host
-            if load <= self.low and (cold is None or load < monitor.load_of(cold.name)):
-                cold = host
+            if load >= self.high and (hot is None or load > hot_load):
+                hot, hot_load = host, load
+            if load <= self.low and (cold is None or load < cold_load):
+                cold, cold_load = host, load
         if hot is None or cold is None or hot is cold:
             return None
         units = self.gs.client.movable_units(hot)

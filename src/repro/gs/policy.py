@@ -1,0 +1,250 @@
+"""The pluggable SchedulerPolicy API.
+
+The Global Scheduler's *mechanism* (command migrations, track records,
+quarantine bad destinations) is fixed; its *placement brain* is a
+policy object behind the :class:`SchedulerPolicy` protocol.  A policy
+declares what it does through :meth:`SchedulerPolicy.capabilities` —
+mirroring how migration clients declare theirs through
+:class:`~repro.gs.scheduler.ClientCapabilities` — so callers select
+behaviour instead of sniffing for it:
+
+* ``greedy`` (:class:`GreedyPolicy`, the default) ranks destinations by
+  the last load sample, exactly the pre-policy behaviour, byte for
+  byte: same monitor, same events, same placement order.
+* ``predictive`` (:class:`~repro.gs.predictive.PredictivePolicy`) ranks
+  by windowed EWMA load and runs the full placement engine: sustained
+  overload triggers, destination-swap planning, batch-scheduled rounds.
+
+Everything a policy can be tuned with lives in the frozen keyword-only
+:class:`SchedulerConfig`; ``GlobalScheduler(cluster, client,
+scheduler=...)`` and ``Session(scheduler=...)`` accept a config, a
+policy name, or a ready policy instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..hw.cluster import Cluster
+    from .monitor import LoadMonitor
+    from .scheduler import GlobalScheduler
+
+__all__ = [
+    "POLICIES",
+    "GreedyPolicy",
+    "PolicyCapabilities",
+    "SchedulerConfig",
+    "SchedulerPolicy",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyCapabilities:
+    """What one scheduler policy does, declared instead of sniffed.
+
+    * ``predictive`` — placement ranks hosts by windowed load
+      prediction (EWMA) rather than the last instantaneous sample.
+    * ``swap`` — the policy may propose destination-swap moves that
+      *exchange* units between a hot and a cool host when no one-way
+      move fits.
+    * ``batch`` — the policy plans whole migration rounds and schedules
+      them as constrained batches (shared flush rounds per wave).
+    """
+
+    predictive: bool = False
+    swap: bool = False
+    batch: bool = False
+
+
+@dataclass(frozen=True, kw_only=True)
+class SchedulerConfig:
+    """Frozen, keyword-only knobs for the Global Scheduler.
+
+    The quarantine pair applies to every policy; the window, planning
+    and batch groups only steer the predictive engine (greedy ignores
+    them).
+    """
+
+    #: Registry key of the placement policy (see :data:`POLICIES`).
+    policy: str = "greedy"
+    #: Failures at one destination before it is barred from placement.
+    quarantine_after: int = 2
+    #: Seconds a quarantined host must stay healthy to be re-admitted
+    #: (``None`` quarantines forever, the paper-era behaviour).
+    quarantine_ttl: Optional[float] = None
+    # -- prediction window ------------------------------------------------
+    #: Probe period of the load monitor the policy builds.
+    period_s: float = 2.0
+    #: Samples per host kept in the window matrices.
+    window_size: int = 12
+    #: EWMA smoothing factor (1.0 = last sample only).
+    ewma_alpha: float = 0.25
+    #: Load above which a sample counts as overloaded.
+    overload_threshold: float = 2.0
+    #: Trigger: at least ``trigger_n`` of the last ``trigger_k`` samples
+    #: over threshold.
+    trigger_n: int = 3
+    trigger_k: int = 5
+    # -- planning ---------------------------------------------------------
+    #: Allow destination-swap (exchange) moves.
+    swaps: bool = True
+    #: Ceiling on moves proposed per round.
+    max_moves_per_round: int = 8
+    # -- batch scheduling -------------------------------------------------
+    #: Concurrent moves one host may participate in (as source or
+    #: destination) within a wave.
+    max_concurrent_per_host: int = 2
+    #: Concurrent moves per wave across the whole plan.
+    max_concurrent_total: int = 4
+    #: Quiet time after a commanded round before the next trigger check.
+    cooldown_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ValueError("scheduler policy name must not be empty")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.quarantine_ttl is not None and self.quarantine_ttl < 0:
+            raise ValueError("quarantine_ttl must be >= 0 (or None = forever)")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.overload_threshold <= 0:
+            raise ValueError("overload_threshold must be positive")
+        if self.trigger_n < 1 or self.trigger_k < 1:
+            raise ValueError("trigger_n and trigger_k must be >= 1")
+        if self.trigger_n > self.trigger_k:
+            raise ValueError("trigger_n cannot exceed trigger_k")
+        if self.trigger_k > self.window_size:
+            raise ValueError("trigger_k cannot exceed window_size")
+        if self.max_moves_per_round < 1:
+            raise ValueError("max_moves_per_round must be >= 1")
+        if self.max_concurrent_per_host < 1:
+            raise ValueError("max_concurrent_per_host must be >= 1")
+        if self.max_concurrent_total < 1:
+            raise ValueError("max_concurrent_total must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+    def with_(self, **kw: Any) -> "SchedulerConfig":
+        return replace(self, **kw)
+
+
+@runtime_checkable
+class SchedulerPolicy(Protocol):
+    """The placement brain the Global Scheduler delegates to.
+
+    A policy is attached to exactly one scheduler.  Its optional
+    behaviours (prediction, swaps, batching) are advertised through
+    :meth:`capabilities`, never probed with getattr.
+    """
+
+    name: str
+    config: SchedulerConfig
+
+    def capabilities(self) -> PolicyCapabilities:
+        """Declare what this policy does."""
+        ...
+
+    def build_monitor(self, cluster: "Cluster") -> Optional["LoadMonitor"]:
+        """The monitor this policy wants, or None for the GS default."""
+        ...
+
+    def attach(self, gs: "GlobalScheduler") -> None:
+        """Wire the policy to its scheduler (may start engine processes)."""
+        ...
+
+    def rank_destination(
+        self, gs: "GlobalScheduler", exclude: List[str]
+    ) -> Optional[str]:
+        """Name of the best placement target outside ``exclude``."""
+        ...
+
+
+class GreedyPolicy:
+    """Today's placement, behind the protocol: last-sample least-loaded.
+
+    Builds no special monitor, starts no processes, plans no rounds —
+    with this policy (the default) the scheduler's behaviour is
+    byte-identical to the pre-policy GS.
+    """
+
+    name = "greedy"
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig()
+
+    def capabilities(self) -> PolicyCapabilities:
+        return PolicyCapabilities()
+
+    def build_monitor(self, cluster: "Cluster") -> Optional["LoadMonitor"]:
+        return None
+
+    def attach(self, gs: "GlobalScheduler") -> None:
+        return None
+
+    def rank_destination(
+        self, gs: "GlobalScheduler", exclude: List[str]
+    ) -> Optional[str]:
+        return gs.monitor.least_loaded(exclude=exclude)
+
+
+def _make_greedy(config: SchedulerConfig) -> Any:
+    return GreedyPolicy(config)
+
+
+def _make_predictive(config: SchedulerConfig) -> Any:
+    from .predictive import PredictivePolicy
+
+    return PredictivePolicy(config)
+
+
+#: Policy registry: name -> factory taking the resolved config.
+POLICIES: Dict[str, Callable[[SchedulerConfig], Any]] = {
+    "greedy": _make_greedy,
+    "predictive": _make_predictive,
+}
+
+
+def resolve_policy(
+    spec: "SchedulerConfig | SchedulerPolicy | str | None",
+) -> SchedulerPolicy:
+    """Turn a scheduler spec into a ready policy instance.
+
+    Accepts ``None`` (greedy defaults), a policy name, a
+    :class:`SchedulerConfig` (whose ``policy`` field names the
+    factory), or an already-built policy object.
+    """
+    if spec is None:
+        spec = SchedulerConfig()
+    if isinstance(spec, str):
+        spec = SchedulerConfig(policy=spec)
+    if isinstance(spec, SchedulerConfig):
+        factory = POLICIES.get(spec.policy)
+        if factory is None:
+            raise ValueError(
+                f"unknown scheduler policy {spec.policy!r}; "
+                f"known: {sorted(POLICIES)}"
+            )
+        return factory(spec)
+    if isinstance(spec, SchedulerPolicy):
+        return spec
+    raise TypeError(
+        f"scheduler must be a policy name, a SchedulerConfig, or a "
+        f"SchedulerPolicy, not {type(spec).__name__}"
+    )

@@ -1,0 +1,160 @@
+"""The predictive placement engine, behind the SchedulerPolicy API.
+
+:class:`PredictivePolicy` stacks the three placement layers on a
+running Global Scheduler:
+
+1. **Prediction** — it builds a :class:`~repro.gs.window.LoadMonitorWindow`
+   so every placement decision sees windowed EWMA loads and sustained
+   n-of-last-k overload triggers instead of one instantaneous sample.
+2. **Planning** — on each trigger it asks the
+   :class:`~repro.gs.planner.PlacementPlanner` for a whole migration
+   round, including destination-swaps when one-way moves are
+   memory-blocked.
+3. **Scheduling** — the round is ordered by the
+   :class:`~repro.gs.batch.BatchScheduler` into constraint-respecting
+   waves, each commanded as one co-scheduled batch (shared flush
+   rounds) and awaited before the next wave fires.
+
+The engine runs as a simulated process started by :meth:`attach`; it
+observes a ``cooldown_s`` quiet period after each commanded round so a
+round's own disturbance (transfer traffic, load shifting) settles
+before the window can trigger again.  Round summaries accumulate in
+:attr:`rounds` for benches and tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..sim import Event
+from .batch import BatchScheduler
+from .planner import PlacementPlanner
+from .policy import PolicyCapabilities, SchedulerConfig
+from .window import LoadMonitorWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..hw.cluster import Cluster
+    from .monitor import LoadMonitor
+    from .scheduler import GlobalScheduler
+
+__all__ = ["PredictivePolicy"]
+
+
+def _wave_gate(gs: "GlobalScheduler", events: List[Event]) -> Event:
+    """An event that fires once every migration in a wave has settled.
+
+    Counts completions instead of using ``all_of`` — an AllOf fails on
+    its first failed constituent, but a wave must drain fully (the GS's
+    tracking has already defused failures) before the next wave rides
+    the same links.
+    """
+    gate = gs.sim.event()
+    remaining = len(events)
+
+    def _one_done(_ev: Event) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            gate.succeed()
+
+    for ev in events:
+        if ev.callbacks is not None:
+            ev.callbacks.append(_one_done)
+        else:
+            _one_done(ev)
+    return gate
+
+
+class PredictivePolicy:
+    """Windowed prediction + swap planning + batch-scheduled rounds."""
+
+    name = "predictive"
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig(policy="predictive")
+        self.planner = PlacementPlanner(self.config)
+        self.batches = BatchScheduler(self.config)
+        #: One summary dict per commanded round (bench / test surface).
+        self.rounds: List[Dict[str, Any]] = []
+        self._last_round_at: Optional[float] = None
+        self._proc: Optional[Any] = None
+
+    # -- SchedulerPolicy protocol -----------------------------------------
+    def capabilities(self) -> PolicyCapabilities:
+        return PolicyCapabilities(
+            predictive=True, swap=self.config.swaps, batch=True
+        )
+
+    def build_monitor(self, cluster: "Cluster") -> Optional["LoadMonitor"]:
+        cfg = self.config
+        return LoadMonitorWindow(
+            cluster,
+            period_s=cfg.period_s,
+            window_size=cfg.window_size,
+            ewma_alpha=cfg.ewma_alpha,
+            overload_threshold=cfg.overload_threshold,
+        )
+
+    def attach(self, gs: "GlobalScheduler") -> None:
+        self._proc = gs.sim.process(self._engine(gs), name="gs-predictive")
+
+    def rank_destination(
+        self, gs: "GlobalScheduler", exclude: List[str]
+    ) -> Optional[str]:
+        monitor = gs.monitor
+        if isinstance(monitor, LoadMonitorWindow):
+            return monitor.least_predicted(exclude=exclude)
+        return monitor.least_loaded(exclude=exclude)
+
+    # -- the engine --------------------------------------------------------
+    def _engine(self, gs: "GlobalScheduler"):
+        cfg = self.config
+        while True:
+            yield gs.sim.timeout(cfg.period_s)
+            monitor = gs.monitor
+            if not isinstance(monitor, LoadMonitorWindow):
+                # Caller supplied a plain monitor: no window, no engine.
+                continue
+            if (
+                self._last_round_at is not None
+                and gs.sim.now - self._last_round_at < cfg.cooldown_s
+            ):
+                continue
+            hot = [
+                name
+                for name in monitor.overloaded_n_of_k(cfg.trigger_n, cfg.trigger_k)
+                if gs.cluster.host(name).up and name not in gs.vacating
+            ]
+            if not hot:
+                continue
+            plan = self.planner.plan(gs, hot)
+            if not plan.moves:
+                continue
+            sched = self.batches.schedule(
+                plan, network=getattr(gs.cluster, "network", None)
+            )
+            self._last_round_at = gs.sim.now
+            self.rounds.append(
+                {
+                    "at": gs.sim.now,
+                    "triggers": list(plan.triggers),
+                    "moves": len(plan.moves),
+                    "swaps": plan.swap_count,
+                    "waves": len(sched.waves),
+                    "bytes": plan.total_bytes,
+                    "est_makespan_s": sched.est_makespan_s,
+                    "notes": list(plan.notes),
+                }
+            )
+            gs.trace(
+                "gs.predict",
+                f"round: {len(plan.moves)} moves ({plan.swap_count} swaps) in "
+                f"{len(sched.waves)} waves for hot {','.join(plan.triggers)}",
+            )
+            for wave in sched.waves:
+                pairs = [
+                    (m.unit, gs.cluster.host(m.dst)) for m in wave.moves
+                ]
+                events = gs.migrate_batch(pairs)
+                if events:
+                    yield _wave_gate(gs, events)

@@ -21,12 +21,24 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..hw.cluster import Cluster
 from ..hw.host import Host
 from ..sim import Event, bound_tracer
 from .monitor import LoadMonitor
+from .policy import SchedulerConfig, SchedulerPolicy, resolve_policy
 
 __all__ = [
     "ClientCapabilities",
@@ -35,6 +47,10 @@ __all__ = [
     "MigrationRecord",
     "capabilities_of",
 ]
+
+#: Sentinel distinguishing "not passed" from explicit None for the
+#: deprecated flat quarantine keywords.
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -137,7 +153,15 @@ class MigrationRecord:
 
 
 class GlobalScheduler:
-    """Issues migration commands and tracks their outcomes."""
+    """Issues migration commands and tracks their outcomes.
+
+    Placement decisions are delegated to a pluggable
+    :class:`~repro.gs.policy.SchedulerPolicy` selected through the
+    ``scheduler`` argument — ``None`` (greedy defaults), a policy name,
+    a :class:`~repro.gs.policy.SchedulerConfig`, or a ready policy
+    instance.  The flat ``quarantine_after``/``quarantine_ttl`` keywords
+    are deprecated spellings of the matching config fields.
+    """
 
     def __init__(
         self,
@@ -145,8 +169,9 @@ class GlobalScheduler:
         client: MigrationClient,
         *legacy: Any,
         monitor: Optional[LoadMonitor] = None,
-        quarantine_after: int = 2,
-        quarantine_ttl: Optional[float] = None,
+        scheduler: "SchedulerConfig | SchedulerPolicy | str | None" = None,
+        quarantine_after: Any = _UNSET,
+        quarantine_ttl: Any = _UNSET,
     ) -> None:
         if legacy:
             if len(legacy) > 1 or monitor is not None:
@@ -161,26 +186,47 @@ class GlobalScheduler:
                 stacklevel=2,
             )
             monitor = legacy[0]
+        if quarantine_after is not _UNSET or quarantine_ttl is not _UNSET:
+            if scheduler is not None:
+                raise TypeError(
+                    "quarantine_after/quarantine_ttl cannot be combined with "
+                    "scheduler=; set them on the SchedulerConfig instead"
+                )
+            warnings.warn(
+                "GlobalScheduler(quarantine_after=..., quarantine_ttl=...) is "
+                "deprecated; use scheduler=SchedulerConfig(quarantine_after="
+                "..., quarantine_ttl=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            flat: Dict[str, Any] = {}
+            if quarantine_after is not _UNSET:
+                flat["quarantine_after"] = quarantine_after
+            if quarantine_ttl is not _UNSET:
+                flat["quarantine_ttl"] = quarantine_ttl
+            scheduler = SchedulerConfig(**flat)
+        self.policy: SchedulerPolicy = resolve_policy(scheduler)
+        self.config: SchedulerConfig = self.policy.config
         self.cluster = cluster
         self.sim = cluster.sim
         self.tracer = cluster.tracer
         self.trace = bound_tracer(cluster.tracer, "GS", lambda: cluster.sim.now)
         self.client = client
         self.capabilities = capabilities_of(client)
-        self.monitor = monitor or LoadMonitor(cluster)
+        self.monitor = monitor or self.policy.build_monitor(cluster) or LoadMonitor(cluster)
         self.records: List[MigrationRecord] = []
         #: Hosts currently being vacated (avoid placing work there).
-        self.vacating: set = set()
+        self.vacating: Set[str] = set()
         #: Consecutive migration failures charged to each destination.
         self.failures: Dict[str, int] = {}
         #: Failures at one destination before it is barred from placement.
-        self.quarantine_after = quarantine_after
+        self.quarantine_after = self.config.quarantine_after
         #: Hosts barred from placement until :meth:`pardon`.
-        self.quarantined: set = set()
+        self.quarantined: Set[str] = set()
         #: Seconds after which a quarantined host that stayed healthy
         #: (up, no new failures) is automatically re-admitted; ``None``
         #: quarantines forever (the pre-TTL behaviour).
-        self.quarantine_ttl = quarantine_ttl
+        self.quarantine_ttl = self.config.quarantine_ttl
         self._quarantined_at: Dict[str, float] = {}
         #: Optional callable returning host names that are *unreachable
         #: but not known dead* (suspected / partition-isolated) —
@@ -188,9 +234,10 @@ class GlobalScheduler:
         #: down hosts: during a partition no eviction or restart is
         #: aimed into the minority side, but nothing is restarted
         #: either — unreachable ≠ dead.
-        self.unreachable_provider = None
+        self.unreachable_provider: Optional[Callable[[], Iterable[str]]] = None
         if self.capabilities.reroute:
             self.client.set_router(self.route_around)  # type: ignore[attr-defined]
+        self.policy.attach(self)
 
     # -- direct commands ----------------------------------------------------
     def migrate(self, unit: Any, dst: Host) -> Event:
@@ -198,6 +245,25 @@ class GlobalScheduler:
         self._record(unit, dst)
         done = self.client.request_migration(unit, dst)
         return self._track(done, self.records[-1])
+
+    def migrate_batch(self, pairs: List[Tuple[Any, Host]]) -> List[Event]:
+        """Command a set of moves as one co-scheduled batch.
+
+        Mechanisms backed by the migration coordinator share one flush
+        round per source host; clients without batch support (or a
+        singleton set) fall back to per-unit commands.  Returns per-unit
+        completion events aligned with ``pairs``.
+        """
+        if self.capabilities.batch and len(pairs) > 1:
+            records = [self._record(unit, target) for unit, target in pairs]
+            return [
+                self._track(done, record)
+                for done, record in zip(
+                    self.client.request_batch_migration(pairs),  # type: ignore[attr-defined]
+                    records,
+                )
+            ]
+        return [self.migrate(unit, target) for unit, target in pairs]
 
     def _record(self, unit: Any, dst: Host) -> MigrationRecord:
         src_host = self._unit_host(unit)
@@ -267,7 +333,13 @@ class GlobalScheduler:
             return
         now = self.sim.now
         for name in list(self.quarantined):
-            since = self._quarantined_at.get(name, now)
+            # A host quarantined without a timestamp (e.g. added to the
+            # set directly by an operator or a policy) starts its
+            # healthy-for-TTL clock at first observation — recorded so
+            # it serves exactly one TTL rather than an instant pardon
+            # (0 >= ttl) or a permanent one (the clock resetting to
+            # ``now`` on every check).
+            since = self._quarantined_at.setdefault(name, now)
             if now - since >= self.quarantine_ttl and self.cluster.host(name).up:
                 self.pardon(self.cluster.host(name))
 
@@ -313,23 +385,8 @@ class GlobalScheduler:
             if target is None:
                 continue
             pairs.append((unit, target))
-        if self.capabilities.batch and len(pairs) > 1:
-            # Co-schedule the whole vacate set: mechanisms backed by the
-            # migration coordinator share one flush round per source.
-            records = [self._record(unit, target) for unit, target in pairs]
-            events = [
-                self._track(done, record)
-                for done, record in zip(
-                    self.client.request_batch_migration(pairs),  # type: ignore[attr-defined]
-                    records,
-                )
-            ]
-        else:
-            records = []
-            events = []
-            for unit, target in pairs:
-                events.append(self.migrate(unit, target))
-                records.append(self.records[-1])
+        events = self.migrate_batch(pairs)
+        records = self.records[len(self.records) - len(pairs):] if pairs else []
         self._after_vacate(host, pairs, records, events, replan)
         return events
 
@@ -398,7 +455,7 @@ class GlobalScheduler:
         exclude += [h.name for h in self.cluster.hosts if not h.up]
         if self.unreachable_provider is not None:
             exclude += list(self.unreachable_provider())
-        name = self.monitor.least_loaded(exclude=exclude)
+        name = self.policy.rank_destination(self, exclude)
         if name is None:
             # Fall back to any host not excluded.
             for host in self.cluster.hosts:

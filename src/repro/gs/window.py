@@ -1,0 +1,164 @@
+"""Windowed load prediction: the sandpiper-style overload detector.
+
+:class:`LoadMonitorWindow` extends the plain :class:`LoadMonitor` with
+fixed-width per-host history kept as numpy matrices (one row per host,
+one column per sample slot, written as a ring).  From those matrices it
+derives the three signals the predictive scheduler plans on:
+
+* **EWMA load** — an exponentially weighted moving average per host,
+  the *predicted* load used to rank destinations (a host that looks
+  idle this instant but was busy all window long is a bad target).
+* **Integrated-overload index** — the window-mean of each host's load
+  *excess* over the overload threshold (0 for samples at or under it).
+  This measures how badly a host is overloaded, not just how often.
+* **Window-overload index / n-of-last-k triggers** — the fraction of
+  window samples over threshold, and the sandpiper rule "a host is
+  overloaded when at least *n* of its last *k* samples exceed the
+  threshold".  Eviction fires on *sustained* overload; a one-sample
+  spike (an owner touching the keyboard, a short burst) never does.
+
+Everything is plain state fed from the same probe rounds as the base
+monitor — no extra simulated traffic, no extra events — so swapping
+monitors never perturbs a scenario's timeline by itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..hw.cluster import Cluster
+from .monitor import LoadMonitor
+
+__all__ = ["LoadMonitorWindow"]
+
+
+class LoadMonitorWindow(LoadMonitor):
+    """Per-host load history as fixed-width window matrices."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        period_s: float = 2.0,
+        history_limit: int = 10_000,
+        *,
+        window_size: int = 12,
+        ewma_alpha: float = 0.25,
+        overload_threshold: float = 2.0,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if overload_threshold <= 0.0:
+            raise ValueError("overload_threshold must be positive")
+        self.window_size = window_size
+        self.ewma_alpha = ewma_alpha
+        self.overload_threshold = overload_threshold
+        #: host name -> matrix row (rows only ever grow; pvm_addhosts).
+        self._row: Dict[str, int] = {}
+        #: Load history ring, shape ``(n_hosts, window_size)``.
+        self.loads = np.zeros((0, window_size))
+        #: Boolean over-threshold ring, same shape as :attr:`loads`.
+        self.over = np.zeros((0, window_size), dtype=bool)
+        #: Per-host EWMA of load (the predicted load).
+        self.ewma = np.zeros(0)
+        #: Samples recorded per host, capped at ``window_size``.
+        self.filled = np.zeros(0, dtype=int)
+        #: Next ring column to write (shared: one probe covers all hosts).
+        self._cursor = 0
+        super().__init__(cluster, period_s=period_s, history_limit=history_limit)
+
+    # -- feeding ----------------------------------------------------------
+    def _ensure_rows(self) -> None:
+        fresh = [h.name for h in self.cluster.hosts if h.name not in self._row]
+        if not fresh:
+            return
+        for name in fresh:
+            self._row[name] = len(self._row)
+        grow = len(fresh)
+        self.loads = np.vstack([self.loads, np.zeros((grow, self.window_size))])
+        self.over = np.vstack(
+            [self.over, np.zeros((grow, self.window_size), dtype=bool)]
+        )
+        self.ewma = np.concatenate([self.ewma, np.zeros(grow)])
+        self.filled = np.concatenate([self.filled, np.zeros(grow, dtype=int)])
+
+    def sample_once(self, now: float) -> None:
+        super().sample_once(now)
+        self._ensure_rows()
+        col = self._cursor % self.window_size
+        loads = np.zeros(len(self._row))
+        for name, row in self._row.items():
+            sample = self.latest.get(name)
+            # A host added mid-window starts from its first real sample;
+            # until then its row stays at the zeros it was born with.
+            loads[row] = sample.load if sample is not None else 0.0
+        self.loads[:, col] = loads
+        self.over[:, col] = loads > self.overload_threshold
+        first = self.filled == 0
+        self.ewma = np.where(
+            first, loads, self.ewma_alpha * loads + (1.0 - self.ewma_alpha) * self.ewma
+        )
+        np.minimum(self.filled + 1, self.window_size, out=self.filled)
+        self._cursor += 1
+
+    # -- prediction signals -----------------------------------------------
+    def predicted_load(self, host_name: str) -> Optional[float]:
+        """EWMA load of ``host_name`` (None before its first sample)."""
+        row = self._row.get(host_name)
+        if row is None or self.filled[row] == 0:
+            return None
+        return float(self.ewma[row])
+
+    def integrated_overload_index(self, host_name: str) -> float:
+        """Window-mean load excess over the threshold (0 = never over)."""
+        row = self._row.get(host_name)
+        if row is None:
+            return 0.0
+        excess = np.clip(self.loads[row] - self.overload_threshold, 0.0, None)
+        return float(excess.sum() / self.window_size)
+
+    def window_overload_index(self, host_name: str) -> float:
+        """Fraction of window slots where the host was over threshold."""
+        row = self._row.get(host_name)
+        if row is None:
+            return 0.0
+        return float(self.over[row].mean())
+
+    def _last_k_columns(self, k: int) -> List[int]:
+        k = min(k, self.window_size, self._cursor)
+        return [(self._cursor - 1 - i) % self.window_size for i in range(k)]
+
+    def overloaded_n_of_k(self, n: int, k: int) -> List[str]:
+        """Hosts where at least ``n`` of the last ``k`` samples were over
+        the threshold — the sandpiper sustained-overload trigger.
+
+        Returned in cluster (row) order, deterministically.  Unfilled
+        slots count as not-over, so a freshly added host cannot trigger
+        before it has ``n`` genuinely hot samples.
+        """
+        cols = self._last_k_columns(k)
+        if not cols:
+            return []
+        hits = self.over[:, cols].sum(axis=1)
+        return [name for name, row in self._row.items() if hits[row] >= n]
+
+    def least_predicted(self, exclude: Optional[List[str]] = None) -> Optional[str]:
+        """Name of the host with the lowest *predicted* (EWMA) load.
+
+        The predictive counterpart of :meth:`LoadMonitor.least_loaded`;
+        ties break toward the lowest row (cluster order), matching the
+        greedy ranking's first-lowest determinism.
+        """
+        excluded = set(exclude or [])
+        best: Optional[str] = None
+        best_load = float("inf")
+        for name, row in self._row.items():
+            if name in excluded or self.filled[row] == 0:
+                continue
+            load = float(self.ewma[row])
+            if load < best_load:
+                best, best_load = name, load
+        return best

@@ -77,6 +77,17 @@ def named_specs(*, seed: int = 0) -> Dict[str, ScenarioSpec]:
         mechanism="mpvm",
         seed=seed,
     )
+    out["predictive-steady-clean"] = ScenarioSpec(
+        name="predictive-steady-clean",
+        arrival=ArrivalSpec(kind="steady"),
+        faults=FaultSpec(kind="none"),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="opt"),
+        mechanism="mpvm",
+        seed=seed,
+        scheduler="predictive",
+    )
     out["heat-steady-clean"] = ScenarioSpec(
         name="heat-steady-clean",
         arrival=ArrivalSpec(kind="steady", jobs=2),

@@ -206,6 +206,11 @@ def _execute(spec: ScenarioSpec, *, smoke: bool) -> Tuple[Dict[str, Any], Sessio
     period = spec.rebalancing()
     if period is not None and spec.mechanism == "mpvm":
         s.sim.process(_rebalancer(s, period), name="scenario:rebalance").defuse()
+    if spec.scheduler != "greedy":
+        # A non-greedy cell's placement engine lives on the GS, which
+        # the session builds lazily: touch it so the engine is armed
+        # before the clock starts.
+        _ = s.scheduler
     s.run(until=inst.until_s)
 
     detail: List[Dict[str, Any]] = []

@@ -253,6 +253,10 @@ class ScenarioSpec:
     #: least-loaded (speed-normalised) host.  ``None`` = automatic (on
     #: for heterogeneous MPVM fleets, off otherwise); ``0`` = never.
     rebalance_period_s: Optional[float] = None
+    #: GS placement policy the cell's session builds (``"greedy"`` is
+    #: the classic last-sample ranking; ``"predictive"`` arms the
+    #: windowed placement engine).
+    scheduler: str = "greedy"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -261,6 +265,18 @@ class ScenarioSpec:
             raise ValueError(
                 f"scenario mechanism must be 'pvm' or 'mpvm', not "
                 f"{self.mechanism!r} (adm/upvm apps need bespoke adoption)"
+            )
+        from ..gs.policy import POLICIES
+
+        if self.scheduler not in POLICIES:
+            raise ValueError(
+                f"unknown scheduler policy {self.scheduler!r} "
+                f"(choose from {sorted(POLICIES)})"
+            )
+        if self.scheduler != "greedy" and self.mechanism != "mpvm":
+            raise ValueError(
+                "a non-greedy scheduler needs a migration-capable mechanism "
+                "(mechanism='mpvm')"
             )
         if self.rebalance_period_s is not None and self.rebalance_period_s < 0:
             raise ValueError("rebalance_period_s must be >= 0 (or None = auto)")
@@ -314,6 +330,7 @@ class ScenarioSpec:
             "mechanism": self.mechanism,
             "seed": self.seed,
             "rebalance_period_s": self.rebalance_period_s,
+            "scheduler": self.scheduler,
             "arrival": flat(self.arrival),
             "faults": flat(self.faults),
             "network": flat(self.network),
@@ -328,7 +345,7 @@ class ScenarioSpec:
                 f"scenario must be a JSON object, not {type(data).__name__}"
             )
         known = {
-            "name", "mechanism", "seed", "rebalance_period_s",
+            "name", "mechanism", "seed", "rebalance_period_s", "scheduler",
             "arrival", "faults", "network", "fleet", "app",
         }
         unknown = sorted(set(data) - known)
@@ -341,6 +358,7 @@ class ScenarioSpec:
             mechanism=data.get("mechanism", "mpvm"),
             seed=int(data.get("seed", 0)),
             rebalance_period_s=data.get("rebalance_period_s"),
+            scheduler=data.get("scheduler", "greedy"),
             arrival=_from_dict(ArrivalSpec, data.get("arrival", {}), "arrival"),
             faults=_from_dict(FaultSpec, data.get("faults", {}), "faults"),
             network=_from_dict(NetworkSpec, data.get("network", {}), "network"),
@@ -358,4 +376,6 @@ class ScenarioSpec:
             self.fleet.kind[:6] + f"({self.fleet.n_hosts})",
             f"{self.app.kind}/{self.mechanism}",
         ]
+        if self.scheduler != "greedy":
+            bits.append(self.scheduler)
         return "  ".join(f"{b:<14s}" for b in bits).rstrip()

@@ -1,6 +1,12 @@
 """Tests for the Global Scheduler, load monitor and policies."""
 
-from repro.gs import GlobalScheduler, LoadBalancePolicy, LoadMonitor, OwnerReclaimPolicy
+from repro.gs import (
+    GlobalScheduler,
+    LoadBalancePolicy,
+    LoadMonitor,
+    OwnerReclaimPolicy,
+    SchedulerConfig,
+)
 from repro.hw import Cluster
 from repro.mpvm import MpvmSystem
 
@@ -201,7 +207,7 @@ def test_load_balance_policy_quiet_cluster_never_moves():
 def test_quarantine_ttl_expires_and_readmits():
     vm = make_vm(3)
     cl = vm.cluster
-    gs = GlobalScheduler(cl, vm, quarantine_ttl=10.0)
+    gs = GlobalScheduler(cl, vm, scheduler=SchedulerConfig(quarantine_ttl=10.0))
     others = ("hp720-0", "hp720-2")
     cl.run(until=1.0)
     gs._note_failure("hp720-1")
@@ -217,7 +223,7 @@ def test_quarantine_ttl_expires_and_readmits():
 def test_quarantine_fresh_failure_restarts_ttl_clock():
     vm = make_vm(3)
     cl = vm.cluster
-    gs = GlobalScheduler(cl, vm, quarantine_ttl=10.0)
+    gs = GlobalScheduler(cl, vm, scheduler=SchedulerConfig(quarantine_ttl=10.0))
     others = ("hp720-0", "hp720-2")
     cl.run(until=1.0)
     gs._note_failure("hp720-1")
@@ -234,7 +240,7 @@ def test_quarantine_fresh_failure_restarts_ttl_clock():
 def test_quarantine_ttl_does_not_readmit_a_down_host():
     vm = make_vm(3)
     cl = vm.cluster
-    gs = GlobalScheduler(cl, vm, quarantine_ttl=5.0)
+    gs = GlobalScheduler(cl, vm, scheduler=SchedulerConfig(quarantine_ttl=5.0))
     others = ("hp720-0", "hp720-2")
     cl.run(until=1.0)
     gs._note_failure("hp720-1")
@@ -259,3 +265,59 @@ def test_quarantine_without_ttl_is_forever():
     assert gs.pick_destination(exclude=others) is None
     gs.pardon(cl.host(1))  # the only way back in
     assert gs.pick_destination(exclude=others).name == "hp720-1"
+
+
+def test_quarantine_without_timestamp_serves_one_full_ttl():
+    # Regression: a host put in the quarantined set directly (operator,
+    # policy) has no timestamp.  It must neither be pardoned on the very
+    # next placement (0 >= ttl) nor stay stuck because the clock resets
+    # on every check — it serves one TTL from first observation.
+    vm = make_vm(3)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm, scheduler=SchedulerConfig(quarantine_ttl=10.0))
+    others = ("hp720-0", "hp720-2")
+    cl.run(until=1.0)
+    gs.quarantined.add("hp720-1")  # no _quarantined_at entry
+    assert gs.pick_destination(exclude=others) is None  # not an instant pardon
+    assert gs._quarantined_at["hp720-1"] == 1.0  # clock started at first look
+    cl.run(until=6.0)
+    assert gs.pick_destination(exclude=others) is None  # mid-TTL: still out
+    assert gs._quarantined_at["hp720-1"] == 1.0  # ...and the clock held
+    cl.run(until=12.0)
+    assert gs.pick_destination(exclude=others).name == "hp720-1"
+    assert "hp720-1" not in gs.quarantined
+
+
+def test_pick_destination_breaks_ties_in_cluster_order():
+    vm = make_vm(4)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm)
+    cl.run(until=2.0)  # all idle: a four-way tie
+    assert gs.pick_destination().name == "hp720-0"
+    assert gs.pick_destination(exclude=("hp720-0",)).name == "hp720-1"
+    assert gs.pick_destination(exclude=("hp720-0", "hp720-1")).name == "hp720-2"
+
+
+def test_pick_destination_unions_every_exclusion_source():
+    vm = make_vm(5)
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm)
+    cl.run(until=2.0)
+    gs.vacating.add("hp720-0")
+    gs.quarantined.add("hp720-1")
+    cl.host(2).fail()
+    # vacating + quarantined + down + the caller's own excludes stack.
+    assert gs.pick_destination(exclude=("hp720-3",)).name == "hp720-4"
+    # All five ruled out at once: nothing left, never a fallback leak.
+    assert gs.pick_destination(exclude=("hp720-3", "hp720-4")) is None
+
+
+def test_pick_destination_fallback_scan_when_monitor_is_blind():
+    # Before the first sampling tick the monitor has no data, so the
+    # policy ranking returns None; placement falls back to the cluster
+    # scan and still honours the exclusion set.
+    vm = make_vm(3)
+    gs = GlobalScheduler(vm.cluster, vm)
+    assert gs.monitor.least_loaded() is None
+    assert gs.pick_destination().name == "hp720-0"
+    assert gs.pick_destination(exclude=("hp720-0", "hp720-1")).name == "hp720-2"

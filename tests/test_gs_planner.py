@@ -1,0 +1,301 @@
+"""Tests for the placement planner and batch scheduler (plain data,
+no simulation): swap legality, round shaping, wave constraints."""
+
+import pytest
+
+from repro.gs import BatchScheduler, PlacementPlanner, SchedulerConfig
+from repro.gs.planner import MigrationPlan, Move
+
+
+class FakeState:
+    def __init__(self, value):
+        self.value = value
+
+
+class FakeUnit:
+    def __init__(self, name, nbytes, running=True):
+        self.name = name
+        self.migration_state_bytes = nbytes
+        self.state = FakeState("running" if running else "blocked")
+
+    def __repr__(self):
+        return self.name
+
+
+class FakeHost:
+    def __init__(self, name, mem_bytes=10_000, mem_used=0, up=True):
+        self.name = name
+        self.mem_bytes = mem_bytes
+        self.mem_used = mem_used
+        self.up = up
+
+
+class FakeCluster:
+    def __init__(self, hosts):
+        self.hosts = list(hosts)
+        self._by_name = {h.name: h for h in hosts}
+
+    def host(self, name):
+        return self._by_name[name]
+
+
+class FakeMonitor:
+    """A plain (non-window) monitor: the planner falls back to load_of."""
+
+    def __init__(self, loads):
+        self.loads = loads
+
+    def load_of(self, name):
+        return self.loads.get(name)
+
+
+class FakeClient:
+    def __init__(self, units_by_host):
+        self.units_by_host = units_by_host
+
+    def movable_units(self, host):
+        return list(self.units_by_host.get(host.name, []))
+
+
+class FakeGS:
+    def __init__(self, hosts, units_by_host, loads):
+        self.cluster = FakeCluster(hosts)
+        self.client = FakeClient(units_by_host)
+        self.monitor = FakeMonitor(loads)
+        self.vacating = set()
+        self.quarantined = set()
+        self.unreachable_provider = None
+
+
+def cfg(**kw):
+    kw.setdefault("policy", "predictive")
+    return SchedulerConfig(**kw)
+
+
+# --------------------------------------------------------------- planner
+
+
+def test_planner_sheds_one_way_until_under_threshold():
+    units = [FakeUnit(f"u{i}", 100 + i) for i in range(5)]
+    gs = FakeGS(
+        hosts=[FakeHost("hot"), FakeHost("cool-a"), FakeHost("cool-b")],
+        units_by_host={"hot": units},
+        loads={"hot": 5.0, "cool-a": 0.0, "cool-b": 0.0},
+    )
+    plan = PlacementPlanner(cfg(overload_threshold=2.0)).plan(gs, ["hot"])
+    # Load 5 -> 2 takes exactly three one-way moves.
+    assert [m.kind for m in plan.moves] == ["evict", "evict", "evict"]
+    assert plan.triggers == ("hot",)
+    # Cheapest state ships first; destinations track the simulated
+    # loads, so the round balances across the cools deterministically.
+    assert [m.unit.name for m in plan.moves] == ["u0", "u1", "u2"]
+    assert [m.dst for m in plan.moves] == ["cool-a", "cool-b", "cool-a"]
+
+
+def test_planner_respects_move_cap_and_reports_totals():
+    units = [FakeUnit(f"u{i}", 100) for i in range(8)]
+    gs = FakeGS(
+        hosts=[FakeHost("hot"), FakeHost("cool")],
+        units_by_host={"hot": units},
+        loads={"hot": 9.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(
+        cfg(overload_threshold=2.0, max_moves_per_round=2, swaps=False)
+    ).plan(gs, ["hot"])
+    assert len(plan.moves) == 2
+    assert plan.evict_count == 2
+    assert plan.total_bytes == 200
+
+
+def test_planner_skips_blocked_units_and_notes_immovable_hosts():
+    gs = FakeGS(
+        hosts=[FakeHost("hot"), FakeHost("cool")],
+        units_by_host={"hot": [FakeUnit("sleeper", 100, running=False)]},
+        loads={"hot": 5.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(cfg()).plan(gs, ["hot"])
+    assert plan.moves == []
+    assert any("nothing movable" in n for n in plan.notes)
+
+
+def test_planner_excludes_vacating_quarantined_down_and_unreachable():
+    units = [FakeUnit("u0", 100)]
+    hosts = [
+        FakeHost("hot"),
+        FakeHost("vacating"),
+        FakeHost("quarantined"),
+        FakeHost("down", up=False),
+        FakeHost("cutoff"),
+        FakeHost("good"),
+    ]
+    gs = FakeGS(
+        hosts=hosts,
+        units_by_host={"hot": units},
+        loads={h.name: 0.0 for h in hosts} | {"hot": 3.0},
+    )
+    gs.vacating = {"vacating"}
+    gs.quarantined = {"quarantined"}
+    gs.unreachable_provider = lambda: ["cutoff"]
+    plan = PlacementPlanner(cfg()).plan(gs, ["hot"])
+    assert [m.dst for m in plan.moves] == ["good"]
+
+
+def test_planner_swaps_when_memory_blocks_every_one_way_move():
+    big = FakeUnit("big", 120)
+    small = FakeUnit("small", 50, running=False)
+    gs = FakeGS(
+        hosts=[
+            FakeHost("hot", mem_bytes=2_000, mem_used=1_000),
+            # Load-legal but memory-blocked: free 100 < 120 needed...
+            FakeHost("cool", mem_bytes=1_000, mem_used=900),
+        ],
+        units_by_host={"hot": [big], "cool": [small]},
+        loads={"hot": 3.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(cfg(overload_threshold=2.0)).plan(gs, ["hot"])
+    # ...but freeing the 50-byte partner makes the 120-byte unit fit.
+    assert [m.kind for m in plan.moves] == ["swap", "swap"]
+    clearing, main = plan.moves
+    assert (clearing.unit.name, clearing.src, clearing.dst) == ("small", "cool", "hot")
+    assert (main.unit.name, main.src, main.dst) == ("big", "hot", "cool")
+    assert clearing.swap_id == main.swap_id
+    assert (clearing.stage, main.stage) == (0, 1)
+    assert plan.swap_count == 1
+
+
+def test_planner_swap_rejects_heavier_or_bigger_partners():
+    big = FakeUnit("big", 120)
+    # A running partner has equal weight: rule 2 (strictly lighter)
+    # rejects it even though the bytes fit.
+    peer = FakeUnit("peer", 50, running=True)
+    gs = FakeGS(
+        hosts=[
+            FakeHost("hot", mem_bytes=2_000, mem_used=1_000),
+            FakeHost("cool", mem_bytes=1_000, mem_used=900),
+        ],
+        units_by_host={"hot": [big], "cool": [peer]},
+        loads={"hot": 3.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(cfg(overload_threshold=2.0)).plan(gs, ["hot"])
+    assert plan.moves == []
+    assert any("no legal destination" in n for n in plan.notes)
+
+
+def test_planner_swap_requires_room_on_the_hot_host():
+    big = FakeUnit("big", 120)
+    small = FakeUnit("small", 50, running=False)
+    gs = FakeGS(
+        hosts=[
+            # Rule 4: the hot host cannot even stage the 50-byte partner.
+            FakeHost("hot", mem_bytes=1_000, mem_used=980),
+            FakeHost("cool", mem_bytes=1_000, mem_used=900),
+        ],
+        units_by_host={"hot": [big], "cool": [small]},
+        loads={"hot": 3.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(cfg(overload_threshold=2.0)).plan(gs, ["hot"])
+    assert plan.moves == []
+
+
+def test_planner_swaps_disabled_by_config():
+    big = FakeUnit("big", 120)
+    small = FakeUnit("small", 50, running=False)
+    gs = FakeGS(
+        hosts=[
+            FakeHost("hot", mem_bytes=2_000, mem_used=1_000),
+            FakeHost("cool", mem_bytes=1_000, mem_used=900),
+        ],
+        units_by_host={"hot": [big], "cool": [small]},
+        loads={"hot": 3.0, "cool": 0.0},
+    )
+    plan = PlacementPlanner(cfg(swaps=False)).plan(gs, ["hot"])
+    assert plan.moves == []
+
+
+# --------------------------------------------------------------- batching
+
+
+def mv(unit, src, dst, nbytes, **kw):
+    return Move(FakeUnit(unit, nbytes), src, dst, nbytes, 1.0, **kw)
+
+
+def plan_of(*moves):
+    return MigrationPlan(moves=list(moves))
+
+
+def test_batch_one_move_per_directed_link_per_wave():
+    sched = BatchScheduler(cfg(), bytes_per_s=100.0)
+    out = sched.schedule(plan_of(
+        mv("a", "h1", "h2", 100), mv("b", "h1", "h2", 100)
+    ))
+    assert [len(w.moves) for w in out.waves] == [1, 1]
+
+
+def test_batch_per_host_participation_cap():
+    sched = BatchScheduler(
+        cfg(max_concurrent_per_host=2, max_concurrent_total=8),
+        bytes_per_s=100.0,
+    )
+    out = sched.schedule(plan_of(
+        mv("a", "h1", "h2", 100),
+        mv("b", "h1", "h3", 100),
+        mv("c", "h1", "h4", 100),
+    ))
+    # h1 sources all three: at most two rides per wave.
+    assert [len(w.moves) for w in out.waves] == [2, 1]
+
+
+def test_batch_total_cap_and_lpt_order():
+    sched = BatchScheduler(
+        cfg(max_concurrent_total=2, max_concurrent_per_host=8),
+        bytes_per_s=100.0,
+    )
+    out = sched.schedule(plan_of(
+        mv("small", "h1", "h2", 10),
+        mv("large", "h3", "h4", 500),
+        mv("medium", "h5", "h6", 100),
+    ))
+    assert [len(w.moves) for w in out.waves] == [2, 1]
+    # Longest processing time first: the big transfer leads wave one.
+    assert out.waves[0].moves[0].unit.name == "large"
+    assert out.move_count == 3
+
+
+def test_batch_swap_main_leg_waits_for_its_clearing_leg():
+    sched = BatchScheduler(cfg(), bytes_per_s=100.0)
+    out = sched.schedule(plan_of(
+        mv("small", "cool", "hot", 10, kind="swap", swap_id=1, stage=0),
+        mv("big", "hot", "cool", 800, kind="swap", swap_id=1, stage=1),
+    ))
+    # Capacity-wise both fit one wave; the precedence forbids it.
+    assert [len(w.moves) for w in out.waves] == [1, 1]
+    assert out.waves[0].moves[0].unit.name == "small"
+    assert out.waves[1].moves[0].unit.name == "big"
+
+
+def test_batch_makespan_is_the_sum_of_wave_durations():
+    sched = BatchScheduler(cfg(), bytes_per_s=100.0, latency_s=0.5)
+    out = sched.schedule(plan_of(
+        mv("a", "h1", "h2", 100), mv("b", "h3", "h4", 300)
+    ))
+    # One wave, shared medium: 0.5 + (100 + 300) / 100.
+    assert len(out.waves) == 1
+    assert out.waves[0].total_bytes == 400
+    assert out.est_makespan_s == pytest.approx(4.5)
+
+
+def test_batch_reads_rate_and_latency_from_the_network():
+    class FakeMedium:
+        rate = 200.0
+
+    class FakeParams:
+        net_latency_s = 1.0
+
+    class FakeNetwork:
+        medium = FakeMedium()
+        params = FakeParams()
+
+    out = BatchScheduler(cfg()).schedule(
+        plan_of(mv("a", "h1", "h2", 400)), network=FakeNetwork()
+    )
+    assert out.est_makespan_s == pytest.approx(3.0)

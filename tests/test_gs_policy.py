@@ -1,0 +1,178 @@
+"""Tests for the SchedulerPolicy API: config validation, resolution,
+capabilities, and the deprecation shims on GlobalScheduler/Session."""
+
+import pytest
+
+from repro.api import Session
+from repro.gs import (
+    GlobalScheduler,
+    GreedyPolicy,
+    LoadMonitor,
+    LoadMonitorWindow,
+    PolicyCapabilities,
+    PredictivePolicy,
+    SchedulerConfig,
+    SchedulerPolicy,
+    resolve_policy,
+)
+from repro.hw import Cluster
+from repro.mpvm import MpvmSystem
+
+
+def make_vm(n_hosts=3):
+    return MpvmSystem(Cluster(n_hosts=n_hosts))
+
+
+# ----------------------------------------------------------------- config
+
+
+def test_config_is_frozen_and_keyword_only():
+    cfg = SchedulerConfig(quarantine_ttl=5.0)
+    with pytest.raises(AttributeError):
+        cfg.quarantine_ttl = 10.0
+    with pytest.raises(TypeError):
+        SchedulerConfig("predictive")  # positional spelling refused
+    assert cfg.with_(policy="predictive").policy == "predictive"
+    assert cfg.quarantine_ttl == 5.0  # with_ copies, never mutates
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"policy": ""},
+        {"quarantine_after": 0},
+        {"quarantine_ttl": -1.0},
+        {"period_s": 0.0},
+        {"window_size": 0},
+        {"ewma_alpha": 0.0},
+        {"overload_threshold": 0.0},
+        {"trigger_n": 0},
+        {"trigger_n": 6, "trigger_k": 5},
+        {"trigger_k": 13, "window_size": 12},
+        {"max_moves_per_round": 0},
+        {"max_concurrent_per_host": 0},
+        {"max_concurrent_total": 0},
+        {"cooldown_s": -1.0},
+    ],
+)
+def test_config_validates(kw):
+    with pytest.raises(ValueError):
+        SchedulerConfig(**kw)
+
+
+# -------------------------------------------------------------- resolution
+
+
+def test_resolve_policy_paths():
+    assert isinstance(resolve_policy(None), GreedyPolicy)
+    assert isinstance(resolve_policy("greedy"), GreedyPolicy)
+    assert isinstance(resolve_policy("predictive"), PredictivePolicy)
+    cfg = SchedulerConfig(policy="predictive", swaps=False)
+    built = resolve_policy(cfg)
+    assert isinstance(built, PredictivePolicy)
+    assert built.config is cfg
+    ready = GreedyPolicy()
+    assert resolve_policy(ready) is ready
+    with pytest.raises(ValueError, match="unknown scheduler policy"):
+        resolve_policy("clairvoyant")
+    with pytest.raises(TypeError, match="scheduler must be"):
+        resolve_policy(42)
+
+
+def test_policies_satisfy_the_protocol():
+    assert isinstance(GreedyPolicy(), SchedulerPolicy)
+    assert isinstance(PredictivePolicy(), SchedulerPolicy)
+
+
+def test_capabilities_are_declared_not_sniffed():
+    assert GreedyPolicy().capabilities() == PolicyCapabilities()
+    caps = PredictivePolicy().capabilities()
+    assert caps == PolicyCapabilities(predictive=True, swap=True, batch=True)
+    no_swaps = resolve_policy(SchedulerConfig(policy="predictive", swaps=False))
+    assert no_swaps.capabilities().swap is False
+
+
+# ------------------------------------------------------ scheduler wiring
+
+
+def test_greedy_default_keeps_the_plain_monitor_and_ranking():
+    vm = make_vm()
+    cl = vm.cluster
+    gs = GlobalScheduler(cl, vm)
+    assert gs.policy.name == "greedy"
+    assert type(gs.monitor) is LoadMonitor
+    cl.host(0).add_external_load(weight=2.0)
+    cl.run(until=3)
+    # The policy's ranking IS the monitor's least_loaded, call for call.
+    for exclude in ([], ["hp720-1"], ["hp720-1", "hp720-2"]):
+        assert gs.policy.rank_destination(gs, exclude) == gs.monitor.least_loaded(
+            exclude=exclude
+        )
+
+
+def test_predictive_scheduler_builds_the_window_monitor():
+    vm = make_vm()
+    gs = GlobalScheduler(
+        vm.cluster, vm, scheduler=SchedulerConfig(policy="predictive", window_size=7)
+    )
+    assert isinstance(gs.monitor, LoadMonitorWindow)
+    assert gs.monitor.window_size == 7
+    assert gs.policy.name == "predictive"
+
+
+def test_explicit_monitor_overrides_the_policy_monitor():
+    vm = make_vm()
+    mon = LoadMonitor(vm.cluster, period_s=0.5)
+    gs = GlobalScheduler(vm.cluster, vm, monitor=mon, scheduler="predictive")
+    assert gs.monitor is mon
+
+
+def test_config_reaches_quarantine_attrs():
+    vm = make_vm()
+    gs = GlobalScheduler(
+        vm.cluster,
+        vm,
+        scheduler=SchedulerConfig(quarantine_after=5, quarantine_ttl=30.0),
+    )
+    assert gs.quarantine_after == 5
+    assert gs.quarantine_ttl == 30.0
+
+
+# ----------------------------------------------------------------- shims
+
+
+def test_flat_quarantine_kwargs_warn_and_still_work():
+    vm = make_vm()
+    with pytest.warns(DeprecationWarning, match="SchedulerConfig"):
+        gs = GlobalScheduler(vm.cluster, vm, quarantine_ttl=10.0)
+    assert gs.quarantine_ttl == 10.0
+    assert gs.config.quarantine_ttl == 10.0
+
+
+def test_flat_kwargs_refuse_to_combine_with_scheduler():
+    vm = make_vm()
+    with pytest.raises(TypeError, match="cannot be combined"):
+        GlobalScheduler(
+            vm.cluster, vm, scheduler=SchedulerConfig(), quarantine_after=3
+        )
+
+
+def test_session_flat_quarantine_kwargs_warn_and_still_work():
+    with pytest.warns(DeprecationWarning, match="SchedulerConfig"):
+        s = Session(mechanism="mpvm", n_hosts=2, quarantine_ttl=20.0)
+    assert s.scheduler.quarantine_ttl == 20.0
+
+
+def test_session_flat_kwargs_refuse_to_combine_with_scheduler():
+    with pytest.raises(TypeError, match="cannot be combined"):
+        Session(mechanism="mpvm", n_hosts=2, scheduler="greedy", quarantine_after=3)
+
+
+def test_session_records_and_builds_the_selected_policy():
+    s = Session(mechanism="mpvm", n_hosts=3, scheduler="predictive")
+    assert s.config.scheduler == "predictive"
+    assert s.scheduler.policy.name == "predictive"
+    assert isinstance(s.scheduler.monitor, LoadMonitorWindow)
+    default = Session(mechanism="mpvm", n_hosts=3)
+    assert default.config.scheduler == "greedy"
+    assert default.scheduler.policy.name == "greedy"

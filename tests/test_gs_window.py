@@ -1,0 +1,121 @@
+"""Tests for the windowed load monitor (prediction layer)."""
+
+import pytest
+
+from repro.gs import LoadMonitorWindow
+from repro.hw import Cluster, HostSpec
+
+
+def make_window(n_hosts=3, **kw):
+    cl = Cluster(n_hosts=n_hosts)
+    kw.setdefault("period_s", 1.0)
+    return cl, LoadMonitorWindow(cl, **kw)
+
+
+def test_window_validates_parameters():
+    cl = Cluster(n_hosts=2)
+    with pytest.raises(ValueError, match="window_size"):
+        LoadMonitorWindow(cl, window_size=0)
+    with pytest.raises(ValueError, match="ewma_alpha"):
+        LoadMonitorWindow(cl, ewma_alpha=0.0)
+    with pytest.raises(ValueError, match="ewma_alpha"):
+        LoadMonitorWindow(cl, ewma_alpha=1.5)
+    with pytest.raises(ValueError, match="threshold"):
+        LoadMonitorWindow(cl, overload_threshold=0.0)
+
+
+def test_window_is_a_load_monitor():
+    # The windowed monitor keeps the whole base surface alive: the GS
+    # and the legacy policies read it exactly like a plain monitor.
+    cl, mon = make_window(2)
+    cl.host(0).add_external_load(weight=2.0)
+    cl.run(until=3)
+    assert mon.load_of("hp720-0") == 2.0
+    assert mon.least_loaded() == "hp720-1"
+    assert len(mon.history("hp720-0")) == 4
+
+
+def test_ewma_converges_and_predicts():
+    cl, mon = make_window(2, ewma_alpha=0.5)
+    cl.host(0).add_external_load(weight=4.0)
+    cl.run(until=10)
+    # First sample seeds the EWMA directly; constant load stays exact.
+    assert mon.predicted_load("hp720-0") == pytest.approx(4.0)
+    assert mon.predicted_load("hp720-1") == pytest.approx(0.0)
+    assert mon.predicted_load("nonesuch") is None
+
+
+def test_ewma_smooths_a_spike():
+    cl, mon = make_window(2, ewma_alpha=0.25)
+    cl.run(until=5.5)  # six idle samples
+    handle = cl.host(0).add_external_load(weight=8.0)
+    cl.run(until=6.5)  # exactly one hot sample
+    cl.host(0).remove_external_load(handle)
+    # One 8.0 sample against an idle history moves the EWMA only by
+    # alpha * 8: prediction stays far below the instantaneous reading.
+    assert mon.load_of("hp720-0") == 8.0
+    assert mon.predicted_load("hp720-0") == pytest.approx(2.0)
+
+
+def test_integrated_and_window_overload_indices():
+    cl, mon = make_window(2, window_size=4, overload_threshold=2.0)
+    cl.host(0).add_external_load(weight=5.0)
+    cl.run(until=3.5)  # four samples, all at 5.0
+    # Excess 3.0 in every one of the 4 slots.
+    assert mon.integrated_overload_index("hp720-0") == pytest.approx(3.0)
+    assert mon.window_overload_index("hp720-0") == pytest.approx(1.0)
+    assert mon.integrated_overload_index("hp720-1") == 0.0
+    assert mon.integrated_overload_index("nonesuch") == 0.0
+
+
+def test_n_of_k_trigger_fires_on_sustained_overload_only():
+    cl, mon = make_window(3, overload_threshold=2.0)
+    cl.host(0).add_external_load(weight=5.0)
+    cl.run(until=1.5)  # two hot samples: not yet sustained
+    assert mon.overloaded_n_of_k(3, 5) == []
+    cl.run(until=4.5)  # five hot samples
+    assert mon.overloaded_n_of_k(3, 5) == ["hp720-0"]
+
+
+def test_n_of_k_ignores_a_short_blip():
+    cl, mon = make_window(2, overload_threshold=2.0)
+    cl.run(until=3.5)
+    handle = cl.host(1).add_external_load(weight=5.0)
+    cl.run(until=5.5)  # two hot samples inside the window
+    cl.host(1).remove_external_load(handle)
+    cl.run(until=9.5)
+    assert mon.overloaded_n_of_k(3, 5) == []
+
+
+def test_least_predicted_ranks_by_ewma_not_last_sample():
+    cl, mon = make_window(3, ewma_alpha=0.25)
+    # Host 1 busy all along; host 2 idle until a very recent burst.
+    cl.host(1).add_external_load(weight=2.0)
+    cl.run(until=8.5)
+    cl.host(2).add_external_load(weight=3.0)
+    cl.run(until=9.5)
+    # Last sample says host 1 (2.0) beats host 2 (3.0); the window
+    # knows host 2 was idle for ages and ranks it the better target.
+    assert mon.least_loaded(exclude=["hp720-0"]) == "hp720-1"
+    assert mon.least_predicted(exclude=["hp720-0"]) == "hp720-2"
+    assert mon.least_predicted(exclude=["hp720-0", "hp720-1", "hp720-2"]) is None
+
+
+def test_least_predicted_ties_break_in_cluster_order():
+    cl, mon = make_window(3)
+    cl.run(until=2.5)
+    assert mon.least_predicted() == "hp720-0"
+    assert mon.least_predicted(exclude=["hp720-0"]) == "hp720-1"
+
+
+def test_window_grows_rows_for_hosts_added_later():
+    cl, mon = make_window(2, overload_threshold=2.0)
+    cl.run(until=2.5)
+    cl.add_host(HostSpec("late-1"))
+    cl.run(until=6.5)
+    assert mon.predicted_load("late-1") == pytest.approx(0.0)
+    # A freshly added host cannot trigger before it has real samples.
+    assert mon.overloaded_n_of_k(1, 5) == []
+    cl.host("late-1").add_external_load(weight=9.0)
+    cl.run(until=12.5)
+    assert mon.overloaded_n_of_k(3, 5) == ["late-1"]
