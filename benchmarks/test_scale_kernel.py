@@ -1,15 +1,16 @@
-"""Scale benchmarks + regression gate for the virtual-time PS kernel.
+"""Scale benchmarks + regression gate for the simulation kernel.
 
 Unlike the exhibit benchmarks (which wrap pytest-benchmark around the
 paper-scale tables), this suite drives the kernel at ROADMAP scale —
-64 hosts, 512 concurrent jobs, migration churn — with plain
-``time.perf_counter`` timing, and gates wall clock against the
-committed ``BENCH_kernel.json`` baseline.
+64-host churn, and the 1024-host / 100k-task migration storm that gates
+the calendar event core — with plain ``time.perf_counter`` timing, and
+gates wall clock against the committed ``BENCH_kernel.json`` artifact.
 
 The wall-clock threshold is deliberately generous (CI machines vary):
-``REPRO_BENCH_FACTOR`` (default 1.5) times the committed ``current``
-measurement.  The *simulated* quantities asserted here are exact — the
-benchmarks are seeded and the kernel is deterministic.
+``REPRO_BENCH_FACTOR`` (default 1.5) times the committed measurement.
+The *simulated* quantities asserted here are exact — the benchmarks are
+seeded and the kernel is deterministic, including bit-identical
+trajectories across the heap and calendar queue backends.
 """
 
 import json
@@ -23,6 +24,7 @@ from repro.experiments.bench import (
     bench_cluster_churn,
     bench_opt_sweep,
     bench_ps_churn,
+    bench_storm,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -49,7 +51,7 @@ def test_ps_churn_512_jobs(baseline):
     assert res["max_event_queue"] <= 64, res["max_event_queue"]
     assert res["superseded_wakeups"] > 0
     # Wall-clock gate against the committed baseline.
-    budget = baseline["current"]["benches"]["ps_churn"]["wall_s"] * FACTOR
+    budget = baseline["benches"]["ps_churn"]["wall_s"] * FACTOR
     assert res["wall_s"] <= budget, (res["wall_s"], budget)
 
 
@@ -60,7 +62,7 @@ def test_cluster_churn_64_hosts(baseline):
     # Legacy peaked at 6431 queued events; stale-wakeup discarding keeps
     # the heap at O(hosts + in-flight transfers).
     assert res["max_event_queue"] <= 1024, res["max_event_queue"]
-    budget = baseline["current"]["benches"]["cluster_churn"]["wall_s"] * FACTOR
+    budget = baseline["benches"]["cluster_churn"]["wall_s"] * FACTOR
     assert res["wall_s"] <= budget, (res["wall_s"], budget)
 
 
@@ -69,16 +71,55 @@ def test_opt_sweep_matches_paper(baseline):
     res = bench_opt_sweep(repeats=10, data_mb=4.2)
     # The end-to-end exhibit number the kernel rewrite must preserve.
     assert res["migration_s"] == pytest.approx(4.231240687652355, abs=1e-9)
-    budget = baseline["current"]["benches"]["opt_sweep"]["wall_s"] * FACTOR
+    budget = baseline["benches"]["opt_sweep"]["wall_s"] * FACTOR
     assert res["wall_s"] <= budget, (res["wall_s"], budget)
 
 
-def test_committed_baseline_records_the_speedup(baseline):
-    """The PR's acceptance number lives in the committed document."""
-    assert baseline["pre_pr"]["kernel"] == "legacy-list"
-    assert baseline["current"]["kernel"] == "virtual-time-heap"
-    assert baseline["speedup"]["ps_churn"] >= 5.0
-    # Both measurements present for every bench.
-    for name in ("ps_churn", "cluster_churn", "opt_sweep"):
-        assert baseline["pre_pr"]["benches"][name]["wall_s"] > 0
-        assert baseline["current"]["benches"][name]["wall_s"] > 0
+def test_storm_backends_bit_identical(baseline):
+    """The 1024-host/100k-task storm: both backends, one trajectory.
+
+    Full scale, single repeat per backend: the simulated fingerprint
+    (every wave-completion timestamp + final per-host kernel state) must
+    match between the heap and calendar event cores, and must match the
+    committed artifact exactly (the workload is seeded).
+    """
+    committed = baseline["benches"]["storm"]
+    heap = bench_storm("heap")
+    calendar = bench_storm("calendar")
+    assert heap["fingerprint"] == calendar["fingerprint"]
+    assert heap["fingerprint"] == committed["fingerprint"]
+    assert heap["tasks"] == calendar["tasks"] == committed["tasks"] >= 100_000
+    assert heap["hosts"] == calendar["hosts"] == committed["hosts"] == 1024
+    assert heap["waves_completed"] == calendar["waves_completed"]
+    assert heap["sim_time_s"] == calendar["sim_time_s"]
+    # The calendar configuration must actually defer re-arms in bulk
+    # (at least one per host per wave: submit + fleet rounds collapse).
+    assert calendar["deferred_rearms"] >= committed["hosts"] * committed["waves"]
+    # Live wall-clock: each backend within budget of its committed self,
+    # and the live ratio comfortably above break-even even on a noisy
+    # machine (the committed, best-of-3 ratio is gated at >= 10 below).
+    assert heap["wall_s"] <= committed["heap"]["wall_s"] * FACTOR
+    assert calendar["wall_s"] <= committed["calendar"]["wall_s"] * FACTOR
+    assert heap["wall_s"] / calendar["wall_s"] >= 4.0
+
+
+def test_committed_artifact_records_the_speedups(baseline):
+    """The PR's acceptance numbers live in the committed document."""
+    # The calendar event core's gate: >= 10x on the migration storm.
+    assert baseline["speedup"]["storm_calendar_over_heap"] >= 10.0
+    storm = baseline["benches"]["storm"]
+    assert storm["speedup"] >= 10.0
+    assert storm["heap"]["kernel"] == "virtual-time-heap"
+    assert storm["calendar"]["kernel"] == "calendar-batch"
+    assert storm["fingerprint"] == storm["heap"]["fingerprint"]
+    assert storm["fingerprint"] == storm["calendar"]["fingerprint"]
+    # The virtual-time rewrite's original gate, carried in history.
+    assert baseline["speedup"]["ps_churn_vs_legacy"] >= 5.0
+    assert baseline["history"]["legacy-list"]["ps_churn"]["wall_s"] > 0
+    # Uniform metadata on every bench entry.
+    for name in ("ps_churn", "cluster_churn", "opt_sweep", "storm"):
+        bench = baseline["benches"][name]
+        assert bench["python"], name
+        assert bench["machine"], name
+        assert bench["best_of"] >= 1, name
+        assert bench.get("wall_s", 1.0) > 0

@@ -15,6 +15,9 @@ def register(sub: "argparse._SubParsersAction") -> None:
                    help="emit the benchmark document as JSON")
     p.add_argument("--smoke", action="store_true",
                    help="tiny sizes (CI smoke / CLI tests)")
+    p.add_argument("--queue", choices=("heap", "calendar"), default="heap",
+                   help="event-queue backend for the single-backend benches "
+                        "(the storm bench always measures both)")
     p.add_argument("--gs-ab", action="store_true", dest="gs_ab",
                    help="run the greedy-vs-predictive scheduler A/B bench "
                         "(BENCH_scheduler.json) instead of the kernel bench")
@@ -27,9 +30,11 @@ def register(sub: "argparse._SubParsersAction") -> None:
 def run(ns: argparse.Namespace) -> int:
     if ns.gs_ab:
         from ..experiments.bench_scheduler import render_bench, run_bench
+
+        doc = run_bench(smoke=ns.smoke)
     else:
         from ..experiments.bench import render_bench, run_bench
 
-    doc = run_bench(smoke=ns.smoke)
+        doc = run_bench(smoke=ns.smoke, queue=ns.queue)
     emit(doc, render_bench, as_json=ns.json, out=ns.out)
     return 0 if doc.get("ok", True) else 1

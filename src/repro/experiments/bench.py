@@ -3,7 +3,7 @@
 The paper's exhibits run at 1994 scales (two hosts, a handful of tasks);
 the ROADMAP's production-scale north star needs the simulation kernel to
 stay fast at hundreds of concurrent jobs per server.  This module
-measures the three regimes that bound that scaling:
+measures the regimes that bound that scaling:
 
 * ``ps_churn`` — one :class:`~repro.sim.ProcessorSharing` server under
   submit/cancel/load/set-rate churn with 512 resident jobs.  This is the
@@ -14,20 +14,40 @@ measures the three regimes that bound that scaling:
   remaining work on another) plus owner load flapping.
 * ``opt_sweep`` — 10 runs of the Table 6 ADMopt vacate (the paper's own
   workload), i.e. the end-to-end cost of regenerating an exhibit.
+* ``storm`` — the calendar-kernel gate: a 1024-host worknet absorbing
+  100k+ short tasks in SPMD waves while a control-plane storm re-rates
+  the whole fleet and migrates residents.  Run on **both** event-core
+  backends (``queue="heap"`` and ``queue="calendar"``); the simulated
+  trajectories must be bit-identical (``fingerprint``) and the committed
+  artifact records the wall-clock speedup the calendar configuration —
+  calendar queue + same-instant batch dispatch + per-cohort vectorized
+  PS epoch updates + per-host wave aggregation — achieves over the
+  unchanged heap kernel.
+
+``ps_churn`` and ``cluster_churn`` accept ``queue=`` so either backend
+can be profiled in isolation; ``opt_sweep`` always runs the exhibit
+configuration (default heap backend — exhibits are frozen byte-for-byte
+on it).
 
 Results are emitted as a machine-readable document (see
-``BENCH_kernel.json`` at the repo root for the committed baseline, and
-the CI ``bench`` job for the regression gate).
+``BENCH_kernel.json`` at the repo root for the committed artifact, which
+``python -m repro bench --json --out BENCH_kernel.json`` rewrites
+reproducibly).  Every bench entry carries uniform ``python`` /
+``machine`` / ``best_of`` metadata; wall times are best-of-``best_of``
+while the simulated quantities are asserted identical across repeats.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import random
 import time
 from collections import deque
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..sim import Simulator
 from ..sim.resources import ProcessorSharing
@@ -37,19 +57,69 @@ __all__ = [
     "bench_ps_churn",
     "bench_cluster_churn",
     "bench_opt_sweep",
+    "bench_storm",
+    "bench_storm_pair",
     "run_bench",
     "render_bench",
 ]
 
-SCHEMA = "repro-bench-kernel/1"
+SCHEMA = "repro-bench-kernel/2"
 
 #: Fixed seed: the benchmarked *work* is deterministic; only the
 #: wall-clock measurement varies between runs.
 _SEED = 1994
 
+#: Historical wall-clock measurements carried in the committed artifact:
+#: the legacy O(n)-list kernel (pre virtual-time rewrite) at the same
+#: bench scales.  These are constants — re-measuring them would need the
+#: deleted kernel — kept so the artifact tells the whole story.
+_HISTORY: Dict[str, Any] = {
+    "legacy-list": {
+        "ps_churn": {"wall_s": 1.3692294989996299, "max_event_queue": 528},
+        "cluster_churn": {"wall_s": 0.10915694100003748, "max_event_queue": 6431},
+        "opt_sweep": {"wall_s": 0.07408524300080899},
+    },
+}
 
-def _queue_len(sim: Simulator) -> int:
-    return len(sim._queue)
+
+def _meta(best_of: int) -> Dict[str, Any]:
+    """Uniform per-bench environment metadata."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "best_of": best_of,
+    }
+
+
+def _best_of(fn: Callable[[], Dict[str, Any]], best_of: int) -> Dict[str, Any]:
+    """Run ``fn`` ``best_of`` times; keep the fastest wall clock.
+
+    The simulated quantities must agree across repeats (the workloads
+    are seeded and the kernel is deterministic) — a mismatch is a bug,
+    not noise, so it raises.
+    """
+    result: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, best_of)):
+        run = fn()
+        if result is None:
+            result = run
+        else:
+            sim_a = {k: v for k, v in result.items() if not _is_wall_key(k)}
+            sim_b = {k: v for k, v in run.items() if not _is_wall_key(k)}
+            if sim_a != sim_b:
+                raise AssertionError(
+                    f"non-deterministic bench result: {sim_a} != {sim_b}"
+                )
+            if run["wall_s"] < result["wall_s"]:
+                result = run
+    assert result is not None
+    result.update(_meta(max(1, best_of)))
+    return result
+
+
+def _is_wall_key(key: str) -> bool:
+    return key in ("wall_s", "ops_per_s", "migrations_per_s", "runs_per_s",
+                   "tasks_per_s")
 
 
 def _stale(sim: Simulator, ps: Optional[ProcessorSharing] = None) -> Dict[str, Any]:
@@ -66,7 +136,7 @@ def _stale(sim: Simulator, ps: Optional[ProcessorSharing] = None) -> Dict[str, A
 
 
 def bench_ps_churn(
-    jobs: int = 512, rounds: int = 2000, seed: int = _SEED
+    jobs: int = 512, rounds: int = 2000, seed: int = _SEED, queue: str = "heap"
 ) -> Dict[str, Any]:
     """One PS server, ``jobs`` resident jobs, ``rounds`` of churn.
 
@@ -75,14 +145,14 @@ def bench_ps_churn(
     rate changes, then advances simulated time — i.e. every round hits
     the server's full state-change surface.
     """
-    sim = Simulator()
+    sim = Simulator(queue=queue)
     ps = ProcessorSharing(sim, rate=1e6, name="bench-cpu")
     rng = random.Random(seed)
     resident = [ps.submit_job(1e12 + i, label="resident") for i in range(jobs)]
     loads: deque = deque()
     completions = 0
 
-    def _on_done(_ev) -> None:
+    def _on_done(_ev: Any) -> None:
         nonlocal completions
         completions += 1
 
@@ -107,6 +177,7 @@ def bench_ps_churn(
     wall = time.perf_counter() - t0
     ops = rounds * 4  # submit + cancel + resubmit + run (amortizes the rest)
     return {
+        "queue": queue,
         "jobs": jobs,
         "rounds": rounds,
         "wall_s": wall,
@@ -123,11 +194,12 @@ def bench_cluster_churn(
     jobs_per_host: int = 8,
     migrations: int = 1500,
     seed: int = _SEED,
+    queue: str = "heap",
 ) -> Dict[str, Any]:
     """A 64-host worknet with 512 concurrent jobs and migration churn."""
     from ..hw.cluster import Cluster
 
-    cl = Cluster(n_hosts=n_hosts, trace=False)
+    cl = Cluster(n_hosts=n_hosts, trace=False, queue=queue)
     sim = cl.sim
     rng = random.Random(seed)
     active = []  # (host_index, PsJob)
@@ -169,6 +241,7 @@ def bench_cluster_churn(
             max_queue = len(sim._queue)
     wall = time.perf_counter() - t0
     return {
+        "queue": queue,
         "hosts": n_hosts,
         "concurrent_jobs": n_hosts * jobs_per_host,
         "migrations": migrations,
@@ -199,39 +272,216 @@ def bench_opt_sweep(repeats: int = 10, data_mb: float = 4.2) -> Dict[str, Any]:
     }
 
 
-def run_bench(smoke: bool = False) -> Dict[str, Any]:
-    """Run the full suite; ``smoke=True`` shrinks every axis (CLI tests)."""
+def bench_storm(
+    queue: str,
+    n_hosts: int = 1024,
+    waves: int = 4,
+    tasks_per_host: int = 25,
+    fleet_rounds: int = 16,
+    migrations: int = 64,
+    rate_levels: int = 4,
+    seed: int = _SEED,
+) -> Dict[str, Any]:
+    """A 1024-host / 100k-task migration storm on one queue backend.
+
+    Each wave: every host absorbs an SPMD group of ``tasks_per_host``
+    equal chunks (:meth:`~repro.hw.host.Host.compute_wave` — aggregated
+    into one PS group entry on the calendar backend, expanded into
+    scalar submits on the heap backend), the control plane re-rates the
+    whole fleet ``fleet_rounds`` times in the same simulated instant
+    (DVFS-style discrete levels, via
+    :meth:`~repro.hw.cluster.Cluster.set_cpu_rates`), and ``migrations``
+    resident computations are cancelled and resubmitted across hosts.
+
+    The returned ``fingerprint`` digests every wave-completion timestamp
+    and the final per-host kernel state; it must be identical across
+    backends (asserted by :func:`bench_storm_pair` and the benchmark
+    suite).
+    """
+    from ..hw.cluster import Cluster
+
+    cl = Cluster(n_hosts=n_hosts, trace=False, queue=queue)
+    sim = cl.sim
+    rng = random.Random(seed)
+    nprng = np.random.default_rng(seed)
+    base = cl.hosts[0].cpu.rate
+    chunk = base * 0.01  # 10 ms of dedicated CPU per task
+    residents: List[Tuple[int, Any]] = [
+        (i, h.cpu.submit_job(base * 1e4, label="resident"))
+        for i, h in enumerate(cl.hosts)
+    ]
+    completions: List[float] = []
+
+    def _done(ev: Any) -> None:
+        completions.append(ev._value)
+
+    def driver():
+        for w in range(waves):
+            # SPMD task wave: one group of equal chunks per host.
+            for host in cl.hosts:
+                ev = host.compute_wave(tasks_per_host, chunk, label="chunk")
+                ev.callbacks.append(_done)
+            # Control-plane storm: the whole fleet re-rated repeatedly
+            # within one simulated instant (load renormalization sweeps).
+            for r in range(fleet_rounds):
+                steps = nprng.integers(0, rate_levels, n_hosts)
+                rates = (base * (1.0 + 0.25 * steps / rate_levels)).tolist()
+                cl.set_cpu_rates(rates)
+            # Migration churn: residents hop between hosts mid-flight.
+            for m in range(migrations):
+                ri = rng.randrange(n_hosts)
+                si, job = residents[ri]
+                dst = rng.randrange(n_hosts)
+                rem = cl.hosts[si].cpu.cancel(job)
+                if rem <= 0:
+                    rem = base * 1e4
+                residents[ri] = (dst, cl.hosts[dst].cpu.submit_job(rem, label="resident"))
+            yield sim.timeout(0.5)
+
+    sim.process(driver(), name="storm")
+    t0 = time.perf_counter()
+    sim.run(until=waves * 0.5 + 60.0)
+    wall = time.perf_counter() - t0
+    tasks = n_hosts * waves * tasks_per_host
+    digest = hashlib.sha256()
+    digest.update(repr(sorted(completions)).encode())
+    digest.update(
+        repr([(h.cpu._vtime, h.cpu._total_weight, h.cpu._rate) for h in cl.hosts]).encode()
+    )
+    out: Dict[str, Any] = {
+        "queue": queue,
+        "kernel": sim.kernel_name,
+        "hosts": n_hosts,
+        "tasks": tasks,
+        "waves": waves,
+        "tasks_per_host": tasks_per_host,
+        "fleet_rounds": fleet_rounds,
+        "migrations": migrations * waves,
+        "wall_s": wall,
+        "tasks_per_s": tasks / wall,
+        "waves_completed": len(completions),
+        "sim_time_s": sim.now,
+        "fingerprint": digest.hexdigest()[:16],
+        **_stale(sim),
+    }
+    epoch = getattr(sim, "_epoch", None)
+    if epoch is not None:
+        out["deferred_rearms"] = epoch.deferred_rearms
+        out["epoch_flushes"] = epoch.flushes
+        out["vector_flushes"] = epoch.vector_flushes
+    return out
+
+
+def bench_storm_pair(best_of: int = 3, **kw: Any) -> Dict[str, Any]:
+    """Run the storm on both backends; assert identical trajectories."""
+    heap = _best_of(lambda: bench_storm("heap", **kw), best_of)
+    calendar = _best_of(lambda: bench_storm("calendar", **kw), best_of)
+    if heap["fingerprint"] != calendar["fingerprint"]:
+        raise AssertionError(
+            "storm trajectories diverged across queue backends: "
+            f"{heap['fingerprint']} != {calendar['fingerprint']}"
+        )
+    shape = {
+        k: heap[k]
+        for k in ("hosts", "tasks", "waves", "tasks_per_host", "fleet_rounds",
+                  "migrations", "sim_time_s", "fingerprint")
+    }
+    return {
+        **shape,
+        "heap": heap,
+        "calendar": calendar,
+        "speedup": heap["wall_s"] / calendar["wall_s"],
+        **_meta(best_of),
+    }
+
+
+def run_bench(
+    smoke: bool = False, queue: str = "heap", best_of: Optional[int] = None
+) -> Dict[str, Any]:
+    """Run the full suite; ``smoke=True`` shrinks every axis (CLI tests).
+
+    ``queue`` selects the backend for the single-backend benches
+    (``ps_churn`` / ``cluster_churn``); the ``storm`` bench always runs
+    both backends and records their ratio.
+    """
+    n = best_of if best_of is not None else (1 if smoke else 3)
     if smoke:
         benches = {
-            "ps_churn": bench_ps_churn(jobs=32, rounds=60),
-            "cluster_churn": bench_cluster_churn(
-                n_hosts=4, jobs_per_host=2, migrations=20
+            "ps_churn": _best_of(
+                lambda: bench_ps_churn(jobs=32, rounds=60, queue=queue), n
             ),
-            "opt_sweep": bench_opt_sweep(repeats=1, data_mb=0.6),
+            "cluster_churn": _best_of(
+                lambda: bench_cluster_churn(
+                    n_hosts=4, jobs_per_host=2, migrations=20, queue=queue
+                ),
+                n,
+            ),
+            "opt_sweep": _best_of(lambda: bench_opt_sweep(repeats=1, data_mb=0.6), n),
+            "storm": bench_storm_pair(
+                best_of=n, n_hosts=64, waves=2, tasks_per_host=8,
+                fleet_rounds=4, migrations=8,
+            ),
         }
     else:
         benches = {
-            "ps_churn": bench_ps_churn(),
-            "cluster_churn": bench_cluster_churn(),
-            "opt_sweep": bench_opt_sweep(),
+            "ps_churn": _best_of(lambda: bench_ps_churn(queue=queue), n),
+            "cluster_churn": _best_of(lambda: bench_cluster_churn(queue=queue), n),
+            "opt_sweep": _best_of(lambda: bench_opt_sweep(), n),
+            "storm": bench_storm_pair(best_of=n),
         }
     return {
         "schema": SCHEMA,
+        "note": (
+            "Committed wall-clock artifact for the simulation kernel. "
+            "history.legacy-list is the pre-rewrite O(n)-list kernel "
+            "(constant; that kernel no longer exists); storm runs both "
+            "queue backends and must stay bit-identical between them. "
+            "Regenerate with: python -m repro bench --json --out "
+            "BENCH_kernel.json"
+        ),
         "smoke": smoke,
+        "queue": queue,
         "kernel": getattr(ProcessorSharing, "KERNEL", "legacy-list"),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **_meta(n),
         "benches": benches,
+        "history": _HISTORY,
+        "speedup": {
+            "storm_calendar_over_heap": benches["storm"]["speedup"],
+            "ps_churn_vs_legacy": (
+                _HISTORY["legacy-list"]["ps_churn"]["wall_s"]
+                / benches["ps_churn"]["wall_s"]
+            ),
+            "cluster_churn_vs_legacy": (
+                _HISTORY["legacy-list"]["cluster_churn"]["wall_s"]
+                / benches["cluster_churn"]["wall_s"]
+            ),
+        },
     }
 
 
 def render_bench(doc: Dict[str, Any]) -> str:
     """Human-readable rendering of a :func:`run_bench` document."""
-    out = [f"== kernel bench ({doc['kernel']}, python {doc['python']}) =="]
+    out = [
+        f"== kernel bench ({doc['kernel']}, queue={doc['queue']}, "
+        f"python {doc['python']}, best of {doc['best_of']}) =="
+    ]
     for name, b in doc["benches"].items():
+        if name == "storm":
+            out.append(
+                f"  {name:14s} hosts={b['hosts']} tasks={b['tasks']} "
+                f"heap={b['heap']['wall_s']:.4g}s "
+                f"calendar={b['calendar']['wall_s']:.4g}s "
+                f"speedup={b['speedup']:.1f}x fingerprint={b['fingerprint']}"
+            )
+            continue
         parts = [f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
-                 for k, v in b.items()]
+                 for k, v in b.items() if k not in ("python", "machine")]
         out.append(f"  {name:14s} " + " ".join(parts))
+    sp = doc["speedup"]
+    out.append(
+        "  speedup        storm calendar/heap = "
+        f"{sp['storm_calendar_over_heap']:.1f}x"
+    )
     return "\n".join(out)
 
 
@@ -241,8 +491,9 @@ def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
     parser = argparse.ArgumentParser(prog="python -m repro.experiments.bench")
     parser.add_argument("--json", action="store_true")
     parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--queue", choices=("heap", "calendar"), default="heap")
     args = parser.parse_args(argv)
-    doc = run_bench(smoke=args.smoke)
+    doc = run_bench(smoke=args.smoke, queue=args.queue)
     print(json.dumps(doc, indent=2) if args.json else render_bench(doc))
     return 0
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sim import RngStreams, Simulator, Tracer
+from ..sim import RngStreams, Simulator, Tracer, fleet_set_rates
 from .host import Host
 from .network import EthernetNetwork
 from .params import HardwareParams
@@ -47,8 +47,9 @@ class Cluster:
         specs: Optional[Sequence[HostSpec]] = None,
         seed: int = 0,
         trace: bool = True,
+        queue: str = "heap",
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(queue=queue)
         self.params = params or HardwareParams()
         self.tracer = Tracer(enabled=trace)
         self.rng = RngStreams(seed)
@@ -76,6 +77,18 @@ class Cluster:
         self.hosts.append(host)
         self._by_name[spec.name] = host
         return host
+
+    def set_cpu_rates(self, rates: Sequence[float]) -> None:
+        """Apply one CPU-rate vector across the whole fleet at once.
+
+        The control-plane operation of a migration storm: every host's
+        effective service rate moves in the same simulated instant
+        (owner-load renormalization, DVFS sweeps, GS epoch updates).
+        Scalar ``set_rate`` per host on the heap backend; one vectorized
+        pass on the calendar backend (see
+        :func:`~repro.sim.fleet_set_rates`).
+        """
+        fleet_set_rates([h.cpu for h in self.hosts], rates)
 
     def host(self, name_or_index) -> Host:
         """Look up a host by name or position."""

@@ -87,6 +87,19 @@ class Host:
         """Charge ``flops`` of CPU work; completes when serviced."""
         return self.cpu.submit(flops, weight=weight, label=label)
 
+    def compute_wave(
+        self, count: int, flops: float, weight: float = 1.0, label: str = "wave"
+    ) -> Event:
+        """Charge ``count`` identical tasks of ``flops`` each (SPMD wave).
+
+        The returned event fires when the whole wave has been serviced.
+        On the calendar backend the wave is aggregated into one
+        processor-sharing group entry; on the heap backend it expands
+        into ``count`` scalar submissions (see
+        :meth:`~repro.sim.ProcessorSharing.submit_wave`).
+        """
+        return self.cpu.submit_wave(count, flops, weight=weight, label=label)
+
     def _flops_for_rate(self, nbytes: float, bytes_per_s: float) -> float:
         """Convert a byte-rate-limited operation into CPU work units.
 

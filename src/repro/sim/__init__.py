@@ -15,8 +15,18 @@ from .events import (
     SimulationError,
     Timeout,
 )
+from .calendar import CalendarQueue
+from .epoch import EpochHub
 from .kernel import NORMAL, URGENT, Process, Simulator
-from .resources import FilterStore, ProcessorSharing, PsJob, Resource, Store
+from .resources import (
+    FilterStore,
+    ProcessorSharing,
+    PsJob,
+    PsWaveGroup,
+    Resource,
+    Store,
+    fleet_set_rates,
+)
 from .rng import RngStreams
 from .trace import BoundTracer, TraceRecord, Tracer, bound_tracer
 
@@ -26,7 +36,9 @@ __all__ = [
     "AnyOf",
     "BoundTracer",
     "bound_tracer",
+    "CalendarQueue",
     "Condition",
+    "EpochHub",
     "Event",
     "FilterStore",
     "Interrupt",
@@ -34,7 +46,9 @@ __all__ = [
     "Process",
     "ProcessorSharing",
     "PsJob",
+    "PsWaveGroup",
     "Resource",
+    "fleet_set_rates",
     "RngStreams",
     "SimulationError",
     "Simulator",

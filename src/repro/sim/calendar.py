@@ -1,0 +1,271 @@
+"""Calendar-queue / ladder-queue event structure for the simulator.
+
+The binary-heap event queue pays O(log n) on every push and pop even
+though simulated workloads — migration storms, processor-sharing wakeup
+churn, wave arrivals — produce long runs of same- and near-timestamp
+events.  This module provides the O(1)-amortized alternative selected
+with ``Simulator(queue="calendar")``:
+
+* **bottom** — a sorted list holding the imminent events, consumed from
+  the front.  Within-bucket order is decided by one ``list.sort()``
+  over the full ``(time, priority, seq)`` key, so FIFO tie-break
+  semantics are identical to the heap backend.
+* **rungs** — a stack of bucket arrays.  Each rung spans a time window
+  with fixed bucket width; enqueueing into a rung is an O(1) append.
+  An oversized bucket is re-bucketed into a finer rung when it is
+  reached (automatic bucket-width resizing), so skewed distributions
+  degrade gracefully instead of collapsing into one giant sort.
+* **top** — the far-future overflow: an unsorted append-only list for
+  events beyond the coarsest rung.  When every rung is drained the top
+  is sorted *lazily* into a fresh rung sized to its population (or,
+  below :data:`CalendarQueue.MIN_COLLAPSE` entries, straight into the
+  bottom list).
+
+Entries are the simulator's ``(time, priority, seq, event)`` tuples;
+the structure never inspects the event beyond its ``_discarded`` flag
+(during :meth:`compact`), so ordering is exactly the tuple order the
+heap backend uses.
+
+Ordering across the bucket/bottom boundary is kept float-safe by always
+routing through the *canonical bucket index* ``int((t - lo) / width)``,
+which is monotone non-decreasing in ``t``: an entry whose canonical
+bucket has already been consumed is insorted into bottom (finest rung)
+or appended behind the finer rung spawned from that region (coarser
+rungs), never clamped forward into a bucket it does not belong to.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from math import nextafter
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["CalendarQueue"]
+
+#: A queue entry: (time, priority, seq, event).
+Entry = Tuple[float, int, int, Any]
+
+
+class _Rung:
+    """One ladder rung: fixed-``width`` buckets over [lo, hi)."""
+
+    __slots__ = ("lo", "width", "hi", "cur", "buckets")
+
+    def __init__(self, lo: float, width: float, hi: float, buckets: List[List[Entry]]) -> None:
+        self.lo = lo
+        self.width = width
+        self.hi = hi
+        #: Index of the next unconsumed bucket.
+        self.cur = 0
+        self.buckets = buckets
+
+
+class CalendarQueue:
+    """A multi-rung calendar queue over ``(time, priority, seq, event)`` keys.
+
+    Push is O(1) amortized (an append into the right bucket, or a short
+    insort into the imminent-events list); pop is O(1) amortized (each
+    entry is bucketed a bounded number of times and sorted once).
+    """
+
+    #: A drained-top population at or below this is sorted straight into
+    #: the bottom list instead of spawning a rung.
+    MIN_COLLAPSE = 8
+    #: Hard cap on buckets per rung (memory guard).
+    MAX_BUCKETS = 1 << 16
+    #: A bucket larger than this is re-bucketed into a finer rung when
+    #: it is reached, unless its time span cannot be subdivided.
+    SPAWN_THRESHOLD = 1024
+    #: An unconsumed bottom list at or above this size is converted into
+    #: a fresh finest rung instead of absorbing further insorts.
+    BOTTOM_SPAWN = 64
+
+    __slots__ = ("_bottom", "_bot_i", "_split", "_rungs", "_top", "_count", "spawned_rungs")
+
+    def __init__(self) -> None:
+        #: Imminent events, sorted ascending; consumed from ``_bot_i``.
+        self._bottom: List[Entry] = []
+        self._bot_i = 0
+        #: Rung-less collapse state only: pushes below this insort into
+        #: bottom.  (With rungs active, routing is index-canonical.)
+        self._split = 0.0
+        #: Stack of rungs, coarsest first; ``_rungs[-1]`` is consumed first.
+        self._rungs: List[_Rung] = []
+        #: Far-future overflow (unsorted) beyond the coarsest rung.
+        self._top: List[Entry] = []
+        self._count = 0
+        #: Lifetime rung spawns (resize events) — observability for tests.
+        self.spawned_rungs = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    # -- enqueue -----------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        t = entry[0]
+        self._count += 1
+        rungs = self._rungs
+        n = len(rungs)
+        for k in range(n - 1, -1, -1):  # finest rung first
+            rung = rungs[k]
+            if t >= rung.hi:
+                continue
+            i = -1 if t < rung.lo else int((t - rung.lo) / rung.width)
+            last = len(rung.buckets) - 1
+            if i > last:
+                i = last
+            if i >= rung.cur:
+                rung.buckets[i].append(entry)
+                return
+            # The canonical bucket is already consumed: the entry belongs
+            # behind the content of the *next finer* rung (spawned from
+            # this consumed region).  Finer rungs are consumed first, so
+            # append to the coarsest of them that still has an unconsumed
+            # bucket; when every finer rung is exhausted, the imminent
+            # region *is* the bottom list.
+            for j in range(k + 1, n):
+                finer = rungs[j]
+                if finer.cur < len(finer.buckets):
+                    finer.buckets[-1].append(entry)
+                    return
+            self._push_bottom(entry)
+            return
+        if not rungs and t < self._split:
+            self._push_bottom(entry)
+            return
+        self._top.append(entry)
+
+    def _push_bottom(self, entry: Entry) -> None:
+        """Insort into bottom; spawn a rung once bottom grows too fat.
+
+        Without the spawn, a workload whose active window sits entirely
+        inside one consumed bucket degrades to O(n) sorted-list
+        insertion; converting the unconsumed bottom into a fresh finest
+        rung restores O(1) appends at the resolution the workload
+        actually uses (this *is* the automatic bucket-width resizing).
+        """
+        bottom = self._bottom
+        if len(bottom) - self._bot_i >= self.BOTTOM_SPAWN:
+            pending = bottom[self._bot_i:]
+            pending.append(entry)
+            if self._spawn(pending):
+                self._bottom = []
+                self._bot_i = 0
+                return
+        insort(bottom, entry, self._bot_i)
+
+    # -- dequeue -----------------------------------------------------------
+    def head(self) -> Optional[Entry]:
+        """The minimum entry without removing it (``None`` when empty)."""
+        if self._bot_i >= len(self._bottom) and not self._refill():
+            return None
+        return self._bottom[self._bot_i]
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimum entry (``None`` when empty)."""
+        if self._bot_i >= len(self._bottom) and not self._refill():
+            return None
+        entry = self._bottom[self._bot_i]
+        self._bot_i += 1
+        self._count -= 1
+        # Trim the consumed prefix once it dominates (amortized O(1)).
+        if self._bot_i > 256 and self._bot_i * 2 >= len(self._bottom):
+            del self._bottom[: self._bot_i]
+            self._bot_i = 0
+        return entry
+
+    # -- internals ---------------------------------------------------------
+    def _refill(self) -> bool:
+        """Refill bottom from the rungs or the top.  False when drained."""
+        self._bottom = []
+        self._bot_i = 0
+        while True:
+            while self._rungs:
+                rung = self._rungs[-1]
+                buckets = rung.buckets
+                nb = len(buckets)
+                spawned = False
+                while rung.cur < nb:
+                    bucket = buckets[rung.cur]
+                    buckets[rung.cur] = []
+                    rung.cur += 1
+                    if not bucket:
+                        continue
+                    if len(bucket) > self.SPAWN_THRESHOLD and self._spawn(bucket):
+                        spawned = True
+                        break
+                    bucket.sort()
+                    self._bottom = bucket
+                    return True
+                if spawned:
+                    continue  # consume the freshly spawned finer rung
+                self._rungs.pop()
+            if not self._top:
+                return False
+            top, self._top = self._top, []
+            if len(top) > self.MIN_COLLAPSE and self._spawn(top):
+                continue
+            top.sort()
+            self._bottom = top
+            self._split = nextafter(top[-1][0], float("inf"))
+            return True
+
+    def _spawn(self, entries: List[Entry]) -> bool:
+        """Bucket ``entries`` into a new (finer) rung on the stack.
+
+        Returns False when the time span cannot be subdivided (all
+        equal timestamps, or the bucket width underflows the float
+        grid) — the caller then falls back to a straight sort.
+        """
+        lo = entries[0][0]
+        hi = lo
+        for e in entries:
+            t = e[0]
+            if t < lo:
+                lo = t
+            elif t > hi:
+                hi = t
+        hi = nextafter(hi, float("inf"))
+        if not lo < hi:
+            return False
+        nb = 1 << (len(entries) - 1).bit_length()
+        if nb > self.MAX_BUCKETS:
+            nb = self.MAX_BUCKETS
+        width = (hi - lo) / nb
+        if width <= 0.0 or lo + width == lo:
+            return False
+        buckets: List[List[Entry]] = [[] for _ in range(nb)]
+        last = nb - 1
+        for e in entries:
+            i = int((e[0] - lo) / width)
+            if i > last:
+                i = last
+            buckets[i].append(e)
+        self._rungs.append(_Rung(lo, width, lo + nb * width, buckets))
+        self.spawned_rungs += 1
+        return True
+
+    # -- hygiene -----------------------------------------------------------
+    def compact(self) -> None:
+        """Drop every entry whose event has been discarded (one O(n) pass)."""
+        self._bottom = [
+            e for e in self._bottom[self._bot_i:] if not e[3]._discarded
+        ]
+        self._bot_i = 0
+        count = len(self._bottom)
+        for rung in self._rungs:
+            for i in range(rung.cur, len(rung.buckets)):
+                rung.buckets[i] = [e for e in rung.buckets[i] if not e[3]._discarded]
+                count += len(rung.buckets[i])
+        self._top = [e for e in self._top if not e[3]._discarded]
+        count += len(self._top)
+        self._count = count
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarQueue n={self._count} rungs={len(self._rungs)} "
+            f"bottom={len(self._bottom) - self._bot_i} top={len(self._top)}>"
+        )

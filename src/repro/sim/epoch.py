@@ -1,0 +1,154 @@
+"""Deferred, vectorized re-arming of processor-sharing wakeups.
+
+On the heap backend every :class:`~repro.sim.ProcessorSharing` state
+change (submit / cancel / load flap / rate change) immediately re-arms
+the server's completion wakeup: discard the stale event, recompute the
+horizon, allocate a fresh :class:`~repro.sim.Event`, push it.  Under a
+migration storm a single server absorbs many operations *per simulated
+instant*, so most of those re-arms are dead on arrival.
+
+The calendar backend batches them.  An operation still *discards* the
+stale wakeup eagerly (a flag set — this keeps discard semantics
+byte-compatible with the heap backend, a superseded wakeup can never
+fire) but defers the *re-arm*: the server is marked dirty on the hub,
+and the hub flushes once per dispatch cohort — at the entry of
+:meth:`Simulator.peek` / :meth:`Simulator.step` — arming exactly one
+wakeup per touched server.  k operations per server per instant thus
+cost one Event allocation instead of k.
+
+The flush itself is vectorized: each registered server owns a row in a
+set of persistent numpy columns (finish tag, virtual time, total
+weight, rate, root weight); when enough servers are dirty at once the
+wakeup horizons are computed with one array expression
+
+``horizon = max((tag - vt) * w, 0) * tw / (rate * w)``
+
+whose term-by-term form matches the scalar hot path in
+``ProcessorSharing._reschedule`` exactly, so the resulting float64
+delays — and therefore every completion timestamp — are bit-identical
+to the heap backend's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+    from .resources import ProcessorSharing
+
+__all__ = ["EpochHub"]
+
+
+class EpochHub:
+    """Per-simulator registry batching PS wakeup re-arms per cohort."""
+
+    #: Below this many dirty servers the scalar path is cheaper than
+    #: assembling numpy index arrays.
+    VECTOR_MIN = 8
+
+    __slots__ = (
+        "sim", "_dirty", "_servers", "_cap",
+        "_tag", "_vt", "_tw", "_rate", "_w",
+        "flushes", "vector_flushes", "deferred_rearms",
+    )
+
+    def __init__(self, sim: "Simulator", capacity: int = 64) -> None:
+        self.sim = sim
+        #: Dirty servers keyed by epoch index; insertion order is
+        #: last-touch order (move-to-end on re-mark), which mirrors the
+        #: seq order the heap backend's final re-arms would get.
+        self._dirty: Dict[int, "ProcessorSharing"] = {}
+        self._servers: List["ProcessorSharing"] = []
+        self._cap = capacity
+        self._tag = np.zeros(capacity)
+        self._vt = np.zeros(capacity)
+        self._tw = np.zeros(capacity)
+        self._rate = np.ones(capacity)
+        self._w = np.ones(capacity)
+        #: Lifetime counters — observability for benches and tests.
+        self.flushes = 0
+        self.vector_flushes = 0
+        self.deferred_rearms = 0
+
+    # -- registration ------------------------------------------------------
+    def register(self, server: "ProcessorSharing") -> int:
+        """Assign ``server`` a column row; returns its epoch index."""
+        index = len(self._servers)
+        self._servers.append(server)
+        if index >= self._cap:
+            self._cap *= 2
+            self._tag = np.resize(self._tag, self._cap)
+            self._vt = np.resize(self._vt, self._cap)
+            self._tw = np.resize(self._tw, self._cap)
+            self._rate = np.resize(self._rate, self._cap)
+            self._w = np.resize(self._w, self._cap)
+        return index
+
+    # -- dirty tracking ----------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        return bool(self._dirty)
+
+    def mark_dirty(self, server: "ProcessorSharing") -> None:
+        """Queue ``server`` for a wakeup re-arm at the next flush."""
+        dirty = self._dirty
+        index = server._epoch_index
+        if index in dirty:
+            del dirty[index]  # move to end: last touch arms last
+        else:
+            self.deferred_rearms += 1
+        dirty[index] = server
+
+    # -- flush -------------------------------------------------------------
+    def flush(self) -> None:
+        """Arm one completion wakeup per dirty server (batched)."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        servers = list(dirty.values())
+        dirty.clear()
+        self.flushes += 1
+        arm: List["ProcessorSharing"] = []
+        rows: List[int] = []
+        for server in servers:
+            if server._active == 0:
+                continue  # idle: nothing to arm (wakeup already discarded)
+            index = server._epoch_index
+            root = server._heap[0][2]
+            self._tag[index] = root.finish_tag
+            self._vt[index] = server._vtime
+            self._tw[index] = server._total_weight
+            self._rate[index] = server._rate
+            self._w[index] = root.weight
+            arm.append(server)
+            rows.append(index)
+        if not arm:
+            return
+        if len(arm) < self.VECTOR_MIN:
+            for server in arm:
+                root = server._heap[0][2]
+                remaining = max(
+                    (root.finish_tag - server._vtime) * root.weight, 0.0
+                )
+                horizon = (
+                    remaining * server._total_weight
+                    / (server._rate * root.weight)
+                )
+                server._arm_wakeup(horizon)
+            return
+        self.vector_flushes += 1
+        ii = np.array(rows, dtype=np.intp)
+        w = self._w[ii]
+        remaining = np.maximum((self._tag[ii] - self._vt[ii]) * w, 0.0)
+        horizon = remaining * self._tw[ii] / (self._rate[ii] * w)
+        for k, server in enumerate(arm):
+            server._arm_wakeup(float(horizon[k]))
+
+    def __repr__(self) -> str:
+        return (
+            f"<EpochHub servers={len(self._servers)} dirty={len(self._dirty)} "
+            f"flushes={self.flushes} vectorized={self.vector_flushes}>"
+        )

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Generator, Iterable, List, Optional, Tuple, Union
 
+from .calendar import CalendarQueue, Entry
 from .events import (
     PENDING,
     AllOf,
@@ -135,25 +137,65 @@ class Process(Event):
 
 
 class Simulator:
-    """An event-driven simulation clock and scheduler."""
+    """An event-driven simulation clock and scheduler.
+
+    ``queue`` selects the event-queue backend:
+
+    * ``"heap"`` (default) — the binary-heap reference implementation:
+      O(log n) per push/pop, one event per :meth:`step`.  All paper
+      exhibits run on this backend and are byte-identical to it.
+    * ``"calendar"`` — the calendar/ladder queue
+      (:class:`~repro.sim.calendar.CalendarQueue`): O(1) amortized
+      push/pop, same-timestamp **batch dispatch** (one :meth:`step`
+      drains the whole ``(time, priority)`` cohort), and deferred,
+      vectorized re-arming of :class:`~repro.sim.ProcessorSharing`
+      completion wakeups (one re-arm per server per cohort instead of
+      per operation — see :class:`~repro.sim.epoch.EpochHub`).
+    """
 
     #: Discards are removed lazily; once at least this many are pending
     #: *and* they make up half the queue, the queue is compacted in one
     #: O(n) pass (amortized O(1) per discard).
     COMPACT_MIN = 32
 
-    def __init__(self) -> None:
+    def __init__(self, queue: str = "heap") -> None:
+        if queue not in ("heap", "calendar"):
+            raise ValueError(f"unknown queue backend {queue!r}")
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
         self._n_discarded = 0
+        self.queue_backend = queue
+        self._cal: Optional[CalendarQueue] = None
+        self._epoch: Optional[Any] = None
+        #: Batch-dispatch state: while a cohort is being drained, an
+        #: URGENT event scheduled *for the current instant* must preempt
+        #: the rest of a NORMAL cohort (heap semantics).
+        self._cohort_prio = NORMAL
+        self._in_cohort = False
+        self._preempted = False
+        #: ids of events in the in-flight cohort (they are out of the
+        #: queue, so discarding one must bypass the pending counter).
+        self._cohort_ids: set = set()
+        if queue == "calendar":
+            from .epoch import EpochHub
+
+            self._cal = CalendarQueue()
+            self._queue: Union[List[Tuple[float, int, int, Event]], CalendarQueue] = self._cal
+            self._epoch = EpochHub(self)
+        else:
+            self._queue = []
 
     # -- clock -------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time, in seconds."""
         return self._now
+
+    @property
+    def kernel_name(self) -> str:
+        """Identifier of the event-core configuration (for benches)."""
+        return "virtual-time-heap" if self._cal is None else "calendar-batch"
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -181,7 +223,17 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+            return
+        time = self._now + delay
+        if self._in_cohort and priority < self._cohort_prio and time == self._now:
+            # An urgent event landed at the current instant while a
+            # normal cohort is draining: it must run before the rest of
+            # the cohort, exactly as it would pop first on the heap.
+            self._preempted = True
+        cal.push((time, priority, next(self._seq), event))
 
     def discard(self, event: Event) -> None:
         """Withdraw a scheduled-but-unprocessed event from the queue.
@@ -195,13 +247,20 @@ class Simulator:
         if event._processed or event._discarded:
             return
         event._discarded = True
+        if self._in_cohort and id(event) in self._cohort_ids:
+            # The event is in the in-flight cohort, not the queue: it is
+            # skipped at dispatch without touching the pending counter.
+            return
         self._n_discarded += 1
         if (
             self._n_discarded >= self.COMPACT_MIN
             and self._n_discarded * 2 >= len(self._queue)
         ):
-            self._queue = [e for e in self._queue if not e[3]._discarded]
-            heapq.heapify(self._queue)
+            if self._cal is None:
+                self._queue = [e for e in self._queue if not e[3]._discarded]
+                heapq.heapify(self._queue)
+            else:
+                self._cal.compact()
             self._n_discarded = 0
 
     @property
@@ -211,29 +270,113 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when drained."""
-        queue = self._queue
-        while queue and queue[0][3]._discarded:
-            heapq.heappop(queue)
-            self._n_discarded -= 1
-        return queue[0][0] if queue else float("inf")
+        cal = self._cal
+        if cal is None:
+            queue = self._queue
+            while queue and queue[0][3]._discarded:
+                heapq.heappop(queue)
+                self._n_discarded -= 1
+            return queue[0][0] if queue else float("inf")
+        epoch = self._epoch
+        if epoch is not None and epoch.dirty:
+            epoch.flush()
+        while True:
+            head = cal.head()
+            if head is None:
+                return float("inf")
+            if head[3]._discarded:
+                cal.pop()
+                self._n_discarded -= 1
+                continue
+            return head[0]
 
     def step(self) -> None:
-        """Process exactly one event (discarded events pop as no-ops)."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        if event._discarded:
-            self._n_discarded -= 1
+        """Process the next event (discarded events pop as no-ops).
+
+        On the heap backend this is exactly one event.  On the calendar
+        backend one call drains the entire same-``(time, priority)``
+        cohort in a single pass (batch dispatch) — FIFO seq tie-break
+        order within the cohort is preserved, events scheduled *during*
+        the cohort for the same instant run in a later step (as their
+        larger seq dictates), and an urgent same-instant arrival
+        preempts the remainder of a normal cohort.
+        """
+        if self._cal is None:
+            if not self._queue:
+                raise SimulationError("no scheduled events")
+            self._now, _, _, event = heapq.heappop(self._queue)
+            if event._discarded:
+                self._n_discarded -= 1
+                return
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            assert callbacks is not None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # A failure nobody waited on: surface it.
+                exc = event._value
+                raise exc
             return
-        callbacks, event.callbacks = event.callbacks, None
-        event._processed = True
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            # A failure nobody waited on: surface it.
-            exc = event._value
-            raise exc
+        self._step_calendar()
+
+    def _step_calendar(self) -> None:
+        """Batch dispatch: drain one ``(time, priority)`` cohort."""
+        cal = self._cal
+        assert cal is not None
+        epoch = self._epoch
+        if epoch is not None and epoch.dirty:
+            epoch.flush()
+        while True:
+            entry = cal.pop()
+            if entry is None:
+                raise SimulationError("no scheduled events")
+            if entry[3]._discarded:
+                self._n_discarded -= 1
+                continue
+            break
+        time, prio = entry[0], entry[1]
+        self._now = time
+        cohort: Deque[Entry] = deque((entry,))
+        while True:
+            head = cal.head()
+            if head is None or head[0] != time or head[1] != prio:
+                break
+            cal.pop()
+            if head[3]._discarded:
+                self._n_discarded -= 1
+                continue
+            cohort.append(head)
+        cohort_ids = self._cohort_ids
+        for e in cohort:
+            cohort_ids.add(id(e[3]))
+        self._in_cohort = True
+        self._cohort_prio = prio
+        try:
+            while cohort:
+                event = cohort.popleft()[3]
+                if event._discarded:
+                    # Discarded mid-cohort by an earlier callback; it was
+                    # already out of the queue, so no counter to adjust.
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                assert callbacks is not None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if self._preempted:
+                    self._preempted = False
+                    break
+        finally:
+            self._in_cohort = False
+            cohort_ids.clear()
+            # Return the unprocessed remainder (preemption, a stop at a
+            # target event, or an escaping failure) to the queue.
+            for e in cohort:
+                if not e[3]._discarded:
+                    cal.push(e)
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.

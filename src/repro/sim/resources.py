@@ -15,13 +15,24 @@ Three families of primitives are provided:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Deque, Dict, List, Optional
+import math
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 from collections import deque
+
+import numpy as np
 
 from .events import Event, SimulationError
 from .kernel import Simulator
 
-__all__ = ["Store", "FilterStore", "Resource", "ProcessorSharing", "PsJob"]
+__all__ = [
+    "Store",
+    "FilterStore",
+    "Resource",
+    "ProcessorSharing",
+    "PsJob",
+    "PsWaveGroup",
+    "fleet_set_rates",
+]
 
 #: A job is considered complete when less than this many *seconds* of
 #: full-rate service remain.  Using a time-relative epsilon (rather than a
@@ -241,6 +252,10 @@ class PsJob:
         "_server", "_final_remaining",
     )
 
+    #: Number of tasks this heap entry stands for (overridden by
+    #: :class:`PsWaveGroup`; read on the completion hot path).
+    count = 1
+
     def __init__(self, event: Event, amount: float, weight: float, label: str) -> None:
         self.event = event
         self.weight = weight
@@ -263,6 +278,58 @@ class PsJob:
 
     def __repr__(self) -> str:
         return f"<PsJob {self.label!r} remaining={self.remaining:.3g} w={self.weight}>"
+
+
+class PsWaveGroup:
+    """``count`` identical tasks aggregated into one heap entry.
+
+    Under egalitarian processor sharing, ``count`` tasks of equal amount
+    and weight admitted at the same instant all carry the *same* finish
+    tag, shed their weight at the *same* virtual-time crossing, and so
+    are indistinguishable — to every other job on the server — from one
+    entry that sheds ``count × weight`` at that crossing.  The calendar
+    backend exploits this: :meth:`ProcessorSharing.submit_wave` stores a
+    wave as a single group entry (O(1) state per wave instead of O(n)),
+    while the heap backend expands the same wave into ``count`` scalar
+    jobs.  Weight is still added and removed one task at a time so the
+    float trajectory of ``total_weight`` — and therefore every
+    completion timestamp — is bit-identical across backends.
+
+    ``weight`` is the *per-task* weight (the completion-horizon formula
+    needs the root entry's per-task weight, which is identical for both
+    representations).
+    """
+
+    __slots__ = (
+        "event", "weight", "label", "finish_tag", "active", "is_load",
+        "count", "_server", "_final_remaining",
+    )
+
+    def __init__(
+        self, event: Event, amount: float, weight: float, label: str, count: int
+    ) -> None:
+        self.event = event
+        self.weight = weight
+        self.label = label
+        self.finish_tag = 0.0
+        self.active = False
+        self.is_load = False
+        self.count = count
+        self._server: Optional["ProcessorSharing"] = None
+        self._final_remaining = amount * count
+
+    @property
+    def remaining(self) -> float:
+        """Total work still owed across the group's tasks."""
+        if not self.active or self._server is None:
+            return self._final_remaining
+        return (self.finish_tag - self._server._vtime) * self.weight * self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"<PsWaveGroup {self.label!r} count={self.count} "
+            f"remaining={self.remaining:.3g} w={self.weight}>"
+        )
 
 
 class ProcessorSharing:
@@ -309,6 +376,12 @@ class ProcessorSharing:
         self._wakeup: Optional[Event] = None
         #: Superseded wakeups discarded over the server's lifetime.
         self.superseded_wakeups = 0
+        #: On a calendar-backend simulator, wakeup re-arms are deferred
+        #: to the per-cohort EpochHub flush instead of done per-op.
+        self._hub = getattr(sim, "_epoch", None)
+        self._epoch_index = -1
+        if self._hub is not None:
+            self._epoch_index = self._hub.register(self)
 
     # -- public API --------------------------------------------------------
     @property
@@ -364,6 +437,59 @@ class ProcessorSharing:
         self._reschedule()
         return job
 
+    def submit_wave(
+        self, count: int, amount: float, weight: float = 1.0, label: str = "wave"
+    ) -> Event:
+        """Submit ``count`` identical tasks of ``amount`` work each.
+
+        The returned event fires once **all** of them have completed;
+        its value is the completion time.  Under egalitarian processor
+        sharing the tasks are symmetric — same finish tag, same
+        completion instant — so the calendar backend aggregates the wave
+        into one :class:`PsWaveGroup` heap entry, while the heap backend
+        expands it into ``count`` scalar :meth:`submit_job` calls (its
+        pre-existing surface).  Both produce bit-identical timestamps;
+        the group representation is what makes 100k-task storm waves
+        O(hosts) instead of O(tasks) in kernel state.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        batch = Event(self.sim)
+        if self._hub is None:
+            last: Optional[PsJob] = None
+            for _ in range(count):
+                last = self.submit_job(amount, weight=weight, label=label)
+            assert last is not None
+
+            def _fire(ev: Event, _batch: Event = batch) -> None:
+                _batch.succeed(ev._value)
+
+            assert last.event.callbacks is not None
+            last.event.callbacks.append(_fire)
+            return batch
+        self._advance()
+        if self._active == 0:
+            self._vtime = 0.0
+        group = PsWaveGroup(batch, float(amount), float(weight), label, count)
+        group.active = True
+        group._server = self
+        group.finish_tag = self._vtime + float(amount) / group.weight
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (group.finish_tag, self._heap_seq, group))
+        self._active += count
+        w = group.weight
+        for _ in range(count):
+            # One add per task, not += count * w: the heap backend
+            # accumulates weight task by task and float addition is not
+            # associative — the trajectories must match bit for bit.
+            self._total_weight += w
+        self._reschedule()
+        return batch
+
     def cancel(self, job: PsJob) -> float:
         """Withdraw an unfinished job; returns the work still remaining.
 
@@ -374,6 +500,14 @@ class ProcessorSharing:
         self._advance()
         if job.is_load or not job.active:
             return 0.0
+        if job.count != 1:
+            raise SimulationError("wave groups cannot be cancelled")
+        if job._server is not self:
+            # Cancelling a migrated job on its *old* server would corrupt
+            # both servers' weight/active accounting; fail loudly instead.
+            raise SimulationError(
+                f"job {job.label!r} belongs to {job._server!r}, not {self!r}"
+            )
         job.active = False
         job._final_remaining = max(
             (job.finish_tag - self._vtime) * job.weight, 0.0
@@ -435,10 +569,14 @@ class ProcessorSharing:
             return  # superseded (normally discarded before it can fire)
         self._wakeup = None
         self._advance()
-        eps = self._rate * _EPS_SECONDS
+        # The epsilon must also cover the clock's float resolution at the
+        # *current* time: at t ~ 1e7 s an ulp is ~2e-9 s, so a remaining
+        # sliver below rate * ulp(t) maps to a horizon that cannot advance
+        # the clock — re-arming it would livelock at a frozen vtime.
+        eps = self._rate * max(_EPS_SECONDS, 2.0 * math.ulp(self._last_update))
         vtime = self._vtime
         heap = self._heap
-        finished: List[PsJob] = []
+        finished: List[Any] = []
         while heap:
             _tag, _seq, job = heap[0]
             if not job.active:
@@ -449,8 +587,16 @@ class ProcessorSharing:
                 heapq.heappop(heap)
                 job.active = False
                 job._final_remaining = 0.0
-                self._active -= 1
-                self._total_weight -= job.weight
+                n = job.count
+                self._active -= n
+                w = job.weight
+                if n == 1:
+                    self._total_weight -= w
+                else:
+                    for _ in range(n):
+                        # Shed task by task: matches the heap backend's
+                        # float trajectory (see PsWaveGroup).
+                        self._total_weight -= w
                 finished.append(job)
             else:
                 break
@@ -459,7 +605,13 @@ class ProcessorSharing:
         self._reschedule()
 
     def _reschedule(self) -> None:
-        """(Re-)arm the wakeup for the next job completion: O(log n)."""
+        """(Re-)arm the wakeup for the next job completion: O(log n).
+
+        With an :class:`~repro.sim.epoch.EpochHub` attached (calendar
+        backend) the stale wakeup is still discarded eagerly — so it
+        can never fire — but the re-arm itself is deferred to the
+        per-cohort flush: k operations per instant cost one Event.
+        """
         wakeup = self._wakeup
         if wakeup is not None:
             # Supersede: withdraw the stale wakeup from the event heap
@@ -477,9 +629,16 @@ class ProcessorSharing:
                 # Idle server: clear float drift from incremental upkeep.
                 self._total_weight = 0.0
             return
+        if self._hub is not None:
+            self._hub.mark_dirty(self)
+            return
         root = heap[0][2]
         remaining = max((root.finish_tag - self._vtime) * root.weight, 0.0)
         horizon = remaining * self._total_weight / (self._rate * root.weight)
+        self._arm_wakeup(horizon)
+
+    def _arm_wakeup(self, horizon: float) -> None:
+        """Schedule the completion timer ``horizon`` seconds out."""
         wakeup = Event(self.sim)
         self._wakeup = wakeup
         wakeup._ok = True
@@ -492,3 +651,83 @@ class ProcessorSharing:
             f"<ProcessorSharing {self.name!r} rate={self._rate:.3g} "
             f"jobs={self._active} loads={len(self._loads)}>"
         )
+
+
+def fleet_set_rates(
+    servers: Sequence[ProcessorSharing], rates: Sequence[float]
+) -> None:
+    """Apply one rate vector across many servers at the current instant.
+
+    This is the fleet-wide form of :meth:`ProcessorSharing.set_rate` —
+    the control-plane operation a migration storm issues against every
+    host at once (load renormalization, DVFS sweeps, GS epoch updates).
+
+    On the heap backend it is exactly the scalar loop the pre-existing
+    kernel surface offers: ``set_rate`` per server, each paying its own
+    advance and wakeup re-arm.  On the calendar backend the virtual-time
+    advance is one numpy expression over the whole fleet and the wakeup
+    re-arms collapse into the per-cohort :class:`~repro.sim.epoch.EpochHub`
+    flush; repeated same-instant updates (k control rounds per storm
+    wave) skip the advance entirely, since virtual time cannot move
+    between them.  The per-element float expression matches the scalar
+    path term for term, so both backends produce bit-identical
+    trajectories.
+    """
+    n = len(servers)
+    if n != len(rates):
+        raise ValueError("servers and rates must have the same length")
+    if n == 0:
+        return
+    rlist = [float(r) for r in rates]
+    if min(rlist) <= 0:
+        raise ValueError("rate must be positive")
+    hub = servers[0]._hub
+    if hub is None:
+        for server, r in zip(servers, rlist):
+            server.set_rate(r)
+        return
+    sim = servers[0].sim
+    now = sim.now
+    discard = sim.discard
+    mark_dirty = hub.mark_dirty
+    lu = np.array([s._last_update for s in servers])
+    if (lu == now).all():
+        # Same-instant follow-up round: elapsed is zero everywhere, so
+        # the advance is a no-op; every active server is already dirty
+        # (or armed, if a flush ran mid-instant — then the wakeup's
+        # horizon used the superseded rates and must be withdrawn).
+        for server, r in zip(servers, rlist):
+            server._rate = r
+            wakeup = server._wakeup
+            if wakeup is not None:
+                server._wakeup = None
+                discard(wakeup)
+                server.superseded_wakeups += 1
+                mark_dirty(server)
+        return
+    vt = np.array([s._vtime for s in servers])
+    tw = np.array([s._total_weight for s in servers])
+    rate = np.array([s._rate for s in servers])
+    act = np.array([s._active for s in servers])
+    adv = np.nonzero((now - lu > 0.0) & (act > 0))[0]
+    if adv.size:
+        # Identical to the scalar hot path: vtime += rate * elapsed / tw.
+        vt[adv] += rate[adv] * (now - lu[adv]) / tw[adv]
+    new_vt = vt.tolist()
+    for k, server in enumerate(servers):
+        server._last_update = now
+        server._vtime = new_vt[k]
+        server._rate = rlist[k]
+        wakeup = server._wakeup
+        if wakeup is not None:
+            server._wakeup = None
+            discard(wakeup)
+            server.superseded_wakeups += 1
+        heap = server._heap
+        while heap and not heap[0][2].active:
+            heapq.heappop(heap)
+            server._dead -= 1
+        if server._active:
+            mark_dirty(server)
+        elif not server._loads:
+            server._total_weight = 0.0

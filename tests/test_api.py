@@ -196,6 +196,14 @@ def test_cli_bench_smoke_json(capsys, tmp_path):
     assert doc["kernel"] == "virtual-time-heap"
     for name in ("ps_churn", "cluster_churn", "opt_sweep"):
         assert doc["benches"][name]["wall_s"] > 0
+        # Uniform environment metadata on every bench entry.
+        assert doc["benches"][name]["python"]
+        assert doc["benches"][name]["machine"]
+        assert doc["benches"][name]["best_of"] >= 1
+    # The storm bench runs both queue backends, which must agree exactly.
+    storm = doc["benches"]["storm"]
+    assert storm["heap"]["fingerprint"] == storm["calendar"]["fingerprint"]
+    assert storm["speedup"] > 0
     # The heap-hygiene counters must report a bounded queue even in smoke.
     assert doc["benches"]["ps_churn"]["max_event_queue"] <= 4 * 32
     # --out writes the same document to disk.

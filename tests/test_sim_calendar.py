@@ -1,0 +1,397 @@
+"""Calendar-queue event core: unit tests + heap-equivalence oracle.
+
+The calendar backend (``Simulator(queue="calendar")``) must be
+observably indistinguishable from the heap backend: same event order,
+same timestamps bit for bit, same processor-sharing trajectories — under
+churn, discard sweeps, dead-entry compaction, wave aggregation and
+fleet-wide updates.  These tests pin that equivalence with randomized
+seeded workloads, and exercise the queue structure itself (rung spawns,
+bottom-spawn resizing, far-future overflow).
+"""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    NORMAL,
+    URGENT,
+    CalendarQueue,
+    Event,
+    SimulationError,
+    Simulator,
+    fleet_set_rates,
+)
+from repro.sim.resources import ProcessorSharing
+
+
+class _Ev:
+    """Stand-in event for raw CalendarQueue tests."""
+
+    __slots__ = ("_discarded",)
+
+    def __init__(self) -> None:
+        self._discarded = False
+
+
+def _entries(times, prio=NORMAL):
+    return [(t, prio, i, _Ev()) for i, t in enumerate(times)]
+
+
+# ------------------------------------------------------------- raw queue
+
+
+def test_calendar_queue_orders_like_sorted():
+    rng = random.Random(42)
+    cq = CalendarQueue()
+    entries = _entries([rng.uniform(0, 1000) for _ in range(5000)])
+    for e in entries:
+        cq.push(e)
+    assert len(cq) == 5000
+    popped = []
+    while cq:
+        popped.append(cq.pop())
+    assert popped == sorted(entries, key=lambda e: e[:3])
+
+
+def test_calendar_queue_interleaved_push_pop():
+    """Pushes into already-consumed regions must stay ordered."""
+    rng = random.Random(7)
+    cq = CalendarQueue()
+    reference = []
+    clock = 0.0
+    seq = 0
+    for round_ in range(200):
+        for _ in range(rng.randrange(1, 30)):
+            t = clock + rng.uniform(0.0, 50.0)
+            e = (t, NORMAL, seq, _Ev())
+            seq += 1
+            cq.push(e)
+            reference.append(e)
+        reference.sort(key=lambda e: e[:3])
+        for _ in range(rng.randrange(0, 12)):
+            if not reference:
+                break
+            want = reference.pop(0)
+            got = cq.pop()
+            assert got == want
+            clock = got[0]
+    while reference:
+        assert cq.pop() == reference.pop(0)
+    assert cq.pop() is None
+
+
+def test_calendar_queue_spawns_rungs_on_skew():
+    """An oversized bucket re-buckets into a finer rung (auto-resize)."""
+    rng = random.Random(3)
+    cq = CalendarQueue()
+    # A far-future cluster squeezed into a tiny time span, plus one
+    # outlier to stretch the first rung: the cluster lands in one bucket.
+    entries = _entries([1e6 + rng.random() for _ in range(3000)] + [2e6])
+    for e in entries:
+        cq.push(e)
+    popped = []
+    while cq:
+        popped.append(cq.pop())
+    assert popped == sorted(entries, key=lambda e: e[:3])
+    assert cq.spawned_rungs >= 2
+
+
+def test_calendar_queue_bottom_spawn():
+    """A fat unconsumed bottom converts into a fresh finest rung."""
+    cq = CalendarQueue()
+    # Seed a rung spanning a wide window, consume into it, then flood
+    # the consumed region so pushes insort into bottom.
+    for e in _entries([float(i) for i in range(0, 1000, 10)]):
+        cq.push(e)
+    first = cq.pop()
+    assert first[0] == 0.0
+    rng = random.Random(5)
+    flood = [(first[0] + rng.random() * 5.0, NORMAL, 10_000 + i, _Ev())
+             for i in range(500)]
+    for e in flood:
+        cq.push(e)
+    spawned = cq.spawned_rungs
+    out = []
+    while cq:
+        out.append(cq.pop())
+    assert out == sorted(out, key=lambda e: e[:3])
+    assert spawned >= 1
+
+
+def test_calendar_queue_compact_drops_discarded():
+    cq = CalendarQueue()
+    entries = _entries([float(i) for i in range(100)])
+    for e in entries:
+        cq.push(e)
+    for e in entries[::2]:
+        e[3]._discarded = True
+    cq.compact()
+    assert len(cq) == 50
+    popped = [cq.pop() for _ in range(50)]
+    assert popped == entries[1::2]
+
+
+# ------------------------------------------------- batch dispatch semantics
+
+
+def test_cohort_batch_dispatch_preserves_fifo():
+    """Same-instant events run in schedule order on both backends."""
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        order = []
+        for i in range(10):
+            ev = Event(sim)
+            ev._ok = True
+            ev._value = i
+            ev.callbacks.append(lambda e: order.append(e._value))
+            sim._schedule(ev)
+        sim.run()
+        assert order == list(range(10)), queue
+
+
+def test_urgent_preempts_mid_cohort():
+    """An URGENT event scheduled during a cohort runs before its rest."""
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        order = []
+
+        def make(tag):
+            ev = Event(sim)
+            ev._ok = True
+            ev._value = None
+
+            def cb(_e, tag=tag):
+                order.append(tag)
+                if tag == "a":
+                    urgent = Event(sim)
+                    urgent._ok = True
+                    urgent._value = None
+                    urgent.callbacks.append(lambda _e: order.append("urgent"))
+                    sim._schedule(urgent, priority=URGENT)
+
+            ev.callbacks.append(cb)
+            return ev
+
+        for tag in ("a", "b", "c"):
+            sim._schedule(make(tag))
+        sim.run()
+        assert order == ["a", "urgent", "b", "c"], queue
+
+
+def test_mid_cohort_discard_is_honoured():
+    """A callback discarding a later same-instant event suppresses it."""
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        order = []
+        victim = Event(sim)
+        victim._ok = True
+        victim._value = None
+        victim.callbacks.append(lambda _e: order.append("victim"))
+
+        first = Event(sim)
+        first._ok = True
+        first._value = None
+        first.callbacks.append(lambda _e: (order.append("first"),
+                                           sim.discard(victim)))
+        sim._schedule(first)
+        sim._schedule(victim)
+        sim.run()
+        assert order == ["first"], queue
+
+
+def test_run_until_time_stops_inside_cohort_instant():
+    """run(until=t) must not dispatch events scheduled after t."""
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        seen = []
+        sim.process(iter_gen(sim, seen))
+        sim.run(until=1.5)
+        assert sim.now == 1.5
+        assert seen == [0.0, 1.0], queue
+
+
+def iter_gen(sim, seen):
+    for _ in range(4):
+        seen.append(sim.now)
+        yield sim.timeout(1.0)
+
+
+# --------------------------------------------------------- the oracle
+
+
+def _churn_oracle(queue: str, seed: int):
+    """Randomized PS op-script; returns (event log, final states)."""
+    sim = Simulator(queue=queue)
+    rng = random.Random(seed)
+    n = 8
+    servers = [ProcessorSharing(sim, rate=5.0 + i, name=f"s{i}") for i in range(n)]
+    log = []
+
+    def driver():
+        residents = [(i, s.submit_job(300.0, label="res"))
+                     for i, s in enumerate(servers)]
+        loads = []
+        for step in range(60):
+            op = rng.randrange(6)
+            k = rng.randrange(n)
+            if op == 0:
+                ev = servers[k].submit(rng.uniform(0.1, 5.0), label=f"j{step}")
+                ev.callbacks.append(
+                    lambda e, step=step: log.append(("done", step, sim.now)))
+            elif op == 1:
+                # wave: aggregated on calendar, scalar loop on heap
+                ev = servers[k].submit_wave(
+                    rng.randint(1, 7), rng.uniform(0.2, 2.0), label=f"w{step}")
+                ev.callbacks.append(
+                    lambda e, step=step: log.append(("wave", step, sim.now)))
+            elif op == 2:
+                # migration: cancel + resubmit remainder elsewhere
+                ri = rng.randrange(n)
+                si, job = residents[ri]
+                rem = servers[si].cancel(job)
+                dst = rng.randrange(n)
+                if rem <= 0:
+                    rem = 100.0
+                residents[ri] = (dst, servers[dst].submit_job(rem, label="res"))
+                log.append(("mig", ri, si, dst, sim.now))
+            elif op == 3:
+                loads.append((k, servers[k].add_load(
+                    weight=rng.choice([0.5, 1.0, 2.0]))))
+                if len(loads) > 5:
+                    li, h = loads.pop(0)
+                    servers[li].remove_load(h)
+            elif op == 4:
+                servers[k].set_rate((5.0 + k) * (1.0 + rng.random()))
+            else:
+                for _ in range(rng.randint(1, 3)):
+                    fleet_set_rates(
+                        servers,
+                        [(5.0 + i) * (1.0 + rng.random()) for i in range(n)])
+            yield sim.timeout(rng.uniform(0.005, 0.8))
+        yield sim.timeout(100.0)
+
+    sim.process(driver(), name="oracle")
+    sim.run(until=400.0)
+    states = [(s._vtime, s._total_weight, s._rate, s._active, s._dead)
+              for s in servers]
+    return log, states, sim.now, sim.discarded_pending
+
+
+@pytest.mark.parametrize("seed", [1, 1994, 77, 40423])
+def test_heap_calendar_oracle(seed):
+    """Heap and calendar backends produce bit-identical trajectories.
+
+    The op script hits every PS surface — scalar submits, wave groups,
+    migration cancels (dead-entry compaction), load flaps, scalar and
+    fleet rate changes — over hundreds of discard sweeps.  Every logged
+    timestamp and every final kernel quantity must match exactly.
+    """
+    log_h, states_h, now_h, _ = _churn_oracle("heap", seed)
+    log_c, states_c, now_c, _ = _churn_oracle("calendar", seed)
+    assert len(log_h) > 20
+    assert log_h == log_c
+    assert states_h == states_c
+    assert now_h == now_c
+
+
+def test_oracle_covers_compaction_and_discards():
+    """The oracle workload actually reaches the hygiene machinery."""
+    sim = Simulator(queue="calendar")
+    ps = ProcessorSharing(sim, rate=100.0, name="s")
+    jobs = [ps.submit_job(1000.0 + i) for i in range(64)]
+    for j in jobs[:48]:
+        ps.cancel(j)  # triggers dead-entry compaction (dead*2 >= len)
+    assert ps._dead < 48
+    sim.run(until=1000.0)
+    assert ps.active_jobs == 0
+    assert ps.superseded_wakeups + sim._epoch.deferred_rearms > 0
+
+
+# ------------------------------------------------------ API edge cases
+
+
+def test_wave_group_cannot_be_cancelled():
+    sim = Simulator(queue="calendar")
+    ps = ProcessorSharing(sim, rate=10.0, name="s")
+    ps.submit_wave(4, 1.0)
+    group = ps._heap[0][2]
+    with pytest.raises(SimulationError):
+        ps.cancel(group)
+
+
+def test_cross_server_cancel_is_rejected():
+    sim = Simulator()
+    a = ProcessorSharing(sim, rate=10.0, name="a")
+    b = ProcessorSharing(sim, rate=10.0, name="b")
+    job = a.submit_job(5.0)
+    with pytest.raises(SimulationError):
+        b.cancel(job)
+
+
+def test_wave_value_is_completion_time():
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        ps = ProcessorSharing(sim, rate=10.0, name="s")
+        ev = ps.submit_wave(4, 5.0)  # 4 tasks x 5 units at rate 10 -> 2 s
+        got = sim.run(until=ev)
+        assert got == pytest.approx(2.0), queue
+        assert sim.now == pytest.approx(2.0), queue
+
+
+def test_fleet_set_rates_validates():
+    sim = Simulator(queue="calendar")
+    servers = [ProcessorSharing(sim, rate=10.0, name=f"s{i}") for i in range(3)]
+    with pytest.raises(ValueError):
+        fleet_set_rates(servers, [10.0, 10.0])
+    with pytest.raises(ValueError):
+        fleet_set_rates(servers, [10.0, -1.0, 10.0])
+    fleet_set_rates([], [])  # no-op
+
+
+def test_fleet_set_rates_matches_scalar_loop():
+    """One fleet call == the scalar loop, including mid-flight jobs."""
+
+    def run(use_fleet: bool, queue: str):
+        sim = Simulator(queue=queue)
+        servers = [ProcessorSharing(sim, rate=10.0 + i, name=f"s{i}")
+                   for i in range(6)]
+        ends = []
+
+        def driver():
+            for s in servers:
+                ev = s.submit(20.0)
+                ev.callbacks.append(lambda e: ends.append(sim.now))
+            yield sim.timeout(0.5)
+            rates = [20.0 + 3 * i for i in range(6)]
+            if use_fleet:
+                fleet_set_rates(servers, rates)
+            else:
+                for s, r in zip(servers, rates):
+                    s.set_rate(r)
+            yield sim.timeout(100.0)
+
+        sim.process(driver(), name="d")
+        sim.run(until=200.0)
+        return sorted(ends)
+
+    want = run(False, "heap")
+    assert run(True, "heap") == want
+    assert run(True, "calendar") == want
+    assert run(False, "calendar") == want
+
+
+def test_livelock_epsilon_covers_large_clock():
+    """Completion at t ~ 1e7 s: the wakeup horizon must beat ulp(t)."""
+    for queue in ("heap", "calendar"):
+        sim = Simulator(queue=queue)
+        ps = ProcessorSharing(sim, rate=100.0, name="s")
+        sim.process(_late_submit(sim, ps))
+        sim.run(until=2.5e7)
+        assert ps.active_jobs == 0, queue
+
+
+def _late_submit(sim, ps):
+    yield sim.timeout(1.0e7)
+    done = ps.submit(1000.0)
+    yield done
