@@ -10,7 +10,7 @@ application finishes redistribution.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..gs.scheduler import ClientCapabilities
 from ..hw.host import Host
@@ -135,10 +135,15 @@ class AdmClient:
             if w.worker_id not in self.app.lost and w.host is host and w.active
         ]
 
-    def request_migration(self, unit: AdmWorkerHandle, dst: Host) -> Event:
-        return self.coordinator.request_migration(unit, dst)
+    def request_migration(
+        self, unit: AdmWorkerHandle, dst: Host, *, epoch: Optional[int] = None
+    ) -> Event:
+        return self.coordinator.request_migration(unit, dst, epoch=epoch)
 
     def request_batch_migration(
-        self, pairs: List[Tuple[AdmWorkerHandle, Host]]
+        self,
+        pairs: List[Tuple[AdmWorkerHandle, Host]],
+        *,
+        epoch: Optional[int] = None,
     ) -> List[Event]:
-        return self.coordinator.request_batch_migration(pairs)
+        return self.coordinator.request_batch_migration(pairs, epoch=epoch)

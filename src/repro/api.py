@@ -39,6 +39,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
+from .control import ControlConfig, ControlPlane
 from .faults import FaultInjector, FaultPlan
 from .gs import GlobalScheduler, SchedulerConfig, SchedulerPolicy
 from .hw import Cluster, Host, HostSpec
@@ -93,6 +94,9 @@ class SessionConfig:
     #: Reliable interhost transport armed (off by default: raw
     #: datagrams, exactly the paper's wire model).
     reliability: bool = False
+    #: Crash-tolerant control plane armed (off by default: the brain is
+    #: the immortal ambient singleton of earlier releases).
+    control: bool = False
 
 
 class Session:
@@ -115,6 +119,7 @@ class Session:
         quarantine_ttl: Any = _UNSET,
         recovery: "bool | RecoveryConfig | None" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
+        control: "bool | ControlConfig | None" = None,
     ) -> None:
         if mechanism not in _SYSTEMS:
             raise ValueError(
@@ -144,6 +149,21 @@ class Session:
         self.cluster = cluster or Cluster(
             n_hosts=n_hosts, specs=hosts, seed=seed, trace=trace
         )
+        if control is True:
+            control = ControlConfig()
+        elif control is False:
+            control = None
+        self._control_config: Optional[ControlConfig] = control
+        if control is not None:
+            # The control plane hosts the recovery stack (detector,
+            # fences, restart engine): arming it implies recovery.
+            if recovery is False:
+                raise ValueError(
+                    "control=... requires the recovery stack; drop "
+                    "recovery=False (or pass a RecoveryConfig)"
+                )
+            if recovery is None:
+                recovery = True
         if recovery is True:
             recovery = RecoveryConfig()
         elif recovery is False:
@@ -164,6 +184,7 @@ class Session:
             faults=faults or FaultPlan(),
             recovery=recovery is not None,
             reliability=reliability is not None,
+            control=control is not None,
         )
         self.faults = self.config.faults
         self.vm = _SYSTEMS[mechanism](self.cluster, default_route=default_route)
@@ -194,9 +215,14 @@ class Session:
         self.coordinator: Optional[RecoveryCoordinator] = None
         self.checkpoints: Optional[CheckpointEngine] = None
         if self.recovery is not None:
-            # The GS machine (host 0) runs the detector; like the
-            # paper's GS it is assumed survivable.
-            home = self.cluster.hosts[0]
+            # The controller machine runs the detector.  Without a
+            # control plane that is host 0, assumed survivable like the
+            # paper's GS; with one it is the configured controller host
+            # — and very much mortal.
+            if self._control_config is not None:
+                home = self.cluster.host(self._control_config.controller_host)
+            else:
+                home = self.cluster.hosts[0]
             self.detector = FailureDetector(
                 self.vm, home, self.recovery.heartbeat
             )
@@ -221,6 +247,24 @@ class Session:
                 txns = getattr(c, "txns", None)
                 if txns is not None:
                     self.coordinator.txn_logs.append(txns)
+        #: Crash-tolerant control plane — ``None`` unless ``control=``
+        #: was given.  Built after the recovery stack so a takeover can
+        #: re-arm the detector and replay fences from the control log.
+        self.control: Optional[ControlPlane] = None
+        if self._control_config is not None:
+            assert self.detector is not None and self.coordinator is not None
+            self.control = ControlPlane(
+                system=self.vm,
+                detector=self.detector,
+                recovery=self.coordinator,
+                config=self._control_config,
+            ).arm()
+            for c in self._coordinators:
+                self.control.attach_coordinator(c)
+            if self.mechanism in ("mpvm", "upvm"):
+                # Bind the GS now so every command the session ever
+                # issues is epoch-stamped, from the first one.
+                _ = self.scheduler
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -259,6 +303,7 @@ class Session:
             faults=inst.plan if inst.plan else None,
             reliability=inst.reliability,
             recovery=inst.recovery,
+            control=getattr(inst, "control", False),
         )
 
     # -- wiring ----------------------------------------------------------------
@@ -271,6 +316,9 @@ class Session:
         recovery = getattr(self, "coordinator", None)
         if txns is not None and recovery is not None:
             recovery.txn_logs.append(txns)
+        control = getattr(self, "control", None)
+        if control is not None:
+            control.attach_coordinator(coordinator)
 
     @property
     def scheduler(self) -> GlobalScheduler:
@@ -294,6 +342,9 @@ class Session:
         recovery layer currently considers unreachable-but-alive."""
         if self.coordinator is not None:
             scheduler.unreachable_provider = self.coordinator.unreachable_hosts
+        control = getattr(self, "control", None)
+        if control is not None:
+            control.attach_scheduler(scheduler)
 
     def _recovery_pick(self, exclude: Tuple[str, ...]) -> Optional[Host]:
         """Restart placement via the GS ranking when a GS exists.

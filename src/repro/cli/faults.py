@@ -26,6 +26,9 @@ def register(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--partition", action="store_true",
                    help="lossy-wire + healed-partition demo: reliable "
                         "channels, partition grace, exactly-once delivery")
+    p.add_argument("--controller", action="store_true",
+                   help="controller-failover demo: the brain dies "
+                        "mid-eviction; epoch-fenced takeover")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON")
     p.add_argument("--out", metavar="FILE", default=None,
@@ -48,13 +51,19 @@ def _parse_kinds(raw: str) -> Tuple[str, ...]:
 def run(ns: argparse.Namespace) -> int:
     from ..faults.demo import (
         main as demo_main,
+        main_controller,
         main_partition,
+        run_controller,
         run_demo,
         run_partition,
     )
 
     kinds = _parse_kinds(ns.kinds)
-    if ns.partition:
+    if ns.partition and ns.controller:
+        raise SystemExit("pick one of --partition / --controller")
+    if ns.controller:
+        doc = run_controller(ns.seed) if ns.json else main_controller(ns.seed)
+    elif ns.partition:
         doc = run_partition(ns.seed) if ns.json else main_partition(ns.seed)
     else:
         doc = (

@@ -23,10 +23,24 @@ def register(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--reliability", action="store_true",
                    help="lossy/partition network soak instead of the "
                         "crash soak (BENCH_reliability.json)")
+    p.add_argument("--control", action="store_true",
+                   help="controller-failover soak instead of the crash "
+                        "soak (BENCH_control.json)")
     p.set_defaults(handler=run)
 
 
 def run(ns: argparse.Namespace) -> int:
+    if ns.reliability and ns.control:
+        raise SystemExit("pick one of --reliability / --control")
+    if ns.control:
+        from ..experiments.soak_control import (
+            render_soak_control,
+            run_soak_control,
+        )
+
+        doc = run_soak_control(seeds=ns.seeds, smoke=ns.smoke)
+        emit(doc, render_soak_control, as_json=ns.json, out=ns.out)
+        return 0 if doc["ok"] else 1
     if ns.reliability:
         from ..experiments.soak_reliability import (
             render_soak_reliability,

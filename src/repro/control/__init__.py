@@ -1,0 +1,43 @@
+"""Crash-tolerant control plane: controller failover with epoch-fenced
+decisions and log-based state reconstruction.
+
+The paper's Global Scheduler is the single brain that initiates every
+migration; this package makes that brain a first-class, crashable,
+fail-over-able citizen of the fleet.  See :mod:`repro.control.plane`
+for the architecture, :mod:`repro.control.epoch` for the zombie fence,
+and :mod:`repro.control.log` for the durable decision journal a
+takeover reconstructs from.
+
+Armed through the session facade::
+
+    from repro.api import Session
+
+    s = Session(mechanism="mpvm", n_hosts=4, control=True, ...)
+    s.control.crash()          # or a ControllerCrash in the fault plan
+    s.run()
+    s.control.takeovers[0].latency
+
+Off by default; an unarmed session is byte-identical to earlier
+releases.
+"""
+
+from .epoch import EpochGate
+from .log import ControlEntry, ControlLog
+from .plane import (
+    ControlConfig,
+    ControlPlane,
+    ControllerHandle,
+    ControllerReplica,
+    TakeoverRecord,
+)
+
+__all__ = [
+    "ControlConfig",
+    "ControlEntry",
+    "ControlLog",
+    "ControlPlane",
+    "ControllerHandle",
+    "ControllerReplica",
+    "EpochGate",
+    "TakeoverRecord",
+]

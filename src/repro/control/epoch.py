@@ -1,0 +1,62 @@
+"""Controller epochs: the fence that keeps zombies out.
+
+A controller *epoch* is a monotonically increasing integer bumped at
+every takeover.  Every command the control plane issues — a migration,
+a batch round, a recovery fence, a forced confirm — is stamped with the
+epoch of the controller that issued it, and every command sink (the
+migration coordinator's pvmd door, the plane's own command methods)
+refuses a stamp that is not the *current* epoch.  An ex-controller
+resurfacing after a partition still holds its old handle and keeps
+issuing orders; all of them bounce, so it can neither double-evict a
+unit its successor already moved nor double-restart a task its
+successor already recovered.
+
+The gate injects nothing into the simulation (no events, no packets),
+so an armed-but-unexercised control plane leaves timelines
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["EpochGate"]
+
+
+class EpochGate:
+    """The monotone epoch clock plus its rejection audit trail."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._epoch = 1
+        #: ``(t, cmd_epoch, current_epoch, what)`` — every stale command
+        #: refused through this gate (migrations are additionally logged
+        #: in the owning TransactionLog's ``stale_rejections``).
+        self.rejections: List[Tuple[float, int, int, str]] = []
+
+    def current(self) -> int:
+        return self._epoch
+
+    def advance(self) -> int:
+        """Bump the epoch (takeover); returns the new value."""
+        self._epoch += 1
+        return self._epoch
+
+    def admits(self, epoch: Optional[int]) -> bool:
+        """True if a command stamped ``epoch`` may proceed.
+
+        ``None`` (unstamped) is always admitted: data-plane requests
+        that never went through a controller are not controller commands
+        and carry no stamp to check.
+        """
+        return epoch is None or epoch == self._epoch
+
+    def reject(self, epoch: int, what: str) -> None:
+        """Record one refused stale command."""
+        self.rejections.append((self.sim.now, epoch, self._epoch, what))
+
+    def __repr__(self) -> str:
+        return f"<EpochGate epoch={self._epoch} rejected={len(self.rejections)}>"

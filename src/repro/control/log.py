@@ -1,0 +1,82 @@
+"""The control log: the durable half of the controller's brain.
+
+Placement state the Global Scheduler accumulates at runtime —
+quarantines, pardons, fences — dies with the controller process unless
+it is journaled somewhere every standby can read.  :class:`ControlLog`
+is that journal, modelled as synchronously replicated to the succession
+list (the paper-scale worknet is a handful of machines; one small
+record per *decision*, not per packet, makes that cheap).  On takeover
+the standby replays it to reconstruct exactly the state that must
+survive: which hosts are barred from placement and since when (TTL
+clocks preserved), which hosts are fenced, and which controller epoch
+adjudicated each decision.
+
+Appending injects nothing into the simulation — no events, no packets,
+no randomness — so an armed control plane that never loses its
+controller leaves every timeline byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["ControlEntry", "ControlLog"]
+
+
+@dataclass(frozen=True)
+class ControlEntry:
+    """One journaled controller decision."""
+
+    t: float
+    epoch: Optional[int]
+    #: "boot" | "takeover" | "quarantine" | "pardon" | "fence" |
+    #: "adopt" | "abort"
+    kind: str
+    host: str
+    detail: str = ""
+
+
+class ControlLog:
+    """Append-only, replicated record of controller decisions."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.entries: List[ControlEntry] = []
+
+    def record(
+        self, kind: str, host: str, *, epoch: Optional[int] = None, detail: str = ""
+    ) -> None:
+        self.entries.append(ControlEntry(self.sim.now, epoch, kind, host, detail))
+
+    def by_kind(self, kind: str) -> List[ControlEntry]:
+        return [e for e in self.entries if e.kind == kind]
+
+    def quarantine_clocks(self) -> Dict[str, float]:
+        """Surviving quarantines with their original TTL clocks.
+
+        Replays quarantine/pardon entries in order: the latest
+        quarantine entry per host is its healthy-for-TTL clock start
+        (each entry is written when the clock (re)starts), and a
+        subsequent pardon clears it.  This is what a takeover feeds to
+        :meth:`GlobalScheduler.restore_quarantine`.
+        """
+        clocks: Dict[str, float] = {}
+        for e in self.entries:
+            if e.kind == "quarantine":
+                clocks[e.host] = e.t
+            elif e.kind == "pardon":
+                clocks.pop(e.host, None)
+        return clocks
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for e in self.entries:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        return f"<ControlLog {len(self.entries)} entries {kinds}>"

@@ -1,0 +1,452 @@
+"""The control plane: a crashable, fail-over-able controller.
+
+Earlier releases ran the Global Scheduler, RecoveryCoordinator and
+FailureDetector as immortal ambient singletons — no fault kind could
+even *name* the brain.  The :class:`ControlPlane` binds that brain to a
+designated fleet host and makes it a first-class citizen of the failure
+model:
+
+* **Host it.**  The controller lives on a host; a ``HostCrash`` there —
+  or the explicit :class:`~repro.faults.ControllerCrash` process fault —
+  takes it down mid-round.  A deterministic succession list of
+  :class:`ControllerReplica` standbys (cluster order, rotated to start
+  at the configured primary) decides who takes over.
+* **Fence it.**  Each incarnation rules under a monotone *epoch*
+  (:class:`~repro.control.EpochGate`).  Every command is stamped; the
+  migration coordinator's pvmd door and the plane's own command surface
+  refuse stale stamps, so a zombie ex-controller can neither
+  double-evict nor double-restart.
+* **Rebuild it.**  On takeover the standby reconstructs from durable
+  sources only: the replicated :class:`~repro.control.ControlLog`
+  (quarantines with preserved TTL clocks), the transactional migration
+  log (in-flight txns adopted or aborted per prepared state), a fresh
+  load-monitor probe round, a re-armed failure detector with heartbeat
+  baselines reset to the takeover instant (the listening gap must not
+  read as host silence), and a re-plan pass over abandoned evictions.
+
+Unarmed (the default), none of this exists and every timeline is
+byte-identical to earlier releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional, Union
+
+from ..migration.txn import PREPARED
+from .epoch import EpochGate
+from .log import ControlLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gs.scheduler import GlobalScheduler
+    from ..hw.host import Host
+    from ..migration.coordinator import MigrationCoordinator
+    from ..pvm.vm import PvmSystem
+    from ..recovery.coordinator import RecoveryCoordinator
+    from ..recovery.detector import FailureDetector
+    from ..sim import Event
+
+__all__ = [
+    "ControlConfig",
+    "ControlPlane",
+    "ControllerHandle",
+    "ControllerReplica",
+    "TakeoverRecord",
+]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Knobs for the control plane."""
+
+    #: Where the primary controller runs (cluster index or host name).
+    controller_host: Union[int, str] = 0
+    #: Succession depth beyond the primary (``None`` = every host is a
+    #: standby, in deterministic cluster order).
+    standbys: Optional[int] = None
+    #: Seconds between controller loss and the standby assuming command
+    #: (models loss detection + election; deterministic).
+    takeover_delay_s: float = 0.4
+
+
+@dataclass
+class ControllerReplica:
+    """One slot in the deterministic succession list."""
+
+    host: "Host"
+    index: int
+    state: str = "standby"  #: "standby" | "active" | "dead"
+
+
+@dataclass
+class TakeoverRecord:
+    """One completed controller failover, crash to assumption."""
+
+    t_crashed: float
+    t_takeover: float
+    from_host: str
+    to_host: str
+    old_epoch: int
+    new_epoch: int
+    reason: str
+    adopted_txns: int = 0
+    aborted_txns: int = 0
+    replanned: int = 0
+    restored_quarantines: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.t_takeover - self.t_crashed
+
+
+@dataclass
+class ControllerHandle:
+    """The epoch-stamped command surface of one controller incarnation.
+
+    A handle is minted at arm time and at every takeover; it stamps each
+    command with the epoch of the incarnation that issued it.  A handle
+    that outlives its incarnation — the zombie ex-controller — keeps
+    issuing commands, and every one of them is refused at the epoch
+    gate.  That refusal (not the handle's own honesty) is the fence.
+    """
+
+    plane: "ControlPlane"
+    host: "Host"
+    epoch: int
+
+    @property
+    def stale(self) -> bool:
+        return self.epoch != self.plane.gate.current()
+
+    def migrate(self, unit: Any, dst: "Host") -> "Event":
+        """Order one migration under this handle's epoch."""
+        return self.plane.client.request_migration(unit, dst, epoch=self.epoch)
+
+    def migrate_batch(self, pairs: List[Any]) -> List["Event"]:
+        """Order a co-scheduled batch under this handle's epoch."""
+        return self.plane.client.request_batch_migration(pairs, epoch=self.epoch)
+
+    def confirm_crash(self, host: "Host") -> bool:
+        """Adjudicate ``host`` dead (force recovery); False if refused."""
+        return self.plane.command_confirm_crash(host, epoch=self.epoch)
+
+
+class ControlPlane:
+    """Hosts, fences and fails-over the controller (see module docs)."""
+
+    def __init__(
+        self,
+        *,
+        system: "PvmSystem",
+        detector: "FailureDetector",
+        recovery: "RecoveryCoordinator",
+        config: Optional[ControlConfig] = None,
+        scheduler: Optional["GlobalScheduler"] = None,
+    ) -> None:
+        self.system = system
+        self.cluster = system.cluster
+        self.sim = system.sim
+        self.detector = detector
+        self.recovery = recovery
+        self.config = config or ControlConfig()
+        self.gate = EpochGate(self.sim)
+        self.log = ControlLog(self.sim)
+        self.gs: Optional["GlobalScheduler"] = None
+        #: Migration coordinators fenced by this plane's epoch gate.
+        self.coordinators: List["MigrationCoordinator"] = []
+        self.replicas: List[ControllerReplica] = []
+        self.takeovers: List[TakeoverRecord] = []
+        #: Command surface of the *current* incarnation (None while the
+        #: brain is down, between crash and takeover).
+        self.handle: Optional[ControllerHandle] = None
+        self.down = False
+        self._active: Optional[ControllerReplica] = None
+        self._armed = False
+        self._t_crashed = 0.0
+        self._crash_reason = ""
+        self._replanned_records: set = set()
+        if scheduler is not None:
+            self.attach_scheduler(scheduler)
+
+    # -- wiring ----------------------------------------------------------------
+    def arm(self) -> "ControlPlane":
+        """Bind the brain to its host and build the succession list."""
+        if self._armed:
+            return self
+        self._armed = True
+        primary = self.cluster.host(self.config.controller_host)
+        hosts = list(self.cluster.hosts)
+        start = next(i for i, h in enumerate(hosts) if h is primary)
+        order = hosts[start:] + hosts[:start]
+        if self.config.standbys is not None:
+            order = order[: 1 + self.config.standbys]
+        self.replicas = [ControllerReplica(host=h, index=i) for i, h in enumerate(order)]
+        self.replicas[0].state = "active"
+        self._active = self.replicas[0]
+        self.handle = ControllerHandle(self, primary, self.gate.current())
+        # The injector's ControllerCrash seam finds the plane here.
+        self.cluster.control_plane = self
+        for rep in self.replicas:
+            rep.host.on_fail.append(self._on_host_fail)
+        self.recovery.epoch_of = self.gate.current
+        self.recovery.control_log = self.log
+        self.log.record("boot", primary.name, epoch=self.gate.current())
+        self._trace("control.boot",
+                    f"controller on {primary.name}; "
+                    f"succession={[r.host.name for r in self.replicas[1:]]}")
+        return self
+
+    def attach_scheduler(self, gs: "GlobalScheduler") -> None:
+        """Fence and journal a (possibly late-built) Global Scheduler."""
+        self.gs = gs
+        gs.epoch_of = self.gate.current
+        gs.control_log = self.log
+
+    def attach_coordinator(self, coordinator: "MigrationCoordinator") -> None:
+        """Put a migration coordinator's pvmd door behind the gate."""
+        if coordinator not in self.coordinators:
+            self.coordinators.append(coordinator)
+        coordinator.epoch_gate = self.gate
+
+    @property
+    def client(self) -> Any:
+        """The migration client controller commands go through."""
+        if self.gs is not None:
+            return self.gs.client
+        return self.system
+
+    # -- observability ----------------------------------------------------------
+    def controller_name(self) -> Optional[str]:
+        return self._active.host.name if self._active is not None else None
+
+    @property
+    def epoch(self) -> int:
+        return self.gate.current()
+
+    @property
+    def fsm_state(self) -> str:
+        """The controller's current activity, for fault scheduling.
+
+        ``down`` > ``recovery-fence`` > ``txn-prepared`` >
+        ``batch-round`` > ``idle`` (most to least specific).  Computed
+        from live state rather than tracked, so observing it perturbs
+        nothing.
+        """
+        if not self._armed:
+            return "unarmed"
+        if self.down:
+            return "down"
+        if self.recovery.recovery_in_progress:
+            return "recovery-fence"
+        for coord in self.coordinators:
+            if any(t.state is PREPARED for t in coord.txns.open()):
+                return "txn-prepared"
+        if self.gs is not None and (
+            self.gs.vacating
+            or any(r.completed_at is None for r in self.gs.records)
+        ):
+            return "batch-round"
+        return "idle"
+
+    # -- commands (epoch-checked) ------------------------------------------------
+    def command_confirm_crash(self, host: "Host", *, epoch: int) -> bool:
+        """A controller orders recovery of ``host``; stale orders bounce."""
+        if not self.gate.admits(epoch):
+            self.gate.reject(epoch, f"confirm-crash {host.name}")
+            self._trace(
+                "control.stale",
+                f"confirm-crash {host.name} refused "
+                f"(epoch {epoch} < {self.gate.current()})",
+            )
+            return False
+        self.recovery._on_confirm(host)
+        return True
+
+    # -- crash & takeover --------------------------------------------------------
+    def crash(self, reason: str = "injected") -> None:
+        """Kill the active controller process; schedule succession."""
+        if not self._armed or self.down or self._active is None:
+            self._trace("control.crash", f"no active controller ({reason}); no-op")
+            return
+        dead = self._active
+        dead.state = "dead"
+        self._active = None
+        self.down = True
+        self._t_crashed = self.sim.now
+        self._crash_reason = reason
+        old_epoch = self.gate.current()
+        self.handle = None
+        # The brain is gone: nobody is listening for heartbeats.
+        self.detector.stop()
+        self._trace(
+            "control.crash",
+            f"controller on {dead.host.name} down ({reason}), epoch {old_epoch}",
+        )
+        self.sim.process(
+            self._takeover_after(dead, old_epoch), name="control:takeover"
+        ).defuse()
+
+    def _on_host_fail(self, host: "Host") -> None:
+        if not self._armed:
+            return
+        if self._active is not None and host is self._active.host:
+            self.crash(reason=f"host {host.name} crashed")
+            return
+        for rep in self.replicas:
+            if rep.host is host and rep.state == "standby":
+                rep.state = "dead"
+
+    def _next_standby(self) -> Optional[ControllerReplica]:
+        for rep in self.replicas:
+            if (
+                rep.state == "standby"
+                and rep.host.up
+                and rep.host.name not in self.recovery.fence.fenced
+            ):
+                return rep
+        return None
+
+    def _takeover_after(self, dead: ControllerReplica, old_epoch: int):
+        yield self.sim.timeout(self.config.takeover_delay_s)
+        succ = self._next_standby()
+        if succ is None:
+            self._trace(
+                "control.lost",
+                "no live standby left; the control plane stays down",
+            )
+            return
+        self._complete_takeover(succ, dead, old_epoch)
+
+    def _complete_takeover(
+        self, succ: ControllerReplica, dead: ControllerReplica, old_epoch: int
+    ) -> None:
+        succ.state = "active"
+        self._active = succ
+        new_epoch = self.gate.advance()
+        self.log.record(
+            "takeover", succ.host.name, epoch=new_epoch,
+            detail=f"succeeds {dead.host.name} ({self._crash_reason})",
+        )
+
+        # 1. Replay the transactional migration log: adopt in-flight
+        # txns whose (distributed) pipeline is still executing, abort
+        # the orphans whose driver died with the old controller.
+        adopted = aborted = 0
+        for coord in self.coordinators:
+            live = {id(ctx.txn) for ctx in coord.active if ctx.txn is not None}
+            for txn in coord.txns.open():
+                if id(txn) in live:
+                    adopted += 1
+                    self.log.record(
+                        "adopt", txn.dst, epoch=new_epoch,
+                        detail=f"txn #{txn.txn_id} {txn.unit} ({txn.state})",
+                    )
+                else:
+                    aborted += 1
+                    coord.txns.abort(txn, "controller takeover: orphaned txn")
+                    self.log.record(
+                        "abort", txn.dst, epoch=new_epoch,
+                        detail=f"txn #{txn.txn_id} {txn.unit}",
+                    )
+
+        # 2. Rebuild scheduler placement state from the durable control
+        # log: volatile counters are gone with the old brain, quarantine
+        # decisions (and their TTL clocks) survive in the journal.
+        clocks = self.log.quarantine_clocks()
+        if self.gs is not None:
+            gs = self.gs
+            gs.quarantined.clear()
+            gs._quarantined_at.clear()
+            gs.failures.clear()
+            gs.vacating.clear()
+            gs.restore_quarantine(clocks)
+            # 3. Re-register every host with the load monitor: one fresh
+            # probe round seeds placement state at the new controller.
+            gs.monitor.sample_once(self.sim.now)
+
+        # 4. Re-arm the failure detector on the new home with baselines
+        # reset to *now*: the gap while nobody listened must not read as
+        # host silence (no false confirms).  Hosts the durable fence
+        # record already adjudicated dead start CONFIRMED.
+        self.detector.rearm(
+            succ.host, confirmed=set(self.recovery.fence.fenced)
+        )
+
+        # 5. New incarnation assumes command...
+        self.handle = ControllerHandle(self, succ.host, new_epoch)
+        self.down = False
+
+        # 6. ...and re-plans evictions the old controller abandoned.
+        replanned = self._replan_abandoned() if self.gs is not None else 0
+
+        rec = TakeoverRecord(
+            t_crashed=self._t_crashed,
+            t_takeover=self.sim.now,
+            from_host=dead.host.name,
+            to_host=succ.host.name,
+            old_epoch=old_epoch,
+            new_epoch=new_epoch,
+            reason=self._crash_reason,
+            adopted_txns=adopted,
+            aborted_txns=aborted,
+            replanned=replanned,
+            restored_quarantines=len(clocks),
+        )
+        self.takeovers.append(rec)
+        self._trace(
+            "control.takeover",
+            f"{succ.host.name} leads epoch {new_epoch} "
+            f"(latency {rec.latency:.3f}s; adopted={adopted} "
+            f"aborted={aborted} replanned={replanned} "
+            f"quarantines={len(clocks)})",
+        )
+
+    def _replan_abandoned(self) -> int:
+        """Re-issue evictions whose migration was abandoned and whose
+        unit is still movable — the takeover analogue of the GS's
+        ``_after_vacate`` re-plan, driven from the records because the
+        old controller's in-memory callbacks died with it."""
+        gs = self.gs
+        assert gs is not None
+        n = 0
+        for record in gs.records:
+            if record.outcome != "abandoned" or id(record) in self._replanned_records:
+                continue
+            self._replanned_records.add(id(record))
+            unit = record.unit
+            host = getattr(unit, "host", None)
+            if host is None or not getattr(host, "up", False):
+                continue
+            try:
+                movable = unit in gs.client.movable_units(host)
+            except Exception:
+                movable = False
+            if not movable:
+                continue
+            fresh = gs.pick_destination(exclude=(host.name, record.dst))
+            if fresh is None:
+                self._trace(
+                    "control.replan", f"{unit}: abandoned and no host left"
+                )
+                continue
+            self._trace(
+                "control.replan",
+                f"{unit}: eviction to {record.dst} abandoned under epoch "
+                f"{record.epoch}; re-issued toward {fresh.name}",
+            )
+            gs.migrate(unit, fresh)
+            n += 1
+        return n
+
+    # -- misc -------------------------------------------------------------------
+    def _trace(self, kind: str, detail: str) -> None:
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, kind, "control", detail)
+
+    def __repr__(self) -> str:
+        who = self.controller_name() or "-"
+        return (
+            f"<ControlPlane epoch={self.gate.current()} controller={who}"
+            f" state={self.fsm_state} takeovers={len(self.takeovers)}>"
+        )

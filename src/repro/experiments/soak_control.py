@@ -1,0 +1,433 @@
+"""Control-plane soak harness (``python -m repro soak --control``).
+
+The crash soak proves the recovery subsystem survives dying *hosts* and
+the reliability soak a dying *network*; this harness proves the system
+survives a dying *brain*.  For every seed it runs the Opt workload on a
+control-armed MPVM worknet and kills the controller once per run — at
+each of the controller FSM states a takeover can interrupt:
+
+* **idle**           — nothing in flight; the cheapest takeover.
+* **batch-round**    — mid-eviction, GS migration records still open.
+* **txn-prepared**   — a migration's state is off-host, its transaction
+  ``prepared`` but not yet committed.
+* **recovery-fence** — mid-recovery of a genuine data-plane host crash
+  (fence written, restart in flight).
+
+A watcher process polls :attr:`ControlPlane.fsm_state` and fires
+:meth:`ControlPlane.crash` the first instant the target state holds, so
+the crash lands *inside* the window rather than at a guessed timestamp.
+After the standby takes over, the run must still complete with output
+identical to the fault-free reference, zero lost tasks, zero
+exactly-once violations, and a post-takeover command accepted under the
+new epoch.  After the run, the captured pre-crash handle plays the
+partitioned zombie ex-controller: every command it issues must bounce
+off the epoch gate, and the transaction logs' audit trail must show no
+command accepted under a stale epoch.  The committed
+``BENCH_control.json`` at the repo root holds the full 20-seed run,
+takeover-latency distribution included.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Any, Dict, List, Optional
+
+from ..api import Session
+from ..faults import FaultPlan, HostCrash
+from ..migration.txn import StaleEpochCommand
+from ..pvm.errors import PvmError
+from .soak_common import (
+    N_HOSTS,
+    NotifyOpt,
+    SLAVE_HOSTS,
+    UNTIL_S,
+    dist,
+    recovery_records_json,
+    reference_losses,
+    soak_workload,
+)
+
+__all__ = ["SCHEMA", "STATES", "run_soak_control", "render_soak_control"]
+
+SCHEMA = "repro-bench-control/1"
+
+#: The controller FSM states the soak crashes the brain in, one run per
+#: (seed, state).
+STATES = ("idle", "batch-round", "txn-prepared", "recovery-fence")
+
+#: Watcher poll period: fine enough to land inside the short
+#: txn-prepared window.
+POLL_S = 0.002
+
+#: When the stimulus lands, relative to the run start: early enough
+#: that the Opt iterations are still going in both smoke and full
+#: workloads, late enough that data distribution is done.
+EVICT_AFTER_SPAWN_S = 0.8
+HOST_CRASH_AT_S = 1.2
+
+
+def _total_stale(s: Session) -> int:
+    return sum(
+        len(getattr(c, "txns").stale_rejections)
+        for c in s._coordinators
+        if getattr(c, "txns", None) is not None
+    )
+
+
+def _txn_violations(s: Session) -> List[str]:
+    out: List[str] = []
+    for c in s._coordinators:
+        txns = getattr(c, "txns", None)
+        if txns is not None:
+            out.extend(txns.verify())
+    return out
+
+
+def _epoch_audit(s: Session) -> List[str]:
+    """Every committed epoch-stamped txn must have begun while its epoch
+    ruled — the txn-log proof that no stale command was ever accepted."""
+    assert s.control is not None
+    # Epoch e rules from boundaries[e] until the next takeover.
+    boundaries = {1: 0.0}
+    for rec in s.control.takeovers:
+        boundaries[rec.new_epoch] = rec.t_takeover
+
+    def ruling_at(t: float) -> int:
+        return max(
+            (e for e, t0 in boundaries.items() if t0 <= t),
+            default=1,
+        )
+
+    violations: List[str] = []
+    for c in s._coordinators:
+        txns = getattr(c, "txns", None)
+        if txns is None:
+            continue
+        for txn in txns.committed():
+            if txn.epoch is not None and txn.epoch != ruling_at(txn.t_begin):
+                violations.append(
+                    f"{txn!r}: committed under epoch {txn.epoch} but epoch "
+                    f"{ruling_at(txn.t_begin)} ruled at t={txn.t_begin:g}"
+                )
+    return violations
+
+
+def _zombie_leg(s: Session, zombie: Any) -> Dict[str, Any]:
+    """The partitioned ex-controller keeps issuing orders; count them
+    all bouncing off the epoch gate (run after the simulation ends —
+    refusal is synchronous)."""
+    assert s.control is not None
+    if zombie is None:
+        return {"attempts": 0, "refused": 0, "clean": False}
+    attempts = refused = 0
+
+    any_task = None
+    for h in s.cluster.hosts:
+        units = s.vm.movable_units(h) if h.up else []
+        if units:
+            any_task = units[0]
+            break
+    if any_task is None:
+        # Workload finished and every unit exited: the zombie orders a
+        # ghost of a finished task around; the gate refuses before the
+        # unit is dereferenced beyond its label.
+        any_task = type("Ghost", (), {"name": "t-exited"})()
+
+    # Order 1: single migration through the pvmd command path.
+    before = _total_stale(s)
+    attempts += 1
+    try:
+        zombie.migrate(any_task, s.host(2))
+    except StaleEpochCommand:
+        pass
+    refused += _total_stale(s) - before
+
+    # Order 2: batch eviction.
+    before = _total_stale(s)
+    attempts += 1
+    zombie.migrate_batch([(any_task, s.host(3))])
+    refused += _total_stale(s) - before
+
+    # Order 3: adjudicate a healthy host dead (the double-restart
+    # vector); the plane must refuse, and the gate must log it.
+    before_gate = len(s.control.gate.rejections)
+    attempts += 1
+    accepted = zombie.confirm_crash(s.host(3))
+    if not accepted and len(s.control.gate.rejections) == before_gate + 1:
+        refused += 1
+
+    return {
+        "attempts": attempts,
+        "refused": refused,
+        "stale_handle": bool(zombie.stale),
+        "clean": refused == attempts and bool(zombie.stale),
+    }
+
+
+def _run_one(
+    seed: int, state: str, cfg, horizon: float, ref_losses: List[float]
+) -> Dict[str, Any]:
+    plan: Optional[FaultPlan] = None
+    if state == "recovery-fence":
+        # A genuine data-plane crash whose recovery the brain dies in.
+        plan = FaultPlan(
+            faults=(HostCrash(host=f"hp720-{N_HOSTS - 1}", at_s=HOST_CRASH_AT_S),)
+        )
+    s = Session(
+        mechanism="mpvm", n_hosts=N_HOSTS, seed=seed, faults=plan, control=True
+    )
+    assert s.control is not None
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+
+    probe = {
+        "state_hit": False,
+        "t_crash": None,
+        "took_over": False,
+        "post_cmd_admitted": False,
+    }
+    zombie_box: List[Any] = []
+
+    def protector():
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.05)
+        for tid in app.slave_tids:
+            s.protect(s.vm.task(tid))
+
+    def evictor():
+        # Drives the GS into batch-round / txn-prepared windows.
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(0.05)
+        yield s.sim.timeout(EVICT_AFTER_SPAWN_S)
+        try:
+            events = s.reclaim(s.host(1))
+        except PvmError:
+            return
+        for ev in events:
+            try:
+                yield ev
+            except PvmError:
+                pass  # abandoned eviction: the unit stays put
+
+    def watcher():
+        plane = s.control
+        while len(app.slave_tids) < cfg.n_slaves:
+            yield s.sim.timeout(POLL_S)
+        yield s.sim.timeout(0.5)  # let the workload actually get going
+        while plane.fsm_state != state:
+            if "total_time" in app.report:
+                return  # window never opened this run
+            yield s.sim.timeout(POLL_S)
+        probe["state_hit"] = True
+        probe["t_crash"] = round(s.sim.now, 6)
+        zombie_box.append(plane.handle)
+        plane.crash(reason=f"soak:{state}")
+        # Wait out the succession, then prove the new incarnation is in
+        # command: its orders are admitted (a stale one would raise).
+        while plane.down:
+            yield s.sim.timeout(POLL_S)
+        probe["took_over"] = True
+        for h in s.cluster.hosts:
+            units = s.vm.movable_units(h) if h.up else []
+            if units:
+                dst = s.scheduler.pick_destination(exclude=(h.name,))
+                if dst is None:
+                    break
+                try:
+                    yield plane.handle.migrate(units[0], dst)
+                except StaleEpochCommand:
+                    return
+                except PvmError:
+                    pass  # admitted but failed downstream: still fenced-in
+                probe["post_cmd_admitted"] = True
+                break
+        else:
+            probe["post_cmd_admitted"] = True  # nothing left to command
+
+    s.sim.process(protector(), name="soak:protect").defuse()
+    if state in ("batch-round", "txn-prepared"):
+        s.sim.process(evictor(), name="soak:evict").defuse()
+    s.sim.process(watcher(), name="soak:watch").defuse()
+    s.run(until=UNTIL_S)
+
+    records = recovery_records_json(s)
+    lost = sum(1 for r in records for t in r["tasks"] if t["outcome"] == "lost")
+    restarted = sum(
+        1 for r in records for t in r["tasks"] if t["outcome"] == "restarted"
+    )
+    takeovers = s.control.takeovers
+    violations = _txn_violations(s)
+    epoch_violations = _epoch_audit(s)
+    zombie = _zombie_leg(s, zombie_box[0] if zombie_box else None)
+    run = {
+        "seed": seed,
+        "state": state,
+        "completed": "total_time" in app.report,
+        "sim_time_s": round(app.report.get("total_time", 0.0), 6),
+        "matched_reference": app.report.get("losses") == ref_losses,
+        "quorum_shrunk": len(app.exits),
+        "state_hit": probe["state_hit"],
+        "t_crash": probe["t_crash"],
+        "takeovers": len(takeovers),
+        "takeover_latency_s": (
+            round(takeovers[0].latency, 6) if takeovers else None
+        ),
+        "epochs": s.control.epoch,
+        "adopted_txns": sum(t.adopted_txns for t in takeovers),
+        "aborted_txns": sum(t.aborted_txns for t in takeovers),
+        "replanned": sum(t.replanned for t in takeovers),
+        "restored_quarantines": sum(t.restored_quarantines for t in takeovers),
+        "post_cmd_admitted": probe["post_cmd_admitted"],
+        "restarted": restarted,
+        "lost": lost,
+        "txn_violations": violations,
+        "epoch_violations": epoch_violations,
+        "zombie": zombie,
+    }
+    run["clean"] = bool(
+        run["completed"]
+        and run["matched_reference"]
+        and run["quorum_shrunk"] == 0
+        and run["state_hit"]
+        and run["takeovers"] == 1
+        and run["post_cmd_admitted"]
+        and run["lost"] == 0
+        and not violations
+        and not epoch_violations
+        and zombie["clean"]
+    )
+    return run
+
+
+def _armed_uncrashed_matches(cfg, ref_losses: List[float]) -> bool:
+    """An armed-but-never-crashed control plane must not perturb the
+    workload's output (the epoch stamps and journal are pure
+    bookkeeping)."""
+    s = Session(mechanism="mpvm", n_hosts=N_HOSTS, seed=0, control=True)
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+    s.run(until=UNTIL_S)
+    assert s.control is not None
+    return (
+        app.report.get("losses") == ref_losses
+        and len(s.control.takeovers) == 0
+        and s.control.epoch == 1
+    )
+
+
+def run_soak_control(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
+    """Run the full control-plane soak; returns the result document."""
+    cfg, horizon = soak_workload(smoke)
+    ref_losses = reference_losses(cfg)
+
+    legs: Dict[str, Dict[str, Any]] = {state: {"runs": []} for state in STATES}
+    latencies: List[float] = []
+    for seed in range(seeds):
+        for state in STATES:
+            run = _run_one(seed, state, cfg, horizon, ref_losses)
+            legs[state]["runs"].append(run)
+            if run["takeover_latency_s"] is not None:
+                latencies.append(run["takeover_latency_s"])
+
+    for leg in legs.values():
+        runs = leg["runs"]
+        leg["completed"] = sum(1 for r in runs if r["completed"])
+        leg["state_hit"] = sum(1 for r in runs if r["state_hit"])
+        leg["clean"] = sum(1 for r in runs if r["clean"])
+
+    totals = {
+        "lost": sum(r["lost"] for leg in legs.values() for r in leg["runs"]),
+        "txn_violations": sum(
+            len(r["txn_violations"]) for leg in legs.values() for r in leg["runs"]
+        ),
+        "stale_accepted": sum(
+            len(r["epoch_violations"]) for leg in legs.values() for r in leg["runs"]
+        ),
+        "zombie_attempts": sum(
+            r["zombie"]["attempts"] for leg in legs.values() for r in leg["runs"]
+        ),
+        "zombie_refused": sum(
+            r["zombie"]["refused"] for leg in legs.values() for r in leg["runs"]
+        ),
+        "adopted_txns": sum(
+            r["adopted_txns"] for leg in legs.values() for r in leg["runs"]
+        ),
+        "aborted_txns": sum(
+            r["aborted_txns"] for leg in legs.values() for r in leg["runs"]
+        ),
+        "replanned": sum(
+            r["replanned"] for leg in legs.values() for r in leg["runs"]
+        ),
+    }
+
+    determinism = _run_one(
+        0, "txn-prepared", cfg, horizon, ref_losses
+    ) == _run_one(0, "txn-prepared", cfg, horizon, ref_losses)
+    unarmed_alike = _armed_uncrashed_matches(cfg, ref_losses)
+
+    ok = (
+        all(leg["clean"] == seeds for leg in legs.values())
+        and totals["lost"] == 0
+        and totals["txn_violations"] == 0
+        and totals["stale_accepted"] == 0
+        and totals["zombie_refused"] == totals["zombie_attempts"]
+        and determinism
+        and unarmed_alike
+    )
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "seeds": seeds,
+        "states": list(STATES),
+        "horizon_s": horizon,
+        "workload": {
+            "data_bytes": cfg.data_bytes,
+            "iterations": cfg.iterations,
+            "n_slaves": cfg.n_slaves,
+            "n_hosts": N_HOSTS,
+        },
+        "legs": legs,
+        "totals": totals,
+        "takeover_latency_s": dist(latencies),
+        "determinism_identical": determinism,
+        "armed_uncrashed_matches": unarmed_alike,
+        "ok": ok,
+    }
+
+
+def render_soak_control(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_soak_control` document."""
+    out = [
+        f"== control soak: {doc['seeds']} seeds x {len(doc['states'])} "
+        f"crash states ({'smoke' if doc['smoke'] else 'full'}) =="
+    ]
+    for name, leg in doc["legs"].items():
+        out.append(
+            f"  {name:15s} completed {leg['completed']}/{doc['seeds']}, "
+            f"hit {leg['state_hit']}/{doc['seeds']}, "
+            f"clean {leg['clean']}/{doc['seeds']}"
+        )
+    t = doc["totals"]
+    out.append(
+        f"  lost={t['lost']} txn_violations={t['txn_violations']} "
+        f"stale_accepted={t['stale_accepted']} "
+        f"zombie={t['zombie_refused']}/{t['zombie_attempts']} refused"
+    )
+    out.append(
+        f"  adopted={t['adopted_txns']} aborted={t['aborted_txns']} "
+        f"replanned={t['replanned']}"
+    )
+    d = doc["takeover_latency_s"]
+    if d:
+        out.append(
+            f"  takeover_latency_s    n={d['n']} min={d['min']:.3f} "
+            f"mean={d['mean']:.3f} p50={d['p50']:.3f} p95={d['p95']:.3f} "
+            f"max={d['max']:.3f}"
+        )
+    out.append(
+        f"  determinism={'identical' if doc['determinism_identical'] else 'DIVERGED'} "
+        f"armed_uncrashed_matches={doc['armed_uncrashed_matches']} "
+        f"ok={doc['ok']}"
+    )
+    return "\n".join(out)

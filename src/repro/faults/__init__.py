@@ -32,6 +32,7 @@ from .errors import (
 )
 from .injector import FaultInjector
 from .plan import (
+    ControllerCrash,
     FaultPlan,
     HostCrash,
     LinkFault,
@@ -44,6 +45,7 @@ from .plan import (
 
 __all__ = [
     "ControlMessageLost",
+    "ControllerCrash",
     "FaultInjector",
     "FaultPlan",
     "HostCrash",

@@ -23,15 +23,25 @@ from typing import Any, Dict, Optional
 
 from ..api import Session
 from ..pvm.errors import PvmError
-from .plan import FaultPlan, HostCrash, LinkFault, MessageDrop, NetworkPartition
+from .plan import (
+    ControllerCrash,
+    FaultPlan,
+    HostCrash,
+    LinkFault,
+    MessageDrop,
+    NetworkPartition,
+)
 
 __all__ = [
     "chaos_plan",
+    "controller_plan",
     "partition_plan",
     "random_plan",
+    "run_controller",
     "run_demo",
     "run_partition",
     "main",
+    "main_controller",
     "main_partition",
 ]
 
@@ -270,6 +280,91 @@ def run_partition(seed: int = 0) -> Dict[str, Any]:
     }
 
 
+def controller_plan(seed: int) -> FaultPlan:
+    """The brain itself dies, mid-eviction, at t=2.5s."""
+    return FaultPlan(faults=(ControllerCrash(at_s=2.5),), seed=seed)
+
+
+def run_controller(seed: int = 0) -> Dict[str, Any]:
+    """Controller failover under fire: the brain dies mid-round.
+
+    A control-armed MPVM worknet evicts a host's work at t=2.3s; the
+    :class:`ControllerCrash` kills the GS/detector/recovery brain on
+    host 0 at t=2.5s, mid-eviction.  The standby on host 1's successor
+    takes over 0.4s later under a fresh epoch, adopts or aborts the
+    in-flight migration transactions, and re-plans anything abandoned.
+    After the run the captured pre-crash handle plays the zombie
+    ex-controller: every order it issues bounces off the epoch gate.
+    """
+    s = Session(
+        mechanism="mpvm", n_hosts=4, seed=seed,
+        faults=controller_plan(seed), control=True,
+    )
+    assert s.control is not None
+    vm = s.vm
+    extra: Dict[str, Any] = {}
+    zombie_box: list = []
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 30)
+        extra.setdefault("finished_on", []).append(ctx.host.name)
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=2, where=[1, 2])
+        # An eviction for the t=2.5s crash to interrupt mid-round; the
+        # pre-crash handle is the zombie the epilogue replays.
+        yield ctx.sim.timeout(max(0.0, 2.45 - ctx.sim.now))
+        zombie_box.append(s.control.handle)
+        for ev in s.reclaim(s.host(1)):
+            try:
+                yield ev
+            except PvmError as exc:
+                extra["eviction_error"] = str(exc)
+
+    vm.register_program("cruncher", cruncher)
+    vm.register_program("boss", boss)
+    vm.start_master("boss", host=3)
+    s.run(until=120.0)
+
+    plane = s.control
+
+    def stale_count() -> int:
+        return sum(
+            len(c.txns.stale_rejections)
+            for c in s._coordinators
+            if getattr(c, "txns", None) is not None
+        ) + len(plane.gate.rejections)
+
+    zombie_orders = zombie_refused = 0
+    if zombie_box:
+        zombie = zombie_box[0]
+        before = stale_count()
+        zombie_orders = 2
+        ghost = type("Ghost", (), {"name": "t-ghost"})()
+        zombie.migrate(ghost, s.host(2))
+        zombie.confirm_crash(s.host(2))
+        zombie_refused = stale_count() - before
+    return _summary(s, {
+        **extra,
+        "controller": plane.controller_name(),
+        "epoch": plane.epoch,
+        "takeovers": [
+            {
+                "from": t.from_host, "to": t.to_host,
+                "latency_s": round(t.latency, 3),
+                "adopted": t.adopted_txns, "aborted": t.aborted_txns,
+                "replanned": t.replanned,
+            }
+            for t in plane.takeovers
+        ],
+        "control_log": [
+            (e.kind, e.host, e.epoch) for e in plane.log.entries
+        ],
+        "zombie_orders": zombie_orders,
+        "zombie_refused": zombie_refused,
+    })
+
+
 def run_demo(
     seed: int = 0,
     *,
@@ -306,6 +401,28 @@ def main_partition(seed: int = 0) -> Dict[str, Any]:
     print(f"  reprieved after heal: {r['reprieved'] or 'none'}; "
           f"fenced: {r['fenced'] or 'none'}; "
           f"restarted: {r['restarted']}")
+    print(f"\nreplay with seed={seed}: "
+          f"{'identical' if replay == r else 'DIVERGED (bug!)'}")
+    return r
+
+
+def main_controller(seed: int = 0) -> Dict[str, Any]:
+    """Pretty-printer behind ``python -m repro faults --controller``."""
+    r = run_controller(seed)
+    replay = run_controller(seed)
+    print(f"controller failover demo (seed={seed}): the brain dies at "
+          f"t=2.5s, mid-eviction\n")
+    for t in r["takeovers"]:
+        print(f"takeover: {t['from']} -> {t['to']} in {t['latency_s']}s; "
+              f"adopted {t['adopted']} txn(s), aborted {t['aborted']}, "
+              f"re-planned {t['replanned']}")
+    print(f"  controller now {r['controller']}, epoch {r['epoch']}")
+    print(f"  migration outcomes: {r['outcomes']}")
+    print(f"  control log: " + ", ".join(
+        f"{kind}@{host}(e{epoch})" for kind, host, epoch in r["control_log"]
+    ))
+    print(f"  zombie ex-controller: {r['zombie_refused']}/{r['zombie_orders']} "
+          f"order(s) refused by the epoch gate")
     print(f"\nreplay with seed={seed}: "
           f"{'identical' if replay == r else 'DIVERGED (bug!)'}")
     return r

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Tuple, Union
 from ..migration.stages import Stage
 from ..sim import RngStreams
 from .errors import ControlMessageLost, HostCrashed, LinkPartitioned, SkeletonKilled
-from .plan import FaultPlan, HostCrash, LinkFault, SkeletonKill
+from .plan import ControllerCrash, FaultPlan, HostCrash, LinkFault, SkeletonKill
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.cluster import Cluster
@@ -74,6 +74,10 @@ class FaultInjector:
                 self.sim.process(
                     self._timed_crash(crash), name=f"fault:crash:{crash.host}"
                 )
+        for cc in self.plan.controller_crashes():
+            self.sim.process(
+                self._timed_controller_crash(cc), name="fault:controller"
+            )
         return self
 
     def _timed_crash(self, crash: HostCrash):
@@ -84,6 +88,21 @@ class FaultInjector:
         if crash.recover_after_s is not None:
             yield self.sim.timeout(crash.recover_after_s)
             host.recover()
+
+    def _timed_controller_crash(self, cc: "ControllerCrash"):
+        yield self.sim.timeout(cc.at_s)
+        # Duck-typed: the control plane registers itself on the cluster
+        # when armed; without one the fault has no brain to kill.
+        plane = getattr(self.cluster, "control_plane", None)
+        if plane is None:
+            self._emit(
+                "fault.controller", "-",
+                f"controller crash at t={cc.at_s:g}s ignored (no control plane armed)",
+            )
+            return
+        self._emit("fault.controller", plane.controller_name() or "-",
+                   f"timed controller crash at t={cc.at_s:g}s")
+        plane.crash(reason=f"injected at t={cc.at_s:g}s")
 
     # -- pipeline seam (stage boundaries) -------------------------------------
     def at_stage(

@@ -16,6 +16,7 @@ active object that arms them against a cluster.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -23,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from ..migration.stages import Stage
 
 __all__ = [
+    "ControllerCrash",
     "FaultPlan",
     "HostCrash",
     "KNOWN_FAULT_KINDS",
@@ -36,7 +38,7 @@ __all__ = [
 
 
 #: Kinds FaultPlan.random / FaultPlan.burst can draw (CLI --kinds values).
-KNOWN_FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition")
+KNOWN_FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition", "controller")
 
 
 def _as_stage(stage: Union[Stage, str, None]) -> Optional[Stage]:
@@ -274,9 +276,31 @@ class NetworkPartition(_Windowed):
         return (src in self.hosts) != (dst in self.hosts)
 
 
+@dataclass(frozen=True)
+class ControllerCrash:
+    """Crash the active *controller process* (the control plane's brain).
+
+    Unlike :class:`HostCrash` this kills only the scheduler/recovery
+    brain, not the machine it runs on: the data plane keeps computing,
+    heartbeats go unanswered, and — when a
+    :class:`~repro.control.ControlPlane` is armed — the deterministic
+    standby succession elects a new controller under a bumped epoch.
+    Against a session with no control plane the fault is a traced no-op
+    (there is no brain to kill; the ambient singleton of earlier
+    releases is immortal by construction).
+    """
+
+    at_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.at_s, (int, float)):
+            raise TypeError(f"at_s must be a number, not {self.at_s!r}")
+
+
 FaultSpec = Union[
     HostCrash, SkeletonKill, LinkFault,
     MessageDrop, MessageDup, MessageReorder, NetworkPartition,
+    ControllerCrash,
 ]
 
 _SPEC_KINDS = {
@@ -287,6 +311,7 @@ _SPEC_KINDS = {
     "MessageDup": MessageDup,
     "MessageReorder": MessageReorder,
     "NetworkPartition": NetworkPartition,
+    "ControllerCrash": ControllerCrash,
 }
 
 
@@ -311,15 +336,33 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
-        for spec in self.faults:
+        seen: set = set()
+        for i, spec in enumerate(self.faults):
             if not isinstance(spec, tuple(_SPEC_KINDS.values())):
                 raise TypeError(f"not a fault spec: {spec!r}")
+            what = f"fault #{i} ({type(spec).__name__})"
+            at = getattr(spec, "at_s", None)
+            if at is not None:
+                if not math.isfinite(at):
+                    raise ValueError(f"{what}: at_s={at!r} is not a finite timestamp")
+                if at < 0.0:
+                    raise ValueError(f"{what}: at_s={at!r} is out of range (must be >= 0)")
+            for fname in ("from_s", "until_s", "recover_after_s"):
+                v = getattr(spec, fname, None)
+                if v is not None and not math.isfinite(v):
+                    raise ValueError(f"{what}: {fname}={v!r} is not a finite timestamp")
+            if spec in seen:
+                raise ValueError(f"duplicate fault entry at #{i}: {spec!r}")
+            seen.add(spec)
 
     def __bool__(self) -> bool:
         return bool(self.faults)
 
     def host_crashes(self) -> Tuple[HostCrash, ...]:
         return tuple(f for f in self.faults if isinstance(f, HostCrash))
+
+    def controller_crashes(self) -> Tuple[ControllerCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, ControllerCrash))
 
     def skeleton_kills(self) -> Tuple[SkeletonKill, ...]:
         return tuple(f for f in self.faults if isinstance(f, SkeletonKill))
@@ -446,6 +489,8 @@ class FaultPlan:
                     hold_s=rng.uniform(0.005, 0.05),
                     from_s=t0, until_s=t1,
                 ))
+            elif kind == "controller":
+                specs.append(ControllerCrash(at_s=t0))
             else:  # partition
                 island = tuple(rng.sample(list(hosts), rng.randint(1, min(2, len(hosts)))))
                 specs.append(NetworkPartition(hosts=island, from_s=t0, until_s=t1))
@@ -532,6 +577,8 @@ class FaultPlan:
                     hold_s=rng.uniform(0.005, 0.05),
                     from_s=t0, until_s=t1,
                 ))
+            elif kind == "controller":
+                specs.append(ControllerCrash(at_s=t0))
             else:  # partition
                 island = tuple(
                     rng.sample(list(hosts), rng.randint(1, min(2, len(hosts))))

@@ -144,6 +144,9 @@ class MigrationRecord:
     #: Where the unit actually landed (differs from :attr:`dst` after a
     #: reroute); None until completion.
     final_dst: Optional[str] = None
+    #: Controller epoch that issued the command (None without a control
+    #: plane).
+    epoch: Optional[int] = None
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -235,15 +238,32 @@ class GlobalScheduler:
         #: aimed into the minority side, but nothing is restarted
         #: either — unreachable ≠ dead.
         self.unreachable_provider: Optional[Callable[[], Iterable[str]]] = None
+        #: Installed by an armed control plane: returns the current
+        #: controller epoch, stamped onto every command the GS issues.
+        #: ``None`` (the default) leaves commands unstamped — the
+        #: immortal-singleton behaviour of earlier releases.
+        self.epoch_of: Optional[Callable[[], Optional[int]]] = None
+        #: Armed control plane's durable decision record: quarantine and
+        #: pardon decisions are journaled so a standby can reconstruct
+        #: placement state after a takeover.  Duck-typed
+        #: (``record(kind, host, epoch=..., detail=...)``); None = off.
+        self.control_log: Optional[Any] = None
         if self.capabilities.reroute:
             self.client.set_router(self.route_around)  # type: ignore[attr-defined]
         self.policy.attach(self)
 
     # -- direct commands ----------------------------------------------------
+    def _epoch(self) -> Optional[int]:
+        return self.epoch_of() if self.epoch_of is not None else None
+
     def migrate(self, unit: Any, dst: Host) -> Event:
         """Command one unit to move to ``dst``; returns completion event."""
-        self._record(unit, dst)
-        done = self.client.request_migration(unit, dst)
+        epoch = self._epoch()
+        self._record(unit, dst, epoch)
+        if epoch is None:
+            done = self.client.request_migration(unit, dst)
+        else:
+            done = self.client.request_migration(unit, dst, epoch=epoch)  # type: ignore[call-arg]
         return self._track(done, self.records[-1])
 
     def migrate_batch(self, pairs: List[Tuple[Any, Host]]) -> List[Event]:
@@ -255,19 +275,25 @@ class GlobalScheduler:
         completion events aligned with ``pairs``.
         """
         if self.capabilities.batch and len(pairs) > 1:
-            records = [self._record(unit, target) for unit, target in pairs]
+            epoch = self._epoch()
+            records = [self._record(unit, target, epoch) for unit, target in pairs]
+            if epoch is None:
+                dones = self.client.request_batch_migration(pairs)  # type: ignore[attr-defined]
+            else:
+                dones = self.client.request_batch_migration(  # type: ignore[attr-defined]
+                    pairs, epoch=epoch
+                )
             return [
                 self._track(done, record)
-                for done, record in zip(
-                    self.client.request_batch_migration(pairs),  # type: ignore[attr-defined]
-                    records,
-                )
+                for done, record in zip(dones, records)
             ]
         return [self.migrate(unit, target) for unit, target in pairs]
 
-    def _record(self, unit: Any, dst: Host) -> MigrationRecord:
+    def _record(
+        self, unit: Any, dst: Host, epoch: Optional[int] = None
+    ) -> MigrationRecord:
         src_host = self._unit_host(unit)
-        record = MigrationRecord(unit, src_host, dst.name, self.sim.now)
+        record = MigrationRecord(unit, src_host, dst.name, self.sim.now, epoch=epoch)
         self.records.append(record)
         self.trace("gs.migrate", f"migrate {unit} {src_host} -> {dst.name}")
         return record
@@ -315,13 +341,30 @@ class GlobalScheduler:
                 )
             # A fresh failure restarts the healthy-for-TTL clock.
             self._quarantined_at[host_name] = self.sim.now
+            if self.control_log is not None:
+                self.control_log.record(
+                    "quarantine", host_name, epoch=self._epoch(),
+                    detail=f"{self.failures[host_name]} failed migrations",
+                )
 
     def pardon(self, host: Host) -> None:
         """Re-admit a quarantined host to placement decisions."""
+        was_quarantined = host.name in self.quarantined
         self.quarantined.discard(host.name)
         self.failures.pop(host.name, None)
         self._quarantined_at.pop(host.name, None)
         self.trace("gs.pardon", f"{host.name} re-admitted")
+        if self.control_log is not None and was_quarantined:
+            self.control_log.record("pardon", host.name, epoch=self._epoch())
+
+    def restore_quarantine(self, clocks: Dict[str, float]) -> None:
+        """Takeover reconstruction: reinstate quarantines from the
+        control log with their original TTL clocks (not reset — a host
+        that served half its sentence before the old controller died
+        serves only the other half under the new one)."""
+        for name, since in clocks.items():
+            self.quarantined.add(name)
+            self._quarantined_at[name] = since
 
     def _expire_quarantine(self) -> None:
         """Lazily pardon hosts that stayed healthy for ``quarantine_ttl``.

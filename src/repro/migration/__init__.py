@@ -36,7 +36,7 @@ from .pipeline import (
     StageTimeout,
 )
 from .stages import MigrationStats, Stage
-from .txn import MigrationTxn, TransactionLog
+from .txn import MigrationTxn, StaleEpochCommand, TransactionLog
 from .transport import (
     CONTROL_BYTES,
     DaemonStoreAndForwardTransport,
@@ -62,6 +62,7 @@ __all__ = [
     "Stage",
     "StagePolicy",
     "StageTimeout",
+    "StaleEpochCommand",
     "TcpSkeletonTransport",
     "TransactionLog",
     "Transport",

@@ -42,7 +42,7 @@ from .pipeline import (
     StagePolicy,
 )
 from .stages import MigrationStats
-from .txn import TransactionLog
+from .txn import StaleEpochCommand, TransactionLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
@@ -142,6 +142,11 @@ class MigrationCoordinator:
         #: bookkeeping (no events, no packets), so timelines are
         #: unchanged; ``txns.verify()`` is the two-phase-commit check.
         self.txns = TransactionLog(self.sim)
+        #: Duck-typed epoch gate (``.current() -> int``) installed by an
+        #: armed control plane; when set, epoch-stamped requests whose
+        #: epoch is stale are refused before any transaction opens —
+        #: this is the pvmd command path's half of the zombie fence.
+        self.epoch_gate: Optional[Any] = None
         self._seed_jitter()
 
     def _seed_jitter(self) -> None:
@@ -171,12 +176,18 @@ class MigrationCoordinator:
         self.router = router
 
     # -- MigrationClient surface ---------------------------------------------
-    def request_migration(self, unit: Any, dst: Any) -> Event:
-        """Start one migration; the returned event carries the stats."""
-        return self._launch(unit, dst, batch=None)
+    def request_migration(
+        self, unit: Any, dst: Any, *, epoch: Optional[int] = None
+    ) -> Event:
+        """Start one migration; the returned event carries the stats.
+
+        ``epoch`` stamps the command with the issuing controller epoch
+        (control plane armed only); a stale stamp is refused outright.
+        """
+        return self._launch(unit, dst, batch=None, epoch=epoch)
 
     def request_batch_migration(
-        self, pairs: Iterable[Tuple[Any, Any]]
+        self, pairs: Iterable[Tuple[Any, Any]], *, epoch: Optional[int] = None
     ) -> List[Event]:
         """Start a co-scheduled set of migrations, batching flush rounds.
 
@@ -185,6 +196,12 @@ class MigrationCoordinator:
         align with the input pair order.
         """
         pairs = list(pairs)
+        if self._stale(epoch) is not None:
+            return [
+                self._refuse(epoch, f"batch-migrate {self.adapter.describe(unit)}"
+                                    f" -> {getattr(dst, 'name', dst)}")
+                for unit, dst in pairs
+            ]
         domains: Dict[Any, List[Any]] = {}
         for unit, _dst in pairs:
             domains.setdefault(self.adapter.flush_domain(unit), []).append(unit)
@@ -193,13 +210,48 @@ class MigrationCoordinator:
             for dom, units in domains.items()
         }
         return [
-            self._launch(unit, dst, batch=rounds[self.adapter.flush_domain(unit)])
+            self._launch(
+                unit, dst,
+                batch=rounds[self.adapter.flush_domain(unit)], epoch=epoch,
+            )
             for unit, dst in pairs
         ]
 
+    # -- epoch fencing ---------------------------------------------------------
+    def _stale(self, epoch: Optional[int]) -> Optional[int]:
+        """The current epoch if ``epoch`` is stale, else None."""
+        if self.epoch_gate is None or epoch is None:
+            return None
+        current = int(self.epoch_gate.current())
+        return current if epoch != current else None
+
+    def _refuse(self, epoch: Optional[int], what: str) -> Event:
+        current = self._stale(epoch)
+        assert current is not None and epoch is not None
+        exc = StaleEpochCommand(epoch, current, what)
+        self.txns.note_stale(epoch, current, what)
+        tracer = getattr(self.system, "tracer", None)
+        if tracer is not None:
+            tracer.emit(self.sim.now, "txn.stale", what, str(exc))
+        done = Event(self.sim)
+        done.fail(exc)
+        done.defuse()  # a zombie's order; no process needs to observe it
+        return done
+
     # -- internals ------------------------------------------------------------
-    def _launch(self, unit: Any, dst: Any, batch: Optional[FlushRound]) -> Event:
+    def _launch(
+        self,
+        unit: Any,
+        dst: Any,
+        batch: Optional[FlushRound],
+        epoch: Optional[int] = None,
+    ) -> Event:
         adapter = self.adapter
+        if self._stale(epoch) is not None:
+            return self._refuse(
+                epoch,
+                f"migrate {adapter.describe(unit)} -> {getattr(dst, 'name', dst)}",
+            )
         done = Event(self.sim)
         src = adapter.unit_host(unit)
         stats = MigrationStats(
@@ -215,7 +267,7 @@ class MigrationCoordinator:
         )
         ctx = MigrationContext(self.sim, unit, src, dst, stats, done, trace, batch)
         ctx.txn = self.txns.begin(
-            stats.unit, stats.src, stats.dst, adapter.mechanism
+            stats.unit, stats.src, stats.dst, adapter.mechanism, epoch=epoch
         )
         adapter.prepare(ctx)
         self.sim.process(self._run(ctx), name=f"migrate:{stats.unit}")

@@ -34,7 +34,25 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
 
-__all__ = ["MigrationTxn", "TransactionLog"]
+__all__ = ["MigrationTxn", "StaleEpochCommand", "TransactionLog"]
+
+
+class StaleEpochCommand(RuntimeError):
+    """A controller command carried an epoch older than the current one.
+
+    Raised (as the failure of the returned ``done`` event) when the pvmd
+    command path refuses a zombie ex-controller's order.  Deliberately
+    *not* transient/reroutable: retrying a stale command elsewhere would
+    be exactly the double-eviction the fence exists to prevent.
+    """
+
+    def __init__(self, cmd_epoch: int, current_epoch: int, what: str) -> None:
+        super().__init__(
+            f"stale controller epoch {cmd_epoch} (current {current_epoch}): {what}"
+        )
+        self.cmd_epoch = cmd_epoch
+        self.current_epoch = current_epoch
+        self.what = what
 
 PENDING = "pending"
 PREPARED = "prepared"
@@ -62,6 +80,9 @@ class MigrationTxn:
     #: Destinations abandoned by reroutes (oldest first).
     rerouted_from: Tuple[str, ...] = ()
     reason: Optional[str] = None
+    #: Controller epoch that issued the command (None: not a controller
+    #: command, or no control plane armed).
+    epoch: Optional[int] = None
 
     @property
     def terminal(self) -> bool:
@@ -95,18 +116,38 @@ class TransactionLog:
         self.txns: List[MigrationTxn] = []
         #: ``(t, host)`` fence events noted by the recovery layer.
         self.fences: List[Tuple[float, str]] = []
+        #: ``(t, cmd_epoch, current_epoch, what)`` — commands refused at
+        #: the pvmd door because their epoch was stale.  No MigrationTxn
+        #: is ever opened for these; the list is the audit trail the
+        #: split-brain test reads.
+        self.stale_rejections: List[Tuple[float, int, int, str]] = []
+        #: ``(t, host, epoch)`` — fences attributed to a controller epoch.
+        self.fence_epochs: List[Tuple[float, str, int]] = []
 
     # -- lifecycle -------------------------------------------------------------
-    def begin(self, unit: str, src: str, dst: str, mechanism: str) -> MigrationTxn:
+    def begin(
+        self,
+        unit: str,
+        src: str,
+        dst: str,
+        mechanism: str,
+        *,
+        epoch: Optional[int] = None,
+    ) -> MigrationTxn:
         """Open a transaction.  Deliberately permissive: concurrent
         requests for the same unit are *recorded*, not rejected — the
         protocol layer refuses them through its own error path, and
         :meth:`verify` is where a genuine double-commit would surface."""
         txn = MigrationTxn(
-            unit=unit, src=src, dst=dst, mechanism=mechanism, t_begin=self.sim.now
+            unit=unit, src=src, dst=dst, mechanism=mechanism,
+            t_begin=self.sim.now, epoch=epoch,
         )
         self.txns.append(txn)
         return txn
+
+    def note_stale(self, cmd_epoch: int, current_epoch: int, what: str) -> None:
+        """A stale-epoch command was refused before any txn opened."""
+        self.stale_rejections.append((self.sim.now, cmd_epoch, current_epoch, what))
 
     def commit(self, txn: MigrationTxn) -> None:
         """The new incarnation is live and the tid map points at it."""
@@ -130,10 +171,14 @@ class TransactionLog:
             txn.dst = dst
 
     # -- recovery integration --------------------------------------------------
-    def note_fence(self, host_name: str) -> None:
+    def note_fence(self, host_name: str, *, epoch: Optional[int] = None) -> None:
         """The recovery layer fenced ``host_name``: commits into it are
-        now illegitimate, which :meth:`verify` enforces."""
+        now illegitimate, which :meth:`verify` enforces.  When a control
+        plane is armed the fence carries the issuing controller epoch
+        (``fence_epochs``) so takeover audits can attribute it."""
         self.fences.append((self.sim.now, host_name))
+        if epoch is not None:
+            self.fence_epochs.append((self.sim.now, host_name, epoch))
 
     def _fenced_at(self, host_name: str) -> Optional[float]:
         for t, name in self.fences:

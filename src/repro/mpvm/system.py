@@ -43,12 +43,12 @@ class MpvmSystem(PvmSystem):
     def movable_units(self, host: Host) -> List[Task]:
         return [t for t in self.live_tasks() if t.host is host]
 
-    def request_migration(self, unit: Task, dst: Host) -> Event:
-        return self.migration.request_migration(unit, dst)
+    def request_migration(self, unit: Task, dst: Host, *, epoch=None) -> Event:
+        return self.migration.request_migration(unit, dst, epoch=epoch)
 
-    def request_batch_migration(self, pairs) -> List[Event]:
+    def request_batch_migration(self, pairs, *, epoch=None) -> List[Event]:
         """Co-scheduled migrations sharing one flush round per source."""
-        return self.migration.request_batch_migration(pairs)
+        return self.migration.request_batch_migration(pairs, epoch=epoch)
 
     def set_router(self, router) -> None:
         """Install the alternate-destination callback used on reroutes."""

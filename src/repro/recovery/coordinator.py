@@ -31,7 +31,7 @@ fenced — its state is stale and its tids have been reclaimed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..faults.errors import HostCrashed
 from ..pvm.context import Freeze
@@ -242,6 +242,20 @@ class RecoveryCoordinator:
         #: Tids frozen because their host is partition-isolated (a
         #: subset of ``_frozen``'s keys).
         self._isolation_frozen: set = set()
+        #: Hosts with a recovery (or grace hold) already in flight —
+        #: the idempotence guard: a confirm delivered twice (possible
+        #: when a re-armed detector re-adjudicates a death after
+        #: controller takeover) must not run recovery twice.
+        self._recovering: set = set()
+        #: Recoveries currently executing (fence through restart) — the
+        #: control plane reads this as its "mid-recovery-fence" FSM state.
+        self._active_recoveries = 0
+        #: Installed by an armed control plane: current controller epoch,
+        #: stamped onto fence records.
+        self.epoch_of: Optional[Callable[[], Optional[int]]] = None
+        #: Armed control plane's durable decision journal (duck-typed;
+        #: fences are recorded so a takeover can re-learn them).
+        self.control_log: Optional[Any] = None
         self._installed = False
 
     # -- wiring ----------------------------------------------------------------
@@ -373,8 +387,16 @@ class RecoveryCoordinator:
                 names.add(name)
         return sorted(names)
 
+    @property
+    def recovery_in_progress(self) -> bool:
+        """True while a fence-and-restart sequence is executing."""
+        return self._active_recoveries > 0
+
     # -- confirmed death --------------------------------------------------------
     def _on_confirm(self, host: "Host") -> None:
+        if host.name in self.fence.fenced or host.name in self._recovering:
+            return  # idempotent: this death is already (being) handled
+        self._recovering.add(host.name)
         if self.partition_grace_s > 0:
             self.sim.process(
                 self._maybe_recover(host), name=f"recover:{host.name}"
@@ -394,6 +416,9 @@ class RecoveryCoordinator:
         if self.detector.last_heard(host.name) > t_confirmed:
             # The silence was a partition and it healed: no fence, no
             # restart — the paper's tasks simply resume where they sat.
+            # The host leaves the recovering set: a *later* real death
+            # must be handled afresh.
+            self._recovering.discard(host.name)
             self.reprieves.append((t_confirmed, self.sim.now, host.name))
             self.detector.reinstate(host)
             if self.system.tracer:
@@ -406,6 +431,13 @@ class RecoveryCoordinator:
         yield from self._recover_host(host)
 
     def _recover_host(self, host: "Host"):
+        self._active_recoveries += 1
+        try:
+            yield from self._recover_host_inner(host)
+        finally:
+            self._active_recoveries -= 1
+
+    def _recover_host_inner(self, host: "Host"):
         system = self.system
         record = RecoveryRecord(
             host=host.name,
@@ -413,9 +445,12 @@ class RecoveryCoordinator:
             t_confirmed=self.sim.now,
         )
         # 1. Fence + rescue whatever sat in the dead daemon's queues.
+        epoch = self.epoch_of() if self.epoch_of is not None else None
         self.fence.fenced.add(host.name)
         for log in self.txn_logs:
-            log.note_fence(host.name)
+            log.note_fence(host.name, epoch=epoch)
+        if self.control_log is not None:
+            self.control_log.record("fence", host.name, epoch=epoch)
         pvmd = system.pvmd_on(host)
         n_out = self.box.drain_store(pvmd.outbound, f"fence:{host.name}:out")
         n_in = self.box.drain_store(pvmd.inbound, f"fence:{host.name}:in")

@@ -24,7 +24,7 @@ simulation) yields an identical suspicion timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..pvm.errors import PvmError
 
@@ -113,34 +113,76 @@ class FailureDetector:
         self.isolated: set = set()
         self.enabled = False
         self._monitored: List["Host"] = []
+        #: Bumped by :meth:`rearm`; sender/scanner loops of an older
+        #: generation retire at their next wake-up.
+        self._generation = 0
 
     def start(self) -> None:
         """Launch one sender per remote host plus the scanner."""
         if self.enabled:
             return
         self.enabled = True
-        self._monitored = [h for h in self.system.cluster.hosts if h is not self.home]
-        n = max(1, len(self._monitored))
         now = self.sim.now
-        for idx, host in enumerate(self._monitored):
+        self._monitored = [h for h in self.system.cluster.hosts if h is not self.home]
+        for host in self._monitored:
             self.views[host.name] = _HostView(last_arrival=now)
+        self._spawn_loops()
+
+    def _spawn_loops(self) -> None:
+        n = max(1, len(self._monitored))
+        gen = self._generation
+        for idx, host in enumerate(self._monitored):
             offset = self.config.period_s * idx / n
             self.sim.process(
-                self._sender(host, offset), name=f"hb:{host.name}"
+                self._sender(host, offset, gen), name=f"hb:{host.name}"
             ).defuse()
-        self.sim.process(self._scanner(), name="hb:scanner").defuse()
+        self.sim.process(self._scanner(gen), name="hb:scanner").defuse()
 
     def stop(self) -> None:
         """Stop gossiping (the sender/scanner loops drain on next wake)."""
         self.enabled = False
 
+    def rearm(self, home: "Host", *, confirmed: Iterable[str] = ()) -> None:
+        """Re-home the detector on a new controller with fresh baselines.
+
+        Called on controller takeover: the standby at ``home`` starts
+        hearing heartbeats *now*, so every view's arrival clock restarts
+        at the current instant — the silent gap while no controller was
+        listening must not read as host silence (no false confirms).
+        Hosts in ``confirmed`` (the durable fence record) start directly
+        CONFIRMED: their death is already adjudicated state, not a fresh
+        suspicion to re-derive.  The previous generation's sender and
+        scanner loops retire at their next wake-up; the ``isolated`` set
+        carries over (wire-level state — an unhealed partition is still
+        a partition, and its eventual reconnect must still fire).
+        """
+        self._generation += 1
+        self.home = home
+        self.enabled = True
+        now = self.sim.now
+        confirmed = set(confirmed)
+        self._monitored = [h for h in self.system.cluster.hosts if h is not home]
+        for host in self._monitored:
+            view = _HostView(last_arrival=now)
+            if host.name in confirmed:
+                view.state = CONFIRMED
+            self.views[host.name] = view
+        if self.system.tracer:
+            self.system.tracer.emit(
+                self.sim.now, "hb.rearm", home.name,
+                f"detector re-homed; {len(self._monitored)} baselines reset",
+            )
+        self._spawn_loops()
+
     # -- processes -------------------------------------------------------------
-    def _sender(self, host: "Host", offset: float):
+    def _sender(self, host: "Host", offset: float, gen: Optional[int] = None):
         cfg = self.config
+        if gen is None:
+            gen = self._generation
         if offset > 0:
             yield self.sim.timeout(offset)
         consecutive_failures = 0
-        while self.enabled:
+        while self.enabled and gen == self._generation:
             if host.up:
                 try:
                     yield self.system.network.transfer(
@@ -175,10 +217,14 @@ class FailureDetector:
             # Back from the brink: a late heartbeat clears suspicion.
             self._transition(name, view, ALIVE, 0.0)
 
-    def _scanner(self):
+    def _scanner(self, gen: Optional[int] = None):
         cfg = self.config
-        while self.enabled:
+        if gen is None:
+            gen = self._generation
+        while self.enabled and gen == self._generation:
             yield self.sim.timeout(cfg.period_s)
+            if not self.enabled or gen != self._generation:
+                break  # retired (stop/rearm) while asleep
             for host in self._monitored:
                 view = self.views[host.name]
                 if view.state is CONFIRMED:

@@ -88,6 +88,16 @@ def named_specs(*, seed: int = 0) -> Dict[str, ScenarioSpec]:
         seed=seed,
         scheduler="predictive",
     )
+    out["controller-crash-steady-clean"] = ScenarioSpec(
+        name="controller-crash-steady-clean",
+        arrival=ArrivalSpec(kind="steady"),
+        faults=FaultSpec(kind="random", n=2, kinds=("controller", "crash")),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="opt"),
+        mechanism="mpvm",
+        seed=seed,
+    )
     out["heat-steady-clean"] = ScenarioSpec(
         name="heat-steady-clean",
         arrival=ArrivalSpec(kind="steady", jobs=2),

@@ -56,6 +56,9 @@ class ScenarioInstance:
     recovery: Optional[RecoveryConfig]
     #: Simulated-time bound for the cell (a job running past it hung).
     until_s: float
+    #: Crash-tolerant control plane armed (cells whose fault schedule
+    #: draws ``controller`` kinds — the brain itself is a victim).
+    control: bool = False
 
     @property
     def host_specs(self) -> List[Tuple[str, float]]:
@@ -174,8 +177,9 @@ def materialize(spec: ScenarioSpec) -> ScenarioInstance:
 
     partitioned = any(isinstance(f, NetworkPartition) for f in plan.faults)
     crashy = spec.faults.crash_draws() > 0
+    controllered = spec.faults.controller_draws() > 0
     recovery: Optional[RecoveryConfig] = None
-    if crashy or partitioned:
+    if crashy or partitioned or controllered:
         # Grace must outlast any partition (duration plus a heartbeat or
         # two of slack) so a healed cut is reprieved, yet stay short:
         # the same grace delays fencing genuinely crashed hosts, and a
@@ -195,4 +199,5 @@ def materialize(spec: ScenarioSpec) -> ScenarioInstance:
         reliability=reliability,
         recovery=recovery,
         until_s=2.0 * spec.arrival.horizon_s + 40.0,
+        control=controllered,
     )

@@ -27,7 +27,7 @@ __all__ = [
 ]
 
 #: Fault kinds a schedule may draw (FaultPlan.random/burst vocabulary).
-FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition")
+FAULT_KINDS = ("crash", "drop", "dup", "reorder", "partition", "controller")
 
 _T = TypeVar("_T")
 
@@ -130,6 +130,16 @@ class FaultSpec:
             return 0
         return sum(
             1 for i in range(self.n) if self.kinds[i % len(self.kinds)] == "crash"
+        )
+
+    def controller_draws(self) -> int:
+        """How many controller-crash faults this schedule will draw."""
+        if self.kind == "none":
+            return 0
+        return sum(
+            1
+            for i in range(self.n)
+            if self.kinds[i % len(self.kinds)] == "controller"
         )
 
 

@@ -83,12 +83,12 @@ class UpvmSystem(PvmSystem):
                     out.append(ulp)
         return out
 
-    def request_migration(self, unit: Ulp, dst: Host) -> Event:
-        return self.migration.request_migration(unit, dst)
+    def request_migration(self, unit: Ulp, dst: Host, *, epoch=None) -> Event:
+        return self.migration.request_migration(unit, dst, epoch=epoch)
 
-    def request_batch_migration(self, pairs) -> List[Event]:
+    def request_batch_migration(self, pairs, *, epoch=None) -> List[Event]:
         """Co-scheduled migrations sharing one flush round per process."""
-        return self.migration.request_batch_migration(pairs)
+        return self.migration.request_batch_migration(pairs, epoch=epoch)
 
     def set_router(self, router) -> None:
         """Install the alternate-destination callback used on reroutes."""

@@ -1,0 +1,266 @@
+"""Tests for the crash-tolerant control plane.
+
+Covers: off-by-default (a session without ``control=`` has no plane and
+no cluster seam), armed-but-uncrashed runs changing nothing observable,
+failover driven by both fault kinds (the explicit ControllerCrash
+process fault and a HostCrash on the controller's machine), epoch
+fencing of the zombie ex-controller at the pvmd door and the
+confirm-crash surface (with the transaction-log audit that no stale
+command was ever accepted), takeover reconstruction preserving
+quarantine TTL clocks, and the scenario DSL's ``controller`` fault kind
+arming the plane.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.control import ControlConfig
+from repro.faults import ControllerCrash, FaultPlan, HostCrash
+from repro.migration.txn import StaleEpochCommand
+from repro.pvm.errors import PvmError
+
+
+def _crunch(*, n_hosts=4, seed=0, faults=None, control=None, recovery=None,
+            where=(1, 2), seconds=4.0, until=60.0):
+    """Two crunchers on worker hosts; returns (finish times, session)."""
+    s = Session(
+        mechanism="mpvm", n_hosts=n_hosts, seed=seed, faults=faults,
+        control=control, recovery=recovery,
+    )
+    done = {}
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * seconds)
+        done[ctx.host.name] = ctx.now
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=len(where), where=list(where))
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=n_hosts - 1)
+    s.run(until=until)
+    return done, s
+
+
+# ------------------------------------------------------------------ wiring
+
+
+def test_control_off_by_default_adds_nothing():
+    s = Session(mechanism="mpvm", n_hosts=2)
+    assert s.control is None
+    assert getattr(s.cluster, "control_plane", None) is None
+    assert not s.config.control
+
+
+def test_control_requires_the_recovery_stack():
+    with pytest.raises(ValueError, match="recovery"):
+        Session(mechanism="mpvm", n_hosts=2, control=True, recovery=False)
+
+
+def test_control_implies_recovery():
+    s = Session(mechanism="mpvm", n_hosts=2, control=True)
+    assert s.detector is not None and s.coordinator is not None
+    assert s.control is not None and s.config.control
+    assert s.cluster.control_plane is s.control
+    assert s.control.controller_name() == "hp720-0"
+    assert s.control.epoch == 1
+
+
+def test_armed_uncrashed_run_changes_nothing():
+    ref, _ = _crunch(recovery=True)
+    done, s = _crunch(control=True)
+    assert done == ref  # same hosts, same finish instants
+    plane = s.control
+    assert plane.epoch == 1 and plane.takeovers == []
+    assert [e.kind for e in plane.log.entries] == ["boot"]
+    assert plane.fsm_state == "idle"
+    assert plane.handle is not None and not plane.handle.stale
+
+
+# ------------------------------------------------------------------ failover
+
+
+def test_controller_crash_fault_fails_over():
+    plan = FaultPlan(faults=(ControllerCrash(at_s=1.0),), seed=0)
+    ref, _ = _crunch(control=True)
+    done, s = _crunch(control=True, faults=plan)
+    plane = s.control
+    (t,) = plane.takeovers
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-1")
+    assert (t.old_epoch, t.new_epoch) == (1, 2)
+    assert t.latency == pytest.approx(plane.config.takeover_delay_s)
+    assert plane.epoch == 2 and plane.controller_name() == "hp720-1"
+    # A process fault, not a host fault: the data plane is untouched and
+    # the re-armed detector's fresh baselines confirm nobody falsely.
+    assert s.coordinator.fence.fenced == set()
+    assert s.recovery_records == []
+    assert done == ref  # the workload never noticed
+
+
+def test_host_crash_on_controller_host_fails_over():
+    plan = FaultPlan(faults=(HostCrash(host="hp720-2", at_s=1.0),), seed=0)
+    done, s = _crunch(
+        faults=plan, control=ControlConfig(controller_host=2), where=(0, 1),
+    )
+    plane = s.control
+    (t,) = plane.takeovers
+    # Succession is cluster order rotated to the primary: 2, 3, 0, 1.
+    assert (t.from_host, t.to_host) == ("hp720-2", "hp720-3")
+    assert plane.epoch == 2
+    # The machine really died, so the new incarnation's detector must
+    # still confirm it (the takeover gap is not amnesty for the dead).
+    assert "hp720-2" in s.coordinator.fence.fenced
+    assert [r.host for r in s.recovery_records] == ["hp720-2"]
+    assert set(done) == {"hp720-0", "hp720-1"}  # workload completed
+
+
+def test_controller_crash_without_plane_is_a_noop():
+    plan = FaultPlan(faults=(ControllerCrash(at_s=0.5),), seed=0)
+    ref, _ = _crunch(n_hosts=3, where=(0, 1))
+    done, s = _crunch(n_hosts=3, where=(0, 1), faults=plan)
+    assert s.control is None
+    assert done == ref  # no brain to kill, nothing perturbed
+
+
+# ------------------------------------------------------------- epoch fencing
+
+
+def _evicted_crash_session(seed=0):
+    """The demo's shape: the brain dies at t=2.5s, mid-eviction; the
+    pre-crash handle is captured as the zombie ex-controller."""
+    s = Session(
+        mechanism="mpvm", n_hosts=4, seed=seed,
+        faults=FaultPlan(faults=(ControllerCrash(at_s=2.5),), seed=seed),
+        control=True,
+    )
+    zombie_box = []
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 30)
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=2, where=[1, 2])
+        yield ctx.sim.timeout(max(0.0, 2.45 - ctx.sim.now))
+        zombie_box.append(s.control.handle)
+        for ev in s.reclaim(s.host(1)):
+            try:
+                yield ev
+            except PvmError:
+                pass
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=3)
+    s.run(until=120.0)
+    return s, zombie_box[0]
+
+
+def test_zombie_handle_is_refused_at_the_epoch_gate():
+    s, zombie = _evicted_crash_session()
+    plane = s.control
+    assert plane.epoch == 2 and zombie.epoch == 1 and zombie.stale
+    coord = s._coordinators[0]
+
+    # Split-brain: the partitioned ex-controller keeps issuing orders.
+    before = len(coord.txns.stale_rejections)
+    ghost = type("Ghost", (), {"name": "t-ghost"})()
+    ev = zombie.migrate(ghost, s.host(2))
+    assert ev.triggered and not ev.ok
+    assert isinstance(ev.value, StaleEpochCommand)
+    assert ev.value.cmd_epoch == 1 and ev.value.current_epoch == 2
+    (rejection,) = coord.txns.stale_rejections[before:]
+    assert rejection[1:3] == (1, 2)  # (t, cmd_epoch, current_epoch, what)
+
+    # A stale confirm-crash must not double-drive recovery.
+    records_before = list(s.recovery_records)
+    assert zombie.confirm_crash(s.host(2)) is False
+    assert plane.gate.rejections and plane.gate.rejections[-1][1] == 1
+    assert s.recovery_records == records_before
+    assert "hp720-2" not in s.coordinator.fence.fenced
+
+    # The current incarnation's handle is live, not fenced.
+    assert plane.handle is not None and not plane.handle.stale
+
+
+def test_txn_log_audit_shows_no_stale_command_accepted():
+    s, _zombie = _evicted_crash_session()
+    (t,) = s.control.takeovers
+    for coord in s._coordinators:
+        assert coord.txns.verify() == []
+        for txn in coord.txns.committed():
+            if txn.epoch is None:
+                continue
+            ruling = 1 if txn.t_begin < t.t_takeover else 2
+            assert txn.epoch == ruling
+
+
+def test_controller_demo_is_deterministic():
+    from repro.faults.demo import run_controller
+
+    r = run_controller(0)
+    assert r["epoch"] == 2 and r["takeovers"]
+    assert r["zombie_orders"] == 2 and r["zombie_refused"] == 2
+    kinds = [k for k, _host, _epoch in r["control_log"]]
+    assert kinds[0] == "boot" and "takeover" in kinds
+    assert run_controller(0) == r  # same seed, same story
+
+
+# ------------------------------------------------------------ reconstruction
+
+
+def test_quarantine_ttl_clock_survives_takeover():
+    s = Session(mechanism="mpvm", n_hosts=4, seed=0, control=True)
+    gs = s.scheduler
+    gs.quarantine_ttl = 10.0
+    plane = s.control
+    assert plane.gs is gs
+    seen = {}
+
+    def master(ctx):
+        yield ctx.sim.timeout(1.0)
+        gs._note_failure("hp720-2")
+        gs._note_failure("hp720-2")  # quarantine_after=2: banned at t=1
+        seen["quarantined_at"] = dict(gs._quarantined_at)
+        yield ctx.sim.timeout(1.0)
+        plane.crash(reason="test")
+        seen["state_down"] = plane.fsm_state
+        while plane.down:
+            yield ctx.sim.timeout(0.05)
+        seen["state_after"] = plane.fsm_state
+        seen["restored"] = set(gs.quarantined)
+        seen["clock"] = dict(gs._quarantined_at)
+        # The TTL runs from the *original* clock: a reset-at-takeover
+        # clock would keep the host banned until t=12.4.
+        yield ctx.sim.timeout(11.5 - ctx.now)
+        gs.pick_destination()
+        seen["after_ttl"] = set(gs.quarantined)
+
+    s.vm.register_program("master", master)
+    s.vm.start_master("master", host=3)
+    s.run(until=30.0)
+    (t,) = plane.takeovers
+    assert t.restored_quarantines == 1
+    assert seen["state_down"] == "down" and seen["state_after"] == "idle"
+    assert seen["restored"] == {"hp720-2"}
+    assert seen["clock"]["hp720-2"] == seen["quarantined_at"]["hp720-2"] == 1.0
+    assert seen["after_ttl"] == set()  # pardoned on the original schedule
+
+
+# -------------------------------------------------------------- scenario DSL
+
+
+def test_scenario_controller_kind_arms_control():
+    from repro.scenarios import materialize, spec_by_name
+
+    spec = spec_by_name("controller-crash-steady-clean")
+    assert spec.faults.controller_draws() == 1
+    inst = materialize(spec)
+    assert inst.control
+    assert inst.recovery is not None
+    assert len(inst.plan.controller_crashes()) == 1
+    s = Session.from_scenario(spec, instance=inst)
+    assert s.control is not None
+
+    clean = materialize(spec_by_name("steady/none/clean"))
+    assert not clean.control and not clean.spec.faults.controller_draws()

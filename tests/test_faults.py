@@ -11,6 +11,7 @@ import pytest
 
 from repro.api import Session
 from repro.faults import (
+    ControllerCrash,
     ControlMessageLost,
     FaultInjector,
     FaultPlan,
@@ -415,3 +416,69 @@ def test_fault_plan_random_is_seeded_and_validated():
         FaultPlan.random(0, n=5, hosts=hosts[:2])
     with pytest.raises(ValueError):
         FaultPlan.random(0, n=1)  # hosts= is mandatory
+
+
+# ------------------------------------------------------------ plan validation
+
+
+def test_fault_plan_rejects_duplicate_entries():
+    with pytest.raises(ValueError, match=r"duplicate fault entry at #1"):
+        FaultPlan(
+            faults=(
+                HostCrash(host="hp720-1", at_s=2.0),
+                HostCrash(host="hp720-1", at_s=2.0),
+            )
+        )
+    # Distinct entries of the same kind are fine.
+    FaultPlan(
+        faults=(
+            HostCrash(host="hp720-1", at_s=2.0),
+            HostCrash(host="hp720-1", at_s=3.0),
+        )
+    )
+
+
+def test_fault_plan_rejects_non_finite_timestamps():
+    with pytest.raises(ValueError, match=r"fault #0 \(HostCrash\).*not a finite"):
+        FaultPlan(faults=(HostCrash(host="h", at_s=float("nan")),))
+    with pytest.raises(ValueError, match=r"fault #1 \(LinkFault\).*until_s"):
+        FaultPlan(
+            faults=(
+                HostCrash(host="h", at_s=1.0),
+                LinkFault(label="ctl", drop_prob=1.0, until_s=float("inf")),
+            )
+        )
+    with pytest.raises(ValueError, match=r"recover_after_s"):
+        FaultPlan(
+            faults=(HostCrash(host="h", at_s=1.0, recover_after_s=float("nan")),)
+        )
+
+
+def test_fault_plan_rejects_out_of_range_at_s():
+    with pytest.raises(ValueError, match=r"fault #0 \(HostCrash\).*out of range"):
+        FaultPlan(faults=(HostCrash(host="h", at_s=-0.5),))
+    with pytest.raises(ValueError, match=r"fault #0 \(ControllerCrash\)"):
+        FaultPlan(faults=(ControllerCrash(at_s=float("inf")),))
+
+
+def test_controller_crash_json_round_trip():
+    import json
+
+    plan = FaultPlan(faults=(ControllerCrash(at_s=2.5),), seed=3)
+    wire = json.loads(json.dumps(plan.to_json()))  # survives real JSON text
+    back = FaultPlan.from_json(wire)
+    assert back == plan
+    assert back.controller_crashes()[0].at_s == 2.5
+
+
+def test_fault_plan_random_draws_controller_kind():
+    hosts = ["hp720-1", "hp720-2"]
+    plan = FaultPlan.random(
+        5, n=4, horizon=20.0, hosts=hosts, kinds=("controller", "crash")
+    )
+    assert plan == FaultPlan.random(
+        5, n=4, horizon=20.0, hosts=hosts, kinds=("controller", "crash")
+    )
+    crashes = plan.controller_crashes()
+    assert len(crashes) == 2 and len(plan.host_crashes()) == 2
+    assert all(0.05 * 20.0 <= c.at_s <= 0.95 * 20.0 for c in crashes)

@@ -316,3 +316,64 @@ def test_recovery_off_by_default_adds_nothing():
     assert s.detector is None and s.coordinator is None
     assert s.vm.dead_letters is None
     assert not s.config.recovery
+
+
+def test_duplicate_confirmed_crash_is_idempotent():
+    """The same confirmed death delivered twice changes nothing: one
+    fence, one restart, byte-identical recovery state."""
+    from repro.apps.opt import MB_DEC, OptConfig, PvmOpt
+
+    cfg = OptConfig(data_bytes=1 * MB_DEC, iterations=6, n_slaves=4)
+
+    def run(double_confirm):
+        s = Session(
+            mechanism="mpvm", n_hosts=5, seed=3,
+            faults=crash(host="hp720-2", at_s=6.0), recovery=True,
+        )
+        app = PvmOpt(s.vm, cfg, master_host=0, slave_hosts=[1, 2, 3, 4])
+        app.start()
+
+        def protector():
+            while len(app.slave_tids) < cfg.n_slaves:
+                yield s.sim.timeout(0.05)
+            for tid in app.slave_tids:
+                s.protect(s.vm.task(tid))
+
+        def meddler():
+            # Re-deliver the confirmed death mid-recovery, then again
+            # long after the restart finished.
+            coord = s.coordinator
+            while (
+                "hp720-2" not in coord._recovering
+                and "hp720-2" not in coord.fence.fenced
+            ):
+                yield s.sim.timeout(0.05)
+            coord._on_confirm(s.host("hp720-2"))
+            yield s.sim.timeout(5.0)
+            coord._on_confirm(s.host("hp720-2"))
+
+        s.sim.process(protector()).defuse()
+        if double_confirm:
+            s.sim.process(meddler()).defuse()
+        s.run(until=600.0)
+        records = [
+            (
+                r.host, r.t_failed, r.t_confirmed, r.t_done,
+                tuple(
+                    (f.task, f.old_tid, f.outcome, f.new_tid, f.dst,
+                     f.t_done, f.replayed)
+                    for f in r.tasks
+                ),
+            )
+            for r in s.recovery_records
+        ]
+        return records, app.report, sorted(s.coordinator.fence.fenced)
+
+    ref = run(double_confirm=False)
+    doubled = run(double_confirm=True)
+    assert doubled == ref  # byte-identical records, report and fence
+    records, _report, fenced = doubled
+    assert fenced == ["hp720-2"]  # fenced once, not re-fenced
+    (rec,) = records  # one recovery round for one death
+    restarted = [f for f in rec[4] if f[2] == "restarted"]
+    assert len(restarted) == 1  # exactly one restart of the lost task
