@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from .control import ControlConfig, ControlPlane
-from .faults import FaultInjector, FaultPlan
+from .faults import ControllerCrash, FaultInjector, FaultPlan
 from .gs import GlobalScheduler, SchedulerConfig, SchedulerPolicy
 from .hw import Cluster, Host, HostSpec
 from .migration import MigrationStats, StagePolicy
@@ -259,6 +259,7 @@ class Session:
                 recovery=self.coordinator,
                 config=self._control_config,
             ).arm()
+            self._check_controller_draws()
             for c in self._coordinators:
                 self.control.attach_coordinator(c)
             if self.mechanism in ("mpvm", "upvm"):
@@ -396,6 +397,24 @@ class Session:
         self._wire_scheduler(self._scheduler)
         return self._scheduler
 
+    def _check_controller_draws(self) -> None:
+        """Plan-vs-plane cross-check: the succession list must be deep
+        enough to absorb every scheduled controller crash (nested
+        crashes each consume one standby)."""
+        assert self.control is not None
+        depth = len(self.control.replicas) - 1
+        seen = 0
+        for i, spec in enumerate(self.faults.faults):
+            if isinstance(spec, ControllerCrash):
+                seen += 1
+                if seen > depth:
+                    raise ValueError(
+                        f"fault #{i} (ControllerCrash): {seen} controller "
+                        f"crashes scheduled but the control plane has only "
+                        f"{depth} standbys; raise ControlConfig.standbys or "
+                        "drop the draw"
+                    )
+
     # -- running ----------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
         """Drive the simulation (to ``until`` seconds, or until idle).
@@ -410,6 +429,11 @@ class Session:
                 "run(until=None) would never return while the failure "
                 "detector is gossiping; pass until=... or call "
                 "session.detector.stop() first"
+            )
+        if until is None and self.control is not None and self.control.replicating:
+            raise ValueError(
+                "run(until=None) would never return while the replicated "
+                "control plane renews leases; pass until=..."
             )
         self.cluster.run(until=until)
 

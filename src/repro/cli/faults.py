@@ -28,7 +28,9 @@ def register(sub: "argparse._SubParsersAction") -> None:
                         "channels, partition grace, exactly-once delivery")
     p.add_argument("--controller", action="store_true",
                    help="controller-failover demo: the brain dies "
-                        "mid-eviction; epoch-fenced takeover")
+                        "mid-eviction; epoch-fenced takeover (combine "
+                        "with --partition for the split control plane: "
+                        "minority leader self-fences, majority elects)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON")
     p.add_argument("--out", metavar="FILE", default=None,
@@ -53,15 +55,19 @@ def run(ns: argparse.Namespace) -> int:
         main as demo_main,
         main_controller,
         main_partition,
+        main_split_control,
         run_controller,
         run_demo,
         run_partition,
+        run_split_control,
     )
 
     kinds = _parse_kinds(ns.kinds)
     if ns.partition and ns.controller:
-        raise SystemExit("pick one of --partition / --controller")
-    if ns.controller:
+        # Both at once: the split control plane — the partition lands
+        # between the replicated leader and its standbys.
+        doc = run_split_control(ns.seed) if ns.json else main_split_control(ns.seed)
+    elif ns.controller:
         doc = run_controller(ns.seed) if ns.json else main_controller(ns.seed)
     elif ns.partition:
         doc = run_partition(ns.seed) if ns.json else main_partition(ns.seed)

@@ -26,19 +26,25 @@ def register(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--control", action="store_true",
                    help="controller-failover soak instead of the crash "
                         "soak (BENCH_control.json)")
+    p.add_argument("--legs", nargs="+", metavar="LEG", default=None,
+                   choices=["states", "partition", "nested"],
+                   help="control-soak legs to run (default: all three; "
+                        "only with --control)")
     p.set_defaults(handler=run)
 
 
 def run(ns: argparse.Namespace) -> int:
     if ns.reliability and ns.control:
         raise SystemExit("pick one of --reliability / --control")
+    if ns.legs and not ns.control:
+        raise SystemExit("--legs only applies to the --control soak")
     if ns.control:
         from ..experiments.soak_control import (
             render_soak_control,
             run_soak_control,
         )
 
-        doc = run_soak_control(seeds=ns.seeds, smoke=ns.smoke)
+        doc = run_soak_control(seeds=ns.seeds, smoke=ns.smoke, legs=ns.legs)
         emit(doc, render_soak_control, as_json=ns.json, out=ns.out)
         return 0 if doc["ok"] else 1
     if ns.reliability:

@@ -5,8 +5,12 @@ The paper's Global Scheduler is the single brain that initiates every
 migration; this package makes that brain a first-class, crashable,
 fail-over-able citizen of the fleet.  See :mod:`repro.control.plane`
 for the architecture, :mod:`repro.control.epoch` for the zombie fence,
-and :mod:`repro.control.log` for the durable decision journal a
-takeover reconstructs from.
+:mod:`repro.control.log` for the durable decision journal a takeover
+reconstructs from, and :mod:`repro.control.replication` for explicit
+quorum-append replication with leader leases (armed via
+``ControlConfig(replication=True)``; a partition can then split the
+control plane itself — minority leader self-fences, majority side
+elects).
 
 Armed through the session facade::
 
@@ -30,14 +34,18 @@ from .plane import (
     ControllerReplica,
     TakeoverRecord,
 )
+from .replication import ControlPacket, ControlReplication, ReplicatedControlLog
 
 __all__ = [
     "ControlConfig",
     "ControlEntry",
     "ControlLog",
+    "ControlPacket",
     "ControlPlane",
+    "ControlReplication",
     "ControllerHandle",
     "ControllerReplica",
     "EpochGate",
+    "ReplicatedControlLog",
     "TakeoverRecord",
 ]

@@ -40,9 +40,19 @@ class EpochGate:
     def current(self) -> int:
         return self._epoch
 
-    def advance(self) -> int:
-        """Bump the epoch (takeover); returns the new value."""
-        self._epoch += 1
+    def advance(self, to: Optional[int] = None) -> int:
+        """Bump the epoch (takeover); returns the new value.
+
+        ``to`` lets an election install the epoch its quorum granted
+        (which may skip numbers — a failed candidacy burns an epoch, as
+        in Raft terms).  The clock stays strictly monotone either way.
+        """
+        nxt = self._epoch + 1 if to is None else to
+        if nxt <= self._epoch:
+            raise ValueError(
+                f"epoch must advance: {nxt} <= current {self._epoch}"
+            )
+        self._epoch = nxt
         return self._epoch
 
     def admits(self, epoch: Optional[int]) -> bool:

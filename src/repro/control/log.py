@@ -3,12 +3,14 @@
 Placement state the Global Scheduler accumulates at runtime —
 quarantines, pardons, fences — dies with the controller process unless
 it is journaled somewhere every standby can read.  :class:`ControlLog`
-is that journal, modelled as synchronously replicated to the succession
-list (the paper-scale worknet is a handful of machines; one small
-record per *decision*, not per packet, makes that cheap).  On takeover
-the standby replays it to reconstruct exactly the state that must
-survive: which hosts are barred from placement and since when (TTL
-clocks preserved), which hosts are fenced, and which controller epoch
+is that journal.  The base class models it as synchronously replicated
+by fiat (one small record per *decision*, not per packet, keeps that
+cheap at paper scale); :class:`~repro.control.replication.ReplicatedControlLog`
+makes the replication explicit, quorum-appending every record to the
+standbys' own replicas over reliable channels.  On takeover the standby
+replays its copy to reconstruct exactly the state that must survive:
+which hosts are barred from placement and since when (TTL clocks
+preserved), which hosts are fenced, and which controller epoch
 adjudicated each decision.
 
 Appending injects nothing into the simulation — no events, no packets,
@@ -50,7 +52,11 @@ class ControlLog:
     def record(
         self, kind: str, host: str, *, epoch: Optional[int] = None, detail: str = ""
     ) -> None:
-        self.entries.append(ControlEntry(self.sim.now, epoch, kind, host, detail))
+        self._append(ControlEntry(self.sim.now, epoch, kind, host, detail))
+
+    def _append(self, entry: ControlEntry) -> None:
+        """Seam for the replicated subclass: base = local durability."""
+        self.entries.append(entry)
 
     def by_kind(self, kind: str) -> List[ControlEntry]:
         return [e for e in self.entries if e.kind == kind]

@@ -65,8 +65,36 @@ class ControlConfig:
     #: standby, in deterministic cluster order).
     standbys: Optional[int] = None
     #: Seconds between controller loss and the standby assuming command
-    #: (models loss detection + election; deterministic).
+    #: (models loss detection + election; deterministic).  Ignored when
+    #: ``replication`` is armed — leader leases govern succession.
     takeover_delay_s: float = 0.4
+    #: Explicit replication: quorum-append the control log to every
+    #: standby's own replica over reliable channels, and replace the
+    #: fixed takeover delay with leader leases + staggered elections
+    #: (see :mod:`repro.control.replication`).  Off by default; the
+    #: legacy path stays byte-identical.
+    replication: bool = False
+    #: Lease duration: how long one quorum-acked renewal round keeps
+    #: the leader in command (and keeps followers from campaigning).
+    lease_s: float = 0.8
+    #: Interval between the leader's renewal rounds.
+    lease_renew_s: float = 0.2
+    #: Per-succession-index candidacy stagger after lease expiry.
+    election_stagger_s: float = 0.15
+    #: How long a candidate waits for a vote quorum before backing off.
+    election_timeout_s: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.replication:
+            if self.lease_s <= 0 or self.lease_renew_s <= 0:
+                raise ValueError("lease timers must be positive")
+            if self.lease_renew_s >= self.lease_s:
+                raise ValueError(
+                    "lease_renew_s must be < lease_s (a leader must get "
+                    "several renewal attempts per lease)"
+                )
+            if self.election_stagger_s <= 0 or self.election_timeout_s <= 0:
+                raise ValueError("election timers must be positive")
 
 
 @dataclass
@@ -75,7 +103,7 @@ class ControllerReplica:
 
     host: "Host"
     index: int
-    state: str = "standby"  #: "standby" | "active" | "dead"
+    state: str = "standby"  #: "standby" | "active" | "dead" | "fenced"
 
 
 @dataclass
@@ -160,7 +188,14 @@ class ControlPlane:
         #: brain is down, between crash and takeover).
         self.handle: Optional[ControllerHandle] = None
         self.down = False
+        #: Replication fabric (quorum appends, leases, elections) —
+        #: built at arm time iff ``config.replication``.
+        self.fabric: Optional[Any] = None
+        #: Standbys killed by faults landing while the brain was
+        #: already down (nested failover).
+        self.nested_kills = 0
         self._active: Optional[ControllerReplica] = None
+        self._fell: Optional[ControllerReplica] = None
         self._armed = False
         self._t_crashed = 0.0
         self._crash_reason = ""
@@ -188,6 +223,13 @@ class ControlPlane:
         self.cluster.control_plane = self
         for rep in self.replicas:
             rep.host.on_fail.append(self._on_host_fail)
+        if self.config.replication:
+            from .replication import ControlReplication
+
+            self.fabric = ControlReplication(self)
+            self.log = self.fabric.arm()
+            if self.gs is not None:
+                self.gs.control_log = self.log
         self.recovery.epoch_of = self.gate.current
         self.recovery.control_log = self.log
         self.log.record("boot", primary.name, epoch=self.gate.current())
@@ -218,6 +260,10 @@ class ControlPlane:
     # -- observability ----------------------------------------------------------
     def controller_name(self) -> Optional[str]:
         return self._active.host.name if self._active is not None else None
+
+    @property
+    def replicating(self) -> bool:
+        return self.fabric is not None
 
     @property
     def epoch(self) -> int:
@@ -265,7 +311,28 @@ class ControlPlane:
     # -- crash & takeover --------------------------------------------------------
     def crash(self, reason: str = "injected") -> None:
         """Kill the active controller process; schedule succession."""
-        if not self._armed or self.down or self._active is None:
+        if not self._armed:
+            self._trace("control.crash", f"no active controller ({reason}); no-op")
+            return
+        if self.down:
+            # Nested failover: the brain is already down, so the fault
+            # lands on the next standby in line — the standby-turned-
+            # leader (or leader-to-be) crashed mid-takeover.
+            victim = self._next_standby()
+            if victim is None:
+                self._trace(
+                    "control.crash",
+                    f"nested crash with no live standby ({reason}); no-op",
+                )
+                return
+            victim.state = "dead"
+            self.nested_kills += 1
+            self._trace(
+                "control.crash",
+                f"standby {victim.host.name} crashed mid-takeover ({reason})",
+            )
+            return
+        if self._active is None:
             self._trace("control.crash", f"no active controller ({reason}); no-op")
             return
         dead = self._active
@@ -274,17 +341,65 @@ class ControlPlane:
         self.down = True
         self._t_crashed = self.sim.now
         self._crash_reason = reason
+        self._fell = dead
         old_epoch = self.gate.current()
         self.handle = None
         # The brain is gone: nobody is listening for heartbeats.
         self.detector.stop()
+        if self.fabric is not None:
+            self.fabric.standdown()
         self._trace(
             "control.crash",
             f"controller on {dead.host.name} down ({reason}), epoch {old_epoch}",
         )
-        self.sim.process(
-            self._takeover_after(dead, old_epoch), name="control:takeover"
-        ).defuse()
+        if self.fabric is None:
+            self.sim.process(
+                self._takeover_after(dead, old_epoch), name="control:takeover"
+            ).defuse()
+        # Replicated mode: succession is the standbys' business — their
+        # lease views expire and the staggered election picks the heir.
+
+    def self_fence(self, reason: str) -> None:
+        """The ruling controller lost its lease quorum: stop commanding.
+
+        Unlike :meth:`crash` the process survives — *fenced*, not dead.
+        It stops issuing commands before any standby's lease view can
+        expire (the lease math guarantees the ordering), and rejoins
+        the succession as a plain standby once the replication fabric
+        shows it a newer epoch ruling.
+        """
+        if not self._armed or self.down or self._active is None:
+            return
+        fenced = self._active
+        fenced.state = "fenced"
+        self._active = None
+        self.down = True
+        self._t_crashed = self.sim.now
+        self._crash_reason = reason
+        self._fell = fenced
+        old_epoch = self.gate.current()
+        self.handle = None
+        self.detector.stop()
+        if self.fabric is not None:
+            self.fabric.self_fences += 1
+            self.fabric.log_of(fenced.host.name).record_local(
+                "self-fence", fenced.host.name, epoch=old_epoch, detail=reason
+            )
+            self.fabric.standdown()
+        self._trace(
+            "control.self-fence",
+            f"controller on {fenced.host.name} fenced itself ({reason}), "
+            f"epoch {old_epoch}",
+        )
+
+    def elect(self, succ: ControllerReplica, new_epoch: int) -> bool:
+        """Election completion callback from the replication fabric: a
+        standby's candidacy reached a vote quorum under ``new_epoch``."""
+        if not self._armed or not self.down or succ.state != "standby":
+            return False
+        dead = self._fell if self._fell is not None else succ
+        self._complete_takeover(succ, dead, self.gate.current(), new_epoch=new_epoch)
+        return True
 
     def _on_host_fail(self, host: "Host") -> None:
         if not self._armed:
@@ -293,7 +408,7 @@ class ControlPlane:
             self.crash(reason=f"host {host.name} crashed")
             return
         for rep in self.replicas:
-            if rep.host is host and rep.state == "standby":
+            if rep.host is host and rep.state in ("standby", "fenced"):
                 rep.state = "dead"
 
     def _next_standby(self) -> Optional[ControllerReplica]:
@@ -318,11 +433,24 @@ class ControlPlane:
         self._complete_takeover(succ, dead, old_epoch)
 
     def _complete_takeover(
-        self, succ: ControllerReplica, dead: ControllerReplica, old_epoch: int
+        self,
+        succ: ControllerReplica,
+        dead: ControllerReplica,
+        old_epoch: int,
+        *,
+        new_epoch: Optional[int] = None,
     ) -> None:
         succ.state = "active"
         self._active = succ
-        new_epoch = self.gate.advance()
+        new_epoch = self.gate.advance(to=new_epoch)
+        if self.fabric is not None:
+            # The winner rules from its *own* replica: rebind the
+            # journal every durable-state consumer writes through.
+            self.fabric.lead(succ, new_epoch)
+            self.log = self.fabric.log_of(succ.host.name)
+            self.recovery.control_log = self.log
+            if self.gs is not None:
+                self.gs.control_log = self.log
         self.log.record(
             "takeover", succ.host.name, epoch=new_epoch,
             detail=f"succeeds {dead.host.name} ({self._crash_reason})",

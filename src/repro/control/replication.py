@@ -1,0 +1,508 @@
+"""Explicit control-log replication: quorum appends and leader leases.
+
+PR 9 modelled the :class:`~repro.control.ControlLog` as replicated *by
+fiat* and succession as a fixed ``takeover_delay_s`` — so a network
+partition could never actually split the control plane.  This module
+makes both explicit:
+
+* **Quorum append.**  Every record the ruling controller journals
+  (boot, takeover, quarantine, fence, adopt, abort) is shipped to each
+  standby's *own* :class:`ReplicatedControlLog` replica over dedicated
+  :class:`~repro.reliability.channel.ReliableLink` channels (labels
+  ``ctl-data`` / ``ctl-ack``; retransmit, dedup and reordering are the
+  link's problem).  A record is *durable* once a majority of the
+  replica set — leader's local append included — has acked it.  On
+  takeover a standby reconstructs from its own replica instead of a
+  shared oracle.
+* **Leader leases.**  The ruling controller holds a lease keyed to its
+  epoch: every ``lease_renew_s`` it posts a renewal round and extends
+  its lease to ``round_start + lease_s`` only when a majority acks.
+  The leader's clock starts at the round's *send* time while each
+  follower's starts at *receipt*, so a leader cut off by a partition
+  always sees its own lease expire first and **self-fences** — stops
+  issuing commands — strictly before any standby's lease runs out and
+  an election can begin.  That ordering, plus the epoch gate at the
+  pvmd door, preserves PR 9's invariant that at most one epoch's
+  commands are ever admitted.
+* **Election.**  A standby whose lease view expires waits a
+  deterministic stagger (``election_stagger_s`` x its succession
+  index), then campaigns for ``seen_epoch + 1``.  A voter grants iff
+  the proposed epoch beats everything it has seen or granted, the
+  candidate's replica is at least as long as its own (any vote quorum
+  therefore intersects every append quorum, so the winner holds every
+  durable record — single-leader FIFO channels keep replicas prefixes
+  of each other, which is why length stands in for Raft's
+  term/index pair), its own lease view has expired, and it is not
+  itself ruling.  A quorum of grants completes the takeover under the
+  proposed epoch; a failed candidacy burns the epoch number and
+  retries after ``election_timeout_s``.
+
+Everything here is deterministic — no wall clock, no RNG; packet uids
+come from a monotone counter — and none of it exists unless
+``ControlConfig.replication`` is set, keeping every exhibit
+byte-identical by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..reliability.channel import ReliabilityConfig, ReliabilityStats, ReliableLink
+from ..sim import Event
+from .log import ControlEntry, ControlLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+    from .plane import ControlPlane, ControllerReplica
+
+__all__ = [
+    "ControlPacket",
+    "ControlReplication",
+    "ReplicatedControlLog",
+    "CTL_DATA_LABEL",
+    "CTL_ACK_LABEL",
+]
+
+#: Control-channel transfer labels — distinct from the data plane's
+#: ``rel-data``/``rel-ack`` so message-fault specs aimed at workload
+#: traffic do not silently hit the control plane (partitions still
+#: sever both: they cut by host, not by label).
+CTL_DATA_LABEL = "ctl-data"
+CTL_ACK_LABEL = "ctl-ack"
+
+
+@dataclass
+class ControlPacket:
+    """One control-plane datagram (append, lease round, or vote)."""
+
+    kind: str  #: "append" | "lease" | "vote-req" | "vote-grant"
+    epoch: int
+    src: str  #: sender host name
+    uid: int  #: monotone id; append tickets and lease rounds key on it
+    entry: Optional[ControlEntry] = None
+    log_len: int = 0  #: candidate replica length (vote-req only)
+    wire_bytes: int = 64
+
+
+@dataclass
+class AppendTicket:
+    """Durability accounting for one replicated record."""
+
+    entry: ControlEntry
+    epoch: int
+    t_created: float
+    acked: Set[str] = field(default_factory=set)
+    durable: bool = False
+    t_durable: Optional[float] = None
+
+
+@dataclass
+class _LeaseRound:
+    t0: float
+    epoch: int
+    acked: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Campaign:
+    epoch: int
+    tally: Set[str]
+    done: Event
+
+
+class ReplicatedControlLog(ControlLog):
+    """A per-host control-log replica.
+
+    The ruling controller's replica replicates every append through the
+    fabric; every other replica only ever takes :meth:`receive` calls
+    off the wire.  On takeover the plane rebinds ``plane.log`` (and the
+    GS/recovery journal hooks) to the *winner's own* replica.
+    """
+
+    def __init__(self, sim: "Simulator", fabric: "ControlReplication", host_name: str) -> None:
+        super().__init__(sim)
+        self.fabric = fabric
+        self.host_name = host_name
+
+    def _append(self, entry: ControlEntry) -> None:
+        self.entries.append(entry)
+        self.fabric.replicate(self, entry)
+
+    def receive(self, entry: ControlEntry) -> None:
+        """Wire-side append from the ruling leader (no re-replication)."""
+        self.entries.append(entry)
+
+    def record_local(
+        self, kind: str, host: str, *, epoch: Optional[int] = None, detail: str = ""
+    ) -> None:
+        """Append without replicating — for records that by definition
+        cannot reach a quorum (a minority leader noting its own
+        self-fence)."""
+        self.entries.append(ControlEntry(self.sim.now, epoch, kind, host, detail))
+
+
+class ControlReplication:
+    """The replication fabric: replicas, channels, leases, elections."""
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+        self.sim = plane.sim
+        self.system = plane.system
+        self.config = plane.config
+        self.link_config = ReliabilityConfig()
+        self.stats = ReliabilityStats()
+        self.replica_logs: Dict[str, ReplicatedControlLog] = {}
+        self.links: Dict[Tuple[str, str], ReliableLink] = {}
+        self.names: List[str] = []
+        self.active_log: Optional[ReplicatedControlLog] = None
+        self.leader_name: Optional[str] = None
+        #: epoch -> every host that ever ruled under it (the "exactly
+        #: one active leader per epoch" audit reads this).
+        self.leaders_by_epoch: Dict[int, List[str]] = {}
+        self.tickets: Dict[int, AppendTicket] = {}
+        self._rounds: Dict[int, _LeaseRound] = {}
+        self._campaigns: Dict[Tuple[str, int], _Campaign] = {}
+        self._uid = 0
+        # Per-host protocol state, keyed by host name.
+        self._seen_epoch: Dict[str, int] = {}
+        self._lease_until: Dict[str, float] = {}
+        self._voted: Dict[str, int] = {}
+        self._led_epoch: Dict[str, int] = {}
+        self._leader_lease_until = 0.0
+        # Audit counters.
+        self.appends_replicated = 0
+        self.appends_local_only = 0
+        self.lease_rounds = 0
+        self.lease_renewals = 0
+        self.self_fences = 0
+        self.elections_started = 0
+        self.elections_won = 0
+        self.votes_granted = 0
+        self.votes_refused = 0
+        self.rejoins = 0
+
+    # -- wiring ----------------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return len(self.names) // 2 + 1
+
+    def arm(self) -> ReplicatedControlLog:
+        """Build replicas + full channel mesh; returns the primary's log."""
+        reps = self.plane.replicas
+        self.names = [r.host.name for r in reps]
+        for name in self.names:
+            self.replica_logs[name] = ReplicatedControlLog(self.sim, self, name)
+            self._seen_epoch[name] = 1
+            self._lease_until[name] = self.sim.now + self.config.lease_s
+            self._voted[name] = 1
+            self._led_epoch[name] = 0
+        for src in reps:
+            for dst in reps:
+                if src is dst:
+                    continue
+                src_name, dst_name = src.host.name, dst.host.name
+                self.links[(src_name, dst_name)] = ReliableLink(
+                    self.system.pvmd_on(src.host),
+                    self.system.pvmd_on(dst.host),
+                    self.link_config,
+                    self.stats,
+                    deliver=lambda pkt, _d=dst_name: self._deliver(_d, pkt),
+                    on_ack=lambda seq, pkt, _d=dst_name: self._acked(_d, pkt),
+                    data_label=CTL_DATA_LABEL,
+                    ack_label=CTL_ACK_LABEL,
+                    capture_dead_letters=False,
+                )
+        for rep in reps:
+            self.sim.process(
+                self._watch(rep), name=f"ctl:watch:{rep.host.name}"
+            ).defuse()
+        self.lead(reps[0], self.plane.gate.current())
+        return self.replica_logs[self.names[0]]
+
+    def log_of(self, host_name: str) -> ReplicatedControlLog:
+        return self.replica_logs[host_name]
+
+    def _rep(self, host_name: str) -> Optional["ControllerReplica"]:
+        for rep in self.plane.replicas:
+            if rep.host.name == host_name:
+                return rep
+        return None
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _post(self, src: str, dst: str, pkt: ControlPacket) -> None:
+        link = self.links[(src, dst)]
+        self.sim.process(
+            link.send(pkt), name=f"ctl:{src}>{dst}:{pkt.uid}"
+        ).defuse()
+
+    def _peers(self, name: str) -> List[str]:
+        return [n for n in self.names if n != name]
+
+    # -- leader side -----------------------------------------------------------
+    def lead(self, rep: "ControllerReplica", epoch: int) -> None:
+        """``rep`` assumes command under ``epoch``: rebind the active
+        log, grant the initial lease, start the renewal loop."""
+        name = rep.host.name
+        self.active_log = self.replica_logs[name]
+        self.leader_name = name
+        self._seen_epoch[name] = epoch
+        self._led_epoch[name] = epoch
+        ruled = self.leaders_by_epoch.setdefault(epoch, [])
+        if name not in ruled:
+            ruled.append(name)
+        self._leader_lease_until = self.sim.now + self.config.lease_s
+        self.sim.process(
+            self._lease_loop(rep, epoch), name=f"ctl:lease:{name}:e{epoch}"
+        ).defuse()
+
+    def standdown(self) -> None:
+        """The ruling controller crashed or self-fenced: nobody's log
+        replicates until the next :meth:`lead`."""
+        self.active_log = None
+        self.leader_name = None
+
+    def replicate(self, log: ReplicatedControlLog, entry: ControlEntry) -> None:
+        if log is not self.active_log:
+            self.appends_local_only += 1
+            return
+        self.appends_replicated += 1
+        uid = self._next_uid()
+        epoch = entry.epoch if entry.epoch is not None else self.plane.gate.current()
+        ticket = AppendTicket(
+            entry=entry, epoch=epoch, t_created=self.sim.now,
+            acked={log.host_name},
+        )
+        self.tickets[uid] = ticket
+        if len(ticket.acked) >= self.quorum:  # single-replica plane
+            ticket.durable = True
+            ticket.t_durable = self.sim.now
+        pkt = ControlPacket(
+            kind="append", epoch=epoch, src=log.host_name, uid=uid,
+            entry=entry, wire_bytes=128,
+        )
+        for peer in self._peers(log.host_name):
+            self._post(log.host_name, peer, pkt)
+
+    def _lease_loop(self, rep: "ControllerReplica", epoch: int):
+        cfg = self.config
+        name = rep.host.name
+        while True:
+            if (
+                self.plane._active is not rep
+                or self.plane.down
+                or rep.state != "active"
+            ):
+                return
+            if self._seen_epoch[name] > epoch:
+                # Evidence of a newer ruler reached us before our own
+                # lease ran out; stand down rather than split rule.
+                self.plane.self_fence(
+                    f"deposed: epoch {self._seen_epoch[name]} rules"
+                )
+                return
+            t0 = self.sim.now
+            uid = self._next_uid()
+            rnd = _LeaseRound(t0=t0, epoch=epoch, acked={name})
+            self._rounds[uid] = rnd
+            self.lease_rounds += 1
+            if len(rnd.acked) >= self.quorum:  # single-replica plane
+                self._leader_lease_until = max(
+                    self._leader_lease_until, t0 + cfg.lease_s
+                )
+            pkt = ControlPacket(kind="lease", epoch=epoch, src=name, uid=uid)
+            for peer in self._peers(name):
+                self._post(name, peer, pkt)
+            yield self.sim.timeout(cfg.lease_renew_s)
+            for old_uid in [u for u, r in self._rounds.items()
+                            if r.t0 < self.sim.now - cfg.lease_s]:
+                del self._rounds[old_uid]
+            if (
+                self.plane._active is not rep
+                or self.plane.down
+                or rep.state != "active"
+            ):
+                return
+            if self.sim.now >= self._leader_lease_until:
+                self.plane.self_fence(
+                    f"lease expired at t={self._leader_lease_until:.3f}s "
+                    "(no quorum ack)"
+                )
+                return
+
+    # -- follower side ---------------------------------------------------------
+    def _deliver(self, dst: str, pkt: ControlPacket) -> None:
+        rep = self._rep(dst)
+        if rep is None or rep.state == "dead":
+            return  # a dead controller process neither stores nor votes
+        now = self.sim.now
+        if pkt.kind in ("append", "lease"):
+            if pkt.epoch >= self._seen_epoch[dst]:
+                self._seen_epoch[dst] = pkt.epoch
+                self._lease_until[dst] = now + self.config.lease_s
+                if rep.state == "fenced" and pkt.epoch > self._led_epoch[dst]:
+                    # A newer epoch provably rules: the fenced ex-leader
+                    # rejoins the succession as a plain standby.
+                    rep.state = "standby"
+                    self.rejoins += 1
+                    self.plane._trace(
+                        "control.rejoin",
+                        f"{dst} rejoins as standby under epoch {pkt.epoch}",
+                    )
+            if pkt.kind == "append" and pkt.entry is not None:
+                self.replica_logs[dst].receive(pkt.entry)
+        elif pkt.kind == "vote-req":
+            grant = (
+                rep.state == "standby"
+                and pkt.epoch > self._seen_epoch[dst]
+                and pkt.epoch > self._voted[dst]
+                and pkt.log_len >= len(self.replica_logs[dst])
+                and now >= self._lease_until[dst]
+            )
+            if grant:
+                self._voted[dst] = pkt.epoch
+                self.votes_granted += 1
+                self._post(dst, pkt.src, ControlPacket(
+                    kind="vote-grant", epoch=pkt.epoch, src=dst,
+                    uid=self._next_uid(),
+                ))
+            else:
+                self.votes_refused += 1
+        elif pkt.kind == "vote-grant":
+            camp = self._campaigns.get((dst, pkt.epoch))
+            if camp is not None:
+                camp.tally.add(pkt.src)
+                if len(camp.tally) >= self.quorum and not camp.done.triggered:
+                    camp.done.succeed()
+
+    def _acked(self, dst: str, pkt: Optional[ControlPacket]) -> None:
+        """A *network* ack from ``dst`` landed (never surrender/exhaust)."""
+        if pkt is None:
+            return
+        rep = self._rep(dst)
+        if rep is None or rep.state == "dead":
+            return  # transport ack without storage: does not count
+        if pkt.kind == "append":
+            ticket = self.tickets.get(pkt.uid)
+            if ticket is None:
+                return
+            ticket.acked.add(dst)
+            if not ticket.durable and len(ticket.acked) >= self.quorum:
+                ticket.durable = True
+                ticket.t_durable = self.sim.now
+        elif pkt.kind == "lease":
+            rnd = self._rounds.get(pkt.uid)
+            if rnd is None:
+                return
+            rnd.acked.add(dst)
+            if (
+                len(rnd.acked) >= self.quorum
+                and rnd.epoch == self._led_epoch.get(pkt.src, 0)
+                and pkt.src == self.leader_name
+                and rnd.t0 + self.config.lease_s > self._leader_lease_until
+            ):
+                self._leader_lease_until = rnd.t0 + self.config.lease_s
+                self.lease_renewals += 1
+
+    # -- election --------------------------------------------------------------
+    def _watch(self, rep: "ControllerReplica"):
+        """Per-replica succession watcher: campaign when the lease view
+        expires, staggered by succession index so candidacies are
+        deterministic and non-colliding."""
+        cfg = self.config
+        name = rep.host.name
+        while True:
+            if rep.state == "dead":
+                return
+            if rep.state != "standby":
+                yield self.sim.timeout(cfg.lease_renew_s)
+                continue
+            wait = self._lease_until[name] - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+                continue
+            yield self.sim.timeout(cfg.election_stagger_s * max(rep.index, 1))
+            if (
+                rep.state != "standby"
+                or self._lease_until[name] > self.sim.now
+            ):
+                continue
+            yield from self._campaign(rep)
+
+    def _campaign(self, rep: "ControllerReplica"):
+        cfg = self.config
+        name = rep.host.name
+        epoch = max(self._seen_epoch[name], self._voted[name]) + 1
+        self._voted[name] = epoch  # vote for ourselves
+        self.elections_started += 1
+        camp = _Campaign(epoch=epoch, tally={name}, done=Event(self.sim))
+        self._campaigns[(name, epoch)] = camp
+        self.plane._trace(
+            "control.campaign",
+            f"{name} campaigns for epoch {epoch} "
+            f"(log={len(self.replica_logs[name])})",
+        )
+        if len(camp.tally) >= self.quorum and not camp.done.triggered:
+            camp.done.succeed()  # single-replica plane
+        pkt = ControlPacket(
+            kind="vote-req", epoch=epoch, src=name, uid=self._next_uid(),
+            log_len=len(self.replica_logs[name]),
+        )
+        for peer in self._peers(name):
+            self._post(name, peer, pkt)
+        yield self.sim.any_of(
+            [camp.done, self.sim.timeout(cfg.election_timeout_s)]
+        )
+        self._campaigns.pop((name, epoch), None)
+        if (
+            len(camp.tally) >= self.quorum
+            and rep.state == "standby"
+            and self.plane.down
+            and self._seen_epoch[name] < epoch
+        ):
+            self.elections_won += 1
+            self.plane.elect(rep, epoch)
+        else:
+            # Lost (or the race resolved elsewhere): back off one
+            # timeout; the watcher's lease check decides what's next.
+            yield self.sim.timeout(cfg.election_timeout_s)
+
+    # -- audit -----------------------------------------------------------------
+    def undurable(self) -> List[AppendTicket]:
+        return [t for t in self.tickets.values() if not t.durable]
+
+    def multi_leader_epochs(self) -> Dict[int, List[str]]:
+        return {e: who for e, who in self.leaders_by_epoch.items() if len(who) > 1}
+
+    def audit(self) -> Dict[str, object]:
+        return {
+            "replicas": len(self.names),
+            "quorum": self.quorum,
+            "appends_replicated": self.appends_replicated,
+            "appends_durable": sum(1 for t in self.tickets.values() if t.durable),
+            "appends_undurable": len(self.undurable()),
+            "appends_local_only": self.appends_local_only,
+            "lease_rounds": self.lease_rounds,
+            "lease_renewals": self.lease_renewals,
+            "self_fences": self.self_fences,
+            "elections_started": self.elections_started,
+            "elections_won": self.elections_won,
+            "votes_granted": self.votes_granted,
+            "votes_refused": self.votes_refused,
+            "rejoins": self.rejoins,
+            "leaders_by_epoch": {
+                str(e): list(who) for e, who in self.leaders_by_epoch.items()
+            },
+            "multi_leader_epochs": len(self.multi_leader_epochs()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ControlReplication leader={self.leader_name} "
+            f"quorum={self.quorum}/{len(self.names)} "
+            f"appends={self.appends_replicated} "
+            f"elections={self.elections_won}/{self.elections_started}>"
+        )

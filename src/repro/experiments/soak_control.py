@@ -2,29 +2,38 @@
 
 The crash soak proves the recovery subsystem survives dying *hosts* and
 the reliability soak a dying *network*; this harness proves the system
-survives a dying *brain*.  For every seed it runs the Opt workload on a
-control-armed MPVM worknet and kills the controller once per run — at
-each of the controller FSM states a takeover can interrupt:
+survives a dying *brain* — and, since the control log is explicitly
+replicated (:mod:`repro.control.replication`), a *split* brain.  Three
+legs per seed:
 
-* **idle**           — nothing in flight; the cheapest takeover.
-* **batch-round**    — mid-eviction, GS migration records still open.
-* **txn-prepared**   — a migration's state is off-host, its transaction
-  ``prepared`` but not yet committed.
-* **recovery-fence** — mid-recovery of a genuine data-plane host crash
-  (fence written, restart in flight).
+* **FSM-state crashes.**  For each controller FSM state a takeover can
+  interrupt — ``idle``, ``batch-round``, ``txn-prepared``,
+  ``recovery-fence`` — a watcher process polls
+  :attr:`ControlPlane.fsm_state` and fires :meth:`ControlPlane.crash`
+  the first instant the target state holds, so the crash lands *inside*
+  the window rather than at a guessed timestamp.  The plane runs with
+  quorum replication armed, so succession is a real staggered election
+  after the standbys' lease views expire: the recorded takeover latency
+  is the lease residual + candidacy stagger + vote round-trip, a
+  genuine distribution rather than a configured constant.
+* **Control-plane partition.**  A :class:`NetworkPartition` cuts the
+  controller host (the leader *and* the workload master) away from the
+  standbys mid-run, then heals.  The minority leader must self-fence —
+  its lease expires without a quorum ack — strictly before the majority
+  elects a successor; the healed ex-leader must rejoin as a standby;
+  and every order the pre-cut zombie handle issues must bounce off the
+  epoch gate.
+* **Nested failover.**  Two :class:`ControllerCrash` draws, the second
+  landing while the brain is still down from the first: it kills the
+  standby-turned-heir mid-takeover, and the *next* standby in line must
+  complete the succession anyway.
 
-A watcher process polls :attr:`ControlPlane.fsm_state` and fires
-:meth:`ControlPlane.crash` the first instant the target state holds, so
-the crash lands *inside* the window rather than at a guessed timestamp.
-After the standby takes over, the run must still complete with output
-identical to the fault-free reference, zero lost tasks, zero
-exactly-once violations, and a post-takeover command accepted under the
-new epoch.  After the run, the captured pre-crash handle plays the
-partitioned zombie ex-controller: every command it issues must bounce
-off the epoch gate, and the transaction logs' audit trail must show no
-command accepted under a stale epoch.  The committed
-``BENCH_control.json`` at the repo root holds the full 20-seed run,
-takeover-latency distribution included.
+Every leg audits the replication fabric: zero records that never
+reached an append quorum, exactly one ruling leader per epoch, zero
+commands admitted under a stale or minority epoch, and output identical
+to the fault-free reference.  The committed ``BENCH_control.json`` at
+the repo root holds the full 20-seed run, takeover-latency distribution
+included.
 """
 
 from __future__ import annotations
@@ -33,27 +42,38 @@ import platform
 from typing import Any, Dict, List, Optional
 
 from ..api import Session
-from ..faults import FaultPlan, HostCrash
+from ..control import ControlConfig
+from ..faults import ControllerCrash, FaultPlan, HostCrash, NetworkPartition
 from ..migration.txn import StaleEpochCommand
 from ..pvm.errors import PvmError
+from ..recovery import RecoveryConfig
 from .soak_common import (
     N_HOSTS,
     NotifyOpt,
     SLAVE_HOSTS,
-    UNTIL_S,
     dist,
     recovery_records_json,
     reference_losses,
     soak_workload,
 )
 
-__all__ = ["SCHEMA", "STATES", "run_soak_control", "render_soak_control"]
+__all__ = [
+    "LEGS",
+    "SCHEMA",
+    "STATES",
+    "run_soak_control",
+    "render_soak_control",
+]
 
-SCHEMA = "repro-bench-control/1"
+SCHEMA = "repro-bench-control/2"
 
 #: The controller FSM states the soak crashes the brain in, one run per
 #: (seed, state).
 STATES = ("idle", "batch-round", "txn-prepared", "recovery-fence")
+
+#: The selectable soak legs (``--legs``): the four FSM-state crash runs,
+#: the split-control-plane partition run, and the nested-failover run.
+LEGS = ("states", "partition", "nested")
 
 #: Watcher poll period: fine enough to land inside the short
 #: txn-prepared window.
@@ -64,6 +84,36 @@ POLL_S = 0.002
 #: workloads, late enough that data distribution is done.
 EVICT_AFTER_SPAWN_S = 0.8
 HOST_CRASH_AT_S = 1.2
+
+#: Simulated-time bound per run.  The replicated plane renews leases
+#: forever, so the simulator never goes idle on its own; the workload
+#: finishes well under a minute of simulated time, so a run still going
+#: at the bound is a hang.
+CONTROL_UNTIL_S = 60.0
+
+#: Partition leg: the cut lands at ``PARTITION_AT_S + seed *
+#: PARTITION_JITTER_S`` (per-seed variation of the lease phase it
+#: interrupts) and heals ``PARTITION_DURATION_S`` later — well inside
+#: the reliable channel's ~36 s retransmit horizon, so the partitioned
+#: workload master loses no messages.
+PARTITION_AT_S = 2.0
+PARTITION_JITTER_S = 0.05
+PARTITION_DURATION_S = 3.0
+
+#: Nested leg: first controller crash at ``NESTED_FIRST_AT_S + seed *
+#: NESTED_JITTER_S``; the second follows ``NESTED_GAP_S`` later.  A
+#: follower's lease view survives the crash for at least ``lease_s -
+#: lease_renew_s`` (0.6 s at the defaults), so a 0.3 s gap provably
+#: lands while the brain is still down: a nested kill, not a second
+#: takeover.
+NESTED_FIRST_AT_S = 1.0
+NESTED_JITTER_S = 0.037
+NESTED_GAP_S = 0.3
+
+
+def _control_config() -> ControlConfig:
+    """Every soak leg arms explicit quorum replication + leases."""
+    return ControlConfig(replication=True)
 
 
 def _total_stale(s: Session) -> int:
@@ -110,6 +160,14 @@ def _epoch_audit(s: Session) -> List[str]:
                     f"{ruling_at(txn.t_begin)} ruled at t={txn.t_begin:g}"
                 )
     return violations
+
+
+def _replication_audit(s: Session) -> Dict[str, Any]:
+    """The fabric's quorum/lease/election counters for one run."""
+    assert s.control is not None and s.control.fabric is not None
+    audit = s.control.fabric.audit()
+    audit["nested_kills"] = s.control.nested_kills
+    return audit
 
 
 def _zombie_leg(s: Session, zombie: Any) -> Dict[str, Any]:
@@ -164,6 +222,76 @@ def _zombie_leg(s: Session, zombie: Any) -> Dict[str, Any]:
     }
 
 
+def _prove_command(s: Session, probe: Dict[str, Any]):
+    """Issue one order under the post-takeover incarnation and record
+    that the gate admitted it (a stale handle would raise)."""
+    plane = s.control
+    assert plane is not None
+    for h in s.cluster.hosts:
+        units = s.vm.movable_units(h) if h.up else []
+        if units:
+            dst = s.scheduler.pick_destination(exclude=(h.name,))
+            if dst is None:
+                break
+            try:
+                yield plane.handle.migrate(units[0], dst)
+            except StaleEpochCommand:
+                return
+            except PvmError:
+                pass  # admitted but failed downstream: still fenced-in
+            probe["post_cmd_admitted"] = True
+            break
+    else:
+        probe["post_cmd_admitted"] = True  # nothing left to command
+
+
+def _base_row(
+    s: Session, app: NotifyOpt, seed: int, ref_losses: List[float]
+) -> Dict[str, Any]:
+    """The per-run columns every leg shares (workload + control audit)."""
+    assert s.control is not None
+    records = recovery_records_json(s)
+    lost = sum(1 for r in records for t in r["tasks"] if t["outcome"] == "lost")
+    restarted = sum(
+        1 for r in records for t in r["tasks"] if t["outcome"] == "restarted"
+    )
+    takeovers = s.control.takeovers
+    return {
+        "seed": seed,
+        "completed": "total_time" in app.report,
+        "sim_time_s": round(app.report.get("total_time", 0.0), 6),
+        "matched_reference": app.report.get("losses") == ref_losses,
+        "quorum_shrunk": len(app.exits),
+        "takeovers": len(takeovers),
+        "takeover_latency_s": (
+            round(takeovers[0].latency, 6) if takeovers else None
+        ),
+        "epochs": s.control.epoch,
+        "adopted_txns": sum(t.adopted_txns for t in takeovers),
+        "aborted_txns": sum(t.aborted_txns for t in takeovers),
+        "replanned": sum(t.replanned for t in takeovers),
+        "restored_quarantines": sum(t.restored_quarantines for t in takeovers),
+        "restarted": restarted,
+        "lost": lost,
+        "txn_violations": _txn_violations(s),
+        "epoch_violations": _epoch_audit(s),
+        "replication": _replication_audit(s),
+    }
+
+
+def _quorum_clean(run: Dict[str, Any]) -> bool:
+    """The replication-fabric invariants every leg demands."""
+    rep = run["replication"]
+    return bool(
+        rep["appends_undurable"] == 0
+        and rep["multi_leader_epochs"] == 0
+        and run["lost"] == 0
+        and not run["txn_violations"]
+        and not run["epoch_violations"]
+        and run["zombie"]["clean"]
+    )
+
+
 def _run_one(
     seed: int, state: str, cfg, horizon: float, ref_losses: List[float]
 ) -> Dict[str, Any]:
@@ -174,7 +302,11 @@ def _run_one(
             faults=(HostCrash(host=f"hp720-{N_HOSTS - 1}", at_s=HOST_CRASH_AT_S),)
         )
     s = Session(
-        mechanism="mpvm", n_hosts=N_HOSTS, seed=seed, faults=plan, control=True
+        mechanism="mpvm",
+        n_hosts=N_HOSTS,
+        seed=seed,
+        faults=plan,
+        control=_control_config(),
     )
     assert s.control is not None
     app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
@@ -222,68 +354,26 @@ def _run_one(
         probe["t_crash"] = round(s.sim.now, 6)
         zombie_box.append(plane.handle)
         plane.crash(reason=f"soak:{state}")
-        # Wait out the succession, then prove the new incarnation is in
-        # command: its orders are admitted (a stale one would raise).
+        # Wait out the succession — a real staggered election now, not
+        # a fixed delay — then prove the new incarnation is in command:
+        # its orders are admitted (a stale one would raise).
         while plane.down:
             yield s.sim.timeout(POLL_S)
         probe["took_over"] = True
-        for h in s.cluster.hosts:
-            units = s.vm.movable_units(h) if h.up else []
-            if units:
-                dst = s.scheduler.pick_destination(exclude=(h.name,))
-                if dst is None:
-                    break
-                try:
-                    yield plane.handle.migrate(units[0], dst)
-                except StaleEpochCommand:
-                    return
-                except PvmError:
-                    pass  # admitted but failed downstream: still fenced-in
-                probe["post_cmd_admitted"] = True
-                break
-        else:
-            probe["post_cmd_admitted"] = True  # nothing left to command
+        yield from _prove_command(s, probe)
 
     s.sim.process(protector(), name="soak:protect").defuse()
     if state in ("batch-round", "txn-prepared"):
         s.sim.process(evictor(), name="soak:evict").defuse()
     s.sim.process(watcher(), name="soak:watch").defuse()
-    s.run(until=UNTIL_S)
+    s.run(until=CONTROL_UNTIL_S)
 
-    records = recovery_records_json(s)
-    lost = sum(1 for r in records for t in r["tasks"] if t["outcome"] == "lost")
-    restarted = sum(
-        1 for r in records for t in r["tasks"] if t["outcome"] == "restarted"
-    )
-    takeovers = s.control.takeovers
-    violations = _txn_violations(s)
-    epoch_violations = _epoch_audit(s)
-    zombie = _zombie_leg(s, zombie_box[0] if zombie_box else None)
-    run = {
-        "seed": seed,
-        "state": state,
-        "completed": "total_time" in app.report,
-        "sim_time_s": round(app.report.get("total_time", 0.0), 6),
-        "matched_reference": app.report.get("losses") == ref_losses,
-        "quorum_shrunk": len(app.exits),
-        "state_hit": probe["state_hit"],
-        "t_crash": probe["t_crash"],
-        "takeovers": len(takeovers),
-        "takeover_latency_s": (
-            round(takeovers[0].latency, 6) if takeovers else None
-        ),
-        "epochs": s.control.epoch,
-        "adopted_txns": sum(t.adopted_txns for t in takeovers),
-        "aborted_txns": sum(t.aborted_txns for t in takeovers),
-        "replanned": sum(t.replanned for t in takeovers),
-        "restored_quarantines": sum(t.restored_quarantines for t in takeovers),
-        "post_cmd_admitted": probe["post_cmd_admitted"],
-        "restarted": restarted,
-        "lost": lost,
-        "txn_violations": violations,
-        "epoch_violations": epoch_violations,
-        "zombie": zombie,
-    }
+    run = _base_row(s, app, seed, ref_losses)
+    run["state"] = state
+    run["state_hit"] = probe["state_hit"]
+    run["t_crash"] = probe["t_crash"]
+    run["post_cmd_admitted"] = probe["post_cmd_admitted"]
+    run["zombie"] = _zombie_leg(s, zombie_box[0] if zombie_box else None)
     run["clean"] = bool(
         run["completed"]
         and run["matched_reference"]
@@ -291,10 +381,147 @@ def _run_one(
         and run["state_hit"]
         and run["takeovers"] == 1
         and run["post_cmd_admitted"]
-        and run["lost"] == 0
-        and not violations
-        and not epoch_violations
-        and zombie["clean"]
+        and _quorum_clean(run)
+    )
+    return run
+
+
+def _run_partition(
+    seed: int, cfg, horizon: float, ref_losses: List[float]
+) -> Dict[str, Any]:
+    """Split the control plane: cut the leader away from every standby."""
+    t_cut = PARTITION_AT_S + seed * PARTITION_JITTER_S
+    t_heal = t_cut + PARTITION_DURATION_S
+    plan = FaultPlan(
+        faults=(
+            NetworkPartition(hosts=("hp720-0",), from_s=t_cut, until_s=t_heal),
+        )
+    )
+    s = Session(
+        mechanism="mpvm",
+        n_hosts=N_HOSTS,
+        seed=seed,
+        faults=plan,
+        control=_control_config(),
+        # Grace must outlast the cut so the healed (never-crashed)
+        # island is reprieved instead of fenced.
+        recovery=RecoveryConfig(partition_grace_s=PARTITION_DURATION_S + 4.0),
+        reliability=True,
+    )
+    assert s.control is not None
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+
+    probe = {"took_over": False, "post_cmd_admitted": False}
+    zombie_box: List[Any] = []
+
+    def watcher():
+        plane = s.control
+        # Capture the doomed leader's command surface just before the
+        # cut: the canonical minority-partition zombie.
+        yield s.sim.timeout(max(0.0, t_cut - 0.1))
+        zombie_box.append(plane.handle)
+        while not plane.down:
+            if s.sim.now > t_heal + 10.0:
+                return  # the cut never deposed the leader: leg fails
+            yield s.sim.timeout(POLL_S)
+        while plane.down:
+            yield s.sim.timeout(POLL_S)
+        probe["took_over"] = True
+        yield from _prove_command(s, probe)
+
+    s.sim.process(watcher(), name="soak:watch").defuse()
+    s.run(until=CONTROL_UNTIL_S)
+
+    takeovers = s.control.takeovers
+    rec = takeovers[0] if takeovers else None
+    run = _base_row(s, app, seed, ref_losses)
+    run["t_cut"] = round(t_cut, 6)
+    run["t_heal"] = round(t_heal, 6)
+    run["t_self_fence"] = round(rec.t_crashed, 6) if rec else None
+    run["t_takeover"] = round(rec.t_takeover, 6) if rec else None
+    # The lease math must order the minority leader's self-fence
+    # strictly before the majority elects — that ordering (plus the
+    # epoch gate) is what forbids a moment of split rule.
+    run["fence_before_takeover"] = bool(
+        rec is not None
+        and run["replication"]["self_fences"] == 1
+        and rec.t_crashed < rec.t_takeover
+        and "lease expired" in rec.reason
+    )
+    run["post_cmd_admitted"] = probe["post_cmd_admitted"]
+    run["zombie"] = _zombie_leg(s, zombie_box[0] if zombie_box else None)
+    run["clean"] = bool(
+        run["completed"]
+        and run["matched_reference"]
+        and run["quorum_shrunk"] == 0
+        and run["takeovers"] == 1
+        and run["fence_before_takeover"]
+        and run["replication"]["rejoins"] == 1
+        and run["post_cmd_admitted"]
+        and _quorum_clean(run)
+    )
+    return run
+
+
+def _run_nested(
+    seed: int, cfg, horizon: float, ref_losses: List[float]
+) -> Dict[str, Any]:
+    """Crash the brain, then crash its heir mid-takeover."""
+    t1 = NESTED_FIRST_AT_S + seed * NESTED_JITTER_S
+    plan = FaultPlan(
+        faults=(
+            ControllerCrash(at_s=t1),
+            ControllerCrash(at_s=t1 + NESTED_GAP_S),
+        )
+    )
+    s = Session(
+        mechanism="mpvm",
+        n_hosts=N_HOSTS,
+        seed=seed,
+        faults=plan,
+        control=_control_config(),
+    )
+    assert s.control is not None
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+
+    probe = {"took_over": False, "post_cmd_admitted": False}
+    zombie_box: List[Any] = []
+
+    def watcher():
+        plane = s.control
+        yield s.sim.timeout(max(0.0, t1 - 0.05))
+        zombie_box.append(plane.handle)
+        while not plane.down:
+            yield s.sim.timeout(POLL_S)
+        while plane.down:
+            yield s.sim.timeout(POLL_S)
+        probe["took_over"] = True
+        yield from _prove_command(s, probe)
+
+    s.sim.process(watcher(), name="soak:watch").defuse()
+    s.run(until=CONTROL_UNTIL_S)
+
+    takeovers = s.control.takeovers
+    rec = takeovers[0] if takeovers else None
+    run = _base_row(s, app, seed, ref_losses)
+    run["t_crash"] = round(t1, 6)
+    run["nested_kills"] = s.control.nested_kills
+    # The heir (succession index 1) died mid-takeover; the replica two
+    # deep must have completed the succession instead.
+    run["heir_skipped"] = bool(rec is not None and rec.to_host == "hp720-2")
+    run["post_cmd_admitted"] = probe["post_cmd_admitted"]
+    run["zombie"] = _zombie_leg(s, zombie_box[0] if zombie_box else None)
+    run["clean"] = bool(
+        run["completed"]
+        and run["matched_reference"]
+        and run["quorum_shrunk"] == 0
+        and run["takeovers"] == 1
+        and run["nested_kills"] == 1
+        and run["heir_skipped"]
+        and run["post_cmd_admitted"]
+        and _quorum_clean(run)
     )
     return run
 
@@ -302,84 +529,130 @@ def _run_one(
 def _armed_uncrashed_matches(cfg, ref_losses: List[float]) -> bool:
     """An armed-but-never-crashed control plane must not perturb the
     workload's output (the epoch stamps and journal are pure
-    bookkeeping)."""
+    bookkeeping) — checked for the legacy plane and the replicated one."""
     s = Session(mechanism="mpvm", n_hosts=N_HOSTS, seed=0, control=True)
     app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
     app.start()
-    s.run(until=UNTIL_S)
+    s.run(until=CONTROL_UNTIL_S)
     assert s.control is not None
-    return (
+    legacy_ok = (
         app.report.get("losses") == ref_losses
         and len(s.control.takeovers) == 0
         and s.control.epoch == 1
     )
+    s = Session(
+        mechanism="mpvm", n_hosts=N_HOSTS, seed=0, control=_control_config()
+    )
+    app = NotifyOpt(s.vm, cfg, master_host=0, slave_hosts=SLAVE_HOSTS)
+    app.start()
+    s.run(until=CONTROL_UNTIL_S)
+    assert s.control is not None and s.control.fabric is not None
+    return bool(
+        legacy_ok
+        and app.report.get("losses") == ref_losses
+        and len(s.control.takeovers) == 0
+        and s.control.epoch == 1
+        and s.control.fabric.elections_started == 0
+        and not s.control.fabric.undurable()
+    )
 
 
-def run_soak_control(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
-    """Run the full control-plane soak; returns the result document."""
+def run_soak_control(
+    seeds: int = 20, smoke: bool = False, legs: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """Run the control-plane soak; returns the result document.
+
+    ``legs`` selects a subset of :data:`LEGS` (default: all three).
+    """
+    chosen = list(LEGS) if legs is None else list(legs)
+    unknown = sorted(set(chosen) - set(LEGS))
+    if unknown:
+        raise ValueError(f"unknown soak legs {unknown}; pick from {list(LEGS)}")
     cfg, horizon = soak_workload(smoke)
     ref_losses = reference_losses(cfg)
 
-    legs: Dict[str, Dict[str, Any]] = {state: {"runs": []} for state in STATES}
+    leg_names: List[str] = []
+    if "states" in chosen:
+        leg_names.extend(STATES)
+    if "partition" in chosen:
+        leg_names.append("partition")
+    if "nested" in chosen:
+        leg_names.append("nested")
+
+    legs_doc: Dict[str, Dict[str, Any]] = {name: {"runs": []} for name in leg_names}
     latencies: List[float] = []
     for seed in range(seeds):
-        for state in STATES:
-            run = _run_one(seed, state, cfg, horizon, ref_losses)
-            legs[state]["runs"].append(run)
+        for name in leg_names:
+            if name == "partition":
+                run = _run_partition(seed, cfg, horizon, ref_losses)
+            elif name == "nested":
+                run = _run_nested(seed, cfg, horizon, ref_losses)
+            else:
+                run = _run_one(seed, name, cfg, horizon, ref_losses)
+            legs_doc[name]["runs"].append(run)
             if run["takeover_latency_s"] is not None:
                 latencies.append(run["takeover_latency_s"])
 
-    for leg in legs.values():
+    for leg in legs_doc.values():
         runs = leg["runs"]
         leg["completed"] = sum(1 for r in runs if r["completed"])
-        leg["state_hit"] = sum(1 for r in runs if r["state_hit"])
         leg["clean"] = sum(1 for r in runs if r["clean"])
 
+    all_runs = [r for leg in legs_doc.values() for r in leg["runs"]]
     totals = {
-        "lost": sum(r["lost"] for leg in legs.values() for r in leg["runs"]),
-        "txn_violations": sum(
-            len(r["txn_violations"]) for leg in legs.values() for r in leg["runs"]
+        "lost": sum(r["lost"] for r in all_runs),
+        "txn_violations": sum(len(r["txn_violations"]) for r in all_runs),
+        "stale_accepted": sum(len(r["epoch_violations"]) for r in all_runs),
+        "zombie_attempts": sum(r["zombie"]["attempts"] for r in all_runs),
+        "zombie_refused": sum(r["zombie"]["refused"] for r in all_runs),
+        "adopted_txns": sum(r["adopted_txns"] for r in all_runs),
+        "aborted_txns": sum(r["aborted_txns"] for r in all_runs),
+        "replanned": sum(r["replanned"] for r in all_runs),
+        # Quorum/lease audit: summed over every run of every leg.
+        "quorum_undurable": sum(
+            r["replication"]["appends_undurable"] for r in all_runs
         ),
-        "stale_accepted": sum(
-            len(r["epoch_violations"]) for leg in legs.values() for r in leg["runs"]
+        "multi_leader_epochs": sum(
+            r["replication"]["multi_leader_epochs"] for r in all_runs
         ),
-        "zombie_attempts": sum(
-            r["zombie"]["attempts"] for leg in legs.values() for r in leg["runs"]
+        "self_fences": sum(r["replication"]["self_fences"] for r in all_runs),
+        "nested_kills": sum(r["replication"]["nested_kills"] for r in all_runs),
+        "elections_won": sum(
+            r["replication"]["elections_won"] for r in all_runs
         ),
-        "zombie_refused": sum(
-            r["zombie"]["refused"] for leg in legs.values() for r in leg["runs"]
-        ),
-        "adopted_txns": sum(
-            r["adopted_txns"] for leg in legs.values() for r in leg["runs"]
-        ),
-        "aborted_txns": sum(
-            r["aborted_txns"] for leg in legs.values() for r in leg["runs"]
-        ),
-        "replanned": sum(
-            r["replanned"] for leg in legs.values() for r in leg["runs"]
-        ),
+        "rejoins": sum(r["replication"]["rejoins"] for r in all_runs),
     }
 
-    determinism = _run_one(
-        0, "txn-prepared", cfg, horizon, ref_losses
-    ) == _run_one(0, "txn-prepared", cfg, horizon, ref_losses)
+    determinism = True
+    if "states" in chosen:
+        determinism = determinism and _run_one(
+            0, "txn-prepared", cfg, horizon, ref_losses
+        ) == _run_one(0, "txn-prepared", cfg, horizon, ref_losses)
+    if "partition" in chosen:
+        determinism = determinism and _run_partition(
+            0, cfg, horizon, ref_losses
+        ) == _run_partition(0, cfg, horizon, ref_losses)
     unarmed_alike = _armed_uncrashed_matches(cfg, ref_losses)
 
     ok = (
-        all(leg["clean"] == seeds for leg in legs.values())
+        all(leg["clean"] == seeds for leg in legs_doc.values())
         and totals["lost"] == 0
         and totals["txn_violations"] == 0
         and totals["stale_accepted"] == 0
         and totals["zombie_refused"] == totals["zombie_attempts"]
+        and totals["quorum_undurable"] == 0
+        and totals["multi_leader_epochs"] == 0
         and determinism
         and unarmed_alike
     )
+    cc = _control_config()
     return {
         "schema": SCHEMA,
         "smoke": smoke,
         "python": platform.python_version(),
         "seeds": seeds,
         "states": list(STATES),
+        "leg_names": leg_names,
         "horizon_s": horizon,
         "workload": {
             "data_bytes": cfg.data_bytes,
@@ -387,7 +660,14 @@ def run_soak_control(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
             "n_slaves": cfg.n_slaves,
             "n_hosts": N_HOSTS,
         },
-        "legs": legs,
+        "control": {
+            "replication": True,
+            "lease_s": cc.lease_s,
+            "lease_renew_s": cc.lease_renew_s,
+            "election_stagger_s": cc.election_stagger_s,
+            "election_timeout_s": cc.election_timeout_s,
+        },
+        "legs": legs_doc,
         "totals": totals,
         "takeover_latency_s": dist(latencies),
         "determinism_identical": determinism,
@@ -399,13 +679,12 @@ def run_soak_control(seeds: int = 20, smoke: bool = False) -> Dict[str, Any]:
 def render_soak_control(doc: Dict[str, Any]) -> str:
     """Human-readable rendering of a :func:`run_soak_control` document."""
     out = [
-        f"== control soak: {doc['seeds']} seeds x {len(doc['states'])} "
-        f"crash states ({'smoke' if doc['smoke'] else 'full'}) =="
+        f"== control soak: {doc['seeds']} seeds x {len(doc['leg_names'])} "
+        f"legs ({'smoke' if doc['smoke'] else 'full'}) =="
     ]
     for name, leg in doc["legs"].items():
         out.append(
             f"  {name:15s} completed {leg['completed']}/{doc['seeds']}, "
-            f"hit {leg['state_hit']}/{doc['seeds']}, "
             f"clean {leg['clean']}/{doc['seeds']}"
         )
     t = doc["totals"]
@@ -413,6 +692,12 @@ def render_soak_control(doc: Dict[str, Any]) -> str:
         f"  lost={t['lost']} txn_violations={t['txn_violations']} "
         f"stale_accepted={t['stale_accepted']} "
         f"zombie={t['zombie_refused']}/{t['zombie_attempts']} refused"
+    )
+    out.append(
+        f"  quorum_undurable={t['quorum_undurable']} "
+        f"multi_leader_epochs={t['multi_leader_epochs']} "
+        f"self_fences={t['self_fences']} nested_kills={t['nested_kills']} "
+        f"elections_won={t['elections_won']} rejoins={t['rejoins']}"
     )
     out.append(
         f"  adopted={t['adopted_txns']} aborted={t['aborted_txns']} "

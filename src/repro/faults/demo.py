@@ -40,9 +40,12 @@ __all__ = [
     "run_controller",
     "run_demo",
     "run_partition",
+    "run_split_control",
+    "split_control_plan",
     "main",
     "main_controller",
     "main_partition",
+    "main_split_control",
 ]
 
 
@@ -365,6 +368,99 @@ def run_controller(seed: int = 0) -> Dict[str, Any]:
     })
 
 
+def split_control_plan(seed: int) -> FaultPlan:
+    """Cut the leader's host away from every standby, then heal."""
+    return FaultPlan(
+        faults=(
+            NetworkPartition(hosts=("hp720-0",), from_s=2.0, until_s=5.0),
+        ),
+        seed=seed,
+    )
+
+
+def run_split_control(seed: int = 0) -> Dict[str, Any]:
+    """The split control plane: partition the brain away from its standbys.
+
+    A replication-armed MPVM worknet (quorum-appended control log,
+    leader leases) loses its leader to a :class:`NetworkPartition` that
+    cuts host 0 — leader and all — away from every standby for three
+    seconds.  The minority leader's lease expires without a quorum ack
+    and it *self-fences* strictly before the majority side's staggered
+    election completes under a fresh epoch; the pre-cut handle plays
+    the zombie whose every order bounces off the epoch gate; and after
+    the heal the deposed ex-leader rejoins the succession as a plain
+    standby.
+    """
+    from ..control import ControlConfig
+    from ..recovery import RecoveryConfig
+
+    s = Session(
+        mechanism="mpvm", n_hosts=5, seed=seed,
+        faults=split_control_plan(seed),
+        control=ControlConfig(replication=True),
+        recovery=RecoveryConfig(partition_grace_s=7.0),
+        reliability=True,
+    )
+    assert s.control is not None
+    zombie_box: list = []
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 8)
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=2, where=[1, 2])
+        # Capture the doomed leader's command surface just before the
+        # cut: the canonical minority-partition zombie.
+        yield ctx.sim.timeout(max(0.0, 1.9 - ctx.sim.now))
+        zombie_box.append(s.control.handle)
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=4)
+    s.run(until=20.0)
+
+    plane = s.control
+    fabric = plane.fabric
+    assert fabric is not None
+    rec = plane.takeovers[0] if plane.takeovers else None
+
+    zombie_orders = zombie_refused = 0
+    if zombie_box:
+        zombie = zombie_box[0]
+        before = len(plane.gate.rejections)
+        zombie_orders = 1
+        zombie.confirm_crash(s.host(2))
+        zombie_refused = len(plane.gate.rejections) - before
+
+    ex_leader = next(r for r in plane.replicas if r.host.name == "hp720-0")
+    return {
+        "controller": plane.controller_name(),
+        "epoch": plane.epoch,
+        "self_fences": fabric.self_fences,
+        "fence_reason": rec.reason if rec else None,
+        "t_fence": round(rec.t_crashed, 3) if rec else None,
+        "t_takeover": round(rec.t_takeover, 3) if rec else None,
+        "fence_before_takeover": bool(rec and rec.t_crashed < rec.t_takeover),
+        "takeover": (
+            {"from": rec.from_host, "to": rec.to_host,
+             "latency_s": round(rec.latency, 3)}
+            if rec else None
+        ),
+        "ex_leader_state": ex_leader.state,
+        "rejoins": fabric.rejoins,
+        "leaders_by_epoch": {
+            str(e): list(who) for e, who in fabric.leaders_by_epoch.items()
+        },
+        "quorum_undurable": len(fabric.undurable()),
+        "replica_log_kinds": {
+            name: [e.kind for e in fabric.log_of(name).entries]
+            for name in fabric.names
+        },
+        "zombie_orders": zombie_orders,
+        "zombie_refused": zombie_refused,
+    }
+
+
 def run_demo(
     seed: int = 0,
     *,
@@ -421,6 +517,32 @@ def main_controller(seed: int = 0) -> Dict[str, Any]:
     print(f"  control log: " + ", ".join(
         f"{kind}@{host}(e{epoch})" for kind, host, epoch in r["control_log"]
     ))
+    print(f"  zombie ex-controller: {r['zombie_refused']}/{r['zombie_orders']} "
+          f"order(s) refused by the epoch gate")
+    print(f"\nreplay with seed={seed}: "
+          f"{'identical' if replay == r else 'DIVERGED (bug!)'}")
+    return r
+
+
+def main_split_control(seed: int = 0) -> Dict[str, Any]:
+    """Pretty-printer behind ``python -m repro faults --controller
+    --partition``."""
+    r = run_split_control(seed)
+    replay = run_split_control(seed)
+    print(f"split-control-plane demo (seed={seed}): hp720-0 — leader and "
+          f"all — cut off 2s-5s, replication armed\n")
+    print(f"self-fence: {r['self_fences']} (reason: {r['fence_reason']}) "
+          f"at t={r['t_fence']}s")
+    t = r["takeover"]
+    if t:
+        print(f"takeover: {t['from']} -> {t['to']} at t={r['t_takeover']}s "
+              f"({t['latency_s']}s after the fence; fence strictly first: "
+              f"{r['fence_before_takeover']})")
+    print(f"  controller now {r['controller']}, epoch {r['epoch']}; "
+          f"leaders by epoch {r['leaders_by_epoch']}")
+    print(f"  ex-leader after heal: {r['ex_leader_state']} "
+          f"({r['rejoins']} rejoin(s)); "
+          f"records without quorum: {r['quorum_undurable']}")
     print(f"  zombie ex-controller: {r['zombie_refused']}/{r['zombie_orders']} "
           f"order(s) refused by the epoch gate")
     print(f"\nreplay with seed={seed}: "

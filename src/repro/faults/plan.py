@@ -459,6 +459,7 @@ class FaultPlan:
 
         specs: List[FaultSpec] = []
         crash_pool = list(hosts)
+        controller_draws = 0
         for i in range(n):
             kind = kinds[i % len(kinds)]
             t0 = rng.uniform(0.05 * horizon, 0.7 * horizon)
@@ -490,6 +491,17 @@ class FaultPlan:
                     from_s=t0, until_s=t1,
                 ))
             elif kind == "controller":
+                controller_draws += 1
+                if controller_draws > len(hosts):
+                    # Each nested controller crash consumes one standby;
+                    # a plan deeper than the succession list can never
+                    # be absorbed (ControlConfig.standbys defaults to
+                    # every host).  Fail at build time, not mid-soak.
+                    raise ValueError(
+                        f"fault #{i} (ControllerCrash): {controller_draws} "
+                        f"controller crashes exceed the standby depth "
+                        f"({len(hosts)} candidate hosts)"
+                    )
                 specs.append(ControllerCrash(at_s=t0))
             else:  # partition
                 island = tuple(rng.sample(list(hosts), rng.randint(1, min(2, len(hosts)))))
@@ -545,6 +557,7 @@ class FaultPlan:
 
         specs: List[FaultSpec] = []
         crash_pool = list(hosts)
+        controller_draws = 0
         for i in range(n):
             kind = kinds[i % len(kinds)]
             t0 = instant()
@@ -578,6 +591,13 @@ class FaultPlan:
                     from_s=t0, until_s=t1,
                 ))
             elif kind == "controller":
+                controller_draws += 1
+                if controller_draws > len(hosts):
+                    raise ValueError(
+                        f"fault #{i} (ControllerCrash): {controller_draws} "
+                        f"controller crashes exceed the standby depth "
+                        f"({len(hosts)} candidate hosts)"
+                    )
                 specs.append(ControllerCrash(at_s=t0))
             else:  # partition
                 island = tuple(

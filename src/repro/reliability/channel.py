@@ -20,7 +20,7 @@ can kill, and the sender learns nothing except by ack arrival.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Dict, Set
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Set
 
 from collections import deque
 
@@ -105,6 +105,12 @@ class ReliableLink:
         dst_pvmd: "Pvmd",
         config: ReliabilityConfig,
         stats: ReliabilityStats,
+        *,
+        deliver: Optional[Callable[["Message"], None]] = None,
+        on_ack: Optional[Callable[[int, Optional["Message"]], None]] = None,
+        data_label: str = DATA_LABEL,
+        ack_label: str = ACK_LABEL,
+        capture_dead_letters: bool = True,
     ) -> None:
         self.src_pvmd = src_pvmd
         self.dst_pvmd = dst_pvmd
@@ -113,6 +119,17 @@ class ReliableLink:
         self.config = config
         self.stats = stats
         self.name = f"{src_pvmd.host.name}>{dst_pvmd.host.name}"
+        # Reuse seam: by default the link feeds the destination daemon's
+        # inbound queue, but a client (the control-plane replication
+        # fabric) may route in-order deliveries elsewhere.  ``on_ack``
+        # fires only when a *network* ack lands — never on surrender or
+        # retransmit exhaustion, which merely unjam the window — so a
+        # quorum counted from it is a quorum of real receipts.
+        self._deliver = deliver if deliver is not None else dst_pvmd.enqueue_inbound
+        self._on_ack = on_ack
+        self.data_label = data_label
+        self.ack_label = ack_label
+        self.capture_dead_letters = capture_dead_letters
         # sender side: the window covers [base, base + window); base is
         # the lowest un-acked sequence and advances only contiguously
         # (TCP-style), which is what bounds the receiver's reorder
@@ -165,7 +182,7 @@ class ReliableLink:
                 try:
                     yield net.transfer(
                         self.src_pvmd.host, self.dst_pvmd.host,
-                        msg.wire_bytes, label=DATA_LABEL,
+                        msg.wire_bytes, label=self.data_label,
                     )
                 except PvmError:
                     lost = True  # datagram died; silence, then retry
@@ -185,7 +202,7 @@ class ReliableLink:
             self.stats.exhausted += 1
             self._skip(seq)
             self._mark_acked(seq)  # sender-side reset: unjam the window
-            box = self.system.dead_letters
+            box = self.system.dead_letters if self.capture_dead_letters else None
             if box is not None:
                 box.capture(msg, f"rel-exhausted:{self.name}:{seq}")
             if self.system.tracer:
@@ -210,7 +227,7 @@ class ReliableLink:
         n = 0
         for seq in sorted(self._inflight):
             msg = self._inflight[seq]
-            if box is not None:
+            if box is not None and self.capture_dead_letters:
                 box.capture(msg, f"{reason}:{self.name}:{seq}")
             self._skip(seq)
             self._mark_acked(seq)
@@ -242,7 +259,7 @@ class ReliableLink:
         faults = self.system.network.faults
         if faults is not None and hasattr(faults, "duplicates"):
             return faults.duplicates(
-                self.src_pvmd.host, self.dst_pvmd.host, DATA_LABEL
+                self.src_pvmd.host, self.dst_pvmd.host, self.data_label
             )
         return 0
 
@@ -273,7 +290,7 @@ class ReliableLink:
             if msg is None:
                 return
             self._next_deliver += 1
-            self.dst_pvmd.enqueue_inbound(msg)
+            self._deliver(msg)
 
     def _skip(self, seq: int) -> None:
         """Sender gave up on ``seq``: let the delivery cursor pass the
@@ -287,12 +304,14 @@ class ReliableLink:
         try:
             yield self.system.network.transfer(
                 self.dst_pvmd.host, self.src_pvmd.host,
-                self.config.ack_bytes, label=ACK_LABEL,
+                self.config.ack_bytes, label=self.ack_label,
             )
         except PvmError:
             return  # lost ack: the retransmit timer covers it
         acked = self._acks.get(seq)
         if acked is not None and not acked.triggered:
+            if self._on_ack is not None:
+                self._on_ack(seq, self._inflight.get(seq))
             acked.succeed()
         self._mark_acked(seq)
 

@@ -98,6 +98,34 @@ def named_specs(*, seed: int = 0) -> Dict[str, ScenarioSpec]:
         mechanism="mpvm",
         seed=seed,
     )
+    out["controller-nested-steady-clean"] = ScenarioSpec(
+        # Two controller draws: the second can land while the brain is
+        # already down, crashing the standby-turned-leader mid-takeover
+        # (nested failover; the generator arms quorum replication).
+        name="controller-nested-steady-clean",
+        arrival=ArrivalSpec(kind="steady"),
+        faults=FaultSpec(kind="random", n=2, kinds=("controller",)),
+        network=NetworkSpec(kind="clean"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="opt"),
+        mechanism="mpvm",
+        seed=seed,
+    )
+    out["controller-partition-steady"] = ScenarioSpec(
+        # Controller crash x partitioned network: the cut may land
+        # between controller and standbys (split control plane —
+        # minority leader self-fences, majority side elects).  Jobs
+        # arrive in the first fifth of the horizon so none starts
+        # while the master's island is cut off.
+        name="controller-partition-steady",
+        arrival=ArrivalSpec(kind="steady", window_frac=0.2),
+        faults=FaultSpec(kind="random", n=1, kinds=("controller",)),
+        network=NetworkSpec(kind="partitioned"),
+        fleet=FleetSpec(kind="homogeneous"),
+        app=AppSpec(kind="opt"),
+        mechanism="mpvm",
+        seed=seed,
+    )
     out["heat-steady-clean"] = ScenarioSpec(
         name="heat-steady-clean",
         arrival=ArrivalSpec(kind="steady", jobs=2),

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..control import ControlConfig
 from ..faults.plan import (
     FaultPlan,
     FaultSpec as PlanFault,
@@ -56,9 +57,13 @@ class ScenarioInstance:
     recovery: Optional[RecoveryConfig]
     #: Simulated-time bound for the cell (a job running past it hung).
     until_s: float
-    #: Crash-tolerant control plane armed (cells whose fault schedule
-    #: draws ``controller`` kinds — the brain itself is a victim).
-    control: bool = False
+    #: Crash-tolerant control plane: ``False`` (off), ``True`` (legacy
+    #: fixed-delay failover), or a :class:`~repro.control.ControlConfig`
+    #: with replication armed — cells whose fault schedule draws
+    #: ``controller`` kinds get the plane, and cells that can split or
+    #: nest controller failures (controller x partitioned network, or
+    #: multiple controller draws) get quorum replication + leases.
+    control: "bool | ControlConfig" = False
 
     @property
     def host_specs(self) -> List[Tuple[str, float]]:
@@ -126,7 +131,7 @@ def _schedule_faults(
 
 
 def _network_faults(
-    spec: ScenarioSpec, streams: RngStreams, workers: List[str]
+    spec: ScenarioSpec, streams: RngStreams, names: List[str]
 ) -> Tuple[PlanFault, ...]:
     net = spec.network
     horizon = spec.arrival.horizon_s
@@ -142,9 +147,14 @@ def _network_faults(
             MessageReorder(label="rel-data", reorder_prob=net.reorder_prob,
                            hold_s=0.02, from_s=lo, until_s=hi),
         )
-    # partitioned: one worker island cut off mid-run, then healed.
+    # partitioned: one island cut off mid-run, then healed.  Worker
+    # islands only — unless the cell also crashes controllers, in which
+    # case the cut may land *between controller and standbys* (the
+    # split-control-plane scenario the replicated plane exists for).
+    workers = names[1:]
+    pool = names if spec.faults.controller_draws() > 0 else workers
     rng = streams.get("scenario.network")
-    island = workers[int(rng.integers(0, len(workers)))]
+    island = pool[int(rng.integers(0, len(pool)))]
     start = float(rng.uniform(0.25, 0.5)) * horizon
     return (
         NetworkPartition(
@@ -163,7 +173,7 @@ def materialize(spec: ScenarioSpec) -> ScenarioInstance:
 
     fault_seed = streams.derive_seed("scenario.faults") % (2**31)
     sched = _schedule_faults(spec, fault_seed, workers)
-    wire = _network_faults(spec, streams, workers)
+    wire = _network_faults(spec, streams, names)
     plan = FaultPlan(faults=sched + wire, seed=fault_seed)
 
     message_faulted = spec.faults.kind != "none" and bool(
@@ -178,6 +188,14 @@ def materialize(spec: ScenarioSpec) -> ScenarioInstance:
     partitioned = any(isinstance(f, NetworkPartition) for f in plan.faults)
     crashy = spec.faults.crash_draws() > 0
     controllered = spec.faults.controller_draws() > 0
+    # Cells where the control plane itself can split (a partition
+    # between controller and standbys) or where controller failures can
+    # nest (multiple draws) need explicit replication: quorum-appended
+    # log, leader leases, minority self-fence.  A single controller
+    # crash on a clean network keeps the legacy fixed-delay failover.
+    control: "bool | ControlConfig" = controllered
+    if controllered and (partitioned or spec.faults.controller_draws() > 1):
+        control = ControlConfig(replication=True)
     recovery: Optional[RecoveryConfig] = None
     if crashy or partitioned or controllered:
         # Grace must outlast any partition (duration plus a heartbeat or
@@ -199,5 +217,5 @@ def materialize(spec: ScenarioSpec) -> ScenarioInstance:
         reliability=reliability,
         recovery=recovery,
         until_s=2.0 * spec.arrival.horizon_s + 40.0,
-        control=controllered,
+        control=control,
     )

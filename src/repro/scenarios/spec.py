@@ -307,6 +307,12 @@ class ScenarioSpec:
                 f"fault schedule draws {self.faults.crash_draws()} distinct "
                 f"crash victims but the fleet only has {workers} worker hosts"
             )
+        if self.faults.controller_draws() > workers:
+            raise ValueError(
+                f"fault schedule draws {self.faults.controller_draws()} "
+                f"controller crashes but the fleet only has {workers} "
+                "standby hosts to absorb nested takeovers"
+            )
         if self.app.n_workers > workers:
             raise ValueError(
                 f"app wants {self.app.n_workers} workers per job but the "

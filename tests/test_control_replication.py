@@ -1,0 +1,348 @@
+"""Tests for explicit control-log replication (quorum + leases).
+
+Covers: quorum appends landing on every standby's own replica (all
+durable, none local-only on the happy path), lease-driven succession
+with a real election latency instead of a configured constant, the
+split control plane (a partitioned minority leader self-fencing
+strictly before the majority elects, the zombie handle bouncing off
+the epoch gate, and the healed ex-leader rejoining as a standby),
+nested failover skipping the heir that died mid-takeover, the seeded
+EpochGate property (strict monotonicity + a complete rejection
+journal), and the plan/spec/session depth validation that controller
+crashes never exceed the standby pool.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.control import ControlConfig
+from repro.control.epoch import EpochGate
+from repro.faults import ControllerCrash, FaultPlan, HostCrash, NetworkPartition
+from repro.recovery import RecoveryConfig
+from repro.sim import Simulator
+
+
+def _rep_config(**kw) -> ControlConfig:
+    return ControlConfig(replication=True, **kw)
+
+
+def _crunch(*, n_hosts=5, seed=0, faults=None, control=None, recovery=None,
+            reliability=None, where=(1, 2), seconds=4.0, until=60.0):
+    """Two crunchers on worker hosts; returns (finish times, session)."""
+    s = Session(
+        mechanism="mpvm", n_hosts=n_hosts, seed=seed, faults=faults,
+        control=control, recovery=recovery, reliability=reliability,
+    )
+    done = {}
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * seconds)
+        done[ctx.host.name] = ctx.now
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=len(where), where=list(where))
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=n_hosts - 1)
+    s.run(until=until)
+    return done, s
+
+
+# ------------------------------------------------------------- configuration
+
+
+def test_replication_config_validation():
+    with pytest.raises(ValueError, match="lease_renew_s"):
+        _rep_config(lease_s=0.5, lease_renew_s=0.5)
+    with pytest.raises(ValueError, match="lease timers"):
+        _rep_config(lease_s=-1.0)
+    with pytest.raises(ValueError, match="election timers"):
+        _rep_config(election_stagger_s=0.0)
+    # Unreplicated configs don't care: takeover_delay_s governs alone.
+    ControlConfig(lease_s=-1.0)
+
+
+def test_run_forever_is_refused_while_leases_renew():
+    s = Session(mechanism="mpvm", n_hosts=3, control=_rep_config())
+    # Even with the detector quiet, the lease loop renews forever.
+    s.detector.stop()
+    with pytest.raises(ValueError, match="lease"):
+        s.run()
+    s.run(until=1.0)  # bounded runs are fine
+
+
+def test_armed_replicated_uncrashed_is_quiet():
+    done, s = _crunch(control=_rep_config())
+    fabric = s.control.fabric
+    assert set(done) == {"hp720-1", "hp720-2"}
+    assert s.control.epoch == 1 and s.control.takeovers == []
+    assert fabric.elections_started == 0 and fabric.self_fences == 0
+    assert fabric.leaders_by_epoch == {1: ["hp720-0"]}
+    # The boot record reached a quorum and every other append is absent.
+    assert fabric.undurable() == []
+    assert fabric.appends_replicated == 1 and fabric.appends_local_only == 0
+
+
+# ------------------------------------------------------------- quorum append
+
+
+def test_quorum_append_lands_on_every_replica():
+    plan = FaultPlan(faults=(ControllerCrash(at_s=1.0),), seed=0)
+    done, s = _crunch(control=_rep_config(), faults=plan)
+    plane, fabric = s.control, s.control.fabric
+    assert set(done) == {"hp720-1", "hp720-2"}  # workload survived
+
+    (t,) = plane.takeovers
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-1")
+    # The plane now journals through the winner's own replica.
+    assert plane.log is fabric.log_of("hp720-1")
+    assert fabric.undurable() == []
+    # Every live replica's log carries the full [boot, takeover] story —
+    # replication by wire, not by fiat.
+    for name in ("hp720-1", "hp720-2", "hp720-3", "hp720-4"):
+        kinds = [e.kind for e in fabric.log_of(name).entries]
+        assert kinds[:2] == ["boot", "takeover"], name
+
+
+def test_election_latency_is_lease_derived():
+    cfg = _rep_config()
+    plan = FaultPlan(faults=(ControllerCrash(at_s=1.0),), seed=0)
+    _, s = _crunch(control=cfg, faults=plan)
+    (t,) = s.control.takeovers
+    # Real succession: the heir waits out its lease view, staggers its
+    # candidacy, and wins a vote round-trip — never the legacy constant,
+    # and always inside one lease + stagger + election timeout.
+    assert t.latency != pytest.approx(cfg.takeover_delay_s)
+    assert cfg.election_stagger_s <= t.latency <= (
+        cfg.lease_s + cfg.election_stagger_s + cfg.election_timeout_s
+    )
+    assert t.new_epoch == 2
+    assert s.control.fabric.multi_leader_epochs() == {}
+
+
+# --------------------------------------------------------- split control plane
+
+
+def test_partitioned_minority_leader_self_fences_before_election():
+    plan = FaultPlan(
+        faults=(NetworkPartition(hosts=("hp720-0",), from_s=2.0, until_s=5.0),),
+        seed=0,
+    )
+    zombie_box = []
+    s = Session(
+        mechanism="mpvm", n_hosts=5, seed=0, faults=plan,
+        control=_rep_config(),
+        recovery=RecoveryConfig(partition_grace_s=7.0),
+        reliability=True,
+    )
+
+    def cruncher(ctx):
+        yield from ctx.compute(25e6 * 8)
+
+    def boss(ctx):
+        yield from ctx.spawn("cruncher", count=2, where=[1, 2])
+        yield ctx.sim.timeout(max(0.0, 1.9 - ctx.sim.now))
+        zombie_box.append(s.control.handle)
+
+    s.vm.register_program("cruncher", cruncher)
+    s.vm.register_program("boss", boss)
+    s.vm.start_master("boss", host=4)
+    s.run(until=20.0)
+
+    plane, fabric = s.control, s.control.fabric
+    (t,) = plane.takeovers
+    # The cut leader lost its lease quorum and fenced *itself* — the
+    # process survives, fenced rather than dead — strictly before the
+    # majority's election completed.
+    assert fabric.self_fences == 1
+    assert "lease expired" in t.reason
+    assert 2.0 < t.t_crashed < t.t_takeover
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-1")
+    # The self-fence is journaled locally only: it cannot reach a
+    # quorum by definition, so it must not be ticketed as undurable.
+    kinds = [e.kind for e in fabric.log_of("hp720-0").entries]
+    assert "self-fence" in kinds
+    assert fabric.undurable() == []
+    # After the heal the deposed leader heard epoch 2 ruling and
+    # rejoined the succession as a plain standby.
+    assert fabric.rejoins == 1
+    rep0 = next(r for r in plane.replicas if r.host.name == "hp720-0")
+    assert rep0.state == "standby"
+    # One ruler per epoch, ever.
+    assert fabric.multi_leader_epochs() == {}
+
+    # The pre-cut handle is the canonical zombie: every order bounces.
+    zombie = zombie_box[0]
+    assert zombie.stale
+    assert zombie.confirm_crash(s.host(2)) is False
+    assert plane.gate.rejections[-1][1] == 1
+    assert plane.handle is not None and not plane.handle.stale
+
+
+# ------------------------------------------------------------ nested failover
+
+
+def test_nested_crash_kills_the_heir_mid_takeover():
+    plan = FaultPlan(
+        faults=(ControllerCrash(at_s=1.0), ControllerCrash(at_s=1.3)), seed=0
+    )
+    done, s = _crunch(control=_rep_config(), faults=plan)
+    plane = s.control
+    # The second crash landed while the brain was down (a follower's
+    # lease view outlives the leader by >= lease_s - lease_renew_s, so
+    # no election can finish within 0.3 s): it killed the heir, and the
+    # replica two deep completed the succession.
+    assert plane.nested_kills == 1
+    (t,) = plane.takeovers
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-2")
+    heir = next(r for r in plane.replicas if r.host.name == "hp720-1")
+    assert heir.state == "dead"
+    assert plane.epoch == t.new_epoch
+    assert s.control.fabric.multi_leader_epochs() == {}
+    assert set(done) == {"hp720-1", "hp720-2"}  # data plane untouched
+
+
+def test_nested_crash_with_legacy_plane_also_skips_the_heir():
+    plan = FaultPlan(
+        faults=(ControllerCrash(at_s=1.0), ControllerCrash(at_s=1.2)), seed=0
+    )
+    _, s = _crunch(control=True, faults=plan)
+    (t,) = s.control.takeovers
+    assert s.control.nested_kills == 1
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-2")
+
+
+# --------------------------------------------------------- epoch gate property
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_epoch_gate_property_monotone_and_journal_complete(seed):
+    """Randomized crash/partition/takeover sequences: the epoch clock
+    only ever advances, exactly the stale stamps are refused, and the
+    rejection journal records every one of them."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    gate = EpochGate(sim)
+    issued = [gate.current()]  # every epoch a handle was ever minted for
+    advances = []
+    expected_rejections = []
+    for step in range(200):
+        op = rng.random()
+        if op < 0.25:
+            # A takeover: plain bump, or an election that burned epochs.
+            to = None if rng.random() < 0.5 else gate.current() + rng.randint(1, 3)
+            new = gate.advance(to=to)
+            advances.append(new)
+            issued.append(new)
+        elif op < 0.35:
+            # A belated order from a dead incarnation: must not regress.
+            stale = rng.choice([e for e in issued if e <= gate.current()])
+            if stale <= gate.current() and stale != gate.current() + 1:
+                with pytest.raises(ValueError, match="advance"):
+                    gate.advance(to=stale)
+        else:
+            # A command stamped with some historical handle's epoch.
+            cmd = rng.choice(issued)
+            if gate.admits(cmd):
+                assert cmd == gate.current()
+            else:
+                gate.reject(cmd, f"op-{step}")
+                expected_rejections.append((cmd, gate.current()))
+    # Strictly monotone: every advance beat everything before it.
+    assert all(b > a for a, b in zip(advances, advances[1:]))
+    assert gate.current() == max(issued)
+    # The journal is complete and faithful, in order.
+    assert [(r[1], r[2]) for r in gate.rejections] == expected_rejections
+    assert all(cmd < cur for _, cmd, cur, _ in gate.rejections)
+    # Unstamped data-plane requests are never controller commands.
+    assert gate.admits(None)
+
+
+# ------------------------------------------------------------ depth validation
+
+
+def test_faultplan_random_rejects_excess_controller_draws():
+    hosts = ["hp720-1", "hp720-2"]
+    with pytest.raises(ValueError, match=r"fault #\d+ \(ControllerCrash\)"):
+        FaultPlan.random(0, n=3, horizon=10.0, hosts=hosts, kinds=("controller",))
+    # At the depth limit the plan builds fine.
+    plan = FaultPlan.random(
+        0, n=2, horizon=10.0, hosts=hosts, kinds=("controller",)
+    )
+    assert len(plan.controller_crashes()) == 2
+
+
+def test_faultplan_burst_rejects_excess_controller_draws():
+    with pytest.raises(ValueError, match="exceed the standby depth"):
+        FaultPlan.burst(
+            0, n=4, horizon=10.0, hosts=["hp720-1"], kinds=("controller",)
+        )
+
+
+def test_scenario_spec_rejects_excess_controller_draws():
+    from repro.scenarios.spec import (
+        AppSpec, ArrivalSpec, FaultSpec, FleetSpec, NetworkSpec, ScenarioSpec,
+    )
+
+    with pytest.raises(ValueError, match="standby hosts"):
+        ScenarioSpec(
+            name="too-deep",
+            arrival=ArrivalSpec(kind="steady"),
+            faults=FaultSpec(kind="random", n=5, kinds=("controller",)),
+            network=NetworkSpec(kind="clean"),
+            fleet=FleetSpec(kind="homogeneous", n_hosts=5),
+            app=AppSpec(kind="opt"),
+            mechanism="mpvm",
+        )
+
+
+def test_session_rejects_plans_deeper_than_standbys():
+    plan = FaultPlan(
+        faults=(ControllerCrash(at_s=1.0), ControllerCrash(at_s=2.0)), seed=0
+    )
+    with pytest.raises(ValueError, match=r"fault #1 \(ControllerCrash\)"):
+        Session(
+            mechanism="mpvm", n_hosts=3, faults=plan,
+            control=ControlConfig(standbys=1),
+        )
+    # Enough standbys: the same plan arms fine.
+    Session(mechanism="mpvm", n_hosts=3, faults=plan, control=True)
+
+
+# --------------------------------------------------------------- scenario DSL
+
+
+def test_generator_arms_replication_for_split_and_nested_cells():
+    from repro.scenarios import materialize, spec_by_name
+
+    nested = materialize(spec_by_name("controller-nested-steady-clean"))
+    assert isinstance(nested.control, ControlConfig)
+    assert nested.control.replication
+    assert len(nested.plan.controller_crashes()) == 2
+
+    split = materialize(spec_by_name("controller-partition-steady"))
+    assert isinstance(split.control, ControlConfig)
+    assert split.control.replication
+    assert any(isinstance(f, NetworkPartition) for f in split.plan.faults)
+
+    # A single controller crash on a clean network keeps the legacy
+    # fixed-delay failover (and a crash-only cell has no plane at all).
+    single = materialize(spec_by_name("controller-crash-steady-clean"))
+    assert single.control is True
+    clean = materialize(spec_by_name("steady/random/clean"))
+    assert clean.control is False
+
+
+def test_host_crash_on_replicated_controller_host_fails_over():
+    plan = FaultPlan(faults=(HostCrash(host="hp720-0", at_s=1.0),), seed=0)
+    done, s = _crunch(control=_rep_config(), faults=plan)
+    (t,) = s.control.takeovers
+    assert (t.from_host, t.to_host) == ("hp720-0", "hp720-1")
+    # The machine really died: dead replicas neither vote nor store,
+    # and the survivors' quorum is still a majority of the full set.
+    assert s.control.fabric.undurable() == []
+    assert "hp720-0" in s.coordinator.fence.fenced
+    assert set(done) == {"hp720-1", "hp720-2"}
